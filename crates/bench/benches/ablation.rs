@@ -1,0 +1,102 @@
+//! Criterion benches: ablations of the design choices DESIGN.md calls
+//! out, measured as simulation cost. (Their *quality* impact —
+//! entropy, n_NIST — is quantified by the `design_steps`/`table1`
+//! binaries and the `attack_scenario` example, since Criterion
+//! measures time, not randomness.)
+//!
+//! Axes: ring length `n`, delay-line length `m`, down-sampling `k`,
+//! bubble-filter strategy, noise model complexity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use trng_core::bubble::BubbleFilter;
+use trng_core::trng::{CarryChainTrng, TrngConfig};
+use trng_fpga_sim::noise::{FlickerParams, GlobalModulation, SupplyTone};
+use trng_model::params::DesignParams;
+
+const N: usize = 1_000;
+
+fn bench_ring_length(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_ring_length");
+    group.throughput(Throughput::Elements(N as u64));
+    for n in [3usize, 5, 7] {
+        let cfg = TrngConfig::paper_k1().with_design(DesignParams {
+            n,
+            ..DesignParams::paper_k1()
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(n), &cfg, |b, cfg| {
+            let mut trng = CarryChainTrng::new(cfg.clone(), 1).expect("valid");
+            b.iter(|| trng.generate_raw(N));
+        });
+    }
+    group.finish();
+}
+
+fn bench_line_length(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_line_length");
+    group.throughput(Throughput::Elements(N as u64));
+    for m in [32usize, 36, 48, 64] {
+        let cfg = TrngConfig::paper_k1().with_design(DesignParams {
+            m,
+            ..DesignParams::paper_k1()
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(m), &cfg, |b, cfg| {
+            let mut trng = CarryChainTrng::new(cfg.clone(), 2).expect("valid");
+            b.iter(|| trng.generate_raw(N));
+        });
+    }
+    group.finish();
+}
+
+fn bench_bubble_filter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_bubble_filter");
+    group.throughput(Throughput::Elements(N as u64));
+    for (label, filter) in [
+        ("priority", BubbleFilter::Priority),
+        ("majority3", BubbleFilter::Majority3),
+        ("none", BubbleFilter::None),
+    ] {
+        let cfg = TrngConfig::paper_k1().with_bubble_filter(filter);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, cfg| {
+            let mut trng = CarryChainTrng::new(cfg.clone(), 3).expect("valid");
+            b.iter(|| trng.generate_raw(N));
+        });
+    }
+    group.finish();
+}
+
+fn bench_noise_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_noise_model");
+    group.throughput(Throughput::Elements(N as u64));
+    let white_only = {
+        let mut cfg = TrngConfig::paper_k1();
+        cfg.flicker = None;
+        cfg
+    };
+    let with_flicker = TrngConfig::paper_k1();
+    let full = {
+        let mut cfg = TrngConfig::paper_k1();
+        cfg.flicker = Some(FlickerParams::default());
+        cfg.global = Some(GlobalModulation::supply_tone(SupplyTone::new(1e6, 0.002)));
+        cfg
+    };
+    for (label, cfg) in [
+        ("white_only", white_only),
+        ("with_flicker", with_flicker),
+        ("flicker_plus_supply", full),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, cfg| {
+            let mut trng = CarryChainTrng::new(cfg.clone(), 4).expect("valid");
+            b.iter(|| trng.generate_raw(N));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ring_length,
+    bench_line_length,
+    bench_bubble_filter,
+    bench_noise_model
+);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion benches: the combinational entropy extractor in
+//! isolation (XOR stage + bubble filter + priority encoding), per
+//! Figure 5. In hardware this is one clock cycle; in simulation it is
+//! the per-sample decode cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use trng_core::bubble::BubbleFilter;
+use trng_core::extractor::EntropyExtractor;
+use trng_core::snippet::Snippet;
+
+/// Builds a deterministic three-line snippet with an edge at `pos` and
+/// an optional bubble.
+fn snippet_with_edge(m: usize, pos: usize, bubble: bool) -> Snippet {
+    let mut lines = Vec::new();
+    for l in 0..3usize {
+        let mut line: Vec<bool> = (0..m).map(|j| j < pos + l).collect();
+        if bubble && l == 0 && pos > 2 {
+            line[pos - 2] = !line[pos - 2];
+        }
+        lines.push(line);
+    }
+    Snippet::new(lines)
+}
+
+fn bench_extract(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extract");
+    let snippet = snippet_with_edge(36, 17, false);
+    for (label, k, filter) in [
+        ("k1_priority", 1u32, BubbleFilter::Priority),
+        ("k1_majority3", 1, BubbleFilter::Majority3),
+        ("k4_priority", 4, BubbleFilter::Priority),
+    ] {
+        let ext = EntropyExtractor::new(k, filter);
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| ext.extract(criterion::black_box(&snippet)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_extract_with_bubbles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extract_bubbled");
+    let snippet = snippet_with_edge(36, 17, true);
+    for (label, filter) in [
+        ("priority", BubbleFilter::Priority),
+        ("majority3", BubbleFilter::Majority3),
+    ] {
+        let ext = EntropyExtractor::new(1, filter);
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| ext.extract(criterion::black_box(&snippet)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_snippet_classification(c: &mut Criterion) {
+    let snippet = snippet_with_edge(36, 17, true);
+    c.bench_function("snippet_classify", |b| {
+        b.iter(|| criterion::black_box(&snippet).classify())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_extract,
+    bench_extract_with_bubbles,
+    bench_snippet_classification
+);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion benches: cost of the statistical evaluation machinery —
+//! the dominating wall-clock term of the Table-1 n_NIST search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::{Rng, SeedableRng};
+use trng_stattests::bits::BitVec;
+use trng_stattests::nist;
+
+fn random_bits(n: usize, seed: u64) -> BitVec {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen::<bool>()).collect()
+}
+
+fn bench_individual_tests(c: &mut Criterion) {
+    let bits = random_bits(100_000, 1);
+    let mut group = c.benchmark_group("nist_tests_100k");
+    group.throughput(Throughput::Elements(bits.len() as u64));
+    group.sample_size(20);
+    group.bench_function("frequency", |b| b.iter(|| nist::frequency::test(&bits)));
+    group.bench_function("runs", |b| b.iter(|| nist::runs::test(&bits)));
+    group.bench_function("rank", |b| b.iter(|| nist::rank::test(&bits)));
+    group.bench_function("dft", |b| b.iter(|| nist::dft::test(&bits)));
+    group.bench_function("non_overlapping_template", |b| {
+        b.iter(|| nist::templates::non_overlapping(&bits))
+    });
+    group.bench_function("universal", |b| b.iter(|| nist::universal::test(&bits)));
+    group.bench_function("linear_complexity", |b| {
+        b.iter(|| nist::linear_complexity::test(&bits))
+    });
+    group.bench_function("serial", |b| b.iter(|| nist::serial::test(&bits)));
+    group.finish();
+}
+
+fn bench_full_battery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nist_battery");
+    group.sample_size(10);
+    for n in [50_000usize, 200_000] {
+        let bits = random_bits(n, 2);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &bits, |b, bits| {
+            b.iter(|| nist::run_battery(bits))
+        });
+    }
+    group.finish();
+}
+
+fn bench_supporting_batteries(c: &mut Criterion) {
+    let bits = random_bits(200_000, 3);
+    let mut group = c.benchmark_group("other_batteries");
+    group.sample_size(20);
+    group.bench_function("fips140", |b| {
+        b.iter(|| trng_stattests::fips140::run_fips140(&bits))
+    });
+    group.bench_function("ais31", |b| {
+        b.iter(|| trng_stattests::ais31::run_ais31(&bits))
+    });
+    group.bench_function("markov_estimator", |b| {
+        b.iter(|| trng_stattests::estimators::markov_min_entropy(&bits))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_individual_tests,
+    bench_full_battery,
+    bench_supporting_batteries
+);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion benches: simulated TRNG bit-generation throughput.
+//!
+//! These measure the *simulator's* speed (bits of TRNG output per
+//! wall-clock second), which bounds how large the Table-1 ensembles
+//! can be; the TRNG's own throughput in simulated time is a design
+//! constant (`f_CLK/(N_A·np)`) reported by the `table1` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use trng_core::elementary::{ElementaryConfig, ElementaryTrng};
+use trng_core::trng::{CarryChainTrng, TrngConfig};
+use trng_fpga_sim::time::Ps;
+use trng_model::params::DesignParams;
+
+fn bench_raw_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("raw_bits");
+    const N: usize = 2_000;
+    group.throughput(Throughput::Elements(N as u64));
+    for (label, config) in [
+        ("paper_k1_realistic", TrngConfig::paper_k1()),
+        ("paper_k1_ideal_tdc", TrngConfig::ideal()),
+        ("paper_k4_ta50", TrngConfig::paper_k4()),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            let mut trng = CarryChainTrng::new(config.clone(), 1).expect("valid");
+            b.iter(|| trng.generate_raw(N));
+        });
+    }
+    group.finish();
+}
+
+fn bench_postprocessed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("postprocessed_bits");
+    const N: usize = 500;
+    group.throughput(Throughput::Elements(N as u64));
+    for np in [1u32, 7, 16] {
+        let config = TrngConfig::paper_k1().with_design(DesignParams {
+            np,
+            ..DesignParams::paper_k1()
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(np), &config, |b, cfg| {
+            let mut trng = CarryChainTrng::new(cfg.clone(), 2).expect("valid");
+            b.iter(|| trng.generate_postprocessed(N));
+        });
+    }
+    group.finish();
+}
+
+fn bench_elementary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("elementary_bits");
+    const N: usize = 2_000;
+    group.throughput(Throughput::Elements(N as u64));
+    // Short tA: exact event path; long tA: fast-forward path.
+    for (label, t_a) in [("ta_100ns_exact", Ps::from_ns(100.0)), ("ta_8us_fastforward", Ps::from_us(8.0))] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            let mut trng =
+                ElementaryTrng::new(ElementaryConfig::best_case(t_a), 3).expect("valid");
+            b.iter(|| trng.generate(N));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_raw_generation,
+    bench_postprocessed,
+    bench_elementary
+);
+criterion_main!(benches);

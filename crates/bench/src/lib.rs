@@ -1,0 +1,270 @@
+//! Experiment harness regenerating every table and figure of the
+//! DAC 2015 paper.
+//!
+//! Each paper artefact has a dedicated binary (see `src/bin/`); this
+//! library holds the shared machinery: bitstream generation from TRNG
+//! configurations, the `n_NIST` search of Table 1, and plain-text
+//! table rendering. The mapping from experiment id (E1–E13) to binary
+//! is maintained in `DESIGN.md`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use trng_core::postprocess::XorCompressor;
+use trng_core::trng::{CarryChainTrng, TrngConfig};
+use trng_model::params::DesignParams;
+use trng_stattests::assessment::assess;
+use trng_stattests::bits::BitVec;
+
+/// Default number of sequences per ensemble in the scaled-down
+/// Table-1 harness (the paper's sequence count is unstated; NIST
+/// recommends larger ensembles — tunable from the CLI).
+pub const DEFAULT_SEQUENCES: usize = 4;
+
+/// Default post-processed bits per sequence.
+pub const DEFAULT_SEQ_LEN: usize = 50_000;
+
+/// Maximum XOR compression rate explored, matching Table 1's "> 16".
+pub const MAX_NP: u32 = 16;
+
+/// Generates `count` raw bits from a fresh TRNG instance.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid (the experiment binaries
+/// construct known-good configurations).
+pub fn raw_bits(config: &TrngConfig, seed: u64, count: usize) -> Vec<bool> {
+    let mut trng = CarryChainTrng::new(config.clone(), seed).expect("valid TRNG config");
+    trng.generate_raw(count)
+}
+
+/// Generates `count` post-processed bits at compression rate `np`.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid.
+pub fn postprocessed_bits(config: &TrngConfig, seed: u64, count: usize, np: u32) -> BitVec {
+    let raw = raw_bits(config, seed, count * np as usize);
+    XorCompressor::compress(np, &raw).into_iter().collect()
+}
+
+/// Result of the `n_NIST` search for one configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NNistResult {
+    /// Smallest compression rate whose ensemble passes all applicable
+    /// NIST tests.
+    Passes(u32),
+    /// Even `max_np` does not pass (Table 1 reports this as "> 16").
+    ExceedsMax(u32),
+}
+
+impl core::fmt::Display for NNistResult {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            NNistResult::Passes(np) => write!(f, "{np}"),
+            NNistResult::ExceedsMax(max) => write!(f, "> {max}"),
+        }
+    }
+}
+
+impl NNistResult {
+    /// The compression rate to use downstream (max when exceeded).
+    pub fn np_or_max(&self) -> u32 {
+        match *self {
+            NNistResult::Passes(np) => np,
+            NNistResult::ExceedsMax(max) => max,
+        }
+    }
+
+    /// `true` if a passing rate was found.
+    pub fn passed(&self) -> bool {
+        matches!(self, NNistResult::Passes(_))
+    }
+}
+
+/// Finds the minimal XOR compression rate whose ensemble of
+/// `sequences` sequences of `seq_len` post-processed bits passes the
+/// SP 800-22 assessment — the Table-1 `n_NIST` column.
+///
+/// The raw bitstream of each sequence is generated once at the
+/// maximal length and re-compressed per candidate rate, mirroring how
+/// the hardware experiment would reuse captured raw data.
+pub fn find_n_nist(
+    config: &TrngConfig,
+    sequences: usize,
+    seq_len: usize,
+    max_np: u32,
+) -> NNistResult {
+    assert!(sequences > 0 && seq_len > 0 && max_np > 0);
+    // Sequences are independent simulations: generate them on one
+    // thread each (the dominant cost of the n_NIST search).
+    let raw: Vec<Vec<bool>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..sequences)
+            .map(|s| {
+                let config = config.clone();
+                scope.spawn(move || raw_bits(&config, 1000 + s as u64, seq_len * max_np as usize))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+    });
+    for np in 1..=max_np {
+        let seqs: Vec<BitVec> = raw
+            .iter()
+            .map(|r| {
+                XorCompressor::compress(np, &r[..seq_len * np as usize])
+                    .into_iter()
+                    .collect()
+            })
+            .collect();
+        if assess(&seqs).all_passed() {
+            return NNistResult::Passes(np);
+        }
+    }
+    NNistResult::ExceedsMax(max_np)
+}
+
+/// One row of the regenerated Table 1.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Down-sampling factor.
+    pub k: u32,
+    /// Accumulation time in ns.
+    pub t_a_ns: f64,
+    /// Model Shannon-entropy lower bound of a raw bit (H_RAW).
+    pub h_raw: f64,
+    /// Measured n_NIST.
+    pub n_nist: NNistResult,
+    /// Model entropy after compression with n_NIST (H_NEW).
+    pub h_new: Option<f64>,
+    /// Output throughput in Mb/s at n_NIST.
+    pub throughput_mbps: Option<f64>,
+}
+
+impl Table1Row {
+    /// Renders the row in the paper's column order.
+    pub fn render(&self) -> String {
+        format!(
+            "{:>2} {:>7.0} {:>8.2} {:>7} {:>8} {:>12}",
+            self.k,
+            self.t_a_ns,
+            self.h_raw,
+            self.n_nist.to_string(),
+            self.h_new
+                .map_or_else(|| "NA".to_string(), |h| format!("{h:.3}")),
+            self.throughput_mbps
+                .map_or_else(|| "NA".to_string(), |t| format!("{t:.2}")),
+        )
+    }
+}
+
+/// Computes one Table-1 row: model entropy + measured n_NIST +
+/// resulting throughput.
+pub fn table1_row(
+    base: &TrngConfig,
+    k: u32,
+    n_a: u32,
+    sequences: usize,
+    seq_len: usize,
+) -> Table1Row {
+    let design = DesignParams {
+        k,
+        n_a,
+        np: 1,
+        ..base.design
+    };
+    let config = base.clone().with_design(design);
+    let point = trng_model::design_space::evaluate(&config.platform, &design)
+        .expect("valid design");
+    let n_nist = find_n_nist(&config, sequences, seq_len, MAX_NP);
+    let (h_new, throughput) = match n_nist {
+        NNistResult::Passes(np) => {
+            let h = trng_model::postprocess::entropy_after_xor(point.bias_raw, np);
+            let thr = design.raw_throughput_bps() / f64::from(np) / 1e6;
+            (Some(h), Some(thr))
+        }
+        NNistResult::ExceedsMax(_) => (None, None),
+    };
+    Table1Row {
+        k,
+        t_a_ns: design.t_a_ps() / 1e3,
+        h_raw: point.h_raw,
+        n_nist,
+        h_new,
+        throughput_mbps: throughput,
+    }
+}
+
+/// Renders a simple fixed-width table with a title and column header.
+pub fn render_table(title: &str, header: &str, rows: &[String]) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(header);
+    out.push('\n');
+    out.push_str(&"-".repeat(header.len()));
+    out.push('\n');
+    for r in rows {
+        out.push_str(r);
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses `--key value` style overrides from `std::env::args`.
+///
+/// Returns the value for `key` parsed as `usize`, or `default`.
+pub fn arg_usize(key: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2)
+        .find(|w| w[0] == key)
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn postprocessed_length_is_exact() {
+        let cfg = TrngConfig::ideal();
+        let bits = postprocessed_bits(&cfg, 1, 500, 3);
+        assert_eq!(bits.len(), 500);
+    }
+
+    #[test]
+    fn raw_bits_are_reproducible() {
+        let cfg = TrngConfig::ideal();
+        assert_eq!(raw_bits(&cfg, 5, 200), raw_bits(&cfg, 5, 200));
+    }
+
+    #[test]
+    fn n_nist_result_rendering() {
+        assert_eq!(NNistResult::Passes(7).to_string(), "7");
+        assert_eq!(NNistResult::ExceedsMax(16).to_string(), "> 16");
+        assert!(NNistResult::Passes(7).passed());
+        assert!(!NNistResult::ExceedsMax(16).passed());
+        assert_eq!(NNistResult::ExceedsMax(16).np_or_max(), 16);
+    }
+
+    #[test]
+    fn table_rendering_contains_rows() {
+        let t = render_table("T", "a b", &["1 2".into(), "3 4".into()]);
+        assert!(t.contains("T\n"));
+        assert!(t.contains("1 2"));
+        assert!(t.contains("3 4"));
+    }
+
+    #[test]
+    fn find_n_nist_on_good_config_is_small() {
+        // Ideal TDC at tA = 20 ns: near-perfect raw bits; tiny ensemble
+        // for test speed.
+        let cfg = TrngConfig::ideal().with_design(DesignParams {
+            n_a: 2,
+            ..DesignParams::paper_k1()
+        });
+        let r = find_n_nist(&cfg, 2, 3_000, 4);
+        assert!(r.passed(), "result {r}");
+        assert!(r.np_or_max() <= 3);
+    }
+}

@@ -1,0 +1,115 @@
+//! Bubble-filter strategies for the edge decoder.
+//!
+//! Metastable capture flip-flops flip isolated bits ("bubbles") near
+//! the signal edge (Figure 4 (c)). The paper filters them "using
+//! priority decoder" — the decoder commits to the first observed
+//! deviation, which bounds a bubble's damage to a one-bin position
+//! error. This module makes the strategy pluggable so the ablation
+//! bench can quantify the design choice:
+//!
+//! * [`BubbleFilter::Priority`] — the paper's behaviour: no smoothing,
+//!   the priority encoder takes the first deviation as the edge.
+//! * [`BubbleFilter::Majority3`] — a 3-tap majority smoothing pass
+//!   before encoding, which repairs isolated bubbles at the cost of
+//!   one extra LUT level.
+//! * [`BubbleFilter::None`] — alias of `Priority` at the decoding
+//!   level but *reports* bubbles instead of silently absorbing them;
+//!   useful for instrumentation.
+
+/// Strategy applied to the XOR-combined code before priority encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum BubbleFilter {
+    /// First deviation wins (the paper's priority decoder).
+    #[default]
+    Priority,
+    /// 3-tap majority vote smoothing, then priority encoding.
+    Majority3,
+    /// No filtering; identical decode to `Priority` but callers can
+    /// distinguish instrumented runs.
+    None,
+}
+
+impl BubbleFilter {
+    /// Applies the filter to a combined code vector, returning the
+    /// (possibly smoothed) vector the priority encoder will see.
+    pub fn apply(self, code: &[bool]) -> Vec<bool> {
+        match self {
+            BubbleFilter::Priority | BubbleFilter::None => code.to_vec(),
+            BubbleFilter::Majority3 => majority3(code),
+        }
+    }
+}
+
+/// 3-tap sliding majority vote; end taps count their single neighbour
+/// twice, so isolated end bubbles are also repaired (at the cost of
+/// also smoothing away a genuine single-tap run at the ends — the
+/// usual trade-off of smoothing filters).
+fn majority3(code: &[bool]) -> Vec<bool> {
+    let n = code.len();
+    if n < 3 {
+        return code.to_vec();
+    }
+    (0..n)
+        .map(|i| {
+            let a = if i == 0 { code[1] } else { code[i - 1] };
+            let b = code[i];
+            let c = if i == n - 1 { code[n - 2] } else { code[i + 1] };
+            (u8::from(a) + u8::from(b) + u8::from(c)) >= 2
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits(s: &str) -> Vec<bool> {
+        s.chars().map(|c| c == '1').collect()
+    }
+
+    #[test]
+    fn priority_is_identity() {
+        let code = bits("11011000");
+        assert_eq!(BubbleFilter::Priority.apply(&code), code);
+        assert_eq!(BubbleFilter::None.apply(&code), code);
+    }
+
+    #[test]
+    fn majority_repairs_isolated_bubble() {
+        assert_eq!(BubbleFilter::Majority3.apply(&bits("11011000")), bits("11111000"));
+        assert_eq!(BubbleFilter::Majority3.apply(&bits("11101000")), bits("11110000"));
+    }
+
+    #[test]
+    fn majority_repairs_end_bubble() {
+        // Bubble in the first position.
+        assert_eq!(BubbleFilter::Majority3.apply(&bits("01100000")), bits("11100000"));
+        // Bubble in the last position.
+        assert_eq!(BubbleFilter::Majority3.apply(&bits("11100001")), bits("11100000"));
+    }
+
+    #[test]
+    fn majority_preserves_clean_edges() {
+        for s in ["11110000", "00001111", "11111111", "00000000"] {
+            assert_eq!(BubbleFilter::Majority3.apply(&bits(s)), bits(s), "{s}");
+        }
+    }
+
+    #[test]
+    fn majority_preserves_double_edges() {
+        // Two genuine edges, each at least 2 taps wide, survive.
+        assert_eq!(BubbleFilter::Majority3.apply(&bits("11000011")), bits("11000011"));
+    }
+
+    #[test]
+    fn short_codes_pass_through() {
+        assert_eq!(BubbleFilter::Majority3.apply(&bits("10")), bits("10"));
+        assert_eq!(BubbleFilter::Majority3.apply(&bits("1")), bits("1"));
+    }
+
+    #[test]
+    fn default_is_priority() {
+        assert_eq!(BubbleFilter::default(), BubbleFilter::Priority);
+    }
+}

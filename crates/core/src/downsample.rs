@@ -1,0 +1,104 @@
+//! Down-sampling of the TDC code — the `k` design parameter.
+//!
+//! Section 4.4/5.2: "Down-sampling can be used to improve the
+//! linearity of the time-to-digital conversion in the fast delay lines
+//! by combining k neighboring bins into a single bin", at the price of
+//! a larger required accumulation time (the effective bin width becomes
+//! `k · tstep`, and entropy depends on `σ_acc / tstep_eff`).
+//!
+//! In hardware, combining `k` bins means keeping only every `k`-th
+//! flip-flop output: the retained tap marks the boundary of the
+//! combined bin. That is exactly what [`downsample`] does.
+
+/// Keeps every `k`-th tap (indices `k−1, 2k−1, …`), producing a code
+/// with bins of width `k · tstep`.
+///
+/// `k = 1` returns the input unchanged.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or the code length is not a multiple of `k`.
+///
+/// # Examples
+///
+/// ```
+/// use trng_core::downsample::downsample;
+///
+/// let code = vec![true, true, true, true, true, false, false, false];
+/// // k = 4: taps 3 and 7 survive.
+/// assert_eq!(downsample(&code, 4), vec![true, false]);
+/// assert_eq!(downsample(&code, 1).len(), 8);
+/// ```
+pub fn downsample(code: &[bool], k: u32) -> Vec<bool> {
+    assert!(k >= 1, "down-sampling factor must be at least 1");
+    let k = k as usize;
+    assert!(
+        code.len().is_multiple_of(k),
+        "code length {} is not a multiple of k = {k}",
+        code.len()
+    );
+    if k == 1 {
+        return code.to_vec();
+    }
+    code.iter()
+        .copied()
+        .skip(k - 1)
+        .step_by(k)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits(s: &str) -> Vec<bool> {
+        s.chars().map(|c| c == '1').collect()
+    }
+
+    #[test]
+    fn k1_is_identity() {
+        let c = bits("110100");
+        assert_eq!(downsample(&c, 1), c);
+    }
+
+    #[test]
+    fn k4_keeps_every_fourth() {
+        // 36 taps -> 9 combined bins, like the paper's k = 4 variant.
+        let mut c = vec![true; 20];
+        c.extend(vec![false; 16]);
+        let d = downsample(&c, 4);
+        assert_eq!(d.len(), 9);
+        // taps 3,7,11,15,19 true; 23,27,31,35 false.
+        assert_eq!(d, bits("111110000"));
+    }
+
+    #[test]
+    fn k2_halves() {
+        let c = bits("10101010");
+        // taps 1,3,5,7 -> all '0'.
+        assert_eq!(downsample(&c, 2), bits("0000"));
+    }
+
+    #[test]
+    fn edge_position_scales() {
+        // Edge between tap 11 and 12 in fine code: kept taps 3, 7, 11
+        // are true, kept taps 15, 19, 23 false -> combined edge between
+        // bin 2 and bin 3.
+        let mut c = vec![true; 12];
+        c.extend(vec![false; 12]);
+        let d = downsample(&c, 4);
+        assert_eq!(d, bits("111000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn rejects_ragged_length() {
+        let _ = downsample(&[true; 10], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn rejects_zero_k() {
+        let _ = downsample(&[true; 4], 0);
+    }
+}

@@ -1,0 +1,199 @@
+//! The elementary TRNG baseline — Section 5.3.
+//!
+//! "Elementary TRNG consists of a free-running oscillator sampled by a
+//! system clock. Jitter accumulation process is exactly the same as
+//! described in our model, but the entropy extraction is different
+//! since the noisy signal is sampled with timing-precision equal to
+//! the half-period of the ring oscillator."
+//!
+//! The baseline shares the simulated substrate with the carry-chain
+//! TRNG, so accumulation-time comparisons (the 797× of equation (8))
+//! are apples-to-apples: same jitter physics, different extractor.
+
+use trng_fpga_sim::noise::NoiseConfig;
+use trng_fpga_sim::process::{DeviceSeed, ProcessVariation};
+use trng_fpga_sim::ring_oscillator::{RingOscillator, RingOscillatorConfig};
+use trng_fpga_sim::rng::SimRng;
+use trng_fpga_sim::time::Ps;
+use trng_model::params::PlatformParams;
+
+/// Configuration of the elementary TRNG.
+#[derive(Debug, Clone)]
+pub struct ElementaryConfig {
+    /// Platform parameters (d0 and jitter sigma drive the simulation).
+    pub platform: PlatformParams,
+    /// Ring stages. The paper's best case is a single-LUT ring
+    /// (sampling precision `tstep_RO = d0_LUT`), which this defaults to.
+    pub stages: usize,
+    /// Accumulation time between samples.
+    pub t_a: Ps,
+    /// Device identity.
+    pub device: DeviceSeed,
+    /// Process-variation magnitudes.
+    pub process: ProcessVariation,
+}
+
+impl ElementaryConfig {
+    /// Best-case elementary TRNG (1-stage ring) with the given
+    /// accumulation time on the default Spartan-6 platform.
+    pub fn best_case(t_a: Ps) -> Self {
+        ElementaryConfig {
+            platform: PlatformParams::spartan6(),
+            stages: 1,
+            t_a,
+            device: DeviceSeed::new(0),
+            process: ProcessVariation::NONE,
+        }
+    }
+}
+
+/// A free-running ring oscillator sampled directly by the system clock.
+///
+/// # Examples
+///
+/// ```
+/// use trng_core::elementary::{ElementaryConfig, ElementaryTrng};
+/// use trng_fpga_sim::time::Ps;
+///
+/// // With a long accumulation time the bits are essentially fair.
+/// let cfg = ElementaryConfig::best_case(Ps::from_us(20.0));
+/// let mut trng = ElementaryTrng::new(cfg, 1).expect("valid");
+/// let bits = trng.generate(100);
+/// assert_eq!(bits.len(), 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ElementaryTrng {
+    oscillator: RingOscillator,
+    t: Ps,
+    t_a: Ps,
+}
+
+impl ElementaryTrng {
+    /// Builds the baseline TRNG.
+    ///
+    /// # Errors
+    ///
+    /// Returns the oscillator's validation message for invalid
+    /// configurations (even stage count, non-positive delays or
+    /// accumulation time).
+    pub fn new(config: ElementaryConfig, seed: u64) -> Result<Self, String> {
+        if config.t_a.as_ps() <= 0.0 {
+            return Err(format!(
+                "accumulation time must be positive, got {}",
+                config.t_a
+            ));
+        }
+        let ro_config = RingOscillatorConfig {
+            stages: config.stages,
+            stage_delay: Ps::from_ps(config.platform.d0_lut_ps),
+            noise: NoiseConfig::white_only(Ps::from_ps(config.platform.sigma_lut_ps)),
+            process: config.process,
+            device: config.device,
+            base_site: (0, 0),
+            history_window: Ps::from_ns(2.0),
+        };
+        let oscillator = RingOscillator::new(ro_config, SimRng::seed_from(seed))?;
+        Ok(ElementaryTrng {
+            oscillator,
+            t: Ps::ZERO,
+            t_a: config.t_a,
+        })
+    }
+
+    /// Sampling precision of this baseline: the ring half-period.
+    pub fn sampling_precision(&self) -> Ps {
+        self.oscillator.half_period()
+    }
+
+    /// Generates the next bit: advance `tA`, sample node 0.
+    pub fn next_bit(&mut self) -> bool {
+        self.t += self.t_a;
+        self.oscillator.advance_to(self.t);
+        self.oscillator.node(0).edge_train().level_at(self.t)
+    }
+
+    /// Generates `count` bits.
+    pub fn generate(&mut self, count: usize) -> Vec<bool> {
+        (0..count).map(|_| self.next_bit()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bias_of(bits: &[bool]) -> f64 {
+        let ones = bits.iter().filter(|&&b| b).count() as f64 / bits.len() as f64;
+        (ones - 0.5).abs()
+    }
+
+    fn flip_rate(bits: &[bool]) -> f64 {
+        bits.windows(2).filter(|w| w[0] != w[1]).count() as f64 / (bits.len() - 1) as f64
+    }
+
+    #[test]
+    fn long_accumulation_gives_fair_bits() {
+        // sigma_acc(20 us) = 2.6 * sqrt(2e7/480) ~ 530 ps > half-period
+        // 480 ps: the phase is fully randomized between samples.
+        let cfg = ElementaryConfig::best_case(Ps::from_us(20.0));
+        let mut trng = ElementaryTrng::new(cfg, 42).expect("valid");
+        let bits = trng.generate(4000);
+        assert!(bias_of(&bits) < 0.03, "bias {}", bias_of(&bits));
+        let fr = flip_rate(&bits);
+        assert!((fr - 0.5).abs() < 0.04, "flip rate {fr}");
+    }
+
+    #[test]
+    fn short_accumulation_is_predictable() {
+        // At tA = 100 ns, sigma_acc ~ 37 ps << 480 ps half-period:
+        // consecutive samples are strongly correlated (the phase barely
+        // diffuses relative to the deterministic drift pattern).
+        let cfg = ElementaryConfig {
+            // Pin the deterministic drift to zero: tA an exact multiple
+            // of the period (2 * d0 for a 1-stage ring).
+            platform: PlatformParams::new(100_000.0 / 208.0, 17.0, 2.6).expect("valid"),
+            ..ElementaryConfig::best_case(Ps::from_ns(100.0))
+        };
+        let mut trng = ElementaryTrng::new(cfg, 7).expect("valid");
+        let bits = trng.generate(2000);
+        // Few flips: the random walk (37 ps/step) rarely crosses the
+        // half-period-wide decision boundary.
+        assert!(flip_rate(&bits) < 0.3, "flip rate {}", flip_rate(&bits));
+    }
+
+    #[test]
+    fn sampling_precision_is_half_period() {
+        let cfg = ElementaryConfig::best_case(Ps::from_us(1.0));
+        let trng = ElementaryTrng::new(cfg, 0).expect("valid");
+        assert_eq!(trng.sampling_precision(), Ps::from_ps(480.0));
+        let cfg3 = ElementaryConfig {
+            stages: 3,
+            ..ElementaryConfig::best_case(Ps::from_us(1.0))
+        };
+        let trng3 = ElementaryTrng::new(cfg3, 0).expect("valid");
+        assert_eq!(trng3.sampling_precision(), Ps::from_ps(1440.0));
+    }
+
+    #[test]
+    fn reproducible_with_seed() {
+        let cfg = ElementaryConfig::best_case(Ps::from_us(5.0));
+        let mut a = ElementaryTrng::new(cfg.clone(), 9).expect("valid");
+        let mut b = ElementaryTrng::new(cfg, 9).expect("valid");
+        assert_eq!(a.generate(100), b.generate(100));
+    }
+
+    #[test]
+    fn rejects_zero_accumulation() {
+        let cfg = ElementaryConfig::best_case(Ps::ZERO);
+        assert!(ElementaryTrng::new(cfg, 0).is_err());
+    }
+
+    #[test]
+    fn rejects_even_ring() {
+        let cfg = ElementaryConfig {
+            stages: 2,
+            ..ElementaryConfig::best_case(Ps::from_us(1.0))
+        };
+        assert!(ElementaryTrng::new(cfg, 0).is_err());
+    }
+}

@@ -1,0 +1,139 @@
+//! Run-time XOR post-processing — Section 4.5.
+//!
+//! The hardware compressor XORs `np` consecutive raw bits into one
+//! output bit, improving entropy per bit (equations (6)–(7), modelled
+//! in [`trng_model::postprocess`]) at the cost of `np`× throughput.
+//! This module is the streaming implementation used on generated
+//! bitstreams.
+
+/// Streaming XOR compressor with rate `np`.
+///
+/// # Examples
+///
+/// ```
+/// use trng_core::postprocess::XorCompressor;
+///
+/// let mut c = XorCompressor::new(3);
+/// assert_eq!(c.push(true), None);
+/// assert_eq!(c.push(true), None);
+/// assert_eq!(c.push(false), Some(false)); // 1 ^ 1 ^ 0
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct XorCompressor {
+    np: u32,
+    acc: bool,
+    count: u32,
+}
+
+impl XorCompressor {
+    /// Creates a compressor with rate `np` (1 = pass-through).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `np == 0`.
+    pub fn new(np: u32) -> Self {
+        assert!(np >= 1, "compression rate must be at least 1");
+        XorCompressor {
+            np,
+            acc: false,
+            count: 0,
+        }
+    }
+
+    /// The compression rate.
+    pub fn rate(&self) -> u32 {
+        self.np
+    }
+
+    /// Feeds one raw bit; returns an output bit every `np` inputs.
+    pub fn push(&mut self, bit: bool) -> Option<bool> {
+        self.acc ^= bit;
+        self.count += 1;
+        if self.count == self.np {
+            let out = self.acc;
+            self.acc = false;
+            self.count = 0;
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    /// Discards any partial accumulator state.
+    pub fn reset(&mut self) {
+        self.acc = false;
+        self.count = 0;
+    }
+
+    /// Compresses a whole slice, discarding the trailing partial group.
+    pub fn compress(np: u32, bits: &[bool]) -> Vec<bool> {
+        let mut c = XorCompressor::new(np);
+        bits.iter().filter_map(|&b| c.push(b)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_one_is_passthrough() {
+        let bits = [true, false, true, true];
+        assert_eq!(XorCompressor::compress(1, &bits), bits.to_vec());
+    }
+
+    #[test]
+    fn parity_groups() {
+        // Groups of 2: (1,0) -> 1, (1,1) -> 0, trailing (1) dropped.
+        let bits = [true, false, true, true, true];
+        assert_eq!(XorCompressor::compress(2, &bits), vec![true, false]);
+    }
+
+    #[test]
+    fn streaming_matches_batch() {
+        let bits: Vec<bool> = (0..100).map(|i| (i * 7 + 3) % 5 < 2).collect();
+        for np in [1u32, 2, 3, 7, 13] {
+            let batch = XorCompressor::compress(np, &bits);
+            let mut c = XorCompressor::new(np);
+            let streamed: Vec<bool> = bits.iter().filter_map(|&b| c.push(b)).collect();
+            assert_eq!(batch, streamed, "np = {np}");
+        }
+    }
+
+    #[test]
+    fn reset_discards_partial_group() {
+        let mut c = XorCompressor::new(3);
+        assert_eq!(c.push(true), None);
+        c.reset();
+        assert_eq!(c.push(false), None);
+        assert_eq!(c.push(false), None);
+        assert_eq!(c.push(false), Some(false));
+    }
+
+    #[test]
+    fn compression_reduces_bias_statistically() {
+        // Independent 70/30 biased bits: the piling-up lemma predicts
+        // bias 2^2 * 0.2^3 = 0.032 after XOR-3, down from 0.2.
+        use trng_fpga_sim::rng::SimRng;
+        let mut rng = SimRng::seed_from(123);
+        let bits: Vec<bool> = (0..90_000).map(|_| rng.bernoulli(0.7)).collect();
+        let out = XorCompressor::compress(3, &bits);
+        let ones_pp = out.iter().filter(|&&b| b).count() as f64 / out.len() as f64;
+        assert!((ones_pp - 0.5).abs() < 0.045, "post bias {}", (ones_pp - 0.5).abs());
+        assert!((ones_pp - 0.5).abs() > 0.015, "post bias {}", (ones_pp - 0.5).abs());
+    }
+
+    #[test]
+    fn output_length_is_floor_division() {
+        let bits = vec![true; 20];
+        assert_eq!(XorCompressor::compress(7, &bits).len(), 2);
+        assert_eq!(XorCompressor::compress(21, &bits).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn rejects_zero_rate() {
+        let _ = XorCompressor::new(0);
+    }
+}

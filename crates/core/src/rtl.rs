@@ -1,0 +1,170 @@
+//! Bit-parallel ("RTL") implementation of the entropy extractor.
+//!
+//! The [`EntropyExtractor`](crate::extractor::EntropyExtractor) is the
+//! readable golden model; this module is the implementation a hardware
+//! designer would actually synthesize — delay-line words packed into
+//! `u64`s, the XOR stage as word-wise XOR, the edge detector as
+//! `x ^ (x >> 1)`, and the priority encoder as a trailing-zeros count.
+//! Equivalence against the golden model is property-tested
+//! (`tests/properties.rs` in this crate), mirroring RTL-vs-reference
+//! verification practice.
+//!
+//! Only `m ≤ 64` is supported (the paper uses 36); the golden model
+//! has no such limit.
+
+use crate::extractor::ExtractedBit;
+
+/// A packed delay-line capture: bit `j` of `word` is tap `j`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PackedWord {
+    /// Tap bits, LSB = tap 0.
+    pub word: u64,
+    /// Number of valid taps (`m ≤ 64`).
+    pub len: u32,
+}
+
+impl PackedWord {
+    /// Packs a boolean slice (tap 0 first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 64 taps are given.
+    pub fn pack(taps: &[bool]) -> Self {
+        assert!(taps.len() <= 64, "packed extractor supports at most 64 taps");
+        let mut word = 0u64;
+        for (j, &b) in taps.iter().enumerate() {
+            word |= u64::from(b) << j;
+        }
+        PackedWord {
+            word,
+            len: taps.len() as u32,
+        }
+    }
+}
+
+/// Bit-parallel extractor: XORs the packed lines, down-samples by `k`,
+/// detects the first edge and returns its position's parity.
+///
+/// Semantically identical to
+/// [`EntropyExtractor::extract`](crate::extractor::EntropyExtractor::extract)
+/// with the `Priority` bubble filter.
+///
+/// # Panics
+///
+/// Panics if the lines are empty, have unequal lengths, exceed 64
+/// taps, or the length is not a multiple of `k`.
+pub fn extract_packed(lines: &[PackedWord], k: u32) -> Option<ExtractedBit> {
+    assert!(!lines.is_empty(), "need at least one line");
+    let m = lines[0].len;
+    assert!(lines.iter().all(|l| l.len == m), "lines must have equal length");
+    assert!(k >= 1 && m.is_multiple_of(k), "length must be a multiple of k");
+
+    // Stage 1: word-wise XOR of all lines.
+    let mut x = 0u64;
+    for l in lines {
+        x ^= l.word;
+    }
+
+    // Down-sampling: keep taps k-1, 2k-1, ... (compress into low bits).
+    let (code, width) = if k == 1 {
+        (x, m)
+    } else {
+        let mut code = 0u64;
+        let w = m / k;
+        for l in 0..w {
+            let tap = (l + 1) * k - 1;
+            code |= (x >> tap & 1) << l;
+        }
+        (code, w)
+    };
+
+    // Stage 2: edge vector e[j] = code[j] ^ code[j+1] for j < width-1,
+    // computed in parallel; mask off the top.
+    if width < 2 {
+        return None;
+    }
+    let e = (code ^ (code >> 1)) & ((1u64 << (width - 1)) - 1);
+    if e == 0 {
+        return None;
+    }
+    let pos = e.trailing_zeros() as usize;
+    Some(ExtractedBit {
+        bit: pos.is_multiple_of(2),
+        edge_position: pos,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bubble::BubbleFilter;
+    use crate::extractor::EntropyExtractor;
+    use crate::snippet::Snippet;
+
+    fn bools(s: &str) -> Vec<bool> {
+        s.chars().map(|c| c == '1').collect()
+    }
+
+    #[test]
+    fn pack_round_trips() {
+        let taps = bools("1011001");
+        let p = PackedWord::pack(&taps);
+        assert_eq!(p.len, 7);
+        for (j, &b) in taps.iter().enumerate() {
+            assert_eq!(p.word >> j & 1 == 1, b, "tap {j}");
+        }
+    }
+
+    #[test]
+    fn matches_golden_model_on_simple_codes() {
+        let golden = EntropyExtractor::new(1, BubbleFilter::Priority);
+        for code in ["11100000", "10000000", "11000011", "11011000", "00000000"] {
+            let taps = bools(code);
+            let expected = golden.extract(&Snippet::new(vec![taps.clone()]));
+            let got = extract_packed(&[PackedWord::pack(&taps)], 1);
+            assert_eq!(got, expected, "code {code}");
+        }
+    }
+
+    #[test]
+    fn matches_golden_model_with_downsampling() {
+        let golden = EntropyExtractor::new(4, BubbleFilter::Priority);
+        let mut taps = vec![true; 20];
+        taps.extend(vec![false; 16]);
+        let expected = golden.extract(&Snippet::new(vec![taps.clone()]));
+        let got = extract_packed(&[PackedWord::pack(&taps)], 4);
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn multi_line_xor_matches() {
+        let golden = EntropyExtractor::new(1, BubbleFilter::Priority);
+        let a = bools("11110000");
+        let b = bools("00011111");
+        let c = bools("00000011");
+        let expected = golden.extract(&Snippet::new(vec![a.clone(), b.clone(), c.clone()]));
+        let got = extract_packed(
+            &[PackedWord::pack(&a), PackedWord::pack(&b), PackedWord::pack(&c)],
+            1,
+        );
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn no_edge_returns_none() {
+        assert_eq!(extract_packed(&[PackedWord::pack(&[true; 36])], 1), None);
+        assert_eq!(extract_packed(&[PackedWord::pack(&[false; 36])], 4), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 taps")]
+    fn rejects_oversized_lines() {
+        let _ = PackedWord::pack(&[true; 65]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of k")]
+    fn rejects_ragged_downsampling() {
+        let _ = extract_packed(&[PackedWord::pack(&[true; 10])], 4);
+    }
+}

@@ -1,0 +1,249 @@
+//! TDC data snippets and their classification — Figure 4.
+//!
+//! A *snippet* is the raw word captured by the `n` fast delay lines at
+//! one sampling instant: `n` lines of `m` bits each (`C_{i,j}` in the
+//! paper's Figure 5). The paper's Figure 4 illustrates the three
+//! phenomena the extractor must cope with:
+//!
+//! * **(a) regular sampling** — exactly one signal edge captured;
+//! * **(b) double edge** — the line delay exceeds the oscillator stage
+//!   delay, so a second edge enters the next line;
+//! * **(c) bubbles** — metastable flip-flops flip isolated bits near
+//!   the edge.
+//!
+//! [`Snippet::classify`] reproduces that taxonomy (plus the
+//! missed-edge case that drove the `m = 32 → 36` decision in
+//! Section 5.2), and [`Snippet`]'s `Display` renders the same
+//! oscilloscope-style picture as the figure.
+
+use core::fmt;
+
+/// The raw capture of all delay lines at one sampling instant.
+///
+/// Line `i` observes oscillator node `i`; within a line, tap 0 is the
+/// most recent instant (smallest look-back) and tap `m − 1` the oldest.
+///
+/// # Examples
+///
+/// ```
+/// use trng_core::snippet::{Snippet, SnippetKind};
+///
+/// // One clean edge in an 8-tap, 1-line snippet.
+/// let s = Snippet::new(vec![vec![true, true, true, false, false, false, false, false]]);
+/// assert_eq!(s.classify(), SnippetKind::Regular);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Snippet {
+    lines: Vec<Vec<bool>>,
+}
+
+/// Figure-4 taxonomy of a snippet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum SnippetKind {
+    /// Exactly one edge in the XOR-combined code — Figure 4 (a).
+    Regular,
+    /// More than one well-separated edge — Figure 4 (b).
+    DoubleEdge,
+    /// Isolated flipped bits adjacent to an edge — Figure 4 (c).
+    Bubbled,
+    /// No edge captured anywhere (the failure mode of `m = 32`).
+    NoEdge,
+}
+
+impl fmt::Display for SnippetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SnippetKind::Regular => "regular",
+            SnippetKind::DoubleEdge => "double edge",
+            SnippetKind::Bubbled => "bubbled",
+            SnippetKind::NoEdge => "no edge",
+        };
+        f.write_str(s)
+    }
+}
+
+impl Snippet {
+    /// Wraps raw line captures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no lines, any line is empty, or lines have
+    /// unequal lengths.
+    pub fn new(lines: Vec<Vec<bool>>) -> Self {
+        assert!(!lines.is_empty(), "snippet needs at least one line");
+        let m = lines[0].len();
+        assert!(m > 0, "lines must be non-empty");
+        assert!(
+            lines.iter().all(|l| l.len() == m),
+            "all lines must have equal length"
+        );
+        Snippet { lines }
+    }
+
+    /// Number of delay lines `n`.
+    pub fn num_lines(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Taps per line `m`.
+    pub fn taps_per_line(&self) -> usize {
+        self.lines[0].len()
+    }
+
+    /// Borrowed view of the raw lines.
+    pub fn lines(&self) -> &[Vec<bool>] {
+        &self.lines
+    }
+
+    /// The bit-wise XOR of all lines — the first stage of the entropy
+    /// extractor (Figure 5). Every oscillator transition inside the
+    /// observation window appears as one edge in this vector.
+    pub fn xor_vector(&self) -> Vec<bool> {
+        let m = self.taps_per_line();
+        let mut x = vec![false; m];
+        for line in &self.lines {
+            for (xj, &b) in x.iter_mut().zip(line) {
+                *xj ^= b;
+            }
+        }
+        x
+    }
+
+    /// Positions `j` where `xor_vector[j] != xor_vector[j+1]`, i.e. the
+    /// boundaries at which the combined code changes value.
+    pub fn edge_positions(&self) -> Vec<usize> {
+        let x = self.xor_vector();
+        x.windows(2)
+            .enumerate()
+            .filter_map(|(j, w)| (w[0] != w[1]).then_some(j))
+            .collect()
+    }
+
+    /// Classifies the snippet per Figure 4.
+    ///
+    /// Edges separated by exactly one tap are treated as one bubble
+    /// event (an isolated flipped bit), not as genuine double edges;
+    /// genuine double edges are ~`d0/tstep` ≈ 28 taps apart.
+    pub fn classify(&self) -> SnippetKind {
+        let edges = self.edge_positions();
+        match edges.len() {
+            0 => SnippetKind::NoEdge,
+            1 => SnippetKind::Regular,
+            _ => {
+                // Adjacent edge pairs (distance 1) indicate an isolated
+                // flipped bit: a bubble.
+                let has_bubble = edges.windows(2).any(|w| w[1] - w[0] == 1);
+                if has_bubble {
+                    SnippetKind::Bubbled
+                } else {
+                    SnippetKind::DoubleEdge
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Snippet {
+    /// Renders the snippet like Figure 4: one row per line, `1`/`0`
+    /// per tap, tap 0 leftmost.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, line) in self.lines.iter().enumerate() {
+            write!(f, "line {i}: ")?;
+            for &b in line {
+                f.write_str(if b { "1" } else { "0" })?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "xor   : ")?;
+        for b in self.xor_vector() {
+            f.write_str(if b { "1" } else { "0" })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits(s: &str) -> Vec<bool> {
+        s.chars().map(|c| c == '1').collect()
+    }
+
+    #[test]
+    fn regular_snippet() {
+        let s = Snippet::new(vec![bits("11100000")]);
+        assert_eq!(s.classify(), SnippetKind::Regular);
+        assert_eq!(s.edge_positions(), vec![2]);
+    }
+
+    #[test]
+    fn xor_combines_lines() {
+        // Two lines whose XOR has a single edge.
+        let s = Snippet::new(vec![bits("11110000"), bits("00011000")]);
+        assert_eq!(s.xor_vector(), bits("11101000"));
+        assert_eq!(s.num_lines(), 2);
+        assert_eq!(s.taps_per_line(), 8);
+    }
+
+    #[test]
+    fn double_edge_snippet() {
+        // Edges at positions 1 and 5 — well separated.
+        let s = Snippet::new(vec![bits("11000011")]);
+        assert_eq!(s.classify(), SnippetKind::DoubleEdge);
+        assert_eq!(s.edge_positions(), vec![1, 5]);
+    }
+
+    #[test]
+    fn bubbled_snippet() {
+        // Isolated flipped bit at position 2 next to the main edge at 4.
+        let s = Snippet::new(vec![bits("11011000")]);
+        // edges at 1,2 (around the bubble) and 4.
+        assert_eq!(s.classify(), SnippetKind::Bubbled);
+    }
+
+    #[test]
+    fn no_edge_snippet() {
+        let s = Snippet::new(vec![bits("11111111")]);
+        assert_eq!(s.classify(), SnippetKind::NoEdge);
+        let s = Snippet::new(vec![bits("0000")]);
+        assert_eq!(s.classify(), SnippetKind::NoEdge);
+    }
+
+    #[test]
+    fn all_ones_xor_of_two_constant_lines_has_no_edge() {
+        let s = Snippet::new(vec![bits("1111"), bits("0000")]);
+        assert_eq!(s.classify(), SnippetKind::NoEdge);
+    }
+
+    #[test]
+    fn display_renders_figure4_style() {
+        let s = Snippet::new(vec![bits("1100"), bits("0010")]);
+        let out = format!("{s}");
+        assert!(out.contains("line 0: 1100"));
+        assert!(out.contains("line 1: 0010"));
+        assert!(out.contains("xor   : 1110"));
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(format!("{}", SnippetKind::Regular), "regular");
+        assert_eq!(format!("{}", SnippetKind::DoubleEdge), "double edge");
+        assert_eq!(format!("{}", SnippetKind::Bubbled), "bubbled");
+        assert_eq!(format!("{}", SnippetKind::NoEdge), "no edge");
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn rejects_ragged_lines() {
+        let _ = Snippet::new(vec![bits("110"), bits("11")]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one line")]
+    fn rejects_empty() {
+        let _ = Snippet::new(vec![]);
+    }
+}

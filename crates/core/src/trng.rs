@@ -1,0 +1,593 @@
+//! The carry-chain TRNG — the paper's complete design (Figures 2/3/5).
+//!
+//! [`CarryChainTrng`] wires together the simulated substrate and the
+//! extractor exactly like the hardware: a free-running `n`-stage ring
+//! oscillator whose every node feeds a fast tapped delay line; on each
+//! sampling clock edge (every `N_A` system-clock periods, i.e. every
+//! `tA`), all lines capture simultaneously and the entropy extractor
+//! decodes one raw bit from the first edge position.
+
+use trng_fpga_sim::delay_line::TappedDelayLine;
+use trng_fpga_sim::fabric::Fabric;
+use trng_fpga_sim::noise::{AttackInjection, FlickerParams, GlobalModulation, NoiseConfig};
+use trng_fpga_sim::placement::{PlacementError, TrngPlacement};
+use trng_fpga_sim::primitives::CaptureFf;
+use trng_fpga_sim::process::{DeviceSeed, ProcessVariation};
+use trng_fpga_sim::ring_oscillator::{RingOscillator, RingOscillatorConfig};
+use trng_fpga_sim::rng::SimRng;
+use trng_fpga_sim::time::Ps;
+use trng_model::params::{DesignParams, ParamError, PlatformParams};
+
+use crate::bubble::BubbleFilter;
+use crate::extractor::{EntropyExtractor, ExtractedBit};
+use crate::snippet::{Snippet, SnippetKind};
+
+use core::fmt;
+use std::error::Error;
+
+/// Full configuration of a simulated TRNG instance.
+#[derive(Debug, Clone)]
+pub struct TrngConfig {
+    /// Platform parameters (drive the simulator's physics).
+    pub platform: PlatformParams,
+    /// Design parameters (n, m, k, f_CLK, N_A, np).
+    pub design: DesignParams,
+    /// Bubble-filter strategy of the extractor.
+    pub bubble_filter: BubbleFilter,
+    /// Device identity (freezes process variation).
+    pub device: DeviceSeed,
+    /// Process-variation magnitudes.
+    pub process: ProcessVariation,
+    /// Fabric geometry.
+    pub fabric: Fabric,
+    /// First carry column of the delay lines.
+    pub start_column: u32,
+    /// First slice row of the delay lines.
+    pub first_row: u32,
+    /// Optional flicker noise.
+    pub flicker: Option<FlickerParams>,
+    /// Optional global supply/temperature modulation.
+    pub global: Option<GlobalModulation>,
+    /// Optional attacker injection.
+    pub attack: Option<AttackInjection>,
+    /// Use ideal delay lines (no DNL, skew or metastability).
+    ///
+    /// Turns the simulation into the paper's *model* assumptions
+    /// exactly — used to validate equation (3) against simulation.
+    pub ideal_tdc: bool,
+    /// Flip-flop metastability half-aperture (ignored when
+    /// `ideal_tdc`).
+    pub meta_window: Ps,
+}
+
+impl TrngConfig {
+    /// The paper's `k = 1` configuration on the default device.
+    pub fn paper_k1() -> Self {
+        TrngConfig {
+            platform: PlatformParams::spartan6(),
+            design: DesignParams::paper_k1(),
+            bubble_filter: BubbleFilter::Priority,
+            device: DeviceSeed::new(0),
+            process: ProcessVariation::default(),
+            fabric: Fabric::spartan6(),
+            start_column: 4,
+            first_row: 1,
+            flicker: Some(FlickerParams::default()),
+            global: None,
+            attack: None,
+            ideal_tdc: false,
+            // Wide enough that adjacent-tap apertures overlap on narrow
+            // CARRY4 bins, reproducing Figure 4 (c) bubbles; see
+            // `CaptureFf::default`.
+            meta_window: Ps::from_ps(9.0),
+        }
+    }
+
+    /// The paper's `k = 4` configuration (tA = 50 ns, np = 13).
+    pub fn paper_k4() -> Self {
+        TrngConfig {
+            design: DesignParams::paper_k4(),
+            ..TrngConfig::paper_k1()
+        }
+    }
+
+    /// An idealized instance matching the stochastic model exactly:
+    /// no process variation, no flicker, ideal TDC.
+    pub fn ideal() -> Self {
+        TrngConfig {
+            process: ProcessVariation::NONE,
+            flicker: None,
+            ideal_tdc: true,
+            meta_window: Ps::ZERO,
+            ..TrngConfig::paper_k1()
+        }
+    }
+
+    /// Sets the design, builder-style.
+    pub fn with_design(mut self, design: DesignParams) -> Self {
+        self.design = design;
+        self
+    }
+
+    /// Sets the device seed, builder-style.
+    pub fn with_device(mut self, device: DeviceSeed) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// Sets the bubble filter, builder-style.
+    pub fn with_bubble_filter(mut self, filter: BubbleFilter) -> Self {
+        self.bubble_filter = filter;
+        self
+    }
+
+    fn noise(&self) -> NoiseConfig {
+        let mut noise = NoiseConfig::white_only(Ps::from_ps(self.platform.sigma_lut_ps));
+        noise.flicker = self.flicker;
+        noise.global = self.global.clone();
+        noise.attack = self.attack;
+        noise
+    }
+}
+
+impl Default for TrngConfig {
+    fn default() -> Self {
+        TrngConfig::paper_k1()
+    }
+}
+
+/// Errors building a [`CarryChainTrng`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildTrngError {
+    /// Design parameters inconsistent with the platform.
+    Params(ParamError),
+    /// Placement violates fabric constraints.
+    Placement(PlacementError),
+    /// Ring-oscillator configuration rejected.
+    Oscillator(String),
+}
+
+impl fmt::Display for BuildTrngError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildTrngError::Params(e) => write!(f, "invalid design parameters: {e}"),
+            BuildTrngError::Placement(e) => write!(f, "invalid placement: {e}"),
+            BuildTrngError::Oscillator(e) => write!(f, "invalid oscillator: {e}"),
+        }
+    }
+}
+
+impl Error for BuildTrngError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BuildTrngError::Params(e) => Some(e),
+            BuildTrngError::Placement(e) => Some(e),
+            BuildTrngError::Oscillator(_) => None,
+        }
+    }
+}
+
+impl From<ParamError> for BuildTrngError {
+    fn from(e: ParamError) -> Self {
+        BuildTrngError::Params(e)
+    }
+}
+
+impl From<PlacementError> for BuildTrngError {
+    fn from(e: PlacementError) -> Self {
+        BuildTrngError::Placement(e)
+    }
+}
+
+/// Per-run statistics of a TRNG instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TrngStats {
+    /// Total snippets sampled.
+    pub samples: u64,
+    /// Snippets with no detectable edge (Section 5.2 failure mode).
+    pub missed_edges: u64,
+    /// Regular snippets (Figure 4 (a)).
+    pub regular: u64,
+    /// Double-edge snippets (Figure 4 (b)).
+    pub double_edge: u64,
+    /// Bubbled snippets (Figure 4 (c)).
+    pub bubbled: u64,
+}
+
+impl TrngStats {
+    /// Fraction of samples whose edge was missed.
+    pub fn missed_edge_rate(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.missed_edges as f64 / self.samples as f64
+        }
+    }
+}
+
+/// The complete simulated carry-chain TRNG.
+///
+/// # Examples
+///
+/// ```
+/// use trng_core::trng::{CarryChainTrng, TrngConfig};
+///
+/// let mut trng = CarryChainTrng::new(TrngConfig::paper_k1(), 2015)?;
+/// let raw: Vec<bool> = trng.generate_raw(64);
+/// assert_eq!(raw.len(), 64);
+/// // Post-processed output applies the design's np = 7 XOR compression.
+/// let out = trng.generate_postprocessed(8);
+/// assert_eq!(out.len(), 8);
+/// # Ok::<(), trng_core::trng::BuildTrngError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CarryChainTrng {
+    config: TrngConfig,
+    oscillator: RingOscillator,
+    lines: Vec<TappedDelayLine>,
+    extractor: EntropyExtractor,
+    rng: SimRng,
+    t: Ps,
+    t_a: Ps,
+    stats: TrngStats,
+}
+
+impl CarryChainTrng {
+    /// Builds a TRNG instance with a reproducible simulation seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildTrngError`] if the design is inconsistent with
+    /// the platform, the placement violates fabric constraints, or the
+    /// oscillator configuration is invalid.
+    pub fn new(config: TrngConfig, seed: u64) -> Result<Self, BuildTrngError> {
+        config.design.validate(&config.platform)?;
+        let mut rng = SimRng::seed_from(seed);
+
+        let n = config.design.n;
+        let m = config.design.m;
+        let tstep = Ps::from_ps(config.platform.tstep_ps);
+
+        // Place the design (even for ideal TDC: placement is still
+        // validated so resource accounting stays meaningful).
+        let placement = TrngPlacement::auto(
+            &config.fabric,
+            n,
+            m,
+            config.start_column,
+            config.first_row,
+        )?;
+
+        // History must cover the longest line look-back plus a safety
+        // margin for DNL (bins up to ~1.5x nominal) and clock skew.
+        let history = Ps::from_ps(config.platform.tstep_ps * m as f64 * 2.0 + 500.0);
+
+        let ro_config = RingOscillatorConfig {
+            stages: n,
+            stage_delay: Ps::from_ps(config.platform.d0_lut_ps),
+            noise: config.noise(),
+            process: config.process,
+            device: config.device,
+            base_site: (
+                u64::from(placement.oscillator_site(0).x),
+                u64::from(placement.oscillator_site(0).y),
+            ),
+            history_window: history,
+        };
+        let oscillator = RingOscillator::new(ro_config, rng.fork())
+            .map_err(BuildTrngError::Oscillator)?;
+
+        let lines: Vec<TappedDelayLine> = (0..n)
+            .map(|i| {
+                if config.ideal_tdc {
+                    TappedDelayLine::ideal(m, tstep)
+                } else {
+                    let site = placement.carry4_site(i, 0);
+                    TappedDelayLine::placed(
+                        tstep,
+                        config.device,
+                        &config.process,
+                        &config.fabric,
+                        site.x,
+                        site.y,
+                        placement.carry4s_per_line,
+                        CaptureFf::new(config.meta_window),
+                    )
+                }
+            })
+            .collect();
+
+        let extractor = EntropyExtractor::new(config.design.k, config.bubble_filter);
+        let t_a = Ps::from_ps(config.design.t_a_ps());
+
+        Ok(CarryChainTrng {
+            config,
+            oscillator,
+            lines,
+            extractor,
+            rng,
+            t: Ps::ZERO,
+            t_a,
+            stats: TrngStats::default(),
+        })
+    }
+
+    /// The configuration this instance was built with.
+    pub fn config(&self) -> &TrngConfig {
+        &self.config
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &TrngStats {
+        &self.stats
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Ps {
+        self.t
+    }
+
+    /// Advances one accumulation interval and captures the raw snippet.
+    pub fn sample_snippet(&mut self) -> Snippet {
+        self.t += self.t_a;
+        self.oscillator.advance_to(self.t);
+        let words: Vec<Vec<bool>> = (0..self.config.design.n)
+            .map(|i| {
+                let node = self.oscillator.node(i);
+                self.lines[i].sample(&node, self.t, &mut self.rng)
+            })
+            .collect();
+        let snippet = Snippet::new(words);
+        self.stats.samples += 1;
+        match snippet.classify() {
+            SnippetKind::Regular => self.stats.regular += 1,
+            SnippetKind::DoubleEdge => self.stats.double_edge += 1,
+            SnippetKind::Bubbled => self.stats.bubbled += 1,
+            SnippetKind::NoEdge => {}
+        }
+        snippet
+    }
+
+    /// Generates one raw bit with full decode information.
+    ///
+    /// `None` means the edge was missed (counted in
+    /// [`TrngStats::missed_edges`]); the hardware would emit the
+    /// priority encoder's default in that case — see
+    /// [`CarryChainTrng::next_raw_bit`].
+    pub fn next_extracted(&mut self) -> Option<ExtractedBit> {
+        let snippet = self.sample_snippet();
+        let out = self.extractor.extract(&snippet);
+        if out.is_none() {
+            self.stats.missed_edges += 1;
+        }
+        out
+    }
+
+    /// Generates one raw bit.
+    ///
+    /// On a missed edge the hardware priority encoder outputs position
+    /// 0, so the bit is `true` (even-position parity); the miss is
+    /// counted in [`TrngStats`].
+    pub fn next_raw_bit(&mut self) -> bool {
+        self.next_extracted().is_none_or(|e| e.bit)
+    }
+
+    /// Generates `count` raw (pre-compression) bits.
+    pub fn generate_raw(&mut self, count: usize) -> Vec<bool> {
+        (0..count).map(|_| self.next_raw_bit()).collect()
+    }
+
+    /// Generates `count` post-processed bits using the design's XOR
+    /// compression rate `np` (each output bit consumes `np` raw bits).
+    pub fn generate_postprocessed(&mut self, count: usize) -> Vec<bool> {
+        let np = self.config.design.np;
+        (0..count)
+            .map(|_| {
+                let mut acc = false;
+                for _ in 0..np {
+                    acc ^= self.next_raw_bit();
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// An iterator over raw bits (borrows the generator).
+    pub fn raw_bits(&mut self) -> RawBits<'_> {
+        RawBits { trng: self }
+    }
+}
+
+/// Iterator over raw bits of a [`CarryChainTrng`].
+#[derive(Debug)]
+pub struct RawBits<'a> {
+    trng: &'a mut CarryChainTrng,
+}
+
+impl Iterator for RawBits<'_> {
+    type Item = bool;
+
+    fn next(&mut self) -> Option<bool> {
+        Some(self.trng.next_raw_bit())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_k1_generates_balanced_bits() {
+        let mut trng = CarryChainTrng::new(TrngConfig::paper_k1(), 1).expect("build");
+        let bits = trng.generate_raw(4000);
+        let ones = bits.iter().filter(|&&b| b).count() as f64 / bits.len() as f64;
+        // H_RAW ~ 0.99 -> worst-case model bias ~ 0.06, but the CARRY4
+        // structural DNL adds a parity imbalance of ~0.1 (this is the
+        // non-linearity that makes the paper compress with np = 7).
+        assert!((ones - 0.5).abs() < 0.16, "ones fraction {ones}");
+        assert_eq!(trng.stats().samples, 4000);
+        // m = 36 never misses the edge (Section 5.2).
+        assert_eq!(trng.stats().missed_edges, 0);
+    }
+
+    #[test]
+    fn ideal_instance_matches_model_entropy_roughly() {
+        // With an ideal TDC and no coloured noise, the bit probability
+        // tracks eq (3); at tA = 20 ns the bits are essentially fair.
+        let cfg = TrngConfig::ideal().with_design(DesignParams {
+            n_a: 2,
+            ..DesignParams::paper_k1()
+        });
+        let mut trng = CarryChainTrng::new(cfg, 7).expect("build");
+        let bits = trng.generate_raw(6000);
+        let ones = bits.iter().filter(|&&b| b).count() as f64 / bits.len() as f64;
+        assert!((ones - 0.5).abs() < 0.05, "ones fraction {ones}");
+    }
+
+    #[test]
+    fn k4_low_ta_is_heavily_biased_or_sticky() {
+        // Table 1: k = 4, tA = 10 ns has H_RAW = 0.03. To expose the
+        // low entropy directly, pin the deterministic phase drift to
+        // zero by making tA an exact multiple of the stage delay
+        // (d0 = 10 ns / 21); the edge position then only moves by the
+        // accumulated jitter (~9 ps/sample), far less than the 68 ps
+        // combined bin, so consecutive bits rarely flip.
+        let mut cfg = TrngConfig::ideal().with_design(DesignParams {
+            k: 4,
+            n_a: 1,
+            np: 1,
+            ..DesignParams::paper_k4()
+        });
+        cfg.platform =
+            PlatformParams::new(10_000.0 / 21.0, 17.0, 2.6).expect("valid platform");
+        let mut trng = CarryChainTrng::new(cfg, 3).expect("build");
+        let bits = trng.generate_raw(2000);
+        // Count bit flips: a healthy source flips ~50 %, this one far less.
+        let flips = bits.windows(2).filter(|w| w[0] != w[1]).count() as f64
+            / (bits.len() - 1) as f64;
+        assert!(flips < 0.25, "flip rate {flips}");
+    }
+
+    #[test]
+    fn sample_snippet_classification_accumulates() {
+        let mut trng = CarryChainTrng::new(TrngConfig::paper_k1(), 11).expect("build");
+        for _ in 0..500 {
+            let _ = trng.sample_snippet();
+        }
+        let s = trng.stats();
+        assert_eq!(s.samples, 500);
+        // Classified kinds never exceed the sample count (the remainder
+        // are no-edge snippets, none expected at m = 36).
+        assert!(s.regular + s.double_edge + s.bubbled <= 500);
+        // Regular sampling dominates (Figure 4 (a) is "most cases").
+        assert!(s.regular > 250, "regular {}", s.regular);
+    }
+
+    #[test]
+    fn postprocessed_output_is_less_biased() {
+        let cfg = TrngConfig::ideal().with_design(DesignParams {
+            k: 4,
+            n_a: 5,
+            np: 13,
+            ..DesignParams::paper_k4()
+        });
+        let mut trng = CarryChainTrng::new(cfg, 5).expect("build");
+        let bits = trng.generate_postprocessed(2000);
+        let ones = bits.iter().filter(|&&b| b).count() as f64 / bits.len() as f64;
+        assert!((ones - 0.5).abs() < 0.05, "ones fraction {ones}");
+    }
+
+    #[test]
+    fn missed_edges_appear_with_short_lines() {
+        // m = 32 on a device with a slow LUT: the paper observed 0.8 %
+        // missed edges and attributed them to LUTs slower than the
+        // average d0. Find a fabricated device whose slowest stage
+        // delay exceeds the 32-bin window (544 ps nominal), then show
+        // the edge is sometimes missed on exactly that device.
+        let process = ProcessVariation::new(0.08, 0.06, 0.01);
+        let placement_x = 4u64; // oscillator sites are (4, 0), (6, 0), (8, 0)
+        let slow_device = (0..5000u64)
+            .map(DeviceSeed::new)
+            .find(|&dev| {
+                (0..3).any(|i| {
+                    process.delay_multiplier(dev, placement_x + 2 * i, 0) > 544.0 / 480.0 + 0.01
+                })
+            })
+            .expect("a device with a slow LUT exists among 5000");
+        let cfg = TrngConfig {
+            device: slow_device,
+            process,
+            ..TrngConfig::paper_k1()
+        }
+        .with_design(DesignParams {
+            m: 32,
+            ..DesignParams::paper_k1()
+        });
+        let mut trng = CarryChainTrng::new(cfg, 17).expect("build");
+        let _ = trng.generate_raw(3000);
+        let rate = trng.stats().missed_edge_rate();
+        assert!(rate > 0.0, "expected some missed edges at m = 32");
+        assert!(rate < 0.2, "missed-edge rate implausibly high: {rate}");
+    }
+
+    #[test]
+    fn m36_never_misses() {
+        for dev in 0..4 {
+            let cfg = TrngConfig {
+                device: DeviceSeed::new(dev),
+                ..TrngConfig::paper_k1()
+            };
+            let mut trng = CarryChainTrng::new(cfg, dev).expect("build");
+            let _ = trng.generate_raw(500);
+            assert_eq!(trng.stats().missed_edges, 0, "device {dev}");
+        }
+    }
+
+    #[test]
+    fn build_errors_are_reported() {
+        let bad = TrngConfig::paper_k1().with_design(DesignParams {
+            m: 28,
+            ..DesignParams::paper_k1()
+        });
+        assert!(matches!(
+            CarryChainTrng::new(bad, 0),
+            Err(BuildTrngError::Params(_))
+        ));
+        let bad = TrngConfig {
+            start_column: 5, // odd column: no carry chain
+            ..TrngConfig::paper_k1()
+        };
+        assert!(matches!(
+            CarryChainTrng::new(bad, 0),
+            Err(BuildTrngError::Placement(_))
+        ));
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let mut a = CarryChainTrng::new(TrngConfig::paper_k1(), 99).expect("build");
+        let mut b = CarryChainTrng::new(TrngConfig::paper_k1(), 99).expect("build");
+        assert_eq!(a.generate_raw(200), b.generate_raw(200));
+        let mut c = CarryChainTrng::new(TrngConfig::paper_k1(), 100).expect("build");
+        assert_ne!(a.generate_raw(200), c.generate_raw(200));
+    }
+
+    #[test]
+    fn raw_bits_iterator_yields() {
+        let mut trng = CarryChainTrng::new(TrngConfig::paper_k1(), 1).expect("build");
+        let v: Vec<bool> = trng.raw_bits().take(32).collect();
+        assert_eq!(v.len(), 32);
+    }
+
+    #[test]
+    fn stats_missed_edge_rate() {
+        let s = TrngStats {
+            samples: 1000,
+            missed_edges: 8,
+            ..TrngStats::default()
+        };
+        assert!((s.missed_edge_rate() - 0.008).abs() < 1e-12);
+        assert_eq!(TrngStats::default().missed_edge_rate(), 0.0);
+    }
+}

@@ -1,0 +1,350 @@
+//! Fast tapped delay line — the time-to-digital converter.
+//!
+//! Figure 3 of the paper: a chain of fast buffers (carry-chain stages)
+//! with a flip-flop on every tap. On the sampling clock edge, tap `j`
+//! has seen the input signal as it was `D_j` earlier, where `D_j` is
+//! the accumulated chain delay to that tap, so the captured word is a
+//! time-reversed snapshot of the input waveform with ~`tstep`
+//! resolution.
+//!
+//! Non-idealities modelled (all frozen per device):
+//!
+//! * bin widths vary — CARRY4 structural DNL + process variation
+//!   ([`Carry4`]);
+//! * capture flip-flops in different slices see slightly different
+//!   clock arrival times; crossing a 16-row clock-region boundary adds
+//!   a step of several ps ([`Fabric::clock_skew`]) — the dominant
+//!   non-linearity per Menninga et al. \[6\];
+//! * flip-flops go metastable near edges, producing bubbles
+//!   ([`CaptureFf`]).
+
+use crate::edge_train::SignalSource;
+use crate::fabric::{Fabric, SliceCoord};
+use crate::primitives::{Carry4, CaptureFf, CARRY4_BINS};
+use crate::process::{DeviceSeed, ProcessVariation};
+use crate::rng::SimRng;
+use crate::time::Ps;
+
+/// A placed tapped delay line with `m` capture taps.
+///
+/// # Examples
+///
+/// ```
+/// use trng_fpga_sim::delay_line::TappedDelayLine;
+/// use trng_fpga_sim::edge_train::EdgeTrain;
+/// use trng_fpga_sim::rng::SimRng;
+/// use trng_fpga_sim::time::Ps;
+///
+/// let line = TappedDelayLine::ideal(36, Ps::from_ps(17.0));
+/// let mut signal = EdgeTrain::new(false, Ps::ZERO);
+/// signal.push(Ps::from_ps(700.0)); // rising edge
+/// let mut rng = SimRng::seed_from(0);
+/// // Sample at t=1000: taps looking back more than 300 ps see 'false'.
+/// let word = line.sample(&signal, Ps::from_ps(1000.0), &mut rng);
+/// assert_eq!(word.len(), 36);
+/// assert!(word[0]);          // looks back 17 ps -> after the edge
+/// assert!(!word[35]);        // looks back 612 ps -> before the edge
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TappedDelayLine {
+    bin_widths: Vec<Ps>,
+    /// `cum_delay[j] = w_0 + ... + w_j`: look-back of tap `j`.
+    cum_delay: Vec<Ps>,
+    /// Per-tap capture-clock arrival offset.
+    capture_skew: Vec<Ps>,
+    ff: CaptureFf,
+}
+
+impl TappedDelayLine {
+    /// An ideal line: `m` equal bins of `tstep`, zero skew, ideal FFs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `tstep` is not strictly positive.
+    pub fn ideal(m: usize, tstep: Ps) -> Self {
+        assert!(m > 0, "delay line needs at least one tap");
+        assert!(tstep.as_ps() > 0.0, "tstep must be positive, got {tstep}");
+        Self::from_bins(vec![tstep; m], vec![Ps::ZERO; m], CaptureFf::ideal())
+    }
+
+    /// Builds a line from explicit bin widths, skews and FF model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors are empty, have mismatched lengths, or any
+    /// width is non-positive.
+    pub fn from_bins(bin_widths: Vec<Ps>, capture_skew: Vec<Ps>, ff: CaptureFf) -> Self {
+        assert!(!bin_widths.is_empty(), "delay line needs at least one tap");
+        assert_eq!(
+            bin_widths.len(),
+            capture_skew.len(),
+            "bin widths and skews must have equal length"
+        );
+        let mut cum = Vec::with_capacity(bin_widths.len());
+        let mut acc = Ps::ZERO;
+        for &w in &bin_widths {
+            assert!(w.as_ps() > 0.0, "bin width must be positive, got {w}");
+            acc += w;
+            cum.push(acc);
+        }
+        TappedDelayLine {
+            bin_widths,
+            cum_delay: cum,
+            capture_skew,
+            ff,
+        }
+    }
+
+    /// Builds a chain of `num_carry4` CARRY4 primitives in `column`
+    /// starting at `first_row`, with per-slice clock skew from the
+    /// fabric model and the given flip-flop model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_carry4 == 0` or `tstep` is not positive.
+    #[allow(clippy::too_many_arguments)] // mirrors the physical parameter list
+    pub fn placed(
+        tstep: Ps,
+        device: DeviceSeed,
+        variation: &ProcessVariation,
+        fabric: &Fabric,
+        column: u32,
+        first_row: u32,
+        num_carry4: u32,
+        ff: CaptureFf,
+    ) -> Self {
+        assert!(num_carry4 > 0, "delay line needs at least one CARRY4");
+        let m = num_carry4 as usize * CARRY4_BINS;
+        let mut widths = Vec::with_capacity(m);
+        let mut skews = Vec::with_capacity(m);
+        for c in 0..num_carry4 {
+            let row = first_row + c;
+            let c4 = Carry4::placed(tstep, device, variation, u64::from(column), u64::from(row));
+            let slice_skew = fabric.clock_skew(device, variation, SliceCoord::new(column, row));
+            for w in c4.bin_widths() {
+                widths.push(w);
+                skews.push(slice_skew);
+            }
+        }
+        Self::from_bins(widths, skews, ff)
+    }
+
+    /// Number of taps `m`.
+    pub fn len(&self) -> usize {
+        self.bin_widths.len()
+    }
+
+    /// `true` if the line has no taps (never: constructors forbid it).
+    pub fn is_empty(&self) -> bool {
+        self.bin_widths.is_empty()
+    }
+
+    /// Width of bin `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn bin_width(&self, j: usize) -> Ps {
+        self.bin_widths[j]
+    }
+
+    /// All bin widths.
+    pub fn bin_widths(&self) -> &[Ps] {
+        &self.bin_widths
+    }
+
+    /// Mean bin width (the effective `tstep`).
+    pub fn mean_bin_width(&self) -> Ps {
+        self.cum_delay[self.len() - 1] / self.len() as f64
+    }
+
+    /// Total propagation delay of the chain (`D_m`): the observation
+    /// window. The paper requires `m · tstep > d0` so an edge is always
+    /// captured.
+    pub fn total_delay(&self) -> Ps {
+        self.cum_delay[self.len() - 1]
+    }
+
+    /// Differential non-linearity of bin `j` in LSB units:
+    /// `w_j / mean(w) − 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn dnl(&self, j: usize) -> f64 {
+        self.bin_widths[j] / self.mean_bin_width() - 1.0
+    }
+
+    /// The effective observation instant of tap `j` for a sample taken
+    /// at `t_sample`: `t_sample + skew_j − D_j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn tap_instant(&self, t_sample: Ps, j: usize) -> Ps {
+        t_sample + self.capture_skew[j] - self.cum_delay[j]
+    }
+
+    /// Captures the signal into all `m` flip-flops at clock edge
+    /// `t_sample`, returning the raw word (tap 0 first — the tap
+    /// closest in time to the clock edge).
+    ///
+    /// The signal must have history covering
+    /// `[t_sample − total_delay − max skew, t_sample]`.
+    pub fn sample<S: SignalSource + ?Sized>(
+        &self,
+        signal: &S,
+        t_sample: Ps,
+        rng: &mut SimRng,
+    ) -> Vec<bool> {
+        (0..self.len())
+            .map(|j| self.ff.capture(signal, self.tap_instant(t_sample, j), rng))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge_train::EdgeTrain;
+
+    fn rising_edge_at(t: f64) -> EdgeTrain {
+        let mut s = EdgeTrain::new(false, Ps::ZERO);
+        s.push(Ps::from_ps(t));
+        s
+    }
+
+    #[test]
+    fn ideal_line_produces_thermometer_code() {
+        let line = TappedDelayLine::ideal(36, Ps::from_ps(17.0));
+        let signal = rising_edge_at(700.0);
+        let mut rng = SimRng::seed_from(0);
+        let word = line.sample(&signal, Ps::from_ps(1000.0), &mut rng);
+        // Tap j sees the signal at 1000 - 17*(j+1); edge at 700 ->
+        // taps 0..=16 (look-back <= 289 < 300) see true, rest false.
+        let ones: usize = word.iter().filter(|&&b| b).count();
+        assert_eq!(ones, 17);
+        assert!(word[..17].iter().all(|&b| b));
+        assert!(word[17..].iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn edge_position_moves_with_signal() {
+        let line = TappedDelayLine::ideal(36, Ps::from_ps(17.0));
+        let mut rng = SimRng::seed_from(0);
+        let w1 = line.sample(&rising_edge_at(700.0), Ps::from_ps(1000.0), &mut rng);
+        let w2 = line.sample(&rising_edge_at(750.0), Ps::from_ps(1000.0), &mut rng);
+        let p1 = w1.iter().position(|&b| !b).unwrap();
+        let p2 = w2.iter().position(|&b| !b).unwrap();
+        // Later edge -> smaller look-back reach -> fewer leading ones:
+        // edge at 750: tap j sees true iff 1000 - 17(j+1) >= 750, i.e.
+        // j <= 13, so the first false tap is index 14.
+        assert_eq!(p1, 17);
+        assert_eq!(p2, 14);
+    }
+
+    #[test]
+    fn total_delay_and_mean_width() {
+        let line = TappedDelayLine::ideal(36, Ps::from_ps(17.0));
+        assert!((line.total_delay().as_ps() - 612.0).abs() < 1e-9);
+        assert!((line.mean_bin_width().as_ps() - 17.0).abs() < 1e-12);
+        assert_eq!(line.len(), 36);
+        assert!(!line.is_empty());
+        assert_eq!(line.dnl(0), 0.0);
+    }
+
+    #[test]
+    fn placed_line_reflects_carry4_structure() {
+        let fabric = Fabric::spartan6();
+        let line = TappedDelayLine::placed(
+            Ps::from_ps(17.0),
+            DeviceSeed::new(1),
+            &ProcessVariation::NONE,
+            &fabric,
+            4,
+            1,
+            9,
+            CaptureFf::ideal(),
+        );
+        assert_eq!(line.len(), 36);
+        // Structural pattern repeats every 4 bins; DNL of bin 0 = +0.35.
+        assert!((line.dnl(0) - 0.35).abs() < 1e-9);
+        assert!((line.dnl(1) + 0.20).abs() < 1e-9);
+        assert!((line.dnl(4) - 0.35).abs() < 1e-9);
+        // Zero-mean pattern preserves the total delay.
+        assert!((line.total_delay().as_ps() - 612.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clock_region_crossing_adds_skew_step() {
+        let fabric = Fabric::spartan6();
+        // Chain from row 12 to 20 crosses the boundary at row 16.
+        let line = TappedDelayLine::placed(
+            Ps::from_ps(17.0),
+            DeviceSeed::new(2),
+            &ProcessVariation::NONE,
+            &fabric,
+            4,
+            12,
+            9,
+            CaptureFf::ideal(),
+        );
+        // Taps 0..16 (rows 12..15) share one skew; taps 16.. have another.
+        let skew_a = line.capture_skew[0];
+        let skew_b = line.capture_skew[16];
+        assert_eq!(line.capture_skew[15], skew_a);
+        assert_ne!(skew_a, skew_b);
+    }
+
+    #[test]
+    fn metastable_ff_produces_bubbles_near_edge() {
+        let widths = vec![Ps::from_ps(17.0); 36];
+        let skews = vec![Ps::ZERO; 36];
+        let line = TappedDelayLine::from_bins(widths, skews, CaptureFf::new(Ps::from_ps(8.0)));
+        let mut rng = SimRng::seed_from(3);
+        // Put the edge exactly on tap 17's observation instant.
+        // Tap 17 looks back 18*17 = 306 ps; sample at 1000 -> edge at 694.
+        let signal = rising_edge_at(694.0);
+        let mut flips = 0;
+        for _ in 0..200 {
+            let w = line.sample(&signal, Ps::from_ps(1000.0), &mut rng);
+            if w[17] {
+                flips += 1;
+            }
+        }
+        // Metastable tap resolves randomly: neither always 0 nor always 1.
+        assert!(flips > 40 && flips < 160, "flips {flips}");
+    }
+
+    #[test]
+    fn falling_edges_are_captured_too() {
+        let line = TappedDelayLine::ideal(36, Ps::from_ps(17.0));
+        let mut s = EdgeTrain::new(true, Ps::ZERO);
+        s.push(Ps::from_ps(700.0)); // falling edge
+        let mut rng = SimRng::seed_from(0);
+        let word = line.sample(&s, Ps::from_ps(1000.0), &mut rng);
+        assert!(word[..17].iter().all(|&b| !b));
+        assert!(word[17..].iter().all(|&b| b));
+    }
+
+    #[test]
+    #[should_panic(expected = "bin width must be positive")]
+    fn rejects_non_positive_bin() {
+        let _ = TappedDelayLine::from_bins(
+            vec![Ps::from_ps(17.0), Ps::ZERO],
+            vec![Ps::ZERO; 2],
+            CaptureFf::ideal(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn rejects_mismatched_lengths() {
+        let _ = TappedDelayLine::from_bins(
+            vec![Ps::from_ps(17.0); 3],
+            vec![Ps::ZERO; 2],
+            CaptureFf::ideal(),
+        );
+    }
+}

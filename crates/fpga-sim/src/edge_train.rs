@@ -1,0 +1,320 @@
+//! Transition-history waveforms.
+//!
+//! Digital signals in the simulator are represented by their toggle
+//! instants: an [`EdgeTrain`] records an initial logic level and a
+//! monotonically increasing sequence of transition times. This is the
+//! natural output of the event-driven ring-oscillator simulation and
+//! the natural input to the tapped-delay-line sampler, which asks
+//! point-in-time questions ("what was node 2 at `t_sample − D_j`?" and
+//! "how far is the nearest edge?" for the metastability model).
+//!
+//! Histories are pruned from the front so memory stays bounded during
+//! arbitrarily long simulations.
+
+use std::collections::VecDeque;
+
+use crate::time::Ps;
+
+/// A logic signal described by its transition history.
+///
+/// # Examples
+///
+/// ```
+/// use trng_fpga_sim::edge_train::EdgeTrain;
+/// use trng_fpga_sim::time::Ps;
+///
+/// let mut train = EdgeTrain::new(false, Ps::ZERO);
+/// train.push(Ps::from_ps(100.0));
+/// train.push(Ps::from_ps(250.0));
+/// assert!(!train.level_at(Ps::from_ps(50.0)));
+/// assert!(train.level_at(Ps::from_ps(150.0)));
+/// assert!(!train.level_at(Ps::from_ps(300.0)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct EdgeTrain {
+    /// Level before the first recorded transition.
+    initial_level: bool,
+    /// Start of validity: queries before this time are out of range.
+    valid_from: Ps,
+    /// Transition instants, strictly increasing.
+    edges: VecDeque<Ps>,
+}
+
+impl EdgeTrain {
+    /// Creates an empty train at the given level, valid from `t0`.
+    pub fn new(initial_level: bool, t0: Ps) -> Self {
+        EdgeTrain {
+            initial_level,
+            valid_from: t0,
+            edges: VecDeque::new(),
+        }
+    }
+
+    /// Records a transition at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not after the last recorded transition (the
+    /// simulator must deliver events in order) or before `valid_from`.
+    pub fn push(&mut self, t: Ps) {
+        if let Some(&last) = self.edges.back() {
+            assert!(t > last, "edge at {t} not after previous edge at {last}");
+        } else {
+            assert!(
+                t >= self.valid_from,
+                "edge at {t} before validity start {}",
+                self.valid_from
+            );
+        }
+        self.edges.push_back(t);
+    }
+
+    /// The logic level at time `t`.
+    ///
+    /// A query exactly at a transition instant returns the *new* level
+    /// (transitions are instantaneous and left-closed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes the start of recorded history; such a
+    /// query would silently return wrong data after pruning.
+    pub fn level_at(&self, t: Ps) -> bool {
+        assert!(
+            t >= self.valid_from,
+            "query at {t} precedes history start {}",
+            self.valid_from
+        );
+        let toggles = self.count_edges_at_or_before(t);
+        self.initial_level ^ (toggles % 2 == 1)
+    }
+
+    /// Distance from `t` to the nearest recorded transition, if any.
+    pub fn nearest_edge_distance(&self, t: Ps) -> Option<Ps> {
+        if self.edges.is_empty() {
+            return None;
+        }
+        let idx = self.partition_point(t);
+        let mut best: Option<Ps> = None;
+        if idx < self.edges.len() {
+            best = Some((self.edges[idx] - t).abs());
+        }
+        if idx > 0 {
+            let d = (t - self.edges[idx - 1]).abs();
+            best = Some(match best {
+                Some(b) => b.min(d),
+                None => d,
+            });
+        }
+        best
+    }
+
+    /// Transition instants inside `[from, to]`, in order.
+    pub fn edges_in(&self, from: Ps, to: Ps) -> impl Iterator<Item = Ps> + '_ {
+        self.edges
+            .iter()
+            .copied()
+            .skip_while(move |&e| e < from)
+            .take_while(move |&e| e <= to)
+    }
+
+    /// Total number of recorded transitions (after pruning).
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `true` if no transitions are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// The time of the most recent transition, if any.
+    pub fn last_edge(&self) -> Option<Ps> {
+        self.edges.back().copied()
+    }
+
+    /// The start of valid history.
+    pub fn valid_from(&self) -> Ps {
+        self.valid_from
+    }
+
+    /// Discards transitions strictly before `t`, keeping the level
+    /// consistent. Afterwards the train is only valid from `t` on.
+    pub fn prune_before(&mut self, t: Ps) {
+        if t <= self.valid_from {
+            return;
+        }
+        let drop = self.partition_point_strict(t);
+        for _ in 0..drop {
+            self.edges.pop_front();
+            self.initial_level = !self.initial_level;
+        }
+        self.valid_from = t;
+    }
+
+    /// Number of edges at or before `t`.
+    fn count_edges_at_or_before(&self, t: Ps) -> usize {
+        self.partition_point(t)
+    }
+
+    /// Index of the first edge strictly after `t`.
+    fn partition_point(&self, t: Ps) -> usize {
+        // VecDeque has no partition_point on ranges across both slices
+        // in older std; do a manual binary search over indices.
+        let mut lo = 0usize;
+        let mut hi = self.edges.len();
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.edges[mid] <= t {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Index of the first edge at or after `t`.
+    fn partition_point_strict(&self, t: Ps) -> usize {
+        let mut lo = 0usize;
+        let mut hi = self.edges.len();
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.edges[mid] < t {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+}
+
+/// Anything that can answer point-in-time logic-level questions.
+///
+/// Implemented by [`EdgeTrain`] and by ring-oscillator node views; the
+/// tapped delay line samples any `SignalSource`, which keeps the TDC
+/// reusable for the measurement procedures (where it captures plain
+/// test signals rather than oscillator nodes).
+pub trait SignalSource {
+    /// Logic level at time `t`.
+    fn level_at(&self, t: Ps) -> bool;
+
+    /// Distance to the nearest transition around `t`, if one is known.
+    ///
+    /// Used by the flip-flop metastability model; returning `None`
+    /// disables metastability for this source.
+    fn nearest_edge_distance(&self, t: Ps) -> Option<Ps>;
+}
+
+impl SignalSource for EdgeTrain {
+    fn level_at(&self, t: Ps) -> bool {
+        EdgeTrain::level_at(self, t)
+    }
+
+    fn nearest_edge_distance(&self, t: Ps) -> Option<Ps> {
+        EdgeTrain::nearest_edge_distance(self, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn train_01234() -> EdgeTrain {
+        let mut t = EdgeTrain::new(false, Ps::ZERO);
+        for e in [10.0, 20.0, 30.0, 40.0] {
+            t.push(Ps::from_ps(e));
+        }
+        t
+    }
+
+    #[test]
+    fn levels_alternate_between_edges() {
+        let t = train_01234();
+        assert!(!t.level_at(Ps::from_ps(5.0)));
+        assert!(t.level_at(Ps::from_ps(15.0)));
+        assert!(!t.level_at(Ps::from_ps(25.0)));
+        assert!(t.level_at(Ps::from_ps(35.0)));
+        assert!(!t.level_at(Ps::from_ps(45.0)));
+    }
+
+    #[test]
+    fn query_at_edge_returns_new_level() {
+        let t = train_01234();
+        assert!(t.level_at(Ps::from_ps(10.0)));
+        assert!(!t.level_at(Ps::from_ps(20.0)));
+    }
+
+    #[test]
+    fn initial_high_level_respected() {
+        let mut t = EdgeTrain::new(true, Ps::ZERO);
+        t.push(Ps::from_ps(10.0));
+        assert!(t.level_at(Ps::from_ps(1.0)));
+        assert!(!t.level_at(Ps::from_ps(11.0)));
+    }
+
+    #[test]
+    fn nearest_edge_distance_works() {
+        let t = train_01234();
+        assert_eq!(t.nearest_edge_distance(Ps::from_ps(12.0)), Some(Ps::from_ps(2.0)));
+        assert_eq!(t.nearest_edge_distance(Ps::from_ps(19.0)), Some(Ps::from_ps(1.0)));
+        assert_eq!(t.nearest_edge_distance(Ps::from_ps(100.0)), Some(Ps::from_ps(60.0)));
+        assert_eq!(t.nearest_edge_distance(Ps::from_ps(0.0)), Some(Ps::from_ps(10.0)));
+        let empty = EdgeTrain::new(false, Ps::ZERO);
+        assert_eq!(empty.nearest_edge_distance(Ps::from_ps(5.0)), None);
+    }
+
+    #[test]
+    fn edges_in_range() {
+        let t = train_01234();
+        let edges: Vec<f64> = t
+            .edges_in(Ps::from_ps(15.0), Ps::from_ps(40.0))
+            .map(|e| e.as_ps())
+            .collect();
+        assert_eq!(edges, vec![20.0, 30.0, 40.0]);
+    }
+
+    #[test]
+    fn prune_preserves_levels() {
+        let mut t = train_01234();
+        let before = t.level_at(Ps::from_ps(25.0));
+        t.prune_before(Ps::from_ps(22.0));
+        assert_eq!(t.level_at(Ps::from_ps(25.0)), before);
+        assert_eq!(t.len(), 2);
+        assert!(t.level_at(Ps::from_ps(35.0)));
+        assert!(!t.level_at(Ps::from_ps(45.0)));
+    }
+
+    #[test]
+    fn prune_exactly_at_edge_keeps_that_edge() {
+        let mut t = train_01234();
+        t.prune_before(Ps::from_ps(20.0));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.last_edge(), Some(Ps::from_ps(40.0)));
+        // level right after the retained edge at 20 must still be 'false'
+        assert!(!t.level_at(Ps::from_ps(21.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes history start")]
+    fn query_before_pruned_history_panics() {
+        let mut t = train_01234();
+        t.prune_before(Ps::from_ps(22.0));
+        let _ = t.level_at(Ps::from_ps(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "not after previous edge")]
+    fn out_of_order_push_panics() {
+        let mut t = train_01234();
+        t.push(Ps::from_ps(35.0));
+    }
+
+    #[test]
+    fn empty_train_is_constant() {
+        let t = EdgeTrain::new(true, Ps::ZERO);
+        assert!(t.is_empty());
+        assert!(t.level_at(Ps::from_ps(1000.0)));
+        assert_eq!(t.last_edge(), None);
+    }
+}

@@ -1,0 +1,263 @@
+//! Fabric geometry: slices, columns, clock regions, resources.
+//!
+//! Models the Spartan-6 facts the paper depends on (Section 5):
+//!
+//! * one half of the slices contain carry primitives, located in
+//!   *even-numbered columns*;
+//! * long carry chains are formed by connecting primitives of
+//!   vertically adjacent slices in the *same column*;
+//! * a clock region spans *16 rows*; carry chains crossing a region
+//!   boundary see a clock-tree skew step, the dominant source of TDC
+//!   non-linearity (Menninga et al. \[6\]);
+//! * resource usage is reported in occupied slices (Table 2).
+
+use core::fmt;
+use core::ops::{Add, AddAssign};
+
+use crate::process::{DeviceSeed, ProcessVariation};
+use crate::rng::hash_to_standard_normal;
+use crate::time::Ps;
+
+/// Coordinates of one slice on the fabric.
+///
+/// `x` is the column index, `y` the row index, both zero-based.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SliceCoord {
+    /// Column index.
+    pub x: u32,
+    /// Row index.
+    pub y: u32,
+}
+
+impl SliceCoord {
+    /// Creates a coordinate.
+    pub const fn new(x: u32, y: u32) -> Self {
+        SliceCoord { x, y }
+    }
+}
+
+impl fmt::Display for SliceCoord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SLICE_X{}Y{}", self.x, self.y)
+    }
+}
+
+/// Geometry of one FPGA device fabric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Fabric {
+    /// Number of slice columns.
+    pub columns: u32,
+    /// Number of slice rows.
+    pub rows: u32,
+    /// Rows per clock region (16 on Spartan-6).
+    pub clock_region_rows: u32,
+    /// Standard deviation of the per-region clock skew step.
+    pub region_skew_sigma: Ps,
+    /// Nominal clock insertion delay at a leaf (common mode, mostly
+    /// irrelevant; kept for completeness).
+    pub clock_insertion: Ps,
+}
+
+impl Fabric {
+    /// A Spartan-6 LX-class fabric: 64 columns x 128 rows, 16-row clock
+    /// regions, 8 ps region skew sigma.
+    pub fn spartan6() -> Self {
+        Fabric {
+            columns: 64,
+            rows: 128,
+            clock_region_rows: 16,
+            region_skew_sigma: Ps::from_ps(8.0),
+            clock_insertion: Ps::from_ns(1.2),
+        }
+    }
+
+    /// `true` if the column contains carry primitives (even columns).
+    pub fn has_carry(&self, column: u32) -> bool {
+        column.is_multiple_of(2)
+    }
+
+    /// `true` if the coordinate lies on the fabric.
+    pub fn contains(&self, coord: SliceCoord) -> bool {
+        coord.x < self.columns && coord.y < self.rows
+    }
+
+    /// The clock-region index of a row.
+    pub fn clock_region_of(&self, row: u32) -> u32 {
+        row / self.clock_region_rows
+    }
+
+    /// `true` if all rows in `[first_row, last_row]` share one clock region.
+    pub fn same_clock_region(&self, first_row: u32, last_row: u32) -> bool {
+        self.clock_region_of(first_row) == self.clock_region_of(last_row)
+    }
+
+    /// Capture-clock skew at a slice: a per-clock-region offset (the
+    /// unbalanced-clock-tree step) plus a small per-leaf component.
+    ///
+    /// Both are frozen per device. The region offset is the quantity
+    /// that makes TDC chains crossing a region boundary non-linear.
+    pub fn clock_skew(
+        &self,
+        device: DeviceSeed,
+        variation: &ProcessVariation,
+        coord: SliceCoord,
+    ) -> Ps {
+        let region = self.clock_region_of(coord.y);
+        let h1 = device.site_hash(u64::from(region), 0, crate::process::tag::CLOCK_LEAF);
+        let h2 = device.site_hash(u64::from(region), 1, crate::process::tag::CLOCK_LEAF);
+        let region_offset =
+            self.region_skew_sigma * hash_to_standard_normal(h1, h2).clamp(-4.0, 4.0);
+        // Per-leaf variation expressed relative to the region sigma so
+        // that `clock_sigma_rel` controls it without a separate knob.
+        let leaf = variation.clock_leaf_multiplier(device, u64::from(coord.x), u64::from(coord.y))
+            - 1.0;
+        region_offset + self.region_skew_sigma * leaf * 10.0
+    }
+}
+
+impl Default for Fabric {
+    fn default() -> Self {
+        Fabric::spartan6()
+    }
+}
+
+/// Aggregate resource usage of a placed design, Table-2 style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ResourceUsage {
+    /// Occupied slices (the unit Table 2 reports).
+    pub slices: u32,
+    /// LUTs used.
+    pub luts: u32,
+    /// Flip-flops used.
+    pub ffs: u32,
+    /// CARRY4 primitives used.
+    pub carry4s: u32,
+}
+
+impl ResourceUsage {
+    /// Creates a usage record.
+    pub const fn new(slices: u32, luts: u32, ffs: u32, carry4s: u32) -> Self {
+        ResourceUsage {
+            slices,
+            luts,
+            ffs,
+            carry4s,
+        }
+    }
+}
+
+impl Add for ResourceUsage {
+    type Output = ResourceUsage;
+    fn add(self, rhs: ResourceUsage) -> ResourceUsage {
+        ResourceUsage {
+            slices: self.slices + rhs.slices,
+            luts: self.luts + rhs.luts,
+            ffs: self.ffs + rhs.ffs,
+            carry4s: self.carry4s + rhs.carry4s,
+        }
+    }
+}
+
+impl AddAssign for ResourceUsage {
+    fn add_assign(&mut self, rhs: ResourceUsage) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for ResourceUsage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} slices ({} LUTs, {} FFs, {} CARRY4s)",
+            self.slices, self.luts, self.ffs, self.carry4s
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spartan6_geometry() {
+        let f = Fabric::spartan6();
+        assert!(f.has_carry(0));
+        assert!(!f.has_carry(1));
+        assert!(f.has_carry(42));
+        assert_eq!(f.clock_region_of(0), 0);
+        assert_eq!(f.clock_region_of(15), 0);
+        assert_eq!(f.clock_region_of(16), 1);
+        assert!(f.same_clock_region(0, 15));
+        assert!(!f.same_clock_region(15, 16));
+    }
+
+    #[test]
+    fn contains_checks_bounds() {
+        let f = Fabric::spartan6();
+        assert!(f.contains(SliceCoord::new(63, 127)));
+        assert!(!f.contains(SliceCoord::new(64, 0)));
+        assert!(!f.contains(SliceCoord::new(0, 128)));
+    }
+
+    #[test]
+    fn skew_is_frozen_and_steps_at_region_boundary() {
+        let f = Fabric::spartan6();
+        let d = DeviceSeed::new(10);
+        let pv = ProcessVariation::NONE;
+        let a = f.clock_skew(d, &pv, SliceCoord::new(4, 3));
+        let b = f.clock_skew(d, &pv, SliceCoord::new(4, 3));
+        assert_eq!(a, b);
+        // Same region, no leaf variation -> identical skew.
+        let c = f.clock_skew(d, &pv, SliceCoord::new(4, 10));
+        assert_eq!(a, c);
+        // Different region -> different skew (with prob ~1 for a hash).
+        let e = f.clock_skew(d, &pv, SliceCoord::new(4, 20));
+        assert_ne!(a, e);
+    }
+
+    #[test]
+    fn leaf_variation_perturbs_within_region() {
+        let f = Fabric::spartan6();
+        let d = DeviceSeed::new(10);
+        let pv = ProcessVariation::default();
+        let a = f.clock_skew(d, &pv, SliceCoord::new(4, 3));
+        let b = f.clock_skew(d, &pv, SliceCoord::new(4, 4));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn region_skew_magnitude_tracks_sigma() {
+        let f = Fabric::spartan6();
+        let pv = ProcessVariation::NONE;
+        let n = 2_000u64;
+        let mut sum2 = 0.0;
+        for seed in 0..n {
+            let d = DeviceSeed::new(seed);
+            let s = f.clock_skew(d, &pv, SliceCoord::new(0, 0)).as_ps();
+            sum2 += s * s;
+        }
+        let sd = (sum2 / n as f64).sqrt();
+        assert!((sd - 8.0).abs() < 1.0, "sd {sd}");
+    }
+
+    #[test]
+    fn resources_add() {
+        let a = ResourceUsage::new(3, 3, 0, 0);
+        let b = ResourceUsage::new(27, 0, 108, 27);
+        let c = a + b;
+        assert_eq!(c, ResourceUsage::new(30, 3, 108, 27));
+        let mut d = a;
+        d += b;
+        assert_eq!(d, c);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SliceCoord::new(4, 10)), "SLICE_X4Y10");
+        let u = ResourceUsage::new(67, 40, 120, 27);
+        assert_eq!(format!("{u}"), "67 slices (40 LUTs, 120 FFs, 27 CARRY4s)");
+    }
+}

@@ -1,0 +1,248 @@
+//! Attacker-controlled manipulative influence.
+//!
+//! The paper's assumption 2 (Section 4.1) explicitly lists
+//! "manipulative influence of the attacker (for example by EM
+//! radiation)" among the non-quantified noise sources, and the entropy
+//! lower bound is taken at the worst-case offset precisely to survive
+//! such manipulation. The simulator implements two classic active
+//! attacks on ring-oscillator TRNGs:
+//!
+//! * **Periodic injection** — an EM tone couples into the ring and
+//!   adds a deterministic periodic delay perturbation. If strong
+//!   enough this *injection-locks* the oscillator to the attack tone,
+//!   collapsing the effective jitter seen by the sampler.
+//! * **Jitter squeezing** — a perturbation proportional to the
+//!   accumulated phase error pulls edges back toward the deterministic
+//!   grid, directly reducing `sigma_acc`.
+//!
+//! Both reduce true entropy while leaving short-range statistics
+//! plausible — the scenario the paper's evaluation methodology (model +
+//! lower bound, not just black-box tests) is designed to catch. The
+//! `attack_scenario` example demonstrates detection via the embedded
+//! health tests.
+
+use crate::time::Ps;
+
+/// An attacker-controlled delay perturbation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum AttackInjection {
+    /// Additive periodic delay `amplitude · sin(2π f t)` on every stage.
+    Periodic {
+        /// Peak additional delay per stage transition.
+        amplitude: Ps,
+        /// Injection frequency in Hz.
+        frequency_hz: f64,
+    },
+    /// Deterministic square-wave injection (harmonic-rich EM pulse train).
+    PulseTrain {
+        /// Additional delay while the pulse is high.
+        amplitude: Ps,
+        /// Pulse repetition frequency in Hz.
+        frequency_hz: f64,
+        /// Duty cycle in (0, 1).
+        duty: f64,
+    },
+    /// Injection locking: every transition is pulled toward the nearest
+    /// point of the attack tone's phase grid — a discretized first-order
+    /// Adler model. This is the attack that actually *removes* entropy:
+    /// the restoring force turns the jitter random walk into a bounded
+    /// Ornstein–Uhlenbeck process, collapsing `σ_acc`.
+    Locking {
+        /// Attack tone frequency in Hz (its period is the phase grid).
+        frequency_hz: f64,
+        /// Fraction of the phase error corrected per transition, in
+        /// `(0, 1]`.
+        strength: f64,
+    },
+}
+
+impl AttackInjection {
+    /// Creates a sinusoidal injection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frequency_hz` is not positive or `amplitude` negative.
+    pub fn periodic(amplitude: Ps, frequency_hz: f64) -> Self {
+        assert!(
+            amplitude.as_ps() >= 0.0,
+            "attack amplitude must be non-negative, got {amplitude}"
+        );
+        assert!(
+            frequency_hz > 0.0 && frequency_hz.is_finite(),
+            "attack frequency must be positive, got {frequency_hz}"
+        );
+        AttackInjection::Periodic {
+            amplitude,
+            frequency_hz,
+        }
+    }
+
+    /// Creates a pulse-train injection.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive frequency, negative amplitude or a duty
+    /// cycle outside `(0, 1)`.
+    pub fn pulse_train(amplitude: Ps, frequency_hz: f64, duty: f64) -> Self {
+        assert!(amplitude.as_ps() >= 0.0, "attack amplitude must be non-negative");
+        assert!(frequency_hz > 0.0 && frequency_hz.is_finite(), "attack frequency must be positive");
+        assert!((0.0..1.0).contains(&duty) && duty > 0.0, "duty cycle must be in (0, 1), got {duty}");
+        AttackInjection::PulseTrain {
+            amplitude,
+            frequency_hz,
+            duty,
+        }
+    }
+
+    /// Creates an injection-locking attack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frequency_hz` is not positive or `strength` outside
+    /// `(0, 1]`.
+    pub fn locking(frequency_hz: f64, strength: f64) -> Self {
+        assert!(
+            frequency_hz > 0.0 && frequency_hz.is_finite(),
+            "attack frequency must be positive, got {frequency_hz}"
+        );
+        assert!(
+            strength > 0.0 && strength <= 1.0,
+            "locking strength must be in (0, 1], got {strength}"
+        );
+        AttackInjection::Locking {
+            frequency_hz,
+            strength,
+        }
+    }
+
+    /// Deterministic extra delay injected for a transition whose
+    /// (prospective) edge lands at absolute time `t`.
+    #[inline]
+    pub fn injected_delay(&self, t: Ps) -> Ps {
+        match *self {
+            AttackInjection::Periodic {
+                amplitude,
+                frequency_hz,
+            } => {
+                let omega = 2.0 * core::f64::consts::PI * frequency_hz;
+                amplitude * (omega * t.as_s()).sin()
+            }
+            AttackInjection::PulseTrain {
+                amplitude,
+                frequency_hz,
+                duty,
+            } => {
+                let period_s = 1.0 / frequency_hz;
+                let phase = (t.as_s() / period_s).rem_euclid(1.0);
+                if phase < duty {
+                    amplitude
+                } else {
+                    Ps::ZERO
+                }
+            }
+            AttackInjection::Locking {
+                frequency_hz,
+                strength,
+            } => {
+                // Signed distance of `t` from the nearest grid point of
+                // the attack period, corrected by `strength`.
+                let period_ps = 1e12 / frequency_hz;
+                let err = (t.as_ps() / period_ps + 0.5).rem_euclid(1.0) - 0.5;
+                Ps::from_ps(-strength * err * period_ps)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_injection_is_sinusoidal() {
+        let a = AttackInjection::periodic(Ps::from_ps(5.0), 1e6);
+        assert!((a.injected_delay(Ps::from_us(0.25)).as_ps() - 5.0).abs() < 1e-9);
+        assert!((a.injected_delay(Ps::from_us(0.75)).as_ps() + 5.0).abs() < 1e-9);
+        assert!(a.injected_delay(Ps::ZERO).abs().as_ps() < 1e-9);
+    }
+
+    #[test]
+    fn pulse_train_respects_duty() {
+        let a = AttackInjection::pulse_train(Ps::from_ps(10.0), 1e6, 0.25);
+        // 1 MHz -> 1 us period, high for the first 0.25 us.
+        assert_eq!(a.injected_delay(Ps::from_us(0.1)).as_ps(), 10.0);
+        assert_eq!(a.injected_delay(Ps::from_us(0.5)).as_ps(), 0.0);
+        assert_eq!(a.injected_delay(Ps::from_us(1.1)).as_ps(), 10.0);
+    }
+
+    #[test]
+    fn injection_is_deterministic() {
+        let a = AttackInjection::periodic(Ps::from_ps(5.0), 3.7e6);
+        let t = Ps::from_ns(123.456);
+        assert_eq!(a.injected_delay(t), a.injected_delay(t));
+    }
+
+    #[test]
+    #[should_panic(expected = "duty cycle must be in (0, 1)")]
+    fn rejects_bad_duty() {
+        let _ = AttackInjection::pulse_train(Ps::from_ps(1.0), 1e6, 1.5);
+    }
+
+    #[test]
+    fn locking_pulls_toward_the_grid() {
+        // Grid period 480 ps, strength 0.5.
+        let a = AttackInjection::locking(1e12 / 480.0, 0.5);
+        // Exactly on grid: no correction.
+        assert!(a.injected_delay(Ps::from_ps(960.0)).abs().as_ps() < 1e-9);
+        // 100 ps late of a grid point: pulled back by 50 ps.
+        let d = a.injected_delay(Ps::from_ps(960.0 + 100.0));
+        assert!((d.as_ps() + 50.0).abs() < 1e-9, "{d}");
+        // 100 ps early: pushed forward by 50 ps.
+        let d = a.injected_delay(Ps::from_ps(960.0 - 100.0));
+        assert!((d.as_ps() - 50.0).abs() < 1e-9, "{d}");
+    }
+
+    #[test]
+    fn locking_bounds_accumulated_jitter() {
+        use crate::ring_oscillator::{RingOscillator, RingOscillatorConfig};
+        use crate::rng::SimRng;
+        // Free-running vs locked ring: spread of the last-edge offset
+        // at t = 5 us collapses under locking.
+        let spread = |attack: Option<AttackInjection>| -> f64 {
+            let mut offsets = Vec::new();
+            for seed in 0..300u64 {
+                let mut cfg = RingOscillatorConfig::ideal(
+                    3,
+                    Ps::from_ps(480.0),
+                    Ps::from_ps(2.6),
+                );
+                cfg.noise.attack = attack;
+                let mut ro = RingOscillator::new(cfg, SimRng::seed_from(seed)).unwrap();
+                let t = Ps::from_us(5.0);
+                ro.run_until(t);
+                let last = ro
+                    .node(0)
+                    .edge_train()
+                    .edges_in(t - Ps::from_ns(2.0), t)
+                    .last()
+                    .expect("an edge");
+                offsets.push((t - last).as_ps());
+            }
+            let n = offsets.len() as f64;
+            let mean = offsets.iter().sum::<f64>() / n;
+            (offsets.iter().map(|o| (o - mean).powi(2)).sum::<f64>() / n).sqrt()
+        };
+        let free = spread(None);
+        let locked = spread(Some(AttackInjection::locking(1e12 / 480.0, 0.5)));
+        // Free-running: sigma_acc(5 us) ~ 265 ps; locked: a few ps.
+        assert!(free > 100.0, "free spread {free}");
+        assert!(locked < free / 10.0, "locked spread {locked} vs free {free}");
+    }
+
+    #[test]
+    #[should_panic(expected = "locking strength must be in (0, 1]")]
+    fn rejects_bad_locking_strength() {
+        let _ = AttackInjection::locking(1e9, 0.0);
+    }
+}

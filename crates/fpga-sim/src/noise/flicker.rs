@@ -1,0 +1,193 @@
+//! Flicker (1/f) noise — low-frequency correlated delay fluctuation.
+//!
+//! The paper (assumption 2, Section 4.1, and the measurement discussion
+//! in Section 5.1 citing Haddad et al., DATE 2014) notes that flicker
+//! noise dominates jitter measurements longer than ~1 µs and is *not*
+//! credited with entropy; the stochastic model treats it as a
+//! worst-case shift of the offset τ.
+//!
+//! The simulator models per-stage flicker as an Ornstein–Uhlenbeck
+//! (OU) process sampled at transition instants. An OU process has a
+//! Lorentzian spectrum — flat below the corner `1/(2π·tau_c)` and
+//! `1/f²` above. Superimposing it on white noise produces the
+//! practically relevant behaviour: jitter variance grows ~linearly for
+//! short accumulation times (white-dominated) and super-linearly once
+//! the correlated component dominates, exactly the effect that makes
+//! long jitter measurements overestimate thermal sigma (Section 5.1).
+
+use crate::rng::SimRng;
+use crate::time::Ps;
+
+/// Parameters of the per-stage flicker process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FlickerParams {
+    /// Stationary standard deviation of the delay fluctuation.
+    pub sigma: Ps,
+    /// Correlation time of the process (spectrum corner ≈ 1/(2π·tau_c)).
+    pub tau_c: Ps,
+}
+
+impl FlickerParams {
+    /// Creates flicker parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or `tau_c` is not strictly positive.
+    pub fn new(sigma: Ps, tau_c: Ps) -> Self {
+        assert!(
+            sigma.as_ps() >= 0.0 && sigma.is_finite(),
+            "flicker sigma must be finite and non-negative, got {sigma}"
+        );
+        assert!(
+            tau_c.as_ps() > 0.0 && tau_c.is_finite(),
+            "flicker correlation time must be positive, got {tau_c}"
+        );
+        FlickerParams { sigma, tau_c }
+    }
+}
+
+impl Default for FlickerParams {
+    /// Mild flicker: 0.5 ps stationary sigma, 1 µs correlation time.
+    ///
+    /// These defaults keep flicker subdominant to thermal noise at the
+    /// 10–200 ns accumulation times of Table 1 while still producing
+    /// visible low-frequency structure in long bitstreams.
+    fn default() -> Self {
+        FlickerParams::new(Ps::from_ps(0.5), Ps::from_us(1.0))
+    }
+}
+
+/// Run-time state of one stage's flicker process.
+///
+/// The OU state `x` evolves between transition events at times
+/// `t_k` as
+/// `x(t_{k+1}) = x(t_k)·exp(-Δ/τ) + σ·sqrt(1 - exp(-2Δ/τ))·N(0,1)`,
+/// which is the exact OU transition density — no discretization error
+/// regardless of how irregular the event spacing is.
+#[derive(Debug, Clone)]
+pub struct FlickerNoise {
+    params: FlickerParams,
+    state: f64,
+    last_t: Option<Ps>,
+}
+
+impl FlickerNoise {
+    /// Creates a stage process with a stationary initial state.
+    pub fn new(params: FlickerParams, rng: &mut SimRng) -> Self {
+        let state = rng.gaussian(0.0, params.sigma.as_ps());
+        FlickerNoise {
+            params,
+            state,
+            last_t: None,
+        }
+    }
+
+    /// Returns the delay perturbation at time `t`, advancing the state.
+    ///
+    /// Calls must be made with non-decreasing `t`; out-of-order times
+    /// are treated as zero elapsed time (state unchanged).
+    pub fn sample(&mut self, t: Ps, rng: &mut SimRng) -> Ps {
+        if self.params.sigma == Ps::ZERO {
+            return Ps::ZERO;
+        }
+        if let Some(last) = self.last_t {
+            let dt = (t - last).max(Ps::ZERO);
+            let a = (-(dt / self.params.tau_c)).exp();
+            let innovation_sd = self.params.sigma.as_ps() * (1.0 - a * a).sqrt();
+            self.state = self.state * a + rng.gaussian(0.0, innovation_sd);
+        }
+        self.last_t = Some(t);
+        Ps::from_ps(self.state)
+    }
+
+    /// The current state without advancing time.
+    pub fn current(&self) -> Ps {
+        Ps::from_ps(self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stationary_variance_matches_sigma() {
+        let params = FlickerParams::new(Ps::from_ps(2.0), Ps::from_ns(10.0));
+        let mut rng = SimRng::seed_from(4);
+        // Average over many independent processes at a fixed time to
+        // estimate the ensemble variance.
+        let n = 20_000;
+        let mut sum2 = 0.0;
+        for _ in 0..n {
+            let mut f = FlickerNoise::new(params, &mut rng);
+            // advance well past tau_c so the initial state decorrelates
+            let x = f.sample(Ps::from_ns(100.0), &mut rng).as_ps();
+            let x2 = {
+                let _ = x;
+                f.sample(Ps::from_ns(200.0), &mut rng).as_ps()
+            };
+            sum2 += x2 * x2;
+        }
+        let sd = (sum2 / n as f64).sqrt();
+        assert!((sd - 2.0).abs() < 0.08, "sd {sd}");
+    }
+
+    #[test]
+    fn short_interval_samples_are_strongly_correlated() {
+        let params = FlickerParams::new(Ps::from_ps(2.0), Ps::from_us(1.0));
+        let mut rng = SimRng::seed_from(5);
+        let mut f = FlickerNoise::new(params, &mut rng);
+        let a = f.sample(Ps::from_ps(0.0), &mut rng).as_ps();
+        let b = f.sample(Ps::from_ps(480.0), &mut rng).as_ps();
+        // 480 ps << 1 us correlation time -> nearly identical values.
+        assert!((a - b).abs() < 0.5, "a={a} b={b}");
+    }
+
+    #[test]
+    fn long_interval_samples_decorrelate() {
+        let params = FlickerParams::new(Ps::from_ps(2.0), Ps::from_ns(1.0));
+        let mut rng = SimRng::seed_from(6);
+        let n = 10_000;
+        let mut pairs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut f = FlickerNoise::new(params, &mut rng);
+            let a = f.sample(Ps::ZERO, &mut rng).as_ps();
+            let b = f.sample(Ps::from_us(1.0), &mut rng).as_ps();
+            pairs.push((a, b));
+        }
+        let ma = pairs.iter().map(|p| p.0).sum::<f64>() / n as f64;
+        let mb = pairs.iter().map(|p| p.1).sum::<f64>() / n as f64;
+        let cov = pairs
+            .iter()
+            .map(|p| (p.0 - ma) * (p.1 - mb))
+            .sum::<f64>()
+            / n as f64;
+        let corr = cov / (2.0 * 2.0);
+        assert!(corr.abs() < 0.05, "corr {corr}");
+    }
+
+    #[test]
+    fn zero_sigma_process_is_silent() {
+        let params = FlickerParams::new(Ps::ZERO, Ps::from_ns(1.0));
+        let mut rng = SimRng::seed_from(7);
+        let mut f = FlickerNoise::new(params, &mut rng);
+        assert_eq!(f.sample(Ps::from_ns(5.0), &mut rng), Ps::ZERO);
+    }
+
+    #[test]
+    fn out_of_order_time_does_not_panic() {
+        let params = FlickerParams::default();
+        let mut rng = SimRng::seed_from(8);
+        let mut f = FlickerNoise::new(params, &mut rng);
+        let _ = f.sample(Ps::from_ns(10.0), &mut rng);
+        let _ = f.sample(Ps::from_ns(5.0), &mut rng); // earlier: no-op step
+        assert!(f.current().is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "flicker correlation time must be positive")]
+    fn rejects_zero_tau() {
+        let _ = FlickerParams::new(Ps::from_ps(1.0), Ps::ZERO);
+    }
+}

@@ -1,0 +1,183 @@
+//! Global deterministic delay modulation: supply and temperature.
+//!
+//! Section 2 of the paper warns that a designer "may believe that the
+//! randomness is caused by the thermal jitter when in fact it is coming
+//! from the unstable power supply" — and that such a TRNG produces weak
+//! keys once the supply is stabilized. To make that failure mode
+//! reproducible, the simulator supports a *deterministic* global
+//! modulation of all fabric delays: a sum of supply-ripple tones plus a
+//! linear temperature drift. Because it is deterministic it contributes
+//! correlations and bias but **zero entropy**, exactly like the real
+//! effect.
+
+use crate::time::Ps;
+
+/// One sinusoidal supply-ripple tone.
+///
+/// Delay sensitivity to supply voltage is modelled as a relative delay
+/// modulation `amplitude_rel · sin(2π f t + phase)` applied
+/// multiplicatively to every stage delay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SupplyTone {
+    /// Tone frequency in Hz (e.g. 1e6 for 1 MHz switching-regulator ripple).
+    pub frequency_hz: f64,
+    /// Peak relative delay modulation (e.g. 0.002 = 0.2 %).
+    pub amplitude_rel: f64,
+    /// Phase offset in radians.
+    pub phase: f64,
+}
+
+impl SupplyTone {
+    /// Creates a tone with zero phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frequency_hz` is not positive or `amplitude_rel` is
+    /// negative or ≥ 50 %.
+    pub fn new(frequency_hz: f64, amplitude_rel: f64) -> Self {
+        assert!(
+            frequency_hz > 0.0 && frequency_hz.is_finite(),
+            "tone frequency must be positive, got {frequency_hz}"
+        );
+        assert!(
+            (0.0..0.5).contains(&amplitude_rel),
+            "tone amplitude must be in [0, 0.5), got {amplitude_rel}"
+        );
+        SupplyTone {
+            frequency_hz,
+            amplitude_rel,
+            phase: 0.0,
+        }
+    }
+
+    /// Sets the phase, builder-style.
+    pub fn with_phase(mut self, phase: f64) -> Self {
+        self.phase = phase;
+        self
+    }
+
+    /// Relative modulation value at absolute time `t`.
+    #[inline]
+    pub fn value_at(&self, t: Ps) -> f64 {
+        let omega = 2.0 * core::f64::consts::PI * self.frequency_hz;
+        self.amplitude_rel * (omega * t.as_s() + self.phase).sin()
+    }
+}
+
+/// Deterministic global modulation of all fabric delays.
+///
+/// # Examples
+///
+/// ```
+/// use trng_fpga_sim::noise::{GlobalModulation, SupplyTone};
+/// use trng_fpga_sim::time::Ps;
+///
+/// let m = GlobalModulation::supply_tone(SupplyTone::new(1.0e6, 0.002));
+/// let f = m.delay_factor(Ps::from_us(0.25)); // quarter period of 1 MHz
+/// assert!((f - 1.002).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GlobalModulation {
+    /// Supply-ripple tones (summed).
+    pub tones: Vec<SupplyTone>,
+    /// Linear temperature drift: relative delay change per second.
+    /// Positive = delays grow over time (device heating up).
+    pub thermal_drift_per_s: f64,
+}
+
+impl GlobalModulation {
+    /// Creates an empty modulation (delay factor identically 1).
+    pub fn new() -> Self {
+        GlobalModulation::default()
+    }
+
+    /// Convenience constructor for a single supply tone.
+    pub fn supply_tone(tone: SupplyTone) -> Self {
+        GlobalModulation {
+            tones: vec![tone],
+            thermal_drift_per_s: 0.0,
+        }
+    }
+
+    /// Adds a tone, builder-style.
+    pub fn with_tone(mut self, tone: SupplyTone) -> Self {
+        self.tones.push(tone);
+        self
+    }
+
+    /// Sets thermal drift, builder-style.
+    pub fn with_thermal_drift(mut self, drift_per_s: f64) -> Self {
+        self.thermal_drift_per_s = drift_per_s;
+        self
+    }
+
+    /// Multiplicative delay factor at absolute time `t`.
+    ///
+    /// The factor is clamped to `[0.5, 1.5]` to keep delays physical
+    /// even under pathological tone stacking.
+    #[inline]
+    pub fn delay_factor(&self, t: Ps) -> f64 {
+        let mut rel = self.thermal_drift_per_s * t.as_s();
+        for tone in &self.tones {
+            rel += tone.value_at(t);
+        }
+        (1.0 + rel).clamp(0.5, 1.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_modulation_is_unity() {
+        let m = GlobalModulation::new();
+        assert_eq!(m.delay_factor(Ps::ZERO), 1.0);
+        assert_eq!(m.delay_factor(Ps::from_ms(5.0)), 1.0);
+    }
+
+    #[test]
+    fn tone_peaks_at_quarter_period() {
+        let m = GlobalModulation::supply_tone(SupplyTone::new(1e6, 0.01));
+        // period = 1 us, peak at 0.25 us.
+        assert!((m.delay_factor(Ps::from_us(0.25)) - 1.01).abs() < 1e-9);
+        assert!((m.delay_factor(Ps::from_us(0.75)) - 0.99).abs() < 1e-9);
+        assert!((m.delay_factor(Ps::from_us(0.5)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tones_superpose() {
+        let m = GlobalModulation::new()
+            .with_tone(SupplyTone::new(1e6, 0.01))
+            .with_tone(SupplyTone::new(1e6, 0.02));
+        assert!((m.delay_factor(Ps::from_us(0.25)) - 1.03).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thermal_drift_is_linear() {
+        let m = GlobalModulation::new().with_thermal_drift(0.01); // 1 %/s
+        assert!((m.delay_factor(Ps::from_ms(100.0)) - 1.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn factor_is_clamped() {
+        let m = GlobalModulation::new().with_thermal_drift(10.0);
+        assert_eq!(m.delay_factor(Ps::from_s(1.0)), 1.5);
+        let m = GlobalModulation::new().with_thermal_drift(-10.0);
+        assert_eq!(m.delay_factor(Ps::from_s(1.0)), 0.5);
+    }
+
+    #[test]
+    fn phase_shifts_the_tone() {
+        let tone = SupplyTone::new(1e6, 0.01).with_phase(core::f64::consts::FRAC_PI_2);
+        assert!((tone.value_at(Ps::ZERO) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "tone amplitude must be in [0, 0.5)")]
+    fn rejects_huge_amplitude() {
+        let _ = SupplyTone::new(1e6, 0.6);
+    }
+}

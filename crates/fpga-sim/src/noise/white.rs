@@ -1,0 +1,117 @@
+//! White (thermal) noise — the entropy-bearing jitter source.
+//!
+//! Paper assumption 1 (Section 4.1): the delay of each LUT consists of
+//! a deterministic component `d0_LUT` and a random component modelled
+//! by `N(0, sigma_LUT^2)`; assumption 3: the white-noise components of
+//! jitter realizations are mutually independent. [`WhiteNoise`]
+//! implements exactly this: an i.i.d. zero-mean Gaussian added to
+//! every transition.
+
+use crate::rng::SimRng;
+use crate::time::Ps;
+
+/// Independent Gaussian jitter added to every transition event.
+///
+/// # Examples
+///
+/// ```
+/// use trng_fpga_sim::noise::WhiteNoise;
+/// use trng_fpga_sim::rng::SimRng;
+/// use trng_fpga_sim::time::Ps;
+///
+/// let noise = WhiteNoise::new(Ps::from_ps(2.6));
+/// let mut rng = SimRng::seed_from(0);
+/// let jitter = noise.sample(&mut rng);
+/// assert!(jitter.abs().as_ps() < 2.6 * 6.0); // within 6 sigma
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct WhiteNoise {
+    sigma: Ps,
+}
+
+impl WhiteNoise {
+    /// Creates a white-noise source with the given per-transition sigma.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or not finite.
+    pub fn new(sigma: Ps) -> Self {
+        assert!(
+            sigma.as_ps() >= 0.0 && sigma.is_finite(),
+            "white-noise sigma must be finite and non-negative, got {sigma}"
+        );
+        WhiteNoise { sigma }
+    }
+
+    /// The per-transition standard deviation.
+    pub fn sigma(&self) -> Ps {
+        self.sigma
+    }
+
+    /// Draws one jitter realization.
+    #[inline]
+    pub fn sample(&self, rng: &mut SimRng) -> Ps {
+        if self.sigma == Ps::ZERO {
+            return Ps::ZERO;
+        }
+        Ps::from_ps(rng.gaussian(0.0, self.sigma.as_ps()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_sigma_is_silent() {
+        let noise = WhiteNoise::new(Ps::ZERO);
+        let mut rng = SimRng::seed_from(0);
+        for _ in 0..100 {
+            assert_eq!(noise.sample(&mut rng), Ps::ZERO);
+        }
+    }
+
+    #[test]
+    fn samples_match_requested_sigma() {
+        let noise = WhiteNoise::new(Ps::from_ps(2.6));
+        let mut rng = SimRng::seed_from(77);
+        let n = 100_000;
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        for _ in 0..n {
+            let x = noise.sample(&mut rng).as_ps();
+            sum += x;
+            sum2 += x * x;
+        }
+        let mean = sum / n as f64;
+        let sd = (sum2 / n as f64 - mean * mean).sqrt();
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((sd - 2.6).abs() < 0.05, "sd {sd}");
+    }
+
+    #[test]
+    fn consecutive_samples_are_uncorrelated() {
+        let noise = WhiteNoise::new(Ps::from_ps(1.0));
+        let mut rng = SimRng::seed_from(3);
+        let xs: Vec<f64> = (0..100_000).map(|_| noise.sample(&mut rng).as_ps()).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for w in xs.windows(2) {
+            num += (w[0] - mean) * (w[1] - mean);
+        }
+        for x in &xs {
+            den += (x - mean) * (x - mean);
+        }
+        let lag1 = num / den;
+        // se ~ 1/sqrt(n) ~ 0.0032; 5 sigma bound.
+        assert!(lag1.abs() < 0.016, "lag-1 autocorrelation {lag1}");
+    }
+
+    #[test]
+    #[should_panic(expected = "white-noise sigma must be finite")]
+    fn rejects_negative_sigma() {
+        let _ = WhiteNoise::new(Ps::from_ps(-1.0));
+    }
+}

@@ -1,0 +1,280 @@
+//! Placement of the TRNG on the fabric.
+//!
+//! Mirrors the paper's Section 5: "Stages of the ring-oscillator are
+//! implemented using LUTs, and fast delay lines are implemented using
+//! carry-chain primitives. [...] Delay stages of the oscillator are
+//! placed in slices directly below the fast delay lines. These are the
+//! only placement constraints that we used." plus Section 5.2's
+//! single-clock-region constraint for TDC linearity.
+
+use core::fmt;
+use std::error::Error;
+
+use crate::fabric::{Fabric, SliceCoord};
+use crate::primitives::CARRY4_BINS;
+
+/// Placement of one TRNG instance: `n` delay lines, each a vertical
+/// carry chain, with the matching oscillator LUT directly below.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TrngPlacement {
+    /// Carry column used by each delay line (one line per column).
+    pub line_columns: Vec<u32>,
+    /// First slice row of every carry chain.
+    pub first_row: u32,
+    /// CARRY4 primitives per chain (`m / 4`).
+    pub carry4s_per_line: u32,
+    /// Row of the oscillator LUTs (directly below the chains).
+    pub oscillator_row: u32,
+}
+
+impl TrngPlacement {
+    /// Auto-places a TRNG with `n` oscillator stages and `m` TDC taps,
+    /// starting from the given carry column and row.
+    ///
+    /// Lines occupy consecutive carry columns (`start_column`,
+    /// `start_column + 2`, ...); each chain starts at `first_row` and
+    /// runs upward; oscillator LUTs sit at `first_row - 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PlacementError`] if `m` is not a positive multiple
+    /// of 4, `first_row` is 0 (no room for the oscillator below), the
+    /// start column is not a carry column, or the footprint leaves the
+    /// fabric.
+    pub fn auto(
+        fabric: &Fabric,
+        n: usize,
+        m: usize,
+        start_column: u32,
+        first_row: u32,
+    ) -> Result<Self, PlacementError> {
+        if m == 0 || !m.is_multiple_of(CARRY4_BINS) {
+            return Err(PlacementError::TapCountNotMultipleOf4 { m });
+        }
+        if n == 0 {
+            return Err(PlacementError::NoOscillatorStages);
+        }
+        if first_row == 0 {
+            return Err(PlacementError::NoRoomForOscillator);
+        }
+        if !fabric.has_carry(start_column) {
+            return Err(PlacementError::NotACarryColumn {
+                column: start_column,
+            });
+        }
+        let carry4s_per_line = (m / CARRY4_BINS) as u32;
+        let line_columns: Vec<u32> = (0..n as u32).map(|i| start_column + 2 * i).collect();
+        let placement = TrngPlacement {
+            line_columns,
+            first_row,
+            carry4s_per_line,
+            oscillator_row: first_row - 1,
+        };
+        placement.validate(fabric)?;
+        Ok(placement)
+    }
+
+    /// The last (topmost) row occupied by the carry chains.
+    pub fn last_row(&self) -> u32 {
+        self.first_row + self.carry4s_per_line - 1
+    }
+
+    /// Number of TDC taps per line.
+    pub fn taps_per_line(&self) -> usize {
+        self.carry4s_per_line as usize * CARRY4_BINS
+    }
+
+    /// Slice coordinate of CARRY4 `index` (0-based from the chain
+    /// start) of delay line `line`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` or `index` is out of range.
+    pub fn carry4_site(&self, line: usize, index: u32) -> SliceCoord {
+        assert!(line < self.line_columns.len(), "line {line} out of range");
+        assert!(
+            index < self.carry4s_per_line,
+            "carry4 index {index} out of range"
+        );
+        SliceCoord::new(self.line_columns[line], self.first_row + index)
+    }
+
+    /// Slice coordinate of the oscillator LUT feeding delay line `line`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` is out of range.
+    pub fn oscillator_site(&self, line: usize) -> SliceCoord {
+        assert!(line < self.line_columns.len(), "line {line} out of range");
+        SliceCoord::new(self.line_columns[line], self.oscillator_row)
+    }
+
+    /// `true` if every carry chain stays inside one clock region —
+    /// the linearity constraint of Section 5.2.
+    pub fn within_one_clock_region(&self, fabric: &Fabric) -> bool {
+        fabric.same_clock_region(self.first_row, self.last_row())
+    }
+
+    /// Checks the placement against a fabric.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint. Note that spanning a
+    /// clock region boundary is *legal* (the paper's initial designs
+    /// did) — query [`TrngPlacement::within_one_clock_region`]
+    /// separately to assess linearity.
+    pub fn validate(&self, fabric: &Fabric) -> Result<(), PlacementError> {
+        for &col in &self.line_columns {
+            if !fabric.has_carry(col) {
+                return Err(PlacementError::NotACarryColumn { column: col });
+            }
+            let top = SliceCoord::new(col, self.last_row());
+            if !fabric.contains(top) {
+                return Err(PlacementError::OffFabric { coord: top });
+            }
+            let osc = SliceCoord::new(col, self.oscillator_row);
+            if !fabric.contains(osc) {
+                return Err(PlacementError::OffFabric { coord: osc });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A violated placement constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementError {
+    /// `m` must be a positive multiple of 4 (CARRY4 granularity).
+    TapCountNotMultipleOf4 {
+        /// The offending tap count.
+        m: usize,
+    },
+    /// At least one oscillator stage is required.
+    NoOscillatorStages,
+    /// `first_row` must leave a row below for the oscillator LUT.
+    NoRoomForOscillator,
+    /// The column does not contain carry primitives.
+    NotACarryColumn {
+        /// The offending column.
+        column: u32,
+    },
+    /// A required slice is outside the fabric.
+    OffFabric {
+        /// The offending coordinate.
+        coord: SliceCoord,
+    },
+}
+
+impl fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlacementError::TapCountNotMultipleOf4 { m } => {
+                write!(f, "tap count m={m} is not a positive multiple of 4")
+            }
+            PlacementError::NoOscillatorStages => write!(f, "oscillator needs at least one stage"),
+            PlacementError::NoRoomForOscillator => {
+                write!(f, "first row 0 leaves no slice below for the oscillator")
+            }
+            PlacementError::NotACarryColumn { column } => {
+                write!(f, "column {column} has no carry primitives")
+            }
+            PlacementError::OffFabric { coord } => write!(f, "slice {coord} is outside the fabric"),
+        }
+    }
+}
+
+impl Error for PlacementError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_placement_fits_one_clock_region() {
+        // n=3, m=36 -> 9 CARRY4s per line; rows 1..=9 within region 0.
+        let fabric = Fabric::spartan6();
+        let p = TrngPlacement::auto(&fabric, 3, 36, 4, 1).expect("placement");
+        assert_eq!(p.carry4s_per_line, 9);
+        assert_eq!(p.taps_per_line(), 36);
+        assert_eq!(p.line_columns, vec![4, 6, 8]);
+        assert_eq!(p.last_row(), 9);
+        assert!(p.within_one_clock_region(&fabric));
+    }
+
+    #[test]
+    fn placement_can_cross_clock_regions() {
+        let fabric = Fabric::spartan6();
+        // Starting at row 12, a 9-CARRY4 chain ends at row 20 -> crosses
+        // the row-16 boundary. Legal but non-linear.
+        let p = TrngPlacement::auto(&fabric, 3, 36, 4, 12).expect("placement");
+        assert!(!p.within_one_clock_region(&fabric));
+        assert!(p.validate(&fabric).is_ok());
+    }
+
+    #[test]
+    fn site_lookup() {
+        let fabric = Fabric::spartan6();
+        let p = TrngPlacement::auto(&fabric, 3, 36, 4, 1).expect("placement");
+        assert_eq!(p.carry4_site(0, 0), SliceCoord::new(4, 1));
+        assert_eq!(p.carry4_site(2, 8), SliceCoord::new(8, 9));
+        assert_eq!(p.oscillator_site(1), SliceCoord::new(6, 0));
+    }
+
+    #[test]
+    fn rejects_bad_tap_count() {
+        let fabric = Fabric::spartan6();
+        assert_eq!(
+            TrngPlacement::auto(&fabric, 3, 34, 4, 1).unwrap_err(),
+            PlacementError::TapCountNotMultipleOf4 { m: 34 }
+        );
+        assert_eq!(
+            TrngPlacement::auto(&fabric, 3, 0, 4, 1).unwrap_err(),
+            PlacementError::TapCountNotMultipleOf4 { m: 0 }
+        );
+    }
+
+    #[test]
+    fn rejects_odd_column() {
+        let fabric = Fabric::spartan6();
+        assert_eq!(
+            TrngPlacement::auto(&fabric, 3, 36, 5, 1).unwrap_err(),
+            PlacementError::NotACarryColumn { column: 5 }
+        );
+    }
+
+    #[test]
+    fn rejects_row_zero_and_off_fabric() {
+        let fabric = Fabric::spartan6();
+        assert_eq!(
+            TrngPlacement::auto(&fabric, 3, 36, 4, 0).unwrap_err(),
+            PlacementError::NoRoomForOscillator
+        );
+        assert!(matches!(
+            TrngPlacement::auto(&fabric, 3, 36, 4, 125).unwrap_err(),
+            PlacementError::OffFabric { .. }
+        ));
+        assert!(matches!(
+            TrngPlacement::auto(&fabric, 40, 36, 4, 1).unwrap_err(),
+            PlacementError::OffFabric { .. }
+        ));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = PlacementError::TapCountNotMultipleOf4 { m: 34 };
+        assert!(format!("{e}").contains("34"));
+        let e = PlacementError::OffFabric {
+            coord: SliceCoord::new(70, 0),
+        };
+        assert!(format!("{e}").contains("SLICE_X70Y0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn site_lookup_bounds_checked() {
+        let fabric = Fabric::spartan6();
+        let p = TrngPlacement::auto(&fabric, 3, 36, 4, 1).expect("placement");
+        let _ = p.carry4_site(3, 0);
+    }
+}

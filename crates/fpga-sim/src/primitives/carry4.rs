@@ -1,0 +1,201 @@
+//! CARRY4 primitive model.
+//!
+//! On Spartan-6 half of the slices contain a carry-chain primitive with
+//! four MUXCY stages whose carry path is far faster than general
+//! routing (~17 ps per stage measured in the paper). Chaining the
+//! primitives of vertically adjacent slices yields a tapped delay line
+//! usable as a time-to-digital converter.
+//!
+//! The model captures the two structural non-linearity sources the
+//! paper discusses (Section 5.2, citing Menninga et al. \[6\]):
+//!
+//! * the *internal structure* of CARRY4 — the four stages do not have
+//!   equal delays; we apply a fixed 4-periodic DNL pattern;
+//! * *process variation* — per-bin random width factors frozen per
+//!   device.
+//!
+//! (The third source, the unbalanced clock tree, lives in the
+//! clock-region model of [`delay_line`](crate::delay_line) /
+//! [`fabric`](crate::fabric) since it is a property of the capture
+//! clock rather than the carry chain itself.)
+
+use crate::process::{DeviceSeed, ProcessVariation};
+use crate::time::Ps;
+
+/// Number of carry stages (taps) per CARRY4 primitive.
+pub const CARRY4_BINS: usize = 4;
+
+/// Relative DNL pattern of the four MUXCY stages inside one CARRY4.
+///
+/// The pattern sums to zero so the *average* bin width stays at the
+/// nominal `tstep`. Values are fractions of the nominal width and are
+/// loosely based on published FPGA TDC characterizations: the first
+/// stage (CIN entry / LUT bypass) is wider, middle stages are narrow.
+pub const CARRY4_DNL_PATTERN: [f64; CARRY4_BINS] = [0.35, -0.20, 0.05, -0.20];
+
+/// One placed CARRY4 primitive: four consecutive TDC bins.
+///
+/// # Examples
+///
+/// ```
+/// use trng_fpga_sim::primitives::Carry4;
+/// use trng_fpga_sim::process::{DeviceSeed, ProcessVariation};
+/// use trng_fpga_sim::time::Ps;
+///
+/// let c4 = Carry4::placed(
+///     Ps::from_ps(17.0),
+///     DeviceSeed::new(1),
+///     &ProcessVariation::default(),
+///     4,  // column
+///     10, // slice row
+/// );
+/// let widths = c4.bin_widths();
+/// assert_eq!(widths.len(), 4);
+/// assert!(widths.iter().all(|w| w.as_ps() > 0.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Carry4 {
+    widths: [Ps; CARRY4_BINS],
+    column: u64,
+    row: u64,
+}
+
+impl Carry4 {
+    /// Creates an *ideal* primitive: four equal bins of `tstep`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tstep` is not strictly positive.
+    pub fn ideal(tstep: Ps) -> Self {
+        assert!(tstep.as_ps() > 0.0, "tstep must be positive, got {tstep}");
+        Carry4 {
+            widths: [tstep; CARRY4_BINS],
+            column: 0,
+            row: 0,
+        }
+    }
+
+    /// Creates a primitive at fabric site `(column, row)` with the
+    /// structural DNL pattern and frozen per-bin process variation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tstep` is not strictly positive.
+    pub fn placed(
+        tstep: Ps,
+        device: DeviceSeed,
+        variation: &ProcessVariation,
+        column: u64,
+        row: u64,
+    ) -> Self {
+        assert!(tstep.as_ps() > 0.0, "tstep must be positive, got {tstep}");
+        let mut widths = [Ps::ZERO; CARRY4_BINS];
+        for (i, w) in widths.iter_mut().enumerate() {
+            let structural = 1.0 + CARRY4_DNL_PATTERN[i];
+            let bin_id = row * CARRY4_BINS as u64 + i as u64;
+            let process = variation.carry_bin_multiplier(device, column, bin_id);
+            // Bins cannot collapse below 20 % of nominal.
+            *w = (tstep * (structural * process)).max(tstep * 0.2);
+        }
+        Carry4 {
+            widths,
+            column,
+            row,
+        }
+    }
+
+    /// The four bin widths, in carry-propagation order.
+    pub fn bin_widths(&self) -> [Ps; CARRY4_BINS] {
+        self.widths
+    }
+
+    /// Total propagation delay through the primitive.
+    pub fn total_delay(&self) -> Ps {
+        self.widths.into_iter().sum()
+    }
+
+    /// Fabric site `(column, row)`.
+    pub fn site(&self) -> (u64, u64) {
+        (self.column, self.row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dnl_pattern_is_zero_mean() {
+        let sum: f64 = CARRY4_DNL_PATTERN.iter().sum();
+        assert!(sum.abs() < 1e-12, "pattern sum {sum}");
+    }
+
+    #[test]
+    fn ideal_bins_are_equal() {
+        let c = Carry4::ideal(Ps::from_ps(17.0));
+        for w in c.bin_widths() {
+            assert_eq!(w, Ps::from_ps(17.0));
+        }
+        assert_eq!(c.total_delay(), Ps::from_ps(68.0));
+    }
+
+    #[test]
+    fn placed_bins_follow_structural_pattern() {
+        // With zero process variation the DNL pattern alone shapes bins.
+        let c = Carry4::placed(
+            Ps::from_ps(17.0),
+            DeviceSeed::new(1),
+            &ProcessVariation::NONE,
+            4,
+            0,
+        );
+        let w = c.bin_widths();
+        assert!((w[0].as_ps() - 17.0 * 1.35).abs() < 1e-9);
+        assert!((w[1].as_ps() - 17.0 * 0.80).abs() < 1e-9);
+        assert!((w[2].as_ps() - 17.0 * 1.05).abs() < 1e-9);
+        assert!((w[3].as_ps() - 17.0 * 0.80).abs() < 1e-9);
+        // Zero-mean pattern preserves the total.
+        assert!((c.total_delay().as_ps() - 68.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn process_variation_perturbs_bins_reproducibly() {
+        let d = DeviceSeed::new(2);
+        let pv = ProcessVariation::default();
+        let a = Carry4::placed(Ps::from_ps(17.0), d, &pv, 4, 7);
+        let b = Carry4::placed(Ps::from_ps(17.0), d, &pv, 4, 7);
+        assert_eq!(a, b);
+        let c = Carry4::placed(Ps::from_ps(17.0), d, &pv, 4, 8);
+        assert_ne!(a.bin_widths(), c.bin_widths());
+    }
+
+    #[test]
+    fn chained_rows_have_distinct_bin_variations() {
+        // Bin ids must not repeat across rows, else the same variation
+        // pattern would tile down the chain.
+        let d = DeviceSeed::new(3);
+        let pv = ProcessVariation::new(0.0, 0.1, 0.0);
+        let r0 = Carry4::placed(Ps::from_ps(17.0), d, &pv, 4, 0).bin_widths();
+        let r1 = Carry4::placed(Ps::from_ps(17.0), d, &pv, 4, 1).bin_widths();
+        assert_ne!(r0, r1);
+    }
+
+    #[test]
+    fn bins_never_collapse() {
+        let d = DeviceSeed::new(4);
+        let pv = ProcessVariation::new(0.0, 0.24, 0.0);
+        for row in 0..1000 {
+            let c = Carry4::placed(Ps::from_ps(17.0), d, &pv, 2, row);
+            for w in c.bin_widths() {
+                assert!(w.as_ps() >= 17.0 * 0.2 - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tstep must be positive")]
+    fn rejects_non_positive_tstep() {
+        let _ = Carry4::ideal(Ps::ZERO);
+    }
+}

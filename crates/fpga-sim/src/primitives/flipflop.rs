@@ -1,0 +1,185 @@
+//! Capture flip-flop with a metastability model.
+//!
+//! The paper (Section 3): "Due to the timing violations during
+//! sampling, some flip-flops may be driven to the metastable state
+//! which can produce 'bubbles' in the code." A flip-flop whose data
+//! input transitions within the setup/hold aperture around the clock
+//! edge resolves to an essentially random value.
+//!
+//! The model: if the nearest input edge is within `±w_meta` of the
+//! effective capture instant, the captured bit is Bernoulli with a
+//! probability that ramps linearly across the aperture from the old
+//! level to the new level (a first-order approximation of the
+//! metastability resolution probability); outside the aperture the
+//! capture is deterministic.
+
+use crate::edge_train::SignalSource;
+use crate::rng::SimRng;
+use crate::time::Ps;
+
+/// A clocked capture flip-flop.
+///
+/// # Examples
+///
+/// ```
+/// use trng_fpga_sim::primitives::CaptureFf;
+/// use trng_fpga_sim::edge_train::EdgeTrain;
+/// use trng_fpga_sim::rng::SimRng;
+/// use trng_fpga_sim::time::Ps;
+///
+/// let mut signal = EdgeTrain::new(false, Ps::ZERO);
+/// signal.push(Ps::from_ps(100.0));
+/// let ff = CaptureFf::new(Ps::from_ps(5.0));
+/// let mut rng = SimRng::seed_from(0);
+/// // Far from the edge: deterministic capture.
+/// assert!(!ff.capture(&signal, Ps::from_ps(50.0), &mut rng));
+/// assert!(ff.capture(&signal, Ps::from_ps(150.0), &mut rng));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CaptureFf {
+    meta_window: Ps,
+}
+
+impl CaptureFf {
+    /// Creates a flip-flop with the given metastability half-aperture.
+    ///
+    /// A window of zero gives an ideal (always deterministic) FF.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `meta_window` is negative or not finite.
+    pub fn new(meta_window: Ps) -> Self {
+        assert!(
+            meta_window.as_ps() >= 0.0 && meta_window.is_finite(),
+            "metastability window must be finite and non-negative, got {meta_window}"
+        );
+        CaptureFf { meta_window }
+    }
+
+    /// An ideal flip-flop without metastability.
+    pub fn ideal() -> Self {
+        CaptureFf::new(Ps::ZERO)
+    }
+
+    /// The metastability half-aperture.
+    pub fn meta_window(&self) -> Ps {
+        self.meta_window
+    }
+
+    /// Captures `signal` at instant `t`.
+    ///
+    /// If the nearest signal edge falls inside the aperture, the
+    /// result is random with a probability ramping across the window;
+    /// otherwise it is the exact signal level at `t`.
+    pub fn capture<S: SignalSource + ?Sized>(&self, signal: &S, t: Ps, rng: &mut SimRng) -> bool {
+        let level = signal.level_at(t);
+        if self.meta_window == Ps::ZERO {
+            return level;
+        }
+        match signal.nearest_edge_distance(t) {
+            Some(d) if d < self.meta_window => {
+                // Distance 0 -> pure coin flip; distance w -> certain.
+                let p_correct = 0.5 + 0.5 * (d / self.meta_window);
+                if rng.bernoulli(p_correct) {
+                    level
+                } else {
+                    !level
+                }
+            }
+            _ => level,
+        }
+    }
+}
+
+impl Default for CaptureFf {
+    /// Default half-aperture of 9 ps.
+    ///
+    /// Chosen so that the apertures of *adjacent* taps overlap on the
+    /// narrow CARRY4 bins (≈ 13.6 ps with the structural DNL pattern):
+    /// an edge landing in the overlap randomizes two neighbouring
+    /// flip-flops at once, which is what produces the isolated-bit
+    /// "bubbles" of the paper's Figure 4 (c). A smaller aperture can
+    /// only *move* the decoded edge by one bin and never produces a
+    /// bubble; the real TDC observably does.
+    fn default() -> Self {
+        CaptureFf::new(Ps::from_ps(9.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge_train::EdgeTrain;
+
+    fn edge_at_100() -> EdgeTrain {
+        let mut s = EdgeTrain::new(false, Ps::ZERO);
+        s.push(Ps::from_ps(100.0));
+        s
+    }
+
+    #[test]
+    fn far_captures_are_deterministic() {
+        let s = edge_at_100();
+        let ff = CaptureFf::new(Ps::from_ps(5.0));
+        let mut rng = SimRng::seed_from(0);
+        for _ in 0..100 {
+            assert!(!ff.capture(&s, Ps::from_ps(90.0), &mut rng));
+            assert!(ff.capture(&s, Ps::from_ps(110.0), &mut rng));
+        }
+    }
+
+    #[test]
+    fn capture_exactly_on_edge_is_a_coin_flip() {
+        let s = edge_at_100();
+        let ff = CaptureFf::new(Ps::from_ps(5.0));
+        let mut rng = SimRng::seed_from(1);
+        let n = 20_000;
+        let ones = (0..n)
+            .filter(|_| ff.capture(&s, Ps::from_ps(100.0), &mut rng))
+            .count() as f64
+            / n as f64;
+        assert!((ones - 0.5).abs() < 0.02, "ones {ones}");
+    }
+
+    #[test]
+    fn probability_ramps_across_aperture() {
+        let s = edge_at_100();
+        let ff = CaptureFf::new(Ps::from_ps(10.0));
+        let mut rng = SimRng::seed_from(2);
+        let n = 40_000;
+        // 5 ps after the edge: level=true, p_correct = 0.75.
+        let ones = (0..n)
+            .filter(|_| ff.capture(&s, Ps::from_ps(105.0), &mut rng))
+            .count() as f64
+            / n as f64;
+        assert!((ones - 0.75).abs() < 0.02, "ones {ones}");
+    }
+
+    #[test]
+    fn ideal_ff_never_randomizes() {
+        let s = edge_at_100();
+        let ff = CaptureFf::ideal();
+        let mut rng = SimRng::seed_from(3);
+        for _ in 0..100 {
+            assert!(ff.capture(&s, Ps::from_ps(100.0), &mut rng));
+            assert!(!ff.capture(&s, Ps::from_ps(99.999), &mut rng));
+        }
+    }
+
+    #[test]
+    fn window_boundary_is_deterministic() {
+        let s = edge_at_100();
+        let ff = CaptureFf::new(Ps::from_ps(5.0));
+        let mut rng = SimRng::seed_from(4);
+        for _ in 0..100 {
+            assert!(ff.capture(&s, Ps::from_ps(105.0), &mut rng));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "metastability window must be finite")]
+    fn rejects_negative_window() {
+        let _ = CaptureFf::new(Ps::from_ps(-1.0));
+    }
+}

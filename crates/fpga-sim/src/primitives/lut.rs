@@ -1,0 +1,147 @@
+//! LUT delay-stage model.
+//!
+//! Ring-oscillator stages are implemented with LUTs (Figure 8 of the
+//! paper). Each physical LUT instance has a frozen, process-varied
+//! deterministic delay `d0 · (1 + ε_site)`; the *random* per-transition
+//! component is added by the noise machinery
+//! ([`StageNoise`](crate::noise::StageNoise)), not here.
+
+use crate::process::{DeviceSeed, ProcessVariation};
+use crate::time::Ps;
+
+/// One placed LUT acting as a delay stage.
+///
+/// # Examples
+///
+/// ```
+/// use trng_fpga_sim::primitives::LutDelay;
+/// use trng_fpga_sim::process::{DeviceSeed, ProcessVariation};
+/// use trng_fpga_sim::time::Ps;
+///
+/// let lut = LutDelay::placed(
+///     Ps::from_ps(480.0),
+///     DeviceSeed::new(1),
+///     &ProcessVariation::default(),
+///     4, 17,
+/// );
+/// // within +-4 sigma of 4 %:
+/// assert!((lut.delay().as_ps() - 480.0).abs() < 480.0 * 0.16 + 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LutDelay {
+    nominal: Ps,
+    actual: Ps,
+    x: u64,
+    y: u64,
+}
+
+impl LutDelay {
+    /// Creates an *ideal* LUT with exactly the nominal delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nominal` is not strictly positive.
+    pub fn ideal(nominal: Ps) -> Self {
+        assert!(
+            nominal.as_ps() > 0.0,
+            "LUT delay must be positive, got {nominal}"
+        );
+        LutDelay {
+            nominal,
+            actual: nominal,
+            x: 0,
+            y: 0,
+        }
+    }
+
+    /// Creates a LUT at fabric site `(x, y)` with frozen process
+    /// variation drawn from the device seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nominal` is not strictly positive.
+    pub fn placed(
+        nominal: Ps,
+        device: DeviceSeed,
+        variation: &ProcessVariation,
+        x: u64,
+        y: u64,
+    ) -> Self {
+        assert!(
+            nominal.as_ps() > 0.0,
+            "LUT delay must be positive, got {nominal}"
+        );
+        let factor = variation.delay_multiplier(device, x, y);
+        LutDelay {
+            nominal,
+            actual: nominal * factor,
+            x,
+            y,
+        }
+    }
+
+    /// The datasheet (nominal) delay.
+    pub fn nominal(&self) -> Ps {
+        self.nominal
+    }
+
+    /// The frozen, process-adjusted deterministic delay of this instance.
+    pub fn delay(&self) -> Ps {
+        self.actual
+    }
+
+    /// Fabric coordinates of this instance.
+    pub fn site(&self) -> (u64, u64) {
+        (self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_lut_has_nominal_delay() {
+        let lut = LutDelay::ideal(Ps::from_ps(480.0));
+        assert_eq!(lut.delay(), Ps::from_ps(480.0));
+        assert_eq!(lut.nominal(), Ps::from_ps(480.0));
+    }
+
+    #[test]
+    fn placed_lut_is_frozen() {
+        let d = DeviceSeed::new(5);
+        let pv = ProcessVariation::default();
+        let a = LutDelay::placed(Ps::from_ps(480.0), d, &pv, 2, 3);
+        let b = LutDelay::placed(Ps::from_ps(480.0), d, &pv, 2, 3);
+        assert_eq!(a.delay(), b.delay());
+        assert_eq!(a.site(), (2, 3));
+    }
+
+    #[test]
+    fn different_sites_have_different_delays() {
+        let d = DeviceSeed::new(5);
+        let pv = ProcessVariation::default();
+        let a = LutDelay::placed(Ps::from_ps(480.0), d, &pv, 0, 0);
+        let b = LutDelay::placed(Ps::from_ps(480.0), d, &pv, 0, 1);
+        assert_ne!(a.delay(), b.delay());
+    }
+
+    #[test]
+    fn population_mean_is_nominal() {
+        let d = DeviceSeed::new(9);
+        let pv = ProcessVariation::default();
+        let n = 10_000;
+        let mean: f64 = (0..n)
+            .map(|i| LutDelay::placed(Ps::from_ps(480.0), d, &pv, i, 0).delay().as_ps())
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 480.0).abs() < 1.5, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "LUT delay must be positive")]
+    fn rejects_zero_delay() {
+        let _ = LutDelay::ideal(Ps::ZERO);
+    }
+}

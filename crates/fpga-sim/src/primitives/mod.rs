@@ -1,0 +1,16 @@
+//! Fabric primitive models: LUTs, CARRY4 chains and capture flip-flops.
+//!
+//! These mirror the three Xilinx primitives the paper builds on
+//! (Section 3 and Figure 8): LUT delay stages form the ring
+//! oscillator, CARRY4 primitives form the fast tapped delay lines, and
+//! slice flip-flops capture the delayed signal on the sampling clock
+//! edge (where timing violations produce metastability — the "bubbles"
+//! of Figure 4(c)).
+
+pub mod carry4;
+pub mod flipflop;
+pub mod lut;
+
+pub use carry4::{Carry4, CARRY4_BINS};
+pub use flipflop::CaptureFf;
+pub use lut::LutDelay;

@@ -1,0 +1,236 @@
+//! Per-device process variation.
+//!
+//! FPGA fabric delays vary from die to die and from site to site on the
+//! same die. The paper's Section 5.2 relies on this: with `m = 32` TDC
+//! taps the signal edge was missed in 0.8 % of samples "probably due to
+//! the fact that d0 is the *average* delay value and some LUTs may be
+//! slower", which forced the authors to use `m = 36`.
+//!
+//! A [`DeviceSeed`] freezes one fabricated device: the same seed always
+//! yields the same per-site delay multipliers, so experiments can hold
+//! the device fixed while varying noise realizations, or sweep devices
+//! to study yield.
+
+use crate::rng::{hash_to_standard_normal, splitmix64};
+
+/// Identifies one fabricated device instance.
+///
+/// All process-variation quantities are pure functions of
+/// `(DeviceSeed, site coordinates, purpose tag)`, evaluated lazily —
+/// no per-device tables are stored.
+///
+/// # Examples
+///
+/// ```
+/// use trng_fpga_sim::process::{DeviceSeed, ProcessVariation};
+///
+/// let device = DeviceSeed::new(1);
+/// let pv = ProcessVariation::default();
+/// let a = pv.delay_multiplier(device, 0, 0);
+/// let b = pv.delay_multiplier(device, 0, 0);
+/// assert_eq!(a, b); // frozen at fabrication
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Default)]
+pub struct DeviceSeed(u64);
+
+impl DeviceSeed {
+    /// Creates a device identity from a 64-bit seed.
+    pub const fn new(seed: u64) -> Self {
+        DeviceSeed(seed)
+    }
+
+    /// Returns the raw seed value.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Derives a deterministic 64-bit hash for a `(site, tag)` pair.
+    #[inline]
+    pub fn site_hash(self, x: u64, y: u64, tag: u64) -> u64 {
+        let mut h = splitmix64(self.0 ^ 0xA076_1D64_78BD_642F);
+        h = splitmix64(h ^ x.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        h = splitmix64(h ^ y.wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+        splitmix64(h ^ tag)
+    }
+
+    /// Derives a deterministic standard-normal variate for `(site, tag)`.
+    #[inline]
+    pub fn site_normal(self, x: u64, y: u64, tag: u64) -> f64 {
+        let h1 = self.site_hash(x, y, tag);
+        let h2 = self.site_hash(x, y, tag ^ 0xDEAD_BEEF_CAFE_F00D);
+        hash_to_standard_normal(h1, h2)
+    }
+}
+
+
+/// Tags separating independent process-variation purposes at one site.
+pub mod tag {
+    /// LUT propagation-delay variation.
+    pub const LUT_DELAY: u64 = 1;
+    /// Carry-chain bin-width variation.
+    pub const CARRY_BIN: u64 = 2;
+    /// Flip-flop setup/hold (metastability window centre) variation.
+    pub const FF_WINDOW: u64 = 3;
+    /// Clock-tree leaf insertion-delay variation.
+    pub const CLOCK_LEAF: u64 = 4;
+}
+
+/// Magnitude of process variation applied to fabric elements.
+///
+/// Relative sigmas are standard deviations of multiplicative factors
+/// `(1 + epsilon)` applied to nominal delays; values are truncated at
+/// ±4 sigma to keep delays physical.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ProcessVariation {
+    /// Relative sigma of LUT delay (typ. 4 % on 45 nm fabric).
+    pub lut_sigma_rel: f64,
+    /// Relative sigma of a single carry-chain bin width.
+    pub carry_sigma_rel: f64,
+    /// Relative sigma of per-leaf clock insertion delay.
+    pub clock_sigma_rel: f64,
+}
+
+impl ProcessVariation {
+    /// No variation at all — every site is nominal.
+    ///
+    /// Useful for deterministic unit tests of downstream logic.
+    pub const NONE: ProcessVariation = ProcessVariation {
+        lut_sigma_rel: 0.0,
+        carry_sigma_rel: 0.0,
+        clock_sigma_rel: 0.0,
+    };
+
+    /// Creates a variation description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sigma is negative, not finite, or ≥ 25 % (at which
+    /// point the ±4σ truncation could produce non-positive delays).
+    pub fn new(lut_sigma_rel: f64, carry_sigma_rel: f64, clock_sigma_rel: f64) -> Self {
+        for (name, s) in [
+            ("lut_sigma_rel", lut_sigma_rel),
+            ("carry_sigma_rel", carry_sigma_rel),
+            ("clock_sigma_rel", clock_sigma_rel),
+        ] {
+            assert!(
+                s.is_finite() && (0.0..0.25).contains(&s),
+                "{name} must be in [0, 0.25), got {s}"
+            );
+        }
+        ProcessVariation {
+            lut_sigma_rel,
+            carry_sigma_rel,
+            clock_sigma_rel,
+        }
+    }
+
+    /// Multiplicative LUT-delay factor for a site (deterministic).
+    pub fn delay_multiplier(&self, device: DeviceSeed, x: u64, y: u64) -> f64 {
+        Self::factor(device.site_normal(x, y, tag::LUT_DELAY), self.lut_sigma_rel)
+    }
+
+    /// Multiplicative carry-bin-width factor for a site/bin.
+    pub fn carry_bin_multiplier(&self, device: DeviceSeed, x: u64, bin: u64) -> f64 {
+        Self::factor(
+            device.site_normal(x, bin, tag::CARRY_BIN),
+            self.carry_sigma_rel,
+        )
+    }
+
+    /// Multiplicative clock-leaf insertion-delay factor for a site.
+    pub fn clock_leaf_multiplier(&self, device: DeviceSeed, x: u64, y: u64) -> f64 {
+        Self::factor(
+            device.site_normal(x, y, tag::CLOCK_LEAF),
+            self.clock_sigma_rel,
+        )
+    }
+
+    #[inline]
+    fn factor(z: f64, sigma: f64) -> f64 {
+        1.0 + sigma * z.clamp(-4.0, 4.0)
+    }
+}
+
+impl Default for ProcessVariation {
+    /// Spartan-6-like defaults: 4 % LUT sigma, 6 % carry-bin sigma,
+    /// 1 % clock-leaf sigma.
+    fn default() -> Self {
+        ProcessVariation::new(0.04, 0.06, 0.01)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_values_are_frozen() {
+        let d = DeviceSeed::new(99);
+        assert_eq!(d.site_normal(3, 4, tag::LUT_DELAY), d.site_normal(3, 4, tag::LUT_DELAY));
+        assert_eq!(d.site_hash(1, 2, 3), d.site_hash(1, 2, 3));
+    }
+
+    #[test]
+    fn sites_and_tags_are_independent() {
+        let d = DeviceSeed::new(99);
+        assert_ne!(d.site_normal(0, 0, tag::LUT_DELAY), d.site_normal(0, 1, tag::LUT_DELAY));
+        assert_ne!(d.site_normal(0, 0, tag::LUT_DELAY), d.site_normal(1, 0, tag::LUT_DELAY));
+        assert_ne!(d.site_normal(0, 0, tag::LUT_DELAY), d.site_normal(0, 0, tag::CARRY_BIN));
+    }
+
+    #[test]
+    fn devices_differ() {
+        let a = DeviceSeed::new(1);
+        let b = DeviceSeed::new(2);
+        assert_ne!(a.site_normal(0, 0, 1), b.site_normal(0, 0, 1));
+    }
+
+    #[test]
+    fn multipliers_have_requested_spread() {
+        let pv = ProcessVariation::new(0.04, 0.06, 0.01);
+        let d = DeviceSeed::new(42);
+        let n = 50_000u64;
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        for i in 0..n {
+            let f = pv.delay_multiplier(d, i, i / 7);
+            assert!(f > 0.5 && f < 1.5);
+            sum += f;
+            sum2 += f * f;
+        }
+        let mean = sum / n as f64;
+        let sd = (sum2 / n as f64 - mean * mean).sqrt();
+        assert!((mean - 1.0).abs() < 0.002, "mean {mean}");
+        assert!((sd - 0.04).abs() < 0.003, "sd {sd}");
+    }
+
+    #[test]
+    fn none_variation_is_exactly_nominal() {
+        let pv = ProcessVariation::NONE;
+        let d = DeviceSeed::new(7);
+        assert_eq!(pv.delay_multiplier(d, 5, 6), 1.0);
+        assert_eq!(pv.carry_bin_multiplier(d, 5, 6), 1.0);
+        assert_eq!(pv.clock_leaf_multiplier(d, 5, 6), 1.0);
+    }
+
+    #[test]
+    fn multipliers_are_truncated_to_stay_positive() {
+        let pv = ProcessVariation::new(0.2, 0.2, 0.2);
+        let d = DeviceSeed::new(1234);
+        for i in 0..100_000u64 {
+            let f = pv.delay_multiplier(d, i, 0);
+            assert!(f >= 1.0 - 0.2 * 4.0 - 1e-12);
+            assert!(f <= 1.0 + 0.2 * 4.0 + 1e-12);
+            assert!(f > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lut_sigma_rel must be in [0, 0.25)")]
+    fn rejects_out_of_range_sigma() {
+        let _ = ProcessVariation::new(0.3, 0.0, 0.0);
+    }
+}

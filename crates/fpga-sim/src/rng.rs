@@ -1,0 +1,257 @@
+//! Randomness plumbing for the simulator.
+//!
+//! Two independent kinds of randomness exist in the simulation:
+//!
+//! 1. **Process variation** — frozen at "fabrication" time. Derived
+//!    deterministically from a [`DeviceSeed`](crate::process::DeviceSeed)
+//!    so that the same device always has the same per-LUT delays and
+//!    per-bin TDC widths.
+//! 2. **Run-time noise** — thermal jitter, metastability resolution,
+//!    flicker-noise innovations. Drawn from a [`SimRng`] owned by the
+//!    running simulation.
+//!
+//! Gaussian variates are produced with the Box–Muller transform
+//! implemented here, so the only external dependency is [`rand`]'s
+//! uniform generator (the approved dependency list does not include
+//! `rand_distr`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// The pseudo-random generator used for all run-time simulation noise.
+///
+/// Wraps a seeded [`StdRng`] and adds Gaussian sampling. Every
+/// stochastic experiment in this repository takes a seed, making runs
+/// exactly reproducible.
+///
+/// # Examples
+///
+/// ```
+/// use trng_fpga_sim::rng::SimRng;
+///
+/// let mut a = SimRng::seed_from(42);
+/// let mut b = SimRng::seed_from(42);
+/// assert_eq!(a.gaussian(0.0, 1.0), b.gaussian(0.0, 1.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+    /// Cached second Box–Muller variate (standard normal).
+    spare: Option<f64>,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+            spare: None,
+        }
+    }
+
+    /// Creates a generator seeded from operating-system entropy.
+    ///
+    /// Use only for exploratory runs; experiments should use
+    /// [`SimRng::seed_from`] for reproducibility.
+    pub fn from_os_entropy() -> Self {
+        SimRng {
+            inner: StdRng::from_entropy(),
+            spare: None,
+        }
+    }
+
+    /// Draws a standard-normal variate via the Box–Muller transform.
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // Box–Muller: two uniforms -> two independent normals.
+        // Guard against log(0) by drawing u1 from the half-open (0, 1].
+        let u1: f64 = 1.0 - self.inner.gen::<f64>();
+        let u2: f64 = self.inner.gen::<f64>();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * core::f64::consts::PI * u2;
+        let (sin, cos) = theta.sin_cos();
+        self.spare = Some(r * sin);
+        r * cos
+    }
+
+    /// Draws a normal variate with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or not finite.
+    pub fn gaussian(&mut self, mean: f64, sigma: f64) -> f64 {
+        assert!(
+            sigma >= 0.0 && sigma.is_finite(),
+            "sigma must be finite and non-negative, got {sigma}"
+        );
+        mean + sigma * self.standard_normal()
+    }
+
+    /// Draws a uniform variate in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Draws `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.inner.gen::<f64>() < p.clamp(0.0, 1.0)
+    }
+
+    /// Forks an independent generator, advancing this one.
+    ///
+    /// Useful to give each subsystem (e.g. each ring oscillator in a
+    /// differential measurement) its own stream without correlated
+    /// draws.
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::seed_from(self.inner.next_u64())
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest);
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+/// A tiny, fast, deterministic 64-bit mixer (SplitMix64 finalizer).
+///
+/// Used to derive per-site process-variation streams from a device
+/// seed plus site coordinates without constructing a full RNG per
+/// site. The output is a high-quality 64-bit hash of the input.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps a 64-bit hash to a uniform `f64` in `[0, 1)`.
+#[inline]
+pub fn hash_to_unit(h: u64) -> f64 {
+    // Take the top 53 bits for a full-precision mantissa.
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Maps two 64-bit hashes to a standard-normal variate (Box–Muller).
+#[inline]
+pub fn hash_to_standard_normal(h1: u64, h2: u64) -> f64 {
+    let u1 = 1.0 - hash_to_unit(h1); // (0, 1]
+    let u2 = hash_to_unit(h2);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.standard_normal(), b.standard_normal());
+            assert_eq!(a.uniform(), b.uniform());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn gaussian_moments_are_sane() {
+        let mut rng = SimRng::seed_from(123);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.gaussian(3.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+        // 5-sigma tolerances: se(mean) = 2/sqrt(n) ~ 0.0045.
+        assert!((mean - 3.0).abs() < 0.025, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.12, "var {var}");
+    }
+
+    #[test]
+    fn gaussian_tail_fractions() {
+        let mut rng = SimRng::seed_from(99);
+        let n = 100_000;
+        let beyond_2sigma = (0..n)
+            .filter(|_| rng.standard_normal().abs() > 2.0)
+            .count() as f64
+            / n as f64;
+        // Expected 4.55%; binomial se ~ 0.066% -> 5 sigma ~ 0.33%.
+        assert!((beyond_2sigma - 0.0455).abs() < 0.0040, "{beyond_2sigma}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be finite")]
+    fn gaussian_rejects_negative_sigma() {
+        let mut rng = SimRng::seed_from(0);
+        let _ = rng.gaussian(0.0, -1.0);
+    }
+
+    #[test]
+    fn bernoulli_respects_probability() {
+        let mut rng = SimRng::seed_from(5);
+        let n = 100_000;
+        let ones = (0..n).filter(|_| rng.bernoulli(0.25)).count() as f64 / n as f64;
+        assert!((ones - 0.25).abs() < 0.01, "{ones}");
+        assert!(!rng.bernoulli(0.0));
+        assert!(rng.bernoulli(1.0));
+    }
+
+    #[test]
+    fn forked_streams_are_decorrelated() {
+        let mut parent = SimRng::seed_from(11);
+        let mut c1 = parent.fork();
+        let mut c2 = parent.fork();
+        let same = (0..64).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_spreads() {
+        assert_eq!(splitmix64(0), splitmix64(0));
+        assert_ne!(splitmix64(0), splitmix64(1));
+        // Unit mapping stays in range.
+        for i in 0..1000u64 {
+            let u = hash_to_unit(splitmix64(i));
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn hashed_normals_have_unit_variance() {
+        let n = 100_000u64;
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        for i in 0..n {
+            let z = hash_to_standard_normal(splitmix64(2 * i), splitmix64(2 * i + 1));
+            sum += z;
+            sum2 += z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+}

@@ -1,0 +1,319 @@
+//! Simulation time as picoseconds.
+//!
+//! All timing in the simulator is expressed in picoseconds through the
+//! [`Ps`] newtype. Sub-picosecond resolution matters (thermal jitter is
+//! ~2 ps, TDC bins are ~17 ps), while accumulation times reach
+//! milliseconds for the elementary-TRNG comparison, so `f64` is used as
+//! the backing representation: at 1 ms (10^9 ps) the representable
+//! resolution is still ~10^-7 ps, far below any physical effect we
+//! model.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Neg, Rem, Sub, SubAssign};
+
+/// A signed duration or absolute simulation time in picoseconds.
+///
+/// `Ps` is a thin wrapper over `f64` providing unit safety: delays,
+/// jitter magnitudes and sampling instants cannot be accidentally mixed
+/// with unit-less quantities.
+///
+/// # Examples
+///
+/// ```
+/// use trng_fpga_sim::time::Ps;
+///
+/// let lut_delay = Ps::from_ps(480.0);
+/// let accumulation = Ps::from_ns(10.0);
+/// assert_eq!(accumulation / lut_delay, 10_000.0 / 480.0);
+/// assert_eq!((lut_delay * 2.0).as_ps(), 960.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Ps(f64);
+
+impl Ps {
+    /// Zero duration.
+    pub const ZERO: Ps = Ps(0.0);
+
+    /// Creates a time value from picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: f64) -> Self {
+        Ps(ps)
+    }
+
+    /// Creates a time value from nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: f64) -> Self {
+        Ps(ns * 1e3)
+    }
+
+    /// Creates a time value from microseconds.
+    #[inline]
+    pub const fn from_us(us: f64) -> Self {
+        Ps(us * 1e6)
+    }
+
+    /// Creates a time value from milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: f64) -> Self {
+        Ps(ms * 1e9)
+    }
+
+    /// Creates a time value from seconds.
+    #[inline]
+    pub const fn from_s(s: f64) -> Self {
+        Ps(s * 1e12)
+    }
+
+    /// Returns the raw picosecond value.
+    #[inline]
+    pub const fn as_ps(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the value in nanoseconds.
+    #[inline]
+    pub const fn as_ns(self) -> f64 {
+        self.0 / 1e3
+    }
+
+    /// Returns the value in microseconds.
+    #[inline]
+    pub const fn as_us(self) -> f64 {
+        self.0 / 1e6
+    }
+
+    /// Returns the value in seconds.
+    #[inline]
+    pub const fn as_s(self) -> f64 {
+        self.0 / 1e12
+    }
+
+    /// Absolute value.
+    #[inline]
+    pub fn abs(self) -> Ps {
+        Ps(self.0.abs())
+    }
+
+    /// Returns the smaller of two times.
+    #[inline]
+    pub fn min(self, other: Ps) -> Ps {
+        Ps(self.0.min(other.0))
+    }
+
+    /// Returns the larger of two times.
+    #[inline]
+    pub fn max(self, other: Ps) -> Ps {
+        Ps(self.0.max(other.0))
+    }
+
+    /// `true` if the value is finite (not NaN or infinite).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// Euclidean remainder: the result is always in `[0, modulus)`.
+    ///
+    /// Used to reduce a phase offset into a single TDC bin or ring
+    /// period, e.g. equation (2) of the paper reduces the sampling
+    /// offset modulo `tstep`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is not strictly positive.
+    #[inline]
+    pub fn rem_euclid(self, modulus: Ps) -> Ps {
+        assert!(modulus.0 > 0.0, "modulus must be positive");
+        Ps(self.0.rem_euclid(modulus.0))
+    }
+}
+
+impl fmt::Display for Ps {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let abs = self.0.abs();
+        if abs >= 1e12 {
+            write!(f, "{:.4} s", self.0 / 1e12)
+        } else if abs >= 1e9 {
+            write!(f, "{:.4} ms", self.0 / 1e9)
+        } else if abs >= 1e6 {
+            write!(f, "{:.4} us", self.0 / 1e6)
+        } else if abs >= 1e3 {
+            write!(f, "{:.4} ns", self.0 / 1e3)
+        } else {
+            write!(f, "{:.4} ps", self.0)
+        }
+    }
+}
+
+impl Add for Ps {
+    type Output = Ps;
+    #[inline]
+    fn add(self, rhs: Ps) -> Ps {
+        Ps(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Ps {
+    #[inline]
+    fn add_assign(&mut self, rhs: Ps) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Ps {
+    type Output = Ps;
+    #[inline]
+    fn sub(self, rhs: Ps) -> Ps {
+        Ps(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Ps {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Ps) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Ps {
+    type Output = Ps;
+    #[inline]
+    fn neg(self) -> Ps {
+        Ps(-self.0)
+    }
+}
+
+impl Mul<f64> for Ps {
+    type Output = Ps;
+    #[inline]
+    fn mul(self, rhs: f64) -> Ps {
+        Ps(self.0 * rhs)
+    }
+}
+
+impl Mul<Ps> for f64 {
+    type Output = Ps;
+    #[inline]
+    fn mul(self, rhs: Ps) -> Ps {
+        Ps(self * rhs.0)
+    }
+}
+
+impl Div<f64> for Ps {
+    type Output = Ps;
+    #[inline]
+    fn div(self, rhs: f64) -> Ps {
+        Ps(self.0 / rhs)
+    }
+}
+
+/// Dividing two times yields a dimensionless ratio.
+impl Div<Ps> for Ps {
+    type Output = f64;
+    #[inline]
+    fn div(self, rhs: Ps) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Rem<Ps> for Ps {
+    type Output = Ps;
+    #[inline]
+    fn rem(self, rhs: Ps) -> Ps {
+        Ps(self.0 % rhs.0)
+    }
+}
+
+impl Sum for Ps {
+    fn sum<I: Iterator<Item = Ps>>(iter: I) -> Ps {
+        Ps(iter.map(|p| p.0).sum())
+    }
+}
+
+impl From<Ps> for f64 {
+    #[inline]
+    fn from(value: Ps) -> f64 {
+        value.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_constructors_are_consistent() {
+        assert_eq!(Ps::from_ns(1.0).as_ps(), 1e3);
+        assert_eq!(Ps::from_us(1.0).as_ps(), 1e6);
+        assert_eq!(Ps::from_ms(1.0).as_ps(), 1e9);
+        assert_eq!(Ps::from_s(1.0).as_ps(), 1e12);
+        assert_eq!(Ps::from_ps(250.0).as_ns(), 0.25);
+        assert_eq!(Ps::from_ms(2.0).as_us(), 2e3);
+        assert_eq!(Ps::from_s(3.0).as_s(), 3.0);
+    }
+
+    #[test]
+    fn arithmetic_behaves_like_f64() {
+        let a = Ps::from_ps(100.0);
+        let b = Ps::from_ps(30.0);
+        assert_eq!((a + b).as_ps(), 130.0);
+        assert_eq!((a - b).as_ps(), 70.0);
+        assert_eq!((a * 2.0).as_ps(), 200.0);
+        assert_eq!((2.0 * a).as_ps(), 200.0);
+        assert_eq!((a / 4.0).as_ps(), 25.0);
+        assert_eq!(a / b, 100.0 / 30.0);
+        assert_eq!((-a).as_ps(), -100.0);
+        assert_eq!((a % b).as_ps(), 10.0);
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut t = Ps::from_ps(5.0);
+        t += Ps::from_ps(2.0);
+        assert_eq!(t.as_ps(), 7.0);
+        t -= Ps::from_ps(10.0);
+        assert_eq!(t.as_ps(), -3.0);
+        assert_eq!(t.abs().as_ps(), 3.0);
+    }
+
+    #[test]
+    fn min_max_sum() {
+        let a = Ps::from_ps(1.0);
+        let b = Ps::from_ps(2.0);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        let total: Ps = [a, b, Ps::from_ps(3.0)].into_iter().sum();
+        assert_eq!(total.as_ps(), 6.0);
+    }
+
+    #[test]
+    fn rem_euclid_is_always_non_negative() {
+        let m = Ps::from_ps(17.0);
+        assert!((Ps::from_ps(-5.0).rem_euclid(m).as_ps() - 12.0).abs() < 1e-12);
+        assert!((Ps::from_ps(40.0).rem_euclid(m).as_ps() - 6.0).abs() < 1e-12);
+        assert_eq!(Ps::from_ps(0.0).rem_euclid(m), Ps::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "modulus must be positive")]
+    fn rem_euclid_rejects_non_positive_modulus() {
+        let _ = Ps::from_ps(1.0).rem_euclid(Ps::ZERO);
+    }
+
+    #[test]
+    fn display_picks_a_readable_unit() {
+        assert_eq!(format!("{}", Ps::from_ps(17.0)), "17.0000 ps");
+        assert_eq!(format!("{}", Ps::from_ns(2.88)), "2.8800 ns");
+        assert_eq!(format!("{}", Ps::from_us(1.5)), "1.5000 us");
+        assert_eq!(format!("{}", Ps::from_ms(1.0)), "1.0000 ms");
+        assert_eq!(format!("{}", Ps::from_s(2.0)), "2.0000 s");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Ps::from_ps(1.0) < Ps::from_ps(2.0));
+        assert!(Ps::from_ns(1.0) > Ps::from_ps(999.0));
+    }
+}

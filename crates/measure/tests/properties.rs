@@ -1,0 +1,81 @@
+//! Property-based tests: the measurement procedures recover whatever
+//! ground truth the simulator is configured with — not just the
+//! Spartan-6 values.
+
+use proptest::prelude::*;
+use trng_fpga_sim::delay_line::TappedDelayLine;
+use trng_fpga_sim::ring_oscillator::RingOscillatorConfig;
+use trng_fpga_sim::rng::SimRng;
+use trng_fpga_sim::time::Ps;
+use trng_measure::{measure_jitter, measure_lut_delay, measure_tstep};
+
+proptest! {
+    // Each case runs a real simulation: keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn lut_delay_recovers_arbitrary_ground_truth(
+        d0 in 200.0..900.0f64,
+        sigma in 0.0..6.0f64,
+        seed in 0u64..1_000,
+    ) {
+        let cfg = RingOscillatorConfig {
+            history_window: Ps::from_ns(6.0),
+            ..RingOscillatorConfig::ideal(3, Ps::from_ps(d0), Ps::from_ps(sigma))
+        };
+        let m = measure_lut_delay(cfg, Ps::from_us(2.0), SimRng::seed_from(seed))
+            .expect("measure");
+        // Counting quantization: one edge over the whole window.
+        prop_assert!(
+            (m.d0.as_ps() - d0).abs() < d0 * 0.01 + 1.0,
+            "measured {} for true {}",
+            m.d0,
+            d0
+        );
+    }
+
+    #[test]
+    fn tstep_recovers_arbitrary_bin_width(
+        tstep in 10.0..30.0f64,
+        seed in 0u64..1_000,
+    ) {
+        let d0 = 480.0;
+        let cfg = RingOscillatorConfig {
+            history_window: Ps::from_ns(6.0),
+            ..RingOscillatorConfig::ideal(3, Ps::from_ps(d0), Ps::from_ps(2.6))
+        };
+        // Line long enough for two edges at any tstep in range.
+        let taps = ((2.0 * 3.0 * d0) / tstep).ceil() as usize + 8;
+        let line = TappedDelayLine::ideal(taps, Ps::from_ps(tstep));
+        let m = measure_tstep(cfg, &line, Ps::from_ps(3.0 * d0), 300, SimRng::seed_from(seed))
+            .expect("measure");
+        prop_assert!(
+            (m.tstep.as_ps() - tstep).abs() < tstep * 0.08,
+            "measured {} for true {}",
+            m.tstep,
+            tstep
+        );
+    }
+
+    #[test]
+    fn jitter_recovers_arbitrary_sigma(
+        sigma in 1.0..6.0f64,
+        seed in 0u64..1_000,
+    ) {
+        let cfg = RingOscillatorConfig {
+            history_window: Ps::from_ns(6.0),
+            ..RingOscillatorConfig::ideal(3, Ps::from_ps(480.0), Ps::from_ps(sigma))
+        };
+        let line = TappedDelayLine::ideal(160, Ps::from_ps(17.0));
+        let m = measure_jitter(cfg, &line, Ps::from_ns(20.0), 600, SimRng::seed_from(seed))
+            .expect("measure");
+        // 600 runs: sampling error on a std estimate ~ sigma/sqrt(2*600)
+        // plus quantization residue; allow 25 %.
+        prop_assert!(
+            (m.sigma_lut.as_ps() - sigma).abs() < sigma * 0.25 + 0.3,
+            "measured {} for true {}",
+            m.sigma_lut,
+            sigma
+        );
+    }
+}

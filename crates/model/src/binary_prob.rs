@@ -1,0 +1,226 @@
+//! Binary probability of the extracted bit — equations (2) and (3).
+//!
+//! The TDC samples the noisy signal edge with bin width `tstep`;
+//! neighbouring bins are decoded as alternating bits (the priority
+//! encoder outputs the LSB of the edge position). The edge position is
+//! Gaussian around its deterministic offset, so the probability that
+//! the output bit is 1 is the Gaussian mass falling into "1" bins:
+//!
+//! ```text
+//! τ = (t_o mod tstep) + tstep/2                        (2)
+//! P1 ≈ Σ_i [ Φ((τ − (2i − ½)·tstep)/σ_acc)
+//!          − Φ((τ − (2i + ½)·tstep)/σ_acc) ]           (3)
+//! ```
+//!
+//! i.e. "1" bins are the intervals `[(2i − ½)·tstep, (2i + ½)·tstep]`
+//! around the bin containing the most likely edge position (which is
+//! decoded as 1 without loss of generality; τ = 0 puts the mean edge in
+//! the middle of that bin).
+
+use crate::gauss::normal_mass;
+
+/// Offset τ between the noisy signal edge and the middle of the
+/// closest sampling bin — equation (2).
+///
+/// `t_o` is the deterministic offset between the sampling edge and the
+/// most likely edge position; the result lies in `[0, tstep)` by the
+/// paper's convention (`(t_o mod tstep)` shifted by half a bin — we
+/// reduce to the equivalent representative in `[-tstep/2, tstep/2)`
+/// relative to the bin centre, which is what equation (3) consumes).
+///
+/// # Panics
+///
+/// Panics if `tstep` is not strictly positive.
+///
+/// # Examples
+///
+/// ```
+/// use trng_model::binary_prob::tau_from_offset;
+/// // An edge exactly on a bin boundary is half a bin from the centre.
+/// assert!((tau_from_offset(0.0, 17.0).abs() - 8.5).abs() < 1e-12);
+/// // An edge in the middle of a bin has tau = 0.
+/// assert!(tau_from_offset(8.5, 17.0).abs() < 1e-12);
+/// ```
+pub fn tau_from_offset(t_o: f64, tstep: f64) -> f64 {
+    assert!(tstep > 0.0, "tstep must be positive, got {tstep}");
+    let m = t_o.rem_euclid(tstep); // in [0, tstep)
+    // Distance from the bin centre at tstep/2, wrapped to [-t/2, t/2).
+    let d = m - tstep / 2.0;
+    if d >= tstep / 2.0 {
+        d - tstep
+    } else {
+        d
+    }
+}
+
+/// Probability that the extracted bit is 1 — equation (3).
+///
+/// * `tau` — offset between the mean edge position and the centre of
+///   the nearest "1" bin (`tau = 0` is the worst case);
+/// * `sigma_acc` — accumulated jitter (equation (1));
+/// * `tstep` — TDC bin width (after any down-sampling:
+///   `tstep_eff = k · tstep`).
+///
+/// The infinite sum is truncated adaptively once additional bins lie
+/// more than 12σ from the mean, giving absolute error below 1e-30.
+///
+/// Degenerate case `sigma_acc == 0`: the edge is deterministic and the
+/// result is the indicator of τ landing inside a "1" bin.
+///
+/// # Panics
+///
+/// Panics if `tstep` is not strictly positive or `sigma_acc` negative.
+///
+/// # Examples
+///
+/// ```
+/// use trng_model::binary_prob::p1;
+/// // Large jitter -> equidistributed parity -> P1 ~ 0.5.
+/// assert!((p1(0.0, 100.0, 17.0) - 0.5).abs() < 1e-6);
+/// // Tiny jitter, tau = 0 -> almost surely in the "1" bin.
+/// assert!(p1(0.0, 0.5, 17.0) > 0.999_999);
+/// ```
+pub fn p1(tau: f64, sigma_acc: f64, tstep: f64) -> f64 {
+    assert!(tstep > 0.0, "tstep must be positive, got {tstep}");
+    assert!(
+        sigma_acc >= 0.0 && sigma_acc.is_finite(),
+        "sigma_acc must be finite and non-negative, got {sigma_acc}"
+    );
+    if sigma_acc == 0.0 {
+        // Edge frozen at tau; the bit is 1 iff tau lies within
+        // [-t/2, t/2] modulo 2t. Wrap tau to [-t, t) and test.
+        let wrapped = tau_from_offset(tau + tstep, 2.0 * tstep);
+        return f64::from(wrapped.abs() <= tstep / 2.0);
+    }
+    // The edge position X ~ N(0, sigma^2) around the mean; the bit is 1
+    // when X + tau falls in a "1" bin [(2i - 1/2) t, (2i + 1/2) t].
+    let reach = 12.0 * sigma_acc + tau.abs();
+    let i_max = (reach / (2.0 * tstep)).ceil() as i64 + 1;
+    let mut p = 0.0;
+    for i in -i_max..=i_max {
+        let a = (2.0 * i as f64 - 0.5) * tstep;
+        let b = (2.0 * i as f64 + 0.5) * tstep;
+        p += normal_mass(tau, sigma_acc, a, b);
+    }
+    p.clamp(0.0, 1.0)
+}
+
+/// Probability of a 0 bit: `1 − P1`.
+pub fn p0(tau: f64, sigma_acc: f64, tstep: f64) -> f64 {
+    1.0 - p1(tau, sigma_acc, tstep)
+}
+
+/// Maximal bias over all offsets: `max_τ |P1(τ) − ½|`.
+///
+/// The extremum is attained at τ = 0 (bin centre), where the Gaussian
+/// mass concentrates in a single "1" bin.
+pub fn worst_case_bias(sigma_acc: f64, tstep: f64) -> f64 {
+    (p1(0.0, sigma_acc, tstep) - 0.5).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tau_wraps_into_half_open_bin() {
+        let t = 17.0;
+        for off in [-40.0, -8.5, 0.0, 5.0, 16.9, 17.0, 100.0] {
+            let tau = tau_from_offset(off, t);
+            assert!((-t / 2.0..t / 2.0).contains(&tau), "off {off} -> {tau}");
+        }
+        // Periodicity.
+        assert!((tau_from_offset(3.0, t) - tau_from_offset(3.0 + 5.0 * t, t)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p1_is_a_probability() {
+        for tau in [-8.0, -3.0, 0.0, 4.0, 8.0] {
+            for sigma in [0.1, 1.0, 8.5, 17.0, 68.0] {
+                let p = p1(tau, sigma, 17.0);
+                assert!((0.0..=1.0).contains(&p), "tau {tau} sigma {sigma} -> {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn p1_at_large_sigma_is_half() {
+        assert!((p1(0.0, 170.0, 17.0) - 0.5).abs() < 1e-9);
+        assert!((p1(5.0, 170.0, 17.0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p1_is_maximal_at_tau_zero() {
+        let sigma = 8.5;
+        let p_centre = p1(0.0, sigma, 17.0);
+        for tau in [1.0, 3.0, 6.0, 8.0] {
+            assert!(p1(tau, sigma, 17.0) <= p_centre + 1e-12, "tau {tau}");
+            assert!(p1(-tau, sigma, 17.0) <= p_centre + 1e-12, "tau -{tau}");
+        }
+    }
+
+    #[test]
+    fn p1_is_symmetric_in_tau() {
+        let sigma = 6.0;
+        for tau in [0.5, 2.0, 5.0, 8.0] {
+            assert!((p1(tau, sigma, 17.0) - p1(-tau, sigma, 17.0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn shifting_tau_by_one_bin_swaps_bit_roles() {
+        // tau -> tau + tstep moves the mean into a "0" bin:
+        // P1(tau + t) = 1 - P1(tau).
+        let sigma = 7.0;
+        let t = 17.0;
+        for tau in [0.0, 2.0, 5.0] {
+            let a = p1(tau, sigma, t);
+            let b = p1(tau + t, sigma, t);
+            assert!((a + b - 1.0).abs() < 1e-10, "tau {tau}: {a} + {b}");
+        }
+    }
+
+    #[test]
+    fn hand_computed_value_sigma_half_bin() {
+        // sigma = t/2, tau = 0:
+        // i=0 term: Phi(1) - Phi(-1) = 0.6826894921370859
+        // i=+-1:    2*(Phi(5) - Phi(3)) = 2*(0.9999997133 - 0.9986501020)
+        let t = 17.0;
+        let sigma = 8.5;
+        let want = 0.682_689_492_137_085_9
+            + 2.0 * (0.999_999_713_348_428_1 - 0.998_650_101_968_369_9);
+        let got = p1(0.0, sigma, t);
+        assert!((got - want).abs() < 1e-9, "got {got} want {want}");
+    }
+
+    #[test]
+    fn zero_sigma_is_an_indicator() {
+        let t = 17.0;
+        assert_eq!(p1(0.0, 0.0, t), 1.0); // centre of "1" bin
+        assert_eq!(p1(t, 0.0, t), 0.0); // centre of adjacent "0" bin
+        assert_eq!(p1(2.0 * t, 0.0, t), 1.0); // next "1" bin
+        assert_eq!(p1(3.0, 0.0, t), 1.0); // still inside the "1" bin
+        assert_eq!(p1(12.0, 0.0, t), 0.0); // inside the "0" bin
+    }
+
+    #[test]
+    fn worst_case_bias_decreases_with_sigma() {
+        let t = 17.0;
+        let b1 = worst_case_bias(4.0, t);
+        let b2 = worst_case_bias(8.0, t);
+        let b3 = worst_case_bias(16.0, t);
+        assert!(b1 > b2 && b2 > b3, "{b1} {b2} {b3}");
+        assert!(b3 < 0.01);
+    }
+
+    #[test]
+    fn p0_complements_p1() {
+        assert!((p0(3.0, 6.0, 17.0) + p1(3.0, 6.0, 17.0) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "tstep must be positive")]
+    fn rejects_bad_tstep() {
+        let _ = p1(0.0, 1.0, 0.0);
+    }
+}

@@ -1,0 +1,329 @@
+//! Design-space exploration — Sections 4.4, 5.2, 5.3.
+//!
+//! Combines the model pieces into the designer-facing workflow of
+//! Figure 1: given measured [`PlatformParams`] and candidate
+//! [`DesignParams`], compute the entropy lower bound, required
+//! post-processing and resulting throughput; sweep accumulation times;
+//! and compare against the *elementary* TRNG (a free-running oscillator
+//! sampled directly by the system clock), yielding the paper's
+//! equation (8) improvement factors — 797× for `k = 1` and 49.8× for
+//! `k = 4`.
+
+use crate::binary_prob::p1;
+use crate::entropy::{h_min, h_shannon, sigma_ratio_for_entropy};
+use crate::jitter::{accumulation_time_for_sigma, sigma_acc};
+use crate::params::{DesignParams, ParamError, PlatformParams};
+use crate::postprocess::{bias, required_compression, xor_bias};
+
+/// Model evaluation of one design point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DesignPoint {
+    /// The evaluated design.
+    pub design: DesignParams,
+    /// Accumulated jitter sigma at `tA` (equation (1)), ps.
+    pub sigma_acc_ps: f64,
+    /// Worst-case `P1` (at τ = 0, equation (3)).
+    pub p1_worst: f64,
+    /// Shannon-entropy lower bound of a raw bit (equation (5)).
+    pub h_raw: f64,
+    /// Min-entropy lower bound of a raw bit.
+    pub h_min_raw: f64,
+    /// Worst-case raw bias (equation (6)).
+    pub bias_raw: f64,
+    /// Bias after XOR post-processing with the design's `np`
+    /// (equation (7)).
+    pub bias_pp: f64,
+    /// Shannon entropy after post-processing.
+    pub h_pp: f64,
+    /// Raw throughput `f_CLK / N_A`, bits/s.
+    pub raw_throughput_bps: f64,
+    /// Output throughput `f_CLK / (N_A · np)`, bits/s.
+    pub output_throughput_bps: f64,
+}
+
+/// Evaluates the stochastic model at one design point.
+///
+/// This is the "Matlab function" of Section 4.4: platform and design
+/// parameters in, entropy lower bound out.
+///
+/// # Errors
+///
+/// Returns the design-validation error if the design is inconsistent
+/// with the platform.
+///
+/// # Examples
+///
+/// ```
+/// use trng_model::design_space::evaluate;
+/// use trng_model::params::{DesignParams, PlatformParams};
+///
+/// let point = evaluate(&PlatformParams::spartan6(), &DesignParams::paper_k1())?;
+/// assert!(point.h_raw > 0.98);           // Table 1: H_RAW = 0.99
+/// assert!(point.h_pp > 0.999);           // Table 1: H_NEW = 0.999
+/// # Ok::<(), trng_model::params::ParamError>(())
+/// ```
+pub fn evaluate(
+    platform: &PlatformParams,
+    design: &DesignParams,
+) -> Result<DesignPoint, ParamError> {
+    design.validate(platform)?;
+    let sigma = sigma_acc(platform.sigma_lut_ps, design.t_a_ps(), platform.d0_lut_ps);
+    let tstep_eff = design.effective_tstep_ps(platform);
+    let p1_worst = p1(0.0, sigma, tstep_eff);
+    let b_raw = bias(p1_worst);
+    let b_pp = xor_bias(b_raw, design.np);
+    Ok(DesignPoint {
+        design: *design,
+        sigma_acc_ps: sigma,
+        p1_worst,
+        h_raw: h_shannon(p1_worst),
+        h_min_raw: h_min(p1_worst),
+        bias_raw: b_raw,
+        bias_pp: b_pp,
+        h_pp: h_shannon(0.5 + b_pp),
+        raw_throughput_bps: design.raw_throughput_bps(),
+        output_throughput_bps: design.output_throughput_bps(),
+    })
+}
+
+/// Evaluates a design for every accumulation-period count in
+/// `n_a_values`, keeping the other parameters fixed.
+///
+/// # Errors
+///
+/// Propagates the first validation error.
+pub fn sweep_accumulation(
+    platform: &PlatformParams,
+    base: &DesignParams,
+    n_a_values: &[u32],
+) -> Result<Vec<DesignPoint>, ParamError> {
+    n_a_values
+        .iter()
+        .map(|&n_a| evaluate(platform, &DesignParams { n_a, ..*base }))
+        .collect()
+}
+
+/// The smallest post-processing rate whose *model* bias meets
+/// `target_bias`, for the given design (ignoring its own `np`).
+///
+/// `None` if `max_np` is insufficient (e.g. the k = 4, tA = 10 ns row
+/// of Table 1, reported as "> 16").
+///
+/// # Errors
+///
+/// Propagates design-validation errors.
+pub fn np_for_bias(
+    platform: &PlatformParams,
+    design: &DesignParams,
+    target_bias: f64,
+    max_np: u32,
+) -> Result<Option<u32>, ParamError> {
+    let point = evaluate(platform, design)?;
+    Ok(required_compression(point.bias_raw, target_bias, max_np))
+}
+
+/// Equation (8): throughput-improvement factor of carry-chain
+/// extraction over the elementary TRNG, `(d0 / (k·tstep))²`.
+///
+/// The elementary TRNG samples the oscillator with timing precision
+/// equal to the oscillator half-period; in the best case (single-LUT
+/// ring) that is `d0_LUT`. Throughput scales with the square of
+/// sampling precision, hence the ratio squared.
+///
+/// # Examples
+///
+/// ```
+/// use trng_model::design_space::improvement_factor;
+/// use trng_model::params::PlatformParams;
+///
+/// let p = PlatformParams::spartan6();
+/// assert!((improvement_factor(&p, 1) - 797.0).abs() < 1.0);  // paper: 797
+/// assert!((improvement_factor(&p, 4) - 49.8).abs() < 0.1);   // paper: 49.8
+/// ```
+pub fn improvement_factor(platform: &PlatformParams, k: u32) -> f64 {
+    let tstep_eff = f64::from(k) * platform.tstep_ps;
+    (platform.d0_lut_ps / tstep_eff).powi(2)
+}
+
+/// Accumulation time (ps) needed to reach worst-case Shannon entropy
+/// `h_target` when sampling with bin width `tstep_eff_ps`.
+///
+/// Inverts the model: entropy → required `σ_acc/tstep` ratio →
+/// equation (1) inverted for `tA`. Used for the elementary-TRNG
+/// comparison (same jitter accumulation, `tstep = d0`).
+///
+/// # Panics
+///
+/// Panics if `h_target` is not in `(0, 1)` (see
+/// [`sigma_ratio_for_entropy`]) or `tstep_eff_ps` is not positive.
+pub fn accumulation_time_for_entropy(
+    platform: &PlatformParams,
+    tstep_eff_ps: f64,
+    h_target: f64,
+) -> f64 {
+    assert!(
+        tstep_eff_ps > 0.0,
+        "tstep must be positive, got {tstep_eff_ps}"
+    );
+    let ratio = sigma_ratio_for_entropy(h_target);
+    let sigma_target = ratio * tstep_eff_ps;
+    accumulation_time_for_sigma(sigma_target, platform.sigma_lut_ps, platform.d0_lut_ps)
+}
+
+/// Side-by-side accumulation-time comparison with the elementary TRNG
+/// at equal entropy (Section 5.3's "3 orders of magnitude" claim).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ElementaryComparison {
+    /// Entropy target used for the comparison.
+    pub h_target: f64,
+    /// Required `tA` for the carry-chain TRNG (ps).
+    pub t_a_carry_ps: f64,
+    /// Required `tA` for the elementary TRNG (ps).
+    pub t_a_elementary_ps: f64,
+    /// Ratio `t_a_elementary / t_a_carry` (equals equation (8)).
+    pub speedup: f64,
+}
+
+/// Computes the accumulation-time comparison at entropy `h_target` for
+/// down-sampling factor `k`.
+///
+/// # Panics
+///
+/// Panics if `h_target` is not in `(0, 1)`.
+pub fn compare_with_elementary(
+    platform: &PlatformParams,
+    k: u32,
+    h_target: f64,
+) -> ElementaryComparison {
+    let tstep_eff = f64::from(k) * platform.tstep_ps;
+    let t_carry = accumulation_time_for_entropy(platform, tstep_eff, h_target);
+    let t_elem = accumulation_time_for_entropy(platform, platform.d0_lut_ps, h_target);
+    ElementaryComparison {
+        h_target,
+        t_a_carry_ps: t_carry,
+        t_a_elementary_ps: t_elem,
+        speedup: t_elem / t_carry,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_k1_point_matches_table1() {
+        let p = PlatformParams::spartan6();
+        let point = evaluate(&p, &DesignParams::paper_k1()).expect("valid");
+        assert!((point.h_raw - 0.99).abs() < 0.01, "H_RAW {}", point.h_raw);
+        assert!(point.h_pp > 0.999, "H_NEW {}", point.h_pp);
+        assert!(
+            (point.output_throughput_bps / 1e6 - 14.29).abs() < 0.01,
+            "throughput {}",
+            point.output_throughput_bps
+        );
+    }
+
+    #[test]
+    fn table1_h_raw_column_via_sweep() {
+        let p = PlatformParams::spartan6();
+        // k = 1 rows: tA = 10, 20 ns.
+        let k1 = sweep_accumulation(&p, &DesignParams::paper_k1(), &[1, 2]).expect("valid");
+        assert!((k1[0].h_raw - 0.99).abs() < 0.01);
+        assert!(k1[1].h_raw > 0.998);
+        // k = 4 rows: tA = 10, 50, 100, 200 ns.
+        let k4 = sweep_accumulation(&p, &DesignParams::paper_k4(), &[1, 5, 10, 20]).expect("valid");
+        assert!(k4[0].h_raw < 0.06, "tA=10ns k=4: {}", k4[0].h_raw);
+        assert!((k4[1].h_raw - 0.70).abs() < 0.05, "tA=50ns: {}", k4[1].h_raw);
+        assert!((k4[2].h_raw - 0.94).abs() < 0.02, "tA=100ns: {}", k4[2].h_raw);
+        assert!((k4[3].h_raw - 0.99).abs() < 0.01, "tA=200ns: {}", k4[3].h_raw);
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_ta() {
+        let p = PlatformParams::spartan6();
+        let points =
+            sweep_accumulation(&p, &DesignParams::paper_k4(), &[1, 2, 5, 10, 20, 50]).expect("ok");
+        for w in points.windows(2) {
+            assert!(w[1].h_raw >= w[0].h_raw - 1e-12);
+            assert!(w[1].sigma_acc_ps > w[0].sigma_acc_ps);
+            assert!(w[1].raw_throughput_bps < w[0].raw_throughput_bps);
+        }
+    }
+
+    #[test]
+    fn np_for_bias_matches_required_compression_order() {
+        let p = PlatformParams::spartan6();
+        // Lower-entropy configurations need more compression.
+        let np_50 = np_for_bias(&p, &DesignParams::paper_k4(), 1e-4, 32)
+            .expect("valid")
+            .expect("reachable");
+        let d200 = DesignParams {
+            n_a: 20,
+            ..DesignParams::paper_k4()
+        };
+        let np_200 = np_for_bias(&p, &d200, 1e-4, 32)
+            .expect("valid")
+            .expect("reachable");
+        assert!(np_50 > np_200, "np(50ns)={np_50} np(200ns)={np_200}");
+    }
+
+    #[test]
+    fn k4_ta10_is_hopeless_like_table1() {
+        // Table 1 reports n_NIST > 16 for k=4, tA=10ns. The model bias
+        // is so large that even np=16 leaves visible bias.
+        let p = PlatformParams::spartan6();
+        let d = DesignParams {
+            n_a: 1,
+            ..DesignParams::paper_k4()
+        };
+        let np = np_for_bias(&p, &d, 1e-4, 16).expect("valid");
+        assert_eq!(np, None);
+    }
+
+    #[test]
+    fn improvement_factors_match_equation_8() {
+        let p = PlatformParams::spartan6();
+        let f1 = improvement_factor(&p, 1);
+        assert!((f1 - (480.0f64 / 17.0).powi(2)).abs() < 1e-9);
+        assert!((f1 - 797.2).abs() < 0.5);
+        let f4 = improvement_factor(&p, 4);
+        assert!((f4 - 49.8).abs() < 0.1);
+    }
+
+    #[test]
+    fn elementary_comparison_reproduces_three_orders_of_magnitude() {
+        let p = PlatformParams::spartan6();
+        let cmp = compare_with_elementary(&p, 1, 0.99);
+        // The speedup equals eq (8) exactly (both times scale the same way).
+        assert!((cmp.speedup - improvement_factor(&p, 1)).abs() < 1.0);
+        // tA for the carry-chain version at H = 0.99 is ~10 ns ...
+        assert!((cmp.t_a_carry_ps - 10_000.0).abs() < 1_500.0);
+        // ... and ~8 us for the elementary TRNG: 3 orders of magnitude.
+        assert!(cmp.t_a_elementary_ps > 5e6 && cmp.t_a_elementary_ps < 12e6);
+    }
+
+    #[test]
+    fn accumulation_time_inversion_round_trips() {
+        let p = PlatformParams::spartan6();
+        for h in [0.7, 0.9, 0.99] {
+            let ta = accumulation_time_for_entropy(&p, 17.0, h);
+            let sigma = sigma_acc(p.sigma_lut_ps, ta, p.d0_lut_ps);
+            let back = crate::entropy::entropy_lower_bound(sigma, 17.0);
+            assert!((back - h).abs() < 1e-6, "h {h} -> {back}");
+        }
+    }
+
+    #[test]
+    fn invalid_design_propagates_error() {
+        let p = PlatformParams::spartan6();
+        let bad = DesignParams {
+            m: 28,
+            ..DesignParams::paper_k1()
+        };
+        assert!(evaluate(&p, &bad).is_err());
+        assert!(sweep_accumulation(&p, &bad, &[1]).is_err());
+        assert!(np_for_bias(&p, &bad, 1e-4, 8).is_err());
+    }
+}

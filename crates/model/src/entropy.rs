@@ -1,0 +1,257 @@
+//! Entropy measures — equation (5) and the worst-case lower bound.
+//!
+//! ```text
+//! H = −P1·log2(P1) − (1 − P1)·log2(1 − P1)             (5)
+//! ```
+//!
+//! The binary probability depends on the unpredictable offset τ
+//! (Section 4.3): low-frequency and deterministic noise shift it
+//! arbitrarily, so the *lower bound* of entropy is taken at the worst
+//! case, τ = 0 (Figure 7's minimum).
+//!
+//! Besides Shannon entropy the module provides min-entropy, which
+//! AIS-31/SP 800-90B-style evaluations prefer for cryptographic
+//! post-processing budgets.
+
+use crate::binary_prob::p1;
+
+/// Binary Shannon entropy of a bit with `P(1) = p` — equation (5).
+///
+/// Returns values in `[0, 1]`; `h_shannon(0) = h_shannon(1) = 0`.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use trng_model::entropy::h_shannon;
+/// assert_eq!(h_shannon(0.5), 1.0);
+/// assert!(h_shannon(0.9) < h_shannon(0.6));
+/// ```
+pub fn h_shannon(p: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "probability must be in [0, 1], got {p}"
+    );
+    if p == 0.0 || p == 1.0 {
+        return 0.0;
+    }
+    let q = 1.0 - p;
+    -(p * p.log2() + q * q.log2())
+}
+
+/// Binary min-entropy: `−log2(max(p, 1 − p))`.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use trng_model::entropy::h_min;
+/// assert_eq!(h_min(0.5), 1.0);
+/// assert!(h_min(0.75) < 0.5);
+/// ```
+pub fn h_min(p: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "probability must be in [0, 1], got {p}"
+    );
+    -p.max(1.0 - p).log2()
+}
+
+/// Shannon entropy of the extracted bit at a given offset τ —
+/// the quantity plotted in Figure 7.
+pub fn entropy_at_tau(tau: f64, sigma_acc: f64, tstep: f64) -> f64 {
+    h_shannon(p1(tau, sigma_acc, tstep))
+}
+
+/// Worst-case (lower-bound) Shannon entropy over all offsets —
+/// Section 4.3: the minimum is reached at τ = 0.
+///
+/// # Examples
+///
+/// ```
+/// use trng_model::entropy::entropy_lower_bound;
+/// // sigma_acc = tstep gives essentially full entropy (Figure 7,
+/// // topmost curve).
+/// assert!(entropy_lower_bound(17.0, 17.0) > 0.999);
+/// // sigma_acc = tstep/3 is visibly degraded.
+/// assert!(entropy_lower_bound(17.0 / 3.0, 17.0) < 0.8);
+/// ```
+pub fn entropy_lower_bound(sigma_acc: f64, tstep: f64) -> f64 {
+    entropy_at_tau(0.0, sigma_acc, tstep)
+}
+
+/// Worst-case min-entropy over all offsets (τ = 0).
+pub fn min_entropy_lower_bound(sigma_acc: f64, tstep: f64) -> f64 {
+    h_min(p1(0.0, sigma_acc, tstep))
+}
+
+/// Samples the Figure-7 curve: `(τ/tstep, H(τ))` pairs for
+/// `τ/tstep ∈ [−0.5, 0.5]` at `points` equally spaced offsets.
+///
+/// # Panics
+///
+/// Panics if `points < 2`.
+pub fn entropy_curve(sigma_acc: f64, tstep: f64, points: usize) -> Vec<(f64, f64)> {
+    assert!(points >= 2, "need at least two points, got {points}");
+    (0..points)
+        .map(|i| {
+            let x = -0.5 + i as f64 / (points as f64 - 1.0);
+            let tau = x * tstep;
+            (x, entropy_at_tau(tau, sigma_acc, tstep))
+        })
+        .collect()
+}
+
+/// Finds the smallest `sigma_acc / tstep` ratio whose worst-case
+/// entropy reaches `h_target`, by bisection.
+///
+/// Used to derive required accumulation times: combine with
+/// [`accumulation_time_for_sigma`](crate::jitter::accumulation_time_for_sigma).
+///
+/// # Panics
+///
+/// Panics if `h_target` is not in `(0, 1)`.
+pub fn sigma_ratio_for_entropy(h_target: f64) -> f64 {
+    assert!(
+        h_target > 0.0 && h_target < 1.0,
+        "entropy target must be in (0, 1), got {h_target}"
+    );
+    // Entropy lower bound is monotone in sigma/tstep. Bracket and bisect.
+    let f = |r: f64| entropy_lower_bound(r, 1.0) - h_target;
+    let mut lo = 1e-6;
+    let mut hi = 4.0;
+    debug_assert!(f(lo) < 0.0 && f(hi) > 0.0);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if f(mid) < 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shannon_entropy_shape() {
+        assert_eq!(h_shannon(0.0), 0.0);
+        assert_eq!(h_shannon(1.0), 0.0);
+        assert_eq!(h_shannon(0.5), 1.0);
+        // Symmetry.
+        assert!((h_shannon(0.3) - h_shannon(0.7)).abs() < 1e-15);
+        // Known value: H(0.25) = 0.8112781244591328.
+        assert!((h_shannon(0.25) - 0.811_278_124_459_132_8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_entropy_is_below_shannon() {
+        for p in [0.5, 0.6, 0.75, 0.9, 0.99] {
+            assert!(h_min(p) <= h_shannon(p) + 1e-12, "p = {p}");
+        }
+        assert_eq!(h_min(0.5), 1.0);
+    }
+
+    #[test]
+    fn figure7_curve_minimum_at_tau_zero() {
+        for ratio in [1.0, 0.5, 1.0 / 3.0] {
+            let sigma = 17.0 * ratio;
+            let curve = entropy_curve(sigma, 17.0, 101);
+            let centre = curve[50].1;
+            let min = curve
+                .iter()
+                .map(|&(_, h)| h)
+                .fold(f64::INFINITY, f64::min);
+            assert!((centre - min).abs() < 1e-9, "ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn figure7_reference_levels() {
+        // Exact model values at tau = 0 (hand computation with eq (3)):
+        //   sigma = tstep      -> P1 = 0.5046 -> H ~ 0.99994
+        //   sigma = tstep/2    -> P1 = 0.6854 -> H ~ 0.900
+        //   sigma = tstep/3    -> P1 = 0.8664 -> H ~ 0.567
+        // matching the minima of the three curves in Figure 7.
+        let t = 17.0;
+        assert!(entropy_lower_bound(t, t) > 0.999);
+        let h_half = entropy_lower_bound(t / 2.0, t);
+        assert!((h_half - 0.900).abs() < 0.005, "H(t/2) = {h_half}");
+        let h_third = entropy_lower_bound(t / 3.0, t);
+        assert!((h_third - 0.567).abs() < 0.005, "H(t/3) = {h_third}");
+    }
+
+    #[test]
+    fn figure7_curve_maximum_at_edges() {
+        // At tau = +-tstep/2 the edge sits on a bin boundary: P1 = 0.5
+        // exactly, entropy 1.
+        let curve = entropy_curve(8.5, 17.0, 101);
+        assert!((curve[0].1 - 1.0).abs() < 1e-9);
+        assert!((curve[100].1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn curve_is_symmetric() {
+        let curve = entropy_curve(6.0, 17.0, 101);
+        for i in 0..50 {
+            let (xl, hl) = curve[i];
+            let (xr, hr) = curve[100 - i];
+            assert!((xl + xr).abs() < 1e-12);
+            assert!((hl - hr).abs() < 1e-9, "at {xl}");
+        }
+    }
+
+    #[test]
+    fn lower_bound_is_monotone_in_sigma() {
+        let t = 17.0;
+        let mut prev = 0.0;
+        for r in [0.1, 0.2, 0.3, 0.5, 0.7, 1.0, 1.5] {
+            let h = entropy_lower_bound(r * t, t);
+            assert!(h >= prev - 1e-12, "ratio {r}");
+            prev = h;
+        }
+    }
+
+    #[test]
+    fn sigma_ratio_inversion() {
+        for h in [0.3, 0.7, 0.9, 0.99, 0.999] {
+            let r = sigma_ratio_for_entropy(h);
+            let back = entropy_lower_bound(r, 1.0);
+            assert!((back - h).abs() < 1e-9, "h {h}: ratio {r} -> {back}");
+        }
+    }
+
+    #[test]
+    fn paper_table1_h_raw_reproduced_by_model() {
+        // Platform: d0 = 480 ps, tstep = 17 ps, sigma_LUT = 2.6 ps
+        // (calibrated; see DESIGN.md). Check all six Table-1 H_RAW rows.
+        let d0 = 480.0;
+        let t = 17.0;
+        let s = 2.6;
+        let h = |ta_ns: f64, k: f64| {
+            let sigma = crate::jitter::sigma_acc(s, ta_ns * 1e3, d0);
+            entropy_lower_bound(sigma, t * k)
+        };
+        assert!((h(10.0, 1.0) - 0.99).abs() < 0.01, "k1 ta10 {}", h(10.0, 1.0));
+        assert!(h(20.0, 1.0) > 0.998, "k1 ta20 {}", h(20.0, 1.0));
+        assert!(h(10.0, 4.0) < 0.06, "k4 ta10 {}", h(10.0, 4.0));
+        assert!((h(50.0, 4.0) - 0.70).abs() < 0.05, "k4 ta50 {}", h(50.0, 4.0));
+        assert!((h(100.0, 4.0) - 0.94).abs() < 0.02, "k4 ta100 {}", h(100.0, 4.0));
+        assert!((h(200.0, 4.0) - 0.99).abs() < 0.01, "k4 ta200 {}", h(200.0, 4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability must be in [0, 1]")]
+    fn rejects_bad_probability() {
+        let _ = h_shannon(1.5);
+    }
+}

@@ -1,0 +1,302 @@
+//! Gaussian special functions: `erf`, `erfc`, normal PDF and CDF.
+//!
+//! Equation (4) of the paper defines Φ, the standard-normal CDF, which
+//! equations (3) and (5) consume. No external math crate is on the
+//! approved dependency list, so the functions are implemented from
+//! scratch:
+//!
+//! * `erf` for small arguments uses the cancellation-free series
+//!   `erf(x) = (2/√π)·e^{−x²}·Σ_{n≥0} 2ⁿ x^{2n+1} / (1·3·…·(2n+1))`
+//!   (all terms positive, full double precision);
+//! * `erfc` for large arguments uses the continued fraction
+//!   `erfc(x) = e^{−x²}/(x√π) · 1/(1 + ½/(x² + 1/(1 + ³⁄₂/(x² + …))))`
+//!   evaluated with the modified Lentz algorithm.
+//!
+//! Accuracy is verified against published 15-digit reference values in
+//! the unit tests.
+
+use core::f64::consts::{FRAC_2_SQRT_PI, SQRT_2};
+
+/// Crossover point between the series and the continued fraction.
+const ERF_SERIES_LIMIT: f64 = 2.0;
+
+/// The error function `erf(x)`.
+///
+/// # Examples
+///
+/// ```
+/// use trng_model::gauss::erf;
+/// assert!((erf(1.0) - 0.842700792949715).abs() < 1e-14);
+/// assert_eq!(erf(0.0), 0.0);
+/// ```
+pub fn erf(x: f64) -> f64 {
+    if x.is_nan() {
+        return f64::NAN;
+    }
+    if x < 0.0 {
+        return -erf(-x);
+    }
+    if x <= ERF_SERIES_LIMIT {
+        erf_series(x)
+    } else {
+        1.0 - erfc_cf(x)
+    }
+}
+
+/// The complementary error function `erfc(x) = 1 − erf(x)`.
+///
+/// Stays accurate in the deep tail where `1 − erf(x)` would underflow:
+/// `erfc(8) ≈ 1.12e-29` is returned with full relative precision.
+///
+/// # Examples
+///
+/// ```
+/// use trng_model::gauss::erfc;
+/// assert!((erfc(2.0) - 0.004677734981047266).abs() < 1e-15);
+/// ```
+pub fn erfc(x: f64) -> f64 {
+    if x.is_nan() {
+        return f64::NAN;
+    }
+    if x < 0.0 {
+        return 2.0 - erfc(-x);
+    }
+    if x <= ERF_SERIES_LIMIT {
+        1.0 - erf_series(x)
+    } else {
+        erfc_cf(x)
+    }
+}
+
+/// Cancellation-free power series, valid for `0 <= x <~ 3`.
+fn erf_series(x: f64) -> f64 {
+    // erf(x) = (2/sqrt(pi)) * exp(-x^2) * sum_{n>=0} (2x^2)^n * x / (2n+1)!!
+    let x2 = x * x;
+    let mut term = x;
+    let mut sum = x;
+    let mut n = 0u32;
+    loop {
+        n += 1;
+        term *= 2.0 * x2 / (2.0 * f64::from(n) + 1.0);
+        let new_sum = sum + term;
+        if new_sum == sum || n > 200 {
+            break;
+        }
+        sum = new_sum;
+    }
+    FRAC_2_SQRT_PI * (-x2).exp() * sum
+}
+
+/// Continued fraction for `erfc`, valid for `x >~ 1.5` (modified Lentz).
+///
+/// Evaluates the J-fraction
+/// `CF(x) = x + (1/2)/(x + 1/(x + (3/2)/(x + 2/(x + …))))`
+/// with `erfc(x) = e^{−x²}/√π · 1/CF(x)`.
+fn erfc_cf(x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    const EPS: f64 = 1e-16;
+    // Modified Lentz with b0 = x, a_k = k/2, b_k = x.
+    let mut f = x;
+    let mut c = f;
+    let mut d = 0.0f64;
+    for k in 1..=500u32 {
+        let a = f64::from(k) / 2.0;
+        d = x + a * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        d = 1.0 / d;
+        c = x + a / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        let delta = c * d;
+        f *= delta;
+        if (delta - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    (-x * x).exp() / core::f64::consts::PI.sqrt() / f
+}
+
+/// Standard-normal probability density `φ(x)`.
+///
+/// # Examples
+///
+/// ```
+/// use trng_model::gauss::normal_pdf;
+/// assert!((normal_pdf(0.0) - 0.3989422804014327).abs() < 1e-15);
+/// ```
+pub fn normal_pdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / (2.0 * core::f64::consts::PI).sqrt()
+}
+
+/// Standard-normal cumulative distribution `Φ(x)` — equation (4).
+///
+/// # Examples
+///
+/// ```
+/// use trng_model::gauss::normal_cdf;
+/// assert!((normal_cdf(0.0) - 0.5).abs() < 1e-15);
+/// assert!((normal_cdf(1.959963984540054) - 0.975).abs() < 1e-12);
+/// ```
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / SQRT_2)
+}
+
+/// Upper-tail probability `Q(x) = 1 − Φ(x)`, accurate in the tail.
+pub fn normal_sf(x: f64) -> f64 {
+    0.5 * erfc(x / SQRT_2)
+}
+
+/// Probability mass of a `N(mu, sigma²)` variate inside `[a, b]`.
+///
+/// Degenerates gracefully: for `sigma == 0` it is the indicator of
+/// `mu ∈ [a, b]`.
+///
+/// # Panics
+///
+/// Panics if `a > b` or `sigma < 0`.
+pub fn normal_mass(mu: f64, sigma: f64, a: f64, b: f64) -> f64 {
+    assert!(a <= b, "interval must be ordered, got [{a}, {b}]");
+    assert!(sigma >= 0.0, "sigma must be non-negative, got {sigma}");
+    if sigma == 0.0 {
+        return f64::from((a..=b).contains(&mu));
+    }
+    // Work in the tail-stable form on whichever side is relevant.
+    let za = (a - mu) / sigma;
+    let zb = (b - mu) / sigma;
+    if za >= 0.0 {
+        // Both bounds right of the mean: difference of survival fns.
+        normal_sf(za) - normal_sf(zb)
+    } else if zb <= 0.0 {
+        normal_cdf(zb) - normal_cdf(za)
+    } else {
+        1.0 - normal_sf(zb) - normal_cdf(za)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference values computed with mpmath at 50 digits.
+    const ERF_REFS: &[(f64, f64)] = &[
+        (0.0, 0.0),
+        (0.1, 0.1124629160182849),
+        (0.5, 0.5204998778130465),
+        (1.0, 0.8427007929497149),
+        (1.5, 0.9661051464753107),
+        (2.0, 0.9953222650189527),
+        (3.0, 0.9999779095030014),
+    ];
+
+    #[test]
+    fn erf_matches_reference_values() {
+        for &(x, want) in ERF_REFS {
+            let got = erf(x);
+            assert!(
+                (got - want).abs() < 1e-14,
+                "erf({x}) = {got}, want {want}"
+            );
+            assert!((erf(-x) + want).abs() < 1e-14, "odd symmetry at {x}");
+        }
+    }
+
+    #[test]
+    fn erfc_deep_tail_has_relative_precision() {
+        // erfc(5) = 1.5374597944280348e-12 (mpmath)
+        let got = erfc(5.0);
+        let want = 1.5374597944280348e-12;
+        assert!((got / want - 1.0).abs() < 1e-12, "erfc(5) = {got}");
+        // erfc(8) = 1.1224297172982928e-29
+        let got = erfc(8.0);
+        let want = 1.1224297172982928e-29;
+        assert!((got / want - 1.0).abs() < 1e-11, "erfc(8) = {got}");
+    }
+
+    #[test]
+    fn erf_plus_erfc_is_one() {
+        for x in [-3.0, -1.0, -0.3, 0.0, 0.7, 1.9, 2.1, 4.0] {
+            assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-14, "at {x}");
+        }
+    }
+
+    #[test]
+    fn erf_is_continuous_at_the_crossover() {
+        let below = erf(ERF_SERIES_LIMIT - 1e-12);
+        let above = erf(ERF_SERIES_LIMIT + 1e-12);
+        assert!((below - above).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normal_cdf_reference_values() {
+        // Classical quantiles.
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-15);
+        assert!((normal_cdf(1.0) - 0.8413447460685429).abs() < 1e-14);
+        assert!((normal_cdf(-1.0) - 0.15865525393145705).abs() < 1e-14);
+        assert!((normal_cdf(1.6448536269514722) - 0.95).abs() < 1e-12);
+        assert!((normal_cdf(2.326347874040841) - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normal_sf_is_tail_stable() {
+        let x = 10.0;
+        // Q(10) = 7.619853024160526e-24
+        let got = normal_sf(x);
+        let want = 7.619853024160526e-24;
+        assert!((got / want - 1.0).abs() < 1e-10, "Q(10) = {got}");
+        assert!((normal_cdf(x) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pdf_integrates_to_cdf_numerically() {
+        // Trapezoid integral of the pdf from -8 to 1 ~ Phi(1)
+        // (tail mass below -8 is ~6e-16, negligible).
+        let n = 200_000;
+        let a = -8.0;
+        let b = 1.0;
+        let h = (b - a) / n as f64;
+        let mut acc = 0.5 * (normal_pdf(a) + normal_pdf(b));
+        for i in 1..n {
+            acc += normal_pdf(a + h * i as f64);
+        }
+        let integral = acc * h;
+        assert!((integral - normal_cdf(1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normal_mass_basics() {
+        // Central 1-sigma mass.
+        let m = normal_mass(0.0, 1.0, -1.0, 1.0);
+        assert!((m - 0.6826894921370859).abs() < 1e-13);
+        // Shifted and scaled.
+        let m = normal_mass(5.0, 2.0, 3.0, 7.0);
+        assert!((m - 0.6826894921370859).abs() < 1e-13);
+        // Far tail interval, right side.
+        let m = normal_mass(0.0, 1.0, 8.0, 9.0);
+        assert!(m > 0.0 && m < 1e-14);
+        // Degenerate sigma.
+        assert_eq!(normal_mass(0.5, 0.0, 0.0, 1.0), 1.0);
+        assert_eq!(normal_mass(2.0, 0.0, 0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn normal_mass_spanning_interval() {
+        let m = normal_mass(0.0, 1.0, -0.5, 2.0);
+        let want = normal_cdf(2.0) - normal_cdf(-0.5);
+        assert!((m - want).abs() < 1e-14);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be ordered")]
+    fn normal_mass_rejects_reversed_interval() {
+        let _ = normal_mass(0.0, 1.0, 1.0, 0.0);
+    }
+
+    #[test]
+    fn nan_propagates() {
+        assert!(erf(f64::NAN).is_nan());
+        assert!(erfc(f64::NAN).is_nan());
+    }
+}

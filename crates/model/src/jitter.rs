@@ -1,0 +1,121 @@
+//! Jitter accumulation — equation (1).
+//!
+//! The ring oscillator free-runs for the accumulation time `tA`;
+//! because the white-noise jitter realizations of successive
+//! transitions are independent, the standard deviation of the
+//! accumulated jitter grows with the square root of the number of
+//! transition events:
+//!
+//! ```text
+//! σ_acc(tA) = σ_LUT · sqrt(tA / d0_LUT)          (1)
+//! ```
+
+/// Accumulated thermal-jitter standard deviation after time `t_a` —
+/// equation (1) of the paper.
+///
+/// All arguments share a time unit (picoseconds by convention); the
+/// result is in the same unit.
+///
+/// # Panics
+///
+/// Panics if `sigma_lut` is negative, or `t_a` is negative, or
+/// `d0_lut` is not strictly positive.
+///
+/// # Examples
+///
+/// ```
+/// use trng_model::jitter::sigma_acc;
+/// // Paper's platform at tA = 10 ns: 2.6 * sqrt(10000/480) ~ 11.9 ps.
+/// let s = sigma_acc(2.6, 10_000.0, 480.0);
+/// assert!((s - 11.867).abs() < 0.01);
+/// ```
+pub fn sigma_acc(sigma_lut: f64, t_a: f64, d0_lut: f64) -> f64 {
+    assert!(
+        sigma_lut >= 0.0 && sigma_lut.is_finite(),
+        "sigma_lut must be finite and non-negative, got {sigma_lut}"
+    );
+    assert!(
+        t_a >= 0.0 && t_a.is_finite(),
+        "accumulation time must be finite and non-negative, got {t_a}"
+    );
+    assert!(
+        d0_lut > 0.0 && d0_lut.is_finite(),
+        "d0_lut must be finite and positive, got {d0_lut}"
+    );
+    sigma_lut * (t_a / d0_lut).sqrt()
+}
+
+/// Inverts equation (1): the accumulation time needed to reach a given
+/// accumulated sigma.
+///
+/// # Panics
+///
+/// Panics if `sigma_target` is negative, or `sigma_lut`/`d0_lut` are
+/// not strictly positive.
+///
+/// # Examples
+///
+/// ```
+/// use trng_model::jitter::{accumulation_time_for_sigma, sigma_acc};
+/// let t = accumulation_time_for_sigma(17.0, 2.6, 480.0);
+/// assert!((sigma_acc(2.6, t, 480.0) - 17.0).abs() < 1e-9);
+/// ```
+pub fn accumulation_time_for_sigma(sigma_target: f64, sigma_lut: f64, d0_lut: f64) -> f64 {
+    assert!(
+        sigma_target >= 0.0 && sigma_target.is_finite(),
+        "sigma_target must be finite and non-negative, got {sigma_target}"
+    );
+    assert!(
+        sigma_lut > 0.0 && sigma_lut.is_finite(),
+        "sigma_lut must be finite and positive, got {sigma_lut}"
+    );
+    assert!(
+        d0_lut > 0.0 && d0_lut.is_finite(),
+        "d0_lut must be finite and positive, got {d0_lut}"
+    );
+    d0_lut * (sigma_target / sigma_lut).powi(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_with_sqrt_of_time() {
+        let s1 = sigma_acc(2.0, 1_000.0, 480.0);
+        let s4 = sigma_acc(2.0, 4_000.0, 480.0);
+        assert!((s4 / s1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_time_means_zero_jitter() {
+        assert_eq!(sigma_acc(2.0, 0.0, 480.0), 0.0);
+    }
+
+    #[test]
+    fn paper_value_at_10ns() {
+        // sigma_acc = 2.6 * sqrt(10000/480) = 11.8673...
+        let s = sigma_acc(2.6, 10_000.0, 480.0);
+        assert!((s - 2.6 * (10_000.0f64 / 480.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inversion_round_trips() {
+        for target in [0.5, 5.0, 17.0, 68.0] {
+            let t = accumulation_time_for_sigma(target, 2.6, 480.0);
+            assert!((sigma_acc(2.6, t, 480.0) - target).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "d0_lut must be finite and positive")]
+    fn rejects_zero_d0() {
+        let _ = sigma_acc(2.0, 100.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "accumulation time must be finite")]
+    fn rejects_negative_time() {
+        let _ = sigma_acc(2.0, -1.0, 480.0);
+    }
+}

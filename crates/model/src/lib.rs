@@ -1,0 +1,61 @@
+//! Stochastic model of the carry-chain entropy-extraction TRNG.
+//!
+//! Implements Section 4 of *"Highly Efficient Entropy Extraction for
+//! True Random Number Generators on FPGAs"* (Rozic, Yang, Dehaene,
+//! Verbauwhede — DAC 2015): the formal security evaluation that turns
+//! measured platform parameters and chosen design parameters into a
+//! lower bound on entropy per bit.
+//!
+//! | Paper element | Module |
+//! |---------------|--------|
+//! | eq (1) jitter accumulation `σ_acc(tA)` | [`jitter`] |
+//! | eq (2)–(3) binary probability `P1(τ)` | [`binary_prob`] |
+//! | eq (4) Gaussian CDF Φ | [`gauss`] |
+//! | eq (5) Shannon entropy, Figure 7, lower bound at τ = 0 | [`entropy`] |
+//! | eq (6)–(7) XOR post-processing bias | [`postprocess`] |
+//! | Section 4.4 platform/design parameters | [`params`] |
+//! | Section 4.4/5.2/5.3 design exploration, eq (8) | [`design_space`] |
+//!
+//! # Example: the paper's headline design point
+//!
+//! ```
+//! use trng_model::design_space::evaluate;
+//! use trng_model::params::{DesignParams, PlatformParams};
+//!
+//! // Spartan-6 platform parameters (Section 5.1) and the fastest
+//! // configuration (k = 1, tA = 10 ns, np = 7).
+//! let point = evaluate(&PlatformParams::spartan6(), &DesignParams::paper_k1())?;
+//! assert!(point.h_raw > 0.98);                       // Table 1: 0.99
+//! assert!(point.h_pp > 0.999);                       // Table 1: 0.999
+//! assert!((point.output_throughput_bps / 1e6 - 14.3).abs() < 0.1);
+//! # Ok::<(), trng_model::params::ParamError>(())
+//! ```
+//!
+//! The crate deliberately has no dependency on the simulator, so the
+//! model can be checked against theory and against simulation
+//! independently.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod binary_prob;
+pub mod design_space;
+pub mod entropy;
+pub mod gauss;
+pub mod jitter;
+pub mod params;
+pub mod postprocess;
+pub mod report;
+pub mod sensitivity;
+
+pub use binary_prob::{p0, p1, tau_from_offset, worst_case_bias};
+pub use design_space::{
+    compare_with_elementary, evaluate, improvement_factor, np_for_bias, sweep_accumulation,
+    DesignPoint, ElementaryComparison,
+};
+pub use entropy::{entropy_at_tau, entropy_curve, entropy_lower_bound, h_min, h_shannon};
+pub use jitter::{accumulation_time_for_sigma, sigma_acc};
+pub use params::{DesignParams, ParamError, PlatformParams};
+pub use postprocess::{bias, entropy_after_xor, required_compression, xor_bias};
+pub use report::{evaluation_report, EvaluationReport};
+pub use sensitivity::{accumulation_margin_factor, sigma_sensitivity, SensitivityPoint};

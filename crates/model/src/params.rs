@@ -1,0 +1,392 @@
+//! Platform and design parameters — the two inputs of the stochastic
+//! model (Figure 1 / Section 4.4).
+//!
+//! *Platform parameters* are physical properties of the implementation
+//! fabric, obtained by measurement (Section 5.1): the average LUT delay
+//! `d0_LUT`, the TDC bin width `tstep` and the per-transition thermal
+//! jitter `sigma_LUT`.
+//!
+//! *Design parameters* are the designer's knobs (Section 4.4): ring
+//! length `n`, delay-line length `m`, down-sampling factor `k`, system
+//! clock `f_CLK`, accumulation period count `N_A` (so
+//! `tA = N_A / f_CLK`), and the XOR post-processing rate `np`.
+
+use core::fmt;
+use std::error::Error;
+
+/// Measured physical parameters of the implementation platform.
+///
+/// All times in picoseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PlatformParams {
+    /// Average LUT propagation delay `d0_LUT` (paper: 480 ps).
+    pub d0_lut_ps: f64,
+    /// TDC bin width `tstep` (paper: ~17 ps).
+    pub tstep_ps: f64,
+    /// Thermal-jitter sigma per transition `sigma_LUT`.
+    pub sigma_lut_ps: f64,
+}
+
+impl PlatformParams {
+    /// Creates platform parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError::Platform`] if any value is non-positive or
+    /// not finite.
+    pub fn new(d0_lut_ps: f64, tstep_ps: f64, sigma_lut_ps: f64) -> Result<Self, ParamError> {
+        for (name, v) in [
+            ("d0_lut_ps", d0_lut_ps),
+            ("tstep_ps", tstep_ps),
+            ("sigma_lut_ps", sigma_lut_ps),
+        ] {
+            if !(v > 0.0 && v.is_finite()) {
+                return Err(ParamError::Platform {
+                    field: name,
+                    value: v,
+                });
+            }
+        }
+        Ok(PlatformParams {
+            d0_lut_ps,
+            tstep_ps,
+            sigma_lut_ps,
+        })
+    }
+
+    /// The Spartan-6 parameters used throughout the reproduction:
+    /// `d0 = 480 ps`, `tstep = 17 ps`, `sigma_LUT = 2.6 ps`.
+    ///
+    /// The paper reports a measured `sigma_G,LUT ≈ 2 ps`; 2.6 ps is the
+    /// value that makes equations (1)–(5) reproduce every H_RAW entry
+    /// of Table 1 (see DESIGN.md §2 and EXPERIMENTS.md). Use
+    /// [`PlatformParams::spartan6_paper_sigma`] for the published
+    /// rounded value.
+    pub fn spartan6() -> Self {
+        PlatformParams {
+            d0_lut_ps: 480.0,
+            tstep_ps: 17.0,
+            sigma_lut_ps: 2.6,
+        }
+    }
+
+    /// Spartan-6 parameters with the paper's rounded `sigma_LUT = 2 ps`.
+    pub fn spartan6_paper_sigma() -> Self {
+        PlatformParams {
+            sigma_lut_ps: 2.0,
+            ..PlatformParams::spartan6()
+        }
+    }
+
+    /// *Illustrative* 28 nm Xilinx-class parameters (Artix-7-like):
+    /// faster LUTs (250 ps), finer carry bins (10 ps), less thermal
+    /// jitter per transition (1.8 ps).
+    ///
+    /// The paper's stated future work is "applying the presented
+    /// methodology on different implementation platforms"; these
+    /// values are plausible extrapolations (not measurements) provided
+    /// so the design flow can be exercised cross-platform — see the
+    /// `design_space` example.
+    pub fn artix7_like() -> Self {
+        PlatformParams {
+            d0_lut_ps: 250.0,
+            tstep_ps: 10.0,
+            sigma_lut_ps: 1.8,
+        }
+    }
+
+    /// *Illustrative* Altera Cyclone-III-class parameters: slower LUTs
+    /// (650 ps), coarser carry bins (30 ps), more jitter (3.2 ps).
+    /// Same caveat as [`PlatformParams::artix7_like`].
+    pub fn cyclone3_like() -> Self {
+        PlatformParams {
+            d0_lut_ps: 650.0,
+            tstep_ps: 30.0,
+            sigma_lut_ps: 3.2,
+        }
+    }
+
+    /// Minimal delay-line length detecting the edge under nominal
+    /// delays: the smallest `m` with `m · tstep > d0` (Section 5.2
+    /// gives `m > 29` for the paper's platform).
+    pub fn min_taps(&self) -> usize {
+        (self.d0_lut_ps / self.tstep_ps).floor() as usize + 1
+    }
+}
+
+impl Default for PlatformParams {
+    fn default() -> Self {
+        PlatformParams::spartan6()
+    }
+}
+
+impl fmt::Display for PlatformParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "d0 = {} ps, tstep = {} ps, sigma_LUT = {} ps",
+            self.d0_lut_ps, self.tstep_ps, self.sigma_lut_ps
+        )
+    }
+}
+
+/// The designer-chosen parameters of one TRNG configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DesignParams {
+    /// Ring-oscillator stages `n` (odd; paper uses 3).
+    pub n: usize,
+    /// Delay-line taps `m` (multiple of 4; paper uses 36).
+    pub m: usize,
+    /// Down-sampling factor `k` (paper explores 1 and 4).
+    pub k: u32,
+    /// System clock frequency in Hz (paper: 100 MHz).
+    pub f_clk_hz: u64,
+    /// Accumulation time in clock periods: `tA = N_A / f_CLK`.
+    pub n_a: u32,
+    /// XOR post-processing compression rate `np` (1 = none).
+    pub np: u32,
+}
+
+impl DesignParams {
+    /// The paper's fastest configuration: `n = 3`, `m = 36`, `k = 1`,
+    /// 100 MHz, `N_A = 1` (tA = 10 ns), `np = 7` — 14.3 Mb/s.
+    pub fn paper_k1() -> Self {
+        DesignParams {
+            n: 3,
+            m: 36,
+            k: 1,
+            f_clk_hz: 100_000_000,
+            n_a: 1,
+            np: 7,
+        }
+    }
+
+    /// The paper's most compact configuration: `k = 4`, `N_A = 5`
+    /// (tA = 50 ns), `np = 13` — 1.53 Mb/s.
+    pub fn paper_k4() -> Self {
+        DesignParams {
+            k: 4,
+            n_a: 5,
+            np: 13,
+            ..DesignParams::paper_k1()
+        }
+    }
+
+    /// Validates the design against a platform.
+    ///
+    /// # Errors
+    ///
+    /// * ring length even or zero;
+    /// * `m` not a positive multiple of 4, or not divisible by `k`;
+    /// * `k`, `N_A`, `np` or `f_clk_hz` zero;
+    /// * the edge-detection condition `m · tstep > d0` violated
+    ///   (Section 5.2: the edge could pass undetected).
+    pub fn validate(&self, platform: &PlatformParams) -> Result<(), ParamError> {
+        if self.n == 0 || self.n.is_multiple_of(2) {
+            return Err(ParamError::EvenRing { n: self.n });
+        }
+        if self.m == 0 || !self.m.is_multiple_of(4) {
+            return Err(ParamError::TapsNotMultipleOf4 { m: self.m });
+        }
+        if self.k == 0 || self.n_a == 0 || self.np == 0 || self.f_clk_hz == 0 {
+            return Err(ParamError::ZeroParameter);
+        }
+        if !self.m.is_multiple_of(self.k as usize) {
+            return Err(ParamError::TapsNotDivisibleByK {
+                m: self.m,
+                k: self.k,
+            });
+        }
+        if self.m as f64 * platform.tstep_ps <= platform.d0_lut_ps {
+            return Err(ParamError::EdgeCanEscape {
+                m: self.m,
+                min_taps: platform.min_taps(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Accumulation time `tA = N_A / f_CLK` in picoseconds.
+    pub fn t_a_ps(&self) -> f64 {
+        f64::from(self.n_a) / self.f_clk_hz as f64 * 1e12
+    }
+
+    /// Effective TDC bin width after down-sampling: `k · tstep`.
+    pub fn effective_tstep_ps(&self, platform: &PlatformParams) -> f64 {
+        f64::from(self.k) * platform.tstep_ps
+    }
+
+    /// Raw bit rate before post-processing: `f_CLK / N_A` (bits/s).
+    pub fn raw_throughput_bps(&self) -> f64 {
+        self.f_clk_hz as f64 / f64::from(self.n_a)
+    }
+
+    /// Output bit rate after post-processing: `f_CLK / (N_A · np)`.
+    pub fn output_throughput_bps(&self) -> f64 {
+        self.raw_throughput_bps() / f64::from(self.np)
+    }
+}
+
+impl Default for DesignParams {
+    fn default() -> Self {
+        DesignParams::paper_k1()
+    }
+}
+
+/// An invalid platform or design parameter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ParamError {
+    /// A platform value was non-positive or not finite.
+    Platform {
+        /// Field name.
+        field: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// Ring length must be odd and non-zero.
+    EvenRing {
+        /// Offending ring length.
+        n: usize,
+    },
+    /// `m` must be a positive multiple of 4.
+    TapsNotMultipleOf4 {
+        /// Offending tap count.
+        m: usize,
+    },
+    /// `m` must be divisible by the down-sampling factor.
+    TapsNotDivisibleByK {
+        /// Tap count.
+        m: usize,
+        /// Down-sampling factor.
+        k: u32,
+    },
+    /// `k`, `N_A`, `np` and `f_clk_hz` must all be non-zero.
+    ZeroParameter,
+    /// `m · tstep <= d0`: a signal edge could escape detection.
+    EdgeCanEscape {
+        /// Offending tap count.
+        m: usize,
+        /// Minimal tap count for this platform.
+        min_taps: usize,
+    },
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamError::Platform { field, value } => {
+                write!(f, "platform parameter {field} must be positive and finite, got {value}")
+            }
+            ParamError::EvenRing { n } => {
+                write!(f, "ring length must be odd and non-zero, got {n}")
+            }
+            ParamError::TapsNotMultipleOf4 { m } => {
+                write!(f, "tap count m = {m} is not a positive multiple of 4")
+            }
+            ParamError::TapsNotDivisibleByK { m, k } => {
+                write!(f, "tap count m = {m} is not divisible by k = {k}")
+            }
+            ParamError::ZeroParameter => {
+                write!(f, "k, N_A, np and f_clk must all be non-zero")
+            }
+            ParamError::EdgeCanEscape { m, min_taps } => write!(
+                f,
+                "m = {m} taps cannot always capture the edge; need at least {min_taps}"
+            ),
+        }
+    }
+}
+
+impl Error for ParamError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spartan6_values_match_paper() {
+        let p = PlatformParams::spartan6();
+        assert_eq!(p.d0_lut_ps, 480.0);
+        assert_eq!(p.tstep_ps, 17.0);
+        // Section 5.2: the condition becomes m > 29 -> min_taps = 29? The
+        // paper states m > d0/tstep = 28.2 -> m >= 29; our helper returns
+        // the smallest integer strictly satisfying m*tstep > d0.
+        assert_eq!(p.min_taps(), 29);
+        let p2 = PlatformParams::spartan6_paper_sigma();
+        assert_eq!(p2.sigma_lut_ps, 2.0);
+        assert_eq!(p2.d0_lut_ps, 480.0);
+    }
+
+    #[test]
+    fn paper_designs_validate() {
+        let p = PlatformParams::spartan6();
+        DesignParams::paper_k1().validate(&p).expect("k1 valid");
+        DesignParams::paper_k4().validate(&p).expect("k4 valid");
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let p = PlatformParams::spartan6();
+        let d = DesignParams::paper_k1();
+        assert_eq!(d.t_a_ps(), 10_000.0); // 10 ns
+        assert_eq!(d.effective_tstep_ps(&p), 17.0);
+        assert_eq!(d.raw_throughput_bps(), 1e8);
+        // 100 Mb/s / 7 = 14.3 Mb/s — the headline throughput.
+        assert!((d.output_throughput_bps() / 1e6 - 14.2857).abs() < 0.001);
+
+        let d4 = DesignParams::paper_k4();
+        assert_eq!(d4.t_a_ps(), 50_000.0);
+        assert_eq!(d4.effective_tstep_ps(&p), 68.0);
+        // 100 / (5*13) = 1.538 Mb/s.
+        assert!((d4.output_throughput_bps() / 1e6 - 1.538).abs() < 0.01);
+    }
+
+    #[test]
+    fn validation_catches_each_error() {
+        let p = PlatformParams::spartan6();
+        let base = DesignParams::paper_k1();
+        assert!(matches!(
+            DesignParams { n: 4, ..base }.validate(&p),
+            Err(ParamError::EvenRing { n: 4 })
+        ));
+        assert!(matches!(
+            DesignParams { m: 35, ..base }.validate(&p),
+            Err(ParamError::TapsNotMultipleOf4 { m: 35 })
+        ));
+        assert!(matches!(
+            DesignParams { m: 40, k: 3, ..base }.validate(&p),
+            Err(ParamError::TapsNotDivisibleByK { m: 40, k: 3 })
+        ));
+        assert!(matches!(
+            DesignParams { np: 0, ..base }.validate(&p),
+            Err(ParamError::ZeroParameter)
+        ));
+        // m = 28 -> 28*17 = 476 <= 480: edge can escape.
+        assert!(matches!(
+            DesignParams { m: 28, ..base }.validate(&p),
+            Err(ParamError::EdgeCanEscape { m: 28, .. })
+        ));
+        // m = 32 -> 544 > 480: *nominally* fine (the paper's first try).
+        assert!(DesignParams { m: 32, ..base }.validate(&p).is_ok());
+    }
+
+    #[test]
+    fn platform_constructor_validates() {
+        assert!(PlatformParams::new(480.0, 17.0, 2.6).is_ok());
+        assert!(matches!(
+            PlatformParams::new(0.0, 17.0, 2.6),
+            Err(ParamError::Platform { field: "d0_lut_ps", .. })
+        ));
+        assert!(PlatformParams::new(480.0, -1.0, 2.6).is_err());
+        assert!(PlatformParams::new(480.0, 17.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ParamError::EdgeCanEscape { m: 28, min_taps: 29 };
+        let s = format!("{e}");
+        assert!(s.contains("28") && s.contains("29"));
+    }
+}

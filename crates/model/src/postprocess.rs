@@ -1,0 +1,196 @@
+//! XOR post-processing — equations (6) and (7).
+//!
+//! Post-processing compresses `np` consecutive raw bits into one output
+//! bit by XOR, trading throughput (÷ np) for entropy. With raw bias
+//!
+//! ```text
+//! b = max(P1, P0) − 0.5                                (6)
+//! ```
+//!
+//! the bias of the XOR of `np` independent bits is (piling-up lemma)
+//!
+//! ```text
+//! b_pp = 2^(np−1) · b^np                               (7)
+//! ```
+//!
+//! from which the post-processed entropy follows via equation (5).
+
+use crate::entropy::h_shannon;
+
+/// Bias of a bit with `P(1) = p` — equation (6).
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use trng_model::postprocess::bias;
+/// assert_eq!(bias(0.5), 0.0);
+/// assert!((bias(0.6) - 0.1).abs() < 1e-15);
+/// assert!((bias(0.3) - 0.2).abs() < 1e-15);
+/// ```
+pub fn bias(p: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "probability must be in [0, 1], got {p}"
+    );
+    p.max(1.0 - p) - 0.5
+}
+
+/// Bias after XOR-compressing `np` independent bits of bias `b` —
+/// equation (7).
+///
+/// # Panics
+///
+/// Panics if `b` is outside `[0, 0.5]` or `np == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use trng_model::postprocess::xor_bias;
+/// // Two coin flips of bias 0.1 XOR to bias 0.02.
+/// assert!((xor_bias(0.1, 2) - 0.02).abs() < 1e-15);
+/// // np = 1 is the identity.
+/// assert_eq!(xor_bias(0.1, 1), 0.1);
+/// ```
+pub fn xor_bias(b: f64, np: u32) -> f64 {
+    assert!(
+        (0.0..=0.5).contains(&b),
+        "bias must be in [0, 0.5], got {b}"
+    );
+    assert!(np >= 1, "compression rate must be at least 1");
+    2f64.powi(np as i32 - 1) * b.powi(np as i32)
+}
+
+/// Shannon entropy per bit after XOR post-processing with rate `np`,
+/// starting from raw bias `b` (equations (6), (7), (5) chained).
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`xor_bias`].
+pub fn entropy_after_xor(b: f64, np: u32) -> f64 {
+    h_shannon(0.5 + xor_bias(b, np))
+}
+
+/// The smallest compression rate `np` whose post-processed bias is at
+/// most `target_bias`, or `None` if even `max_np` is insufficient.
+///
+/// # Panics
+///
+/// Panics if `b` is outside `[0, 0.5]` or `target_bias` is negative.
+///
+/// # Examples
+///
+/// ```
+/// use trng_model::postprocess::required_compression;
+/// // A heavily biased source needs more compression.
+/// let weak = required_compression(0.3, 1e-4, 32).expect("reachable");
+/// let strong = required_compression(0.05, 1e-4, 32).expect("reachable");
+/// assert!(weak > strong);
+/// ```
+pub fn required_compression(b: f64, target_bias: f64, max_np: u32) -> Option<u32> {
+    assert!(
+        (0.0..=0.5).contains(&b),
+        "bias must be in [0, 0.5], got {b}"
+    );
+    assert!(
+        target_bias >= 0.0,
+        "target bias must be non-negative, got {target_bias}"
+    );
+    (1..=max_np).find(|&np| xor_bias(b, np) <= target_bias)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bias_is_symmetric() {
+        assert_eq!(bias(0.7), bias(0.3));
+        assert_eq!(bias(0.0), 0.5);
+        assert_eq!(bias(1.0), 0.5);
+    }
+
+    #[test]
+    fn xor_bias_never_increases() {
+        for b in [0.0, 0.05, 0.2, 0.4, 0.5] {
+            let mut prev = b;
+            for np in 2..10 {
+                let next = xor_bias(b, np);
+                assert!(next <= prev + 1e-15, "b {b} np {np}: {next} > {prev}");
+                prev = next;
+            }
+        }
+    }
+
+    #[test]
+    fn fully_biased_source_stays_fully_biased() {
+        // b = 0.5 (deterministic source): XOR of constants is constant.
+        for np in 1..8 {
+            assert!((xor_bias(0.5, np) - 0.5).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn piling_up_matches_direct_computation() {
+        // For np = 3 and p = 0.6: P(odd number of ones among 3) can be
+        // computed directly.
+        let p: f64 = 0.6;
+        let q = 1.0 - p;
+        // parity-1 prob = 3 p q^2 + p^3
+        let p_odd = 3.0 * p * q * q + p * p * p;
+        let direct = (p_odd - 0.5f64).abs();
+        let formula = xor_bias(bias(p), 3);
+        assert!((direct - formula).abs() < 1e-12, "{direct} vs {formula}");
+    }
+
+    #[test]
+    fn entropy_after_xor_is_monotone_in_np() {
+        let b = 0.2;
+        let mut prev = 0.0;
+        for np in 1..12 {
+            let h = entropy_after_xor(b, np);
+            assert!(h >= prev - 1e-15, "np {np}");
+            prev = h;
+        }
+        assert!(prev > 0.999999);
+    }
+
+    #[test]
+    fn required_compression_finds_minimum() {
+        let b = 0.2;
+        let np = required_compression(b, 1e-3, 64).expect("reachable");
+        assert!(xor_bias(b, np) <= 1e-3);
+        assert!(xor_bias(b, np - 1) > 1e-3);
+    }
+
+    #[test]
+    fn required_compression_unreachable_for_deterministic_source() {
+        assert_eq!(required_compression(0.5, 1e-3, 64), None);
+    }
+
+    #[test]
+    fn zero_bias_needs_no_compression() {
+        assert_eq!(required_compression(0.0, 1e-6, 64), Some(1));
+    }
+
+    #[test]
+    fn paper_entropy_after_postprocessing() {
+        // Table 1 reports H_NEW = 0.999 for all passing configurations.
+        // k=4, tA = 50 ns: H_RAW ~ 0.7 -> bias ~ 0.253; at np = 13 the
+        // post-processed entropy must exceed 0.999.
+        let sigma = crate::jitter::sigma_acc(2.6, 50_000.0, 480.0);
+        let p1 = crate::binary_prob::p1(0.0, sigma, 4.0 * 17.0);
+        let b = bias(p1);
+        let h = entropy_after_xor(b, 13);
+        assert!(h > 0.999, "H after np=13: {h}");
+    }
+
+    #[test]
+    #[should_panic(expected = "compression rate must be at least 1")]
+    fn rejects_zero_np() {
+        let _ = xor_bias(0.1, 0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Evaluation-report generation.
+//!
+//! AIS-31 certification (the framework the paper's Section 2 adopts)
+//! requires the stochastic model, the entropy assessment and the
+//! parameter provenance to be written up for the evaluator. This
+//! module renders a [`DesignPoint`] into that report: platform
+//! parameters, design parameters, the model chain
+//! (σ_acc → P1 → H bounds → post-processing), throughput, and the
+//! elementary-TRNG comparison.
+
+use core::fmt::Write as _;
+
+use crate::design_space::{compare_with_elementary, evaluate, DesignPoint};
+use crate::params::{DesignParams, ParamError, PlatformParams};
+
+/// A rendered security-evaluation report for one design point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvaluationReport {
+    /// The evaluated point.
+    pub point: DesignPoint,
+    /// Platform parameters used.
+    pub platform: PlatformParams,
+    /// Rendered plain-text report.
+    pub text: String,
+}
+
+/// Builds the evaluation report for a platform/design pair.
+///
+/// # Errors
+///
+/// Propagates design-validation errors.
+///
+/// # Examples
+///
+/// ```
+/// use trng_model::params::{DesignParams, PlatformParams};
+/// use trng_model::report::evaluation_report;
+///
+/// let r = evaluation_report(&PlatformParams::spartan6(), &DesignParams::paper_k1())?;
+/// assert!(r.text.contains("entropy"));
+/// assert!(r.point.h_raw > 0.98);
+/// # Ok::<(), trng_model::params::ParamError>(())
+/// ```
+pub fn evaluation_report(
+    platform: &PlatformParams,
+    design: &DesignParams,
+) -> Result<EvaluationReport, ParamError> {
+    let point = evaluate(platform, design)?;
+    let cmp = compare_with_elementary(platform, design.k, 0.99);
+    let mut text = String::new();
+    let _ = writeln!(text, "TRNG stochastic-model evaluation report");
+    let _ = writeln!(text, "=======================================");
+    let _ = writeln!(text, "\n[platform parameters — measured (Step 1)]");
+    let _ = writeln!(text, "  d0_LUT     = {:.1} ps", platform.d0_lut_ps);
+    let _ = writeln!(text, "  tstep      = {:.2} ps", platform.tstep_ps);
+    let _ = writeln!(text, "  sigma_LUT  = {:.2} ps", platform.sigma_lut_ps);
+    let _ = writeln!(text, "\n[design parameters (Step 2)]");
+    let _ = writeln!(
+        text,
+        "  n = {}, m = {}, k = {}, f_CLK = {:.0} MHz, N_A = {} (tA = {:.1} ns), np = {}",
+        design.n,
+        design.m,
+        design.k,
+        design.f_clk_hz as f64 / 1e6,
+        design.n_a,
+        design.t_a_ps() / 1e3,
+        design.np
+    );
+    let _ = writeln!(
+        text,
+        "  edge-detection margin: m*tstep = {:.0} ps > d0 = {:.0} ps (min m = {})",
+        design.m as f64 * platform.tstep_ps,
+        platform.d0_lut_ps,
+        platform.min_taps()
+    );
+    let _ = writeln!(text, "\n[entropy assessment — worst-case offset tau = 0]");
+    let _ = writeln!(
+        text,
+        "  sigma_acc(tA)      = {:.2} ps  ({:.2} bins)",
+        point.sigma_acc_ps,
+        point.sigma_acc_ps / (platform.tstep_ps * f64::from(design.k))
+    );
+    let _ = writeln!(text, "  worst-case P1      = {:.6}", point.p1_worst);
+    let _ = writeln!(text, "  Shannon entropy    >= {:.6} per raw bit", point.h_raw);
+    let _ = writeln!(text, "  min-entropy        >= {:.6} per raw bit", point.h_min_raw);
+    let _ = writeln!(text, "  raw bias           <= {:.6}", point.bias_raw);
+    let _ = writeln!(text, "\n[post-processing — XOR, rate np = {}]", design.np);
+    let _ = writeln!(text, "  residual bias      <= {:.3e}", point.bias_pp);
+    let _ = writeln!(text, "  Shannon entropy    >= {:.6} per output bit", point.h_pp);
+    let _ = writeln!(text, "\n[throughput]");
+    let _ = writeln!(
+        text,
+        "  raw {:.2} Mb/s -> output {:.2} Mb/s",
+        point.raw_throughput_bps / 1e6,
+        point.output_throughput_bps / 1e6
+    );
+    let _ = writeln!(text, "\n[comparison with the elementary TRNG at H >= 0.99]");
+    let _ = writeln!(
+        text,
+        "  accumulation time {:.1} ns vs {:.1} ns -> {:.0}x improvement (eq. 8)",
+        cmp.t_a_carry_ps / 1e3,
+        cmp.t_a_elementary_ps / 1e3,
+        cmp.speedup
+    );
+    let verdict = if point.h_pp >= 0.997 {
+        "PASS (post-processed entropy bound >= 0.997)"
+    } else {
+        "INSUFFICIENT — increase tA or np"
+    };
+    let _ = writeln!(text, "\n[verdict] {verdict}");
+    Ok(EvaluationReport {
+        point,
+        platform: *platform,
+        text,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_k1_report_passes() {
+        let r = evaluation_report(&PlatformParams::spartan6(), &DesignParams::paper_k1())
+            .expect("valid");
+        assert!(r.text.contains("PASS"), "{}", r.text);
+        assert!(r.text.contains("14.29 Mb/s") || r.text.contains("14.3"));
+        assert!(r.text.contains("797"));
+    }
+
+    #[test]
+    fn hopeless_design_reports_insufficient() {
+        let d = DesignParams {
+            k: 4,
+            n_a: 1,
+            np: 2,
+            ..DesignParams::paper_k4()
+        };
+        let r = evaluation_report(&PlatformParams::spartan6(), &d).expect("valid");
+        assert!(r.text.contains("INSUFFICIENT"), "{}", r.text);
+    }
+
+    #[test]
+    fn report_contains_all_sections() {
+        let r = evaluation_report(&PlatformParams::spartan6(), &DesignParams::paper_k4())
+            .expect("valid");
+        for needle in [
+            "[platform parameters",
+            "[design parameters",
+            "[entropy assessment",
+            "[post-processing",
+            "[throughput]",
+            "[comparison",
+            "[verdict]",
+        ] {
+            assert!(r.text.contains(needle), "missing {needle}:\n{}", r.text);
+        }
+    }
+
+    #[test]
+    fn cross_platform_reports_are_consistent() {
+        // The methodology ports: on a faster platform the same entropy
+        // target needs a shorter accumulation time.
+        let s6 = evaluation_report(&PlatformParams::spartan6(), &DesignParams::paper_k1())
+            .expect("valid");
+        let a7_design = DesignParams {
+            m: 28, // 28 * 10 ps = 280 ps > 250 ps
+            ..DesignParams::paper_k1()
+        };
+        let a7 = evaluation_report(&PlatformParams::artix7_like(), &a7_design).expect("valid");
+        assert!(a7.point.h_raw >= s6.point.h_raw - 0.02);
+        let report_err = evaluation_report(
+            &PlatformParams::cyclone3_like(),
+            &DesignParams { m: 20, ..DesignParams::paper_k1() },
+        );
+        // 20 * 30 = 600 ps < 650 ps: the flow rejects the undersized line.
+        assert!(report_err.is_err());
+    }
+
+    #[test]
+    fn invalid_design_is_rejected() {
+        let bad = DesignParams {
+            m: 28,
+            ..DesignParams::paper_k1()
+        };
+        assert!(evaluation_report(&PlatformParams::spartan6(), &bad).is_err());
+    }
+}

@@ -1,0 +1,183 @@
+//! Sensitivity of the entropy bound to platform-parameter errors.
+//!
+//! Section 5.1 of the paper warns that jitter measurement "has to be
+//! implemented very carefully because this parameter is of critical
+//! importance. Historically, there have been many papers that
+//! overestimated this parameter" (off-chip probing, too-long
+//! measurement windows capturing flicker noise, un-cancelled global
+//! noise). This module quantifies the consequence: how far the claimed
+//! entropy bound moves when a platform parameter was measured wrong,
+//! and how much accumulation-time margin compensates a given
+//! measurement uncertainty.
+
+use crate::design_space::evaluate;
+use crate::params::{DesignParams, ParamError, PlatformParams};
+
+/// Effect of one parameter perturbation on the entropy bound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensitivityPoint {
+    /// Relative perturbation applied (e.g. +0.3 = measured 30 % high).
+    pub relative_error: f64,
+    /// Entropy bound computed with the *wrong* parameter (what the
+    /// designer would claim).
+    pub h_claimed: f64,
+    /// Entropy bound with the *true* parameter (what the device
+    /// delivers).
+    pub h_actual: f64,
+}
+
+impl SensitivityPoint {
+    /// Claimed minus actual: positive = dangerous overclaim.
+    pub fn overclaim(&self) -> f64 {
+        self.h_claimed - self.h_actual
+    }
+}
+
+/// Evaluates the entropy consequence of a mismeasured `sigma_LUT`.
+///
+/// The designer measured `sigma_measured = sigma_true·(1 + err)` and
+/// sized the design against it; the device has `sigma_true`.
+///
+/// # Errors
+///
+/// Propagates design-validation errors.
+pub fn sigma_sensitivity(
+    platform_true: &PlatformParams,
+    design: &DesignParams,
+    relative_error: f64,
+) -> Result<SensitivityPoint, ParamError> {
+    let sigma_measured = platform_true.sigma_lut_ps * (1.0 + relative_error);
+    let wrong = PlatformParams::new(
+        platform_true.d0_lut_ps,
+        platform_true.tstep_ps,
+        sigma_measured.max(1e-6),
+    )?;
+    let h_claimed = evaluate(&wrong, design)?.h_raw;
+    let h_actual = evaluate(platform_true, design)?.h_raw;
+    Ok(SensitivityPoint {
+        relative_error,
+        h_claimed,
+        h_actual,
+    })
+}
+
+/// The accumulation-time safety factor needed to tolerate a worst-case
+/// `sigma_LUT` overestimation of `relative_error` while still meeting
+/// `h_target`: since `σ_acc ∝ σ_LUT·√tA`, measuring σ high by a factor
+/// `(1+e)` under-sizes `tA` by `(1+e)²`.
+///
+/// # Panics
+///
+/// Panics if `relative_error <= -1`.
+pub fn accumulation_margin_factor(relative_error: f64) -> f64 {
+    assert!(
+        relative_error > -1.0,
+        "relative error must be > -100 %, got {relative_error}"
+    );
+    (1.0 + relative_error).powi(2)
+}
+
+/// Sweeps σ-measurement errors and returns the sensitivity curve.
+///
+/// # Errors
+///
+/// Propagates design-validation errors.
+pub fn sigma_sensitivity_sweep(
+    platform_true: &PlatformParams,
+    design: &DesignParams,
+    errors: &[f64],
+) -> Result<Vec<SensitivityPoint>, ParamError> {
+    errors
+        .iter()
+        .map(|&e| sigma_sensitivity(platform_true, design, e))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correct_measurement_has_no_overclaim() {
+        let p = sigma_sensitivity(
+            &PlatformParams::spartan6(),
+            &DesignParams::paper_k1(),
+            0.0,
+        )
+        .expect("valid");
+        assert!(p.overclaim().abs() < 1e-12);
+    }
+
+    #[test]
+    fn overestimated_sigma_overclaims_entropy() {
+        // The historical failure mode: sigma measured 2x high (e.g.
+        // flicker noise captured in a long window). The claim barely
+        // moves at the paper's operating point (H already ~1) — the
+        // danger shows at tighter design points.
+        let tight = DesignParams {
+            k: 4,
+            n_a: 5,
+            ..DesignParams::paper_k4()
+        };
+        let p = sigma_sensitivity(&PlatformParams::spartan6(), &tight, 1.0).expect("valid");
+        assert!(p.h_claimed > p.h_actual + 0.2, "overclaim {}", p.overclaim());
+        // Claimed looks comfortable, actual is not.
+        assert!(p.h_claimed > 0.95, "claimed {}", p.h_claimed);
+        assert!(p.h_actual < 0.75, "actual {}", p.h_actual);
+    }
+
+    #[test]
+    fn underestimated_sigma_is_conservative() {
+        let tight = DesignParams {
+            k: 4,
+            n_a: 5,
+            ..DesignParams::paper_k4()
+        };
+        let p = sigma_sensitivity(&PlatformParams::spartan6(), &tight, -0.3).expect("valid");
+        assert!(p.overclaim() < 0.0, "underestimation must be safe");
+    }
+
+    #[test]
+    fn margin_factor_is_quadratic() {
+        assert!((accumulation_margin_factor(0.0) - 1.0).abs() < 1e-12);
+        assert!((accumulation_margin_factor(1.0) - 4.0).abs() < 1e-12);
+        assert!((accumulation_margin_factor(0.5) - 2.25).abs() < 1e-12);
+        // And compensates exactly: sizing tA by the factor restores
+        // the true sigma_acc.
+        let platform = PlatformParams::spartan6();
+        let err = 0.5;
+        let sigma_wrong = platform.sigma_lut_ps * (1.0 + err);
+        let factor = accumulation_margin_factor(err);
+        let t_a = 50_000.0;
+        let acc_wrong = crate::jitter::sigma_acc(sigma_wrong, t_a, platform.d0_lut_ps);
+        let acc_true_with_margin =
+            crate::jitter::sigma_acc(platform.sigma_lut_ps, t_a * factor, platform.d0_lut_ps);
+        assert!((acc_wrong - acc_true_with_margin).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_error() {
+        let tight = DesignParams {
+            k: 4,
+            n_a: 5,
+            ..DesignParams::paper_k4()
+        };
+        let pts = sigma_sensitivity_sweep(
+            &PlatformParams::spartan6(),
+            &tight,
+            &[-0.3, 0.0, 0.5, 1.0, 2.0],
+        )
+        .expect("valid");
+        for w in pts.windows(2) {
+            assert!(w[1].h_claimed >= w[0].h_claimed - 1e-12);
+            // h_actual is constant across the sweep.
+            assert!((w[1].h_actual - w[0].h_actual).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "relative error must be > -100 %")]
+    fn rejects_impossible_error() {
+        let _ = accumulation_margin_factor(-1.0);
+    }
+}

@@ -1,0 +1,221 @@
+//! Multi-sequence assessment — SP 800-22 §4.2.
+//!
+//! A single sequence failing one of dozens of P-values at α = 0.01 is
+//! expected occasionally even for a perfect source. NIST's acceptance
+//! criterion therefore evaluates *ensembles*: run the battery on `S`
+//! sequences, then
+//!
+//! 1. **Proportion test** (§4.2.1): for each test statistic, the
+//!    fraction of sequences passing must lie above
+//!    `(1 − α) − 3·sqrt(α(1 − α)/S)`;
+//! 2. **Uniformity test** (§4.2.2): the P-values of each statistic
+//!    must be uniform on `[0, 1]` — χ² over ten bins with a threshold
+//!    of `P_T ≥ 0.0001`.
+//!
+//! This is the machinery behind Table 1's `n_NIST` search: a
+//! configuration "passes all NIST tests" when every statistic meets
+//! both criteria.
+
+use crate::bits::BitVec;
+use crate::nist::battery::run_battery_with_alpha;
+use crate::nist::ALPHA;
+use crate::special::igamc;
+
+use std::collections::BTreeMap;
+
+/// Assessment of one statistic across sequences.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct StatAssessment {
+    /// Test name.
+    pub name: String,
+    /// P-values collected across sequences (all statistics of the
+    /// test pooled, as the NIST tool does per-statistic files; we pool
+    /// per test which is slightly stricter).
+    pub p_values: Vec<f64>,
+    /// Fraction of P-values at or above alpha.
+    pub proportion: f64,
+    /// Minimum acceptable proportion for this ensemble size.
+    pub proportion_threshold: f64,
+    /// Uniformity P-value (χ² over 10 bins).
+    pub uniformity_p: f64,
+}
+
+impl StatAssessment {
+    /// `true` if both §4.2 criteria are met.
+    pub fn passes(&self) -> bool {
+        self.proportion >= self.proportion_threshold && self.uniformity_p >= 0.0001
+    }
+}
+
+/// Ensemble assessment over all tests.
+#[derive(Debug, Clone)]
+pub struct Assessment {
+    /// Per-test assessments, ordered by name.
+    pub stats: Vec<StatAssessment>,
+    /// Number of sequences evaluated.
+    pub sequences: usize,
+}
+
+impl Assessment {
+    /// `true` if every test's ensemble criteria are met.
+    pub fn all_passed(&self) -> bool {
+        self.stats.iter().all(StatAssessment::passes)
+    }
+
+    /// Names of tests whose ensemble criteria failed.
+    pub fn failures(&self) -> Vec<&str> {
+        self.stats
+            .iter()
+            .filter(|s| !s.passes())
+            .map(|s| s.name.as_str())
+            .collect()
+    }
+}
+
+/// Uniformity χ² of P-values over ten equal bins (§4.2.2).
+pub fn uniformity_p_value(p_values: &[f64]) -> f64 {
+    if p_values.is_empty() {
+        return 1.0;
+    }
+    let mut bins = [0u64; 10];
+    for &p in p_values {
+        let idx = ((p * 10.0) as usize).min(9);
+        bins[idx] += 1;
+    }
+    let e = p_values.len() as f64 / 10.0;
+    let chi2: f64 = bins.iter().map(|&b| (b as f64 - e) * (b as f64 - e) / e).sum();
+    igamc(4.5, chi2 / 2.0)
+}
+
+/// Proportion threshold for an ensemble of `s` sequences (§4.2.1).
+pub fn proportion_threshold(s: usize, alpha: f64) -> f64 {
+    let p_hat = 1.0 - alpha;
+    p_hat - 3.0 * (p_hat * alpha / s as f64).sqrt()
+}
+
+/// Runs the battery over an ensemble of sequences and applies the
+/// §4.2 acceptance criteria at α = 0.01.
+///
+/// # Panics
+///
+/// Panics if `sequences` is empty.
+pub fn assess(sequences: &[BitVec]) -> Assessment {
+    assess_with_alpha(sequences, ALPHA)
+}
+
+/// Ensemble assessment at an explicit significance level.
+///
+/// # Panics
+///
+/// Panics if `sequences` is empty or `alpha` is not in `(0, 1)`.
+pub fn assess_with_alpha(sequences: &[BitVec], alpha: f64) -> Assessment {
+    assert!(!sequences.is_empty(), "need at least one sequence");
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
+    let mut per_test: BTreeMap<&'static str, Vec<f64>> = BTreeMap::new();
+    for seq in sequences {
+        let battery = run_battery_with_alpha(seq, alpha);
+        for result in battery.results.iter().flatten() {
+            per_test
+                .entry(result.name)
+                .or_default()
+                .extend(result.p_values.iter().copied());
+        }
+    }
+    let stats = per_test
+        .into_iter()
+        .map(|(name, p_values)| {
+            let count = p_values.len();
+            let passing = p_values.iter().filter(|&&p| p >= alpha).count() as f64;
+            let proportion = passing / count as f64;
+            // The binomial confidence band is computed from the number
+            // of pooled P-values of this statistic. For small pools
+            // (ensembles far below NIST's recommended 55+ sequences)
+            // the band is additionally floored so that a single
+            // failing P-value cannot reject the ensemble.
+            let mut threshold = proportion_threshold(count, alpha);
+            if count <= 30 {
+                threshold = threshold.min((count as f64 - 1.5) / count as f64);
+            }
+            let uniformity_p = uniformity_p_value(&p_values);
+            StatAssessment {
+                name: name.to_string(),
+                p_values,
+                proportion,
+                proportion_threshold: threshold,
+                uniformity_p,
+            }
+        })
+        .collect();
+    Assessment {
+        stats,
+        sequences: sequences.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_bits(n: usize, seed: u64) -> BitVec {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen::<bool>()).collect()
+    }
+
+    #[test]
+    fn threshold_matches_nist_example() {
+        // SP 800-22 §4.2.1 example: 1000 sequences at alpha = 0.01 ->
+        // threshold ~ 0.980561.
+        let t = proportion_threshold(1000, 0.01);
+        assert!((t - 0.980_561).abs() < 1e-5, "t = {t}");
+    }
+
+    #[test]
+    fn uniformity_of_uniform_p_values_is_high() {
+        let ps: Vec<f64> = (0..1000).map(|i| (i as f64 + 0.5) / 1000.0).collect();
+        let p = uniformity_p_value(&ps);
+        assert!(p > 0.99, "p = {p}");
+    }
+
+    #[test]
+    fn uniformity_of_clustered_p_values_is_low() {
+        let ps: Vec<f64> = (0..1000).map(|_| 0.35).collect();
+        let p = uniformity_p_value(&ps);
+        assert!(p < 1e-10, "p = {p}");
+    }
+
+    #[test]
+    fn good_ensemble_passes() {
+        let seqs: Vec<BitVec> = (0..8).map(|s| random_bits(60_000, 100 + s)).collect();
+        let a = assess(&seqs);
+        assert!(a.all_passed(), "failures: {:?}", a.failures());
+        assert_eq!(a.sequences, 8);
+        assert!(!a.stats.is_empty());
+    }
+
+    #[test]
+    fn biased_ensemble_fails() {
+        use rand::{Rng, SeedableRng};
+        let seqs: Vec<BitVec> = (0..6)
+            .map(|s| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(200 + s);
+                (0..60_000).map(|_| rng.gen::<f64>() < 0.53).collect()
+            })
+            .collect();
+        let a = assess(&seqs);
+        assert!(!a.all_passed());
+        assert!(a.failures().iter().any(|n| n.contains("frequency")));
+    }
+
+    #[test]
+    fn empty_p_values_are_uniform() {
+        assert_eq!(uniformity_p_value(&[]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sequence")]
+    fn rejects_empty_ensemble() {
+        let _ = assess(&[]);
+    }
+}

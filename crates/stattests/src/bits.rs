@@ -1,0 +1,347 @@
+//! Packed bit sequences.
+//!
+//! Statistical tests run over sequences of 10^5–10^6 bits; [`BitVec`]
+//! stores them packed 64-per-word with O(1) indexed access, population
+//! count and windowed iteration — the access patterns the NIST tests
+//! need.
+
+use core::fmt;
+
+/// A growable, packed sequence of bits.
+///
+/// # Examples
+///
+/// ```
+/// use trng_stattests::bits::BitVec;
+///
+/// let bits: BitVec = [true, false, true, true].into_iter().collect();
+/// assert_eq!(bits.len(), 4);
+/// assert_eq!(bits.count_ones(), 3);
+/// assert!(bits.get(0) && !bits.get(1));
+/// ```
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// Creates an empty sequence.
+    pub fn new() -> Self {
+        BitVec::default()
+    }
+
+    /// Creates an empty sequence with capacity for `bits` bits.
+    pub fn with_capacity(bits: usize) -> Self {
+        BitVec {
+            words: Vec::with_capacity(bits.div_ceil(64)),
+            len: 0,
+        }
+    }
+
+    /// Builds from a slice of bools.
+    pub fn from_bools(bools: &[bool]) -> Self {
+        bools.iter().copied().collect()
+    }
+
+    /// Builds from packed bytes, LSB-first within each byte, taking the
+    /// first `len` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > bytes.len() * 8`.
+    pub fn from_bytes(bytes: &[u8], len: usize) -> Self {
+        assert!(len <= bytes.len() * 8, "length exceeds provided bytes");
+        let mut v = BitVec::with_capacity(len);
+        for i in 0..len {
+            v.push(bytes[i / 8] >> (i % 8) & 1 == 1);
+        }
+        v
+    }
+
+    /// Parses a string of `'0'`/`'1'` characters (other characters are
+    /// skipped — convenient for whitespace-formatted reference data).
+    pub fn from_binary_str(s: &str) -> Self {
+        s.chars()
+            .filter_map(|c| match c {
+                '0' => Some(false),
+                '1' => Some(true),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends a bit.
+    pub fn push(&mut self, bit: bool) {
+        let word = self.len / 64;
+        let off = self.len % 64;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[word] |= 1u64 << off;
+        }
+        self.len += 1;
+    }
+
+    /// The bit at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    #[inline]
+    pub fn get(&self, index: usize) -> bool {
+        assert!(index < self.len, "index {index} out of range {}", self.len);
+        self.words[index / 64] >> (index % 64) & 1 == 1
+    }
+
+    /// The bit at `index` as 0/1.
+    #[inline]
+    pub fn bit(&self, index: usize) -> u8 {
+        u8::from(self.get(index))
+    }
+
+    /// The bit at `index` mapped to ±1 (`1 → +1`, `0 → −1`), the
+    /// transformation used by several NIST tests.
+    #[inline]
+    pub fn pm1(&self, index: usize) -> f64 {
+        if self.get(index) {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// Total number of one bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Ones within `[start, start + len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the sequence.
+    pub fn count_ones_in(&self, start: usize, len: usize) -> usize {
+        assert!(start + len <= self.len, "range out of bounds");
+        // Straightforward per-bit loop is fast enough for block sizes
+        // used by the tests; keep it simple and correct.
+        (start..start + len).filter(|&i| self.get(i)).count()
+    }
+
+    /// Iterator over all bits.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { v: self, i: 0 }
+    }
+
+    /// Interprets `len` bits starting at `start` as a big-endian
+    /// integer (first bit = MSB), as the template tests do.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 64` or the range exceeds the sequence.
+    pub fn window_value(&self, start: usize, len: usize) -> u64 {
+        assert!(len <= 64, "window too wide");
+        assert!(start + len <= self.len, "range out of bounds");
+        let mut x = 0u64;
+        for i in 0..len {
+            x = (x << 1) | u64::from(self.get(start + i));
+        }
+        x
+    }
+
+    /// A copy of bits `[start, start + len)` as a new `BitVec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the sequence.
+    pub fn slice(&self, start: usize, len: usize) -> BitVec {
+        assert!(start + len <= self.len, "range out of bounds");
+        (start..start + len).map(|i| self.get(i)).collect()
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let iter = iter.into_iter();
+        let mut v = BitVec::with_capacity(iter.size_hint().0);
+        for b in iter {
+            v.push(b);
+        }
+        v
+    }
+}
+
+impl Extend<bool> for BitVec {
+    fn extend<I: IntoIterator<Item = bool>>(&mut self, iter: I) {
+        for b in iter {
+            self.push(b);
+        }
+    }
+}
+
+impl From<&[bool]> for BitVec {
+    fn from(bools: &[bool]) -> Self {
+        BitVec::from_bools(bools)
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec[len={}", self.len)?;
+        if self.len <= 64 {
+            write!(f, ", bits=")?;
+            for i in 0..self.len {
+                write!(f, "{}", self.bit(i))?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+/// Borrowed bit iterator.
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    v: &'a BitVec,
+    i: usize,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = bool;
+
+    fn next(&mut self) -> Option<bool> {
+        if self.i < self.v.len() {
+            let b = self.v.get(self.i);
+            self.i += 1;
+            Some(b)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.v.len() - self.i;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Iter<'_> {}
+
+impl<'a> IntoIterator for &'a BitVec {
+    type Item = bool;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get() {
+        let mut v = BitVec::new();
+        for i in 0..200 {
+            v.push(i % 3 == 0);
+        }
+        assert_eq!(v.len(), 200);
+        for i in 0..200 {
+            assert_eq!(v.get(i), i % 3 == 0, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn count_ones_matches_iteration() {
+        let v: BitVec = (0..1000).map(|i| i % 7 < 3).collect();
+        let direct = v.iter().filter(|&b| b).count();
+        assert_eq!(v.count_ones(), direct);
+        assert_eq!(v.count_ones_in(0, 1000), direct);
+        assert_eq!(v.count_ones_in(10, 0), 0);
+        let partial = (100..200).filter(|i| i % 7 < 3).count();
+        assert_eq!(v.count_ones_in(100, 100), partial);
+    }
+
+    #[test]
+    fn from_binary_str_skips_noise() {
+        let v = BitVec::from_binary_str("11 00\n101");
+        assert_eq!(v.len(), 7);
+        assert_eq!(v.count_ones(), 4);
+        assert!(v.get(0) && v.get(1) && !v.get(2));
+    }
+
+    #[test]
+    fn from_bytes_lsb_first() {
+        let v = BitVec::from_bytes(&[0b0000_0101, 0xFF], 10);
+        assert_eq!(v.len(), 10);
+        assert!(v.get(0)); // LSB of first byte
+        assert!(!v.get(1));
+        assert!(v.get(2));
+        assert!(v.get(8) && v.get(9));
+    }
+
+    #[test]
+    fn window_value_is_big_endian() {
+        let v = BitVec::from_binary_str("10110");
+        assert_eq!(v.window_value(0, 5), 0b10110);
+        assert_eq!(v.window_value(1, 3), 0b011);
+        assert_eq!(v.window_value(4, 1), 0);
+    }
+
+    #[test]
+    fn pm1_mapping() {
+        let v = BitVec::from_binary_str("10");
+        assert_eq!(v.pm1(0), 1.0);
+        assert_eq!(v.pm1(1), -1.0);
+    }
+
+    #[test]
+    fn slice_copies_range() {
+        let v = BitVec::from_binary_str("110100111");
+        let s = v.slice(2, 4);
+        assert_eq!(s.len(), 4);
+        assert_eq!(format!("{s:?}"), "BitVec[len=4, bits=0100]");
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut v: BitVec = [true, false].into_iter().collect();
+        v.extend([true, true]);
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.count_ones(), 3);
+        let round: Vec<bool> = v.iter().collect();
+        assert_eq!(round, vec![true, false, true, true]);
+    }
+
+    #[test]
+    fn debug_truncates_long_vectors() {
+        let v: BitVec = (0..100).map(|_| true).collect();
+        assert_eq!(format!("{v:?}"), "BitVec[len=100]");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_bounds_checked() {
+        let v = BitVec::from_binary_str("1");
+        let _ = v.get(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn count_range_bounds_checked() {
+        let v = BitVec::from_binary_str("1111");
+        let _ = v.count_ones_in(2, 3);
+    }
+}

@@ -1,0 +1,282 @@
+//! A DIEHARD subset — Marsaglia's battery, cited by the paper
+//! alongside NIST as the classic black-box evaluation.
+//!
+//! Two representative tests are implemented (full DIEHARD is long
+//! superseded by SP 800-22, which this crate provides completely):
+//!
+//! * **Birthday spacings** — `m = 512` "birthdays" drawn from 24-bit
+//!   words in a year of `n = 2^24` days; the number of duplicated
+//!   spacings is asymptotically Poisson(λ = m³/(4n) = 2). Repeated
+//!   over many trials and χ²-tested against the Poisson mass.
+//! * **Count-the-1s (stream)** — bytes are mapped to five "letters" by
+//!   their popcount; overlapping five-letter words should follow the
+//!   product multinomial. The statistic is the classic
+//!   `χ²(5⁵) − χ²(5⁴)` difference, approximately normal with mean
+//!   2500 and variance 5000.
+
+use crate::bits::BitVec;
+use crate::special::{erfc, igamc, ln_gamma};
+
+/// Result of one DIEHARD test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiehardOutcome {
+    /// Test name.
+    pub name: &'static str,
+    /// P-value.
+    pub p_value: f64,
+}
+
+/// Error for sequences too short to run a test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InsufficientData {
+    /// Test name.
+    pub name: &'static str,
+    /// Bits required.
+    pub required: usize,
+}
+
+impl core::fmt::Display for InsufficientData {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{} needs at least {} bits", self.name, self.required)
+    }
+}
+
+impl std::error::Error for InsufficientData {}
+
+/// Birthdays per trial.
+const BDAY_M: usize = 512;
+/// Bits per birthday (year length 2^24).
+const BDAY_BITS: usize = 24;
+/// Poisson rate: m^3 / 4n = 512^3 / 2^26 = 2.
+const BDAY_LAMBDA: f64 = 2.0;
+
+/// Poisson mass `e^-λ λ^k / k!`.
+fn poisson_pmf(lambda: f64, k: usize) -> f64 {
+    (-lambda + k as f64 * lambda.ln() - ln_gamma(k as f64 + 1.0)).exp()
+}
+
+/// Runs the birthday-spacings test over as many trials as the data
+/// affords (each trial consumes `512 × 24` bits), χ²-testing the
+/// duplicate-spacing counts against Poisson(2).
+///
+/// # Errors
+///
+/// Needs at least 20 trials (245 760 bits).
+pub fn birthday_spacings(bits: &BitVec) -> Result<DiehardOutcome, InsufficientData> {
+    const NAME: &str = "diehard birthday spacings";
+    let per_trial = BDAY_M * BDAY_BITS;
+    let trials = bits.len() / per_trial;
+    if trials < 20 {
+        return Err(InsufficientData {
+            name: NAME,
+            required: 20 * per_trial,
+        });
+    }
+    // Category k = number of duplicated spacings, binned 0..=5, >=6.
+    let mut counts = [0u64; 7];
+    for t in 0..trials {
+        let base = t * per_trial;
+        let mut birthdays: Vec<u32> = (0..BDAY_M)
+            .map(|i| bits.window_value(base + i * BDAY_BITS, BDAY_BITS) as u32)
+            .collect();
+        birthdays.sort_unstable();
+        let mut spacings: Vec<u32> = birthdays.windows(2).map(|w| w[1] - w[0]).collect();
+        spacings.sort_unstable();
+        let duplicates = spacings.windows(2).filter(|w| w[0] == w[1]).count();
+        counts[duplicates.min(6)] += 1;
+    }
+    // Chi-square vs Poisson(2) over the 7 categories.
+    let n = trials as f64;
+    let mut chi2 = 0.0;
+    let mut tail = 1.0;
+    for (k, &c) in counts.iter().enumerate() {
+        let p = if k < 6 {
+            let p = poisson_pmf(BDAY_LAMBDA, k);
+            tail -= p;
+            p
+        } else {
+            tail.max(1e-12)
+        };
+        let e = n * p;
+        chi2 += (c as f64 - e) * (c as f64 - e) / e;
+    }
+    let p_value = igamc(3.0, chi2 / 2.0); // 6 dof
+    Ok(DiehardOutcome {
+        name: NAME,
+        p_value,
+    })
+}
+
+/// Letter of a byte: popcount binned as ≤2, 3, 4, 5, ≥6.
+fn letter(byte: u64) -> usize {
+    match (byte as u8).count_ones() {
+        0..=2 => 0,
+        3 => 1,
+        4 => 2,
+        5 => 3,
+        _ => 4,
+    }
+}
+
+/// Letter probabilities: sums of C(8,k)/256 over the bins.
+const LETTER_P: [f64; 5] = [
+    37.0 / 256.0,  // 0..=2 ones: 1 + 8 + 28
+    56.0 / 256.0,  // 3
+    70.0 / 256.0,  // 4
+    56.0 / 256.0,  // 5
+    37.0 / 256.0,  // 6..=8: 28 + 8 + 1
+];
+
+/// Runs the count-the-1s (stream) test: `χ²(5⁵) − χ²(5⁴)` over
+/// overlapping letter words, normally referred with mean 2500 and
+/// variance 5000.
+///
+/// # Errors
+///
+/// Needs at least 64 000 bytes (512 000 bits).
+pub fn count_the_ones(bits: &BitVec) -> Result<DiehardOutcome, InsufficientData> {
+    const NAME: &str = "diehard count-the-1s";
+    let n_bytes = bits.len() / 8;
+    if n_bytes < 64_000 {
+        return Err(InsufficientData {
+            name: NAME,
+            required: 64_000 * 8,
+        });
+    }
+    let letters: Vec<usize> = (0..n_bytes)
+        .map(|i| letter(bits.window_value(i * 8, 8)))
+        .collect();
+    let words = letters.len() - 4;
+    let mut count5 = vec![0u64; 5usize.pow(5)];
+    let mut count4 = vec![0u64; 5usize.pow(4)];
+    for w in letters.windows(5) {
+        let idx5 = w.iter().fold(0usize, |acc, &l| acc * 5 + l);
+        count5[idx5] += 1;
+        let idx4 = w[..4].iter().fold(0usize, |acc, &l| acc * 5 + l);
+        count4[idx4] += 1;
+    }
+    let chi = |counts: &[u64], width: usize| -> f64 {
+        let mut total = 0.0;
+        for (idx, &c) in counts.iter().enumerate() {
+            // Expected probability = product of letter probabilities.
+            let mut p = 1.0;
+            let mut rest = idx;
+            for _ in 0..width {
+                p *= LETTER_P[rest % 5];
+                rest /= 5;
+            }
+            let e = words as f64 * p;
+            total += (c as f64 - e) * (c as f64 - e) / e;
+        }
+        total
+    };
+    let stat = chi(&count5, 5) - chi(&count4, 4);
+    // dof = 5^5 - 5^4 = 2500; normal approximation.
+    let z = (stat - 2500.0) / 5000f64.sqrt();
+    let p_value = erfc(z.abs() / core::f64::consts::SQRT_2);
+    Ok(DiehardOutcome {
+        name: NAME,
+        p_value,
+    })
+}
+
+/// Runs the implemented DIEHARD subset.
+pub fn run_diehard(bits: &BitVec) -> Vec<Result<DiehardOutcome, InsufficientData>> {
+    vec![birthday_spacings(bits), count_the_ones(bits)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_bits(n: usize, seed: u64) -> BitVec {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen::<bool>()).collect()
+    }
+
+    #[test]
+    fn poisson_pmf_sums_to_one() {
+        let s: f64 = (0..60).map(|k| poisson_pmf(2.0, k)).sum();
+        assert!((s - 1.0).abs() < 1e-12);
+        assert!((poisson_pmf(2.0, 0) - (-2.0f64).exp()).abs() < 1e-12);
+        assert!((poisson_pmf(2.0, 2) - 2.0 * (-2.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn letter_probabilities_sum_to_one() {
+        let s: f64 = LETTER_P.iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+        // And match direct popcount enumeration.
+        let mut counts = [0u32; 5];
+        for b in 0u64..256 {
+            counts[letter(b)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((f64::from(c) / 256.0 - LETTER_P[i]).abs() < 1e-12, "letter {i}");
+        }
+    }
+
+    #[test]
+    fn birthday_spacings_passes_random_data() {
+        let bits = random_bits(60 * BDAY_M * BDAY_BITS, 80);
+        let out = birthday_spacings(&bits).expect("enough data");
+        assert!(out.p_value > 0.001, "p = {}", out.p_value);
+    }
+
+    #[test]
+    fn birthday_spacings_fails_low_entropy_words() {
+        // Restrict birthdays to a tiny subrange: many duplicate
+        // spacings in every trial.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(81);
+        let mut bits = BitVec::new();
+        for _ in 0..40 * BDAY_M {
+            let w: u64 = rng.gen::<u64>() % 1024; // only 10 bits vary
+            for j in (0..BDAY_BITS).rev() {
+                bits.push(w >> j & 1 == 1);
+            }
+        }
+        let out = birthday_spacings(&bits).expect("enough data");
+        assert!(out.p_value < 1e-6, "p = {}", out.p_value);
+    }
+
+    #[test]
+    fn count_the_ones_passes_random_data() {
+        let bits = random_bits(70_000 * 8, 82);
+        let out = count_the_ones(&bits).expect("enough data");
+        assert!(out.p_value > 0.001, "p = {}", out.p_value);
+    }
+
+    #[test]
+    fn count_the_ones_fails_biased_bytes() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(83);
+        let bits: BitVec = (0..70_000 * 8).map(|_| rng.gen::<f64>() < 0.45).collect();
+        let out = count_the_ones(&bits).expect("enough data");
+        assert!(out.p_value < 1e-6, "p = {}", out.p_value);
+    }
+
+    #[test]
+    fn count_the_ones_fails_periodic_bytes() {
+        // Repeating byte pattern: word frequencies are degenerate.
+        let mut bits = BitVec::new();
+        for i in 0..70_000 {
+            let b: u64 = [0x35u64, 0xA7, 0x1C][i % 3];
+            for j in (0..8).rev() {
+                bits.push(b >> j & 1 == 1);
+            }
+        }
+        let out = count_the_ones(&bits).expect("enough data");
+        assert!(out.p_value < 1e-10, "p = {}", out.p_value);
+    }
+
+    #[test]
+    fn short_data_is_reported() {
+        let bits = random_bits(1000, 84);
+        for r in run_diehard(&bits) {
+            let e = r.expect_err("too short");
+            assert!(e.to_string().contains("needs at least"));
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Empirical entropy estimators (SP 800-90B style).
+//!
+//! The paper derives entropy from its stochastic model; these
+//! estimators provide the *empirical* cross-check used in
+//! EXPERIMENTS.md: estimate entropy directly from generated bits and
+//! compare with the model's lower bound. Three standard binary
+//! estimators:
+//!
+//! * most-common-value (MCV) — SP 800-90B §6.3.1;
+//! * Markov — §6.3.3 (first-order, binary);
+//! * collision — §6.3.2 (simplified binary variant);
+//! * plus plain Shannon entropy of the empirical bit frequency.
+
+use crate::bits::BitVec;
+
+/// Shannon entropy of the empirical ones-frequency.
+///
+/// # Panics
+///
+/// Panics if the sequence is empty.
+pub fn shannon_bias_entropy(bits: &BitVec) -> f64 {
+    assert!(!bits.is_empty(), "need at least one bit");
+    let p = bits.count_ones() as f64 / bits.len() as f64;
+    if p == 0.0 || p == 1.0 {
+        return 0.0;
+    }
+    -(p * p.log2() + (1.0 - p) * (1.0 - p).log2())
+}
+
+/// Most-common-value min-entropy estimate with the SP 800-90B upper
+/// confidence bound on the most common probability.
+///
+/// # Panics
+///
+/// Panics if the sequence is empty.
+pub fn mcv_min_entropy(bits: &BitVec) -> f64 {
+    assert!(!bits.is_empty(), "need at least one bit");
+    let n = bits.len() as f64;
+    let ones = bits.count_ones() as f64;
+    let p_max = (ones / n).max(1.0 - ones / n);
+    let p_u = (p_max + 2.576 * (p_max * (1.0 - p_max) / (n - 1.0)).sqrt()).min(1.0);
+    -p_u.log2()
+}
+
+/// First-order Markov min-entropy estimate (binary): accounts for
+/// bit-to-bit correlation, the defect XOR post-processing cannot hide
+/// from an evaluator.
+///
+/// # Panics
+///
+/// Panics if the sequence has fewer than 2 bits.
+pub fn markov_min_entropy(bits: &BitVec) -> f64 {
+    assert!(bits.len() >= 2, "need at least two bits");
+    // Transition counts.
+    let mut trans = [[0u64; 2]; 2];
+    for i in 1..bits.len() {
+        trans[bits.bit(i - 1) as usize][bits.bit(i) as usize] += 1;
+    }
+    let p = |row: [u64; 2]| -> [f64; 2] {
+        let total = (row[0] + row[1]) as f64;
+        if total == 0.0 {
+            [0.5, 0.5]
+        } else {
+            [row[0] as f64 / total, row[1] as f64 / total]
+        }
+    };
+    let p0 = p(trans[0]);
+    let p1 = p(trans[1]);
+    let ones = bits.count_ones() as f64 / bits.len() as f64;
+    let initial = [1.0 - ones, ones];
+    // Most likely 128-bit path probability (dynamic programming over
+    // the 2-state chain), per the 90B Markov estimate idea.
+    const STEPS: usize = 128;
+    let trans_p = [p0, p1];
+    let best = [initial[0].max(1e-300), initial[1].max(1e-300)];
+    let mut log_best = [best[0].log2(), best[1].log2()];
+    for _ in 1..STEPS {
+        let next0 = (log_best[0] + trans_p[0][0].max(1e-300).log2())
+            .max(log_best[1] + trans_p[1][0].max(1e-300).log2());
+        let next1 = (log_best[0] + trans_p[0][1].max(1e-300).log2())
+            .max(log_best[1] + trans_p[1][1].max(1e-300).log2());
+        log_best = [next0, next1];
+    }
+    let max_log = log_best[0].max(log_best[1]);
+    (-max_log / STEPS as f64).clamp(0.0, 1.0)
+}
+
+/// Binary collision min-entropy estimate: mean time between collisions
+/// of consecutive bit pairs, mapped to a probability bound.
+///
+/// A simplified variant of SP 800-90B §6.3.2 adequate for comparing
+/// configurations; not a certified implementation.
+///
+/// # Panics
+///
+/// Panics if the sequence has fewer than 16 bits.
+pub fn collision_min_entropy(bits: &BitVec) -> f64 {
+    assert!(bits.len() >= 16, "need at least sixteen bits");
+    // Scan for the first repeat among consecutive samples ("collision"),
+    // restart, and average the collision times.
+    let mut times = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < bits.len() {
+        // For binary data a collision happens as soon as two equal bits
+        // appear; collision time is 2 or 3 (pairs 00,11 collide at 2;
+        // 010 at 3 etc.).
+        let t = if bits.get(i) == bits.get(i + 1) {
+            2
+        } else if i + 2 < bits.len() {
+            3
+        } else {
+            break;
+        };
+        times.push(t as f64);
+        i += t;
+    }
+    if times.is_empty() {
+        return 0.0;
+    }
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    // For Bernoulli(p), E[collision time] = 2 + 2p(1-p). Invert for
+    // p_max and convert to min-entropy.
+    let pq = ((mean - 2.0) / 2.0).clamp(0.0, 0.25);
+    let p_max = 0.5 + (0.25 - pq).sqrt();
+    (-p_max.log2()).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_bits(n: usize, seed: u64) -> BitVec {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen::<bool>()).collect()
+    }
+
+    fn biased_bits(n: usize, p: f64, seed: u64) -> BitVec {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen::<f64>() < p).collect()
+    }
+
+    #[test]
+    fn fair_source_estimates_near_one() {
+        let bits = random_bits(200_000, 70);
+        assert!(shannon_bias_entropy(&bits) > 0.999);
+        assert!(mcv_min_entropy(&bits) > 0.98);
+        assert!(markov_min_entropy(&bits) > 0.97);
+        assert!(collision_min_entropy(&bits) > 0.9);
+    }
+
+    #[test]
+    fn biased_source_is_detected_by_all() {
+        let bits = biased_bits(200_000, 0.7, 71);
+        let h = shannon_bias_entropy(&bits);
+        assert!((h - 0.8813).abs() < 0.02, "H = {h}");
+        let mcv = mcv_min_entropy(&bits);
+        assert!((mcv - 0.514).abs() < 0.03, "MCV = {mcv}");
+        assert!(markov_min_entropy(&bits) < 0.62);
+        assert!(collision_min_entropy(&bits) < 0.75);
+    }
+
+    #[test]
+    fn markov_catches_correlation_that_bias_misses() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(72);
+        // Balanced but sticky: P(flip) = 0.1 -> balanced marginals.
+        let mut prev = false;
+        let bits: BitVec = (0..200_000)
+            .map(|_| {
+                if rng.gen::<f64>() < 0.1 {
+                    prev = !prev;
+                }
+                prev
+            })
+            .collect();
+        // Marginal entropy looks perfect...
+        assert!(shannon_bias_entropy(&bits) > 0.99);
+        // ...but the Markov estimate exposes the dependence:
+        // -log2(0.9) ~ 0.152 per bit.
+        let m = markov_min_entropy(&bits);
+        assert!((m - 0.152).abs() < 0.02, "Markov = {m}");
+    }
+
+    #[test]
+    fn constant_source_has_zero_entropy() {
+        let bits: BitVec = (0..1000).map(|_| true).collect();
+        assert_eq!(shannon_bias_entropy(&bits), 0.0);
+        assert!(mcv_min_entropy(&bits) < 1e-6);
+        assert!(markov_min_entropy(&bits) < 1e-6);
+        assert!(collision_min_entropy(&bits) < 1e-6);
+    }
+
+    #[test]
+    fn estimates_are_conservative_vs_shannon() {
+        for seed in 73..78 {
+            let bits = biased_bits(100_000, 0.6, seed);
+            let h = shannon_bias_entropy(&bits);
+            assert!(mcv_min_entropy(&bits) <= h + 0.01);
+            assert!(markov_min_entropy(&bits) <= h + 0.01);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn empty_rejected() {
+        let _ = shannon_bias_entropy(&BitVec::new());
+    }
+}

@@ -1,0 +1,244 @@
+//! Complex FFT for the NIST spectral (DFT) test.
+//!
+//! A dependency-free iterative radix-2 Cooley–Tukey transform plus a
+//! Bluestein (chirp-z) wrapper so sequences of *any* length can be
+//! transformed — the NIST DFT test runs on the full sequence length,
+//! which is rarely a power of two.
+
+use core::f64::consts::PI;
+
+/// A complex number as `(re, im)`.
+pub type Complex = (f64, f64);
+
+#[inline]
+fn c_add(a: Complex, b: Complex) -> Complex {
+    (a.0 + b.0, a.1 + b.1)
+}
+
+#[inline]
+fn c_sub(a: Complex, b: Complex) -> Complex {
+    (a.0 - b.0, a.1 - b.1)
+}
+
+#[inline]
+fn c_mul(a: Complex, b: Complex) -> Complex {
+    (a.0 * b.0 - a.1 * b.1, a.0 * b.1 + a.1 * b.0)
+}
+
+#[inline]
+fn c_conj(a: Complex) -> Complex {
+    (a.0, -a.1)
+}
+
+/// In-place radix-2 FFT.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn fft_pow2(data: &mut [Complex]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "radix-2 FFT needs a power-of-two length, got {n}");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * PI / len as f64;
+        let wlen = (ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let mut w = (1.0, 0.0);
+            for j in 0..len / 2 {
+                let u = data[i + j];
+                let v = c_mul(data[i + j + len / 2], w);
+                data[i + j] = c_add(u, v);
+                data[i + j + len / 2] = c_sub(u, v);
+                w = c_mul(w, wlen);
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Inverse radix-2 FFT (normalized).
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn ifft_pow2(data: &mut [Complex]) {
+    let n = data.len();
+    for x in data.iter_mut() {
+        *x = c_conj(*x);
+    }
+    fft_pow2(data);
+    let inv = 1.0 / n as f64;
+    for x in data.iter_mut() {
+        *x = (x.0 * inv, -x.1 * inv);
+    }
+}
+
+/// Forward DFT of arbitrary length via Bluestein's algorithm.
+///
+/// Returns `X[k] = Σ_j x[j]·e^{−2πi jk/n}` for `k = 0..n`.
+pub fn dft(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n.is_power_of_two() {
+        let mut data = input.to_vec();
+        fft_pow2(&mut data);
+        return data;
+    }
+    // Bluestein: x[j]·w^{j²/2} convolved with chirp.
+    let m = (2 * n - 1).next_power_of_two();
+    let mut a = vec![(0.0, 0.0); m];
+    let mut b = vec![(0.0, 0.0); m];
+    // chirp[j] = e^{-i π j² / n}; compute j² mod 2n to avoid precision
+    // loss for large j.
+    let chirp: Vec<Complex> = (0..n)
+        .map(|j| {
+            let idx = (j * j) % (2 * n);
+            let ang = -PI * idx as f64 / n as f64;
+            (ang.cos(), ang.sin())
+        })
+        .collect();
+    for j in 0..n {
+        a[j] = c_mul(input[j], chirp[j]);
+        b[j] = c_conj(chirp[j]);
+        if j != 0 {
+            b[m - j] = c_conj(chirp[j]);
+        }
+    }
+    fft_pow2(&mut a);
+    fft_pow2(&mut b);
+    for i in 0..m {
+        a[i] = c_mul(a[i], b[i]);
+    }
+    ifft_pow2(&mut a);
+    (0..n).map(|k| c_mul(a[k], chirp[k])).collect()
+}
+
+/// Moduli of the first `n/2` DFT coefficients of a ±1-mapped bit
+/// sequence — the quantity the NIST spectral test thresholds.
+pub fn spectrum_moduli(pm1: &[f64]) -> Vec<f64> {
+    let input: Vec<Complex> = pm1.iter().map(|&x| (x, 0.0)).collect();
+    let out = dft(&input);
+    out.iter()
+        .take(pm1.len() / 2)
+        .map(|c| (c.0 * c.0 + c.1 * c.1).sqrt())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dft(input: &[Complex]) -> Vec<Complex> {
+        let n = input.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = (0.0, 0.0);
+                for (j, &x) in input.iter().enumerate() {
+                    let ang = -2.0 * PI * (j * k) as f64 / n as f64;
+                    acc = c_add(acc, c_mul(x, (ang.cos(), ang.sin())));
+                }
+                acc
+            })
+            .collect()
+    }
+
+    fn assert_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (x.0 - y.0).abs() < tol && (x.1 - y.1).abs() < tol,
+                "bin {i}: {x:?} vs {y:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn pow2_matches_naive() {
+        let input: Vec<Complex> = (0..16)
+            .map(|i| ((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos()))
+            .collect();
+        let mut got = input.clone();
+        fft_pow2(&mut got);
+        assert_close(&got, &naive_dft(&input), 1e-10);
+    }
+
+    #[test]
+    fn bluestein_matches_naive_for_odd_lengths() {
+        for n in [3usize, 5, 7, 12, 100, 33] {
+            let input: Vec<Complex> = (0..n)
+                .map(|i| ((i as f64 * 0.37).cos(), (i as f64 * 0.11).sin()))
+                .collect();
+            let got = dft(&input);
+            assert_close(&got, &naive_dft(&input), 1e-8);
+        }
+    }
+
+    #[test]
+    fn ifft_round_trips() {
+        let input: Vec<Complex> = (0..64).map(|i| (i as f64, -(i as f64) / 3.0)).collect();
+        let mut data = input.clone();
+        fft_pow2(&mut data);
+        ifft_pow2(&mut data);
+        assert_close(&data, &input, 1e-9);
+    }
+
+    #[test]
+    fn dc_bin_is_the_sum() {
+        let input = vec![(1.0, 0.0); 10];
+        let out = dft(&input);
+        assert!((out[0].0 - 10.0).abs() < 1e-9);
+        assert!(out[0].1.abs() < 1e-9);
+        for c in &out[1..] {
+            assert!(c.0.abs() < 1e-9 && c.1.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_holds() {
+        let input: Vec<Complex> = (0..50).map(|i| ((i as f64).sin(), 0.0)).collect();
+        let out = dft(&input);
+        let time: f64 = input.iter().map(|c| c.0 * c.0 + c.1 * c.1).sum();
+        let freq: f64 = out.iter().map(|c| c.0 * c.0 + c.1 * c.1).sum::<f64>() / 50.0;
+        assert!((time - freq).abs() < 1e-8, "{time} vs {freq}");
+    }
+
+    #[test]
+    fn spectrum_of_alternating_sequence_peaks_at_nyquist_edge() {
+        // +1, -1, +1, -1, ... concentrates all energy at k = n/2, which
+        // is excluded from the first n/2 bins; all retained bins ~0.
+        let pm1: Vec<f64> = (0..64).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let mods = spectrum_moduli(&pm1);
+        assert_eq!(mods.len(), 32);
+        for (i, m) in mods.iter().enumerate() {
+            assert!(*m < 1e-6, "bin {i}: {m}");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(dft(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn fft_pow2_rejects_other_lengths() {
+        let mut d = vec![(0.0, 0.0); 6];
+        fft_pow2(&mut d);
+    }
+}

@@ -1,0 +1,196 @@
+//! FIPS 140-2 power-up statistical tests.
+//!
+//! The classic quick quartet over a single 20 000-bit sample —
+//! historically the on-chip self-test of hardware RNGs, and a natural
+//! candidate for the paper's "embedded tests" future work (cheap
+//! enough for an FPGA). Bounds follow FIPS 140-2 (change notice):
+//!
+//! * monobit: ones in `(9725, 10275)`;
+//! * poker: `1.03 < X < 57.4`;
+//! * runs: per-length intervals;
+//! * long run: no run ≥ 26.
+
+use crate::bits::BitVec;
+
+use core::fmt;
+
+/// Sample size the tests operate on.
+pub const SAMPLE_BITS: usize = 20_000;
+
+/// Result of the FIPS 140-2 quartet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Fips140Report {
+    /// Monobit verdict.
+    pub monobit: bool,
+    /// Poker verdict.
+    pub poker: bool,
+    /// Runs verdict.
+    pub runs: bool,
+    /// Long-run verdict.
+    pub long_run: bool,
+}
+
+impl Fips140Report {
+    /// `true` if all four tests passed.
+    pub fn all_passed(&self) -> bool {
+        self.monobit && self.poker && self.runs && self.long_run
+    }
+}
+
+impl fmt::Display for Fips140Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "monobit: {}, poker: {}, runs: {}, long run: {} => {}",
+            self.monobit,
+            self.poker,
+            self.runs,
+            self.long_run,
+            if self.all_passed() { "PASS" } else { "FAIL" }
+        )
+    }
+}
+
+/// FIPS 140-2 runs-test intervals for run lengths 1..=5 and ≥6.
+const RUNS_BOUNDS: [(u64, u64); 6] = [
+    (2315, 2685),
+    (1114, 1386),
+    (527, 723),
+    (240, 384),
+    (103, 209),
+    (103, 209),
+];
+
+/// Runs the FIPS 140-2 tests on the first 20 000 bits.
+///
+/// # Panics
+///
+/// Panics if fewer than 20 000 bits are provided.
+pub fn run_fips140(bits: &BitVec) -> Fips140Report {
+    assert!(
+        bits.len() >= SAMPLE_BITS,
+        "FIPS 140-2 needs {SAMPLE_BITS} bits, got {}",
+        bits.len()
+    );
+    // Monobit.
+    let ones = bits.count_ones_in(0, SAMPLE_BITS);
+    let monobit = (9726..10275).contains(&ones);
+
+    // Poker.
+    let mut counts = [0u64; 16];
+    for i in 0..SAMPLE_BITS / 4 {
+        counts[bits.window_value(i * 4, 4) as usize] += 1;
+    }
+    let sum_sq: f64 = counts.iter().map(|&c| (c * c) as f64).sum();
+    let x = 16.0 / 5000.0 * sum_sq - 5000.0;
+    let poker = x > 1.03 && x < 57.4;
+
+    // Runs and long run in one pass.
+    let mut run_counts = [[0u64; 6]; 2];
+    let mut longest = 1usize;
+    let mut run_val = bits.get(0);
+    let mut run_len = 1usize;
+    for i in 1..SAMPLE_BITS {
+        let b = bits.get(i);
+        if b == run_val {
+            run_len += 1;
+        } else {
+            run_counts[usize::from(run_val)][run_len.min(6) - 1] += 1;
+            longest = longest.max(run_len);
+            run_val = b;
+            run_len = 1;
+        }
+    }
+    run_counts[usize::from(run_val)][run_len.min(6) - 1] += 1;
+    longest = longest.max(run_len);
+    let runs = (0..2).all(|v| {
+        RUNS_BOUNDS
+            .iter()
+            .enumerate()
+            .all(|(i, &(lo, hi))| (lo..=hi).contains(&run_counts[v][i]))
+    });
+    let long_run = longest < 26;
+
+    Fips140Report {
+        monobit,
+        poker,
+        runs,
+        long_run,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_bits(n: usize, seed: u64) -> BitVec {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen::<bool>()).collect()
+    }
+
+    #[test]
+    fn random_data_passes() {
+        for seed in 50..60 {
+            let r = run_fips140(&random_bits(SAMPLE_BITS, seed));
+            assert!(r.all_passed(), "seed {seed}: {r}");
+        }
+    }
+
+    #[test]
+    fn constant_data_fails_everything_but_poker_edge() {
+        let bits: BitVec = (0..SAMPLE_BITS).map(|_| true).collect();
+        let r = run_fips140(&bits);
+        assert!(!r.monobit);
+        assert!(!r.poker);
+        assert!(!r.runs);
+        assert!(!r.long_run);
+        assert!(!r.all_passed());
+    }
+
+    #[test]
+    fn alternating_data_fails_runs() {
+        let bits: BitVec = (0..SAMPLE_BITS).map(|i| i % 2 == 0).collect();
+        let r = run_fips140(&bits);
+        assert!(r.monobit);
+        assert!(!r.runs);
+    }
+
+    #[test]
+    fn single_long_run_fails_only_long_run() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(61);
+        let mut bits = BitVec::new();
+        for i in 0..SAMPLE_BITS {
+            if (5000..5026).contains(&i) {
+                bits.push(true);
+            } else {
+                bits.push(rng.gen());
+            }
+        }
+        let r = run_fips140(&bits);
+        assert!(!r.long_run, "{r}");
+    }
+
+    #[test]
+    fn mild_bias_fails_monobit() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(62);
+        let bits: BitVec = (0..SAMPLE_BITS).map(|_| rng.gen::<f64>() < 0.53).collect();
+        let r = run_fips140(&bits);
+        assert!(!r.monobit);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let r = run_fips140(&random_bits(SAMPLE_BITS, 63));
+        assert!(format!("{r}").contains("PASS"));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs 20000 bits")]
+    fn rejects_short_input() {
+        let _ = run_fips140(&random_bits(100, 64));
+    }
+}

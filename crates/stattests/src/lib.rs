@@ -1,0 +1,53 @@
+//! Statistical evaluation substrate: NIST SP 800-22, AIS-31 and
+//! FIPS 140-2 test batteries plus empirical entropy estimators, all
+//! implemented from scratch.
+//!
+//! The reproduced paper ("Highly Efficient Entropy Extraction for
+//! TRNGs on FPGAs", DAC 2015) defines its Table-1 column `n_NIST` as
+//! the minimal XOR-compression rate whose output "passes all NIST
+//! tests"; Section 2 frames the whole evaluation in the AIS-31
+//! methodology. This crate supplies that machinery:
+//!
+//! * [`bits`] — packed bit sequences;
+//! * [`nist`] — all fifteen SP 800-22 tests plus the battery runner;
+//! * [`assessment`] — the multi-sequence acceptance criteria
+//!   (proportion + P-value uniformity, SP 800-22 §4.2);
+//! * [`ais31`] — AIS-31 procedure tests T0–T5 and T8;
+//! * [`diehard`] — a DIEHARD subset (the other battery the paper
+//!   cites);
+//! * [`fips140`] — the FIPS 140-2 power-up quartet;
+//! * [`estimators`] — empirical (min-)entropy estimators;
+//! * [`special`] / [`fft`] — the supporting numerics.
+//!
+//! # Example
+//!
+//! ```
+//! use rand::{Rng, SeedableRng};
+//! use trng_stattests::bits::BitVec;
+//! use trng_stattests::nist::run_battery;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let bits: BitVec = (0..100_000).map(|_| rng.gen::<bool>()).collect();
+//! let result = run_battery(&bits);
+//! assert!(result.all_passed(), "{result}");
+//! ```
+//!
+//! (The doc example uses `rand` from dev-dependencies; the library
+//! itself is dependency-free.)
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ais31;
+pub mod assessment;
+pub mod bits;
+pub mod diehard;
+pub mod estimators;
+pub mod fft;
+pub mod fips140;
+pub mod nist;
+pub mod special;
+
+pub use assessment::{assess, Assessment};
+pub use bits::BitVec;
+pub use nist::{run_battery, BatteryResult};

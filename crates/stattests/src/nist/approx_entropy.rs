@@ -1,0 +1,137 @@
+//! Approximate entropy test — SP 800-22 §2.12.
+//!
+//! Compares the frequencies of overlapping `m`- and `(m+1)`-bit
+//! patterns (cyclically extended): for a random sequence
+//! `ApEn(m) = φ(m) − φ(m+1)` approaches `ln 2`, and
+//! `χ² = 2n(ln 2 − ApEn(m))` is χ²-distributed with `2^m` degrees of
+//! freedom.
+
+use crate::bits::BitVec;
+use crate::nist::{require_len, TestOutcome, TestResult};
+use crate::special::igamc;
+
+/// Test name.
+pub const NAME: &str = "approximate entropy";
+
+/// Picks `m` per the guidance `m < ⌊log2 n⌋ − 5`, capped at 10.
+pub fn choose_m(n: usize) -> usize {
+    let log2n = (usize::BITS - 1 - n.leading_zeros()) as usize;
+    log2n.saturating_sub(7).clamp(2, 10)
+}
+
+/// φ(m): Σ π_i ln π_i over overlapping cyclic m-patterns.
+fn phi(bits: &BitVec, m: usize) -> f64 {
+    let n = bits.len();
+    let mut counts = vec![0u64; 1 << m];
+    let mask = (1usize << m) - 1;
+    let mut value = 0usize;
+    for i in 0..m - 1 {
+        value = (value << 1 | bits.bit(i) as usize) & mask;
+    }
+    for i in m - 1..n + m - 1 {
+        value = (value << 1 | bits.bit(i % n) as usize) & mask;
+        counts[value] += 1;
+    }
+    let n_f = n as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let pi = c as f64 / n_f;
+            pi * pi.ln()
+        })
+        .sum()
+}
+
+/// Runs the approximate entropy test with automatic `m`.
+///
+/// # Errors
+///
+/// `TooShort` below 100 bits.
+/// # Examples
+///
+/// ```
+/// use rand::{Rng, SeedableRng};
+/// use trng_stattests::bits::BitVec;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let bits: BitVec = (0..5_000).map(|_| rng.gen::<bool>()).collect();
+/// let p = trng_stattests::nist::approx_entropy::test(&bits)?.min_p();
+/// assert!(p > 0.0001);
+/// # Ok::<(), trng_stattests::nist::TestError>(())
+/// ```
+pub fn test(bits: &BitVec) -> TestResult {
+    test_with_m(bits, choose_m(bits.len()))
+}
+
+/// Runs the test with explicit block length `m`.
+///
+/// # Errors
+///
+/// `TooShort` below 100 bits.
+///
+/// # Panics
+///
+/// Panics if `m` is 0 or over 16.
+pub fn test_with_m(bits: &BitVec, m: usize) -> TestResult {
+    assert!((1..=16).contains(&m), "block length out of range: {m}");
+    require_len(NAME, bits.len(), 100)?;
+    let n = bits.len() as f64;
+    let ap_en = phi(bits, m) - phi(bits, m + 1);
+    let chi2 = 2.0 * n * (core::f64::consts::LN_2 - ap_en);
+    let p = igamc(2f64.powi(m as i32 - 1), chi2 / 2.0);
+    Ok(TestOutcome::single(NAME, p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// SP 800-22 §2.12.4 worked example: ε = 0100110101, m = 3:
+    /// ApEn ≈ 0.502193, χ² ≈ 5.238706, P = 0.261961.
+    #[test]
+    fn nist_worked_example() {
+        let bits = BitVec::from_binary_str("0100110101");
+        let ap_en = phi(&bits, 3) - phi(&bits, 4);
+        let chi2 = 2.0 * 10.0 * (core::f64::consts::LN_2 - ap_en);
+        let p = igamc(4.0, chi2 / 2.0);
+        assert!((p - 0.261961).abs() < 1e-5, "p = {p} (chi2 = {chi2})");
+    }
+
+    #[test]
+    fn m_choice() {
+        assert_eq!(choose_m(1_000), 2);
+        assert_eq!(choose_m(100_000), 9);
+        assert_eq!(choose_m(1_048_576), 10);
+    }
+
+    #[test]
+    fn random_data_passes() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(20);
+        let bits: BitVec = (0..100_000).map(|_| rng.gen::<bool>()).collect();
+        let p = test(&bits).unwrap().min_p();
+        assert!(p > 0.001, "p = {p}");
+    }
+
+    #[test]
+    fn periodic_data_fails() {
+        let bits: BitVec = (0..100_000).map(|i| i % 8 < 4).collect();
+        let p = test(&bits).unwrap().min_p();
+        assert!(p < 1e-10, "p = {p}");
+    }
+
+    #[test]
+    fn biased_data_fails() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let bits: BitVec = (0..100_000).map(|_| rng.gen::<f64>() < 0.45).collect();
+        let p = test(&bits).unwrap().min_p();
+        assert!(p < 0.01, "p = {p}");
+    }
+
+    #[test]
+    fn too_short_errors() {
+        let bits = BitVec::from_binary_str("0100110101");
+        assert!(test(&bits).is_err());
+    }
+}

@@ -1,0 +1,205 @@
+//! The full SP 800-22 battery.
+//!
+//! Runs all fifteen tests on one sequence and aggregates the verdict.
+//! Tests that are not applicable to the sequence (too short, too few
+//! cycles) are recorded as skipped, matching the NIST tool's
+//! behaviour, and do not fail the sequence.
+
+use crate::bits::BitVec;
+use crate::nist::{
+    approx_entropy, block_frequency, cusum, dft, excursions, frequency, linear_complexity,
+    longest_run, rank, runs, serial, templates, universal, TestError, TestOutcome, ALPHA,
+};
+
+use core::fmt;
+
+/// Result of one battery run on one sequence.
+#[derive(Debug, Clone)]
+pub struct BatteryResult {
+    /// Each test's outcome or skip reason.
+    pub results: Vec<Result<TestOutcome, TestError>>,
+    /// Significance level used for the verdict.
+    pub alpha: f64,
+}
+
+impl BatteryResult {
+    /// `true` if every *applicable* test passed at the battery's alpha.
+    pub fn all_passed(&self) -> bool {
+        self.results
+            .iter()
+            .all(|r| r.as_ref().map_or(true, |o| o.passes(self.alpha)))
+    }
+
+    /// Names of applicable tests that failed.
+    pub fn failures(&self) -> Vec<&'static str> {
+        self.results
+            .iter()
+            .filter_map(|r| match r {
+                Ok(o) if !o.passes(self.alpha) => Some(o.name),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Number of tests that actually ran.
+    pub fn applicable(&self) -> usize {
+        self.results.iter().filter(|r| r.is_ok()).count()
+    }
+
+    /// All (test name, P-value) pairs of applicable tests.
+    pub fn p_values(&self) -> Vec<(&'static str, f64)> {
+        self.results
+            .iter()
+            .filter_map(|r| r.as_ref().ok())
+            .flat_map(|o| o.p_values.iter().map(move |&p| (o.name, p)))
+            .collect()
+    }
+}
+
+impl fmt::Display for BatteryResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.results {
+            match r {
+                Ok(o) => writeln!(
+                    f,
+                    "  {:<32} min P = {:.6}  [{}]",
+                    o.name,
+                    o.min_p(),
+                    if o.passes(self.alpha) { "pass" } else { "FAIL" }
+                )?,
+                Err(e) => writeln!(f, "  {:<32} skipped: {e}", e.name())?,
+            }
+        }
+        write!(
+            f,
+            "  => {} ({} tests ran)",
+            if self.all_passed() { "ALL PASS" } else { "FAILED" },
+            self.applicable()
+        )
+    }
+}
+
+/// Runs the full battery at the default α = 0.01.
+pub fn run_battery(bits: &BitVec) -> BatteryResult {
+    run_battery_with_alpha(bits, ALPHA)
+}
+
+/// Runs the full battery at an explicit significance level.
+///
+/// # Panics
+///
+/// Panics if `alpha` is not in `(0, 1)`.
+pub fn run_battery_with_alpha(bits: &BitVec, alpha: f64) -> BatteryResult {
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
+    let results = vec![
+        frequency::test(bits),
+        block_frequency::test(bits),
+        runs::test(bits),
+        longest_run::test(bits),
+        rank::test(bits),
+        dft::test(bits),
+        templates::non_overlapping(bits),
+        templates::overlapping(bits),
+        universal::test(bits),
+        linear_complexity::test(bits),
+        serial::test(bits),
+        approx_entropy::test(bits),
+        cusum::test(bits),
+        excursions::excursions(bits),
+        excursions::variant(bits),
+    ];
+    BatteryResult { results, alpha }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_bits(n: usize, seed: u64) -> BitVec {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen::<bool>()).collect()
+    }
+
+    #[test]
+    fn battery_runs_fifteen_tests() {
+        let bits = random_bits(200_000, 30);
+        let r = run_battery(&bits);
+        assert_eq!(r.results.len(), 15);
+    }
+
+    #[test]
+    fn good_random_data_mostly_passes_battery() {
+        // A single battery evaluates ~45 P-values at alpha = 0.01, so
+        // even a perfect source fails one occasionally — that is why
+        // NIST judges ensembles (assessment module). For one sequence,
+        // demand at most one failing test and nothing catastrophic.
+        let bits = random_bits(200_000, 31);
+        let r = run_battery(&bits);
+        assert!(
+            r.failures().len() <= 1,
+            "failures: {:?}\n{r}",
+            r.failures()
+        );
+        let min_p = r.p_values().iter().map(|&(_, p)| p).fold(1.0, f64::min);
+        assert!(min_p > 1e-5, "catastrophic min p = {min_p}");
+        // At 200k bits at least a dozen tests are applicable.
+        assert!(r.applicable() >= 12, "only {} ran", r.applicable());
+    }
+
+    #[test]
+    fn biased_data_fails_battery() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(32);
+        let bits: BitVec = (0..200_000).map(|_| rng.gen::<f64>() < 0.53).collect();
+        let r = run_battery(&bits);
+        assert!(!r.all_passed());
+        assert!(r.failures().contains(&"frequency"));
+    }
+
+    #[test]
+    fn periodic_data_fails_many_tests() {
+        let bits: BitVec = (0..200_000).map(|i| i % 6 < 3).collect();
+        let r = run_battery(&bits);
+        assert!(!r.all_passed());
+        assert!(r.failures().len() >= 4, "failures: {:?}", r.failures());
+    }
+
+    #[test]
+    fn short_sequence_skips_heavy_tests_gracefully() {
+        let bits = random_bits(2_000, 33);
+        let r = run_battery(&bits);
+        // rank/universal/linear complexity/templates etc. skip; the
+        // cheap tests still run.
+        assert!(r.applicable() >= 5);
+        assert!(r.applicable() < 12);
+        // Skipped tests never count as failures.
+        assert!(r.failures().len() <= 1, "failures: {:?}", r.failures());
+    }
+
+    #[test]
+    fn p_values_enumeration() {
+        let bits = random_bits(200_000, 34);
+        let r = run_battery(&bits);
+        let ps = r.p_values();
+        // serial + cusum contribute 2 each, templates 15, excursions 8 + 18.
+        assert!(ps.len() > 20, "{} p-values", ps.len());
+        assert!(ps.iter().all(|&(_, p)| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn display_renders_report() {
+        let bits = random_bits(4_000, 35);
+        let r = run_battery(&bits);
+        let s = format!("{r}");
+        assert!(s.contains("frequency"));
+        assert!(s.contains("=>"));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0, 1)")]
+    fn rejects_bad_alpha() {
+        let bits = random_bits(1_000, 36);
+        let _ = run_battery_with_alpha(&bits, 0.0);
+    }
+}

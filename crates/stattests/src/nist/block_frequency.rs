@@ -1,0 +1,121 @@
+//! Frequency within a block — SP 800-22 §2.2.
+//!
+//! Splits the sequence into `N = ⌊n/M⌋` blocks of `M` bits, computes
+//! each block's ones-proportion `π_i` and
+//! `χ² = 4M·Σ(π_i − ½)²`, `P = igamc(N/2, χ²/2)`.
+
+use crate::bits::BitVec;
+use crate::nist::{require_len, TestOutcome, TestResult};
+use crate::special::igamc;
+
+/// Test name.
+pub const NAME: &str = "block frequency";
+
+/// Default block size (SP 800-22 recommends `M ≥ 20`, `M > 0.01·n`;
+/// 128 is the reference choice for n = 10^6).
+pub const DEFAULT_BLOCK: usize = 128;
+
+/// Runs the test with the default block size.
+///
+/// # Errors
+///
+/// `TooShort` below 100 bits.
+/// # Examples
+///
+/// ```
+/// use trng_stattests::bits::BitVec;
+/// let bits: BitVec = (0..2_000).map(|i| i % 2 == 0).collect();
+/// // Every 128-bit block is exactly half ones: P ~ 1.
+/// let p = trng_stattests::nist::block_frequency::test(&bits)?.min_p();
+/// assert!(p > 0.999);
+/// # Ok::<(), trng_stattests::nist::TestError>(())
+/// ```
+pub fn test(bits: &BitVec) -> TestResult {
+    test_with_block(bits, DEFAULT_BLOCK)
+}
+
+/// Runs the test with an explicit block size `m`.
+///
+/// # Errors
+///
+/// `TooShort` if fewer than one block fits or the sequence is under
+/// 100 bits.
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+pub fn test_with_block(bits: &BitVec, m: usize) -> TestResult {
+    assert!(m > 0, "block size must be positive");
+    require_len(NAME, bits.len(), 100.max(m))?;
+    let n_blocks = bits.len() / m;
+    let mut chi2 = 0.0;
+    for b in 0..n_blocks {
+        let pi = bits.count_ones_in(b * m, m) as f64 / m as f64;
+        chi2 += (pi - 0.5) * (pi - 0.5);
+    }
+    chi2 *= 4.0 * m as f64;
+    let p = igamc(n_blocks as f64 / 2.0, chi2 / 2.0);
+    Ok(TestOutcome::single(NAME, p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// SP 800-22 §2.2.4: ε = 0110011010, M = 3 → χ² = 1,
+    /// P = igamc(1.5, 0.5) = 0.801252.
+    #[test]
+    fn nist_worked_example() {
+        let bits = BitVec::from_binary_str("0110011010");
+        let n_blocks = bits.len() / 3;
+        let mut chi2 = 0.0;
+        for b in 0..n_blocks {
+            let pi = bits.count_ones_in(b * 3, 3) as f64 / 3.0;
+            chi2 += (pi - 0.5) * (pi - 0.5);
+        }
+        chi2 *= 12.0;
+        assert!((chi2 - 1.0).abs() < 1e-12, "chi2 = {chi2}");
+        let p = igamc(n_blocks as f64 / 2.0, chi2 / 2.0);
+        assert!((p - 0.801252).abs() < 1e-6, "p = {p}");
+    }
+
+    #[test]
+    fn random_data_passes() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let bits: BitVec = (0..100_000).map(|_| rng.gen::<bool>()).collect();
+        assert!(test(&bits).unwrap().min_p() > 0.001);
+    }
+
+    #[test]
+    fn blockwise_biased_data_fails() {
+        // Alternating all-ones / all-zeros blocks of 128: globally
+        // balanced (frequency passes) but block frequency must fail.
+        let bits: BitVec = (0..100_000).map(|i| (i / 128) % 2 == 0).collect();
+        let p = test(&bits).unwrap().min_p();
+        assert!(p < 1e-10, "p = {p}");
+        // Sanity: global frequency is fine.
+        assert!(crate::nist::frequency::test(&bits).unwrap().min_p() > 0.01);
+    }
+
+    #[test]
+    fn per_block_alternation_passes() {
+        // 10101010... every block is exactly half ones.
+        let bits: BitVec = (0..10_000).map(|i| i % 2 == 0).collect();
+        let p = test(&bits).unwrap().min_p();
+        assert!((p - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn too_short_errors() {
+        let bits: BitVec = (0..64).map(|_| true).collect();
+        assert!(test(&bits).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "block size must be positive")]
+    fn zero_block_panics() {
+        let bits: BitVec = (0..128).map(|_| true).collect();
+        let _ = test_with_block(&bits, 0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Cumulative sums test — SP 800-22 §2.13.
+//!
+//! Treats the ±1-mapped sequence as a random walk and checks that the
+//! maximal partial-sum excursion is consistent with Brownian-bridge
+//! behaviour. Two P-values: forward and backward walks.
+
+use crate::bits::BitVec;
+use crate::nist::{require_len, TestOutcome, TestResult};
+use crate::special::normal_cdf;
+
+/// Test name.
+pub const NAME: &str = "cumulative sums";
+
+/// Minimum recommended sequence length.
+pub const MIN_LEN: usize = 100;
+
+/// P-value for a maximal excursion `z` over `n` steps (§2.13.4 step 3).
+fn cusum_p(n: usize, z: f64) -> f64 {
+    let n_f = n as f64;
+    let sqrt_n = n_f.sqrt();
+    // Lower summation limits take the ceiling (the sum runs over the
+    // integers k with start <= k <= end); verified against the §2.13.4
+    // worked example (z = 4, n = 10 -> P = 0.4116588).
+    let k_lo_1 = ((-n_f / z + 1.0) / 4.0).ceil() as i64;
+    let k_hi_1 = ((n_f / z - 1.0) / 4.0).floor() as i64;
+    let mut sum1 = 0.0;
+    for k in k_lo_1..=k_hi_1 {
+        let k = k as f64;
+        sum1 += normal_cdf((4.0 * k + 1.0) * z / sqrt_n) - normal_cdf((4.0 * k - 1.0) * z / sqrt_n);
+    }
+    let k_lo_2 = ((-n_f / z - 3.0) / 4.0).ceil() as i64;
+    let k_hi_2 = ((n_f / z - 1.0) / 4.0).floor() as i64;
+    let mut sum2 = 0.0;
+    for k in k_lo_2..=k_hi_2 {
+        let k = k as f64;
+        sum2 += normal_cdf((4.0 * k + 3.0) * z / sqrt_n) - normal_cdf((4.0 * k + 1.0) * z / sqrt_n);
+    }
+    (1.0 - sum1 + sum2).clamp(0.0, 1.0)
+}
+
+/// Maximal absolute partial sum of the walk, forward or backward.
+fn max_excursion(bits: &BitVec, forward: bool) -> f64 {
+    let n = bits.len();
+    let mut s = 0i64;
+    let mut z = 0i64;
+    for i in 0..n {
+        let idx = if forward { i } else { n - 1 - i };
+        s += if bits.get(idx) { 1 } else { -1 };
+        z = z.max(s.abs());
+    }
+    z as f64
+}
+
+/// Runs the cumulative sums test (both modes).
+///
+/// # Errors
+///
+/// `TooShort` below 100 bits.
+/// # Examples
+///
+/// ```
+/// use rand::{Rng, SeedableRng};
+/// use trng_stattests::bits::BitVec;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+/// let bits: BitVec = (0..5_000).map(|_| rng.gen::<bool>()).collect();
+/// let out = trng_stattests::nist::cusum::test(&bits)?;
+/// assert_eq!(out.p_values.len(), 2); // forward and backward
+/// # Ok::<(), trng_stattests::nist::TestError>(())
+/// ```
+pub fn test(bits: &BitVec) -> TestResult {
+    require_len(NAME, bits.len(), MIN_LEN)?;
+    let n = bits.len();
+    let z_fwd = max_excursion(bits, true);
+    let z_bwd = max_excursion(bits, false);
+    Ok(TestOutcome {
+        name: NAME,
+        p_values: vec![cusum_p(n, z_fwd), cusum_p(n, z_bwd)],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// SP 800-22 §2.13.4 worked example: ε = 1011010111 (n = 10),
+    /// forward z = 4, P = 0.4116588.
+    #[test]
+    fn nist_worked_example() {
+        let bits = BitVec::from_binary_str("1011010111");
+        let z = max_excursion(&bits, true);
+        assert_eq!(z, 4.0);
+        let p = cusum_p(10, z);
+        assert!((p - 0.411_658_8).abs() < 1e-6, "p = {p}");
+    }
+
+    #[test]
+    fn excursion_directions_differ() {
+        let bits = BitVec::from_binary_str("1111100000");
+        assert_eq!(max_excursion(&bits, true), 5.0);
+        assert_eq!(max_excursion(&bits, false), 5.0);
+        let bits = BitVec::from_binary_str("1111000000");
+        assert_eq!(max_excursion(&bits, true), 4.0);
+        // Backward: 0000001111 walks to -6 first.
+        assert_eq!(max_excursion(&bits, false), 6.0);
+    }
+
+    #[test]
+    fn random_data_passes() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(22);
+        let bits: BitVec = (0..100_000).map(|_| rng.gen::<bool>()).collect();
+        let out = test(&bits).unwrap();
+        assert_eq!(out.p_values.len(), 2);
+        assert!(out.min_p() > 0.001, "min p = {}", out.min_p());
+    }
+
+    #[test]
+    fn drifting_data_fails() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        // 52 % ones: the walk drifts far from the origin.
+        let bits: BitVec = (0..100_000).map(|_| rng.gen::<f64>() < 0.52).collect();
+        let out = test(&bits).unwrap();
+        assert!(out.min_p() < 1e-6, "min p = {}", out.min_p());
+    }
+
+    #[test]
+    fn alternating_data_scores_high() {
+        // 1010...: the walk never leaves {0, 1}: z = 1 is *too small*,
+        // the test only penalizes large excursions, so P ~ 1. (The
+        // runs test catches this defect instead.)
+        let bits: BitVec = (0..10_000).map(|i| i % 2 == 0).collect();
+        let out = test(&bits).unwrap();
+        assert!(out.min_p() > 0.9);
+    }
+
+    #[test]
+    fn too_short_errors() {
+        let bits = BitVec::from_binary_str("1011010111");
+        assert!(test(&bits).is_err());
+    }
+}

@@ -1,0 +1,100 @@
+//! Discrete Fourier transform (spectral) test — SP 800-22 §2.6.
+//!
+//! Detects periodic features: maps bits to ±1, computes the DFT and
+//! counts how many of the first `n/2` peak moduli fall below the 95 %
+//! threshold `T = sqrt(n·ln(1/0.05))`. Under randomness ~95 % should;
+//! the normalized difference is referred to the normal distribution.
+//!
+//! The transform uses the Bluestein FFT ([`crate::fft`]), so the test
+//! runs on sequences of any length without truncation.
+
+use crate::bits::BitVec;
+use crate::fft::spectrum_moduli;
+use crate::nist::{require_len, TestOutcome, TestResult};
+use crate::special::erfc;
+
+/// Test name.
+pub const NAME: &str = "dft (spectral)";
+
+/// Minimum recommended sequence length.
+pub const MIN_LEN: usize = 1000;
+
+/// Runs the spectral test.
+///
+/// # Errors
+///
+/// `TooShort` below 1000 bits.
+/// # Examples
+///
+/// ```
+/// use rand::{Rng, SeedableRng};
+/// use trng_stattests::bits::BitVec;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let bits: BitVec = (0..4_096).map(|_| rng.gen::<bool>()).collect();
+/// let p = trng_stattests::nist::dft::test(&bits)?.min_p();
+/// assert!(p > 0.0001);
+/// # Ok::<(), trng_stattests::nist::TestError>(())
+/// ```
+pub fn test(bits: &BitVec) -> TestResult {
+    require_len(NAME, bits.len(), MIN_LEN)?;
+    let n = bits.len();
+    let pm1: Vec<f64> = (0..n).map(|i| bits.pm1(i)).collect();
+    let moduli = spectrum_moduli(&pm1);
+    let n_f = n as f64;
+    // T = sqrt(ln(1/0.05) * n) = sqrt(2.995732... * n).
+    let threshold = ((1.0 / 0.05f64).ln() * n_f).sqrt();
+    let n0 = 0.95 * n_f / 2.0;
+    let n1 = moduli.iter().filter(|&&m| m < threshold).count() as f64;
+    let d = (n1 - n0) / (n_f * 0.95 * 0.05 / 4.0).sqrt();
+    let p = erfc(d.abs() / core::f64::consts::SQRT_2);
+    Ok(TestOutcome::single(NAME, p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_data_passes() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let bits: BitVec = (0..65_536).map(|_| rng.gen::<bool>()).collect();
+        let p = test(&bits).unwrap().min_p();
+        assert!(p > 0.001, "p = {p}");
+    }
+
+    #[test]
+    fn random_data_passes_non_power_of_two_length() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let bits: BitVec = (0..100_000).map(|_| rng.gen::<bool>()).collect();
+        let p = test(&bits).unwrap().min_p();
+        assert!(p > 0.001, "p = {p}");
+    }
+
+    #[test]
+    fn strong_periodic_component_fails() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        // Random bits with a superimposed strong period-16 component:
+        // force every 16th bit to 1.
+        let bits: BitVec = (0..65_536)
+            .map(|i| if i % 16 == 0 { true } else { rng.gen::<bool>() })
+            .collect();
+        let p = test(&bits).unwrap().min_p();
+        assert!(p < 0.01, "p = {p}");
+    }
+
+    #[test]
+    fn pure_square_wave_fails() {
+        let bits: BitVec = (0..4096).map(|i| (i / 8) % 2 == 0).collect();
+        let p = test(&bits).unwrap().min_p();
+        assert!(p < 1e-6, "p = {p}");
+    }
+
+    #[test]
+    fn too_short_errors() {
+        let bits: BitVec = (0..999).map(|_| true).collect();
+        assert!(test(&bits).is_err());
+    }
+}

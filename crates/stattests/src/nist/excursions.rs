@@ -1,0 +1,218 @@
+//! Random excursions tests — SP 800-22 §2.14 and §2.15.
+//!
+//! Both view the ±1 walk as a sequence of zero-to-zero *cycles*:
+//!
+//! * §2.14 (**random excursions**): for states `x ∈ {−4..−1, 1..4}`,
+//!   the number of visits to `x` per cycle is χ²-tested against the
+//!   theoretical distribution — eight P-values;
+//! * §2.15 (**variant**): for states `x ∈ {−9..−1, 1..9}`, the total
+//!   visit count `ξ(x)` is normally referred — eighteen P-values.
+//!
+//! Applicability: the number of cycles `J` must be at least
+//! `max(500, 0.005·√n)`; otherwise the tests are reported as not
+//! applicable (which the battery records without failing the
+//! sequence, per the NIST practice).
+
+use crate::bits::BitVec;
+use crate::nist::{TestError, TestOutcome, TestResult};
+use crate::special::{erfc, igamc};
+
+/// Test names.
+pub const NAME_EXCURSIONS: &str = "random excursions";
+/// Name of the variant test.
+pub const NAME_VARIANT: &str = "random excursions variant";
+
+/// Builds the partial-sum walk and the cycle boundaries (indices in
+/// the walk where S = 0, including the appended final zero).
+fn walk_and_cycles(bits: &BitVec) -> (Vec<i32>, usize) {
+    let n = bits.len();
+    let mut walk = Vec::with_capacity(n + 2);
+    // NIST prepends S_0 = 0 and appends a final 0.
+    walk.push(0);
+    let mut s = 0i32;
+    for i in 0..n {
+        s += if bits.get(i) { 1 } else { -1 };
+        walk.push(s);
+    }
+    walk.push(0);
+    let cycles = walk[1..].iter().filter(|&&v| v == 0).count();
+    (walk, cycles)
+}
+
+/// Theoretical probability π_k(x) of exactly `k` visits to state `x`
+/// within one cycle (k = 0..4, with `k = 5` meaning "5 or more").
+pub fn pi_k(x: i32, k: usize) -> f64 {
+    let ax = f64::from(x.abs());
+    let p_return = 1.0 - 1.0 / (2.0 * ax);
+    match k {
+        0 => p_return,
+        1..=4 => (1.0 / (4.0 * ax * ax)) * p_return.powi(k as i32 - 1),
+        5 => (1.0 / (2.0 * ax)) * p_return.powi(4),
+        _ => panic!("category out of range: {k}"),
+    }
+}
+
+fn applicability(name: &'static str, n: usize, cycles: usize) -> Result<(), TestError> {
+    let required = (0.005 * (n as f64).sqrt()).max(500.0) as usize;
+    if cycles < required {
+        Err(TestError::NotApplicable {
+            name,
+            reason: format!("only {cycles} cycles, need {required}"),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+/// Runs the random excursions test (§2.14): eight P-values for states
+/// ±1..±4.
+///
+/// # Errors
+///
+/// `NotApplicable` when the walk has too few zero-crossing cycles.
+pub fn excursions(bits: &BitVec) -> TestResult {
+    let (walk, cycles) = walk_and_cycles(bits);
+    applicability(NAME_EXCURSIONS, bits.len(), cycles)?;
+    let states: [i32; 8] = [-4, -3, -2, -1, 1, 2, 3, 4];
+    // visits[state_idx][k] = number of cycles with exactly k visits
+    // (k = 5 means >= 5).
+    let mut counts = [[0u64; 6]; 8];
+    let mut visits_this_cycle = [0u64; 8];
+    for &v in &walk[1..] {
+        if v == 0 {
+            for (s, &visits) in visits_this_cycle.iter().enumerate() {
+                counts[s][(visits as usize).min(5)] += 1;
+            }
+            visits_this_cycle = [0; 8];
+        } else if let Some(idx) = states.iter().position(|&s| s == v) {
+            visits_this_cycle[idx] += 1;
+        }
+    }
+    let j = cycles as f64;
+    let p_values = states
+        .iter()
+        .enumerate()
+        .map(|(si, &x)| {
+            let chi2: f64 = (0..6)
+                .map(|k| {
+                    let e = j * pi_k(x, k);
+                    let o = counts[si][k] as f64;
+                    (o - e) * (o - e) / e
+                })
+                .sum();
+            igamc(2.5, chi2 / 2.0)
+        })
+        .collect();
+    Ok(TestOutcome {
+        name: NAME_EXCURSIONS,
+        p_values,
+    })
+}
+
+/// Runs the random excursions variant test (§2.15): eighteen P-values
+/// for states ±1..±9.
+///
+/// # Errors
+///
+/// `NotApplicable` when the walk has too few zero-crossing cycles.
+pub fn variant(bits: &BitVec) -> TestResult {
+    let (walk, cycles) = walk_and_cycles(bits);
+    applicability(NAME_VARIANT, bits.len(), cycles)?;
+    let j = cycles as f64;
+    let mut p_values = Vec::with_capacity(18);
+    for x in (-9..=9).filter(|&x| x != 0) {
+        let xi = walk[1..].iter().filter(|&&v| v == x).count() as f64;
+        // P = erfc(|xi(x) - J| / sqrt(2J(4|x| - 2))), §2.15.4 step 5.
+        let denom = (2.0 * j * (4.0 * f64::from(x.unsigned_abs()) - 2.0)).sqrt();
+        p_values.push(erfc((xi - j).abs() / denom));
+    }
+    Ok(TestOutcome {
+        name: NAME_VARIANT,
+        p_values,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walk_construction() {
+        let bits = BitVec::from_binary_str("0110110101");
+        // NIST §2.14.4 example walk: S = -1,0,1,0,1,2,1,2,1,2.
+        let (walk, cycles) = walk_and_cycles(&bits);
+        assert_eq!(walk[0], 0);
+        assert_eq!(&walk[1..11], &[-1, 0, 1, 0, 1, 2, 1, 2, 1, 2]);
+        assert_eq!(*walk.last().unwrap(), 0);
+        // Zeros after start: positions 2 and 4, plus the appended one: J = 3.
+        assert_eq!(cycles, 3);
+    }
+
+    #[test]
+    fn pi_values_match_nist_table() {
+        // SP 800-22 §3.14, state x = 1: π0 = 0.5, π1..4 = 0.25·0.5^{k-1},
+        // π5 = 0.03125.
+        assert!((pi_k(1, 0) - 0.5).abs() < 1e-12);
+        assert!((pi_k(1, 1) - 0.25).abs() < 1e-12);
+        assert!((pi_k(1, 2) - 0.125).abs() < 1e-12);
+        assert!((pi_k(1, 5) - 0.03125).abs() < 1e-12);
+        // State x = 4: π0 = 0.875, π1 = 0.015625.
+        assert!((pi_k(4, 0) - 0.875).abs() < 1e-12);
+        assert!((pi_k(4, 1) - 0.015625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pi_rows_sum_to_one() {
+        for x in [-4, -2, -1, 1, 3, 4] {
+            let s: f64 = (0..6).map(|k| pi_k(x, k)).sum();
+            assert!((s - 1.0).abs() < 1e-12, "x = {x}: {s}");
+        }
+    }
+
+    #[test]
+    fn random_data_passes_both() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(24);
+        let bits: BitVec = (0..1_000_000).map(|_| rng.gen::<bool>()).collect();
+        let e = excursions(&bits).unwrap();
+        assert_eq!(e.p_values.len(), 8);
+        assert!(e.min_p() > 1e-4, "excursions min p = {}", e.min_p());
+        let v = variant(&bits).unwrap();
+        assert_eq!(v.p_values.len(), 18);
+        assert!(v.min_p() > 1e-4, "variant min p = {}", v.min_p());
+    }
+
+    #[test]
+    fn drifting_walk_is_not_applicable() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(25);
+        // 55 % ones: the walk drifts away and rarely returns to zero.
+        let bits: BitVec = (0..100_000).map(|_| rng.gen::<f64>() < 0.55).collect();
+        assert!(matches!(
+            excursions(&bits),
+            Err(TestError::NotApplicable { .. })
+        ));
+        assert!(matches!(variant(&bits), Err(TestError::NotApplicable { .. })));
+    }
+
+    #[test]
+    fn sticky_walk_fails_excursions() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(26);
+        // A walk that oscillates tightly: +1/-1 strictly alternating
+        // with occasional random pairs — many cycles, but state visits
+        // are wildly non-theoretical.
+        let mut bits = BitVec::new();
+        for _ in 0..500_000 {
+            if rng.gen::<f64>() < 0.95 {
+                bits.push(true);
+                bits.push(false);
+            } else {
+                bits.push(rng.gen());
+                bits.push(rng.gen());
+            }
+        }
+        let e = excursions(&bits).unwrap();
+        assert!(e.min_p() < 1e-6, "min p = {}", e.min_p());
+    }
+}

@@ -1,0 +1,110 @@
+//! Frequency (monobit) test — SP 800-22 §2.1.
+//!
+//! Tests whether the proportion of ones is consistent with a fair
+//! source: `S_n = Σ(2ε_i − 1)`, `s_obs = |S_n|/√n`,
+//! `P = erfc(s_obs/√2)`.
+
+use crate::bits::BitVec;
+use crate::nist::{require_len, TestOutcome, TestResult};
+use crate::special::erfc;
+
+/// Test name.
+pub const NAME: &str = "frequency";
+
+/// Minimum recommended sequence length.
+pub const MIN_LEN: usize = 100;
+
+/// Runs the frequency (monobit) test.
+///
+/// # Errors
+///
+/// [`TestError::TooShort`](crate::nist::TestError::TooShort) below 100
+/// bits.
+/// # Examples
+///
+/// ```
+/// use trng_stattests::bits::BitVec;
+/// // A perfectly balanced sequence scores P = 1.
+/// let bits: BitVec = (0..1000).map(|i| i % 2 == 0).collect();
+/// let p = trng_stattests::nist::frequency::test(&bits)?.min_p();
+/// assert!((p - 1.0).abs() < 1e-9);
+/// # Ok::<(), trng_stattests::nist::TestError>(())
+/// ```
+pub fn test(bits: &BitVec) -> TestResult {
+    require_len(NAME, bits.len(), MIN_LEN)?;
+    let n = bits.len() as f64;
+    let ones = bits.count_ones() as f64;
+    let s = 2.0 * ones - n; // Σ(±1)
+    let s_obs = s.abs() / n.sqrt();
+    let p = erfc(s_obs / core::f64::consts::SQRT_2);
+    Ok(TestOutcome::single(NAME, p))
+}
+
+/// The partial sums statistic, exposed for the runs test prerequisite
+/// and the cumulative sums test.
+pub fn ones_fraction(bits: &BitVec) -> f64 {
+    bits.count_ones() as f64 / bits.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The worked example of SP 800-22 §2.1.4 (scaled): for
+    /// ε = 1011010101 (n = 10), S = 2, s_obs = 0.632455,
+    /// P = 0.527089. We bypass the length gate by calling the math on
+    /// a repeated version with identical statistics scaling.
+    #[test]
+    fn nist_worked_example_statistic() {
+        let bits = BitVec::from_binary_str("1011010101");
+        let n = bits.len() as f64;
+        let s = 2.0 * bits.count_ones() as f64 - n;
+        let s_obs = s.abs() / n.sqrt();
+        let p = erfc(s_obs / core::f64::consts::SQRT_2);
+        assert!((s - 2.0).abs() < 1e-12);
+        assert!((p - 0.527089).abs() < 1e-6, "p = {p}");
+    }
+
+    #[test]
+    fn balanced_sequence_scores_high() {
+        let bits: BitVec = (0..1000).map(|i| i % 2 == 0).collect();
+        let p = test(&bits).unwrap().min_p();
+        assert!((p - 1.0).abs() < 1e-12, "p = {p}");
+    }
+
+    #[test]
+    fn constant_sequence_fails() {
+        let bits: BitVec = (0..1000).map(|_| true).collect();
+        let p = test(&bits).unwrap().min_p();
+        assert!(p < 1e-10, "p = {p}");
+    }
+
+    #[test]
+    fn mild_bias_long_sequence_fails() {
+        // 52 % ones over 100k bits: z ~ 12.6 -> certain failure.
+        let bits: BitVec = (0..100_000).map(|i| (i * 100) % 100 < 52).collect();
+        let p = test(&bits).unwrap().min_p();
+        assert!(p < 0.01, "p = {p}");
+    }
+
+    #[test]
+    fn random_data_passes() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let bits: BitVec = (0..100_000).map(|_| rng.gen::<bool>()).collect();
+        let p = test(&bits).unwrap().min_p();
+        assert!(p > 0.001, "p = {p}");
+    }
+
+    #[test]
+    fn too_short_errors() {
+        let bits: BitVec = (0..99).map(|i| i % 2 == 0).collect();
+        assert!(test(&bits).is_err());
+    }
+
+    #[test]
+    fn ones_fraction_helper() {
+        let bits = BitVec::from_binary_str("1100");
+        assert_eq!(ones_fraction(&bits), 0.5);
+    }
+}

@@ -1,0 +1,203 @@
+//! Linear complexity test — SP 800-22 §2.10.
+//!
+//! Computes the Berlekamp–Massey linear complexity of `M = 500`-bit
+//! blocks; for random data the complexity concentrates at `M/2` with a
+//! known discrete distribution around it. Deviations (`T_i`) are
+//! binned into 7 categories and χ²-tested.
+
+use crate::bits::BitVec;
+use crate::nist::{TestError, TestOutcome, TestResult};
+use crate::special::igamc;
+
+/// Test name.
+pub const NAME: &str = "linear complexity";
+
+/// Block length (SP 800-22 reference choice).
+pub const BLOCK: usize = 500;
+
+/// Minimum number of blocks for a meaningful χ².
+pub const MIN_BLOCKS: usize = 50;
+
+/// Category probabilities for `T` bins
+/// (≤−2.5, −1.5, −0.5, 0.5, 1.5, 2.5, >2.5) — SP 800-22 §3.10.
+const PI: [f64; 7] = [
+    0.010417, 0.03125, 0.125, 0.5, 0.25, 0.0625, 0.020833,
+];
+
+/// Berlekamp–Massey linear complexity of a bit block.
+///
+/// Returns the length of the shortest LFSR generating the sequence.
+pub fn berlekamp_massey(bits: &[u8]) -> usize {
+    let n = bits.len();
+    let mut c = vec![0u8; n + 1];
+    let mut b = vec![0u8; n + 1];
+    c[0] = 1;
+    b[0] = 1;
+    let mut l = 0usize;
+    let mut m: isize = -1;
+    let mut t = vec![0u8; n + 1];
+    for nn in 0..n {
+        // Discrepancy d = s[nn] + sum_{i=1..L} c[i]*s[nn-i].
+        let mut d = bits[nn];
+        for i in 1..=l {
+            d ^= c[i] & bits[nn - i];
+        }
+        if d == 1 {
+            t.copy_from_slice(&c);
+            let shift = (nn as isize - m) as usize;
+            for i in 0..=n {
+                if i + shift <= n && b[i] == 1 {
+                    c[i + shift] ^= 1;
+                }
+            }
+            if l <= nn / 2 {
+                l = nn + 1 - l;
+                m = nn as isize;
+                b.copy_from_slice(&t);
+            }
+        }
+    }
+    l
+}
+
+/// Runs the linear complexity test.
+///
+/// # Errors
+///
+/// `TooShort` with fewer than 50 blocks of 500 bits.
+pub fn test(bits: &BitVec) -> TestResult {
+    let n_blocks = bits.len() / BLOCK;
+    if n_blocks < MIN_BLOCKS {
+        return Err(TestError::TooShort {
+            name: NAME,
+            required: MIN_BLOCKS * BLOCK,
+            actual: bits.len(),
+        });
+    }
+    let m_f = BLOCK as f64;
+    // Expected complexity mu (SP 800-22 §2.10.4 step 3).
+    let sign = if BLOCK.is_multiple_of(2) { 1.0 } else { -1.0 };
+    let mu = m_f / 2.0 + (9.0 + sign) / 36.0 - (m_f / 3.0 + 2.0 / 9.0) / 2f64.powi(BLOCK as i32);
+    let mut nu = [0u64; 7];
+    let mut block = vec![0u8; BLOCK];
+    for b in 0..n_blocks {
+        for (i, x) in block.iter_mut().enumerate() {
+            *x = bits.bit(b * BLOCK + i);
+        }
+        let l = berlekamp_massey(&block) as f64;
+        let t = if BLOCK.is_multiple_of(2) { 1.0 } else { -1.0 } * (l - mu) + 2.0 / 9.0;
+        let cat = if t <= -2.5 {
+            0
+        } else if t <= -1.5 {
+            1
+        } else if t <= -0.5 {
+            2
+        } else if t <= 0.5 {
+            3
+        } else if t <= 1.5 {
+            4
+        } else if t <= 2.5 {
+            5
+        } else {
+            6
+        };
+        nu[cat] += 1;
+    }
+    let n_f = n_blocks as f64;
+    let chi2: f64 = nu
+        .iter()
+        .zip(&PI)
+        .map(|(&v, &pi)| {
+            let e = n_f * pi;
+            (v as f64 - e) * (v as f64 - e) / e
+        })
+        .sum();
+    let p = igamc(3.0, chi2 / 2.0);
+    Ok(TestOutcome::single(NAME, p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bm_known_small_sequences() {
+        // 1101011110001 (SP 800-22 §2.10.8 example) has L = 4... the
+        // documented example block "1101011110001" yields complexity 4.
+        let bits: Vec<u8> = "1101011110001".bytes().map(|b| b - b'0').collect();
+        assert_eq!(berlekamp_massey(&bits), 4);
+    }
+
+    #[test]
+    fn bm_degenerate_cases() {
+        assert_eq!(berlekamp_massey(&[0, 0, 0, 0]), 0);
+        // A single 1 at the end of zeros needs L = n.
+        assert_eq!(berlekamp_massey(&[0, 0, 0, 1]), 4);
+        // Alternating sequence is an LFSR of length 2.
+        assert_eq!(berlekamp_massey(&[1, 0, 1, 0, 1, 0, 1, 0]), 2);
+        // Constant ones: x_{n} = x_{n-1}: L = 1.
+        assert_eq!(berlekamp_massey(&[1, 1, 1, 1, 1, 1]), 1);
+    }
+
+    #[test]
+    fn bm_reproduces_lfsr_length() {
+        // Generate with a known 5-stage LFSR: x^5 + x^2 + 1.
+        let mut state = [1u8, 0, 0, 1, 1];
+        let mut seq = Vec::with_capacity(200);
+        for _ in 0..200 {
+            let out = state[4];
+            seq.push(out);
+            let fb = state[4] ^ state[1];
+            state.rotate_right(1);
+            state[0] = fb;
+        }
+        assert_eq!(berlekamp_massey(&seq), 5);
+    }
+
+    #[test]
+    fn random_complexity_concentrates_at_half() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(16);
+        let block: Vec<u8> = (0..500).map(|_| rng.gen::<bool>() as u8).collect();
+        let l = berlekamp_massey(&block);
+        assert!((248..=252).contains(&l), "L = {l}");
+    }
+
+    #[test]
+    fn pi_sums_to_one() {
+        let s: f64 = PI.iter().sum();
+        assert!((s - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn random_data_passes() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let bits: BitVec = (0..100_000).map(|_| rng.gen::<bool>()).collect();
+        let p = test(&bits).unwrap().min_p();
+        assert!(p > 0.001, "p = {p}");
+    }
+
+    #[test]
+    fn lfsr_generated_data_fails() {
+        // A short LFSR has tiny linear complexity in every block.
+        let mut state = [1u8, 0, 0, 1, 1, 0, 1];
+        let bits: BitVec = (0..100_000)
+            .map(|_| {
+                let out = state[6];
+                let fb = state[6] ^ state[2];
+                state.rotate_right(1);
+                state[0] = fb;
+                out == 1
+            })
+            .collect();
+        let p = test(&bits).unwrap().min_p();
+        assert!(p < 1e-10, "p = {p}");
+    }
+
+    #[test]
+    fn too_short_errors() {
+        let bits: BitVec = (0..24_999).map(|_| true).collect();
+        assert!(test(&bits).is_err());
+    }
+}

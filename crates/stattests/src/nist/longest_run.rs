@@ -1,0 +1,200 @@
+//! Longest run of ones in a block — SP 800-22 §2.4.
+//!
+//! Splits the sequence into blocks, finds the longest run of ones in
+//! each, bins the counts into `K + 1` categories and compares with the
+//! theoretical probabilities via χ². The block size (and the matching
+//! category table) depends on the sequence length, per Table 2.4.4:
+//!
+//! | n | M | K | categories |
+//! |---|---|---|-----------|
+//! | ≥ 128 | 8 | 3 | ≤1, 2, 3, ≥4 |
+//! | ≥ 6 272 | 128 | 5 | ≤4, 5, 6, 7, 8, ≥9 |
+//! | ≥ 750 000 | 10⁴ | 6 | ≤10, 11, …, 15, ≥16 |
+
+use crate::bits::BitVec;
+use crate::nist::{require_len, TestOutcome, TestResult};
+use crate::special::igamc;
+
+/// Test name.
+pub const NAME: &str = "longest run of ones";
+
+/// Parameter set for one sequence-length regime.
+struct Regime {
+    m: usize,
+    /// Lowest category (runs ≤ this collapse into category 0).
+    v_min: u32,
+    /// Highest category (runs ≥ this collapse into the last).
+    v_max: u32,
+    /// Theoretical category probabilities (length K + 1).
+    pi: &'static [f64],
+    /// Number of blocks to use (N); SP 800-22 fixes N per regime.
+    n_blocks: usize,
+}
+
+/// §3.4 of SP 800-22: theoretical probabilities.
+const PI_M8: [f64; 4] = [0.2148, 0.3672, 0.2305, 0.1875];
+const PI_M128: [f64; 6] = [0.1174, 0.2430, 0.2493, 0.1752, 0.1027, 0.1124];
+const PI_M10000: [f64; 7] = [0.0882, 0.2092, 0.2483, 0.1933, 0.1208, 0.0675, 0.0727];
+
+fn regime_for(n: usize) -> Option<Regime> {
+    if n >= 750_000 {
+        Some(Regime {
+            m: 10_000,
+            v_min: 10,
+            v_max: 16,
+            pi: &PI_M10000,
+            n_blocks: 75,
+        })
+    } else if n >= 6_272 {
+        Some(Regime {
+            m: 128,
+            v_min: 4,
+            v_max: 9,
+            pi: &PI_M128,
+            n_blocks: 49,
+        })
+    } else if n >= 128 {
+        Some(Regime {
+            m: 8,
+            v_min: 1,
+            v_max: 4,
+            pi: &PI_M8,
+            n_blocks: 16,
+        })
+    } else {
+        None
+    }
+}
+
+/// Longest run of ones within `[start, start + len)`.
+fn longest_ones_run(bits: &BitVec, start: usize, len: usize) -> u32 {
+    let mut best = 0u32;
+    let mut cur = 0u32;
+    for i in start..start + len {
+        if bits.get(i) {
+            cur += 1;
+            best = best.max(cur);
+        } else {
+            cur = 0;
+        }
+    }
+    best
+}
+
+/// Runs the longest-run-of-ones test.
+///
+/// # Errors
+///
+/// `TooShort` below 128 bits.
+/// # Examples
+///
+/// ```
+/// use rand::{Rng, SeedableRng};
+/// use trng_stattests::bits::BitVec;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let bits: BitVec = (0..10_000).map(|_| rng.gen::<bool>()).collect();
+/// let p = trng_stattests::nist::longest_run::test(&bits)?.min_p();
+/// assert!(p > 0.0001);
+/// # Ok::<(), trng_stattests::nist::TestError>(())
+/// ```
+pub fn test(bits: &BitVec) -> TestResult {
+    require_len(NAME, bits.len(), 128)?;
+    let regime = regime_for(bits.len()).expect("length gate passed");
+    let available = bits.len() / regime.m;
+    let n_blocks = regime.n_blocks.min(available).max(1);
+    let k = regime.pi.len();
+    let mut nu = vec![0u64; k];
+    for b in 0..n_blocks {
+        let run = longest_ones_run(bits, b * regime.m, regime.m);
+        let cat = if run <= regime.v_min {
+            0
+        } else if run >= regime.v_max {
+            k - 1
+        } else {
+            (run - regime.v_min) as usize
+        };
+        nu[cat] += 1;
+    }
+    let n_f = n_blocks as f64;
+    let chi2: f64 = nu
+        .iter()
+        .zip(regime.pi)
+        .map(|(&v, &p)| {
+            let e = n_f * p;
+            (v as f64 - e) * (v as f64 - e) / e
+        })
+        .sum();
+    let p = igamc((k - 1) as f64 / 2.0, chi2 / 2.0);
+    Ok(TestOutcome::single(NAME, p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn longest_run_helper() {
+        let bits = BitVec::from_binary_str("110111101");
+        assert_eq!(longest_ones_run(&bits, 0, 9), 4);
+        assert_eq!(longest_ones_run(&bits, 0, 2), 2);
+        assert_eq!(longest_ones_run(&bits, 2, 3), 2);
+        let zeros = BitVec::from_binary_str("0000");
+        assert_eq!(longest_ones_run(&zeros, 0, 4), 0);
+    }
+
+    #[test]
+    fn regime_selection() {
+        assert!(regime_for(100).is_none());
+        assert_eq!(regime_for(128).unwrap().m, 8);
+        assert_eq!(regime_for(10_000).unwrap().m, 128);
+        assert_eq!(regime_for(1_000_000).unwrap().m, 10_000);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        for pi in [&PI_M8[..], &PI_M128[..], &PI_M10000[..]] {
+            let s: f64 = pi.iter().sum();
+            assert!((s - 1.0).abs() < 2e-3, "sum {s}");
+        }
+    }
+
+    #[test]
+    fn random_data_passes() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let bits: BitVec = (0..100_000).map(|_| rng.gen::<bool>()).collect();
+        assert!(test(&bits).unwrap().min_p() > 0.001);
+    }
+
+    #[test]
+    fn periodic_short_runs_fail() {
+        // 110110110...: longest run in every block is exactly 2.
+        let bits: BitVec = (0..100_000).map(|i| i % 3 != 2).collect();
+        let p = test(&bits).unwrap().min_p();
+        assert!(p < 1e-6, "p = {p}");
+    }
+
+    #[test]
+    fn long_run_heavy_data_fails() {
+        // Runs of 32 ones separated by single zeros: every block has a
+        // huge longest run.
+        let bits: BitVec = (0..100_000).map(|i| i % 33 != 0).collect();
+        let p = test(&bits).unwrap().min_p();
+        assert!(p < 1e-6, "p = {p}");
+    }
+
+    #[test]
+    fn small_regime_smoke() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let bits: BitVec = (0..256).map(|_| rng.gen::<bool>()).collect();
+        let p = test(&bits).unwrap().min_p();
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn too_short_errors() {
+        let bits: BitVec = (0..127).map(|_| true).collect();
+        assert!(test(&bits).is_err());
+    }
+}

@@ -1,0 +1,197 @@
+//! The NIST SP 800-22 statistical test suite, implemented from
+//! scratch.
+//!
+//! Table 1 of the reproduced paper defines `n_NIST` as "the minimal
+//! compression rate needed to pass all statistical tests" of this
+//! suite, so a faithful implementation is part of the evaluation
+//! substrate. All fifteen tests of SP 800-22 rev. 1a are provided:
+//!
+//! | § | Test | Module |
+//! |---|------|--------|
+//! | 2.1 | Frequency (monobit) | [`frequency`] |
+//! | 2.2 | Frequency within a block | [`block_frequency`] |
+//! | 2.3 | Runs | [`runs`] |
+//! | 2.4 | Longest run of ones in a block | [`longest_run`] |
+//! | 2.5 | Binary matrix rank | [`rank`] |
+//! | 2.6 | Discrete Fourier transform (spectral) | [`dft`] |
+//! | 2.7 | Non-overlapping template matching | [`templates`] |
+//! | 2.8 | Overlapping template matching | [`templates`] |
+//! | 2.9 | Maurer's universal statistical | [`universal`] |
+//! | 2.10 | Linear complexity | [`linear_complexity`] |
+//! | 2.11 | Serial | [`serial`] |
+//! | 2.12 | Approximate entropy | [`approx_entropy`] |
+//! | 2.13 | Cumulative sums | [`cusum`] |
+//! | 2.14 | Random excursions | [`excursions`] |
+//! | 2.15 | Random excursions variant | [`excursions`] |
+//!
+//! Each test takes a [`BitVec`](crate::bits::BitVec) and returns a
+//! [`TestOutcome`] (one or more P-values) or a [`TestError`] when the
+//! sequence does not meet the test's applicability requirements.
+//! [`battery`] runs everything; [`crate::assessment`] applies the
+//! multi-sequence acceptance criterion of SP 800-22 §4.2.
+
+pub mod approx_entropy;
+pub mod battery;
+pub mod block_frequency;
+pub mod cusum;
+pub mod dft;
+pub mod excursions;
+pub mod frequency;
+pub mod linear_complexity;
+pub mod longest_run;
+pub mod rank;
+pub mod runs;
+pub mod serial;
+pub mod templates;
+pub mod universal;
+
+pub use battery::{run_battery, BatteryResult};
+
+use core::fmt;
+use std::error::Error;
+
+/// The default significance level of SP 800-22.
+pub const ALPHA: f64 = 0.01;
+
+/// Result of one statistical test: one or more P-values.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TestOutcome {
+    /// Test name (SP 800-22 terminology).
+    pub name: &'static str,
+    /// All P-values the test produced (most tests produce one;
+    /// templates, serial, cusum and excursions produce several).
+    pub p_values: Vec<f64>,
+}
+
+impl TestOutcome {
+    /// Creates an outcome with a single P-value.
+    pub fn single(name: &'static str, p: f64) -> Self {
+        TestOutcome {
+            name,
+            p_values: vec![p],
+        }
+    }
+
+    /// `true` if every P-value is at or above the significance level.
+    pub fn passes(&self, alpha: f64) -> bool {
+        self.p_values.iter().all(|&p| p >= alpha)
+    }
+
+    /// The smallest P-value (1.0 for an empty list).
+    pub fn min_p(&self) -> f64 {
+        self.p_values.iter().copied().fold(1.0, f64::min)
+    }
+}
+
+impl fmt::Display for TestOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: min P = {:.6}", self.name, self.min_p())
+    }
+}
+
+/// Why a test could not run on the given sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestError {
+    /// The sequence is shorter than the test's minimum length.
+    TooShort {
+        /// Test name.
+        name: &'static str,
+        /// Minimum applicable length.
+        required: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// A test-specific applicability condition failed (e.g. too few
+    /// zero crossings for the random excursions tests).
+    NotApplicable {
+        /// Test name.
+        name: &'static str,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl TestError {
+    /// The test the error belongs to.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TestError::TooShort { name, .. } | TestError::NotApplicable { name, .. } => name,
+        }
+    }
+}
+
+impl fmt::Display for TestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestError::TooShort {
+                name,
+                required,
+                actual,
+            } => write!(f, "{name}: sequence of {actual} bits is shorter than the required {required}"),
+            TestError::NotApplicable { name, reason } => write!(f, "{name}: not applicable ({reason})"),
+        }
+    }
+}
+
+impl Error for TestError {}
+
+/// Shorthand used by every test function.
+pub type TestResult = Result<TestOutcome, TestError>;
+
+pub(crate) fn require_len(name: &'static str, actual: usize, required: usize) -> Result<(), TestError> {
+    if actual < required {
+        Err(TestError::TooShort {
+            name,
+            required,
+            actual,
+        })
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_pass_logic() {
+        let o = TestOutcome {
+            name: "x",
+            p_values: vec![0.2, 0.05, 0.9],
+        };
+        assert!(o.passes(0.01));
+        assert!(!o.passes(0.06));
+        assert!((o.min_p() - 0.05).abs() < 1e-15);
+    }
+
+    #[test]
+    fn single_constructor() {
+        let o = TestOutcome::single("frequency", 0.5);
+        assert_eq!(o.p_values, vec![0.5]);
+        assert_eq!(format!("{o}"), "frequency: min P = 0.500000");
+    }
+
+    #[test]
+    fn error_display_and_name() {
+        let e = TestError::TooShort {
+            name: "rank",
+            required: 38912,
+            actual: 100,
+        };
+        assert_eq!(e.name(), "rank");
+        assert!(format!("{e}").contains("38912"));
+        let e = TestError::NotApplicable {
+            name: "random excursions",
+            reason: "only 12 cycles".into(),
+        };
+        assert!(format!("{e}").contains("12 cycles"));
+    }
+
+    #[test]
+    fn require_len_helper() {
+        assert!(require_len("t", 100, 100).is_ok());
+        assert!(require_len("t", 99, 100).is_err());
+    }
+}

@@ -1,0 +1,176 @@
+//! Binary matrix rank test — SP 800-22 §2.5.
+//!
+//! Partitions the sequence into 32x32 bit matrices and checks the
+//! distribution of their GF(2) ranks against theory: a random square
+//! matrix has full rank with probability ≈ 0.2888, rank M−1 with
+//! ≈ 0.5776, and anything lower with ≈ 0.1336. The exact
+//! probabilities are computed from the standard product formula rather
+//! than hard-coded.
+
+use crate::bits::BitVec;
+use crate::nist::{TestError, TestOutcome, TestResult};
+use crate::special::igamc;
+
+/// Test name.
+pub const NAME: &str = "binary matrix rank";
+
+/// Matrix dimension.
+pub const M: usize = 32;
+
+/// Minimum number of matrices (SP 800-22 recommends ≥ 38).
+pub const MIN_MATRICES: usize = 38;
+
+/// GF(2) rank of a 32x32 bit matrix given as row words.
+pub fn rank32(rows: &mut [u32; 32]) -> u32 {
+    let mut rank = 0u32;
+    for col in 0..32 {
+        let mask = 1u32 << (31 - col);
+        // Find a pivot row at or below `rank`.
+        let pivot = (rank as usize..32).find(|&r| rows[r] & mask != 0);
+        if let Some(p) = pivot {
+            rows.swap(rank as usize, p);
+            let pivot_row = rows[rank as usize];
+            for (r, row) in rows.iter_mut().enumerate() {
+                if r != rank as usize && *row & mask != 0 {
+                    *row ^= pivot_row;
+                }
+            }
+            rank += 1;
+            if rank == 32 {
+                break;
+            }
+        }
+    }
+    rank
+}
+
+/// Probability that a random `M×M` GF(2) matrix has rank `r`
+/// (standard product formula).
+pub fn rank_probability(m: u32, r: u32) -> f64 {
+    assert!(r <= m, "rank cannot exceed dimension");
+    let m = f64::from(m);
+    let r_i = r;
+    let r = f64::from(r);
+    let mut log2p = r * (2.0 * m - r) - m * m;
+    for i in 0..r_i {
+        let i = f64::from(i);
+        log2p += ((1.0 - 2f64.powf(i - m)).powi(2) / (1.0 - 2f64.powf(i - r))).log2();
+    }
+    2f64.powf(log2p)
+}
+
+/// Runs the binary matrix rank test.
+///
+/// # Errors
+///
+/// `TooShort` if fewer than 38 full matrices fit (38·1024 bits).
+pub fn test(bits: &BitVec) -> TestResult {
+    let per_matrix = M * M;
+    let n_matrices = bits.len() / per_matrix;
+    if n_matrices < MIN_MATRICES {
+        return Err(TestError::TooShort {
+            name: NAME,
+            required: MIN_MATRICES * per_matrix,
+            actual: bits.len(),
+        });
+    }
+    let p_full = rank_probability(32, 32);
+    let p_m1 = rank_probability(32, 31);
+    let p_rest = 1.0 - p_full - p_m1;
+
+    let mut counts = [0u64; 3]; // full, M-1, lower
+    for k in 0..n_matrices {
+        let mut rows = [0u32; 32];
+        for (i, row) in rows.iter_mut().enumerate() {
+            *row = bits.window_value(k * per_matrix + i * 32, 32) as u32;
+        }
+        match rank32(&mut rows) {
+            32 => counts[0] += 1,
+            31 => counts[1] += 1,
+            _ => counts[2] += 1,
+        }
+    }
+    let n = n_matrices as f64;
+    let expected = [n * p_full, n * p_m1, n * p_rest];
+    let chi2: f64 = counts
+        .iter()
+        .zip(&expected)
+        .map(|(&c, &e)| (c as f64 - e) * (c as f64 - e) / e)
+        .sum();
+    // 2 degrees of freedom: P = igamc(1, chi2/2) = exp(-chi2/2).
+    let p = igamc(1.0, chi2 / 2.0);
+    Ok(TestOutcome::single(NAME, p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_has_full_rank() {
+        let mut rows = core::array::from_fn(|i| 1u32 << i);
+        assert_eq!(rank32(&mut rows), 32);
+    }
+
+    #[test]
+    fn zero_matrix_has_rank_zero() {
+        let mut rows = [0u32; 32];
+        assert_eq!(rank32(&mut rows), 0);
+    }
+
+    #[test]
+    fn duplicate_rows_reduce_rank() {
+        let mut rows: [u32; 32] = core::array::from_fn(|i| 1u32 << i);
+        rows[31] = rows[30]; // one dependent row
+        assert_eq!(rank32(&mut rows), 31);
+        let mut rows: [u32; 32] = core::array::from_fn(|i| 1u32 << (i / 2));
+        // Only 16 distinct rows.
+        assert_eq!(rank32(&mut rows), 16);
+    }
+
+    #[test]
+    fn rank_xor_combination_detected() {
+        let mut rows: [u32; 32] = core::array::from_fn(|i| 1u32 << i);
+        rows[0] = rows[1] ^ rows[2]; // linear combination
+        assert_eq!(rank32(&mut rows), 31);
+    }
+
+    #[test]
+    fn theoretical_probabilities_match_literature() {
+        // SP 800-22 §3.5: 0.2888, 0.5776, 0.1336.
+        let p32 = rank_probability(32, 32);
+        let p31 = rank_probability(32, 31);
+        assert!((p32 - 0.2888).abs() < 5e-4, "p32 = {p32}");
+        assert!((p31 - 0.5776).abs() < 5e-4, "p31 = {p31}");
+        let rest = 1.0 - p32 - p31;
+        assert!((rest - 0.1336).abs() < 5e-4, "rest = {rest}");
+    }
+
+    #[test]
+    fn rank_probabilities_sum_to_one() {
+        let total: f64 = (0..=32).map(|r| rank_probability(32, r)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "total {total}");
+    }
+
+    #[test]
+    fn random_data_passes() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let bits: BitVec = (0..100_000).map(|_| rng.gen::<bool>()).collect();
+        assert!(test(&bits).unwrap().min_p() > 0.001);
+    }
+
+    #[test]
+    fn periodic_data_fails() {
+        // Period-32 data: every matrix has rank 1.
+        let bits: BitVec = (0..100_000).map(|i| (i % 32) < 16).collect();
+        let p = test(&bits).unwrap().min_p();
+        assert!(p < 1e-10, "p = {p}");
+    }
+
+    #[test]
+    fn too_short_errors() {
+        let bits: BitVec = (0..1024 * 37).map(|_| true).collect();
+        assert!(matches!(test(&bits), Err(TestError::TooShort { .. })));
+    }
+}

@@ -1,0 +1,123 @@
+//! Runs test — SP 800-22 §2.3.
+//!
+//! Counts the total number of runs `V_n` (maximal blocks of equal
+//! bits) and compares it with the expectation `2nπ(1−π)` for the
+//! observed ones-proportion `π`:
+//! `P = erfc(|V_n − 2nπ(1−π)| / (2√(2n)·π(1−π)))`.
+//!
+//! Prerequisite: the frequency test must be passable,
+//! `|π − ½| < 2/√n`; otherwise the runs test is not applicable and
+//! reports `P = 0` per the specification.
+
+use crate::bits::BitVec;
+use crate::nist::{require_len, TestOutcome, TestResult};
+use crate::special::erfc;
+
+/// Test name.
+pub const NAME: &str = "runs";
+
+/// Minimum recommended sequence length.
+pub const MIN_LEN: usize = 100;
+
+/// Runs the runs test.
+///
+/// # Errors
+///
+/// `TooShort` below 100 bits.
+/// # Examples
+///
+/// ```
+/// use rand::{Rng, SeedableRng};
+/// use trng_stattests::bits::BitVec;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let bits: BitVec = (0..10_000).map(|_| rng.gen::<bool>()).collect();
+/// let p = trng_stattests::nist::runs::test(&bits)?.min_p();
+/// assert!(p > 0.0001);
+/// # Ok::<(), trng_stattests::nist::TestError>(())
+/// ```
+pub fn test(bits: &BitVec) -> TestResult {
+    require_len(NAME, bits.len(), MIN_LEN)?;
+    let n = bits.len() as f64;
+    let pi = bits.count_ones() as f64 / n;
+    // Frequency prerequisite (§2.3.4 step 2).
+    if (pi - 0.5).abs() >= 2.0 / n.sqrt() {
+        return Ok(TestOutcome::single(NAME, 0.0));
+    }
+    let mut v = 1u64;
+    let mut prev = bits.get(0);
+    for i in 1..bits.len() {
+        let b = bits.get(i);
+        if b != prev {
+            v += 1;
+            prev = b;
+        }
+    }
+    let num = (v as f64 - 2.0 * n * pi * (1.0 - pi)).abs();
+    let den = 2.0 * (2.0 * n).sqrt() * pi * (1.0 - pi);
+    let p = erfc(num / den);
+    Ok(TestOutcome::single(NAME, p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// SP 800-22 §2.3.4: ε = 1001101011 (n = 10), π = 0.6, V = 7,
+    /// P = 0.147232.
+    #[test]
+    fn nist_worked_example() {
+        let bits = BitVec::from_binary_str("1001101011");
+        let n = 10.0;
+        let pi = bits.count_ones() as f64 / n;
+        assert!((pi - 0.6).abs() < 1e-12);
+        let mut v = 1u64;
+        for i in 1..bits.len() {
+            if bits.get(i) != bits.get(i - 1) {
+                v += 1;
+            }
+        }
+        assert_eq!(v, 7);
+        let p = erfc(
+            (v as f64 - 2.0 * n * pi * (1.0 - pi)).abs()
+                / (2.0 * (2.0 * n).sqrt() * pi * (1.0 - pi)),
+        );
+        assert!((p - 0.147232).abs() < 1e-6, "p = {p}");
+    }
+
+    #[test]
+    fn random_data_passes() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let bits: BitVec = (0..100_000).map(|_| rng.gen::<bool>()).collect();
+        assert!(test(&bits).unwrap().min_p() > 0.001);
+    }
+
+    #[test]
+    fn alternating_sequence_fails() {
+        // 1010... has the maximum possible number of runs.
+        let bits: BitVec = (0..10_000).map(|i| i % 2 == 0).collect();
+        let p = test(&bits).unwrap().min_p();
+        assert!(p < 1e-10, "p = {p}");
+    }
+
+    #[test]
+    fn long_runs_fail() {
+        // Blocks of 64 equal bits: far too few runs.
+        let bits: BitVec = (0..10_000).map(|i| (i / 64) % 2 == 0).collect();
+        let p = test(&bits).unwrap().min_p();
+        assert!(p < 1e-10, "p = {p}");
+    }
+
+    #[test]
+    fn prerequisite_failure_reports_zero() {
+        // 90 % ones: frequency prerequisite fails -> P = 0.
+        let bits: BitVec = (0..10_000).map(|i| i % 10 != 0).collect();
+        assert_eq!(test(&bits).unwrap().min_p(), 0.0);
+    }
+
+    #[test]
+    fn too_short_errors() {
+        let bits = BitVec::from_binary_str("1001101011");
+        assert!(test(&bits).is_err());
+    }
+}

@@ -1,0 +1,158 @@
+//! Serial test — SP 800-22 §2.11.
+//!
+//! Checks the uniformity of overlapping `m`-bit pattern frequencies
+//! (cyclically extended). Produces two P-values from the first and
+//! second differences of the generalized ψ² statistics.
+
+use crate::bits::BitVec;
+use crate::nist::{require_len, TestOutcome, TestResult};
+use crate::special::igamc;
+
+/// Test name.
+pub const NAME: &str = "serial";
+
+/// Picks the pattern length per the guidance `m < ⌊log2 n⌋ − 2`,
+/// capped at the reference value 16.
+pub fn choose_m(n: usize) -> usize {
+    let log2n = (usize::BITS - 1 - n.leading_zeros()) as usize;
+    log2n.saturating_sub(5).clamp(3, 16)
+}
+
+/// ψ²_m statistic: frequency χ² of overlapping cyclic m-patterns.
+fn psi_squared(bits: &BitVec, m: usize) -> f64 {
+    if m == 0 {
+        return 0.0;
+    }
+    let n = bits.len();
+    let mut counts = vec![0u64; 1 << m];
+    let mut value: usize = 0;
+    let mask = (1usize << m) - 1;
+    // Prime the first m-1 bits.
+    for i in 0..m - 1 {
+        value = (value << 1 | bits.bit(i) as usize) & mask;
+    }
+    for i in m - 1..n + m - 1 {
+        let bit = bits.bit(i % n) as usize; // cyclic extension
+        value = (value << 1 | bit) & mask;
+        counts[value] += 1;
+    }
+    let n_f = n as f64;
+    let sum_sq: f64 = counts.iter().map(|&c| (c as f64) * (c as f64)).sum();
+    (1 << m) as f64 / n_f * sum_sq - n_f
+}
+
+/// Runs the serial test with automatic `m`.
+///
+/// # Errors
+///
+/// `TooShort` below 100 bits.
+/// # Examples
+///
+/// ```
+/// use trng_stattests::bits::BitVec;
+/// // SP 800-22 example: two P-values come back.
+/// let bits: BitVec = (0..2_000).map(|i| (i * 7 + i / 3) % 5 < 2).collect();
+/// let out = trng_stattests::nist::serial::test(&bits)?;
+/// assert_eq!(out.p_values.len(), 2);
+/// # Ok::<(), trng_stattests::nist::TestError>(())
+/// ```
+pub fn test(bits: &BitVec) -> TestResult {
+    test_with_m(bits, choose_m(bits.len()))
+}
+
+/// Runs the serial test with explicit pattern length `m`.
+///
+/// # Errors
+///
+/// `TooShort` below 100 bits.
+///
+/// # Panics
+///
+/// Panics if `m < 3` or `m > 24`.
+pub fn test_with_m(bits: &BitVec, m: usize) -> TestResult {
+    assert!((3..=24).contains(&m), "pattern length out of range: {m}");
+    require_len(NAME, bits.len(), 100)?;
+    let psi_m = psi_squared(bits, m);
+    let psi_m1 = psi_squared(bits, m - 1);
+    let psi_m2 = psi_squared(bits, m - 2);
+    let d1 = psi_m - psi_m1;
+    let d2 = psi_m - 2.0 * psi_m1 + psi_m2;
+    let p1 = igamc(2f64.powi(m as i32 - 2), d1 / 2.0);
+    let p2 = igamc(2f64.powi(m as i32 - 3), d2 / 2.0);
+    Ok(TestOutcome {
+        name: NAME,
+        p_values: vec![p1, p2],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// SP 800-22 §2.11.4 worked example: ε = 0011011101, m = 3:
+    /// ψ²₃ = 2.8, ψ²₂ = 1.2, ψ²₁ = 0.4, ∇ψ² = 1.6, ∇²ψ² = 0.8,
+    /// P1 = 0.808792, P2 = 0.670320.
+    #[test]
+    fn nist_worked_example() {
+        let bits = BitVec::from_binary_str("0011011101");
+        let p3 = psi_squared(&bits, 3);
+        let p2 = psi_squared(&bits, 2);
+        let p1 = psi_squared(&bits, 1);
+        assert!((p3 - 2.8).abs() < 1e-12, "psi3 = {p3}");
+        assert!((p2 - 1.2).abs() < 1e-12, "psi2 = {p2}");
+        assert!((p1 - 0.4).abs() < 1e-12, "psi1 = {p1}");
+        let d1 = p3 - p2;
+        let d2 = p3 - 2.0 * p2 + p1;
+        let pv1 = igamc(2.0, d1 / 2.0);
+        let pv2 = igamc(1.0, d2 / 2.0);
+        assert!((pv1 - 0.808792).abs() < 1e-6, "P1 = {pv1}");
+        assert!((pv2 - 0.670320).abs() < 1e-6, "P2 = {pv2}");
+    }
+
+    #[test]
+    fn m_choice_scales_with_length() {
+        assert_eq!(choose_m(1_000), 4); // log2 = 9
+        assert_eq!(choose_m(100_000), 11); // log2 = 16
+        assert_eq!(choose_m(1_048_576), 15);
+        assert_eq!(choose_m(100), 3);
+    }
+
+    #[test]
+    fn random_data_passes() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(18);
+        let bits: BitVec = (0..100_000).map(|_| rng.gen::<bool>()).collect();
+        let out = test(&bits).unwrap();
+        assert_eq!(out.p_values.len(), 2);
+        assert!(out.min_p() > 0.001, "min p = {}", out.min_p());
+    }
+
+    #[test]
+    fn periodic_data_fails() {
+        let bits: BitVec = (0..100_000).map(|i| i % 4 < 2).collect();
+        let out = test(&bits).unwrap();
+        assert!(out.min_p() < 1e-10, "min p = {}", out.min_p());
+    }
+
+    #[test]
+    fn biased_data_fails() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(19);
+        let bits: BitVec = (0..100_000).map(|_| rng.gen::<f64>() < 0.45).collect();
+        let out = test(&bits).unwrap();
+        assert!(out.min_p() < 0.01, "min p = {}", out.min_p());
+    }
+
+    #[test]
+    fn too_short_errors() {
+        let bits = BitVec::from_binary_str("0011011101");
+        assert!(test(&bits).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "pattern length out of range")]
+    fn rejects_tiny_m() {
+        let bits: BitVec = (0..1000).map(|_| true).collect();
+        let _ = test_with_m(&bits, 2);
+    }
+}

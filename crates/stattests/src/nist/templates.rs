@@ -1,0 +1,280 @@
+//! Template matching tests — SP 800-22 §2.7 (non-overlapping) and
+//! §2.8 (overlapping).
+//!
+//! The non-overlapping test scans `N = 8` blocks for occurrences of
+//! aperiodic 9-bit templates (restarting the scan after each match);
+//! the overlapping test counts (possibly overlapping) occurrences of
+//! the all-ones template in 1032-bit blocks and bins them against the
+//! theoretical distribution.
+//!
+//! SP 800-22 uses all 148 aperiodic templates of length 9; running all
+//! of them is supported ([`all_aperiodic_templates`]), but the default
+//! entry point uses a deterministic subset
+//! ([`DEFAULT_TEMPLATE_STRIDE`]) to keep battery runtime proportionate
+//! — the subset is documented in EXPERIMENTS.md as a deviation.
+
+use crate::bits::BitVec;
+use crate::nist::{require_len, TestError, TestOutcome, TestResult};
+use crate::special::igamc;
+
+/// Template length used by both tests (the SP 800-22 reference choice).
+pub const TEMPLATE_LEN: usize = 9;
+
+/// Stride through the aperiodic template list used by the default
+/// non-overlapping test: every 10th template (15 of 148).
+pub const DEFAULT_TEMPLATE_STRIDE: usize = 10;
+
+/// Number of blocks of the non-overlapping test.
+pub const NON_OVERLAPPING_BLOCKS: usize = 8;
+
+/// Test names.
+pub const NAME_NON_OVERLAPPING: &str = "non-overlapping template";
+/// Name of the overlapping variant.
+pub const NAME_OVERLAPPING: &str = "overlapping template";
+
+/// `true` if `t` (of length `m`, MSB-first) is aperiodic: no proper
+/// shift of the template matches itself, i.e. it cannot overlap with a
+/// copy of itself.
+pub fn is_aperiodic(t: u64, m: usize) -> bool {
+    // Template must not have any period d < m: for all 1 <= d < m,
+    // the first m-d bits must differ from the last m-d bits somewhere.
+    for d in 1..m {
+        let keep = m - d;
+        let high = t >> d; // first `keep` bits (as low bits)
+        let low = t & ((1u64 << keep) - 1);
+        if high == low {
+            return false;
+        }
+    }
+    true
+}
+
+/// All aperiodic templates of length [`TEMPLATE_LEN`], in increasing
+/// numeric order (148 of them for m = 9, matching SP 800-22).
+pub fn all_aperiodic_templates() -> Vec<u64> {
+    (0..(1u64 << TEMPLATE_LEN))
+        .filter(|&t| is_aperiodic(t, TEMPLATE_LEN))
+        .collect()
+}
+
+/// The default template subset (every [`DEFAULT_TEMPLATE_STRIDE`]-th
+/// aperiodic template).
+pub fn default_templates() -> Vec<u64> {
+    all_aperiodic_templates()
+        .into_iter()
+        .step_by(DEFAULT_TEMPLATE_STRIDE)
+        .collect()
+}
+
+/// Runs the non-overlapping template test with the default subset.
+///
+/// # Errors
+///
+/// `TooShort` below 8 blocks of 128 bits.
+pub fn non_overlapping(bits: &BitVec) -> TestResult {
+    non_overlapping_with(bits, &default_templates())
+}
+
+/// Runs the non-overlapping template test for the given templates,
+/// producing one P-value per template.
+///
+/// # Errors
+///
+/// `TooShort` when blocks would be under 128 bits.
+///
+/// # Panics
+///
+/// Panics if `templates` is empty.
+pub fn non_overlapping_with(bits: &BitVec, templates: &[u64]) -> TestResult {
+    assert!(!templates.is_empty(), "need at least one template");
+    // Each of the 8 blocks must be large enough for the per-block
+    // match count to have a usable normal approximation (mu >= ~4,
+    // i.e. blocks of >= 2048 bits); shorter sequences produce spurious
+    // failures.
+    require_len(NAME_NON_OVERLAPPING, bits.len(), NON_OVERLAPPING_BLOCKS * 2048)?;
+    let n_blocks = NON_OVERLAPPING_BLOCKS;
+    let block_len = bits.len() / n_blocks;
+    let m = TEMPLATE_LEN;
+    let m_f = m as f64;
+    let block_f = block_len as f64;
+    let mu = (block_f - m_f + 1.0) / 2f64.powi(m as i32);
+    let sigma2 = block_f * (2f64.powi(-(m as i32)) - (2.0 * m_f - 1.0) * 2f64.powi(-2 * m as i32));
+    let mut p_values = Vec::with_capacity(templates.len());
+    for &tpl in templates {
+        let mut chi2 = 0.0;
+        for b in 0..n_blocks {
+            let start = b * block_len;
+            let mut count = 0u64;
+            let mut i = 0usize;
+            while i + m <= block_len {
+                if bits.window_value(start + i, m) == tpl {
+                    count += 1;
+                    i += m; // non-overlapping: restart after the match
+                } else {
+                    i += 1;
+                }
+            }
+            chi2 += (count as f64 - mu) * (count as f64 - mu) / sigma2;
+        }
+        p_values.push(igamc(n_blocks as f64 / 2.0, chi2 / 2.0));
+    }
+    Ok(TestOutcome {
+        name: NAME_NON_OVERLAPPING,
+        p_values,
+    })
+}
+
+/// Block length of the overlapping template test.
+pub const OVERLAPPING_BLOCK: usize = 1032;
+
+/// Category probabilities for m = 9, M = 1032 (SP 800-22 §3.8,
+/// rev 1a values).
+const OVERLAPPING_PI: [f64; 6] = [
+    0.364091, 0.185659, 0.139381, 0.100571, 0.070432, 0.139865,
+];
+
+/// Runs the overlapping template test (all-ones template of length 9).
+///
+/// # Errors
+///
+/// `TooShort` below 5 blocks of 1032 bits (SP 800-22 recommends
+/// n ≥ 10^6; we accept shorter sequences but at least enough blocks
+/// for the χ² to be meaningful).
+pub fn overlapping(bits: &BitVec) -> TestResult {
+    let n_blocks = bits.len() / OVERLAPPING_BLOCK;
+    if n_blocks < 5 {
+        return Err(TestError::TooShort {
+            name: NAME_OVERLAPPING,
+            required: 5 * OVERLAPPING_BLOCK,
+            actual: bits.len(),
+        });
+    }
+    let m = TEMPLATE_LEN;
+    let mut nu = [0u64; 6];
+    for b in 0..n_blocks {
+        let start = b * OVERLAPPING_BLOCK;
+        let mut count = 0usize;
+        for i in 0..=(OVERLAPPING_BLOCK - m) {
+            // All-ones template: a window of 9 ones.
+            if (0..m).all(|j| bits.get(start + i + j)) {
+                count += 1;
+            }
+        }
+        nu[count.min(5)] += 1;
+    }
+    let n_f = n_blocks as f64;
+    let chi2: f64 = nu
+        .iter()
+        .zip(&OVERLAPPING_PI)
+        .map(|(&v, &pi)| {
+            let e = n_f * pi;
+            (v as f64 - e) * (v as f64 - e) / e
+        })
+        .sum();
+    let p = igamc(2.5, chi2 / 2.0);
+    Ok(TestOutcome::single(NAME_OVERLAPPING, p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aperiodicity_detector() {
+        // 000000001 cannot overlap itself: aperiodic.
+        assert!(is_aperiodic(0b000000001, 9));
+        // 101010101 has period 2: periodic.
+        assert!(!is_aperiodic(0b101010101, 9));
+        // All ones has period 1.
+        assert!(!is_aperiodic(0b111111111, 9));
+        // 110110110 has period 3.
+        assert!(!is_aperiodic(0b110110110, 9));
+        // 011111111 (one leading zero) is aperiodic.
+        assert!(is_aperiodic(0b011111111, 9));
+    }
+
+    #[test]
+    fn there_are_148_aperiodic_templates_of_length_9() {
+        // The SP 800-22 table for m = 9 lists 148 templates.
+        assert_eq!(all_aperiodic_templates().len(), 148);
+    }
+
+    #[test]
+    fn default_subset_is_deterministic() {
+        let a = default_templates();
+        let b = default_templates();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 15);
+    }
+
+    #[test]
+    fn non_overlapping_random_data_passes() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let bits: BitVec = (0..100_000).map(|_| rng.gen::<bool>()).collect();
+        let out = non_overlapping(&bits).unwrap();
+        assert_eq!(out.p_values.len(), 15);
+        // With 15 p-values, allow the occasional small one but not
+        // catastrophic failure.
+        assert!(out.min_p() > 1e-4, "min p = {}", out.min_p());
+    }
+
+    #[test]
+    fn non_overlapping_detects_template_stuffing() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let tpl = default_templates()[3];
+        // Random data with the template injected every 100 bits.
+        let mut bits = BitVec::new();
+        while bits.len() < 100_000 {
+            for _ in 0..91 {
+                bits.push(rng.gen::<bool>());
+            }
+            for j in (0..9).rev() {
+                bits.push(tpl >> j & 1 == 1);
+            }
+        }
+        let out = non_overlapping_with(&bits, &[tpl]).unwrap();
+        assert!(out.min_p() < 1e-6, "p = {}", out.min_p());
+    }
+
+    #[test]
+    fn overlapping_random_data_passes() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let bits: BitVec = (0..200_000).map(|_| rng.gen::<bool>()).collect();
+        let p = overlapping(&bits).unwrap().min_p();
+        assert!(p > 0.001, "p = {p}");
+    }
+
+    #[test]
+    fn overlapping_detects_excess_ones_runs() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        // Random data where every 50th window is forced to 9 ones.
+        let mut bits = BitVec::new();
+        while bits.len() < 200_000 {
+            for _ in 0..41 {
+                bits.push(rng.gen::<bool>());
+            }
+            for _ in 0..9 {
+                bits.push(true);
+            }
+        }
+        let p = overlapping(&bits).unwrap().min_p();
+        assert!(p < 1e-6, "p = {p}");
+    }
+
+    #[test]
+    fn overlapping_pi_sums_to_one() {
+        let s: f64 = OVERLAPPING_PI.iter().sum();
+        assert!((s - 1.0).abs() < 2e-6, "sum {s}");
+    }
+
+    #[test]
+    fn too_short_errors() {
+        let bits: BitVec = (0..1023).map(|_| true).collect();
+        assert!(non_overlapping(&bits).is_err());
+        assert!(overlapping(&bits).is_err());
+    }
+}

@@ -1,0 +1,156 @@
+//! Maurer's universal statistical test — SP 800-22 §2.9.
+//!
+//! Measures the compressibility of the sequence: the average log2
+//! distance between repeated occurrences of `L`-bit blocks converges
+//! to a known constant for a random source.
+//!
+//! Parameter selection: SP 800-22's table starts at `L = 6`
+//! (n ≥ 387 840); Maurer's original definition covers `L = 1..16` with
+//! `Q = 10·2^L` initialization blocks. To keep the test applicable at
+//! the 10^5-bit sequence lengths used by the scaled-down Table-1
+//! harness, this implementation selects the largest `L` with
+//! `Q + K` blocks available where `K ≥ 1000·2^L`, going as low as
+//! `L = 4` (documented deviation; the reference expected values and
+//! variances from the Handbook of Applied Cryptography Table are used).
+
+use crate::bits::BitVec;
+use crate::nist::{TestError, TestOutcome, TestResult};
+use crate::special::erfc;
+
+/// Test name.
+pub const NAME: &str = "universal (Maurer)";
+
+/// Expected value and variance of the per-block statistic for
+/// L = 1..=16 (index L−1), Handbook of Applied Cryptography /
+/// SP 800-22 §2.9.4.
+pub const EXPECTED: [(f64, f64); 16] = [
+    (0.732_649_5, 0.690),
+    (1.537_438_3, 1.338),
+    (2.401_606_8, 1.901),
+    (3.311_224_7, 2.358),
+    (4.253_426_6, 2.705),
+    (5.217_705_2, 2.954),
+    (6.196_250_7, 3.125),
+    (7.183_665_6, 3.238),
+    (8.176_424_8, 3.311),
+    (9.172_324_3, 3.356),
+    (10.170_032, 3.384),
+    (11.168_765, 3.401),
+    (12.168_070, 3.410),
+    (13.167_693, 3.416),
+    (14.167_488, 3.419),
+    (15.167_379, 3.421),
+];
+
+/// Smallest block length this implementation will select.
+pub const MIN_L: usize = 4;
+
+/// Largest block length.
+pub const MAX_L: usize = 16;
+
+/// Picks the largest applicable `L` for a sequence length, or `None`.
+pub fn choose_l(n: usize) -> Option<usize> {
+    (MIN_L..=MAX_L)
+        .rev()
+        .find(|&l| n >= (10 + 1000) * (1 << l) * l)
+}
+
+/// Runs Maurer's universal test.
+///
+/// # Errors
+///
+/// `TooShort` when even `L = 4` has insufficient blocks
+/// (n < 1010·2⁴·4 = 64 640).
+pub fn test(bits: &BitVec) -> TestResult {
+    let Some(l) = choose_l(bits.len()) else {
+        return Err(TestError::TooShort {
+            name: NAME,
+            required: (10 + 1000) * (1 << MIN_L) * MIN_L,
+            actual: bits.len(),
+        });
+    };
+    let q = 10 * (1 << l); // initialization blocks
+    let total_blocks = bits.len() / l;
+    let k = total_blocks - q; // test blocks
+    let mut table = vec![0usize; 1 << l];
+    for i in 0..q {
+        let v = bits.window_value(i * l, l) as usize;
+        table[v] = i + 1; // 1-based block index
+    }
+    let mut sum = 0.0;
+    for i in q..total_blocks {
+        let v = bits.window_value(i * l, l) as usize;
+        let last = table[v];
+        table[v] = i + 1;
+        // Distance since last occurrence (i+1 - last); unseen values
+        // can only occur if Q didn't cover them — distance counts from
+        // block 0 conventionally (last = 0 gives i + 1).
+        sum += ((i + 1 - last) as f64).log2();
+    }
+    let fn_stat = sum / k as f64;
+    let (mu, var) = EXPECTED[l - 1];
+    // Finite-K correction factor c(L, K) from SP 800-22 §2.9.4.
+    let c = 0.7 - 0.8 / l as f64 + (4.0 + 32.0 / l as f64) * (k as f64).powf(-3.0 / l as f64) / 15.0;
+    let sigma = c * (var / k as f64).sqrt();
+    let p = erfc((fn_stat - mu).abs() / (core::f64::consts::SQRT_2 * sigma));
+    Ok(TestOutcome::single(NAME, p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l_selection_follows_length() {
+        assert_eq!(choose_l(64_639), None);
+        assert_eq!(choose_l(64_640), Some(4));
+        assert_eq!(choose_l(200_000), Some(5));
+        assert_eq!(choose_l(387_840), Some(6));
+        // NIST's own table: n >= 904 960 -> L = 7; >= 2 068 480 -> 8.
+        assert_eq!(choose_l(1_000_000), Some(7));
+        assert_eq!(choose_l(2_000_000), Some(7));
+        assert_eq!(choose_l(2_068_480), Some(8));
+    }
+
+    #[test]
+    fn expected_table_is_monotone() {
+        for w in EXPECTED.windows(2) {
+            assert!(w[1].0 > w[0].0);
+            assert!(w[1].1 >= w[0].1);
+        }
+        // mu(L) converges to L - 0.8327...
+        assert!((EXPECTED[15].0 - (16.0 - 0.832_621)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn random_data_passes() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(14);
+        let bits: BitVec = (0..200_000).map(|_| rng.gen::<bool>()).collect();
+        let p = test(&bits).unwrap().min_p();
+        assert!(p > 0.001, "p = {p}");
+    }
+
+    #[test]
+    fn periodic_data_fails() {
+        // Period 32: every L-bit block repeats with short distances.
+        let bits: BitVec = (0..200_000).map(|i| (i % 32) < 11).collect();
+        let p = test(&bits).unwrap().min_p();
+        assert!(p < 1e-10, "p = {p}");
+    }
+
+    #[test]
+    fn biased_data_fails() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(15);
+        let bits: BitVec = (0..200_000).map(|_| rng.gen::<f64>() < 0.4).collect();
+        let p = test(&bits).unwrap().min_p();
+        assert!(p < 0.01, "p = {p}");
+    }
+
+    #[test]
+    fn too_short_errors() {
+        let bits: BitVec = (0..10_000).map(|_| true).collect();
+        assert!(matches!(test(&bits), Err(TestError::TooShort { .. })));
+    }
+}

@@ -1,0 +1,316 @@
+//! Special functions used by the test statistics.
+//!
+//! The NIST SP 800-22 P-values are expressed through the complementary
+//! error function `erfc` and the regularized upper incomplete gamma
+//! function `igamc(a, x) = Q(a, x) = Γ(a, x)/Γ(a)`. Both are
+//! implemented from scratch (no external math crate is on the approved
+//! dependency list) following the classical series / continued-fraction
+//! split, and validated against published reference values.
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7,
+/// n = 9), accurate to ~1e-13 relative for positive arguments.
+///
+/// # Panics
+///
+/// Panics if `x <= 0`.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires a positive argument, got {x}");
+    // Lanczos coefficients (g = 7).
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = core::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * core::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularized *lower* incomplete gamma function `P(a, x)`.
+///
+/// # Panics
+///
+/// Panics if `a <= 0` or `x < 0`.
+pub fn igam(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "shape must be positive, got {a}");
+    assert!(x >= 0.0, "argument must be non-negative, got {x}");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        igam_series(a, x)
+    } else {
+        1.0 - igamc_cf(a, x)
+    }
+}
+
+/// Regularized *upper* incomplete gamma function `Q(a, x) = 1 − P(a, x)`
+/// — the `igamc` of the NIST test suite.
+///
+/// # Panics
+///
+/// Panics if `a <= 0` or `x < 0`.
+///
+/// # Examples
+///
+/// ```
+/// use trng_stattests::special::igamc;
+/// // Q(1, x) = exp(-x).
+/// assert!((igamc(1.0, 2.0) - (-2.0f64).exp()).abs() < 1e-14);
+/// ```
+pub fn igamc(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "shape must be positive, got {a}");
+    assert!(x >= 0.0, "argument must be non-negative, got {x}");
+    if x == 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - igam_series(a, x)
+    } else {
+        igamc_cf(a, x)
+    }
+}
+
+/// Series expansion of `P(a, x)`, for `x < a + 1`.
+fn igam_series(a: f64, x: f64) -> f64 {
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut term = sum;
+    for _ in 0..500 {
+        ap += 1.0;
+        term *= x / ap;
+        sum += term;
+        if term.abs() < sum.abs() * 1e-17 {
+            break;
+        }
+    }
+    (sum.ln() + a * x.ln() - x - ln_gamma(a)).exp().min(1.0)
+}
+
+/// Continued fraction for `Q(a, x)`, for `x >= a + 1` (modified Lentz).
+fn igamc_cf(a: f64, x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / TINY;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = b + an / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let delta = d * c;
+        h *= delta;
+        if (delta - 1.0).abs() < 1e-16 {
+            break;
+        }
+    }
+    ((a * x.ln() - x - ln_gamma(a)).exp() * h).clamp(0.0, 1.0)
+}
+
+/// Complementary error function, accurate in the tail.
+///
+/// Same construction as in the `trng-model` crate (series +
+/// continued fraction), duplicated here so the statistical-test
+/// substrate stays dependency-free.
+pub fn erfc(x: f64) -> f64 {
+    if x.is_nan() {
+        return f64::NAN;
+    }
+    if x < 0.0 {
+        return 2.0 - erfc(-x);
+    }
+    if x <= 2.0 {
+        1.0 - erf_series(x)
+    } else {
+        erfc_cf(x)
+    }
+}
+
+/// Error function `erf(x) = 1 − erfc(x)`.
+pub fn erf(x: f64) -> f64 {
+    if x.is_nan() {
+        return f64::NAN;
+    }
+    if x < 0.0 {
+        return -erf(-x);
+    }
+    if x <= 2.0 {
+        erf_series(x)
+    } else {
+        1.0 - erfc_cf(x)
+    }
+}
+
+fn erf_series(x: f64) -> f64 {
+    let x2 = x * x;
+    let mut term = x;
+    let mut sum = x;
+    let mut n = 0u32;
+    loop {
+        n += 1;
+        term *= 2.0 * x2 / (2.0 * f64::from(n) + 1.0);
+        let new_sum = sum + term;
+        if new_sum == sum || n > 200 {
+            break;
+        }
+        sum = new_sum;
+    }
+    core::f64::consts::FRAC_2_SQRT_PI * (-x2).exp() * sum
+}
+
+fn erfc_cf(x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let mut f = x;
+    let mut c = f;
+    let mut d = 0.0f64;
+    for k in 1..=500u32 {
+        let a = f64::from(k) / 2.0;
+        d = x + a * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        d = 1.0 / d;
+        c = x + a / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        let delta = c * d;
+        f *= delta;
+        if (delta - 1.0).abs() < 1e-16 {
+            break;
+        }
+    }
+    (-x * x).exp() / core::f64::consts::PI.sqrt() / f
+}
+
+/// Standard-normal CDF `Φ(x)`.
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / core::f64::consts::SQRT_2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_on_integers_matches_factorials() {
+        // Gamma(n) = (n-1)!
+        let facts = [1.0, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0, 5040.0];
+        for (n, &f) in facts.iter().enumerate() {
+            let got = ln_gamma(n as f64 + 1.0);
+            assert!((got - f64::ln(f)).abs() < 1e-12, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half_integer() {
+        // Gamma(1/2) = sqrt(pi).
+        let want = core::f64::consts::PI.sqrt().ln();
+        assert!((ln_gamma(0.5) - want).abs() < 1e-13);
+        // Gamma(3/2) = sqrt(pi)/2.
+        let want = (core::f64::consts::PI.sqrt() / 2.0).ln();
+        assert!((ln_gamma(1.5) - want).abs() < 1e-13);
+    }
+
+    #[test]
+    fn igamc_known_values() {
+        // Q(1, x) = exp(-x).
+        for x in [0.1, 0.5, 1.0, 3.0, 10.0] {
+            assert!((igamc(1.0, x) - (-x).exp()).abs() < 1e-13, "x = {x}");
+        }
+        // Q(2, x) = (1 + x) exp(-x).
+        for x in [0.1, 1.0, 5.0] {
+            assert!(
+                (igamc(2.0, x) - (1.0 + x) * (-x).exp()).abs() < 1e-13,
+                "x = {x}"
+            );
+        }
+        // Chi-squared survival with k = 4 dof at x = 9.49 (95 %):
+        // Q(2, 4.745) ~ 0.05.
+        let p = igamc(2.0, 9.488 / 2.0);
+        assert!((p - 0.05).abs() < 0.001, "p = {p}");
+    }
+
+    #[test]
+    fn igam_igamc_sum_to_one() {
+        for a in [0.5, 1.0, 2.5, 10.0] {
+            for x in [0.1, 1.0, 2.0, 15.0] {
+                let s = igam(a, x) + igamc(a, x);
+                assert!((s - 1.0).abs() < 1e-12, "a {a} x {x}: {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn igamc_is_monotone_decreasing_in_x() {
+        let mut prev = 1.0;
+        for i in 1..100 {
+            let q = igamc(3.0, i as f64 * 0.3);
+            assert!(q <= prev + 1e-14);
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn nist_reference_example_frequency() {
+        // SP 800-22 §2.1.8: for the 100-bit pi example the frequency
+        // test gives P-value = erfc(0.387.../sqrt(2))... use the simpler
+        // documented example: eps = 1100100100001111110110101010001000,
+        // n = 100... Instead validate erfc at the documented point:
+        // erfc(1.238/sqrt(2)) ~ 0.215684 (runs-test example value plugs
+        // through erfc, checked in the runs test module).
+        let p = erfc(0.632_455_532 / core::f64::consts::SQRT_2);
+        assert!((p - 0.527_089).abs() < 1e-5, "p = {p}");
+    }
+
+    #[test]
+    fn erfc_matches_model_crate_values() {
+        assert!((erfc(2.0) - 0.004_677_734_981_047_266).abs() < 1e-15);
+        let got = erfc(5.0);
+        let want = 1.537_459_794_428_034_8e-12;
+        assert!((got / want - 1.0).abs() < 1e-12);
+        assert!((erf(1.0) - 0.842_700_792_949_714_9).abs() < 1e-14);
+    }
+
+    #[test]
+    fn normal_cdf_quantiles() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-15);
+        assert!((normal_cdf(1.644_853_626_951_472_2) - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape must be positive")]
+    fn igamc_rejects_bad_shape() {
+        let _ = igamc(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ln_gamma requires a positive argument")]
+    fn ln_gamma_rejects_non_positive() {
+        let _ = ln_gamma(0.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Attack scenario: the Section-2 warning made concrete.
+//!
+//! "A designer may believe that the randomness is caused by the
+//! thermal jitter when in fact it is coming from the unstable power
+//! supply. In that case, if the TRNG is used with a voltage stabilizer
+//! it may produce very weak keys." The paper's answer is the
+//! worst-case stochastic model plus (future work) embedded tests.
+//!
+//! This example runs the TRNG in four environments —
+//!
+//! 1. nominal (thermal noise is the entropy source),
+//! 2. an EM injection-locking attack that collapses the accumulated
+//!    jitter,
+//! 3. a mistuned design whose apparent randomness comes from supply
+//!    ripple (3a), exposed the moment the supply is stabilized (3b),
+//!
+//! and reports what empirical estimators, FIPS 140-2 (on the
+//! post-processed output) and the embedded health tests see.
+//!
+//! ```text
+//! cargo run --release -p trng-core --example attack_scenario
+//! ```
+
+use trng_core::health::{HealthStatus, OnlineHealth};
+use trng_core::postprocess::XorCompressor;
+use trng_core::trng::{CarryChainTrng, TrngConfig};
+use trng_fpga_sim::noise::{AttackInjection, GlobalModulation, SupplyTone};
+use trng_model::params::{DesignParams, PlatformParams};
+use trng_stattests::bits::BitVec;
+use trng_stattests::ais31::{t8_entropy, Ais31Verdict};
+use trng_stattests::estimators::{markov_min_entropy, shannon_bias_entropy};
+use trng_stattests::fips140::{run_fips140, SAMPLE_BITS};
+
+fn evaluate(label: &str, config: TrngConfig) {
+    let np = config.design.np;
+    // Enough post-processed bits for both FIPS (20 000) and the T8
+    // estimator (> 41 000).
+    let pp_count = SAMPLE_BITS.max(48_000);
+    let raw_count = pp_count * np as usize;
+    let mut trng = CarryChainTrng::new(config, 99).expect("valid config");
+    let raw: Vec<bool> = trng.generate_raw(raw_count);
+    let raw_bv: BitVec = raw.iter().copied().collect();
+    let pp: BitVec = XorCompressor::compress(np, &raw).into_iter().collect();
+
+    // Embedded tests run on the raw stream with the claimed min-entropy
+    // of the nominal design point (H_min ~ 0.79 for k = 1, tA = 10 ns).
+    let mut health = OnlineHealth::new(0.75);
+    let mut alarm_at = None;
+    for (i, &b) in raw.iter().enumerate() {
+        if health.push(b) == HealthStatus::Alarm {
+            alarm_at = Some(i);
+            break;
+        }
+    }
+    let fips = run_fips140(&pp);
+    // Coron's T8 entropy estimate (AIS-31 procedure B) works on 8-bit
+    // words of the *internal* (post-processed) numbers and catches
+    // short-period determinism that marginal and first-order
+    // statistics miss.
+    let t8 = match t8_entropy(&pp) {
+        Ais31Verdict::Pass => "pass (> 7.976 bit/byte)",
+        Ais31Verdict::Fail => "FAIL",
+        Ais31Verdict::TooShort => "too short",
+    };
+    println!("{label}");
+    println!(
+        "  raw:  H(bias) = {:.4}   H(markov) = {:.4}",
+        shannon_bias_entropy(&raw_bv),
+        markov_min_entropy(&raw_bv),
+    );
+    println!(
+        "  post: FIPS 140-2 {}   | T8 entropy: {t8}   | embedded health: {}",
+        if fips.all_passed() { "PASS" } else { "FAIL" },
+        alarm_at.map_or("ok".to_string(), |i| format!("ALARM after {i} raw bits")),
+    );
+}
+
+fn main() {
+    // 1. Nominal operation.
+    evaluate("1. nominal (thermal jitter only):", TrngConfig::paper_k1());
+
+    // 2. EM injection locking at the ring's transition frequency: the
+    //    restoring force turns the jitter random-walk into a bounded
+    //    process — accumulated jitter collapses to the ~2.6 ps of one
+    //    fresh transition. The k = 1 extractor's 17 ps bins still
+    //    harvest that residual (the paper's fine-resolution thesis
+    //    doubling as attack resilience); the k = 4 variant's 68 ps
+    //    bins do not, and its output degenerates.
+    let mut attacked = TrngConfig::paper_k1();
+    attacked.attack = Some(AttackInjection::locking(1e12 / 480.0, 0.6));
+    evaluate("\n2a. EM injection locking, k = 1 (fine bins resist):", attacked);
+    let mut attacked4 = TrngConfig::paper_k4();
+    attacked4.attack = Some(AttackInjection::locking(1e12 / 480.0, 0.6));
+    evaluate("\n2b. EM injection locking, k = 4 (coarse bins collapse):", attacked4);
+
+    // 3. The "supply-ripple harvester" mistake: weak thermal noise and
+    //    a too-coarse design, but a strong supply ripple sweeps the
+    //    sampling offset across bins so the output *looks* statistical.
+    let mut ripple = TrngConfig::paper_k1();
+    ripple.platform = PlatformParams::new(480.0, 17.0, 0.4).expect("valid");
+    ripple.design = DesignParams {
+        k: 4,
+        n_a: 1,
+        ..DesignParams::paper_k1()
+    };
+    ripple.flicker = None;
+    let mut with_ripple = ripple.clone();
+    with_ripple.global = Some(
+        GlobalModulation::new()
+            .with_tone(SupplyTone::new(2.13e6, 0.012))
+            .with_tone(SupplyTone::new(0.31e6, 0.008)),
+    );
+    evaluate("\n3a. mistuned design + noisy supply (ripple masquerades as entropy):", with_ripple);
+    evaluate("\n3b. same design, supply stabilized (true entropy exposed):", ripple);
+
+    println!(
+        "\nTakeaways: (i) injection locking collapses accumulated jitter, but\n\
+         the k = 1 extractor's 17 ps bins still harvest the residual per-edge\n\
+         thermal noise (2a) while the 68 ps k = 4 bins degenerate (2b) — the\n\
+         paper's resolution thesis doubling as attack resilience; (ii) the\n\
+         ripple-fed design (3a) sails through black-box statistics although\n\
+         its randomness is deterministic, and collapses once the supply is\n\
+         stabilized (3b). Only the worst-case stochastic model (thermal noise\n\
+         only) makes these failures visible at design time — the paper's\n\
+         argument for model-based evaluation (Section 2)."
+    );
+}

@@ -1,0 +1,78 @@
+//! Design-space exploration with the stochastic model (Section 4.4):
+//! given the measured platform parameters, sweep the design knobs and
+//! print the entropy/throughput frontier, then derive a concrete
+//! recommendation for a target entropy — the paper's "Step 2".
+//!
+//! ```text
+//! cargo run --release -p trng-core --example design_space
+//! ```
+
+use trng_model::design_space::{evaluate, improvement_factor, np_for_bias, sweep_accumulation};
+use trng_model::params::{DesignParams, PlatformParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let platform = PlatformParams::spartan6();
+    println!("platform: {platform}\n");
+
+    // Sweep accumulation time for each down-sampling factor.
+    println!("model sweep (worst-case Shannon entropy per raw bit):");
+    println!(
+        "{:>4} {:>8} {:>12} {:>8} {:>8} {:>14}",
+        "k", "tA[ns]", "sigma_acc[ps]", "H_RAW", "bias", "raw rate[Mb/s]"
+    );
+    for k in [1u32, 2, 4] {
+        let base = DesignParams {
+            k,
+            np: 1,
+            ..DesignParams::paper_k1()
+        };
+        let points = sweep_accumulation(&platform, &base, &[1, 2, 5, 10, 20, 50])?;
+        for p in &points {
+            println!(
+                "{:>4} {:>8.0} {:>12.2} {:>8.4} {:>8.4} {:>14.1}",
+                k,
+                p.design.t_a_ps() / 1e3,
+                p.sigma_acc_ps,
+                p.h_raw,
+                p.bias_raw,
+                p.raw_throughput_bps / 1e6
+            );
+        }
+        println!();
+    }
+
+    // Recommendation: smallest tA with H_RAW >= 0.98 per k, plus the
+    // XOR rate for a 1e-4 residual bias.
+    println!("recommendations for H_RAW >= 0.98 and post-processed bias <= 1e-4:");
+    for k in [1u32, 4] {
+        let mut chosen = None;
+        for n_a in 1..=100u32 {
+            let d = DesignParams {
+                k,
+                n_a,
+                np: 1,
+                ..DesignParams::paper_k1()
+            };
+            let p = evaluate(&platform, &d)?;
+            if p.h_raw >= 0.98 {
+                chosen = Some((d, p));
+                break;
+            }
+        }
+        let (d, p) = chosen.expect("reachable within 1 us");
+        let np = np_for_bias(&platform, &d, 1e-4, 32)?.expect("reachable");
+        println!(
+            "  k = {k}: tA = {:>4.0} ns (H_RAW = {:.3}), np = {np}, output = {:.2} Mb/s",
+            d.t_a_ps() / 1e3,
+            p.h_raw,
+            d.raw_throughput_bps() / f64::from(np) / 1e6
+        );
+    }
+
+    println!(
+        "\nequation (8) improvement over the elementary TRNG: {:.0}x (k=1), {:.1}x (k=4)",
+        improvement_factor(&platform, 1),
+        improvement_factor(&platform, 4)
+    );
+    Ok(())
+}

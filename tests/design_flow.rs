@@ -1,0 +1,93 @@
+//! E9 — the paper's four-step design procedure end-to-end (Figure 1):
+//! measure → model → implement → evaluate, as an integration test.
+
+use trng_core::resources::estimate;
+use trng_core::trng::{CarryChainTrng, TrngConfig};
+use trng_fpga_sim::delay_line::TappedDelayLine;
+use trng_fpga_sim::ring_oscillator::RingOscillatorConfig;
+use trng_fpga_sim::rng::SimRng;
+use trng_fpga_sim::time::Ps;
+use trng_measure::measure_platform;
+use trng_model::design_space::evaluate;
+use trng_model::params::{DesignParams, PlatformParams};
+use trng_stattests::bits::BitVec;
+use trng_stattests::fips140::run_fips140;
+use trng_stattests::nist::run_battery;
+
+#[test]
+fn full_design_flow_reproduces_paper_numbers() {
+    // --- Step 1: measure the platform -------------------------------
+    let ro = RingOscillatorConfig {
+        history_window: Ps::from_ns(4.0),
+        ..RingOscillatorConfig::paper_default()
+    };
+    let line = TappedDelayLine::ideal(128, Ps::from_ps(17.0));
+    let measured = measure_platform(&ro, &line, SimRng::seed_from(1)).expect("measurement");
+    assert!(
+        (measured.d0_lut_ps - 480.0).abs() < 480.0 * 0.1,
+        "d0 = {}",
+        measured.d0_lut_ps
+    );
+    assert!((measured.tstep_ps - 17.0).abs() < 1.0, "tstep = {}", measured.tstep_ps);
+    assert!(
+        (measured.sigma_lut_ps - 2.6).abs() < 0.5,
+        "sigma = {}",
+        measured.sigma_lut_ps
+    );
+
+    // --- Step 2: choose design parameters from the model -------------
+    let platform = PlatformParams::new(
+        measured.d0_lut_ps,
+        measured.tstep_ps,
+        measured.sigma_lut_ps,
+    )
+    .expect("positive measured values");
+    // The paper's m > d0/tstep condition lands near 29 taps.
+    assert!((28..=31).contains(&platform.min_taps()), "{}", platform.min_taps());
+    let design = DesignParams::paper_k1();
+    let point = evaluate(&platform, &design).expect("valid design");
+    assert!(point.h_raw > 0.95, "H_RAW = {}", point.h_raw);
+
+    // --- Step 3: implement ------------------------------------------
+    let config = TrngConfig::paper_k1();
+    let trng = CarryChainTrng::new(config.clone(), 3).expect("build");
+    drop(trng);
+    assert_eq!(estimate(&design).total_slices(), 67); // Table 2
+
+    // --- Step 4: statistical evaluation ------------------------------
+    let mut trng = CarryChainTrng::new(config, 4).expect("build");
+    let pp: BitVec = trng.generate_postprocessed(40_000).into_iter().collect();
+    assert_eq!(trng.stats().missed_edges, 0);
+    let fips = run_fips140(&pp);
+    assert!(fips.all_passed(), "{fips}");
+    let battery = run_battery(&pp);
+    // A single 40k-bit run evaluates dozens of P-values; tolerate one
+    // borderline statistic but nothing systematic.
+    assert!(
+        battery.failures().len() <= 1,
+        "NIST failures: {:?}",
+        battery.failures()
+    );
+}
+
+#[test]
+fn mistuned_design_is_rejected_by_the_flow() {
+    // A k = 4, tA = 10 ns design (Table 1's hopeless row) must be
+    // flagged by the model *before* implementation...
+    let platform = PlatformParams::spartan6();
+    let bad = DesignParams {
+        k: 4,
+        n_a: 1,
+        np: 1,
+        ..DesignParams::paper_k4()
+    };
+    let point = evaluate(&platform, &bad).expect("structurally valid");
+    assert!(point.h_raw < 0.1, "model must expose H_RAW ~ 0.03, got {}", point.h_raw);
+
+    // ...and its simulated output indeed fails the quick tests.
+    let config = TrngConfig::paper_k4().with_design(bad);
+    let mut trng = CarryChainTrng::new(config, 5).expect("build");
+    let raw: BitVec = trng.generate_raw(20_000).into_iter().collect();
+    let fips = run_fips140(&raw);
+    assert!(!fips.all_passed(), "k=4/tA=10ns raw bits passed FIPS: {fips}");
+}

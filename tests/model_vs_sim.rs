@@ -1,0 +1,148 @@
+//! E6 — model-versus-simulation agreement (Figure 6 / Section 4.2).
+//!
+//! The stochastic model predicts the binary probability P1 of the
+//! extracted bit (equation (3)) as a function of the offset τ between
+//! the mean edge position and the sampling-bin grid, and the
+//! accumulated jitter σ_acc (equation (1)). These tests drive the
+//! *simulated* TRNG — fresh oscillator per trial, ideal TDC so the
+//! simulation matches the model's assumptions exactly — and check that
+//! the empirical statistics obey the model:
+//!
+//! 1. the empirical bias oscillates in τ with the bin period;
+//! 2. its worst-case amplitude matches `worst_case_bias(σ_acc, t)`;
+//! 3. the empirical Shannon entropy respects the model's lower bound.
+
+use trng_core::trng::{CarryChainTrng, TrngConfig};
+use trng_model::binary_prob::worst_case_bias;
+use trng_model::entropy::{entropy_lower_bound, h_shannon};
+use trng_model::jitter::sigma_acc;
+use trng_model::params::{DesignParams, PlatformParams};
+
+/// Empirical P(bit = 1) over `trials` fresh single-shot TRNGs with
+/// accumulation time `t_a_ps`.
+fn empirical_p1(t_a_ps: f64, trials: u64, seed0: u64) -> f64 {
+    // Encode tA through the clock frequency so the design validator
+    // stays happy: tA = 1/f_clk with N_A = 1.
+    let f_clk_hz = (1e12 / t_a_ps).round() as u64;
+    let design = DesignParams {
+        f_clk_hz,
+        n_a: 1,
+        np: 1,
+        ..DesignParams::paper_k1()
+    };
+    let config = TrngConfig::ideal().with_design(design);
+    let mut ones = 0u64;
+    for t in 0..trials {
+        let mut trng = CarryChainTrng::new(config.clone(), seed0 + t).expect("valid config");
+        if trng.next_raw_bit() {
+            ones += 1;
+        }
+    }
+    ones as f64 / trials as f64
+}
+
+/// Sweeps τ across one bin-parity period (2·tstep) around a base tA
+/// and returns the empirical biases.
+fn bias_sweep(base_ta_ps: f64, steps: usize, trials: u64, seed0: u64) -> Vec<f64> {
+    let tstep = PlatformParams::spartan6().tstep_ps;
+    (0..steps)
+        .map(|i| {
+            let delta = 2.0 * tstep * i as f64 / steps as f64;
+            let p = empirical_p1(base_ta_ps + delta, trials, seed0 + 10_000 * i as u64);
+            p - 0.5
+        })
+        .collect()
+}
+
+#[test]
+fn bias_amplitude_matches_model_at_moderate_jitter() {
+    // tA = 4 ns: sigma_acc = 2.6*sqrt(4000/480) = 7.5 ps = 0.44 tstep.
+    let platform = PlatformParams::spartan6();
+    let t_a = 4_000.0;
+    let sigma = sigma_acc(platform.sigma_lut_ps, t_a, platform.d0_lut_ps);
+    let model_bias = worst_case_bias(sigma, platform.tstep_ps);
+    let biases = bias_sweep(t_a, 10, 1_500, 1);
+    let max_emp = biases.iter().map(|b| b.abs()).fold(0.0, f64::max);
+    // The sweep grid may straddle the exact worst-case offset; accept
+    // the model value within a generous band that still distinguishes
+    // it from both 0 and 0.5 (se per point ~ 0.013).
+    assert!(
+        max_emp > 0.55 * model_bias && max_emp < 1.35 * model_bias + 0.04,
+        "empirical max bias {max_emp:.3} vs model worst case {model_bias:.3}"
+    );
+}
+
+#[test]
+fn bias_vanishes_at_large_jitter() {
+    // tA = 40 ns: sigma_acc = 23.7 ps = 1.4 tstep -> bias ~ 1e-4.
+    let biases = bias_sweep(40_000.0, 6, 1_500, 50);
+    let max_emp = biases.iter().map(|b| b.abs()).fold(0.0, f64::max);
+    // Statistical noise floor for 1500 trials is ~0.013 (1 sigma).
+    assert!(max_emp < 0.05, "max bias {max_emp}");
+}
+
+#[test]
+fn bias_oscillates_with_bin_parity() {
+    // At small jitter the bias must change sign across half the
+    // parity period (adjacent bins decode as opposite bits).
+    // tA = 1.5 ns: sigma_acc = 4.6 ps = 0.27 tstep -> strong bias.
+    let biases = bias_sweep(1_500.0, 8, 1_200, 99);
+    let max = biases.iter().copied().fold(f64::MIN, f64::max);
+    let min = biases.iter().copied().fold(f64::MAX, f64::min);
+    assert!(
+        max > 0.10 && min < -0.10,
+        "expected sign-alternating bias, got {biases:?}"
+    );
+}
+
+#[test]
+fn empirical_entropy_respects_model_lower_bound() {
+    // At every sweep point the observed per-bit entropy must be at or
+    // above the model's worst-case bound (it is a lower bound over τ).
+    let platform = PlatformParams::spartan6();
+    for t_a in [4_000.0, 10_000.0] {
+        let sigma = sigma_acc(platform.sigma_lut_ps, t_a, platform.d0_lut_ps);
+        let bound = entropy_lower_bound(sigma, platform.tstep_ps);
+        let biases = bias_sweep(t_a, 6, 1_500, 777);
+        for (i, b) in biases.iter().enumerate() {
+            let h = h_shannon((0.5 + b).clamp(0.0, 1.0));
+            // 3-sigma allowance for the finite-sample estimate.
+            assert!(
+                h > bound - 0.08,
+                "tA = {t_a}: point {i} has H = {h:.3} below bound {bound:.3}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sigma_accumulation_follows_sqrt_law_in_simulation() {
+    // Doubling tA by 4 should double the width of the bias-vs-tau
+    // envelope's *decay*: verify via the model-vs-empirical agreement
+    // at two accumulation times (integrated check of equation (1)).
+    let platform = PlatformParams::spartan6();
+    let env = |t_a: f64, seed: u64| -> f64 {
+        bias_sweep(t_a, 8, 1_200, seed)
+            .iter()
+            .map(|b| b.abs())
+            .fold(0.0, f64::max)
+    };
+    let short = env(2_000.0, 31); // sigma = 5.3 ps -> large bias
+    let long = env(18_000.0, 41); // sigma = 15.9 ps -> small bias
+    let model_short = worst_case_bias(
+        sigma_acc(platform.sigma_lut_ps, 2_000.0, platform.d0_lut_ps),
+        platform.tstep_ps,
+    );
+    let model_long = worst_case_bias(
+        sigma_acc(platform.sigma_lut_ps, 18_000.0, platform.d0_lut_ps),
+        platform.tstep_ps,
+    );
+    assert!(
+        short > long + 0.1,
+        "bias must shrink with accumulation: {short:.3} vs {long:.3}"
+    );
+    assert!(
+        (short - model_short).abs() < 0.15 && (long - model_long).abs() < 0.1,
+        "empirical ({short:.3}, {long:.3}) vs model ({model_short:.3}, {model_long:.3})"
+    );
+}

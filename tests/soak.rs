@@ -1,0 +1,59 @@
+//! Long-run soak tests — ignored by default; run with
+//! `cargo test --release -- --ignored` when you want the heavy
+//! validation pass.
+
+use trng_core::postprocess::XorCompressor;
+use trng_core::trng::{CarryChainTrng, TrngConfig};
+use trng_stattests::ais31::run_ais31;
+use trng_stattests::bits::BitVec;
+use trng_stattests::diehard::run_diehard;
+use trng_stattests::nist::run_battery;
+
+#[test]
+#[ignore = "multi-minute soak run; execute with --ignored"]
+fn two_million_raw_bits_stay_healthy() {
+    let mut trng = CarryChainTrng::new(TrngConfig::paper_k1(), 0xF00D).expect("build");
+    let raw = trng.generate_raw(2_000_000);
+    assert_eq!(trng.stats().missed_edges, 0);
+    // Post-process with the paper's np = 7 and run everything.
+    let pp: BitVec = XorCompressor::compress(7, &raw).into_iter().collect();
+    assert!(pp.len() > 280_000);
+
+    let battery = run_battery(&pp);
+    assert!(
+        battery.failures().len() <= 1,
+        "NIST failures: {:?}\n{battery}",
+        battery.failures()
+    );
+
+    let ais = run_ais31(&pp);
+    assert!(ais.all_passed(), "{ais}");
+
+    // Every DIEHARD test applicable at this length must pass.
+    for outcome in run_diehard(&pp).into_iter().flatten() {
+        assert!(
+            outcome.p_value > 1e-4,
+            "{}: p = {}",
+            outcome.name,
+            outcome.p_value
+        );
+    }
+}
+
+#[test]
+#[ignore = "multi-minute soak run; execute with --ignored"]
+fn continuous_operation_does_not_drift_statistically() {
+    // Compare the first and last quarter of a long run: the simulated
+    // device must not wander statistically (flicker is stationary,
+    // thermal drift off by default).
+    let mut trng = CarryChainTrng::new(TrngConfig::paper_k1(), 0xBEEF).expect("build");
+    let raw = trng.generate_raw(1_000_000);
+    let quarter = raw.len() / 4;
+    let ones_first = raw[..quarter].iter().filter(|&&b| b).count() as f64 / quarter as f64;
+    let ones_last = raw[3 * quarter..].iter().filter(|&&b| b).count() as f64 / quarter as f64;
+    // Allow a generous band; a trend beyond it means non-stationarity.
+    assert!(
+        (ones_first - ones_last).abs() < 0.02,
+        "first {ones_first} vs last {ones_last}"
+    );
+}
