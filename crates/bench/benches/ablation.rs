@@ -1,4 +1,4 @@
-//! Criterion benches: ablations of the design choices DESIGN.md calls
+//! Timer-harness benches: ablations of the design choices DESIGN.md calls
 //! out, measured as simulation cost. (Their *quality* impact —
 //! entropy, n_NIST — is quantified by the `design_steps`/`table1`
 //! binaries and the `attack_scenario` example, since Criterion
@@ -7,11 +7,12 @@
 //! Axes: ring length `n`, delay-line length `m`, down-sampling `k`,
 //! bubble-filter strategy, noise model complexity.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use trng_core::bubble::BubbleFilter;
 use trng_core::trng::{CarryChainTrng, TrngConfig};
 use trng_fpga_sim::noise::{FlickerParams, GlobalModulation, SupplyTone};
 use trng_model::params::DesignParams;
+use trng_testkit::bench::{BenchmarkId, Criterion, Throughput};
+use trng_testkit::{criterion_group, criterion_main};
 
 const N: usize = 1_000;
 

@@ -1,12 +1,13 @@
-//! Criterion benches: the combinational entropy extractor in
+//! Timer-harness benches: the combinational entropy extractor in
 //! isolation (XOR stage + bubble filter + priority encoding), per
 //! Figure 5. In hardware this is one clock cycle; in simulation it is
 //! the per-sample decode cost.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use trng_core::bubble::BubbleFilter;
 use trng_core::extractor::EntropyExtractor;
 use trng_core::snippet::Snippet;
+use trng_testkit::bench::{BenchmarkId, Criterion};
+use trng_testkit::{criterion_group, criterion_main};
 
 /// Builds a deterministic three-line snippet with an edge at `pos` and
 /// an optional bubble.
@@ -32,7 +33,7 @@ fn bench_extract(c: &mut Criterion) {
     ] {
         let ext = EntropyExtractor::new(k, filter);
         group.bench_function(BenchmarkId::from_parameter(label), |b| {
-            b.iter(|| ext.extract(criterion::black_box(&snippet)))
+            b.iter(|| ext.extract(trng_testkit::bench::black_box(&snippet)))
         });
     }
     group.finish();
@@ -47,7 +48,7 @@ fn bench_extract_with_bubbles(c: &mut Criterion) {
     ] {
         let ext = EntropyExtractor::new(1, filter);
         group.bench_function(BenchmarkId::from_parameter(label), |b| {
-            b.iter(|| ext.extract(criterion::black_box(&snippet)))
+            b.iter(|| ext.extract(trng_testkit::bench::black_box(&snippet)))
         });
     }
     group.finish();
@@ -56,7 +57,7 @@ fn bench_extract_with_bubbles(c: &mut Criterion) {
 fn bench_snippet_classification(c: &mut Criterion) {
     let snippet = snippet_with_edge(36, 17, true);
     c.bench_function("snippet_classify", |b| {
-        b.iter(|| criterion::black_box(&snippet).classify())
+        b.iter(|| trng_testkit::bench::black_box(&snippet).classify())
     });
 }
 

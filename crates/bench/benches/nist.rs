@@ -1,13 +1,14 @@
-//! Criterion benches: cost of the statistical evaluation machinery —
+//! Timer-harness benches: cost of the statistical evaluation machinery —
 //! the dominating wall-clock term of the Table-1 n_NIST search.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use rand::{Rng, SeedableRng};
 use trng_stattests::bits::BitVec;
 use trng_stattests::nist;
+use trng_testkit::bench::{BenchmarkId, Criterion, Throughput};
+use trng_testkit::prng::{Rng, SeedableRng};
+use trng_testkit::{criterion_group, criterion_main};
 
 fn random_bits(n: usize, seed: u64) -> BitVec {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = trng_testkit::prng::StdRng::seed_from_u64(seed);
     (0..n).map(|_| rng.gen::<bool>()).collect()
 }
 

@@ -1,15 +1,16 @@
-//! Criterion benches: simulated TRNG bit-generation throughput.
+//! Timer-harness benches: simulated TRNG bit-generation throughput.
 //!
 //! These measure the *simulator's* speed (bits of TRNG output per
 //! wall-clock second), which bounds how large the Table-1 ensembles
 //! can be; the TRNG's own throughput in simulated time is a design
 //! constant (`f_CLK/(N_A·np)`) reported by the `table1` binary.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use trng_core::elementary::{ElementaryConfig, ElementaryTrng};
 use trng_core::trng::{CarryChainTrng, TrngConfig};
 use trng_fpga_sim::time::Ps;
 use trng_model::params::DesignParams;
+use trng_testkit::bench::{BenchmarkId, Criterion, Throughput};
+use trng_testkit::{criterion_group, criterion_main};
 
 fn bench_raw_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("raw_bits");
@@ -50,10 +51,12 @@ fn bench_elementary(c: &mut Criterion) {
     const N: usize = 2_000;
     group.throughput(Throughput::Elements(N as u64));
     // Short tA: exact event path; long tA: fast-forward path.
-    for (label, t_a) in [("ta_100ns_exact", Ps::from_ns(100.0)), ("ta_8us_fastforward", Ps::from_us(8.0))] {
+    for (label, t_a) in [
+        ("ta_100ns_exact", Ps::from_ns(100.0)),
+        ("ta_8us_fastforward", Ps::from_us(8.0)),
+    ] {
         group.bench_function(BenchmarkId::from_parameter(label), |b| {
-            let mut trng =
-                ElementaryTrng::new(ElementaryConfig::best_case(t_a), 3).expect("valid");
+            let mut trng = ElementaryTrng::new(ElementaryConfig::best_case(t_a), 3).expect("valid");
             b.iter(|| trng.generate(N));
         });
     }

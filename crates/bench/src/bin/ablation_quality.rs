@@ -122,8 +122,7 @@ fn main() {
     let mut h_values = Vec::new();
     let mut total_missed = 0u64;
     for dev in 0..20u64 {
-        let cfg = TrngConfig::paper_k1()
-            .with_device(trng_fpga_sim::process::DeviceSeed::new(dev));
+        let cfg = TrngConfig::paper_k1().with_device(trng_fpga_sim::process::DeviceSeed::new(dev));
         let mut trng = CarryChainTrng::new(cfg, 600 + dev).expect("valid");
         let raw = trng.generate_raw(bits / 2);
         let (h, _) = stats_of(&raw);
@@ -159,8 +158,12 @@ fn main() {
     println!(
         "   carry-chain (this work)  H(bias) = {h_cc:.4}  H(markov) = {m_cc:.4}  area = 67 slices"
     );
-    println!("   -> comparable per-bit quality at ~{:.1} ps effective resolution each,",
-        trng_core::self_timed::SelfTimedConfig::reference().resolution().as_ps());
+    println!(
+        "   -> comparable per-bit quality at ~{:.1} ps effective resolution each,",
+        trng_core::self_timed::SelfTimedConfig::reference()
+            .resolution()
+            .as_ps()
+    );
     println!("      but the STR pays for resolution with stages, the carry chain with");
     println!("      sampling taps — the paper's core area argument.");
 }

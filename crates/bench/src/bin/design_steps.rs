@@ -44,9 +44,18 @@ fn main() {
     };
     let line = TappedDelayLine::ideal(128, Ps::from_ps(17.0));
     let measured = measure_platform(&ro_config, &line, SimRng::seed_from(1)).expect("measure");
-    println!("  d0_LUT    = {:.1} ps   (paper: 480 ps)", measured.d0_lut_ps);
-    println!("  tstep     = {:.2} ps   (paper: ~17 ps)", measured.tstep_ps);
-    println!("  sigma_LUT = {:.2} ps   (paper: ~2 ps)", measured.sigma_lut_ps);
+    println!(
+        "  d0_LUT    = {:.1} ps   (paper: 480 ps)",
+        measured.d0_lut_ps
+    );
+    println!(
+        "  tstep     = {:.2} ps   (paper: ~17 ps)",
+        measured.tstep_ps
+    );
+    println!(
+        "  sigma_LUT = {:.2} ps   (paper: ~2 ps)",
+        measured.sigma_lut_ps
+    );
     let platform =
         PlatformParams::new(measured.d0_lut_ps, measured.tstep_ps, measured.sigma_lut_ps)
             .expect("measured parameters are positive");
@@ -94,7 +103,13 @@ fn main() {
             println!(
                 "    m = {m}: {:.3} %  {}",
                 missed as f64 / total as f64 * 100.0,
-                if m == 32 { "(paper: 0.8 % -> rejected)" } else if m == 36 { "(paper: always captured -> chosen)" } else { "" }
+                if m == 32 {
+                    "(paper: 0.8 % -> rejected)"
+                } else if m == 36 {
+                    "(paper: always captured -> chosen)"
+                } else {
+                    ""
+                }
             );
         }
     }
@@ -119,8 +134,10 @@ fn main() {
     config.device = device;
     let trng = CarryChainTrng::new(config.clone(), 7).expect("valid config");
     let breakdown = estimate(&design);
-    println!("  placement: delay lines in carry columns {:?}, rows 1..=9 (one clock region)",
-        [4, 6, 8]);
+    println!(
+        "  placement: delay lines in carry columns {:?}, rows 1..=9 (one clock region)",
+        [4, 6, 8]
+    );
     println!(
         "  resources: {} slices total (paper: 67) — osc {}, lines {}, sync {}, xor {}, encoder {}",
         breakdown.total_slices(),

@@ -54,7 +54,10 @@ fn main() {
     println!("  regular:     {:>8.4} %", counts[0] as f64 / total * 100.0);
     println!("  double edge: {:>8.4} %", counts[1] as f64 / total * 100.0);
     println!("  bubbled:     {:>8.4} %", counts[2] as f64 / total * 100.0);
-    println!("  no edge:     {:>8.4} %  (paper: 0 % at m = 36)", counts[3] as f64 / total * 100.0);
+    println!(
+        "  no edge:     {:>8.4} %  (paper: 0 % at m = 36)",
+        counts[3] as f64 / total * 100.0
+    );
     println!(
         "\nPaper expectation: \"In most cases, signal edge will be captured in\n\
          only one delay line\" — regular sampling dominates; double edges occur\n\

@@ -26,7 +26,8 @@ struct Row {
 fn main() {
     let k1 = DesignParams::paper_k1();
     let k4 = DesignParams::paper_k4();
-    let rows = [Row {
+    let rows = [
+        Row {
             work: "Schellekens et al. [8]",
             platform: "Virtex 2 Pro",
             resources: "565 slices".into(),
@@ -61,7 +62,8 @@ fn main() {
             platform: "Spartan 6 (sim)",
             resources: format!("{} slices", estimate(&k4).total_slices()),
             throughput_mbps: k4.output_throughput_bps() / 1e6,
-        }];
+        },
+    ];
     let rendered: Vec<String> = rows
         .iter()
         .map(|r| {

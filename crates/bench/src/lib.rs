@@ -105,7 +105,10 @@ pub fn find_n_nist(
                 scope.spawn(move || raw_bits(&config, 1000 + s as u64, seq_len * max_np as usize))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
     });
     for np in 1..=max_np {
         let seqs: Vec<BitVec> = raw
@@ -173,8 +176,8 @@ pub fn table1_row(
         ..base.design
     };
     let config = base.clone().with_design(design);
-    let point = trng_model::design_space::evaluate(&config.platform, &design)
-        .expect("valid design");
+    let point =
+        trng_model::design_space::evaluate(&config.platform, &design).expect("valid design");
     let n_nist = find_n_nist(&config, sequences, seq_len, MAX_NP);
     let (h_new, throughput) = match n_nist {
         NNistResult::Passes(np) => {

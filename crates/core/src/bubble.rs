@@ -18,7 +18,6 @@
 
 /// Strategy applied to the XOR-combined code before priority encoding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum BubbleFilter {
     /// First deviation wins (the paper's priority decoder).
     #[default]
@@ -77,16 +76,28 @@ mod tests {
 
     #[test]
     fn majority_repairs_isolated_bubble() {
-        assert_eq!(BubbleFilter::Majority3.apply(&bits("11011000")), bits("11111000"));
-        assert_eq!(BubbleFilter::Majority3.apply(&bits("11101000")), bits("11110000"));
+        assert_eq!(
+            BubbleFilter::Majority3.apply(&bits("11011000")),
+            bits("11111000")
+        );
+        assert_eq!(
+            BubbleFilter::Majority3.apply(&bits("11101000")),
+            bits("11110000")
+        );
     }
 
     #[test]
     fn majority_repairs_end_bubble() {
         // Bubble in the first position.
-        assert_eq!(BubbleFilter::Majority3.apply(&bits("01100000")), bits("11100000"));
+        assert_eq!(
+            BubbleFilter::Majority3.apply(&bits("01100000")),
+            bits("11100000")
+        );
         // Bubble in the last position.
-        assert_eq!(BubbleFilter::Majority3.apply(&bits("11100001")), bits("11100000"));
+        assert_eq!(
+            BubbleFilter::Majority3.apply(&bits("11100001")),
+            bits("11100000")
+        );
     }
 
     #[test]
@@ -99,7 +110,10 @@ mod tests {
     #[test]
     fn majority_preserves_double_edges() {
         // Two genuine edges, each at least 2 taps wide, survive.
-        assert_eq!(BubbleFilter::Majority3.apply(&bits("11000011")), bits("11000011"));
+        assert_eq!(
+            BubbleFilter::Majority3.apply(&bits("11000011")),
+            bits("11000011")
+        );
     }
 
     #[test]

@@ -40,11 +40,7 @@ pub fn downsample(code: &[bool], k: u32) -> Vec<bool> {
     if k == 1 {
         return code.to_vec();
     }
-    code.iter()
-        .copied()
-        .skip(k - 1)
-        .step_by(k)
-        .collect()
+    code.iter().copied().skip(k - 1).step_by(k).collect()
 }
 
 #[cfg(test)]

@@ -17,7 +17,6 @@ use crate::snippet::Snippet;
 
 /// Result of decoding one snippet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ExtractedBit {
     /// The output bit: LSB-parity of the first-edge position
     /// (even position → 1, odd → 0).
@@ -42,7 +41,6 @@ pub struct ExtractedBit {
 /// assert!(out.bit); // even position -> 1
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EntropyExtractor {
     k: u32,
     filter: BubbleFilter,
@@ -118,12 +116,18 @@ mod tests {
         // Edge at boundary 0 -> bit 1.
         assert_eq!(
             ext.extract(&snip("10000000")).unwrap(),
-            ExtractedBit { bit: true, edge_position: 0 }
+            ExtractedBit {
+                bit: true,
+                edge_position: 0
+            }
         );
         // Edge at boundary 1 -> bit 0.
         assert_eq!(
             ext.extract(&snip("11000000")).unwrap(),
-            ExtractedBit { bit: false, edge_position: 1 }
+            ExtractedBit {
+                bit: false,
+                edge_position: 1
+            }
         );
         // Edge at boundary 2 -> bit 1.
         assert!(ext.extract(&snip("11100000")).unwrap().bit);

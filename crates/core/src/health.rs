@@ -21,7 +21,6 @@ use core::fmt;
 
 /// Outcome of feeding a sample to a health test.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum HealthStatus {
     /// No defect detected.
     Ok,
@@ -55,7 +54,6 @@ impl fmt::Display for HealthStatus {
 /// assert_eq!(status, HealthStatus::Alarm); // a stuck source trips it
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RepetitionCountTest {
     cutoff: u32,
     last: Option<bool>,
@@ -70,7 +68,10 @@ impl RepetitionCountTest {
     ///
     /// Panics if `h` is not in `(0, 1]`.
     pub fn new(h: f64) -> Self {
-        assert!(h > 0.0 && h <= 1.0, "min-entropy must be in (0, 1], got {h}");
+        assert!(
+            h > 0.0 && h <= 1.0,
+            "min-entropy must be in (0, 1], got {h}"
+        );
         let cutoff = 1 + (20.0 / h).ceil() as u32;
         RepetitionCountTest {
             cutoff,
@@ -125,7 +126,6 @@ impl RepetitionCountTest {
 /// `z = 5.3` (normal approximation of the binomial `2^−20` quantile —
 /// within ±2 of the exact SP 800-90B table values for binary sources).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AdaptiveProportionTest {
     cutoff: u32,
     window: u32,
@@ -145,7 +145,10 @@ impl AdaptiveProportionTest {
     ///
     /// Panics if `h` is not in `(0, 1]`.
     pub fn new(h: f64) -> Self {
-        assert!(h > 0.0 && h <= 1.0, "min-entropy must be in (0, 1], got {h}");
+        assert!(
+            h > 0.0 && h <= 1.0,
+            "min-entropy must be in (0, 1], got {h}"
+        );
         let w = f64::from(ADAPTIVE_PROPORTION_WINDOW);
         let p = 2f64.powf(-h);
         let cutoff = 1.0 + (w * p + 5.3 * (w * p * (1.0 - p)).sqrt()).ceil();
@@ -209,7 +212,6 @@ impl AdaptiveProportionTest {
 /// Combined online health monitor: repetition count + adaptive
 /// proportion + missed-edge-rate alarm.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct OnlineHealth {
     repetition: RepetitionCountTest,
     proportion: AdaptiveProportionTest,

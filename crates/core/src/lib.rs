@@ -18,7 +18,7 @@
 //!   practice);
 //! * [`von_neumann`] — the classical alternative post-processor, for
 //!   ablation against XOR;
-//! * [`rng_adapter`] — a [`rand::RngCore`] view of the generator;
+//! * [`rng_adapter`] — a [`trng_testkit::prng::RngCore`] view of the generator;
 //! * [`resources`] — slice-count estimation reproducing Table 2.
 //!
 //! # Quickstart
@@ -63,9 +63,9 @@ pub use rng_adapter::TrngRng;
 pub use rtl::{extract_packed, PackedWord};
 pub use self_timed::{SelfTimedConfig, SelfTimedTrng};
 pub use selftest::{SelfTestError, SelfTestingTrng};
-pub use von_neumann::VonNeumann;
 pub use snippet::{Snippet, SnippetKind};
 pub use trng::{BuildTrngError, CarryChainTrng, TrngConfig, TrngStats};
+pub use von_neumann::VonNeumann;
 
 #[cfg(test)]
 mod thread_safety {
@@ -92,13 +92,15 @@ mod thread_safety {
                 .map(|s| {
                     scope.spawn(move || {
                         let cfg = crate::trng::TrngConfig::paper_k1();
-                        let mut trng =
-                            crate::trng::CarryChainTrng::new(cfg, s).expect("build");
+                        let mut trng = crate::trng::CarryChainTrng::new(cfg, s).expect("build");
                         trng.generate_raw(500)
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("join")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("join"))
+                .collect()
         });
         assert_eq!(bits.len(), 4);
         // Different seeds produce different streams.

@@ -19,7 +19,6 @@
 /// assert_eq!(c.push(false), Some(false)); // 1 ^ 1 ^ 0
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct XorCompressor {
     np: u32,
     acc: bool,
@@ -120,8 +119,16 @@ mod tests {
         let bits: Vec<bool> = (0..90_000).map(|_| rng.bernoulli(0.7)).collect();
         let out = XorCompressor::compress(3, &bits);
         let ones_pp = out.iter().filter(|&&b| b).count() as f64 / out.len() as f64;
-        assert!((ones_pp - 0.5).abs() < 0.045, "post bias {}", (ones_pp - 0.5).abs());
-        assert!((ones_pp - 0.5).abs() > 0.015, "post bias {}", (ones_pp - 0.5).abs());
+        assert!(
+            (ones_pp - 0.5).abs() < 0.045,
+            "post bias {}",
+            (ones_pp - 0.5).abs()
+        );
+        assert!(
+            (ones_pp - 0.5).abs() > 0.015,
+            "post bias {}",
+            (ones_pp - 0.5).abs()
+        );
     }
 
     #[test]

@@ -25,7 +25,6 @@ use trng_model::params::DesignParams;
 
 /// Per-block slice breakdown of one TRNG configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ResourceBreakdown {
     /// Ring-oscillator slices.
     pub oscillator: u32,
@@ -67,7 +66,10 @@ pub fn estimate(design: &DesignParams) -> ResourceBreakdown {
     let n = design.n as u32;
     let m = design.m as u32;
     let k = design.k;
-    assert!(m > 0 && m.is_multiple_of(4), "m must be a positive multiple of 4");
+    assert!(
+        m > 0 && m.is_multiple_of(4),
+        "m must be a positive multiple of 4"
+    );
     assert!(k >= 1 && m.is_multiple_of(k), "m must be divisible by k");
     let w = m / k;
     ResourceBreakdown {

@@ -183,8 +183,7 @@ mod tests {
         // still small (columns diffuse as sqrt(j)), exposing a claim
         // of 0.9 decisively.
         let mut cfg = TrngConfig::ideal();
-        cfg.platform =
-            PlatformParams::new((10_000.0 - 34.0) / 21.0, 17.0, 2.6).expect("valid");
+        cfg.platform = PlatformParams::new((10_000.0 - 34.0) / 21.0, 17.0, 2.6).expect("valid");
         cfg.design = DesignParams {
             k: 4,
             n_a: 1,

@@ -1,12 +1,12 @@
-//! [`rand::RngCore`] adapter — use the simulated TRNG anywhere the
-//! Rust `rand` ecosystem expects a generator.
+//! [`trng_testkit::prng::RngCore`] adapter — use the simulated TRNG
+//! anywhere the workspace expects a generic generator.
 //!
 //! The adapter draws *post-processed* bits (the design's `np` XOR
 //! compression), so a `TrngRng` built from the paper's `k = 1`
 //! configuration emits the same 14.3 Mb/s-quality stream the hardware
 //! would deliver to a consumer.
 
-use rand::{CryptoRng, RngCore};
+use trng_testkit::prng::{CryptoRng, RngCore};
 
 use crate::trng::CarryChainTrng;
 
@@ -15,7 +15,7 @@ use crate::trng::CarryChainTrng;
 /// # Examples
 ///
 /// ```
-/// use rand::RngCore;
+/// use trng_testkit::prng::RngCore;
 /// use trng_core::rng_adapter::TrngRng;
 /// use trng_core::trng::{CarryChainTrng, TrngConfig};
 ///
@@ -82,11 +82,6 @@ impl RngCore for TrngRng {
             *byte = b;
         }
     }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
-    }
 }
 
 /// The underlying process is a physical (simulated) entropy source
@@ -130,13 +125,6 @@ mod tests {
         let mut a = rng();
         let mut b = rng();
         assert_eq!(a.next_u64(), b.next_u64());
-    }
-
-    #[test]
-    fn try_fill_bytes_never_fails() {
-        let mut r = rng();
-        let mut buf = [0u8; 8];
-        assert!(r.try_fill_bytes(&mut buf).is_ok());
     }
 
     #[test]

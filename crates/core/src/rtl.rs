@@ -30,7 +30,10 @@ impl PackedWord {
     ///
     /// Panics if more than 64 taps are given.
     pub fn pack(taps: &[bool]) -> Self {
-        assert!(taps.len() <= 64, "packed extractor supports at most 64 taps");
+        assert!(
+            taps.len() <= 64,
+            "packed extractor supports at most 64 taps"
+        );
         let mut word = 0u64;
         for (j, &b) in taps.iter().enumerate() {
             word |= u64::from(b) << j;
@@ -56,8 +59,14 @@ impl PackedWord {
 pub fn extract_packed(lines: &[PackedWord], k: u32) -> Option<ExtractedBit> {
     assert!(!lines.is_empty(), "need at least one line");
     let m = lines[0].len;
-    assert!(lines.iter().all(|l| l.len == m), "lines must have equal length");
-    assert!(k >= 1 && m.is_multiple_of(k), "length must be a multiple of k");
+    assert!(
+        lines.iter().all(|l| l.len == m),
+        "lines must have equal length"
+    );
+    assert!(
+        k >= 1 && m.is_multiple_of(k),
+        "length must be a multiple of k"
+    );
 
     // Stage 1: word-wise XOR of all lines.
     let mut x = 0u64;
@@ -144,7 +153,11 @@ mod tests {
         let c = bools("00000011");
         let expected = golden.extract(&Snippet::new(vec![a.clone(), b.clone(), c.clone()]));
         let got = extract_packed(
-            &[PackedWord::pack(&a), PackedWord::pack(&b), PackedWord::pack(&c)],
+            &[
+                PackedWord::pack(&a),
+                PackedWord::pack(&b),
+                PackedWord::pack(&c),
+            ],
             1,
         );
         assert_eq!(got, expected);

@@ -92,7 +92,10 @@ impl SelfTimedTrng {
     /// outside `(0, 1)`.
     pub fn new(config: SelfTimedConfig, seed: u64) -> Result<Self, String> {
         if config.stages < 3 {
-            return Err(format!("STR needs at least 3 stages, got {}", config.stages));
+            return Err(format!(
+                "STR needs at least 3 stages, got {}",
+                config.stages
+            ));
         }
         if config.period.as_ps() <= 0.0 || config.t_a.as_ps() <= 0.0 {
             return Err("period and accumulation time must be positive".to_string());
@@ -101,7 +104,10 @@ impl SelfTimedTrng {
             return Err("event jitter must be non-negative".to_string());
         }
         if !(0.0..1.0).contains(&config.coupling) {
-            return Err(format!("coupling must be in [0, 1), got {}", config.coupling));
+            return Err(format!(
+                "coupling must be in [0, 1), got {}",
+                config.coupling
+            ));
         }
         let l = config.stages;
         let phases = (0..l).map(|i| i as f64 / l as f64).collect();
@@ -227,8 +233,8 @@ mod tests {
         let bits = trng.generate(6_000);
         let ones = bits.iter().filter(|&&b| b).count() as f64 / bits.len() as f64;
         assert!((ones - 0.5).abs() < 0.05, "ones {ones}");
-        let flips = bits.windows(2).filter(|w| w[0] != w[1]).count() as f64
-            / (bits.len() - 1) as f64;
+        let flips =
+            bits.windows(2).filter(|w| w[0] != w[1]).count() as f64 / (bits.len() - 1) as f64;
         assert!(flips > 0.3, "flip rate {flips}");
     }
 
@@ -242,8 +248,8 @@ mod tests {
         };
         let mut trng = SelfTimedTrng::new(coarse, 9).expect("build");
         let bits = trng.generate(4_000);
-        let flips = bits.windows(2).filter(|w| w[0] != w[1]).count() as f64
-            / (bits.len() - 1) as f64;
+        let flips =
+            bits.windows(2).filter(|w| w[0] != w[1]).count() as f64 / (bits.len() - 1) as f64;
         let mut fine = SelfTimedTrng::new(SelfTimedConfig::reference(), 9).expect("build");
         let fine_bits = fine.generate(4_000);
         let fine_flips = fine_bits.windows(2).filter(|w| w[0] != w[1]).count() as f64

@@ -130,12 +130,9 @@ impl SelfTestingTrng {
         // long-run limit of 34 (AIS-31 T4's bound).
         let monobit_ok = (899..=1149).contains(&ones);
         let long_run_ok = longest_run < 34;
-        let missed_ok =
-            inner.stats().missed_edge_rate() < 0.01 || inner.stats().samples < 1000;
-        let startup_ok = monobit_ok
-            && long_run_ok
-            && missed_ok
-            && health.status() == HealthStatus::Ok;
+        let missed_ok = inner.stats().missed_edge_rate() < 0.01 || inner.stats().samples < 1000;
+        let startup_ok =
+            monobit_ok && long_run_ok && missed_ok && health.status() == HealthStatus::Ok;
 
         Ok(SelfTestingTrng {
             inner,

@@ -33,14 +33,12 @@ use core::fmt;
 /// assert_eq!(s.classify(), SnippetKind::Regular);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Snippet {
     lines: Vec<Vec<bool>>,
 }
 
 /// Figure-4 taxonomy of a snippet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SnippetKind {
     /// Exactly one edge in the XOR-combined code — Figure 4 (a).
     Regular,

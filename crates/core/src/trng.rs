@@ -181,7 +181,6 @@ impl From<PlacementError> for BuildTrngError {
 
 /// Per-run statistics of a TRNG instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TrngStats {
     /// Total snippets sampled.
     pub samples: u64,
@@ -251,13 +250,8 @@ impl CarryChainTrng {
 
         // Place the design (even for ideal TDC: placement is still
         // validated so resource accounting stays meaningful).
-        let placement = TrngPlacement::auto(
-            &config.fabric,
-            n,
-            m,
-            config.start_column,
-            config.first_row,
-        )?;
+        let placement =
+            TrngPlacement::auto(&config.fabric, n, m, config.start_column, config.first_row)?;
 
         // History must cover the longest line look-back plus a safety
         // margin for DNL (bins up to ~1.5x nominal) and clock skew.
@@ -275,8 +269,8 @@ impl CarryChainTrng {
             ),
             history_window: history,
         };
-        let oscillator = RingOscillator::new(ro_config, rng.fork())
-            .map_err(BuildTrngError::Oscillator)?;
+        let oscillator =
+            RingOscillator::new(ro_config, rng.fork()).map_err(BuildTrngError::Oscillator)?;
 
         let lines: Vec<TappedDelayLine> = (0..n)
             .map(|i| {
@@ -459,13 +453,12 @@ mod tests {
             np: 1,
             ..DesignParams::paper_k4()
         });
-        cfg.platform =
-            PlatformParams::new(10_000.0 / 21.0, 17.0, 2.6).expect("valid platform");
+        cfg.platform = PlatformParams::new(10_000.0 / 21.0, 17.0, 2.6).expect("valid platform");
         let mut trng = CarryChainTrng::new(cfg, 3).expect("build");
         let bits = trng.generate_raw(2000);
         // Count bit flips: a healthy source flips ~50 %, this one far less.
-        let flips = bits.windows(2).filter(|w| w[0] != w[1]).count() as f64
-            / (bits.len() - 1) as f64;
+        let flips =
+            bits.windows(2).filter(|w| w[0] != w[1]).count() as f64 / (bits.len() - 1) as f64;
         assert!(flips < 0.25, "flip rate {flips}");
     }
 

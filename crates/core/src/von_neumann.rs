@@ -24,7 +24,6 @@
 /// assert_eq!(vn.push(true), None);        // 11 -> discarded
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct VonNeumann {
     pending: Option<bool>,
 }

@@ -1,85 +1,88 @@
 //! Property-based tests of the extractor pipeline and post-processing.
+//!
+//! Runs under the hermetic `trng-testkit` harness: each property
+//! executes `TRNG_PROP_CASES` (default 64) independently seeded cases
+//! and reports the failing seed for replay via `TRNG_PROP_SEED`.
 
-use proptest::prelude::*;
 use trng_core::bubble::BubbleFilter;
 use trng_core::downsample::downsample;
 use trng_core::extractor::EntropyExtractor;
 use trng_core::postprocess::XorCompressor;
 use trng_core::rtl::{extract_packed, PackedWord};
 use trng_core::snippet::{Snippet, SnippetKind};
+use trng_testkit::prng::{Rng, StdRng};
+use trng_testkit::prop::{pick, vec_bool};
+use trng_testkit::props;
 
-/// Strategy: a single-edge thermometer code of length `4 * m4`.
-fn thermometer(m4: usize) -> impl Strategy<Value = (Vec<bool>, usize)> {
+/// Generator: a single-edge thermometer code of length `4 * m4` plus
+/// its edge index (first tap past the edge).
+fn thermometer(rng: &mut StdRng, m4: usize) -> (Vec<bool>, usize) {
     let m = m4 * 4;
-    (1..m).prop_map(move |edge| {
-        let code: Vec<bool> = (0..m).map(|j| j < edge).collect();
-        (code, edge)
-    })
+    let edge = rng.gen_range(1..m);
+    let code: Vec<bool> = (0..m).map(|j| j < edge).collect();
+    (code, edge)
 }
 
-proptest! {
-    #[test]
-    fn extractor_decodes_thermometer_parity((code, edge) in thermometer(9)) {
+props! {
+    fn extractor_decodes_thermometer_parity(rng) {
+        let (code, edge) = thermometer(rng, 9);
         let ext = EntropyExtractor::default();
         let out = ext.extract(&Snippet::new(vec![code])).expect("edge present");
-        prop_assert_eq!(out.edge_position, edge - 1);
-        prop_assert_eq!(out.bit, (edge - 1) % 2 == 0);
+        assert_eq!(out.edge_position, edge - 1);
+        assert_eq!(out.bit, (edge - 1) % 2 == 0);
     }
 
-    #[test]
-    fn extractor_is_polarity_invariant((code, _) in thermometer(9)) {
+    fn extractor_is_polarity_invariant(rng) {
+        let (code, _) = thermometer(rng, 9);
         let ext = EntropyExtractor::default();
         let inverted: Vec<bool> = code.iter().map(|&b| !b).collect();
         let a = ext.extract(&Snippet::new(vec![code]));
         let b = ext.extract(&Snippet::new(vec![inverted]));
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
 
-    #[test]
-    fn extractor_ignores_extra_constant_lines((code, _) in thermometer(9), level in any::<bool>()) {
+    fn extractor_ignores_extra_constant_lines(rng) {
+        let (code, _) = thermometer(rng, 9);
+        let level = rng.gen::<bool>();
         // XOR with a constant line flips polarity at most — decode is
         // unchanged (polarity invariance).
         let ext = EntropyExtractor::default();
         let single = ext.extract(&Snippet::new(vec![code.clone()]));
         let padded = ext.extract(&Snippet::new(vec![code.clone(), vec![level; code.len()]]));
-        prop_assert_eq!(single, padded);
+        assert_eq!(single, padded);
     }
 
-    #[test]
-    fn downsample_preserves_every_kth_tap(
-        bits in proptest::collection::vec(any::<bool>(), 1..20),
-        k in prop_oneof![Just(1u32), Just(2), Just(3), Just(4)],
-    ) {
+    fn downsample_preserves_every_kth_tap(rng) {
+        let bits = vec_bool(rng, 1..20);
+        let k = pick(rng, &[1u32, 2, 3, 4]);
         // Pad to a multiple of k.
         let mut code = bits;
         while code.len() % k as usize != 0 {
             code.push(false);
         }
         let d = downsample(&code, k);
-        prop_assert_eq!(d.len(), code.len() / k as usize);
+        assert_eq!(d.len(), code.len() / k as usize);
         for (l, &bit) in d.iter().enumerate() {
-            prop_assert_eq!(bit, code[(l + 1) * k as usize - 1]);
+            assert_eq!(bit, code[(l + 1) * k as usize - 1]);
         }
     }
 
-    #[test]
-    fn majority_filter_preserves_length_and_clean_codes((code, _) in thermometer(16)) {
+    fn majority_filter_preserves_length_and_clean_codes(rng) {
+        let (code, _) = thermometer(rng, 16);
         let filtered = BubbleFilter::Majority3.apply(&code);
-        prop_assert_eq!(filtered.len(), code.len());
+        assert_eq!(filtered.len(), code.len());
         // Thermometer codes with runs >= 2 on both sides are fixed
         // points; the generated codes always have a leading run >= 1
         // and trailing run >= 1 — only single-bit end runs may change.
         let edge = code.iter().position(|&b| !b).unwrap();
         if edge >= 2 && code.len() - edge >= 2 {
-            prop_assert_eq!(filtered, code);
+            assert_eq!(filtered, code);
         }
     }
 
-    #[test]
-    fn majority_filter_repairs_any_isolated_interior_bubble(
-        (mut code, edge) in thermometer(16),
-        bubble_at in 0usize..64,
-    ) {
+    fn majority_filter_repairs_any_isolated_interior_bubble(rng) {
+        let (mut code, edge) = thermometer(rng, 16);
+        let bubble_at = rng.gen_range(0usize..64);
         // A 3-tap majority provably repairs an isolated flipped bit
         // when both of the bit's neighbours (and their neighbours) are
         // clean and agree: at least 2 taps from either array end, and
@@ -92,82 +95,74 @@ proptest! {
         let clean_is_fixed_point = edge >= 2 && edge + 2 <= m;
         let repairable =
             pos >= 2 && pos + 3 <= m && (pos + 3 <= edge || pos >= edge + 2);
-        prop_assume!(clean_is_fixed_point && repairable);
+        if !(clean_is_fixed_point && repairable) {
+            return; // precondition unmet: skip this case
+        }
         let clean = code.clone();
         code[pos] = !code[pos];
         let filtered = BubbleFilter::Majority3.apply(&code);
-        prop_assert_eq!(filtered, clean);
+        assert_eq!(filtered, clean);
     }
 
-    #[test]
-    fn xor_compressor_streaming_equals_batch(
-        bits in proptest::collection::vec(any::<bool>(), 0..200),
-        np in 1u32..12,
-    ) {
+    fn xor_compressor_streaming_equals_batch(rng) {
+        let bits = vec_bool(rng, 0..200);
+        let np = rng.gen_range(1u32..12);
         let batch = XorCompressor::compress(np, &bits);
         let mut c = XorCompressor::new(np);
         let streamed: Vec<bool> = bits.iter().filter_map(|&b| c.push(b)).collect();
-        prop_assert_eq!(&batch, &streamed);
-        prop_assert_eq!(batch.len(), bits.len() / np as usize);
+        assert_eq!(&batch, &streamed);
+        assert_eq!(batch.len(), bits.len() / np as usize);
     }
 
-    #[test]
-    fn xor_compressor_output_is_group_parity(
-        bits in proptest::collection::vec(any::<bool>(), 1..120),
-        np in 1u32..8,
-    ) {
+    fn xor_compressor_output_is_group_parity(rng) {
+        let bits = vec_bool(rng, 1..120);
+        let np = rng.gen_range(1u32..8);
         let out = XorCompressor::compress(np, &bits);
         for (g, &bit) in out.iter().enumerate() {
             let parity = bits[g * np as usize..(g + 1) * np as usize]
                 .iter()
                 .fold(false, |acc, &b| acc ^ b);
-            prop_assert_eq!(bit, parity);
+            assert_eq!(bit, parity);
         }
     }
 
-    #[test]
-    fn snippet_classification_is_exhaustive(
-        lines in proptest::collection::vec(
-            proptest::collection::vec(any::<bool>(), 12),
-            1..4,
-        ),
-    ) {
+    fn snippet_classification_is_exhaustive(rng) {
+        let n_lines = rng.gen_range(1usize..4);
+        let lines: Vec<Vec<bool>> = (0..n_lines)
+            .map(|_| (0..12).map(|_| rng.gen::<bool>()).collect())
+            .collect();
         // classify() never panics and the result is consistent with
         // the edge count of the XOR vector.
         let s = Snippet::new(lines);
         let edges = s.edge_positions().len();
         match s.classify() {
-            SnippetKind::NoEdge => prop_assert_eq!(edges, 0),
-            SnippetKind::Regular => prop_assert_eq!(edges, 1),
-            SnippetKind::DoubleEdge | SnippetKind::Bubbled => prop_assert!(edges >= 2),
+            SnippetKind::NoEdge => assert_eq!(edges, 0),
+            SnippetKind::Regular => assert_eq!(edges, 1),
+            SnippetKind::DoubleEdge | SnippetKind::Bubbled => assert!(edges >= 2),
         }
     }
 
-    #[test]
-    fn xor_vector_is_linear(
-        a in proptest::collection::vec(any::<bool>(), 16),
-        b in proptest::collection::vec(any::<bool>(), 16),
-    ) {
+    fn xor_vector_is_linear(rng) {
+        let a: Vec<bool> = (0..16).map(|_| rng.gen::<bool>()).collect();
+        let b: Vec<bool> = (0..16).map(|_| rng.gen::<bool>()).collect();
         // xor_vector of [a, b] equals elementwise a ^ b.
         let s = Snippet::new(vec![a.clone(), b.clone()]);
         let expected: Vec<bool> = a.iter().zip(&b).map(|(&x, &y)| x ^ y).collect();
-        prop_assert_eq!(s.xor_vector(), expected);
+        assert_eq!(s.xor_vector(), expected);
     }
 
-    #[test]
-    fn packed_extractor_is_equivalent_to_golden_model(
-        lines in proptest::collection::vec(
-            proptest::collection::vec(any::<bool>(), 36),
-            1..4,
-        ),
-        k in prop_oneof![Just(1u32), Just(2), Just(4)],
-    ) {
+    fn packed_extractor_is_equivalent_to_golden_model(rng) {
+        let n_lines = rng.gen_range(1usize..4);
+        let lines: Vec<Vec<bool>> = (0..n_lines)
+            .map(|_| (0..36).map(|_| rng.gen::<bool>()).collect())
+            .collect();
+        let k = pick(rng, &[1u32, 2, 4]);
         // RTL-vs-reference equivalence over arbitrary captures
         // (including bubbles, double edges and no-edge words).
         let golden = EntropyExtractor::new(k, BubbleFilter::Priority);
         let expected = golden.extract(&Snippet::new(lines.clone()));
         let packed: Vec<PackedWord> = lines.iter().map(|l| PackedWord::pack(l)).collect();
         let got = extract_packed(&packed, k);
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected);
     }
 }

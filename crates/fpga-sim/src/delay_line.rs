@@ -20,7 +20,7 @@
 
 use crate::edge_train::SignalSource;
 use crate::fabric::{Fabric, SliceCoord};
-use crate::primitives::{Carry4, CaptureFf, CARRY4_BINS};
+use crate::primitives::{CaptureFf, Carry4, CARRY4_BINS};
 use crate::process::{DeviceSeed, ProcessVariation};
 use crate::rng::SimRng;
 use crate::time::Ps;
@@ -46,7 +46,6 @@ use crate::time::Ps;
 /// assert!(!word[35]);        // looks back 612 ps -> before the edge
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TappedDelayLine {
     bin_widths: Vec<Ps>,
     /// `cum_delay[j] = w_0 + ... + w_j`: look-back of tap `j`.

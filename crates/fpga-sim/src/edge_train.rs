@@ -256,10 +256,22 @@ mod tests {
     #[test]
     fn nearest_edge_distance_works() {
         let t = train_01234();
-        assert_eq!(t.nearest_edge_distance(Ps::from_ps(12.0)), Some(Ps::from_ps(2.0)));
-        assert_eq!(t.nearest_edge_distance(Ps::from_ps(19.0)), Some(Ps::from_ps(1.0)));
-        assert_eq!(t.nearest_edge_distance(Ps::from_ps(100.0)), Some(Ps::from_ps(60.0)));
-        assert_eq!(t.nearest_edge_distance(Ps::from_ps(0.0)), Some(Ps::from_ps(10.0)));
+        assert_eq!(
+            t.nearest_edge_distance(Ps::from_ps(12.0)),
+            Some(Ps::from_ps(2.0))
+        );
+        assert_eq!(
+            t.nearest_edge_distance(Ps::from_ps(19.0)),
+            Some(Ps::from_ps(1.0))
+        );
+        assert_eq!(
+            t.nearest_edge_distance(Ps::from_ps(100.0)),
+            Some(Ps::from_ps(60.0))
+        );
+        assert_eq!(
+            t.nearest_edge_distance(Ps::from_ps(0.0)),
+            Some(Ps::from_ps(10.0))
+        );
         let empty = EdgeTrain::new(false, Ps::ZERO);
         assert_eq!(empty.nearest_edge_distance(Ps::from_ps(5.0)), None);
     }

@@ -22,7 +22,6 @@ use crate::time::Ps;
 ///
 /// `x` is the column index, `y` the row index, both zero-based.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SliceCoord {
     /// Column index.
     pub x: u32,
@@ -45,7 +44,6 @@ impl fmt::Display for SliceCoord {
 
 /// Geometry of one FPGA device fabric.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Fabric {
     /// Number of slice columns.
     pub columns: u32,
@@ -111,8 +109,8 @@ impl Fabric {
             self.region_skew_sigma * hash_to_standard_normal(h1, h2).clamp(-4.0, 4.0);
         // Per-leaf variation expressed relative to the region sigma so
         // that `clock_sigma_rel` controls it without a separate knob.
-        let leaf = variation.clock_leaf_multiplier(device, u64::from(coord.x), u64::from(coord.y))
-            - 1.0;
+        let leaf =
+            variation.clock_leaf_multiplier(device, u64::from(coord.x), u64::from(coord.y)) - 1.0;
         region_offset + self.region_skew_sigma * leaf * 10.0
     }
 }
@@ -125,7 +123,6 @@ impl Default for Fabric {
 
 /// Aggregate resource usage of a placed design, Table-2 style.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ResourceUsage {
     /// Occupied slices (the unit Table 2 reports).
     pub slices: u32,

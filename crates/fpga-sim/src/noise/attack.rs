@@ -25,7 +25,6 @@ use crate::time::Ps;
 
 /// An attacker-controlled delay perturbation.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum AttackInjection {
     /// Additive periodic delay `amplitude · sin(2π f t)` on every stage.
     Periodic {
@@ -85,9 +84,18 @@ impl AttackInjection {
     /// Panics on non-positive frequency, negative amplitude or a duty
     /// cycle outside `(0, 1)`.
     pub fn pulse_train(amplitude: Ps, frequency_hz: f64, duty: f64) -> Self {
-        assert!(amplitude.as_ps() >= 0.0, "attack amplitude must be non-negative");
-        assert!(frequency_hz > 0.0 && frequency_hz.is_finite(), "attack frequency must be positive");
-        assert!((0.0..1.0).contains(&duty) && duty > 0.0, "duty cycle must be in (0, 1), got {duty}");
+        assert!(
+            amplitude.as_ps() >= 0.0,
+            "attack amplitude must be non-negative"
+        );
+        assert!(
+            frequency_hz > 0.0 && frequency_hz.is_finite(),
+            "attack frequency must be positive"
+        );
+        assert!(
+            (0.0..1.0).contains(&duty) && duty > 0.0,
+            "duty cycle must be in (0, 1), got {duty}"
+        );
         AttackInjection::PulseTrain {
             amplitude,
             frequency_hz,
@@ -212,11 +220,7 @@ mod tests {
         let spread = |attack: Option<AttackInjection>| -> f64 {
             let mut offsets = Vec::new();
             for seed in 0..300u64 {
-                let mut cfg = RingOscillatorConfig::ideal(
-                    3,
-                    Ps::from_ps(480.0),
-                    Ps::from_ps(2.6),
-                );
+                let mut cfg = RingOscillatorConfig::ideal(3, Ps::from_ps(480.0), Ps::from_ps(2.6));
                 cfg.noise.attack = attack;
                 let mut ro = RingOscillator::new(cfg, SimRng::seed_from(seed)).unwrap();
                 let t = Ps::from_us(5.0);
@@ -237,7 +241,10 @@ mod tests {
         let locked = spread(Some(AttackInjection::locking(1e12 / 480.0, 0.5)));
         // Free-running: sigma_acc(5 us) ~ 265 ps; locked: a few ps.
         assert!(free > 100.0, "free spread {free}");
-        assert!(locked < free / 10.0, "locked spread {locked} vs free {free}");
+        assert!(
+            locked < free / 10.0,
+            "locked spread {locked} vs free {free}"
+        );
     }
 
     #[test]

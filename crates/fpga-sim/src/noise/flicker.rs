@@ -20,7 +20,6 @@ use crate::time::Ps;
 
 /// Parameters of the per-stage flicker process.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FlickerParams {
     /// Stationary standard deviation of the delay fluctuation.
     pub sigma: Ps,
@@ -158,11 +157,7 @@ mod tests {
         }
         let ma = pairs.iter().map(|p| p.0).sum::<f64>() / n as f64;
         let mb = pairs.iter().map(|p| p.1).sum::<f64>() / n as f64;
-        let cov = pairs
-            .iter()
-            .map(|p| (p.0 - ma) * (p.1 - mb))
-            .sum::<f64>()
-            / n as f64;
+        let cov = pairs.iter().map(|p| (p.0 - ma) * (p.1 - mb)).sum::<f64>() / n as f64;
         let corr = cov / (2.0 * 2.0);
         assert!(corr.abs() < 0.05, "corr {corr}");
     }

@@ -18,7 +18,6 @@ use crate::time::Ps;
 /// modulation `amplitude_rel · sin(2π f t + phase)` applied
 /// multiplicatively to every stage delay.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SupplyTone {
     /// Tone frequency in Hz (e.g. 1e6 for 1 MHz switching-regulator ripple).
     pub frequency_hz: f64,
@@ -78,7 +77,6 @@ impl SupplyTone {
 /// assert!((f - 1.002).abs() < 1e-9);
 /// ```
 #[derive(Debug, Clone, PartialEq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GlobalModulation {
     /// Supply-ripple tones (summed).
     pub tones: Vec<SupplyTone>,

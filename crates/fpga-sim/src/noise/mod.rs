@@ -42,7 +42,6 @@ use crate::time::Ps;
 /// assert!(quiet.is_white_only());
 /// ```
 #[derive(Debug, Clone, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NoiseConfig {
     /// Thermal jitter per transition event.
     pub white: WhiteNoise,
@@ -178,12 +177,7 @@ mod tests {
         let mut rng = SimRng::seed_from(2);
         let mut stage = StageNoise::new(&config, &mut rng);
         for i in 0..10_000 {
-            let d = stage.stage_delay(
-                &config,
-                Ps::from_ps(480.0),
-                Ps::from_ps(i as f64),
-                &mut rng,
-            );
+            let d = stage.stage_delay(&config, Ps::from_ps(480.0), Ps::from_ps(i as f64), &mut rng);
             assert!(d.as_ps() > 0.0);
         }
     }

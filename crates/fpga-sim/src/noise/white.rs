@@ -25,7 +25,6 @@ use crate::time::Ps;
 /// assert!(jitter.abs().as_ps() < 2.6 * 6.0); // within 6 sigma
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct WhiteNoise {
     sigma: Ps,
 }
@@ -94,7 +93,9 @@ mod tests {
     fn consecutive_samples_are_uncorrelated() {
         let noise = WhiteNoise::new(Ps::from_ps(1.0));
         let mut rng = SimRng::seed_from(3);
-        let xs: Vec<f64> = (0..100_000).map(|_| noise.sample(&mut rng).as_ps()).collect();
+        let xs: Vec<f64> = (0..100_000)
+            .map(|_| noise.sample(&mut rng).as_ps())
+            .collect();
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
         let mut num = 0.0;
         let mut den = 0.0;

@@ -16,7 +16,6 @@ use crate::primitives::CARRY4_BINS;
 /// Placement of one TRNG instance: `n` delay lines, each a vertical
 /// carry chain, with the matching oscillator LUT directly below.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TrngPlacement {
     /// Carry column used by each delay line (one line per column).
     pub line_columns: Vec<u32>,

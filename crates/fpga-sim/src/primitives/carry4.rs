@@ -54,7 +54,6 @@ pub const CARRY4_DNL_PATTERN: [f64; CARRY4_BINS] = [0.35, -0.20, 0.05, -0.20];
 /// assert!(widths.iter().all(|w| w.as_ps() > 0.0));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Carry4 {
     widths: [Ps; CARRY4_BINS],
     column: u64,

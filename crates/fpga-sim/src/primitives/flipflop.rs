@@ -36,7 +36,6 @@ use crate::time::Ps;
 /// assert!(ff.capture(&signal, Ps::from_ps(150.0), &mut rng));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CaptureFf {
     meta_window: Ps,
 }

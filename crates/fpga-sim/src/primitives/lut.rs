@@ -28,7 +28,6 @@ use crate::time::Ps;
 /// assert!((lut.delay().as_ps() - 480.0).abs() < 480.0 * 0.16 + 1e-9);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LutDelay {
     nominal: Ps,
     actual: Ps,
@@ -133,7 +132,11 @@ mod tests {
         let pv = ProcessVariation::default();
         let n = 10_000;
         let mean: f64 = (0..n)
-            .map(|i| LutDelay::placed(Ps::from_ps(480.0), d, &pv, i, 0).delay().as_ps())
+            .map(|i| {
+                LutDelay::placed(Ps::from_ps(480.0), d, &pv, i, 0)
+                    .delay()
+                    .as_ps()
+            })
             .sum::<f64>()
             / n as f64;
         assert!((mean - 480.0).abs() < 1.5, "mean {mean}");

@@ -30,9 +30,7 @@ use crate::rng::{hash_to_standard_normal, splitmix64};
 /// let b = pv.delay_multiplier(device, 0, 0);
 /// assert_eq!(a, b); // frozen at fabrication
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct DeviceSeed(u64);
 
 impl DeviceSeed {
@@ -64,7 +62,6 @@ impl DeviceSeed {
     }
 }
 
-
 /// Tags separating independent process-variation purposes at one site.
 pub mod tag {
     /// LUT propagation-delay variation.
@@ -83,7 +80,6 @@ pub mod tag {
 /// `(1 + epsilon)` applied to nominal delays; values are truncated at
 /// ±4 sigma to keep delays physical.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ProcessVariation {
     /// Relative sigma of LUT delay (typ. 4 % on 45 nm fabric).
     pub lut_sigma_rel: f64,
@@ -169,16 +165,28 @@ mod tests {
     #[test]
     fn site_values_are_frozen() {
         let d = DeviceSeed::new(99);
-        assert_eq!(d.site_normal(3, 4, tag::LUT_DELAY), d.site_normal(3, 4, tag::LUT_DELAY));
+        assert_eq!(
+            d.site_normal(3, 4, tag::LUT_DELAY),
+            d.site_normal(3, 4, tag::LUT_DELAY)
+        );
         assert_eq!(d.site_hash(1, 2, 3), d.site_hash(1, 2, 3));
     }
 
     #[test]
     fn sites_and_tags_are_independent() {
         let d = DeviceSeed::new(99);
-        assert_ne!(d.site_normal(0, 0, tag::LUT_DELAY), d.site_normal(0, 1, tag::LUT_DELAY));
-        assert_ne!(d.site_normal(0, 0, tag::LUT_DELAY), d.site_normal(1, 0, tag::LUT_DELAY));
-        assert_ne!(d.site_normal(0, 0, tag::LUT_DELAY), d.site_normal(0, 0, tag::CARRY_BIN));
+        assert_ne!(
+            d.site_normal(0, 0, tag::LUT_DELAY),
+            d.site_normal(0, 1, tag::LUT_DELAY)
+        );
+        assert_ne!(
+            d.site_normal(0, 0, tag::LUT_DELAY),
+            d.site_normal(1, 0, tag::LUT_DELAY)
+        );
+        assert_ne!(
+            d.site_normal(0, 0, tag::LUT_DELAY),
+            d.site_normal(0, 0, tag::CARRY_BIN)
+        );
     }
 
     #[test]

@@ -29,7 +29,6 @@ use crate::time::Ps;
 
 /// Configuration of a ring oscillator.
 #[derive(Debug, Clone)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RingOscillatorConfig {
     /// Number of stages `n` (must be odd so the ring oscillates).
     pub stages: usize,
@@ -92,7 +91,10 @@ impl RingOscillatorConfig {
             ));
         }
         if self.stage_delay.as_ps() <= 0.0 {
-            return Err(format!("stage delay must be positive, got {}", self.stage_delay));
+            return Err(format!(
+                "stage delay must be positive, got {}",
+                self.stage_delay
+            ));
         }
         if self.history_window.as_ps() <= 0.0 {
             return Err(format!(
@@ -264,11 +266,7 @@ impl RingOscillator {
     ///
     /// Returns [`FastForwardUnsupported`] if flicker, global or attack
     /// noise is enabled (their time correlation cannot be jumped).
-    pub fn fast_forward_to(
-        &mut self,
-        t: Ps,
-        exact_tail: Ps,
-    ) -> Result<(), FastForwardUnsupported> {
+    pub fn fast_forward_to(&mut self, t: Ps, exact_tail: Ps) -> Result<(), FastForwardUnsupported> {
         if !self.config.noise.is_white_only() {
             return Err(FastForwardUnsupported);
         }
@@ -349,7 +347,10 @@ impl RingOscillator {
     /// Panics if `i` is out of range.
     pub fn count_transitions(&self, i: usize, from: Ps, to: Ps) -> usize {
         assert!(i < self.config.stages, "node {i} out of range");
-        self.trains[i].edges_in(from, to).filter(|&e| e > from).count()
+        self.trains[i]
+            .edges_in(from, to)
+            .filter(|&e| e > from)
+            .count()
     }
 
     fn draw_stage_delay(&mut self, stage: usize, t: Ps) -> Ps {

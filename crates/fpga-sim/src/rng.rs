@@ -11,12 +11,11 @@
 //!    running simulation.
 //!
 //! Gaussian variates are produced with the Box–Muller transform
-//! implemented here, so the only external dependency is [`rand`]'s
-//! uniform generator (the approved dependency list does not include
-//! `rand_distr`).
+//! implemented here on top of the workspace's hermetic
+//! [`trng_testkit::prng`] generator (no external crates).
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+use trng_testkit::prng::StdRng;
+use trng_testkit::prng::{Rng, RngCore, SeedableRng};
 
 /// The pseudo-random generator used for all run-time simulation noise.
 ///
@@ -121,10 +120,6 @@ impl RngCore for SimRng {
     fn fill_bytes(&mut self, dest: &mut [u8]) {
         self.inner.fill_bytes(dest);
     }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
-    }
 }
 
 /// A tiny, fast, deterministic 64-bit mixer (SplitMix64 finalizer).
@@ -194,10 +189,8 @@ mod tests {
     fn gaussian_tail_fractions() {
         let mut rng = SimRng::seed_from(99);
         let n = 100_000;
-        let beyond_2sigma = (0..n)
-            .filter(|_| rng.standard_normal().abs() > 2.0)
-            .count() as f64
-            / n as f64;
+        let beyond_2sigma =
+            (0..n).filter(|_| rng.standard_normal().abs() > 2.0).count() as f64 / n as f64;
         // Expected 4.55%; binomial se ~ 0.066% -> 5 sigma ~ 0.33%.
         assert!((beyond_2sigma - 0.0455).abs() < 0.0040, "{beyond_2sigma}");
     }

@@ -29,7 +29,6 @@ use core::ops::{Add, AddAssign, Div, Mul, Neg, Rem, Sub, SubAssign};
 /// assert_eq!((lut_delay * 2.0).as_ps(), 960.0);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Ps(f64);
 
 impl Ps {

@@ -72,10 +72,7 @@ pub fn render_traces<S: SignalSource>(
         out.push_str(&render_signal(*signal, from, to, width));
         out.push('\n');
     }
-    out.push_str(&format!(
-        "{:>label_width$} {} .. {}\n",
-        "t:", from, to
-    ));
+    out.push_str(&format!("{:>label_width$} {} .. {}\n", "t:", from, to));
     out
 }
 
@@ -118,12 +115,7 @@ mod tests {
     fn multi_trace_layout() {
         let a = square_wave();
         let b = EdgeTrain::new(false, Ps::ZERO);
-        let out = render_traces(
-            &[("osc", &a), ("en", &b)],
-            Ps::ZERO,
-            Ps::from_ps(400.0),
-            20,
-        );
+        let out = render_traces(&[("osc", &a), ("en", &b)], Ps::ZERO, Ps::from_ps(400.0), 20);
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines.len(), 3);
         assert!(lines[0].starts_with("osc "));

@@ -1,42 +1,44 @@
 //! Property-based tests of the simulator's core invariants.
+//!
+//! Runs under the hermetic `trng-testkit` harness: each property
+//! executes `TRNG_PROP_CASES` (default 64) independently seeded cases
+//! and reports the failing seed for replay via `TRNG_PROP_SEED`.
 
-use proptest::prelude::*;
 use trng_fpga_sim::delay_line::TappedDelayLine;
 use trng_fpga_sim::edge_train::{EdgeTrain, SignalSource};
 use trng_fpga_sim::ring_oscillator::{RingOscillator, RingOscillatorConfig};
 use trng_fpga_sim::rng::SimRng;
 use trng_fpga_sim::time::Ps;
+use trng_testkit::prng::{Rng, StdRng};
+use trng_testkit::prop::pick;
+use trng_testkit::props;
 
-/// Strategy: a strictly increasing list of edge times in (0, 10000).
-fn edge_times() -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(1.0..10_000.0f64, 0..40).prop_map(|mut v| {
-        v.sort_by(f64::total_cmp);
-        v.dedup_by(|a, b| (*a - *b).abs() < 1e-6);
-        v
-    })
+/// Generator: a strictly increasing list of edge times in (0, 10000).
+fn edge_times(rng: &mut StdRng) -> Vec<f64> {
+    let n = rng.gen_range(0usize..40);
+    let mut v: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..10_000.0f64)).collect();
+    v.sort_by(f64::total_cmp);
+    v.dedup_by(|a, b| (*a - *b).abs() < 1e-6);
+    v
 }
 
-proptest! {
-    #[test]
-    fn edge_train_level_matches_toggle_count(
-        edges in edge_times(),
-        initial in any::<bool>(),
-        query in 0.0..11_000.0f64,
-    ) {
+props! {
+    fn edge_train_level_matches_toggle_count(rng) {
+        let edges = edge_times(rng);
+        let initial = rng.gen::<bool>();
+        let query = rng.gen_range(0.0..11_000.0f64);
         let mut train = EdgeTrain::new(initial, Ps::ZERO);
         for &e in &edges {
             train.push(Ps::from_ps(e));
         }
         let toggles = edges.iter().filter(|&&e| e <= query).count();
         let expected = initial ^ (toggles % 2 == 1);
-        prop_assert_eq!(train.level_at(Ps::from_ps(query)), expected);
+        assert_eq!(train.level_at(Ps::from_ps(query)), expected);
     }
 
-    #[test]
-    fn edge_train_nearest_edge_matches_brute_force(
-        edges in edge_times(),
-        query in 0.0..11_000.0f64,
-    ) {
+    fn edge_train_nearest_edge_matches_brute_force(rng) {
+        let edges = edge_times(rng);
+        let query = rng.gen_range(0.0..11_000.0f64);
         let mut train = EdgeTrain::new(false, Ps::ZERO);
         for &e in &edges {
             train.push(Ps::from_ps(e));
@@ -46,18 +48,16 @@ proptest! {
             .map(|&e| (e - query).abs())
             .fold(f64::INFINITY, f64::min);
         match train.nearest_edge_distance(Ps::from_ps(query)) {
-            Some(d) => prop_assert!((d.as_ps() - brute).abs() < 1e-9),
-            None => prop_assert!(edges.is_empty()),
+            Some(d) => assert!((d.as_ps() - brute).abs() < 1e-9),
+            None => assert!(edges.is_empty()),
         }
     }
 
-    #[test]
-    fn edge_train_prune_preserves_future_levels(
-        edges in edge_times(),
-        initial in any::<bool>(),
-        cut in 0.0..10_000.0f64,
-        query in 0.0..1_000.0f64,
-    ) {
+    fn edge_train_prune_preserves_future_levels(rng) {
+        let edges = edge_times(rng);
+        let initial = rng.gen::<bool>();
+        let cut = rng.gen_range(0.0..10_000.0f64);
+        let query = rng.gen_range(0.0..1_000.0f64);
         let mut train = EdgeTrain::new(initial, Ps::ZERO);
         for &e in &edges {
             train.push(Ps::from_ps(e));
@@ -65,33 +65,30 @@ proptest! {
         let q = Ps::from_ps(cut + query);
         let before = train.level_at(q);
         train.prune_before(Ps::from_ps(cut));
-        prop_assert_eq!(train.level_at(q), before);
+        assert_eq!(train.level_at(q), before);
     }
 
-    #[test]
-    fn ps_rem_euclid_is_in_range(x in -1e9..1e9f64, m in 0.1..1e6f64) {
+    fn ps_rem_euclid_is_in_range(rng) {
+        let x = rng.gen_range(-1e9..1e9f64);
+        let m = rng.gen_range(0.1..1e6f64);
         let r = Ps::from_ps(x).rem_euclid(Ps::from_ps(m));
-        prop_assert!(r.as_ps() >= 0.0);
-        prop_assert!(r.as_ps() < m);
+        assert!(r.as_ps() >= 0.0);
+        assert!(r.as_ps() < m);
     }
 
-    #[test]
-    fn ring_half_period_is_sum_of_stage_delays(
-        stages in prop_oneof![Just(1usize), Just(3), Just(5), Just(7)],
-        d0 in 100.0..1000.0f64,
-    ) {
+    fn ring_half_period_is_sum_of_stage_delays(rng) {
+        let stages = pick(rng, &[1usize, 3, 5, 7]);
+        let d0 = rng.gen_range(100.0..1000.0f64);
         let cfg = RingOscillatorConfig::ideal(stages, Ps::from_ps(d0), Ps::ZERO);
         let ro = RingOscillator::new(cfg, SimRng::seed_from(0)).unwrap();
         let expected = d0 * stages as f64;
-        prop_assert!((ro.half_period().as_ps() - expected).abs() < 1e-9);
+        assert!((ro.half_period().as_ps() - expected).abs() < 1e-9);
     }
 
-    #[test]
-    fn noiseless_ring_is_deterministic(
-        seed_a in any::<u64>(),
-        seed_b in any::<u64>(),
-        horizon_ns in 5.0..50.0f64,
-    ) {
+    fn noiseless_ring_is_deterministic(rng) {
+        let seed_a = rng.gen::<u64>();
+        let seed_b = rng.gen::<u64>();
+        let horizon_ns = rng.gen_range(5.0..50.0f64);
         // Without noise the run-time RNG must not influence anything.
         let run = |seed: u64| {
             let cfg = RingOscillatorConfig::ideal(3, Ps::from_ps(480.0), Ps::ZERO);
@@ -104,15 +101,13 @@ proptest! {
                 .map(|e| e.as_ps())
                 .collect::<Vec<_>>()
         };
-        prop_assert_eq!(run(seed_a), run(seed_b));
+        assert_eq!(run(seed_a), run(seed_b));
     }
 
-    #[test]
-    fn chunked_transition_count_tiles_exactly(
-        chunk_ns in 0.3..1.5f64,
-        sigma in 0.0..5.0f64,
-        seed in any::<u64>(),
-    ) {
+    fn chunked_transition_count_tiles_exactly(rng) {
+        let chunk_ns = rng.gen_range(0.3..1.5f64);
+        let sigma = rng.gen_range(0.0..5.0f64);
+        let seed = rng.gen::<u64>();
         // Counting in half-open chunks must equal one whole-window
         // count (the lut-delay measurement relies on this).
         let horizon = Ps::from_ns(20.0);
@@ -141,61 +136,55 @@ proptest! {
             }
             total
         };
-        prop_assert_eq!(whole, chunked);
+        assert_eq!(whole, chunked);
     }
 
-    #[test]
-    fn ideal_line_always_yields_thermometer_words(
-        edge_at in 100.0..500.0f64,
-        m4 in 2u32..12,
-        tstep in 5.0..30.0f64,
-    ) {
+    fn ideal_line_always_yields_thermometer_words(rng) {
+        let edge_at = rng.gen_range(100.0..500.0f64);
+        let m4 = rng.gen_range(2u32..12);
+        let tstep = rng.gen_range(5.0..30.0f64);
         // Single-edge signal -> the captured word is a run of equal
         // bits followed by the complementary run (never more).
         let line = TappedDelayLine::ideal(m4 as usize * 4, Ps::from_ps(tstep));
         let mut signal = EdgeTrain::new(false, Ps::ZERO);
         signal.push(Ps::from_ps(edge_at));
-        let mut rng = SimRng::seed_from(0);
+        let mut sim_rng = SimRng::seed_from(0);
         // Sample late enough that even the deepest tap's look-back
         // stays within the signal's recorded history.
         let t_sample = Ps::from_ps(1_000.0) + line.total_delay();
-        let word = line.sample(&signal, t_sample, &mut rng);
+        let word = line.sample(&signal, t_sample, &mut sim_rng);
         let transitions = word.windows(2).filter(|w| w[0] != w[1]).count();
-        prop_assert!(transitions <= 1, "word {:?}", word);
+        assert!(transitions <= 1, "word {:?}", word);
     }
 
-    #[test]
-    fn ideal_line_edge_position_matches_analytics(
-        edge_offset in 20.0..590.0f64,
-    ) {
+    fn ideal_line_edge_position_matches_analytics(rng) {
+        let edge_offset = rng.gen_range(20.0..590.0f64);
         // Sample at t; edge at t - edge_offset. Tap j (delay 17(j+1))
         // sees the post-edge level iff 17(j+1) <= edge_offset.
         let line = TappedDelayLine::ideal(36, Ps::from_ps(17.0));
         let t = Ps::from_ps(10_000.0);
         let mut signal = EdgeTrain::new(false, Ps::ZERO);
         signal.push(t - Ps::from_ps(edge_offset));
-        let mut rng = SimRng::seed_from(0);
-        let word = line.sample(&signal, t, &mut rng);
+        let mut sim_rng = SimRng::seed_from(0);
+        let word = line.sample(&signal, t, &mut sim_rng);
         for (j, &bit) in word.iter().enumerate() {
             let lookback = 17.0 * (j as f64 + 1.0);
             // Skip the ambiguous exact-boundary case.
             if (lookback - edge_offset).abs() > 1e-6 {
-                prop_assert_eq!(bit, lookback <= edge_offset, "tap {}", j);
+                assert_eq!(bit, lookback <= edge_offset, "tap {}", j);
             }
         }
     }
 
-    #[test]
-    fn signal_source_trait_is_consistent_for_ring_nodes(
-        seed in any::<u64>(),
-        q_ns in 8.0..9.9f64,
-    ) {
+    fn signal_source_trait_is_consistent_for_ring_nodes(rng) {
+        let seed = rng.gen::<u64>();
+        let q_ns = rng.gen_range(8.0..9.9f64);
         let cfg = RingOscillatorConfig::ideal(3, Ps::from_ps(480.0), Ps::from_ps(2.0));
         let mut ro = RingOscillator::new(cfg, SimRng::seed_from(seed)).unwrap();
         ro.run_until(Ps::from_ns(10.0));
         let node = ro.node(0);
         let q = Ps::from_ns(q_ns);
         // Level from the trait equals level from the train.
-        prop_assert_eq!(SignalSource::level_at(&node, q), node.edge_train().level_at(q));
+        assert_eq!(SignalSource::level_at(&node, q), node.edge_train().level_at(q));
     }
 }

@@ -73,14 +73,20 @@ pub fn code_density(
     // captures no edge in many samples; only give up when edges are
     // essentially absent.
     if total < samples as u64 / 10 {
-        return Err(format!("only {total} of {samples} samples contained an edge"));
+        return Err(format!(
+            "only {total} of {samples} samples contained an edge"
+        ));
     }
     // Only boundaries the edge can actually reach (inside one
     // half-period from the start) carry statistics; normalize over the
     // populated prefix.
     let populated: Vec<u64> = {
         let reach = (half / line.mean_bin_width()).floor() as usize;
-        histogram.iter().copied().take(reach.min(histogram.len())).collect()
+        histogram
+            .iter()
+            .copied()
+            .take(reach.min(histogram.len()))
+            .collect()
     };
     let mean = populated.iter().sum::<u64>() as f64 / populated.len() as f64;
     let relative_widths = populated.iter().map(|&h| h as f64 / mean).collect();

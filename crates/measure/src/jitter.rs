@@ -150,9 +150,8 @@ mod tests {
         // A strong supply tone would wreck a single-ended measurement;
         // the differential procedure must still recover ~2.6 ps.
         let cfg = RingOscillatorConfig {
-            noise: trng_fpga_sim::noise::NoiseConfig::white_only(Ps::from_ps(2.6)).with_global(
-                GlobalModulation::supply_tone(SupplyTone::new(5e6, 0.01)),
-            ),
+            noise: trng_fpga_sim::noise::NoiseConfig::white_only(Ps::from_ps(2.6))
+                .with_global(GlobalModulation::supply_tone(SupplyTone::new(5e6, 0.01))),
             ..base_config(2.6)
         };
         let m = measure_jitter(
@@ -203,8 +202,14 @@ mod tests {
     #[test]
     fn rejects_bad_parameters() {
         let cfg = base_config(2.0);
-        assert!(measure_jitter(cfg.clone(), &capture_line(), Ps::ZERO, 10, SimRng::seed_from(0))
-            .is_err());
+        assert!(measure_jitter(
+            cfg.clone(),
+            &capture_line(),
+            Ps::ZERO,
+            10,
+            SimRng::seed_from(0)
+        )
+        .is_err());
         assert!(measure_jitter(
             cfg,
             &capture_line(),

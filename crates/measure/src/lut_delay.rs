@@ -55,7 +55,9 @@ pub fn measure_lut_delay(
     rng: SimRng,
 ) -> Result<LutDelayMeasurement, String> {
     if duration.as_ps() <= 0.0 {
-        return Err(format!("measurement duration must be positive, got {duration}"));
+        return Err(format!(
+            "measurement duration must be positive, got {duration}"
+        ));
     }
     let stages = config.stages;
     // Observe in chunks that fit the history window.

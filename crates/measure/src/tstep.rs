@@ -147,8 +147,8 @@ mod tests {
     fn short_line_is_rejected() {
         let line = TappedDelayLine::ideal(36, Ps::from_ps(17.0));
         let cfg = RingOscillatorConfig::paper_default();
-        let err = measure_tstep(cfg, &line, Ps::from_ps(1440.0), 10, SimRng::seed_from(0))
-            .unwrap_err();
+        let err =
+            measure_tstep(cfg, &line, Ps::from_ps(1440.0), 10, SimRng::seed_from(0)).unwrap_err();
         assert!(err.contains("cannot be captured"), "{err}");
     }
 

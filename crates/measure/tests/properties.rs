@@ -1,24 +1,26 @@
 //! Property-based tests: the measurement procedures recover whatever
 //! ground truth the simulator is configured with — not just the
 //! Spartan-6 values.
+//!
+//! Runs under the hermetic `trng-testkit` harness: each property
+//! executes `TRNG_PROP_CASES` (default 64) independently seeded cases
+//! and reports the failing seed for replay via `TRNG_PROP_SEED`.
+//! Each case runs a real simulation; the measurement windows below
+//! are sized so the full default suite stays fast.
 
-use proptest::prelude::*;
 use trng_fpga_sim::delay_line::TappedDelayLine;
 use trng_fpga_sim::ring_oscillator::RingOscillatorConfig;
 use trng_fpga_sim::rng::SimRng;
 use trng_fpga_sim::time::Ps;
 use trng_measure::{measure_jitter, measure_lut_delay, measure_tstep};
+use trng_testkit::prng::Rng;
+use trng_testkit::props;
 
-proptest! {
-    // Each case runs a real simulation: keep the case count modest.
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn lut_delay_recovers_arbitrary_ground_truth(
-        d0 in 200.0..900.0f64,
-        sigma in 0.0..6.0f64,
-        seed in 0u64..1_000,
-    ) {
+props! {
+    fn lut_delay_recovers_arbitrary_ground_truth(rng) {
+        let d0 = rng.gen_range(200.0..900.0f64);
+        let sigma = rng.gen_range(0.0..6.0f64);
+        let seed = rng.gen_range(0u64..1_000);
         let cfg = RingOscillatorConfig {
             history_window: Ps::from_ns(6.0),
             ..RingOscillatorConfig::ideal(3, Ps::from_ps(d0), Ps::from_ps(sigma))
@@ -26,7 +28,7 @@ proptest! {
         let m = measure_lut_delay(cfg, Ps::from_us(2.0), SimRng::seed_from(seed))
             .expect("measure");
         // Counting quantization: one edge over the whole window.
-        prop_assert!(
+        assert!(
             (m.d0.as_ps() - d0).abs() < d0 * 0.01 + 1.0,
             "measured {} for true {}",
             m.d0,
@@ -34,11 +36,9 @@ proptest! {
         );
     }
 
-    #[test]
-    fn tstep_recovers_arbitrary_bin_width(
-        tstep in 10.0..30.0f64,
-        seed in 0u64..1_000,
-    ) {
+    fn tstep_recovers_arbitrary_bin_width(rng) {
+        let tstep = rng.gen_range(10.0..30.0f64);
+        let seed = rng.gen_range(0u64..1_000);
         let d0 = 480.0;
         let cfg = RingOscillatorConfig {
             history_window: Ps::from_ns(6.0),
@@ -49,7 +49,7 @@ proptest! {
         let line = TappedDelayLine::ideal(taps, Ps::from_ps(tstep));
         let m = measure_tstep(cfg, &line, Ps::from_ps(3.0 * d0), 300, SimRng::seed_from(seed))
             .expect("measure");
-        prop_assert!(
+        assert!(
             (m.tstep.as_ps() - tstep).abs() < tstep * 0.08,
             "measured {} for true {}",
             m.tstep,
@@ -57,11 +57,9 @@ proptest! {
         );
     }
 
-    #[test]
-    fn jitter_recovers_arbitrary_sigma(
-        sigma in 1.0..6.0f64,
-        seed in 0u64..1_000,
-    ) {
+    fn jitter_recovers_arbitrary_sigma(rng) {
+        let sigma = rng.gen_range(1.0..6.0f64);
+        let seed = rng.gen_range(0u64..1_000);
         let cfg = RingOscillatorConfig {
             history_window: Ps::from_ns(6.0),
             ..RingOscillatorConfig::ideal(3, Ps::from_ps(480.0), Ps::from_ps(sigma))
@@ -71,7 +69,7 @@ proptest! {
             .expect("measure");
         // 600 runs: sampling error on a std estimate ~ sigma/sqrt(2*600)
         // plus quantization residue; allow 25 %.
-        prop_assert!(
+        assert!(
             (m.sigma_lut.as_ps() - sigma).abs() < sigma * 0.25 + 0.3,
             "measured {} for true {}",
             m.sigma_lut,

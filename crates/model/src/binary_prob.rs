@@ -44,7 +44,7 @@ use crate::gauss::normal_mass;
 pub fn tau_from_offset(t_o: f64, tstep: f64) -> f64 {
     assert!(tstep > 0.0, "tstep must be positive, got {tstep}");
     let m = t_o.rem_euclid(tstep); // in [0, tstep)
-    // Distance from the bin centre at tstep/2, wrapped to [-t/2, t/2).
+                                   // Distance from the bin centre at tstep/2, wrapped to [-t/2, t/2).
     let d = m - tstep / 2.0;
     if d >= tstep / 2.0 {
         d - tstep
@@ -187,8 +187,8 @@ mod tests {
         // i=+-1:    2*(Phi(5) - Phi(3)) = 2*(0.9999997133 - 0.9986501020)
         let t = 17.0;
         let sigma = 8.5;
-        let want = 0.682_689_492_137_085_9
-            + 2.0 * (0.999_999_713_348_428_1 - 0.998_650_101_968_369_9);
+        let want =
+            0.682_689_492_137_085_9 + 2.0 * (0.999_999_713_348_428_1 - 0.998_650_101_968_369_9);
         let got = p1(0.0, sigma, t);
         assert!((got - want).abs() < 1e-9, "got {got} want {want}");
     }

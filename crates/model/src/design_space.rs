@@ -17,7 +17,6 @@ use crate::postprocess::{bias, required_compression, xor_bias};
 
 /// Model evaluation of one design point.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DesignPoint {
     /// The evaluated design.
     pub design: DesignParams,
@@ -174,7 +173,6 @@ pub fn accumulation_time_for_entropy(
 /// Side-by-side accumulation-time comparison with the elementary TRNG
 /// at equal entropy (Section 5.3's "3 orders of magnitude" claim).
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ElementaryComparison {
     /// Entropy target used for the comparison.
     pub h_target: f64,
@@ -235,9 +233,21 @@ mod tests {
         // k = 4 rows: tA = 10, 50, 100, 200 ns.
         let k4 = sweep_accumulation(&p, &DesignParams::paper_k4(), &[1, 5, 10, 20]).expect("valid");
         assert!(k4[0].h_raw < 0.06, "tA=10ns k=4: {}", k4[0].h_raw);
-        assert!((k4[1].h_raw - 0.70).abs() < 0.05, "tA=50ns: {}", k4[1].h_raw);
-        assert!((k4[2].h_raw - 0.94).abs() < 0.02, "tA=100ns: {}", k4[2].h_raw);
-        assert!((k4[3].h_raw - 0.99).abs() < 0.01, "tA=200ns: {}", k4[3].h_raw);
+        assert!(
+            (k4[1].h_raw - 0.70).abs() < 0.05,
+            "tA=50ns: {}",
+            k4[1].h_raw
+        );
+        assert!(
+            (k4[2].h_raw - 0.94).abs() < 0.02,
+            "tA=100ns: {}",
+            k4[2].h_raw
+        );
+        assert!(
+            (k4[3].h_raw - 0.99).abs() < 0.01,
+            "tA=200ns: {}",
+            k4[3].h_raw
+        );
     }
 
     #[test]

@@ -167,10 +167,7 @@ mod tests {
             let sigma = 17.0 * ratio;
             let curve = entropy_curve(sigma, 17.0, 101);
             let centre = curve[50].1;
-            let min = curve
-                .iter()
-                .map(|&(_, h)| h)
-                .fold(f64::INFINITY, f64::min);
+            let min = curve.iter().map(|&(_, h)| h).fold(f64::INFINITY, f64::min);
             assert!((centre - min).abs() < 1e-9, "ratio {ratio}");
         }
     }
@@ -241,12 +238,28 @@ mod tests {
             let sigma = crate::jitter::sigma_acc(s, ta_ns * 1e3, d0);
             entropy_lower_bound(sigma, t * k)
         };
-        assert!((h(10.0, 1.0) - 0.99).abs() < 0.01, "k1 ta10 {}", h(10.0, 1.0));
+        assert!(
+            (h(10.0, 1.0) - 0.99).abs() < 0.01,
+            "k1 ta10 {}",
+            h(10.0, 1.0)
+        );
         assert!(h(20.0, 1.0) > 0.998, "k1 ta20 {}", h(20.0, 1.0));
         assert!(h(10.0, 4.0) < 0.06, "k4 ta10 {}", h(10.0, 4.0));
-        assert!((h(50.0, 4.0) - 0.70).abs() < 0.05, "k4 ta50 {}", h(50.0, 4.0));
-        assert!((h(100.0, 4.0) - 0.94).abs() < 0.02, "k4 ta100 {}", h(100.0, 4.0));
-        assert!((h(200.0, 4.0) - 0.99).abs() < 0.01, "k4 ta200 {}", h(200.0, 4.0));
+        assert!(
+            (h(50.0, 4.0) - 0.70).abs() < 0.05,
+            "k4 ta50 {}",
+            h(50.0, 4.0)
+        );
+        assert!(
+            (h(100.0, 4.0) - 0.94).abs() < 0.02,
+            "k4 ta100 {}",
+            h(100.0, 4.0)
+        );
+        assert!(
+            (h(200.0, 4.0) - 0.99).abs() < 0.01,
+            "k4 ta200 {}",
+            h(200.0, 4.0)
+        );
     }
 
     #[test]

@@ -195,10 +195,7 @@ mod tests {
     fn erf_matches_reference_values() {
         for &(x, want) in ERF_REFS {
             let got = erf(x);
-            assert!(
-                (got - want).abs() < 1e-14,
-                "erf({x}) = {got}, want {want}"
-            );
+            assert!((got - want).abs() < 1e-14, "erf({x}) = {got}, want {want}");
             assert!((erf(-x) + want).abs() < 1e-14, "odd symmetry at {x}");
         }
     }

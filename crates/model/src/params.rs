@@ -18,7 +18,6 @@ use std::error::Error;
 ///
 /// All times in picoseconds.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PlatformParams {
     /// Average LUT propagation delay `d0_LUT` (paper: 480 ps).
     pub d0_lut_ps: f64,
@@ -133,7 +132,6 @@ impl fmt::Display for PlatformParams {
 
 /// The designer-chosen parameters of one TRNG configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DesignParams {
     /// Ring-oscillator stages `n` (odd; paper uses 3).
     pub n: usize,
@@ -277,7 +275,10 @@ impl fmt::Display for ParamError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ParamError::Platform { field, value } => {
-                write!(f, "platform parameter {field} must be positive and finite, got {value}")
+                write!(
+                    f,
+                    "platform parameter {field} must be positive and finite, got {value}"
+                )
             }
             ParamError::EvenRing { n } => {
                 write!(f, "ring length must be odd and non-zero, got {n}")
@@ -356,7 +357,12 @@ mod tests {
             Err(ParamError::TapsNotMultipleOf4 { m: 35 })
         ));
         assert!(matches!(
-            DesignParams { m: 40, k: 3, ..base }.validate(&p),
+            DesignParams {
+                m: 40,
+                k: 3,
+                ..base
+            }
+            .validate(&p),
             Err(ParamError::TapsNotDivisibleByK { m: 40, k: 3 })
         ));
         assert!(matches!(
@@ -377,7 +383,10 @@ mod tests {
         assert!(PlatformParams::new(480.0, 17.0, 2.6).is_ok());
         assert!(matches!(
             PlatformParams::new(0.0, 17.0, 2.6),
-            Err(ParamError::Platform { field: "d0_lut_ps", .. })
+            Err(ParamError::Platform {
+                field: "d0_lut_ps",
+                ..
+            })
         ));
         assert!(PlatformParams::new(480.0, -1.0, 2.6).is_err());
         assert!(PlatformParams::new(480.0, 17.0, f64::NAN).is_err());
@@ -385,7 +394,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = ParamError::EdgeCanEscape { m: 28, min_taps: 29 };
+        let e = ParamError::EdgeCanEscape {
+            m: 28,
+            min_taps: 29,
+        };
         let s = format!("{e}");
         assert!(s.contains("28") && s.contains("29"));
     }

@@ -81,12 +81,24 @@ pub fn evaluation_report(
         point.sigma_acc_ps / (platform.tstep_ps * f64::from(design.k))
     );
     let _ = writeln!(text, "  worst-case P1      = {:.6}", point.p1_worst);
-    let _ = writeln!(text, "  Shannon entropy    >= {:.6} per raw bit", point.h_raw);
-    let _ = writeln!(text, "  min-entropy        >= {:.6} per raw bit", point.h_min_raw);
+    let _ = writeln!(
+        text,
+        "  Shannon entropy    >= {:.6} per raw bit",
+        point.h_raw
+    );
+    let _ = writeln!(
+        text,
+        "  min-entropy        >= {:.6} per raw bit",
+        point.h_min_raw
+    );
     let _ = writeln!(text, "  raw bias           <= {:.6}", point.bias_raw);
     let _ = writeln!(text, "\n[post-processing — XOR, rate np = {}]", design.np);
     let _ = writeln!(text, "  residual bias      <= {:.3e}", point.bias_pp);
-    let _ = writeln!(text, "  Shannon entropy    >= {:.6} per output bit", point.h_pp);
+    let _ = writeln!(
+        text,
+        "  Shannon entropy    >= {:.6} per output bit",
+        point.h_pp
+    );
     let _ = writeln!(text, "\n[throughput]");
     let _ = writeln!(
         text,
@@ -171,7 +183,10 @@ mod tests {
         assert!(a7.point.h_raw >= s6.point.h_raw - 0.02);
         let report_err = evaluation_report(
             &PlatformParams::cyclone3_like(),
-            &DesignParams { m: 20, ..DesignParams::paper_k1() },
+            &DesignParams {
+                m: 20,
+                ..DesignParams::paper_k1()
+            },
         );
         // 20 * 30 = 600 ps < 650 ps: the flow rejects the undersized line.
         assert!(report_err.is_err());

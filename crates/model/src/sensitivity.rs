@@ -99,12 +99,8 @@ mod tests {
 
     #[test]
     fn correct_measurement_has_no_overclaim() {
-        let p = sigma_sensitivity(
-            &PlatformParams::spartan6(),
-            &DesignParams::paper_k1(),
-            0.0,
-        )
-        .expect("valid");
+        let p = sigma_sensitivity(&PlatformParams::spartan6(), &DesignParams::paper_k1(), 0.0)
+            .expect("valid");
         assert!(p.overclaim().abs() < 1e-12);
     }
 
@@ -120,7 +116,11 @@ mod tests {
             ..DesignParams::paper_k4()
         };
         let p = sigma_sensitivity(&PlatformParams::spartan6(), &tight, 1.0).expect("valid");
-        assert!(p.h_claimed > p.h_actual + 0.2, "overclaim {}", p.overclaim());
+        assert!(
+            p.h_claimed > p.h_actual + 0.2,
+            "overclaim {}",
+            p.overclaim()
+        );
         // Claimed looks comfortable, actual is not.
         assert!(p.h_claimed > 0.95, "claimed {}", p.h_claimed);
         assert!(p.h_actual < 0.75, "actual {}", p.h_actual);

@@ -1,7 +1,10 @@
 //! Property-based tests of the stochastic model's mathematical
 //! invariants.
+//!
+//! Runs under the hermetic `trng-testkit` harness: each property
+//! executes `TRNG_PROP_CASES` (default 64) independently seeded cases
+//! and reports the failing seed for replay via `TRNG_PROP_SEED`.
 
-use proptest::prelude::*;
 use trng_model::binary_prob::{p1, tau_from_offset};
 use trng_model::design_space::evaluate;
 use trng_model::entropy::{entropy_lower_bound, h_min, h_shannon};
@@ -9,136 +12,138 @@ use trng_model::gauss::{erf, erfc, normal_cdf, normal_mass};
 use trng_model::jitter::{accumulation_time_for_sigma, sigma_acc};
 use trng_model::params::{DesignParams, PlatformParams};
 use trng_model::postprocess::{bias, entropy_after_xor, xor_bias};
+use trng_testkit::prng::Rng;
+use trng_testkit::prop::pick;
+use trng_testkit::props;
 
-proptest! {
-    #[test]
-    fn erf_is_odd_and_bounded(x in -6.0..6.0f64) {
-        prop_assert!((erf(x) + erf(-x)).abs() < 1e-14);
-        prop_assert!(erf(x).abs() <= 1.0);
+props! {
+    fn erf_is_odd_and_bounded(rng) {
+        let x = rng.gen_range(-6.0..6.0f64);
+        assert!((erf(x) + erf(-x)).abs() < 1e-14);
+        assert!(erf(x).abs() <= 1.0);
     }
 
-    #[test]
-    fn erf_erfc_complement(x in -6.0..6.0f64) {
-        prop_assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-13);
+    fn erf_erfc_complement(rng) {
+        let x = rng.gen_range(-6.0..6.0f64);
+        assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-13);
     }
 
-    #[test]
-    fn normal_cdf_is_monotone(a in -8.0..8.0f64, d in 0.0..4.0f64) {
-        prop_assert!(normal_cdf(a + d) >= normal_cdf(a) - 1e-15);
+    fn normal_cdf_is_monotone(rng) {
+        let a = rng.gen_range(-8.0..8.0f64);
+        let d = rng.gen_range(0.0..4.0f64);
+        assert!(normal_cdf(a + d) >= normal_cdf(a) - 1e-15);
     }
 
-    #[test]
-    fn normal_mass_is_additive(
-        mu in -5.0..5.0f64,
-        sigma in 0.01..5.0f64,
-        a in -10.0..0.0f64,
-        mid in 0.0..5.0f64,
-        rest in 0.0..5.0f64,
-    ) {
+    fn normal_mass_is_additive(rng) {
+        let mu = rng.gen_range(-5.0..5.0f64);
+        let sigma = rng.gen_range(0.01..5.0f64);
+        let a = rng.gen_range(-10.0..0.0f64);
+        let mid = rng.gen_range(0.0..5.0f64);
+        let rest = rng.gen_range(0.0..5.0f64);
         let b = a + mid;
         let c = b + rest;
         let whole = normal_mass(mu, sigma, a, c);
         let parts = normal_mass(mu, sigma, a, b) + normal_mass(mu, sigma, b, c);
-        prop_assert!((whole - parts).abs() < 1e-12);
+        assert!((whole - parts).abs() < 1e-12);
     }
 
-    #[test]
-    fn tau_is_periodic_and_in_range(off in -1e5..1e5f64, t in 0.5..100.0f64) {
+    fn tau_is_periodic_and_in_range(rng) {
+        let off = rng.gen_range(-1e5..1e5f64);
+        let t = rng.gen_range(0.5..100.0f64);
         let tau = tau_from_offset(off, t);
-        prop_assert!(tau >= -t / 2.0 - 1e-9 && tau < t / 2.0 + 1e-9);
+        assert!(tau >= -t / 2.0 - 1e-9 && tau < t / 2.0 + 1e-9);
         let tau2 = tau_from_offset(off + 3.0 * t, t);
-        prop_assert!((tau - tau2).abs() < 1e-6 * t.max(1.0));
+        assert!((tau - tau2).abs() < 1e-6 * t.max(1.0));
     }
 
-    #[test]
-    fn p1_is_a_probability(
-        tau in -50.0..50.0f64,
-        sigma in 0.0..100.0f64,
-        t in 1.0..80.0f64,
-    ) {
+    fn p1_is_a_probability(rng) {
+        let tau = rng.gen_range(-50.0..50.0f64);
+        let sigma = rng.gen_range(0.0..100.0f64);
+        let t = rng.gen_range(1.0..80.0f64);
         let p = p1(tau, sigma, t);
-        prop_assert!((0.0..=1.0).contains(&p), "p = {}", p);
+        assert!((0.0..=1.0).contains(&p), "p = {}", p);
     }
 
-    #[test]
-    fn p1_shifted_by_one_bin_complements(
-        tau in -20.0..20.0f64,
-        sigma in 0.5..60.0f64,
-        t in 2.0..40.0f64,
-    ) {
+    fn p1_shifted_by_one_bin_complements(rng) {
+        let tau = rng.gen_range(-20.0..20.0f64);
+        let sigma = rng.gen_range(0.5..60.0f64);
+        let t = rng.gen_range(2.0..40.0f64);
         let a = p1(tau, sigma, t);
         let b = p1(tau + t, sigma, t);
-        prop_assert!((a + b - 1.0).abs() < 1e-9, "{} + {}", a, b);
+        assert!((a + b - 1.0).abs() < 1e-9, "{} + {}", a, b);
     }
 
-    #[test]
-    fn p1_symmetric_in_tau(tau in 0.0..30.0f64, sigma in 0.5..50.0f64, t in 2.0..40.0f64) {
-        prop_assert!((p1(tau, sigma, t) - p1(-tau, sigma, t)).abs() < 1e-10);
+    fn p1_symmetric_in_tau(rng) {
+        let tau = rng.gen_range(0.0..30.0f64);
+        let sigma = rng.gen_range(0.5..50.0f64);
+        let t = rng.gen_range(2.0..40.0f64);
+        assert!((p1(tau, sigma, t) - p1(-tau, sigma, t)).abs() < 1e-10);
     }
 
-    #[test]
-    fn shannon_entropy_bounds_and_symmetry(p in 0.0..=1.0f64) {
+    fn shannon_entropy_bounds_and_symmetry(rng) {
+        let p = rng.gen_range(0.0..=1.0f64);
         let h = h_shannon(p);
-        prop_assert!((0.0..=1.0).contains(&h));
-        prop_assert!((h - h_shannon(1.0 - p)).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&h));
+        assert!((h - h_shannon(1.0 - p)).abs() < 1e-12);
     }
 
-    #[test]
-    fn min_entropy_never_exceeds_shannon(p in 0.0001..0.9999f64) {
-        prop_assert!(h_min(p) <= h_shannon(p) + 1e-12);
+    fn min_entropy_never_exceeds_shannon(rng) {
+        let p = rng.gen_range(0.0001..0.9999f64);
+        assert!(h_min(p) <= h_shannon(p) + 1e-12);
     }
 
-    #[test]
-    fn entropy_lower_bound_monotone_in_sigma(
-        sigma in 0.1..40.0f64,
-        extra in 0.0..10.0f64,
-        t in 5.0..40.0f64,
-    ) {
-        prop_assert!(
+    fn entropy_lower_bound_monotone_in_sigma(rng) {
+        let sigma = rng.gen_range(0.1..40.0f64);
+        let extra = rng.gen_range(0.0..10.0f64);
+        let t = rng.gen_range(5.0..40.0f64);
+        assert!(
             entropy_lower_bound(sigma + extra, t) >= entropy_lower_bound(sigma, t) - 1e-9
         );
+        let _ = t;
     }
 
-    #[test]
-    fn xor_bias_never_amplifies(b in 0.0..=0.5f64, np in 1u32..20) {
-        prop_assert!(xor_bias(b, np) <= b + 1e-15);
+    fn xor_bias_never_amplifies(rng) {
+        let b = rng.gen_range(0.0..=0.5f64);
+        let np = rng.gen_range(1u32..20);
+        assert!(xor_bias(b, np) <= b + 1e-15);
         // And is monotone in np.
         if np > 1 {
-            prop_assert!(xor_bias(b, np) <= xor_bias(b, np - 1) + 1e-15);
+            assert!(xor_bias(b, np) <= xor_bias(b, np - 1) + 1e-15);
         }
     }
 
-    #[test]
-    fn entropy_after_xor_only_improves(b in 0.0..0.5f64, np in 1u32..16) {
+    fn entropy_after_xor_only_improves(rng) {
+        let b = rng.gen_range(0.0..0.5f64);
+        let np = rng.gen_range(1u32..16);
         let before = h_shannon(0.5 + b);
-        prop_assert!(entropy_after_xor(b, np) >= before - 1e-12);
+        assert!(entropy_after_xor(b, np) >= before - 1e-12);
     }
 
-    #[test]
-    fn bias_is_consistent_with_probability(p in 0.0..=1.0f64) {
+    fn bias_is_consistent_with_probability(rng) {
+        let p = rng.gen_range(0.0..=1.0f64);
         let b = bias(p);
-        prop_assert!((0.0..=0.5).contains(&b));
-        prop_assert!((h_shannon(0.5 + b) - h_shannon(p)).abs() < 1e-12);
+        assert!((0.0..=0.5).contains(&b));
+        assert!((h_shannon(0.5 + b) - h_shannon(p)).abs() < 1e-12);
     }
 
-    #[test]
-    fn sigma_acc_inversion_roundtrip(
-        sigma_lut in 0.5..10.0f64,
-        d0 in 100.0..1000.0f64,
-        target in 0.1..100.0f64,
-    ) {
+    fn sigma_acc_inversion_roundtrip(rng) {
+        let sigma_lut = rng.gen_range(0.5..10.0f64);
+        let d0 = rng.gen_range(100.0..1000.0f64);
+        let target = rng.gen_range(0.1..100.0f64);
         let t = accumulation_time_for_sigma(target, sigma_lut, d0);
-        prop_assert!((sigma_acc(sigma_lut, t, d0) - target).abs() < 1e-9);
+        assert!((sigma_acc(sigma_lut, t, d0) - target).abs() < 1e-9);
     }
 
-    #[test]
-    fn evaluate_postprocessing_never_hurts(n_a in 1u32..60, k in prop_oneof![Just(1u32), Just(2), Just(4)], np in 1u32..12) {
+    fn evaluate_postprocessing_never_hurts(rng) {
+        let n_a = rng.gen_range(1u32..60);
+        let k = pick(rng, &[1u32, 2, 4]);
+        let np = rng.gen_range(1u32..12);
         let platform = PlatformParams::spartan6();
         let design = DesignParams { n_a, k, np, ..DesignParams::paper_k1() };
         let point = evaluate(&platform, &design).unwrap();
-        prop_assert!(point.h_pp >= point.h_raw - 1e-12);
-        prop_assert!(point.bias_pp <= point.bias_raw + 1e-15);
-        prop_assert!(point.h_min_raw <= point.h_raw + 1e-12);
-        prop_assert!(point.output_throughput_bps <= point.raw_throughput_bps);
+        assert!(point.h_pp >= point.h_raw - 1e-12);
+        assert!(point.bias_pp <= point.bias_raw + 1e-15);
+        assert!(point.h_min_raw <= point.h_raw + 1e-12);
+        assert!(point.output_throughput_bps <= point.raw_throughput_bps);
     }
 }

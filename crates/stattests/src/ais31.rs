@@ -22,7 +22,6 @@ use std::collections::HashSet;
 
 /// Verdict of one AIS-31 test.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Ais31Verdict {
     /// Test passed.
     Pass,
@@ -196,9 +195,8 @@ pub fn t8_entropy(bits: &BitVec) -> Ais31Verdict {
     // Coron's g(i) coefficients: sum via the telescoping formula
     // g(d) = (1/ln 2) * sum_{k=1}^{d-1} 1/k  (approximately); the exact
     // estimator uses g(d) = (1/ln 2) * Σ_{k=1..d-1} 1/k.
-    let harmonic = |d: usize| -> f64 {
-        (1..d).map(|k| 1.0 / k as f64).sum::<f64>() / core::f64::consts::LN_2
-    };
+    let harmonic =
+        |d: usize| -> f64 { (1..d).map(|k| 1.0 / k as f64).sum::<f64>() / core::f64::consts::LN_2 };
     let mut sum = 0.0;
     for i in Q..total_words {
         let v = bits.window_value(i * L, L) as usize;
@@ -218,7 +216,6 @@ pub fn t8_entropy(bits: &BitVec) -> Ais31Verdict {
 ///
 /// Serializable but not deserializable: test names are static borrows.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct Ais31Report {
     /// (test name, verdict) pairs, in procedure order.
     pub verdicts: Vec<(&'static str, Ais31Verdict)>,
@@ -227,9 +224,7 @@ pub struct Ais31Report {
 impl Ais31Report {
     /// `true` when no applicable test failed.
     pub fn all_passed(&self) -> bool {
-        self.verdicts
-            .iter()
-            .all(|&(_, v)| v != Ais31Verdict::Fail)
+        self.verdicts.iter().all(|&(_, v)| v != Ais31Verdict::Fail)
     }
 }
 
@@ -238,7 +233,11 @@ impl fmt::Display for Ais31Report {
         for (name, v) in &self.verdicts {
             writeln!(f, "  {name:<20} {v}")?;
         }
-        write!(f, "  => {}", if self.all_passed() { "PASS" } else { "FAIL" })
+        write!(
+            f,
+            "  => {}",
+            if self.all_passed() { "PASS" } else { "FAIL" }
+        )
     }
 }
 
@@ -262,8 +261,8 @@ mod tests {
     use super::*;
 
     fn random_bits(n: usize, seed: u64) -> BitVec {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        use trng_testkit::prng::{Rng, SeedableRng};
+        let mut rng = trng_testkit::prng::StdRng::seed_from_u64(seed);
         (0..n).map(|_| rng.gen::<bool>()).collect()
     }
 
@@ -331,7 +330,9 @@ mod tests {
     #[test]
     fn t8_low_entropy_source_fails() {
         // Bytes restricted to two values: entropy 1 bit/byte.
-        let bits: BitVec = (0..400_000).map(|i| (i / 8) % 2 == 0 && i % 8 == 7).collect();
+        let bits: BitVec = (0..400_000)
+            .map(|i| (i / 8) % 2 == 0 && i % 8 == 7)
+            .collect();
         assert_eq!(t8_entropy(&bits), Ais31Verdict::Fail);
     }
 

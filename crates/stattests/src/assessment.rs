@@ -25,7 +25,6 @@ use std::collections::BTreeMap;
 
 /// Assessment of one statistic across sequences.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct StatAssessment {
     /// Test name.
     pub name: String,
@@ -84,7 +83,10 @@ pub fn uniformity_p_value(p_values: &[f64]) -> f64 {
         bins[idx] += 1;
     }
     let e = p_values.len() as f64 / 10.0;
-    let chi2: f64 = bins.iter().map(|&b| (b as f64 - e) * (b as f64 - e) / e).sum();
+    let chi2: f64 = bins
+        .iter()
+        .map(|&b| (b as f64 - e) * (b as f64 - e) / e)
+        .sum();
     igamc(4.5, chi2 / 2.0)
 }
 
@@ -158,8 +160,8 @@ mod tests {
     use super::*;
 
     fn random_bits(n: usize, seed: u64) -> BitVec {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        use trng_testkit::prng::{Rng, SeedableRng};
+        let mut rng = trng_testkit::prng::StdRng::seed_from_u64(seed);
         (0..n).map(|_| rng.gen::<bool>()).collect()
     }
 
@@ -196,10 +198,10 @@ mod tests {
 
     #[test]
     fn biased_ensemble_fails() {
-        use rand::{Rng, SeedableRng};
+        use trng_testkit::prng::{Rng, SeedableRng};
         let seqs: Vec<BitVec> = (0..6)
             .map(|s| {
-                let mut rng = rand::rngs::StdRng::seed_from_u64(200 + s);
+                let mut rng = trng_testkit::prng::StdRng::seed_from_u64(200 + s);
                 (0..60_000).map(|_| rng.gen::<f64>() < 0.53).collect()
             })
             .collect();

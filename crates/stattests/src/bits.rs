@@ -20,7 +20,6 @@ use core::fmt;
 /// assert!(bits.get(0) && !bits.get(1));
 /// ```
 #[derive(Clone, Default, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BitVec {
     words: Vec<u64>,
     len: usize,

@@ -120,11 +120,11 @@ fn letter(byte: u64) -> usize {
 
 /// Letter probabilities: sums of C(8,k)/256 over the bins.
 const LETTER_P: [f64; 5] = [
-    37.0 / 256.0,  // 0..=2 ones: 1 + 8 + 28
-    56.0 / 256.0,  // 3
-    70.0 / 256.0,  // 4
-    56.0 / 256.0,  // 5
-    37.0 / 256.0,  // 6..=8: 28 + 8 + 1
+    37.0 / 256.0, // 0..=2 ones: 1 + 8 + 28
+    56.0 / 256.0, // 3
+    70.0 / 256.0, // 4
+    56.0 / 256.0, // 5
+    37.0 / 256.0, // 6..=8: 28 + 8 + 1
 ];
 
 /// Runs the count-the-1s (stream) test: `χ²(5⁵) − χ²(5⁴)` over
@@ -190,8 +190,8 @@ mod tests {
     use super::*;
 
     fn random_bits(n: usize, seed: u64) -> BitVec {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        use trng_testkit::prng::{Rng, SeedableRng};
+        let mut rng = trng_testkit::prng::StdRng::seed_from_u64(seed);
         (0..n).map(|_| rng.gen::<bool>()).collect()
     }
 
@@ -213,7 +213,10 @@ mod tests {
             counts[letter(b)] += 1;
         }
         for (i, &c) in counts.iter().enumerate() {
-            assert!((f64::from(c) / 256.0 - LETTER_P[i]).abs() < 1e-12, "letter {i}");
+            assert!(
+                (f64::from(c) / 256.0 - LETTER_P[i]).abs() < 1e-12,
+                "letter {i}"
+            );
         }
     }
 
@@ -228,8 +231,8 @@ mod tests {
     fn birthday_spacings_fails_low_entropy_words() {
         // Restrict birthdays to a tiny subrange: many duplicate
         // spacings in every trial.
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(81);
+        use trng_testkit::prng::{Rng, SeedableRng};
+        let mut rng = trng_testkit::prng::StdRng::seed_from_u64(81);
         let mut bits = BitVec::new();
         for _ in 0..40 * BDAY_M {
             let w: u64 = rng.gen::<u64>() % 1024; // only 10 bits vary
@@ -250,8 +253,8 @@ mod tests {
 
     #[test]
     fn count_the_ones_fails_biased_bytes() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(83);
+        use trng_testkit::prng::{Rng, SeedableRng};
+        let mut rng = trng_testkit::prng::StdRng::seed_from_u64(83);
         let bits: BitVec = (0..70_000 * 8).map(|_| rng.gen::<f64>() < 0.45).collect();
         let out = count_the_ones(&bits).expect("enough data");
         assert!(out.p_value < 1e-6, "p = {}", out.p_value);

@@ -37,7 +37,10 @@ fn c_conj(a: Complex) -> Complex {
 /// Panics if the length is not a power of two.
 pub fn fft_pow2(data: &mut [Complex]) {
     let n = data.len();
-    assert!(n.is_power_of_two(), "radix-2 FFT needs a power-of-two length, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "radix-2 FFT needs a power-of-two length, got {n}"
+    );
     if n <= 1 {
         return;
     }
@@ -222,7 +225,9 @@ mod tests {
     fn spectrum_of_alternating_sequence_peaks_at_nyquist_edge() {
         // +1, -1, +1, -1, ... concentrates all energy at k = n/2, which
         // is excluded from the first n/2 bins; all retained bins ~0.
-        let pm1: Vec<f64> = (0..64).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let pm1: Vec<f64> = (0..64)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let mods = spectrum_moduli(&pm1);
         assert_eq!(mods.len(), 32);
         for (i, m) in mods.iter().enumerate() {

@@ -19,7 +19,6 @@ pub const SAMPLE_BITS: usize = 20_000;
 
 /// Result of the FIPS 140-2 quartet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Fips140Report {
     /// Monobit verdict.
     pub monobit: bool,
@@ -125,8 +124,8 @@ mod tests {
     use super::*;
 
     fn random_bits(n: usize, seed: u64) -> BitVec {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        use trng_testkit::prng::{Rng, SeedableRng};
+        let mut rng = trng_testkit::prng::StdRng::seed_from_u64(seed);
         (0..n).map(|_| rng.gen::<bool>()).collect()
     }
 
@@ -159,8 +158,8 @@ mod tests {
 
     #[test]
     fn single_long_run_fails_only_long_run() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(61);
+        use trng_testkit::prng::{Rng, SeedableRng};
+        let mut rng = trng_testkit::prng::StdRng::seed_from_u64(61);
         let mut bits = BitVec::new();
         for i in 0..SAMPLE_BITS {
             if (5000..5026).contains(&i) {
@@ -175,8 +174,8 @@ mod tests {
 
     #[test]
     fn mild_bias_fails_monobit() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(62);
+        use trng_testkit::prng::{Rng, SeedableRng};
+        let mut rng = trng_testkit::prng::StdRng::seed_from_u64(62);
         let bits: BitVec = (0..SAMPLE_BITS).map(|_| rng.gen::<f64>() < 0.53).collect();
         let r = run_fips140(&bits);
         assert!(!r.monobit);

@@ -22,18 +22,18 @@
 //! # Example
 //!
 //! ```
-//! use rand::{Rng, SeedableRng};
+//! use trng_testkit::prng::{Rng, SeedableRng};
 //! use trng_stattests::bits::BitVec;
 //! use trng_stattests::nist::run_battery;
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let mut rng = trng_testkit::prng::StdRng::seed_from_u64(7);
 //! let bits: BitVec = (0..100_000).map(|_| rng.gen::<bool>()).collect();
 //! let result = run_battery(&bits);
 //! assert!(result.all_passed(), "{result}");
 //! ```
 //!
-//! (The doc example uses `rand` from dev-dependencies; the library
-//! itself is dependency-free.)
+//! (The doc example uses `trng-testkit` from dev-dependencies; the
+//! library itself is dependency-free.)
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

@@ -51,9 +51,9 @@ fn phi(bits: &BitVec, m: usize) -> f64 {
 /// # Examples
 ///
 /// ```
-/// use rand::{Rng, SeedableRng};
+/// use trng_testkit::prng::{Rng, SeedableRng};
 /// use trng_stattests::bits::BitVec;
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let mut rng = trng_testkit::prng::StdRng::seed_from_u64(5);
 /// let bits: BitVec = (0..5_000).map(|_| rng.gen::<bool>()).collect();
 /// let p = trng_stattests::nist::approx_entropy::test(&bits)?.min_p();
 /// assert!(p > 0.0001);
@@ -106,8 +106,8 @@ mod tests {
 
     #[test]
     fn random_data_passes() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(20);
+        use trng_testkit::prng::{Rng, SeedableRng};
+        let mut rng = trng_testkit::prng::StdRng::seed_from_u64(20);
         let bits: BitVec = (0..100_000).map(|_| rng.gen::<bool>()).collect();
         let p = test(&bits).unwrap().min_p();
         assert!(p > 0.001, "p = {p}");
@@ -122,8 +122,8 @@ mod tests {
 
     #[test]
     fn biased_data_fails() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        use trng_testkit::prng::{Rng, SeedableRng};
+        let mut rng = trng_testkit::prng::StdRng::seed_from_u64(21);
         let bits: BitVec = (0..100_000).map(|_| rng.gen::<f64>() < 0.45).collect();
         let p = test(&bits).unwrap().min_p();
         assert!(p < 0.01, "p = {p}");

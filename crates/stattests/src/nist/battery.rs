@@ -73,7 +73,11 @@ impl fmt::Display for BatteryResult {
         write!(
             f,
             "  => {} ({} tests ran)",
-            if self.all_passed() { "ALL PASS" } else { "FAILED" },
+            if self.all_passed() {
+                "ALL PASS"
+            } else {
+                "FAILED"
+            },
             self.applicable()
         )
     }
@@ -116,8 +120,8 @@ mod tests {
     use super::*;
 
     fn random_bits(n: usize, seed: u64) -> BitVec {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        use trng_testkit::prng::{Rng, SeedableRng};
+        let mut rng = trng_testkit::prng::StdRng::seed_from_u64(seed);
         (0..n).map(|_| rng.gen::<bool>()).collect()
     }
 
@@ -136,11 +140,7 @@ mod tests {
         // demand at most one failing test and nothing catastrophic.
         let bits = random_bits(200_000, 31);
         let r = run_battery(&bits);
-        assert!(
-            r.failures().len() <= 1,
-            "failures: {:?}\n{r}",
-            r.failures()
-        );
+        assert!(r.failures().len() <= 1, "failures: {:?}\n{r}", r.failures());
         let min_p = r.p_values().iter().map(|&(_, p)| p).fold(1.0, f64::min);
         assert!(min_p > 1e-5, "catastrophic min p = {min_p}");
         // At 200k bits at least a dozen tests are applicable.
@@ -149,8 +149,8 @@ mod tests {
 
     #[test]
     fn biased_data_fails_battery() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(32);
+        use trng_testkit::prng::{Rng, SeedableRng};
+        let mut rng = trng_testkit::prng::StdRng::seed_from_u64(32);
         let bits: BitVec = (0..200_000).map(|_| rng.gen::<f64>() < 0.53).collect();
         let r = run_battery(&bits);
         assert!(!r.all_passed());

@@ -59,9 +59,9 @@ fn max_excursion(bits: &BitVec, forward: bool) -> f64 {
 /// # Examples
 ///
 /// ```
-/// use rand::{Rng, SeedableRng};
+/// use trng_testkit::prng::{Rng, SeedableRng};
 /// use trng_stattests::bits::BitVec;
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+/// let mut rng = trng_testkit::prng::StdRng::seed_from_u64(4);
 /// let bits: BitVec = (0..5_000).map(|_| rng.gen::<bool>()).collect();
 /// let out = trng_stattests::nist::cusum::test(&bits)?;
 /// assert_eq!(out.p_values.len(), 2); // forward and backward
@@ -106,8 +106,8 @@ mod tests {
 
     #[test]
     fn random_data_passes() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(22);
+        use trng_testkit::prng::{Rng, SeedableRng};
+        let mut rng = trng_testkit::prng::StdRng::seed_from_u64(22);
         let bits: BitVec = (0..100_000).map(|_| rng.gen::<bool>()).collect();
         let out = test(&bits).unwrap();
         assert_eq!(out.p_values.len(), 2);
@@ -116,8 +116,8 @@ mod tests {
 
     #[test]
     fn drifting_data_fails() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        use trng_testkit::prng::{Rng, SeedableRng};
+        let mut rng = trng_testkit::prng::StdRng::seed_from_u64(23);
         // 52 % ones: the walk drifts far from the origin.
         let bits: BitVec = (0..100_000).map(|_| rng.gen::<f64>() < 0.52).collect();
         let out = test(&bits).unwrap();

@@ -27,9 +27,9 @@ pub const MIN_LEN: usize = 1000;
 /// # Examples
 ///
 /// ```
-/// use rand::{Rng, SeedableRng};
+/// use trng_testkit::prng::{Rng, SeedableRng};
 /// use trng_stattests::bits::BitVec;
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let mut rng = trng_testkit::prng::StdRng::seed_from_u64(3);
 /// let bits: BitVec = (0..4_096).map(|_| rng.gen::<bool>()).collect();
 /// let p = trng_stattests::nist::dft::test(&bits)?.min_p();
 /// assert!(p > 0.0001);
@@ -56,8 +56,8 @@ mod tests {
 
     #[test]
     fn random_data_passes() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        use trng_testkit::prng::{Rng, SeedableRng};
+        let mut rng = trng_testkit::prng::StdRng::seed_from_u64(7);
         let bits: BitVec = (0..65_536).map(|_| rng.gen::<bool>()).collect();
         let p = test(&bits).unwrap().min_p();
         assert!(p > 0.001, "p = {p}");
@@ -65,8 +65,8 @@ mod tests {
 
     #[test]
     fn random_data_passes_non_power_of_two_length() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        use trng_testkit::prng::{Rng, SeedableRng};
+        let mut rng = trng_testkit::prng::StdRng::seed_from_u64(8);
         let bits: BitVec = (0..100_000).map(|_| rng.gen::<bool>()).collect();
         let p = test(&bits).unwrap().min_p();
         assert!(p > 0.001, "p = {p}");
@@ -74,8 +74,8 @@ mod tests {
 
     #[test]
     fn strong_periodic_component_fails() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        use trng_testkit::prng::{Rng, SeedableRng};
+        let mut rng = trng_testkit::prng::StdRng::seed_from_u64(9);
         // Random bits with a superimposed strong period-16 component:
         // force every 16th bit to 1.
         let bits: BitVec = (0..65_536)

@@ -171,8 +171,11 @@ mod tests {
 
     #[test]
     fn random_data_passes_both() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(24);
+        use trng_testkit::prng::{Rng, SeedableRng};
+        // Seed chosen so the ±1 walk completes >= 500 zero-crossing
+        // cycles in 10^6 bits (an applicability precondition, not a
+        // quality property — roughly half of all seeds fall short).
+        let mut rng = trng_testkit::prng::StdRng::seed_from_u64(32);
         let bits: BitVec = (0..1_000_000).map(|_| rng.gen::<bool>()).collect();
         let e = excursions(&bits).unwrap();
         assert_eq!(e.p_values.len(), 8);
@@ -184,21 +187,24 @@ mod tests {
 
     #[test]
     fn drifting_walk_is_not_applicable() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(25);
+        use trng_testkit::prng::{Rng, SeedableRng};
+        let mut rng = trng_testkit::prng::StdRng::seed_from_u64(25);
         // 55 % ones: the walk drifts away and rarely returns to zero.
         let bits: BitVec = (0..100_000).map(|_| rng.gen::<f64>() < 0.55).collect();
         assert!(matches!(
             excursions(&bits),
             Err(TestError::NotApplicable { .. })
         ));
-        assert!(matches!(variant(&bits), Err(TestError::NotApplicable { .. })));
+        assert!(matches!(
+            variant(&bits),
+            Err(TestError::NotApplicable { .. })
+        ));
     }
 
     #[test]
     fn sticky_walk_fails_excursions() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(26);
+        use trng_testkit::prng::{Rng, SeedableRng};
+        let mut rng = trng_testkit::prng::StdRng::seed_from_u64(26);
         // A walk that oscillates tightly: +1/-1 strictly alternating
         // with occasional random pairs — many cycles, but state visits
         // are wildly non-theoretical.

@@ -89,8 +89,8 @@ mod tests {
 
     #[test]
     fn random_data_passes() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        use trng_testkit::prng::{Rng, SeedableRng};
+        let mut rng = trng_testkit::prng::StdRng::seed_from_u64(1);
         let bits: BitVec = (0..100_000).map(|_| rng.gen::<bool>()).collect();
         let p = test(&bits).unwrap().min_p();
         assert!(p > 0.001, "p = {p}");

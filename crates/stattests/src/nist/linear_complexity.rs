@@ -20,9 +20,7 @@ pub const MIN_BLOCKS: usize = 50;
 
 /// Category probabilities for `T` bins
 /// (≤−2.5, −1.5, −0.5, 0.5, 1.5, 2.5, >2.5) — SP 800-22 §3.10.
-const PI: [f64; 7] = [
-    0.010417, 0.03125, 0.125, 0.5, 0.25, 0.0625, 0.020833,
-];
+const PI: [f64; 7] = [0.010417, 0.03125, 0.125, 0.5, 0.25, 0.0625, 0.020833];
 
 /// Berlekamp–Massey linear complexity of a bit block.
 ///
@@ -156,8 +154,8 @@ mod tests {
 
     #[test]
     fn random_complexity_concentrates_at_half() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(16);
+        use trng_testkit::prng::{Rng, SeedableRng};
+        let mut rng = trng_testkit::prng::StdRng::seed_from_u64(16);
         let block: Vec<u8> = (0..500).map(|_| rng.gen::<bool>() as u8).collect();
         let l = berlekamp_massey(&block);
         assert!((248..=252).contains(&l), "L = {l}");
@@ -171,8 +169,8 @@ mod tests {
 
     #[test]
     fn random_data_passes() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        use trng_testkit::prng::{Rng, SeedableRng};
+        let mut rng = trng_testkit::prng::StdRng::seed_from_u64(17);
         let bits: BitVec = (0..100_000).map(|_| rng.gen::<bool>()).collect();
         let p = test(&bits).unwrap().min_p();
         assert!(p > 0.001, "p = {p}");

@@ -89,9 +89,9 @@ fn longest_ones_run(bits: &BitVec, start: usize, len: usize) -> u32 {
 /// # Examples
 ///
 /// ```
-/// use rand::{Rng, SeedableRng};
+/// use trng_testkit::prng::{Rng, SeedableRng};
 /// use trng_stattests::bits::BitVec;
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let mut rng = trng_testkit::prng::StdRng::seed_from_u64(2);
 /// let bits: BitVec = (0..10_000).map(|_| rng.gen::<bool>()).collect();
 /// let p = trng_stattests::nist::longest_run::test(&bits)?.min_p();
 /// assert!(p > 0.0001);
@@ -160,8 +160,8 @@ mod tests {
 
     #[test]
     fn random_data_passes() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        use trng_testkit::prng::{Rng, SeedableRng};
+        let mut rng = trng_testkit::prng::StdRng::seed_from_u64(4);
         let bits: BitVec = (0..100_000).map(|_| rng.gen::<bool>()).collect();
         assert!(test(&bits).unwrap().min_p() > 0.001);
     }
@@ -185,8 +185,8 @@ mod tests {
 
     #[test]
     fn small_regime_smoke() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        use trng_testkit::prng::{Rng, SeedableRng};
+        let mut rng = trng_testkit::prng::StdRng::seed_from_u64(5);
         let bits: BitVec = (0..256).map(|_| rng.gen::<bool>()).collect();
         let p = test(&bits).unwrap().min_p();
         assert!((0.0..=1.0).contains(&p));

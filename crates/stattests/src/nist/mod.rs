@@ -55,7 +55,6 @@ pub const ALPHA: f64 = 0.01;
 
 /// Result of one statistical test: one or more P-values.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TestOutcome {
     /// Test name (SP 800-22 terminology).
     pub name: &'static str,
@@ -128,8 +127,13 @@ impl fmt::Display for TestError {
                 name,
                 required,
                 actual,
-            } => write!(f, "{name}: sequence of {actual} bits is shorter than the required {required}"),
-            TestError::NotApplicable { name, reason } => write!(f, "{name}: not applicable ({reason})"),
+            } => write!(
+                f,
+                "{name}: sequence of {actual} bits is shorter than the required {required}"
+            ),
+            TestError::NotApplicable { name, reason } => {
+                write!(f, "{name}: not applicable ({reason})")
+            }
         }
     }
 }
@@ -139,7 +143,11 @@ impl Error for TestError {}
 /// Shorthand used by every test function.
 pub type TestResult = Result<TestOutcome, TestError>;
 
-pub(crate) fn require_len(name: &'static str, actual: usize, required: usize) -> Result<(), TestError> {
+pub(crate) fn require_len(
+    name: &'static str,
+    actual: usize,
+    required: usize,
+) -> Result<(), TestError> {
     if actual < required {
         Err(TestError::TooShort {
             name,

@@ -154,8 +154,8 @@ mod tests {
 
     #[test]
     fn random_data_passes() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        use trng_testkit::prng::{Rng, SeedableRng};
+        let mut rng = trng_testkit::prng::StdRng::seed_from_u64(6);
         let bits: BitVec = (0..100_000).map(|_| rng.gen::<bool>()).collect();
         assert!(test(&bits).unwrap().min_p() > 0.001);
     }

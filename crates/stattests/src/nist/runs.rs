@@ -27,9 +27,9 @@ pub const MIN_LEN: usize = 100;
 /// # Examples
 ///
 /// ```
-/// use rand::{Rng, SeedableRng};
+/// use trng_testkit::prng::{Rng, SeedableRng};
 /// use trng_stattests::bits::BitVec;
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = trng_testkit::prng::StdRng::seed_from_u64(1);
 /// let bits: BitVec = (0..10_000).map(|_| rng.gen::<bool>()).collect();
 /// let p = trng_stattests::nist::runs::test(&bits)?.min_p();
 /// assert!(p > 0.0001);
@@ -86,8 +86,8 @@ mod tests {
 
     #[test]
     fn random_data_passes() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        use trng_testkit::prng::{Rng, SeedableRng};
+        let mut rng = trng_testkit::prng::StdRng::seed_from_u64(3);
         let bits: BitVec = (0..100_000).map(|_| rng.gen::<bool>()).collect();
         assert!(test(&bits).unwrap().min_p() > 0.001);
     }

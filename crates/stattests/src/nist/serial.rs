@@ -119,8 +119,8 @@ mod tests {
 
     #[test]
     fn random_data_passes() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(18);
+        use trng_testkit::prng::{Rng, SeedableRng};
+        let mut rng = trng_testkit::prng::StdRng::seed_from_u64(18);
         let bits: BitVec = (0..100_000).map(|_| rng.gen::<bool>()).collect();
         let out = test(&bits).unwrap();
         assert_eq!(out.p_values.len(), 2);
@@ -136,8 +136,8 @@ mod tests {
 
     #[test]
     fn biased_data_fails() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(19);
+        use trng_testkit::prng::{Rng, SeedableRng};
+        let mut rng = trng_testkit::prng::StdRng::seed_from_u64(19);
         let bits: BitVec = (0..100_000).map(|_| rng.gen::<f64>() < 0.45).collect();
         let out = test(&bits).unwrap();
         assert!(out.min_p() < 0.01, "min p = {}", out.min_p());

@@ -91,7 +91,11 @@ pub fn non_overlapping_with(bits: &BitVec, templates: &[u64]) -> TestResult {
     // match count to have a usable normal approximation (mu >= ~4,
     // i.e. blocks of >= 2048 bits); shorter sequences produce spurious
     // failures.
-    require_len(NAME_NON_OVERLAPPING, bits.len(), NON_OVERLAPPING_BLOCKS * 2048)?;
+    require_len(
+        NAME_NON_OVERLAPPING,
+        bits.len(),
+        NON_OVERLAPPING_BLOCKS * 2048,
+    )?;
     let n_blocks = NON_OVERLAPPING_BLOCKS;
     let block_len = bits.len() / n_blocks;
     let m = TEMPLATE_LEN;
@@ -129,9 +133,7 @@ pub const OVERLAPPING_BLOCK: usize = 1032;
 
 /// Category probabilities for m = 9, M = 1032 (SP 800-22 §3.8,
 /// rev 1a values).
-const OVERLAPPING_PI: [f64; 6] = [
-    0.364091, 0.185659, 0.139381, 0.100571, 0.070432, 0.139865,
-];
+const OVERLAPPING_PI: [f64; 6] = [0.364091, 0.185659, 0.139381, 0.100571, 0.070432, 0.139865];
 
 /// Runs the overlapping template test (all-ones template of length 9).
 ///
@@ -209,8 +211,8 @@ mod tests {
 
     #[test]
     fn non_overlapping_random_data_passes() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        use trng_testkit::prng::{Rng, SeedableRng};
+        let mut rng = trng_testkit::prng::StdRng::seed_from_u64(10);
         let bits: BitVec = (0..100_000).map(|_| rng.gen::<bool>()).collect();
         let out = non_overlapping(&bits).unwrap();
         assert_eq!(out.p_values.len(), 15);
@@ -221,8 +223,8 @@ mod tests {
 
     #[test]
     fn non_overlapping_detects_template_stuffing() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        use trng_testkit::prng::{Rng, SeedableRng};
+        let mut rng = trng_testkit::prng::StdRng::seed_from_u64(11);
         let tpl = default_templates()[3];
         // Random data with the template injected every 100 bits.
         let mut bits = BitVec::new();
@@ -240,8 +242,8 @@ mod tests {
 
     #[test]
     fn overlapping_random_data_passes() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        use trng_testkit::prng::{Rng, SeedableRng};
+        let mut rng = trng_testkit::prng::StdRng::seed_from_u64(12);
         let bits: BitVec = (0..200_000).map(|_| rng.gen::<bool>()).collect();
         let p = overlapping(&bits).unwrap().min_p();
         assert!(p > 0.001, "p = {p}");
@@ -249,8 +251,8 @@ mod tests {
 
     #[test]
     fn overlapping_detects_excess_ones_runs() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        use trng_testkit::prng::{Rng, SeedableRng};
+        let mut rng = trng_testkit::prng::StdRng::seed_from_u64(13);
         // Random data where every 50th window is forced to 9 ones.
         let mut bits = BitVec::new();
         while bits.len() < 200_000 {

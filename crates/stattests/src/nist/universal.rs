@@ -90,7 +90,8 @@ pub fn test(bits: &BitVec) -> TestResult {
     let fn_stat = sum / k as f64;
     let (mu, var) = EXPECTED[l - 1];
     // Finite-K correction factor c(L, K) from SP 800-22 §2.9.4.
-    let c = 0.7 - 0.8 / l as f64 + (4.0 + 32.0 / l as f64) * (k as f64).powf(-3.0 / l as f64) / 15.0;
+    let c =
+        0.7 - 0.8 / l as f64 + (4.0 + 32.0 / l as f64) * (k as f64).powf(-3.0 / l as f64) / 15.0;
     let sigma = c * (var / k as f64).sqrt();
     let p = erfc((fn_stat - mu).abs() / (core::f64::consts::SQRT_2 * sigma));
     Ok(TestOutcome::single(NAME, p))
@@ -124,8 +125,8 @@ mod tests {
 
     #[test]
     fn random_data_passes() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(14);
+        use trng_testkit::prng::{Rng, SeedableRng};
+        let mut rng = trng_testkit::prng::StdRng::seed_from_u64(14);
         let bits: BitVec = (0..200_000).map(|_| rng.gen::<bool>()).collect();
         let p = test(&bits).unwrap().min_p();
         assert!(p > 0.001, "p = {p}");
@@ -141,8 +142,8 @@ mod tests {
 
     #[test]
     fn biased_data_fails() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(15);
+        use trng_testkit::prng::{Rng, SeedableRng};
+        let mut rng = trng_testkit::prng::StdRng::seed_from_u64(15);
         let bits: BitVec = (0..200_000).map(|_| rng.gen::<f64>() < 0.4).collect();
         let p = test(&bits).unwrap().min_p();
         assert!(p < 0.01, "p = {p}");

@@ -1,95 +1,96 @@
 //! Property-based tests of the statistical substrate.
+//!
+//! Runs under the hermetic `trng-testkit` harness: each property
+//! executes `TRNG_PROP_CASES` (default 64) independently seeded cases
+//! and reports the failing seed for replay via `TRNG_PROP_SEED`.
 
-use proptest::prelude::*;
 use trng_stattests::bits::BitVec;
 use trng_stattests::fft::{dft, Complex};
 use trng_stattests::special::{erf, erfc, igam, igamc, ln_gamma};
+use trng_testkit::prng::{Rng, SeedableRng, StdRng};
+use trng_testkit::prop::{vec_bool, vec_f64};
+use trng_testkit::props;
 
-proptest! {
-    #[test]
-    fn bitvec_roundtrips_bools(bits in proptest::collection::vec(any::<bool>(), 0..300)) {
+props! {
+    fn bitvec_roundtrips_bools(rng) {
+        let bits = vec_bool(rng, 0..300);
         let v = BitVec::from_bools(&bits);
-        prop_assert_eq!(v.len(), bits.len());
+        assert_eq!(v.len(), bits.len());
         for (i, &b) in bits.iter().enumerate() {
-            prop_assert_eq!(v.get(i), b);
+            assert_eq!(v.get(i), b);
         }
         let back: Vec<bool> = v.iter().collect();
-        prop_assert_eq!(back, bits);
+        assert_eq!(back, bits);
     }
 
-    #[test]
-    fn bitvec_count_ones_matches_model(
-        bits in proptest::collection::vec(any::<bool>(), 1..300),
-        start_frac in 0.0..1.0f64,
-        len_frac in 0.0..1.0f64,
-    ) {
+    fn bitvec_count_ones_matches_model(rng) {
+        let bits = vec_bool(rng, 1..300);
+        let start_frac = rng.gen_range(0.0..1.0f64);
+        let len_frac = rng.gen_range(0.0..1.0f64);
         let v = BitVec::from_bools(&bits);
-        prop_assert_eq!(v.count_ones(), bits.iter().filter(|&&b| b).count());
+        assert_eq!(v.count_ones(), bits.iter().filter(|&&b| b).count());
         let start = (start_frac * bits.len() as f64) as usize;
         let len = ((bits.len() - start) as f64 * len_frac) as usize;
         let expected = bits[start..start + len].iter().filter(|&&b| b).count();
-        prop_assert_eq!(v.count_ones_in(start, len), expected);
+        assert_eq!(v.count_ones_in(start, len), expected);
     }
 
-    #[test]
-    fn bitvec_window_value_matches_model(
-        bits in proptest::collection::vec(any::<bool>(), 8..100),
-        start_frac in 0.0..1.0f64,
-        width in 1usize..9,
-    ) {
+    fn bitvec_window_value_matches_model(rng) {
+        let bits = vec_bool(rng, 8..100);
+        let start_frac = rng.gen_range(0.0..1.0f64);
+        let width = rng.gen_range(1usize..9);
         let v = BitVec::from_bools(&bits);
         let start = ((bits.len() - width) as f64 * start_frac) as usize;
         let mut expected = 0u64;
         for &b in &bits[start..start + width] {
             expected = expected << 1 | u64::from(b);
         }
-        prop_assert_eq!(v.window_value(start, width), expected);
+        assert_eq!(v.window_value(start, width), expected);
     }
 
-    #[test]
-    fn bitvec_slice_matches_model(
-        bits in proptest::collection::vec(any::<bool>(), 1..200),
-        start_frac in 0.0..1.0f64,
-        len_frac in 0.0..1.0f64,
-    ) {
+    fn bitvec_slice_matches_model(rng) {
+        let bits = vec_bool(rng, 1..200);
+        let start_frac = rng.gen_range(0.0..1.0f64);
+        let len_frac = rng.gen_range(0.0..1.0f64);
         let v = BitVec::from_bools(&bits);
         let start = (start_frac * bits.len() as f64) as usize;
         let len = ((bits.len() - start) as f64 * len_frac) as usize;
         let s = v.slice(start, len);
         let expected: Vec<bool> = bits[start..start + len].to_vec();
         let got: Vec<bool> = s.iter().collect();
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected);
     }
 
-    #[test]
-    fn incomplete_gamma_complementarity(a in 0.05..30.0f64, x in 0.0..60.0f64) {
+    fn incomplete_gamma_complementarity(rng) {
+        let a = rng.gen_range(0.05..30.0f64);
+        let x = rng.gen_range(0.0..60.0f64);
         let s = igam(a, x) + igamc(a, x);
-        prop_assert!((s - 1.0).abs() < 1e-10, "a={} x={} sum={}", a, x, s);
+        assert!((s - 1.0).abs() < 1e-10, "a={} x={} sum={}", a, x, s);
     }
 
-    #[test]
-    fn igamc_monotone_in_x(a in 0.1..20.0f64, x in 0.0..40.0f64, dx in 0.0..5.0f64) {
-        prop_assert!(igamc(a, x + dx) <= igamc(a, x) + 1e-12);
+    fn igamc_monotone_in_x(rng) {
+        let a = rng.gen_range(0.1..20.0f64);
+        let x = rng.gen_range(0.0..40.0f64);
+        let dx = rng.gen_range(0.0..5.0f64);
+        assert!(igamc(a, x + dx) <= igamc(a, x) + 1e-12);
     }
 
-    #[test]
-    fn ln_gamma_recurrence(x in 0.5..50.0f64) {
+    fn ln_gamma_recurrence(rng) {
+        let x = rng.gen_range(0.5..50.0f64);
         // Gamma(x+1) = x * Gamma(x).
         let lhs = ln_gamma(x + 1.0);
         let rhs = x.ln() + ln_gamma(x);
-        prop_assert!((lhs - rhs).abs() < 1e-10, "x = {}", x);
+        assert!((lhs - rhs).abs() < 1e-10, "x = {}", x);
     }
 
-    #[test]
-    fn erf_bounds_and_complement(x in -5.0..5.0f64) {
-        prop_assert!(erf(x).abs() <= 1.0);
-        prop_assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-13);
+    fn erf_bounds_and_complement(rng) {
+        let x = rng.gen_range(-5.0..5.0f64);
+        assert!(erf(x).abs() <= 1.0);
+        assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-13);
     }
 
-    #[test]
-    fn dft_matches_naive_for_arbitrary_lengths(
-        re in proptest::collection::vec(-2.0..2.0f64, 1..24),
-    ) {
+    fn dft_matches_naive_for_arbitrary_lengths(rng) {
+        let re = vec_f64(rng, -2.0..2.0, 1..24);
         let input: Vec<Complex> = re.iter().map(|&r| (r, 0.0)).collect();
         let got = dft(&input);
         let n = input.len();
@@ -100,29 +101,26 @@ proptest! {
                 acc.0 += xr * ang.cos();
                 acc.1 += xr * ang.sin();
             }
-            prop_assert!((got_k.0 - acc.0).abs() < 1e-7, "k={} re", k);
-            prop_assert!((got_k.1 - acc.1).abs() < 1e-7, "k={} im", k);
+            assert!((got_k.0 - acc.0).abs() < 1e-7, "k={} re", k);
+            assert!((got_k.1 - acc.1).abs() < 1e-7, "k={} im", k);
         }
     }
 
-    #[test]
-    fn dft_parseval(re in proptest::collection::vec(-2.0..2.0f64, 1..40)) {
+    fn dft_parseval(rng) {
+        let re = vec_f64(rng, -2.0..2.0, 1..40);
         let input: Vec<Complex> = re.iter().map(|&r| (r, 0.0)).collect();
         let out = dft(&input);
         let time: f64 = input.iter().map(|c| c.0 * c.0 + c.1 * c.1).sum();
         let freq: f64 =
             out.iter().map(|c| c.0 * c.0 + c.1 * c.1).sum::<f64>() / input.len() as f64;
-        prop_assert!((time - freq).abs() < 1e-7);
+        assert!((time - freq).abs() < 1e-7);
     }
 
-    #[test]
-    fn cheap_tests_produce_valid_p_values(
-        seed in any::<u64>(),
-        n in 200usize..2_000,
-    ) {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let bits: BitVec = (0..n).map(|_| rng.gen::<bool>()).collect();
+    fn cheap_tests_produce_valid_p_values(rng) {
+        let seed = rng.gen::<u64>();
+        let n = rng.gen_range(200usize..2_000);
+        let mut bit_rng = StdRng::seed_from_u64(seed);
+        let bits: BitVec = (0..n).map(|_| bit_rng.gen::<bool>()).collect();
         for outcome in [
             trng_stattests::nist::frequency::test(&bits),
             trng_stattests::nist::block_frequency::test(&bits),
@@ -132,16 +130,15 @@ proptest! {
             trng_stattests::nist::approx_entropy::test(&bits),
         ].into_iter().flatten() {
             for &p in &outcome.p_values {
-                prop_assert!((0.0..=1.0).contains(&p), "{}: p = {}", outcome.name, p);
+                assert!((0.0..=1.0).contains(&p), "{}: p = {}", outcome.name, p);
             }
         }
     }
 
-    #[test]
-    fn uniformity_p_value_is_valid(
-        ps in proptest::collection::vec(0.0..=1.0f64, 0..200),
-    ) {
+    fn uniformity_p_value_is_valid(rng) {
+        let n = rng.gen_range(0usize..200);
+        let ps: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..=1.0f64)).collect();
         let u = trng_stattests::assessment::uniformity_p_value(&ps);
-        prop_assert!((0.0..=1.0).contains(&u));
+        assert!((0.0..=1.0).contains(&u));
     }
 }

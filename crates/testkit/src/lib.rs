@@ -1,0 +1,34 @@
+//! `trng-testkit` — hermetic, zero-dependency test infrastructure.
+//!
+//! Every crate in this workspace builds and tests **offline**: no
+//! registry crates, no network, no non-determinism that cannot be
+//! pinned by a seed. This crate supplies the three pieces of
+//! infrastructure that external crates used to provide:
+//!
+//! * [`prng`] — a seedable xoshiro256++ generator plus the small
+//!   `rand`-style trait surface ([`prng::Rng`], [`prng::RngCore`],
+//!   [`prng::SeedableRng`]) the workspace consumes. Replaces the
+//!   `rand` crate.
+//! * [`prop`] — a minimal property-testing harness: seeded case
+//!   generation, case count configurable via `TRNG_PROP_CASES`,
+//!   failing-seed reporting and single-seed replay via
+//!   `TRNG_PROP_SEED`. Replaces `proptest` (no shrinking by design —
+//!   a failing seed reproduces the exact case).
+//! * [`bench`] — a micro-benchmark timer harness (warmup, N samples,
+//!   median/p95, JSON reports written to `BENCH_<group>.json`) with a
+//!   criterion-shaped API. Replaces `criterion`.
+//! * [`json`] — a tiny JSON writer used by the bench reports (the
+//!   workspace's serialization shim; replaces the optional `serde`
+//!   derives, which were removed).
+//!
+//! # Seeding policy
+//!
+//! All randomness in tests flows from explicit `u64` seeds through
+//! [`prng::StdRng::seed_from_u64`]. The property harness derives one
+//! seed per case from the property name and case index, so runs are
+//! reproducible across machines and parallel test threads.
+
+pub mod bench;
+pub mod json;
+pub mod prng;
+pub mod prop;

@@ -1,0 +1,483 @@
+//! Deterministic pseudo-random generation with a `rand`-style API.
+//!
+//! The workspace's only generator is [`Xoshiro256pp`]
+//! (xoshiro256++ 1.0, Blackman & Vigna), exposed under the alias
+//! [`StdRng`] so call sites read exactly like `rand 0.8` code:
+//!
+//! ```
+//! use trng_testkit::prng::{Rng, SeedableRng, StdRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let x: f64 = rng.gen();
+//! let b: bool = rng.gen();
+//! let roll = rng.gen_range(1u8..=6);
+//! assert!((0.0..1.0).contains(&x));
+//! assert!((1..=6).contains(&roll));
+//! # let _ = b;
+//! ```
+//!
+//! The trait surface is the subset of `rand` this workspace actually
+//! uses: [`RngCore`] (raw words and bytes), [`Rng`] (typed draws and
+//! ranges, blanket-implemented for every `RngCore`), [`SeedableRng`]
+//! (explicit 64-bit seeding plus best-effort process entropy) and the
+//! [`CryptoRng`] marker.
+
+use std::collections::hash_map::RandomState;
+use std::hash::{BuildHasher, Hasher};
+use std::ops::{Range, RangeInclusive};
+
+/// SplitMix64 finalizer: a high-quality 64-bit mixer.
+///
+/// Used to expand a single `u64` seed into full generator state and
+/// to derive independent per-case seeds in the property harness.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Raw generator interface: 64-bit words down to bytes.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits (top half of [`RngCore::next_u64`] by default).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let last = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&last[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Marker: the generator is suitable for cryptographic use.
+///
+/// Purely a documentation marker, as in `rand` — nothing in the
+/// workspace dispatches on it.
+pub trait CryptoRng {}
+
+/// Explicit seeding.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose entire state derives from `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+
+    /// Builds a generator from best-effort process entropy.
+    ///
+    /// Use only for exploratory runs; tests and experiments must use
+    /// [`SeedableRng::seed_from_u64`] for reproducibility.
+    fn from_entropy() -> Self {
+        Self::seed_from_u64(entropy_seed())
+    }
+}
+
+/// Returns a best-effort non-deterministic 64-bit seed.
+///
+/// Mixes the standard library's per-process SipHash keys
+/// ([`RandomState`]) with the wall clock. Not cryptographically
+/// strong — it only has to make `from_entropy` runs differ.
+pub fn entropy_seed() -> u64 {
+    let mut h = RandomState::new().build_hasher();
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+        .unwrap_or(0);
+    h.write_u64(nanos);
+    splitmix64(h.finish())
+}
+
+/// xoshiro256++ 1.0 (Blackman & Vigna, 2019). Public domain algorithm.
+///
+/// 256 bits of state, period 2^256 − 1, passes BigCrush. This is the
+/// workspace's [`StdRng`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+/// The workspace's default deterministic generator.
+pub type StdRng = Xoshiro256pp;
+
+impl Xoshiro256pp {
+    /// Forks an independent generator, advancing this one.
+    pub fn fork(&mut self) -> Self {
+        Self::seed_from_u64(self.next_u64())
+    }
+}
+
+impl SeedableRng for Xoshiro256pp {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion, as recommended by the xoshiro authors.
+        // The outputs of distinct splitmix64 steps are never all zero.
+        let mut x = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            *slot = z ^ (z >> 31);
+        }
+        Xoshiro256pp { s }
+    }
+}
+
+impl RngCore for Xoshiro256pp {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Types drawable uniformly from a generator via [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws a uniform value of `Self`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() as u128) << 64 | rng.next_u64() as u128
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with full 53-bit mantissa resolution.
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24-bit resolution.
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Draws a uniform integer in `[0, n)` without modulo bias
+/// (Lemire's multiply-then-reject method).
+#[inline]
+pub fn uniform_u64_below<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    assert!(n > 0, "empty range");
+    // 2^64 mod n: values below this threshold in the low word would
+    // be over-represented and are rejected.
+    let threshold = n.wrapping_neg() % n;
+    loop {
+        let m = (rng.next_u64() as u128) * (n as u128);
+        if (m as u64) >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+/// Range types usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws a uniform value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + uniform_u64_below(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + uniform_u64_below(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! range_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                self.start.wrapping_add(uniform_u64_below(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "empty range");
+                let span = (hi as $u).wrapping_sub(lo as $u) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(uniform_u64_below(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+range_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+macro_rules! range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let u = <$t as Standard>::sample_standard(rng); // [0, 1)
+                self.start + (self.end - self.start) * u
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "empty range");
+                // 53 (resp. 24) uniform bits scaled onto [0, 1].
+                let u = (rng.next_u64() >> 11) as $t / (((1u64 << 53) - 1) as $t);
+                lo + (hi - lo) * u
+            }
+        }
+    )*};
+}
+range_float!(f64, f32);
+
+/// Typed draws on top of [`RngCore`], `rand`-style.
+///
+/// Blanket-implemented for every `RngCore`, so `SimRng`, `TrngRng`
+/// and [`StdRng`] all get `gen`, `gen_range` and `gen_bool` for free.
+pub trait Rng: RngCore {
+    /// Draws a uniform value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Draws a uniform value from `range` (`a..b` or `a..=b`).
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Draws `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample_standard(self) < p.clamp(0.0, 1.0)
+    }
+
+    /// Fills the byte slice with random data.
+    fn fill(&mut self, dest: &mut [u8])
+    where
+        Self: Sized,
+    {
+        self.fill_bytes(dest);
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Module alias so `rand`-era paths like `rngs::StdRng` keep reading
+/// naturally after a mechanical `rand::` → `trng_testkit::prng::`
+/// substitution.
+pub mod rngs {
+    pub use super::Xoshiro256pp as StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_answer_xoshiro256pp() {
+        // State {1, 2, 3, 4} — first outputs of the reference C
+        // implementation of xoshiro256++ 1.0.
+        let mut rng = Xoshiro256pp { s: [1, 2, 3, 4] };
+        let expected: [u64; 5] = [
+            41943041,
+            58720359,
+            3588806011781223,
+            3591011842654386,
+            9228616714210784205,
+        ];
+        for e in expected {
+            assert_eq!(rng.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn seeding_is_deterministic_and_seed_sensitive() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+        assert_eq!(xs.iter().zip(&zs).filter(|(x, z)| x == z).count(), 0);
+    }
+
+    #[test]
+    fn fill_bytes_matches_word_stream() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        let mut buf = [0u8; 20];
+        a.fill_bytes(&mut buf);
+        let w0 = b.next_u64().to_le_bytes();
+        let w1 = b.next_u64().to_le_bytes();
+        let w2 = b.next_u64().to_le_bytes();
+        assert_eq!(&buf[..8], &w0);
+        assert_eq!(&buf[8..16], &w1);
+        assert_eq!(&buf[16..], &w2[..4]);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let a = rng.gen_range(10u32..20);
+            assert!((10..20).contains(&a));
+            let b = rng.gen_range(1u8..=6);
+            assert!((1..=6).contains(&b));
+            let c = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&c));
+            let d = rng.gen_range(-1.5f64..2.5);
+            assert!((-1.5..2.5).contains(&d));
+            let e = rng.gen_range(0.0f64..=1.0);
+            assert!((0.0..=1.0).contains(&e));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_ranges_uniformly() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0u32; 6];
+        let n = 60_000;
+        for _ in 0..n {
+            counts[rng.gen_range(0usize..6)] += 1;
+        }
+        for &c in &counts {
+            // Expected 10_000, sd ~ 91; 6 sigma ~ 550.
+            assert!((c as i64 - 10_000).abs() < 600, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_and_floats_are_calibrated() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 100_000;
+        let ones = (0..n).filter(|_| rng.gen_bool(0.25)).count() as f64 / n as f64;
+        assert!((ones - 0.25).abs() < 0.01, "{ones}");
+        let mean = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "{mean}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn bool_draws_are_balanced() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let n = 100_000;
+        let ones = (0..n).filter(|_| rng.gen::<bool>()).count() as f64 / n as f64;
+        assert!((ones - 0.5).abs() < 0.008, "{ones}");
+    }
+
+    #[test]
+    fn fork_diverges_from_parent() {
+        let mut parent = StdRng::seed_from_u64(9);
+        let mut child = parent.fork();
+        let p: Vec<u64> = (0..16).map(|_| parent.next_u64()).collect();
+        let c: Vec<u64> = (0..16).map(|_| child.next_u64()).collect();
+        assert_ne!(p, c);
+    }
+
+    #[test]
+    fn entropy_seeds_differ() {
+        // Two draws in a row must not collide (they hash distinct
+        // RandomState keys).
+        assert_ne!(entropy_seed(), entropy_seed());
+    }
+
+    #[test]
+    fn uniform_below_handles_edges() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(uniform_u64_below(&mut rng, 1), 0);
+        for _ in 0..1000 {
+            assert!(uniform_u64_below(&mut rng, 3) < 3);
+        }
+    }
+}

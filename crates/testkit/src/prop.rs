@@ -1,0 +1,199 @@
+//! Minimal property-testing harness.
+//!
+//! A property is a closure over a seeded [`StdRng`]; the harness runs
+//! it for `TRNG_PROP_CASES` independently-seeded cases (default 64)
+//! and, on failure, reports the exact seed so the case replays with
+//! no shrinking step:
+//!
+//! ```text
+//! TRNG_PROP_SEED=0x3a2f… cargo test -p trng-model p1_is_a_probability
+//! ```
+//!
+//! Unlike `proptest` there are no strategy combinators: tests draw
+//! their inputs directly from the generator with [`Rng::gen_range`]
+//! and the `vec_*` helpers below, which keeps the harness ~100 lines
+//! and the dependency count zero.
+//!
+//! # Environment variables
+//!
+//! * `TRNG_PROP_CASES` — cases per property (default 64).
+//! * `TRNG_PROP_SEED` — run exactly one case with this seed
+//!   (hex with `0x` prefix, or decimal).
+
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::prng::{splitmix64, Rng, RngCore, SeedableRng, StdRng};
+
+/// Number of cases each property runs, from `TRNG_PROP_CASES`.
+pub fn cases() -> u64 {
+    match std::env::var("TRNG_PROP_CASES") {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("TRNG_PROP_CASES must be an integer, got {v:?}")),
+        Err(_) => 64,
+    }
+}
+
+fn parse_seed(v: &str) -> u64 {
+    let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => v.parse(),
+    };
+    parsed.unwrap_or_else(|_| panic!("TRNG_PROP_SEED must be a u64 (hex or decimal), got {v:?}"))
+}
+
+/// Derives the seed for case `index` of the named property.
+///
+/// Mixes a hash of the property name with the case index so every
+/// property sees an independent, machine-independent seed sequence.
+pub fn case_seed(name: &str, index: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    splitmix64(h ^ splitmix64(index.wrapping_add(0x9E37_79B9_7F4A_7C15)))
+}
+
+/// Runs `property` for [`cases`] seeded cases, reporting the failing
+/// seed on panic.
+///
+/// A case that cannot satisfy its own preconditions should simply
+/// `return` (counts as a pass), mirroring `prop_assume!` semantics.
+pub fn check<F: Fn(&mut StdRng)>(name: &str, property: F) {
+    if let Ok(v) = std::env::var("TRNG_PROP_SEED") {
+        let seed = parse_seed(&v);
+        let mut rng = StdRng::seed_from_u64(seed);
+        property(&mut rng);
+        return;
+    }
+    let n = cases();
+    for index in 0..n {
+        let seed = case_seed(name, index);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            property(&mut rng);
+        }));
+        if let Err(payload) = outcome {
+            let cause: &str = if let Some(s) = payload.downcast_ref::<&str>() {
+                s
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s
+            } else {
+                "<non-string panic payload>"
+            };
+            panic!(
+                "property '{name}' failed at case {index}/{n} (seed {seed:#018x})\n\
+                 replay: TRNG_PROP_SEED={seed:#x} cargo test {name}\n\
+                 cause: {cause}"
+            );
+        }
+    }
+}
+
+/// Declares `#[test]` functions that each run as a seeded property.
+///
+/// ```
+/// trng_testkit::props! {
+///     fn addition_commutes(rng) {
+///         use trng_testkit::prng::Rng;
+///         let (a, b) = (rng.gen::<u32>() / 2, rng.gen::<u32>() / 2);
+///         assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! props {
+    ($( $(#[$attr:meta])* fn $name:ident($rng:ident) $body:block )*) => {$(
+        $(#[$attr])*
+        #[test]
+        fn $name() {
+            $crate::prop::check(stringify!($name), |$rng: &mut $crate::prng::StdRng| $body);
+        }
+    )*};
+}
+
+/// A random `Vec<bool>` whose length is drawn from `len`.
+pub fn vec_bool<R: RngCore>(rng: &mut R, len: Range<usize>) -> Vec<bool> {
+    let n = rng.gen_range(len);
+    (0..n).map(|_| rng.gen::<bool>()).collect()
+}
+
+/// A random `Vec<f64>` with values in `value` and length in `len`.
+pub fn vec_f64<R: RngCore>(rng: &mut R, value: Range<f64>, len: Range<usize>) -> Vec<f64> {
+    let n = rng.gen_range(len);
+    (0..n).map(|_| rng.gen_range(value.clone())).collect()
+}
+
+/// Picks one element of a non-empty slice uniformly.
+pub fn pick<T: Copy, R: RngCore>(rng: &mut R, options: &[T]) -> T {
+    options[rng.gen_range(0..options.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_seeds_are_distinct_per_case_and_name() {
+        let a: Vec<u64> = (0..64).map(|i| case_seed("alpha", i)).collect();
+        let b: Vec<u64> = (0..64).map(|i| case_seed("beta", i)).collect();
+        let mut all: Vec<u64> = a.iter().chain(&b).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 128, "seed collision");
+    }
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0u64;
+        check("counts_cases", |_| {});
+        check("counts_cases2", |rng| {
+            let _ = rng.next_u64();
+        });
+        // No direct hook into the closure count without interior
+        // mutability; use a cell.
+        let cell = std::cell::Cell::new(0u64);
+        check("counts_cases3", |_| cell.set(cell.get() + 1));
+        count += cell.get();
+        assert_eq!(count, cases());
+    }
+
+    #[test]
+    fn failing_property_reports_seed() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check("always_fails", |_| panic!("boom"));
+        }));
+        let payload = result.expect_err("property must fail");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("formatted panic")
+            .clone();
+        assert!(msg.contains("always_fails"), "{msg}");
+        assert!(msg.contains("TRNG_PROP_SEED=0x"), "{msg}");
+        assert!(msg.contains("boom"), "{msg}");
+        assert!(msg.contains("case 0/"), "{msg}");
+    }
+
+    #[test]
+    fn helpers_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let v = vec_bool(&mut rng, 0..30);
+            assert!(v.len() < 30);
+            let f = vec_f64(&mut rng, -1.0..1.0, 1..10);
+            assert!(!f.is_empty() && f.len() < 10);
+            assert!(f.iter().all(|x| (-1.0..1.0).contains(x)));
+            let p = pick(&mut rng, &[2, 4, 8]);
+            assert!([2, 4, 8].contains(&p));
+        }
+    }
+
+    props! {
+        fn macro_declared_property_works(rng) {
+            let x = rng.gen_range(0u32..100);
+            assert!(x < 100);
+        }
+    }
+}

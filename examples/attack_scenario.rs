@@ -26,8 +26,8 @@ use trng_core::postprocess::XorCompressor;
 use trng_core::trng::{CarryChainTrng, TrngConfig};
 use trng_fpga_sim::noise::{AttackInjection, GlobalModulation, SupplyTone};
 use trng_model::params::{DesignParams, PlatformParams};
-use trng_stattests::bits::BitVec;
 use trng_stattests::ais31::{t8_entropy, Ais31Verdict};
+use trng_stattests::bits::BitVec;
 use trng_stattests::estimators::{markov_min_entropy, shannon_bias_entropy};
 use trng_stattests::fips140::{run_fips140, SAMPLE_BITS};
 
@@ -88,10 +88,16 @@ fn main() {
     //    bins do not, and its output degenerates.
     let mut attacked = TrngConfig::paper_k1();
     attacked.attack = Some(AttackInjection::locking(1e12 / 480.0, 0.6));
-    evaluate("\n2a. EM injection locking, k = 1 (fine bins resist):", attacked);
+    evaluate(
+        "\n2a. EM injection locking, k = 1 (fine bins resist):",
+        attacked,
+    );
     let mut attacked4 = TrngConfig::paper_k4();
     attacked4.attack = Some(AttackInjection::locking(1e12 / 480.0, 0.6));
-    evaluate("\n2b. EM injection locking, k = 4 (coarse bins collapse):", attacked4);
+    evaluate(
+        "\n2b. EM injection locking, k = 4 (coarse bins collapse):",
+        attacked4,
+    );
 
     // 3. The "supply-ripple harvester" mistake: weak thermal noise and
     //    a too-coarse design, but a strong supply ripple sweeps the
@@ -110,8 +116,14 @@ fn main() {
             .with_tone(SupplyTone::new(2.13e6, 0.012))
             .with_tone(SupplyTone::new(0.31e6, 0.008)),
     );
-    evaluate("\n3a. mistuned design + noisy supply (ripple masquerades as entropy):", with_ripple);
-    evaluate("\n3b. same design, supply stabilized (true entropy exposed):", ripple);
+    evaluate(
+        "\n3a. mistuned design + noisy supply (ripple masquerades as entropy):",
+        with_ripple,
+    );
+    evaluate(
+        "\n3b. same design, supply stabilized (true entropy exposed):",
+        ripple,
+    );
 
     println!(
         "\nTakeaways: (i) injection locking collapses accumulated jitter, but\n\

@@ -35,7 +35,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n== tstep (stage counting over a known period) ==");
     let long_line = TappedDelayLine::ideal(128, Ps::from_ps(17.0));
     let half_period = lut.d0 * ro.stages as f64;
-    let ts = measure_tstep(ro.clone(), &long_line, half_period, 400, SimRng::seed_from(2))?;
+    let ts = measure_tstep(
+        ro.clone(),
+        &long_line,
+        half_period,
+        400,
+        SimRng::seed_from(2),
+    )?;
     println!(
         "  mean edge spacing {:.1} taps over {} samples -> tstep = {:.2} ps (paper: ~17 ps)",
         ts.mean_edge_distance_taps,
@@ -44,7 +50,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("\n== thermal jitter (differential, 20 ns, 1000 runs) ==");
-    let j = measure_jitter(ro.clone(), &long_line, Ps::from_ns(20.0), 1000, SimRng::seed_from(3))?;
+    let j = measure_jitter(
+        ro.clone(),
+        &long_line,
+        Ps::from_ns(20.0),
+        1000,
+        SimRng::seed_from(3),
+    )?;
     println!(
         "  sigma(diff) = {:.2} ps over {} runs -> sigma_LUT = {:.2} ps (paper: ~2 ps)",
         j.sigma_diff.as_ps(),

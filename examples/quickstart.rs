@@ -30,10 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Continuous health monitoring on the *raw* bits (SP 800-90B
     // style), claiming the model's min-entropy lower bound.
-    let point = trng_model::design_space::evaluate(
-        &trng.config().platform,
-        &trng.config().design,
-    )?;
+    let point = trng_model::design_space::evaluate(&trng.config().platform, &trng.config().design)?;
     let mut health = OnlineHealth::new(point.h_min_raw.max(0.1));
 
     // Generate 32 random bytes through post-processing while feeding

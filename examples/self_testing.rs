@@ -1,17 +1,17 @@
-//! Self-testing TRNG + `rand` ecosystem integration: the "product"
-//! face of the reproduction — a gated generator with embedded start-up
+//! Self-testing TRNG + generic-RNG integration: the "product" face
+//! of the reproduction — a gated generator with embedded start-up
 //! and online tests (the paper's future work), consumed through the
-//! standard [`rand::RngCore`] interface.
+//! standard [`trng_testkit::prng::RngCore`] interface.
 //!
 //! ```text
 //! cargo run --release -p trng-core --example self_testing
 //! ```
 
-use rand::Rng;
 use trng_core::rng_adapter::TrngRng;
 use trng_core::selftest::SelfTestingTrng;
 use trng_core::trng::{CarryChainTrng, TrngConfig};
 use trng_model::report::evaluation_report;
+use trng_testkit::prng::Rng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = TrngConfig::paper_k1();
@@ -31,9 +31,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let byte = chunk.iter().fold(0u8, |acc, &b| acc << 1 | u8::from(b));
         print!("{byte:02x}");
     }
-    println!("\nembedded tests: ok ({} raw samples drawn)\n", gated.stats().samples);
+    println!(
+        "\nembedded tests: ok ({} raw samples drawn)\n",
+        gated.stats().samples
+    );
 
-    // rand-ecosystem usage: dice rolls, shuffles, ranges — anything
+    // Generic-RNG usage: dice rolls, shuffles, ranges — anything
     // that takes an RngCore.
     let trng = CarryChainTrng::new(config, 0xDEAD)?;
     let mut rng = TrngRng::new(trng);
@@ -47,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("true-random shuffle of 1..=10: {deck:?}");
     println!(
-        "(consumed {} raw TRNG samples through the rand adapter)",
+        "(consumed {} raw TRNG samples through the RngCore adapter)",
         rng.get_ref().stats().samples
     );
     Ok(())

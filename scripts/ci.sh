@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a change must pass before merging.
+#
+# The whole pipeline is hermetic — `--offline` everywhere, and the
+# workspace has no registry dependencies (see DESIGN.md, "Hermetic
+# builds"). Run from anywhere inside the repository.
+#
+#   scripts/ci.sh            # full gate
+#   TRNG_PROP_CASES=512 scripts/ci.sh   # heavier property sweep
+
+set -euo pipefail
+cd "$(git -C "$(dirname "$0")" rev-parse --show-toplevel 2>/dev/null || dirname "$0")/."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test --offline"
+cargo test -q --offline
+
+if cargo fmt --version >/dev/null 2>&1; then
+    echo "==> cargo fmt --check"
+    cargo fmt --all --check
+else
+    echo "==> cargo fmt not installed; skipping format check"
+fi
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy -D warnings"
+    cargo clippy --offline --all-targets -- -D warnings
+else
+    echo "==> cargo clippy not installed; skipping lint"
+fi
+
+echo "==> tier-1 gate passed"

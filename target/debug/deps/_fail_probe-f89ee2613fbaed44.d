@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/_fail_probe-f89ee2613fbaed44.d: crates/testkit/tests/_fail_probe.rs
+
+/root/repo/target/debug/deps/_fail_probe-f89ee2613fbaed44: crates/testkit/tests/_fail_probe.rs
+
+crates/testkit/tests/_fail_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/_probe-2940b51ed556b51c.d: crates/stattests/tests/_probe.rs
+
+/root/repo/target/debug/deps/_probe-2940b51ed556b51c: crates/stattests/tests/_probe.rs
+
+crates/stattests/tests/_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/_probe-64f0c81eb7e228dd.d: crates/core/tests/_probe.rs
+
+/root/repo/target/debug/deps/_probe-64f0c81eb7e228dd: crates/core/tests/_probe.rs
+
+crates/core/tests/_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-1eba60c07d4e93fe.d: crates/bench/benches/ablation.rs
+
+/root/repo/target/debug/deps/ablation-1eba60c07d4e93fe: crates/bench/benches/ablation.rs
+
+crates/bench/benches/ablation.rs:

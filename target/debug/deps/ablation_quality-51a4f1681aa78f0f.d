@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_quality-51a4f1681aa78f0f.d: crates/bench/src/bin/ablation_quality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_quality-51a4f1681aa78f0f.rmeta: crates/bench/src/bin/ablation_quality.rs Cargo.toml
+
+crates/bench/src/bin/ablation_quality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_quality-58a351f0a1ddf7f1.d: crates/bench/src/bin/ablation_quality.rs
+
+/root/repo/target/debug/deps/ablation_quality-58a351f0a1ddf7f1: crates/bench/src/bin/ablation_quality.rs
+
+crates/bench/src/bin/ablation_quality.rs:

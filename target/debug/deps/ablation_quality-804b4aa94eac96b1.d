@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_quality-804b4aa94eac96b1.d: crates/bench/src/bin/ablation_quality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_quality-804b4aa94eac96b1.rmeta: crates/bench/src/bin/ablation_quality.rs Cargo.toml
+
+crates/bench/src/bin/ablation_quality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

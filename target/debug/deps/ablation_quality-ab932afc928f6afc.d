@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_quality-ab932afc928f6afc.d: crates/bench/src/bin/ablation_quality.rs
+
+/root/repo/target/debug/deps/ablation_quality-ab932afc928f6afc: crates/bench/src/bin/ablation_quality.rs
+
+crates/bench/src/bin/ablation_quality.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/design_flow-585baa51374185e1.d: crates/core/../../tests/design_flow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdesign_flow-585baa51374185e1.rmeta: crates/core/../../tests/design_flow.rs Cargo.toml
+
+crates/core/../../tests/design_flow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

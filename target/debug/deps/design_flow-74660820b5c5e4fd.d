@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/design_flow-74660820b5c5e4fd.d: crates/core/../../tests/design_flow.rs
+
+/root/repo/target/debug/deps/design_flow-74660820b5c5e4fd: crates/core/../../tests/design_flow.rs
+
+crates/core/../../tests/design_flow.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/design_steps-1b8e403b88ec03ee.d: crates/bench/src/bin/design_steps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdesign_steps-1b8e403b88ec03ee.rmeta: crates/bench/src/bin/design_steps.rs Cargo.toml
+
+crates/bench/src/bin/design_steps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

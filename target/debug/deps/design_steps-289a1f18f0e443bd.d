@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/design_steps-289a1f18f0e443bd.d: crates/bench/src/bin/design_steps.rs
+
+/root/repo/target/debug/deps/design_steps-289a1f18f0e443bd: crates/bench/src/bin/design_steps.rs
+
+crates/bench/src/bin/design_steps.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/design_steps-c27f9886730358b2.d: crates/bench/src/bin/design_steps.rs
+
+/root/repo/target/debug/deps/design_steps-c27f9886730358b2: crates/bench/src/bin/design_steps.rs
+
+crates/bench/src/bin/design_steps.rs:

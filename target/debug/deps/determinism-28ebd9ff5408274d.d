@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-28ebd9ff5408274d.d: crates/core/../../tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-28ebd9ff5408274d: crates/core/../../tests/determinism.rs
+
+crates/core/../../tests/determinism.rs:

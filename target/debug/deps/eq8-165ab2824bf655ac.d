@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/eq8-165ab2824bf655ac.d: crates/bench/src/bin/eq8.rs
+
+/root/repo/target/debug/deps/eq8-165ab2824bf655ac: crates/bench/src/bin/eq8.rs
+
+crates/bench/src/bin/eq8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/eq8-7b5d96747db48510.d: crates/bench/src/bin/eq8.rs
+
+/root/repo/target/debug/deps/eq8-7b5d96747db48510: crates/bench/src/bin/eq8.rs
+
+crates/bench/src/bin/eq8.rs:

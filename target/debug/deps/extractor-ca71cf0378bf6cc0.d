@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extractor-ca71cf0378bf6cc0.d: crates/bench/benches/extractor.rs
+
+/root/repo/target/debug/deps/extractor-ca71cf0378bf6cc0: crates/bench/benches/extractor.rs
+
+crates/bench/benches/extractor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extractor-cdb79bf03608ecc8.d: crates/bench/benches/extractor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextractor-cdb79bf03608ecc8.rmeta: crates/bench/benches/extractor.rs Cargo.toml
+
+crates/bench/benches/extractor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

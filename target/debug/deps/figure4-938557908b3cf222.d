@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure4-938557908b3cf222.d: crates/bench/src/bin/figure4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure4-938557908b3cf222.rmeta: crates/bench/src/bin/figure4.rs Cargo.toml
+
+crates/bench/src/bin/figure4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

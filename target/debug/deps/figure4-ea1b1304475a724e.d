@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure4-ea1b1304475a724e.d: crates/bench/src/bin/figure4.rs
+
+/root/repo/target/debug/deps/figure4-ea1b1304475a724e: crates/bench/src/bin/figure4.rs
+
+crates/bench/src/bin/figure4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure4-ea5082d21226acfb.d: crates/bench/src/bin/figure4.rs
+
+/root/repo/target/debug/deps/figure4-ea5082d21226acfb: crates/bench/src/bin/figure4.rs
+
+crates/bench/src/bin/figure4.rs:

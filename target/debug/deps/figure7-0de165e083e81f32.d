@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure7-0de165e083e81f32.d: crates/bench/src/bin/figure7.rs
+
+/root/repo/target/debug/deps/figure7-0de165e083e81f32: crates/bench/src/bin/figure7.rs
+
+crates/bench/src/bin/figure7.rs:

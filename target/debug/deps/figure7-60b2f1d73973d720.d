@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure7-60b2f1d73973d720.d: crates/bench/src/bin/figure7.rs
+
+/root/repo/target/debug/deps/figure7-60b2f1d73973d720: crates/bench/src/bin/figure7.rs
+
+crates/bench/src/bin/figure7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden_vectors-ea37f22fefa78179.d: crates/core/../../tests/golden_vectors.rs
+
+/root/repo/target/debug/deps/golden_vectors-ea37f22fefa78179: crates/core/../../tests/golden_vectors.rs
+
+crates/core/../../tests/golden_vectors.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/golden_vectors-fc2589aa45a52121.d: crates/core/../../tests/golden_vectors.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden_vectors-fc2589aa45a52121.rmeta: crates/core/../../tests/golden_vectors.rs Cargo.toml
+
+crates/core/../../tests/golden_vectors.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

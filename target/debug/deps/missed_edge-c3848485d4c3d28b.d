@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/missed_edge-c3848485d4c3d28b.d: crates/core/../../tests/missed_edge.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmissed_edge-c3848485d4c3d28b.rmeta: crates/core/../../tests/missed_edge.rs Cargo.toml
+
+crates/core/../../tests/missed_edge.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

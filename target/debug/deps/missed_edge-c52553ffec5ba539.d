@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/missed_edge-c52553ffec5ba539.d: crates/core/../../tests/missed_edge.rs
+
+/root/repo/target/debug/deps/missed_edge-c52553ffec5ba539: crates/core/../../tests/missed_edge.rs
+
+crates/core/../../tests/missed_edge.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_vs_sim-18a85d490f9f5c9c.d: crates/core/../../tests/model_vs_sim.rs
+
+/root/repo/target/debug/deps/model_vs_sim-18a85d490f9f5c9c: crates/core/../../tests/model_vs_sim.rs
+
+crates/core/../../tests/model_vs_sim.rs:

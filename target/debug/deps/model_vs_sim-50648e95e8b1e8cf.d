@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_vs_sim-50648e95e8b1e8cf.d: crates/core/../../tests/model_vs_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_vs_sim-50648e95e8b1e8cf.rmeta: crates/core/../../tests/model_vs_sim.rs Cargo.toml
+
+crates/core/../../tests/model_vs_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nist-3f22df5317add4a7.d: crates/bench/benches/nist.rs
+
+/root/repo/target/debug/deps/nist-3f22df5317add4a7: crates/bench/benches/nist.rs
+
+crates/bench/benches/nist.rs:

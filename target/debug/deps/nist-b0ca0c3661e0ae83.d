@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nist-b0ca0c3661e0ae83.d: crates/bench/benches/nist.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnist-b0ca0c3661e0ae83.rmeta: crates/bench/benches/nist.rs Cargo.toml
+
+crates/bench/benches/nist.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

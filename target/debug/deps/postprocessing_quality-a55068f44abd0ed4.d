@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/postprocessing_quality-a55068f44abd0ed4.d: crates/core/../../tests/postprocessing_quality.rs
+
+/root/repo/target/debug/deps/postprocessing_quality-a55068f44abd0ed4: crates/core/../../tests/postprocessing_quality.rs
+
+crates/core/../../tests/postprocessing_quality.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/postprocessing_quality-ff330aa2ee2d07d9.d: crates/core/../../tests/postprocessing_quality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpostprocessing_quality-ff330aa2ee2d07d9.rmeta: crates/core/../../tests/postprocessing_quality.rs Cargo.toml
+
+crates/core/../../tests/postprocessing_quality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

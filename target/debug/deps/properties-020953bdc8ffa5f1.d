@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-020953bdc8ffa5f1.d: crates/model/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-020953bdc8ffa5f1: crates/model/tests/properties.rs
+
+crates/model/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-679bd68b06466bfd.d: crates/fpga-sim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-679bd68b06466bfd: crates/fpga-sim/tests/properties.rs
+
+crates/fpga-sim/tests/properties.rs:

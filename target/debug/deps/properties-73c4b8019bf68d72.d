@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-73c4b8019bf68d72.d: crates/stattests/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-73c4b8019bf68d72.rmeta: crates/stattests/tests/properties.rs Cargo.toml
+
+crates/stattests/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

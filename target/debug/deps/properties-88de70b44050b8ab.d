@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-88de70b44050b8ab.d: crates/measure/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-88de70b44050b8ab.rmeta: crates/measure/tests/properties.rs Cargo.toml
+
+crates/measure/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-cd52a7d540c0641d.d: crates/stattests/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-cd52a7d540c0641d: crates/stattests/tests/properties.rs
+
+crates/stattests/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-e20783b5442e0324.d: crates/fpga-sim/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-e20783b5442e0324.rmeta: crates/fpga-sim/tests/properties.rs Cargo.toml
+
+crates/fpga-sim/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-e5bb86b4008151d5.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-e5bb86b4008151d5: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-f46999718baf972f.d: crates/measure/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-f46999718baf972f: crates/measure/tests/properties.rs
+
+crates/measure/tests/properties.rs:

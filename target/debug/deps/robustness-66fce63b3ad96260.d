@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/robustness-66fce63b3ad96260.d: crates/core/../../tests/robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobustness-66fce63b3ad96260.rmeta: crates/core/../../tests/robustness.rs Cargo.toml
+
+crates/core/../../tests/robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

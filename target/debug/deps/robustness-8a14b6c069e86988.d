@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-8a14b6c069e86988.d: crates/core/../../tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-8a14b6c069e86988: crates/core/../../tests/robustness.rs
+
+crates/core/../../tests/robustness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/soak-26244208cd5edb32.d: crates/core/../../tests/soak.rs
+
+/root/repo/target/debug/deps/soak-26244208cd5edb32: crates/core/../../tests/soak.rs
+
+crates/core/../../tests/soak.rs:

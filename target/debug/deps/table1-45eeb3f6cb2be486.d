@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-45eeb3f6cb2be486.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-45eeb3f6cb2be486: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

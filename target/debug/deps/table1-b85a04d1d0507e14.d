@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-b85a04d1d0507e14.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-b85a04d1d0507e14: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-32b492b40d7f86c5.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-32b492b40d7f86c5: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

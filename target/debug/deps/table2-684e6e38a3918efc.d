@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-684e6e38a3918efc.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-684e6e38a3918efc: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/throughput-cb64938ee648d309.d: crates/bench/benches/throughput.rs
+
+/root/repo/target/debug/deps/throughput-cb64938ee648d309: crates/bench/benches/throughput.rs
+
+crates/bench/benches/throughput.rs:

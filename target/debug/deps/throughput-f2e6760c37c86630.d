@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/throughput-f2e6760c37c86630.d: crates/bench/benches/throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthroughput-f2e6760c37c86630.rmeta: crates/bench/benches/throughput.rs Cargo.toml
+
+crates/bench/benches/throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

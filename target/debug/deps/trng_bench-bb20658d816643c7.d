@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trng_bench-bb20658d816643c7.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/trng_bench-bb20658d816643c7: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

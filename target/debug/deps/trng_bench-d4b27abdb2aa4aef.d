@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trng_bench-d4b27abdb2aa4aef.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrng_bench-d4b27abdb2aa4aef.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

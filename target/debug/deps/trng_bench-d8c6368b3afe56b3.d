@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/trng_bench-d8c6368b3afe56b3.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libtrng_bench-d8c6368b3afe56b3.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libtrng_bench-d8c6368b3afe56b3.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

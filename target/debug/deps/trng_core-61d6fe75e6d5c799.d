@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/trng_core-61d6fe75e6d5c799.d: crates/core/src/lib.rs crates/core/src/bubble.rs crates/core/src/downsample.rs crates/core/src/elementary.rs crates/core/src/extractor.rs crates/core/src/health.rs crates/core/src/postprocess.rs crates/core/src/resources.rs crates/core/src/restart.rs crates/core/src/rng_adapter.rs crates/core/src/rtl.rs crates/core/src/self_timed.rs crates/core/src/selftest.rs crates/core/src/snippet.rs crates/core/src/trng.rs crates/core/src/von_neumann.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrng_core-61d6fe75e6d5c799.rmeta: crates/core/src/lib.rs crates/core/src/bubble.rs crates/core/src/downsample.rs crates/core/src/elementary.rs crates/core/src/extractor.rs crates/core/src/health.rs crates/core/src/postprocess.rs crates/core/src/resources.rs crates/core/src/restart.rs crates/core/src/rng_adapter.rs crates/core/src/rtl.rs crates/core/src/self_timed.rs crates/core/src/selftest.rs crates/core/src/snippet.rs crates/core/src/trng.rs crates/core/src/von_neumann.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/bubble.rs:
+crates/core/src/downsample.rs:
+crates/core/src/elementary.rs:
+crates/core/src/extractor.rs:
+crates/core/src/health.rs:
+crates/core/src/postprocess.rs:
+crates/core/src/resources.rs:
+crates/core/src/restart.rs:
+crates/core/src/rng_adapter.rs:
+crates/core/src/rtl.rs:
+crates/core/src/self_timed.rs:
+crates/core/src/selftest.rs:
+crates/core/src/snippet.rs:
+crates/core/src/trng.rs:
+crates/core/src/von_neumann.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/trng_measure-08f1cba56208c05d.d: crates/measure/src/lib.rs crates/measure/src/calibration.rs crates/measure/src/jitter.rs crates/measure/src/lut_delay.rs crates/measure/src/tstep.rs
+
+/root/repo/target/debug/deps/libtrng_measure-08f1cba56208c05d.rlib: crates/measure/src/lib.rs crates/measure/src/calibration.rs crates/measure/src/jitter.rs crates/measure/src/lut_delay.rs crates/measure/src/tstep.rs
+
+/root/repo/target/debug/deps/libtrng_measure-08f1cba56208c05d.rmeta: crates/measure/src/lib.rs crates/measure/src/calibration.rs crates/measure/src/jitter.rs crates/measure/src/lut_delay.rs crates/measure/src/tstep.rs
+
+crates/measure/src/lib.rs:
+crates/measure/src/calibration.rs:
+crates/measure/src/jitter.rs:
+crates/measure/src/lut_delay.rs:
+crates/measure/src/tstep.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/trng_measure-2e66a3a9aaecff95.d: crates/measure/src/lib.rs crates/measure/src/calibration.rs crates/measure/src/jitter.rs crates/measure/src/lut_delay.rs crates/measure/src/tstep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrng_measure-2e66a3a9aaecff95.rmeta: crates/measure/src/lib.rs crates/measure/src/calibration.rs crates/measure/src/jitter.rs crates/measure/src/lut_delay.rs crates/measure/src/tstep.rs Cargo.toml
+
+crates/measure/src/lib.rs:
+crates/measure/src/calibration.rs:
+crates/measure/src/jitter.rs:
+crates/measure/src/lut_delay.rs:
+crates/measure/src/tstep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trng_measure-7005caf6a0f0106f.d: crates/measure/src/lib.rs crates/measure/src/calibration.rs crates/measure/src/jitter.rs crates/measure/src/lut_delay.rs crates/measure/src/tstep.rs
+
+/root/repo/target/debug/deps/trng_measure-7005caf6a0f0106f: crates/measure/src/lib.rs crates/measure/src/calibration.rs crates/measure/src/jitter.rs crates/measure/src/lut_delay.rs crates/measure/src/tstep.rs
+
+crates/measure/src/lib.rs:
+crates/measure/src/calibration.rs:
+crates/measure/src/jitter.rs:
+crates/measure/src/lut_delay.rs:
+crates/measure/src/tstep.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/trng_model-fd45e0f7c9740b0b.d: crates/model/src/lib.rs crates/model/src/binary_prob.rs crates/model/src/design_space.rs crates/model/src/entropy.rs crates/model/src/gauss.rs crates/model/src/jitter.rs crates/model/src/params.rs crates/model/src/postprocess.rs crates/model/src/report.rs crates/model/src/sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrng_model-fd45e0f7c9740b0b.rmeta: crates/model/src/lib.rs crates/model/src/binary_prob.rs crates/model/src/design_space.rs crates/model/src/entropy.rs crates/model/src/gauss.rs crates/model/src/jitter.rs crates/model/src/params.rs crates/model/src/postprocess.rs crates/model/src/report.rs crates/model/src/sensitivity.rs Cargo.toml
+
+crates/model/src/lib.rs:
+crates/model/src/binary_prob.rs:
+crates/model/src/design_space.rs:
+crates/model/src/entropy.rs:
+crates/model/src/gauss.rs:
+crates/model/src/jitter.rs:
+crates/model/src/params.rs:
+crates/model/src/postprocess.rs:
+crates/model/src/report.rs:
+crates/model/src/sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,32 @@
+/root/repo/target/debug/deps/trng_stattests-1b01ee9f2553c163.d: crates/stattests/src/lib.rs crates/stattests/src/ais31.rs crates/stattests/src/assessment.rs crates/stattests/src/bits.rs crates/stattests/src/diehard.rs crates/stattests/src/estimators.rs crates/stattests/src/fft.rs crates/stattests/src/fips140.rs crates/stattests/src/nist/mod.rs crates/stattests/src/nist/approx_entropy.rs crates/stattests/src/nist/battery.rs crates/stattests/src/nist/block_frequency.rs crates/stattests/src/nist/cusum.rs crates/stattests/src/nist/dft.rs crates/stattests/src/nist/excursions.rs crates/stattests/src/nist/frequency.rs crates/stattests/src/nist/linear_complexity.rs crates/stattests/src/nist/longest_run.rs crates/stattests/src/nist/rank.rs crates/stattests/src/nist/runs.rs crates/stattests/src/nist/serial.rs crates/stattests/src/nist/templates.rs crates/stattests/src/nist/universal.rs crates/stattests/src/special.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrng_stattests-1b01ee9f2553c163.rmeta: crates/stattests/src/lib.rs crates/stattests/src/ais31.rs crates/stattests/src/assessment.rs crates/stattests/src/bits.rs crates/stattests/src/diehard.rs crates/stattests/src/estimators.rs crates/stattests/src/fft.rs crates/stattests/src/fips140.rs crates/stattests/src/nist/mod.rs crates/stattests/src/nist/approx_entropy.rs crates/stattests/src/nist/battery.rs crates/stattests/src/nist/block_frequency.rs crates/stattests/src/nist/cusum.rs crates/stattests/src/nist/dft.rs crates/stattests/src/nist/excursions.rs crates/stattests/src/nist/frequency.rs crates/stattests/src/nist/linear_complexity.rs crates/stattests/src/nist/longest_run.rs crates/stattests/src/nist/rank.rs crates/stattests/src/nist/runs.rs crates/stattests/src/nist/serial.rs crates/stattests/src/nist/templates.rs crates/stattests/src/nist/universal.rs crates/stattests/src/special.rs Cargo.toml
+
+crates/stattests/src/lib.rs:
+crates/stattests/src/ais31.rs:
+crates/stattests/src/assessment.rs:
+crates/stattests/src/bits.rs:
+crates/stattests/src/diehard.rs:
+crates/stattests/src/estimators.rs:
+crates/stattests/src/fft.rs:
+crates/stattests/src/fips140.rs:
+crates/stattests/src/nist/mod.rs:
+crates/stattests/src/nist/approx_entropy.rs:
+crates/stattests/src/nist/battery.rs:
+crates/stattests/src/nist/block_frequency.rs:
+crates/stattests/src/nist/cusum.rs:
+crates/stattests/src/nist/dft.rs:
+crates/stattests/src/nist/excursions.rs:
+crates/stattests/src/nist/frequency.rs:
+crates/stattests/src/nist/linear_complexity.rs:
+crates/stattests/src/nist/longest_run.rs:
+crates/stattests/src/nist/rank.rs:
+crates/stattests/src/nist/runs.rs:
+crates/stattests/src/nist/serial.rs:
+crates/stattests/src/nist/templates.rs:
+crates/stattests/src/nist/universal.rs:
+crates/stattests/src/special.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/trng_testkit-1eda4bf4a24de15d.d: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/json.rs crates/testkit/src/prng.rs crates/testkit/src/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrng_testkit-1eda4bf4a24de15d.rmeta: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/json.rs crates/testkit/src/prng.rs crates/testkit/src/prop.rs Cargo.toml
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/bench.rs:
+crates/testkit/src/json.rs:
+crates/testkit/src/prng.rs:
+crates/testkit/src/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/trng_testkit-45326120ca23195d.d: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/json.rs crates/testkit/src/prng.rs crates/testkit/src/prop.rs
+
+/root/repo/target/debug/deps/libtrng_testkit-45326120ca23195d.rlib: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/json.rs crates/testkit/src/prng.rs crates/testkit/src/prop.rs
+
+/root/repo/target/debug/deps/libtrng_testkit-45326120ca23195d.rmeta: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/json.rs crates/testkit/src/prng.rs crates/testkit/src/prop.rs
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/bench.rs:
+crates/testkit/src/json.rs:
+crates/testkit/src/prng.rs:
+crates/testkit/src/prop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trng_testkit-9a5d2bfd04e56c14.d: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/json.rs crates/testkit/src/prng.rs crates/testkit/src/prop.rs
+
+/root/repo/target/debug/deps/trng_testkit-9a5d2bfd04e56c14: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/json.rs crates/testkit/src/prng.rs crates/testkit/src/prop.rs
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/bench.rs:
+crates/testkit/src/json.rs:
+crates/testkit/src/prng.rs:
+crates/testkit/src/prop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/attack_scenario-49ca6cf51b894e1b.d: crates/core/../../examples/attack_scenario.rs Cargo.toml
+
+/root/repo/target/debug/examples/libattack_scenario-49ca6cf51b894e1b.rmeta: crates/core/../../examples/attack_scenario.rs Cargo.toml
+
+crates/core/../../examples/attack_scenario.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

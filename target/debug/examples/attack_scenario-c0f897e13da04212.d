@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/attack_scenario-c0f897e13da04212.d: crates/core/../../examples/attack_scenario.rs
+
+/root/repo/target/debug/examples/attack_scenario-c0f897e13da04212: crates/core/../../examples/attack_scenario.rs
+
+crates/core/../../examples/attack_scenario.rs:

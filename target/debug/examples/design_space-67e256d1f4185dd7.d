@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_space-67e256d1f4185dd7.d: crates/core/../../examples/design_space.rs
+
+/root/repo/target/debug/examples/design_space-67e256d1f4185dd7: crates/core/../../examples/design_space.rs
+
+crates/core/../../examples/design_space.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/design_space-a284842d2d14938a.d: crates/core/../../examples/design_space.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdesign_space-a284842d2d14938a.rmeta: crates/core/../../examples/design_space.rs Cargo.toml
+
+crates/core/../../examples/design_space.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/platform_measurement-4da08c30f08a579b.d: crates/core/../../examples/platform_measurement.rs
+
+/root/repo/target/debug/examples/platform_measurement-4da08c30f08a579b: crates/core/../../examples/platform_measurement.rs
+
+crates/core/../../examples/platform_measurement.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/platform_measurement-5cfccbf2d46a9cd8.d: crates/core/../../examples/platform_measurement.rs Cargo.toml
+
+/root/repo/target/debug/examples/libplatform_measurement-5cfccbf2d46a9cd8.rmeta: crates/core/../../examples/platform_measurement.rs Cargo.toml
+
+crates/core/../../examples/platform_measurement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

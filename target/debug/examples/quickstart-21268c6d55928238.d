@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-21268c6d55928238.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-21268c6d55928238: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

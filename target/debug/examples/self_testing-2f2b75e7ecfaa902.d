@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/self_testing-2f2b75e7ecfaa902.d: crates/core/../../examples/self_testing.rs
+
+/root/repo/target/debug/examples/self_testing-2f2b75e7ecfaa902: crates/core/../../examples/self_testing.rs
+
+crates/core/../../examples/self_testing.rs:

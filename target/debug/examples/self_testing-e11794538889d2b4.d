@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/self_testing-e11794538889d2b4.d: crates/core/../../examples/self_testing.rs Cargo.toml
+
+/root/repo/target/debug/examples/libself_testing-e11794538889d2b4.rmeta: crates/core/../../examples/self_testing.rs Cargo.toml
+
+crates/core/../../examples/self_testing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

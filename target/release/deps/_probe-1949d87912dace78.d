@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/_probe-1949d87912dace78.d: crates/core/tests/_probe.rs
+
+/root/repo/target/release/deps/_probe-1949d87912dace78: crates/core/tests/_probe.rs
+
+crates/core/tests/_probe.rs:

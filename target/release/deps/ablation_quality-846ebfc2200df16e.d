@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_quality-846ebfc2200df16e.d: crates/bench/src/bin/ablation_quality.rs
+
+/root/repo/target/release/deps/ablation_quality-846ebfc2200df16e: crates/bench/src/bin/ablation_quality.rs
+
+crates/bench/src/bin/ablation_quality.rs:

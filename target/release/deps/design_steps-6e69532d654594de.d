@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/design_steps-6e69532d654594de.d: crates/bench/src/bin/design_steps.rs
+
+/root/repo/target/release/deps/design_steps-6e69532d654594de: crates/bench/src/bin/design_steps.rs
+
+crates/bench/src/bin/design_steps.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/eq8-af24c060730812de.d: crates/bench/src/bin/eq8.rs
+
+/root/repo/target/release/deps/eq8-af24c060730812de: crates/bench/src/bin/eq8.rs
+
+crates/bench/src/bin/eq8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extractor-486376b843ba3ab6.d: crates/bench/benches/extractor.rs
+
+/root/repo/target/release/deps/extractor-486376b843ba3ab6: crates/bench/benches/extractor.rs
+
+crates/bench/benches/extractor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure4-d905a0088e1a5528.d: crates/bench/src/bin/figure4.rs
+
+/root/repo/target/release/deps/figure4-d905a0088e1a5528: crates/bench/src/bin/figure4.rs
+
+crates/bench/src/bin/figure4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure7-c01e6e26be41db96.d: crates/bench/src/bin/figure7.rs
+
+/root/repo/target/release/deps/figure7-c01e6e26be41db96: crates/bench/src/bin/figure7.rs
+
+crates/bench/src/bin/figure7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-cb8346c4f9b45ecd.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-cb8346c4f9b45ecd: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

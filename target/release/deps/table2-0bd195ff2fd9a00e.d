@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-0bd195ff2fd9a00e.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-0bd195ff2fd9a00e: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/trng_bench-e95643a9803f472c.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libtrng_bench-e95643a9803f472c.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libtrng_bench-e95643a9803f472c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,25 @@
+/root/repo/target/release/deps/trng_fpga_sim-7e44708c85bbeb37.d: crates/fpga-sim/src/lib.rs crates/fpga-sim/src/delay_line.rs crates/fpga-sim/src/edge_train.rs crates/fpga-sim/src/fabric.rs crates/fpga-sim/src/noise/mod.rs crates/fpga-sim/src/noise/attack.rs crates/fpga-sim/src/noise/flicker.rs crates/fpga-sim/src/noise/global.rs crates/fpga-sim/src/noise/white.rs crates/fpga-sim/src/placement.rs crates/fpga-sim/src/primitives/mod.rs crates/fpga-sim/src/primitives/carry4.rs crates/fpga-sim/src/primitives/flipflop.rs crates/fpga-sim/src/primitives/lut.rs crates/fpga-sim/src/process.rs crates/fpga-sim/src/ring_oscillator.rs crates/fpga-sim/src/rng.rs crates/fpga-sim/src/time.rs crates/fpga-sim/src/trace.rs
+
+/root/repo/target/release/deps/libtrng_fpga_sim-7e44708c85bbeb37.rlib: crates/fpga-sim/src/lib.rs crates/fpga-sim/src/delay_line.rs crates/fpga-sim/src/edge_train.rs crates/fpga-sim/src/fabric.rs crates/fpga-sim/src/noise/mod.rs crates/fpga-sim/src/noise/attack.rs crates/fpga-sim/src/noise/flicker.rs crates/fpga-sim/src/noise/global.rs crates/fpga-sim/src/noise/white.rs crates/fpga-sim/src/placement.rs crates/fpga-sim/src/primitives/mod.rs crates/fpga-sim/src/primitives/carry4.rs crates/fpga-sim/src/primitives/flipflop.rs crates/fpga-sim/src/primitives/lut.rs crates/fpga-sim/src/process.rs crates/fpga-sim/src/ring_oscillator.rs crates/fpga-sim/src/rng.rs crates/fpga-sim/src/time.rs crates/fpga-sim/src/trace.rs
+
+/root/repo/target/release/deps/libtrng_fpga_sim-7e44708c85bbeb37.rmeta: crates/fpga-sim/src/lib.rs crates/fpga-sim/src/delay_line.rs crates/fpga-sim/src/edge_train.rs crates/fpga-sim/src/fabric.rs crates/fpga-sim/src/noise/mod.rs crates/fpga-sim/src/noise/attack.rs crates/fpga-sim/src/noise/flicker.rs crates/fpga-sim/src/noise/global.rs crates/fpga-sim/src/noise/white.rs crates/fpga-sim/src/placement.rs crates/fpga-sim/src/primitives/mod.rs crates/fpga-sim/src/primitives/carry4.rs crates/fpga-sim/src/primitives/flipflop.rs crates/fpga-sim/src/primitives/lut.rs crates/fpga-sim/src/process.rs crates/fpga-sim/src/ring_oscillator.rs crates/fpga-sim/src/rng.rs crates/fpga-sim/src/time.rs crates/fpga-sim/src/trace.rs
+
+crates/fpga-sim/src/lib.rs:
+crates/fpga-sim/src/delay_line.rs:
+crates/fpga-sim/src/edge_train.rs:
+crates/fpga-sim/src/fabric.rs:
+crates/fpga-sim/src/noise/mod.rs:
+crates/fpga-sim/src/noise/attack.rs:
+crates/fpga-sim/src/noise/flicker.rs:
+crates/fpga-sim/src/noise/global.rs:
+crates/fpga-sim/src/noise/white.rs:
+crates/fpga-sim/src/placement.rs:
+crates/fpga-sim/src/primitives/mod.rs:
+crates/fpga-sim/src/primitives/carry4.rs:
+crates/fpga-sim/src/primitives/flipflop.rs:
+crates/fpga-sim/src/primitives/lut.rs:
+crates/fpga-sim/src/process.rs:
+crates/fpga-sim/src/ring_oscillator.rs:
+crates/fpga-sim/src/rng.rs:
+crates/fpga-sim/src/time.rs:
+crates/fpga-sim/src/trace.rs:

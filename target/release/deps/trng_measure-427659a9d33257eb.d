@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/trng_measure-427659a9d33257eb.d: crates/measure/src/lib.rs crates/measure/src/calibration.rs crates/measure/src/jitter.rs crates/measure/src/lut_delay.rs crates/measure/src/tstep.rs
+
+/root/repo/target/release/deps/libtrng_measure-427659a9d33257eb.rlib: crates/measure/src/lib.rs crates/measure/src/calibration.rs crates/measure/src/jitter.rs crates/measure/src/lut_delay.rs crates/measure/src/tstep.rs
+
+/root/repo/target/release/deps/libtrng_measure-427659a9d33257eb.rmeta: crates/measure/src/lib.rs crates/measure/src/calibration.rs crates/measure/src/jitter.rs crates/measure/src/lut_delay.rs crates/measure/src/tstep.rs
+
+crates/measure/src/lib.rs:
+crates/measure/src/calibration.rs:
+crates/measure/src/jitter.rs:
+crates/measure/src/lut_delay.rs:
+crates/measure/src/tstep.rs:

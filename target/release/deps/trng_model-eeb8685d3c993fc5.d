@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/trng_model-eeb8685d3c993fc5.d: crates/model/src/lib.rs crates/model/src/binary_prob.rs crates/model/src/design_space.rs crates/model/src/entropy.rs crates/model/src/gauss.rs crates/model/src/jitter.rs crates/model/src/params.rs crates/model/src/postprocess.rs crates/model/src/report.rs crates/model/src/sensitivity.rs
+
+/root/repo/target/release/deps/libtrng_model-eeb8685d3c993fc5.rlib: crates/model/src/lib.rs crates/model/src/binary_prob.rs crates/model/src/design_space.rs crates/model/src/entropy.rs crates/model/src/gauss.rs crates/model/src/jitter.rs crates/model/src/params.rs crates/model/src/postprocess.rs crates/model/src/report.rs crates/model/src/sensitivity.rs
+
+/root/repo/target/release/deps/libtrng_model-eeb8685d3c993fc5.rmeta: crates/model/src/lib.rs crates/model/src/binary_prob.rs crates/model/src/design_space.rs crates/model/src/entropy.rs crates/model/src/gauss.rs crates/model/src/jitter.rs crates/model/src/params.rs crates/model/src/postprocess.rs crates/model/src/report.rs crates/model/src/sensitivity.rs
+
+crates/model/src/lib.rs:
+crates/model/src/binary_prob.rs:
+crates/model/src/design_space.rs:
+crates/model/src/entropy.rs:
+crates/model/src/gauss.rs:
+crates/model/src/jitter.rs:
+crates/model/src/params.rs:
+crates/model/src/postprocess.rs:
+crates/model/src/report.rs:
+crates/model/src/sensitivity.rs:

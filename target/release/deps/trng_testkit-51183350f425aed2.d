@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/trng_testkit-51183350f425aed2.d: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/json.rs crates/testkit/src/prng.rs crates/testkit/src/prop.rs
+
+/root/repo/target/release/deps/libtrng_testkit-51183350f425aed2.rlib: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/json.rs crates/testkit/src/prng.rs crates/testkit/src/prop.rs
+
+/root/repo/target/release/deps/libtrng_testkit-51183350f425aed2.rmeta: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/json.rs crates/testkit/src/prng.rs crates/testkit/src/prop.rs
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/bench.rs:
+crates/testkit/src/json.rs:
+crates/testkit/src/prng.rs:
+crates/testkit/src/prop.rs:

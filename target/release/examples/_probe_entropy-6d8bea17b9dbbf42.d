@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_probe_entropy-6d8bea17b9dbbf42.d: crates/core/../../examples/_probe_entropy.rs
+
+/root/repo/target/release/examples/_probe_entropy-6d8bea17b9dbbf42: crates/core/../../examples/_probe_entropy.rs
+
+crates/core/../../examples/_probe_entropy.rs:

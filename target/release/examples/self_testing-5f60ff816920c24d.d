@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/self_testing-5f60ff816920c24d.d: crates/core/../../examples/self_testing.rs
+
+/root/repo/target/release/examples/self_testing-5f60ff816920c24d: crates/core/../../examples/self_testing.rs
+
+crates/core/../../examples/self_testing.rs:

@@ -28,7 +28,11 @@ fn full_design_flow_reproduces_paper_numbers() {
         "d0 = {}",
         measured.d0_lut_ps
     );
-    assert!((measured.tstep_ps - 17.0).abs() < 1.0, "tstep = {}", measured.tstep_ps);
+    assert!(
+        (measured.tstep_ps - 17.0).abs() < 1.0,
+        "tstep = {}",
+        measured.tstep_ps
+    );
     assert!(
         (measured.sigma_lut_ps - 2.6).abs() < 0.5,
         "sigma = {}",
@@ -36,14 +40,15 @@ fn full_design_flow_reproduces_paper_numbers() {
     );
 
     // --- Step 2: choose design parameters from the model -------------
-    let platform = PlatformParams::new(
-        measured.d0_lut_ps,
-        measured.tstep_ps,
-        measured.sigma_lut_ps,
-    )
-    .expect("positive measured values");
+    let platform =
+        PlatformParams::new(measured.d0_lut_ps, measured.tstep_ps, measured.sigma_lut_ps)
+            .expect("positive measured values");
     // The paper's m > d0/tstep condition lands near 29 taps.
-    assert!((28..=31).contains(&platform.min_taps()), "{}", platform.min_taps());
+    assert!(
+        (28..=31).contains(&platform.min_taps()),
+        "{}",
+        platform.min_taps()
+    );
     let design = DesignParams::paper_k1();
     let point = evaluate(&platform, &design).expect("valid design");
     assert!(point.h_raw > 0.95, "H_RAW = {}", point.h_raw);
@@ -82,12 +87,19 @@ fn mistuned_design_is_rejected_by_the_flow() {
         ..DesignParams::paper_k4()
     };
     let point = evaluate(&platform, &bad).expect("structurally valid");
-    assert!(point.h_raw < 0.1, "model must expose H_RAW ~ 0.03, got {}", point.h_raw);
+    assert!(
+        point.h_raw < 0.1,
+        "model must expose H_RAW ~ 0.03, got {}",
+        point.h_raw
+    );
 
     // ...and its simulated output indeed fails the quick tests.
     let config = TrngConfig::paper_k4().with_design(bad);
     let mut trng = CarryChainTrng::new(config, 5).expect("build");
     let raw: BitVec = trng.generate_raw(20_000).into_iter().collect();
     let fips = run_fips140(&raw);
-    assert!(!fips.all_passed(), "k=4/tA=10ns raw bits passed FIPS: {fips}");
+    assert!(
+        !fips.all_passed(),
+        "k=4/tA=10ns raw bits passed FIPS: {fips}"
+    );
 }

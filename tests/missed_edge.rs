@@ -30,8 +30,7 @@ fn slow_device() -> u64 {
     (0..20_000u64)
         .find(|&dev| {
             (0..3).any(|i| {
-                process.delay_multiplier(DeviceSeed::new(dev), 4 + 2 * i, 0)
-                    > 544.0 / 480.0 + 0.015
+                process.delay_multiplier(DeviceSeed::new(dev), 4 + 2 * i, 0) > 544.0 / 480.0 + 0.015
             })
         })
         .expect("a slow device exists")

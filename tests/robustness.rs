@@ -24,10 +24,7 @@ fn supply_ripple_corners_never_lose_the_edge() {
     // +-3 % supply-induced delay modulation at two ripple frequencies:
     // far beyond normal regulation, still no missed edges at m = 36.
     for (freq, amp) in [(1e6, 0.03), (50e6, 0.03), (0.2e6, 0.02)] {
-        let mut trng = with_global(
-            GlobalModulation::supply_tone(SupplyTone::new(freq, amp)),
-            1,
-        );
+        let mut trng = with_global(GlobalModulation::supply_tone(SupplyTone::new(freq, amp)), 1);
         let _ = trng.generate_raw(3_000);
         assert_eq!(
             trng.stats().missed_edges,
@@ -46,7 +43,11 @@ fn thermal_drift_corner_keeps_working() {
     assert_eq!(trng.stats().missed_edges, 0);
     let bv: BitVec = raw.into_iter().collect();
     // Entropy stays in the healthy band despite the drift.
-    assert!(shannon_bias_entropy(&bv) > 0.9, "H = {}", shannon_bias_entropy(&bv));
+    assert!(
+        shannon_bias_entropy(&bv) > 0.9,
+        "H = {}",
+        shannon_bias_entropy(&bv)
+    );
 }
 
 #[test]
