@@ -1,0 +1,127 @@
+//! Pool scaling bench: aggregate entropy throughput versus shard
+//! count, written to `BENCH_pool.json`.
+//!
+//! Two clock domains matter here and must not be conflated:
+//!
+//! * **simulated time** — the hardware domain the paper's Table 2
+//!   reports. N shards are N physical TRNG instances running
+//!   concurrently on the fabric, so aggregate throughput scales ~N×
+//!   (minus the per-shard start-up test overhead).
+//! * **wall-clock time** — how fast *this simulator* produces those
+//!   bytes on the host. It is reported for context but does not scale
+//!   with shard count on a small host, because every simulated bit
+//!   costs the same CPU work regardless of which shard draws it.
+//!
+//! Run with `cargo bench --bench pool_throughput`; set
+//! `TRNG_POOL_BENCH_BYTES` to change the per-configuration volume and
+//! `TRNG_BENCH_OUT_DIR` to redirect the JSON report.
+
+use std::time::{Duration, Instant};
+
+use trng_core::trng::TrngConfig;
+use trng_pool::{Conditioning, EntropyPool, PoolConfig};
+use trng_testkit::json::Json;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+struct Run {
+    shards: usize,
+    bytes: usize,
+    wall: Duration,
+    wall_mbps: f64,
+    sim_mbps: f64,
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn run_one(shards: usize, bytes: usize) -> Run {
+    // Deterministic replay mode: the measurement is reproducible and
+    // free of thread-scheduling noise.
+    let config = PoolConfig::new(TrngConfig::paper_k1(), shards)
+        .with_conditioning(Conditioning::DesignXor)
+        .with_seed(0xBE4C)
+        .deterministic(true);
+    let mut pool = EntropyPool::new(config).expect("pool build");
+    pool.wait_online(Duration::from_secs(600))
+        .expect("admission");
+    let mut sink = vec![0u8; bytes];
+    let t0 = Instant::now();
+    pool.fill_bytes(&mut sink).expect("fill");
+    let wall = t0.elapsed();
+    let stats = pool.stats();
+    assert_eq!(stats.total_alarms(), 0, "healthy bench run alarmed");
+    Run {
+        shards,
+        bytes,
+        wall,
+        wall_mbps: bytes as f64 * 8.0 / wall.as_secs_f64() / 1e6,
+        sim_mbps: stats.sim_throughput_bps() / 1e6,
+    }
+}
+
+fn main() {
+    let bytes = env_usize("TRNG_POOL_BENCH_BYTES", 16 * 1024);
+    println!("pool_throughput: {bytes} bytes per configuration, design-rate XOR\n");
+
+    let runs: Vec<Run> = SHARD_COUNTS.iter().map(|&n| run_one(n, bytes)).collect();
+    let base_sim = runs[0].sim_mbps;
+
+    println!(
+        "{:>7} {:>10} {:>12} {:>14} {:>14} {:>10}",
+        "shards", "bytes", "wall", "wall Mb/s", "sim Mb/s", "speedup"
+    );
+    let benchmarks: Vec<Json> = runs
+        .iter()
+        .map(|r| {
+            let speedup = r.sim_mbps / base_sim;
+            println!(
+                "{:>7} {:>10} {:>10.2} s {:>14.3} {:>14.2} {:>9.2}x",
+                r.shards,
+                r.bytes,
+                r.wall.as_secs_f64(),
+                r.wall_mbps,
+                r.sim_mbps,
+                speedup,
+            );
+            Json::obj(vec![
+                ("name", Json::str(format!("shards/{}", r.shards))),
+                ("shards", Json::num(r.shards as f64)),
+                ("bytes", Json::num(r.bytes as f64)),
+                ("wall_ns", Json::num(r.wall.as_nanos() as f64)),
+                ("wall_mbps", Json::num(r.wall_mbps)),
+                ("sim_mbps", Json::num(r.sim_mbps)),
+                ("sim_speedup_vs_1shard", Json::num(speedup)),
+            ])
+        })
+        .collect();
+
+    let report = Json::obj(vec![
+        ("group", Json::str("pool")),
+        ("conditioning", Json::str("design_xor_np7")),
+        (
+            "note",
+            Json::str(
+                "sim_mbps is throughput in simulated (hardware) time, the paper's \
+                 Table-2 domain; wall_mbps is host simulator speed and does not \
+                 scale with shards on a small host",
+            ),
+        ),
+        ("benchmarks", Json::Arr(benchmarks)),
+    ]);
+    let dir = std::env::var("TRNG_BENCH_OUT_DIR").unwrap_or_else(|_| ".".to_string());
+    let path = std::path::Path::new(&dir).join("BENCH_pool.json");
+    std::fs::write(&path, report.to_string_pretty()).expect("write BENCH_pool.json");
+    println!("\nwrote {}", path.display());
+
+    let four = runs.iter().find(|r| r.shards == 4).expect("4-shard run");
+    let speedup4 = four.sim_mbps / base_sim;
+    assert!(
+        speedup4 >= 3.0,
+        "4-shard simulated-time speedup {speedup4:.2}x fell below 3x"
+    );
+}

@@ -374,6 +374,108 @@ mod tests {
     }
 
     #[test]
+    fn alarm_recovery_requires_explicit_reset() {
+        // A stuck-source burst must latch the alarm, and feeding
+        // arbitrarily many healthy post-alarm samples must NOT clear
+        // it — recovery is an explicit supervisory decision (AIS-31
+        // requires re-validation, not self-healing).
+        let mut h = OnlineHealth::new(0.9);
+        for _ in 0..40 {
+            let _ = h.push(true); // stuck burst
+        }
+        assert_eq!(h.status(), HealthStatus::Alarm);
+        for i in 0..20_000u32 {
+            let healthy = (i.wrapping_mul(2654435761) >> 16) & 1 == 1;
+            assert_eq!(h.push(healthy), HealthStatus::Alarm, "post-alarm bit {i}");
+        }
+        // Reset re-arms; a healthy stream then stays clean.
+        h.reset();
+        for i in 0..20_000u32 {
+            let healthy = (i.wrapping_mul(2654435761) >> 16) & 1 == 1;
+            assert_eq!(h.push(healthy), HealthStatus::Ok, "post-reset bit {i}");
+        }
+    }
+
+    #[test]
+    fn post_alarm_samples_do_not_corrupt_rearmed_state() {
+        // Samples fed while alarmed must not poison the run/window
+        // counters in a way that causes a spurious alarm after reset:
+        // reset clears *all* accumulated state, so a fresh stuck run
+        // needs the full cutoff again to trip.
+        let mut t = RepetitionCountTest::new(1.0);
+        for _ in 0..21 {
+            let _ = t.push(false);
+        }
+        assert_eq!(t.status(), HealthStatus::Alarm);
+        // Keep feeding the stuck value while latched.
+        for _ in 0..100 {
+            let _ = t.push(false);
+        }
+        t.reset();
+        // 20 repeats after reset: one short of the cutoff — still Ok.
+        for i in 0..20 {
+            assert_eq!(t.push(false), HealthStatus::Ok, "repeat {i}");
+        }
+        assert_eq!(t.push(false), HealthStatus::Alarm);
+    }
+
+    #[test]
+    fn adaptive_proportion_recovers_after_reset() {
+        let mut t = AdaptiveProportionTest::new(0.9);
+        let mut tripped = false;
+        for _ in 0..2048 {
+            if t.push(true) == HealthStatus::Alarm {
+                tripped = true;
+                break;
+            }
+        }
+        assert!(tripped);
+        t.reset();
+        for i in 0..10_000u32 {
+            let healthy = (i.wrapping_mul(2654435761) >> 16) & 1 == 1;
+            assert_eq!(t.push(healthy), HealthStatus::Ok, "post-reset bit {i}");
+        }
+    }
+
+    #[test]
+    fn cutoff_derivation_at_claimed_entropy_boundaries() {
+        // H = 1 (the upper boundary): C = 1 + ceil(20/1) = 21.
+        assert_eq!(RepetitionCountTest::new(1.0).cutoff(), 21);
+        // The 0.05 floor used by `claimed_min_entropy`: C = 401.
+        assert_eq!(RepetitionCountTest::new(0.05).cutoff(), 401);
+        // Cutoffs are monotonically non-increasing in H.
+        let mut prev = u32::MAX;
+        for h in [0.05, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0] {
+            let c = RepetitionCountTest::new(h).cutoff();
+            assert!(c <= prev, "cutoff not monotone at h = {h}");
+            prev = c;
+        }
+        // Adaptive proportion: the cutoff can never exceed the window
+        // (at tiny H the binomial mean approaches W).
+        for h in [0.01, 0.05, 0.5, 1.0] {
+            let c = AdaptiveProportionTest::new(h).cutoff();
+            assert!(
+                c <= ADAPTIVE_PROPORTION_WINDOW,
+                "cutoff {c} exceeds window at h = {h}"
+            );
+        }
+        // And it is non-increasing in H as well.
+        assert!(
+            AdaptiveProportionTest::new(0.3).cutoff() >= AdaptiveProportionTest::new(1.0).cutoff()
+        );
+    }
+
+    #[test]
+    fn missed_edge_alarm_latches_like_the_others() {
+        let mut h = OnlineHealth::new(0.9);
+        assert_eq!(h.report_missed_edges(20, 1000), HealthStatus::Alarm);
+        // Healthy reports afterwards do not unlatch.
+        assert_eq!(h.report_missed_edges(0, 100_000), HealthStatus::Alarm);
+        h.reset();
+        assert_eq!(h.report_missed_edges(0, 100_000), HealthStatus::Ok);
+    }
+
+    #[test]
     fn status_display() {
         assert_eq!(format!("{}", HealthStatus::Ok), "ok");
         assert_eq!(format!("{}", HealthStatus::Alarm), "ALARM");

@@ -23,6 +23,7 @@ use crate::trng::{BuildTrngError, CarryChainTrng, TrngConfig};
 
 use core::fmt;
 use std::error::Error;
+use trng_model::params::ParamError;
 
 /// Why the generator refuses to emit bits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,6 +47,108 @@ impl Error for SelfTestError {}
 
 /// Number of post-processed bits consumed by the start-up test.
 pub const STARTUP_BITS: usize = 2_048;
+
+/// The claimed min-entropy per raw bit used to parameterize the
+/// online tests for `config`.
+///
+/// The claim is the stochastic model's worst-case min-entropy *derated
+/// by half*: the raw stream is not i.i.d. — deterministic phase drift
+/// and flicker wander produce longer same-bit runs than an i.i.d.
+/// source of equal entropy, so thresholds derived straight from the
+/// worst-case bound cause percent-level false alarms while embedded
+/// tests target `~2^-20` (SP 800-90B). Halving the claim widens the
+/// repetition cutoff to cover the drift patterns while still catching
+/// order-of-magnitude entropy loss. Floored at 0.05 so heavily biased
+/// configurations still get working (if strict) tests.
+///
+/// # Errors
+///
+/// Returns [`ParamError`] if the design is inconsistent with the
+/// platform.
+pub fn claimed_min_entropy(config: &TrngConfig) -> Result<f64, ParamError> {
+    let point = trng_model::design_space::evaluate(&config.platform, &config.design)?;
+    Ok((point.h_min_raw * 0.5).clamp(0.05, 1.0))
+}
+
+/// Detailed outcome of one start-up test run.
+///
+/// Produced by [`run_startup_test`]; a source may only go online when
+/// [`passed`](StartupReport::passed) holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StartupReport {
+    /// Ones counted among the [`STARTUP_BITS`] post-processed bits.
+    pub ones: usize,
+    /// Longest same-bit run in the post-processed sample.
+    pub longest_run: usize,
+    /// Monobit band held (5.5 sigma for 2048 bits: 1024 ± 125).
+    pub monobit_ok: bool,
+    /// Longest run stayed below 34 (AIS-31 T4's bound).
+    pub long_run_ok: bool,
+    /// Missed-edge rate over the startup window stayed below 1 %.
+    pub missed_edge_ok: bool,
+    /// The continuous online tests saw no alarm during startup.
+    pub online_ok: bool,
+}
+
+impl StartupReport {
+    /// `true` when every sub-check passed and the source may go online.
+    pub fn passed(&self) -> bool {
+        self.monobit_ok && self.long_run_ok && self.missed_edge_ok && self.online_ok
+    }
+}
+
+/// Runs the start-up self-test on `trng`, feeding every raw bit drawn
+/// through `health` and compressing with `compressor`.
+///
+/// This is the building block behind [`SelfTestingTrng::new`], exposed
+/// so multi-instance deployments (e.g. the `trng-pool` crate) can gate
+/// shard admission and *re*-admission after a quarantine through the
+/// exact same test. The caller owns `health`: alarms raised during the
+/// run stay latched, so a defective source is visible both through the
+/// returned report and through `health.status()`.
+pub fn run_startup_test(
+    trng: &mut CarryChainTrng,
+    health: &mut OnlineHealth,
+    compressor: &mut XorCompressor,
+) -> StartupReport {
+    let samples_before = trng.stats().samples;
+    let missed_before = trng.stats().missed_edges;
+    let mut collected = 0usize;
+    let mut ones = 0usize;
+    let mut longest_run = 0usize;
+    let mut run = 0usize;
+    let mut prev = None;
+    while collected < STARTUP_BITS {
+        let raw = trng.next_raw_bit();
+        let _ = health.push(raw);
+        if let Some(bit) = compressor.push(raw) {
+            ones += usize::from(bit);
+            if prev == Some(bit) {
+                run += 1;
+            } else {
+                run = 1;
+                prev = Some(bit);
+            }
+            longest_run = longest_run.max(run);
+            collected += 1;
+        }
+    }
+    let samples = trng.stats().samples - samples_before;
+    let missed = trng.stats().missed_edges - missed_before;
+    let missed_rate = if samples == 0 {
+        0.0
+    } else {
+        missed as f64 / samples as f64
+    };
+    StartupReport {
+        ones,
+        longest_run,
+        monobit_ok: (899..=1149).contains(&ones),
+        long_run_ok: longest_run < 34,
+        missed_edge_ok: missed_rate < 0.01 || samples < 1000,
+        online_ok: health.status() == HealthStatus::Ok,
+    }
+}
 
 /// A TRNG with embedded start-up and online tests.
 ///
@@ -88,51 +191,12 @@ impl SelfTestingTrng {
     /// (matching hardware, where construction and self-test are
     /// separate events).
     pub fn new(config: TrngConfig, seed: u64) -> Result<Self, BuildTrngError> {
-        let point = trng_model::design_space::evaluate(&config.platform, &config.design)?;
+        let claim = claimed_min_entropy(&config)?;
         let np = config.design.np;
         let mut inner = CarryChainTrng::new(config, seed)?;
-        // The online-test claim is the model's worst-case min-entropy
-        // *derated by half*: the raw stream is not i.i.d. — the
-        // deterministic phase drift and flicker wander produce longer
-        // same-bit runs than an i.i.d. source of equal entropy, so
-        // thresholds derived straight from the worst-case bound cause
-        // percent-level false alarms while embedded tests target
-        // ~2^-20 (SP 800-90B). Halving the claim widens the repetition
-        // cutoff to cover the drift patterns while still catching
-        // order-of-magnitude entropy loss. Floored so heavily biased
-        // configurations still get working (if strict) tests.
-        let claim = (point.h_min_raw * 0.5).clamp(0.05, 1.0);
         let mut health = OnlineHealth::new(claim);
-
-        // --- start-up test -------------------------------------------
         let mut compressor = XorCompressor::new(np);
-        let mut startup = Vec::with_capacity(STARTUP_BITS);
-        let mut ones = 0usize;
-        let mut longest_run = 0usize;
-        let mut run = 0usize;
-        let mut prev = None;
-        while startup.len() < STARTUP_BITS {
-            let raw = inner.next_raw_bit();
-            let _ = health.push(raw);
-            if let Some(bit) = compressor.push(raw) {
-                ones += usize::from(bit);
-                if prev == Some(bit) {
-                    run += 1;
-                } else {
-                    run = 1;
-                    prev = Some(bit);
-                }
-                longest_run = longest_run.max(run);
-                startup.push(bit);
-            }
-        }
-        // Monobit band (5.5 sigma for 2048 bits: 1024 +- 125) and a
-        // long-run limit of 34 (AIS-31 T4's bound).
-        let monobit_ok = (899..=1149).contains(&ones);
-        let long_run_ok = longest_run < 34;
-        let missed_ok = inner.stats().missed_edge_rate() < 0.01 || inner.stats().samples < 1000;
-        let startup_ok =
-            monobit_ok && long_run_ok && missed_ok && health.status() == HealthStatus::Ok;
+        let startup_ok = run_startup_test(&mut inner, &mut health, &mut compressor).passed();
 
         Ok(SelfTestingTrng {
             inner,
@@ -306,6 +370,48 @@ mod tests {
             }
         }
         assert!(tripped);
+    }
+
+    #[test]
+    fn startup_report_matches_wrapper_verdict() {
+        // The extracted building blocks must agree with the wrapper.
+        let config = TrngConfig::paper_k1();
+        let claim = claimed_min_entropy(&config).expect("valid");
+        let mut trng = CarryChainTrng::new(config.clone(), 1).expect("build");
+        let mut health = OnlineHealth::new(claim);
+        let mut compressor = XorCompressor::new(config.design.np);
+        let report = run_startup_test(&mut trng, &mut health, &mut compressor);
+        assert!(report.passed(), "{report:?}");
+        assert!(report.monobit_ok && report.long_run_ok);
+        let wrapper = SelfTestingTrng::new(config, 1).expect("build");
+        assert!(wrapper.status().is_ok());
+    }
+
+    #[test]
+    fn startup_report_flags_dead_source() {
+        let mut config = TrngConfig::ideal();
+        config.platform = PlatformParams::new(480.0, 17.0, 0.05).expect("valid");
+        config.design = DesignParams {
+            k: 4,
+            n_a: 1,
+            np: 1,
+            f_clk_hz: (1e12f64 / (21.0 * 480.0)).round() as u64,
+            ..DesignParams::paper_k4()
+        };
+        let claim = claimed_min_entropy(&config).expect("valid");
+        let mut trng = CarryChainTrng::new(config, 2).expect("build");
+        let mut health = OnlineHealth::new(claim);
+        let mut compressor = XorCompressor::new(1);
+        let report = run_startup_test(&mut trng, &mut health, &mut compressor);
+        assert!(!report.passed(), "{report:?}");
+        // The caller's health monitor keeps the latched alarm.
+        assert_eq!(health.status(), HealthStatus::Alarm);
+    }
+
+    #[test]
+    fn claimed_entropy_is_derated_and_floored() {
+        let claim = claimed_min_entropy(&TrngConfig::paper_k1()).expect("valid");
+        assert!((0.05..=0.5).contains(&claim), "claim {claim}");
     }
 
     #[test]

@@ -121,6 +121,43 @@ impl TrngConfig {
         self
     }
 
+    /// Derives the configuration of shard `index` in a multi-instance
+    /// deployment on the *same* device.
+    ///
+    /// The paper scales throughput by instantiating parallel copies of
+    /// the 67-slice design (Section 6, Table 2); the copies share the
+    /// FPGA but occupy disjoint sites, so each sees its own process
+    /// variation. Shards are packed left-to-right along the carry
+    /// columns (each instance spans `2·n` columns) and wrap into the
+    /// next clock region when a row band is full, keeping every carry
+    /// chain inside a single region.
+    ///
+    /// Shard 0 is the base configuration itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildTrngError::Placement`] when `index` does not fit
+    /// on the fabric.
+    pub fn for_shard(&self, index: u32) -> Result<TrngConfig, BuildTrngError> {
+        let span = 2 * self.design.n as u32;
+        let usable = self.fabric.columns.saturating_sub(self.start_column);
+        let slots_per_band = (usable / span).max(1);
+        let mut config = self.clone();
+        config.start_column = self.start_column + (index % slots_per_band) * span;
+        config.first_row =
+            self.first_row + (index / slots_per_band) * self.fabric.clock_region_rows;
+        // Validate the placement eagerly so an oversubscribed fabric is
+        // a build error at derivation time, not at first use.
+        TrngPlacement::auto(
+            &config.fabric,
+            config.design.n,
+            config.design.m,
+            config.start_column,
+            config.first_row,
+        )?;
+        Ok(config)
+    }
+
     fn noise(&self) -> NoiseConfig {
         let mut noise = NoiseConfig::white_only(Ps::from_ps(self.platform.sigma_lut_ps));
         noise.flicker = self.flicker;
@@ -571,6 +608,42 @@ mod tests {
         let mut trng = CarryChainTrng::new(TrngConfig::paper_k1(), 1).expect("build");
         let v: Vec<bool> = trng.raw_bits().take(32).collect();
         assert_eq!(v.len(), 32);
+    }
+
+    #[test]
+    fn for_shard_places_disjoint_instances() {
+        let base = TrngConfig::paper_k1();
+        // n = 3 -> 6 columns per shard, start column 4, 64-column
+        // fabric: 10 shards per 16-row clock region.
+        let s0 = base.for_shard(0).expect("shard 0");
+        assert_eq!(s0.start_column, base.start_column);
+        assert_eq!(s0.first_row, base.first_row);
+        let s1 = base.for_shard(1).expect("shard 1");
+        assert_eq!(s1.start_column, base.start_column + 6);
+        assert_eq!(s1.first_row, base.first_row);
+        let s10 = base.for_shard(10).expect("shard 10");
+        assert_eq!(s10.start_column, base.start_column);
+        assert_eq!(s10.first_row, base.first_row + 16);
+        // Every derived shard must actually build.
+        for i in 0..8 {
+            let cfg = base.for_shard(i).expect("derive");
+            assert!(CarryChainTrng::new(cfg, 1).is_ok(), "shard {i} builds");
+        }
+        // Shards on the same device see different process variation, so
+        // identical simulation seeds still produce distinct streams.
+        let mut a = CarryChainTrng::new(base.for_shard(0).expect("cfg"), 7).expect("build");
+        let mut b = CarryChainTrng::new(base.for_shard(1).expect("cfg"), 7).expect("build");
+        assert_ne!(a.generate_raw(256), b.generate_raw(256));
+    }
+
+    #[test]
+    fn for_shard_rejects_off_fabric_indices() {
+        let base = TrngConfig::paper_k1();
+        // 10 slots per band x 8 bands fit; far beyond must fail.
+        assert!(matches!(
+            base.for_shard(1000),
+            Err(BuildTrngError::Placement(_))
+        ));
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub struct RingOscillatorConfig {
     /// Device identity (freezes process variation).
     pub device: DeviceSeed,
     /// Fabric sites of the stage LUTs: `(x, y)` of stage 0; stage `i`
-    /// is at `(x + 2*i, y)` matching [`TrngPlacement`]'s one column per
+    /// is at `(x + 2*i, y)` matching [`TrngPlacement`](crate::placement::TrngPlacement)'s one column per
     /// line layout.
     pub base_site: (u64, u64),
     /// How much transition history each node retains.

@@ -1,6 +1,6 @@
 //! ASCII timing-diagram rendering.
 //!
-//! Debug aid: render [`EdgeTrain`]s (e.g. ring-oscillator nodes) as
+//! Debug aid: render [`EdgeTrain`](crate::edge_train::EdgeTrain)s (e.g. ring-oscillator nodes) as
 //! oscilloscope-style traces over a time window, optionally with the
 //! TDC sampling grid marked — the visual counterpart of the paper's
 //! Figures 2/3.

@@ -1,0 +1,109 @@
+//! CI smoke check for the entropy pool: bring up a small threaded
+//! pool, stream a configurable number of bytes through it, and fail
+//! loudly on any health alarm, retired shard, or degenerate output.
+//!
+//! Environment overrides:
+//! * `TRNG_POOL_SMOKE_BYTES`  — bytes to draw (default 1 MiB)
+//! * `TRNG_POOL_SMOKE_SHARDS` — shard count (default 2)
+
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use trng_core::trng::TrngConfig;
+use trng_pool::{Conditioning, EntropyPool, PoolConfig, ShardState};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    match std::env::var(name) {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("{name} must be an integer, got {v:?}")),
+        Err(_) => default,
+    }
+}
+
+fn main() -> ExitCode {
+    let total_bytes = env_usize("TRNG_POOL_SMOKE_BYTES", 1 << 20);
+    let shards = env_usize("TRNG_POOL_SMOKE_SHARDS", 2);
+    eprintln!("pool_smoke: {shards} shards, {total_bytes} bytes, raw conditioning");
+
+    let config = PoolConfig::new(TrngConfig::paper_k1(), shards)
+        .with_conditioning(Conditioning::Raw)
+        .with_seed(0xC1C1);
+    let mut pool = match EntropyPool::new(config) {
+        Ok(pool) => pool,
+        Err(e) => {
+            eprintln!("pool_smoke: FAILED to build pool: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match pool.wait_online(Duration::from_secs(120)) {
+        Ok(online) if online == shards => {}
+        Ok(online) => {
+            eprintln!("pool_smoke: FAILED: only {online}/{shards} shards came online");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("pool_smoke: FAILED waiting for admission: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let started = Instant::now();
+    let mut histogram = [0u64; 256];
+    let mut chunk = vec![0u8; 64 * 1024];
+    let mut drawn = 0usize;
+    while drawn < total_bytes {
+        let want = chunk.len().min(total_bytes - drawn);
+        if let Err(e) = pool.fill_bytes(&mut chunk[..want]) {
+            eprintln!("pool_smoke: FAILED after {drawn} bytes: {e}");
+            return ExitCode::FAILURE;
+        }
+        for &b in &chunk[..want] {
+            histogram[b as usize] += 1;
+        }
+        drawn += want;
+    }
+    let wall = started.elapsed();
+
+    let stats = pool.stats();
+    print!("{stats}");
+    let wall_mbps = drawn as f64 * 8.0 / wall.as_secs_f64() / 1e6;
+    let sim_mbps = stats.sim_throughput_bps() / 1e6;
+    eprintln!(
+        "pool_smoke: {drawn} bytes in {:.2} s wall ({wall_mbps:.3} Mb/s wall, \
+         {sim_mbps:.2} Mb/s simulated)",
+        wall.as_secs_f64()
+    );
+
+    let mut ok = true;
+    if stats.total_alarms() != 0 {
+        eprintln!(
+            "pool_smoke: FAILED: {} health alarms on a healthy source",
+            stats.total_alarms()
+        );
+        ok = false;
+    }
+    for s in &stats.shards {
+        if s.state != ShardState::Online {
+            eprintln!("pool_smoke: FAILED: shard {} ended {}", s.id, s.state);
+            ok = false;
+        }
+        if s.bytes_produced == 0 {
+            eprintln!("pool_smoke: FAILED: shard {} produced nothing", s.id);
+            ok = false;
+        }
+    }
+    // A raw TRNG stream of this size must exercise (nearly) the whole
+    // byte alphabet; a stuck or grossly biased source cannot.
+    let distinct = histogram.iter().filter(|&&n| n > 0).count();
+    if total_bytes >= 4096 && distinct < 200 {
+        eprintln!("pool_smoke: FAILED: only {distinct}/256 distinct byte values");
+        ok = false;
+    }
+    if ok {
+        eprintln!("pool_smoke: OK");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

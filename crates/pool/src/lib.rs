@@ -1,0 +1,58 @@
+//! # trng-pool — sharded, health-gated entropy service layer
+//!
+//! Production consumers of the carry-chain TRNG (the DAC'15 design
+//! reproduced by this workspace) need more than a single simulated
+//! instance: they need aggregate throughput, failure isolation, and a
+//! hard guarantee that a failing source degrades *availability*, never
+//! output *quality*. This crate provides that layer:
+//!
+//! * An [`EntropyPool`] runs N [`CarryChainTrng`] shards — placed on
+//!   disjoint fabric regions via
+//!   [`TrngConfig::for_shard`](trng_core::trng::TrngConfig::for_shard) —
+//!   each wrapped in its own SP 800-90B continuous-health gate.
+//! * A shard must pass the AIS-31-style start-up self-test before it
+//!   contributes a single byte; a continuous-test alarm quarantines it,
+//!   discards its in-flight block, and forces a fresh start-up test
+//!   before re-admission. Shards that fail re-admission, or exhaust
+//!   their alarm budget, are retired.
+//! * Healthy conditioned bytes flow through bounded lock-free
+//!   single-producer/single-consumer rings ([`ring`]) with
+//!   backpressure; consumers block in
+//!   [`fill_bytes`](EntropyPool::fill_bytes) or bound their wait with
+//!   [`try_fill_bytes`](EntropyPool::try_fill_bytes).
+//! * Total source failure surfaces as
+//!   [`PoolError::SourcesExhausted`] — a typed error, never silently
+//!   biased bytes.
+//! * [`PoolConfig::deterministic`] selects a single-threaded replay
+//!   backend whose byte stream and [`PoolStats`] are a pure function of
+//!   the configuration and seed, including scripted shard failures via
+//!   [`FaultInjection`].
+//!
+//! ```
+//! use std::time::Duration;
+//! use trng_core::trng::TrngConfig;
+//! use trng_pool::{Conditioning, EntropyPool, PoolConfig};
+//!
+//! let config = PoolConfig::new(TrngConfig::paper_k1(), 2)
+//!     .with_conditioning(Conditioning::DesignXor)
+//!     .deterministic(true);
+//! let mut pool = EntropyPool::new(config)?;
+//! assert_eq!(pool.wait_online(Duration::from_secs(30))?, 2);
+//! let mut buf = [0u8; 64];
+//! pool.fill_bytes(&mut buf)?;
+//! println!("{}", pool.stats());
+//! # Ok::<(), trng_pool::PoolError>(())
+//! ```
+//!
+//! [`CarryChainTrng`]: trng_core::trng::CarryChainTrng
+
+#![warn(missing_docs)]
+
+pub mod pool;
+pub mod ring;
+pub mod shard;
+pub mod stats;
+
+pub use pool::{EntropyPool, PoolConfig, PoolError};
+pub use shard::{Conditioning, FaultInjection, ShardFault};
+pub use stats::{PoolStats, ShardState, ShardStats};

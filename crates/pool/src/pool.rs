@@ -1,0 +1,727 @@
+//! The entropy pool: N shards behind one byte-stream interface.
+//!
+//! Two interchangeable execution backends drive the same
+//! [`Shard`](crate::shard) state machine:
+//!
+//! * **threaded** (default) — one worker thread per shard, each
+//!   feeding a bounded lock-free SPSC ring; the pool handle drains
+//!   the rings round-robin. Workers park briefly when their ring is
+//!   full (backpressure), the consumer parks briefly when every ring
+//!   is empty.
+//! * **deterministic replay** — no threads: shards are stepped
+//!   round-robin inside the consumer's call, so a given
+//!   `(PoolConfig, seed)` always yields the byte-identical stream and
+//!   [`PoolStats`] — including injected shard failures — which makes
+//!   pool behaviour reproducible in tests.
+
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use trng_core::trng::{BuildTrngError, TrngConfig};
+
+use crate::ring;
+use crate::shard::{mix_seed, Conditioning, FaultInjection, Shard};
+use crate::stats::{PoolStats, ShardShared, ShardState};
+
+/// How long a parked worker or consumer naps before re-checking.
+const NAP: Duration = Duration::from_micros(200);
+
+/// Configuration of an [`EntropyPool`].
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Base TRNG design; shard `i` runs [`TrngConfig::for_shard`]`(i)`.
+    pub base: TrngConfig,
+    /// Number of shards (parallel TRNG instances).
+    pub shards: usize,
+    /// Pool-level simulation seed; per-shard seeds are derived.
+    pub seed: u64,
+    /// Conditioning between raw bits and pool bytes.
+    pub conditioning: Conditioning,
+    /// Per-shard ring capacity in bytes (threaded backend).
+    pub ring_capacity: usize,
+    /// Bytes per health-gated production block.
+    pub block_bytes: usize,
+    /// Alarms a shard may survive (each costs a quarantine plus a
+    /// passed re-admission test) before it is retired outright.
+    pub max_readmissions: u32,
+    /// `true` selects the single-threaded deterministic replay
+    /// backend.
+    pub deterministic: bool,
+    /// Optional scripted fault, for tests and failover drills.
+    pub fault: Option<FaultInjection>,
+}
+
+impl PoolConfig {
+    /// A pool of `shards` instances of `base` with default service
+    /// parameters (design-rate XOR conditioning, 8 KiB rings, 256-byte
+    /// blocks, 2 re-admissions, threaded backend).
+    pub fn new(base: TrngConfig, shards: usize) -> Self {
+        PoolConfig {
+            base,
+            shards,
+            seed: 0x5EED,
+            conditioning: Conditioning::DesignXor,
+            ring_capacity: 8192,
+            block_bytes: 256,
+            max_readmissions: 2,
+            deterministic: false,
+            fault: None,
+        }
+    }
+
+    /// Sets the pool seed, builder-style.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the conditioning stage, builder-style.
+    pub fn with_conditioning(mut self, conditioning: Conditioning) -> Self {
+        self.conditioning = conditioning;
+        self
+    }
+
+    /// Sets the per-shard ring capacity, builder-style.
+    pub fn with_ring_capacity(mut self, bytes: usize) -> Self {
+        self.ring_capacity = bytes;
+        self
+    }
+
+    /// Sets the production block size, builder-style.
+    pub fn with_block_bytes(mut self, bytes: usize) -> Self {
+        self.block_bytes = bytes.max(1);
+        self
+    }
+
+    /// Sets the alarm budget, builder-style.
+    pub fn with_max_readmissions(mut self, n: u32) -> Self {
+        self.max_readmissions = n;
+        self
+    }
+
+    /// Selects the deterministic replay backend, builder-style.
+    pub fn deterministic(mut self, on: bool) -> Self {
+        self.deterministic = on;
+        self
+    }
+
+    /// Scripts a fault injection, builder-style.
+    pub fn with_fault(mut self, fault: FaultInjection) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+}
+
+/// Why the pool cannot serve bytes.
+#[derive(Debug)]
+pub enum PoolError {
+    /// The configuration requested zero shards.
+    NoShards,
+    /// The configuration is inconsistent (e.g. a fault scripted for a
+    /// shard index the pool does not have).
+    InvalidConfig(String),
+    /// A shard's TRNG could not be built.
+    Build {
+        /// Index of the failing shard.
+        shard: usize,
+        /// The underlying construction error.
+        error: BuildTrngError,
+    },
+    /// `try_fill_bytes` hit its deadline; `filled` healthy bytes were
+    /// written to the front of the buffer before it expired.
+    Timeout {
+        /// Bytes delivered before the deadline.
+        filled: usize,
+    },
+    /// Every shard is retired; `filled` healthy bytes were written
+    /// before the pool ran dry. The delivered prefix is health-clean —
+    /// total failure surfaces as this error, never as biased bytes.
+    SourcesExhausted {
+        /// Bytes delivered before exhaustion.
+        filled: usize,
+    },
+}
+
+impl fmt::Display for PoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoolError::NoShards => write!(f, "pool configured with zero shards"),
+            PoolError::InvalidConfig(why) => write!(f, "invalid pool configuration: {why}"),
+            PoolError::Build { shard, error } => {
+                write!(f, "shard {shard} failed to build: {error}")
+            }
+            PoolError::Timeout { filled } => {
+                write!(f, "timed out after {filled} bytes")
+            }
+            PoolError::SourcesExhausted { filled } => {
+                write!(
+                    f,
+                    "all entropy sources retired after {filled} bytes were delivered"
+                )
+            }
+        }
+    }
+}
+
+impl Error for PoolError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PoolError::Build { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+struct Threaded {
+    consumers: Vec<ring::Consumer>,
+    stop: Arc<AtomicBool>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+struct Inline {
+    shards: Vec<Shard>,
+    queues: Vec<VecDeque<u8>>,
+    block_bytes: usize,
+}
+
+enum Backend {
+    Threaded(Threaded),
+    Inline(Inline),
+}
+
+/// A sharded, health-gated entropy service.
+///
+/// # Examples
+///
+/// ```
+/// use trng_core::trng::TrngConfig;
+/// use trng_pool::{EntropyPool, PoolConfig};
+///
+/// // Deterministic replay backend: reproducible and thread-free.
+/// let config = PoolConfig::new(TrngConfig::paper_k1(), 2).deterministic(true);
+/// let mut pool = EntropyPool::new(config)?;
+/// let mut key = [0u8; 32];
+/// pool.fill_bytes(&mut key)?;
+/// let stats = pool.stats();
+/// assert_eq!(stats.bytes_delivered, 32);
+/// assert_eq!(stats.total_alarms(), 0);
+/// # Ok::<(), trng_pool::PoolError>(())
+/// ```
+pub struct EntropyPool {
+    shared: Vec<Arc<ShardShared>>,
+    backend: Backend,
+    rr: usize,
+    bytes_delivered: u64,
+    fill_calls: u64,
+    max_refill_wait: Duration,
+}
+
+impl fmt::Debug for EntropyPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EntropyPool")
+            .field("shards", &self.shared.len())
+            .field(
+                "backend",
+                &match self.backend {
+                    Backend::Threaded(_) => "threaded",
+                    Backend::Inline(_) => "deterministic",
+                },
+            )
+            .field("bytes_delivered", &self.bytes_delivered)
+            .finish()
+    }
+}
+
+impl EntropyPool {
+    /// Builds the pool and (in the threaded backend) spawns one worker
+    /// per shard. Shards start in [`ShardState::Starting`] and only
+    /// contribute after passing the start-up self-test; use
+    /// [`wait_online`](EntropyPool::wait_online) to block until
+    /// admission has settled.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::NoShards`], [`PoolError::InvalidConfig`], or the
+    /// first shard whose TRNG fails to build.
+    pub fn new(config: PoolConfig) -> Result<Self, PoolError> {
+        if config.shards == 0 {
+            return Err(PoolError::NoShards);
+        }
+        if let Some(f) = &config.fault {
+            if f.shard >= config.shards {
+                return Err(PoolError::InvalidConfig(format!(
+                    "fault targets shard {} but the pool has {}",
+                    f.shard, config.shards
+                )));
+            }
+        }
+        let shared: Vec<Arc<ShardShared>> = (0..config.shards)
+            .map(|_| Arc::new(ShardShared::default()))
+            .collect();
+        let mut shards = Vec::with_capacity(config.shards);
+        for (i, shared_i) in shared.iter().enumerate() {
+            let shard_config = config
+                .base
+                .for_shard(i as u32)
+                .map_err(|error| PoolError::Build { shard: i, error })?;
+            let fault = config.fault.clone().filter(|f| f.shard == i);
+            let shard = Shard::new(
+                i,
+                shard_config,
+                mix_seed(config.seed, i as u64),
+                config.conditioning,
+                fault,
+                config.max_readmissions,
+                Arc::clone(shared_i),
+            )
+            .map_err(|error| PoolError::Build { shard: i, error })?;
+            shards.push(shard);
+        }
+
+        let backend = if config.deterministic {
+            Backend::Inline(Inline {
+                queues: shards.iter().map(|_| VecDeque::new()).collect(),
+                shards,
+                block_bytes: config.block_bytes,
+            })
+        } else {
+            let stop = Arc::new(AtomicBool::new(false));
+            let mut consumers = Vec::with_capacity(config.shards);
+            let mut handles = Vec::with_capacity(config.shards);
+            for shard in shards {
+                let (producer, consumer) = ring::ring(config.ring_capacity);
+                consumers.push(consumer);
+                let stop = Arc::clone(&stop);
+                let block_bytes = config.block_bytes;
+                let name = format!("trng-pool-shard-{}", shard.id());
+                let handle = std::thread::Builder::new()
+                    .name(name)
+                    .spawn(move || worker(shard, producer, stop, block_bytes))
+                    .expect("spawn pool worker");
+                handles.push(handle);
+            }
+            Backend::Threaded(Threaded {
+                consumers,
+                stop,
+                handles,
+            })
+        };
+
+        Ok(EntropyPool {
+            shared,
+            backend,
+            rr: 0,
+            bytes_delivered: 0,
+            fill_calls: 0,
+            max_refill_wait: Duration::ZERO,
+        })
+    }
+
+    /// Number of shards (in any state).
+    pub fn shard_count(&self) -> usize {
+        self.shared.len()
+    }
+
+    /// Blocks until no shard is still [`ShardState::Starting`], or the
+    /// deadline passes. Returns the number of online shards.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::SourcesExhausted`] when every shard retired during
+    /// admission, [`PoolError::Timeout`] on deadline.
+    pub fn wait_online(&mut self, timeout: Duration) -> Result<usize, PoolError> {
+        let deadline = Instant::now() + timeout;
+        // The inline backend drives admission synchronously.
+        if let Backend::Inline(inline) = &mut self.backend {
+            for shard in &mut inline.shards {
+                while shard.state() == ShardState::Starting {
+                    shard.recover();
+                }
+            }
+        }
+        loop {
+            let states: Vec<ShardState> = self.shared.iter().map(|s| s.state()).collect();
+            if states.iter().all(|&s| s == ShardState::Retired) {
+                return Err(PoolError::SourcesExhausted { filled: 0 });
+            }
+            if states.iter().all(|&s| s != ShardState::Starting) {
+                return Ok(states.iter().filter(|&&s| s == ShardState::Online).count());
+            }
+            if Instant::now() >= deadline {
+                return Err(PoolError::Timeout { filled: 0 });
+            }
+            std::thread::sleep(NAP);
+        }
+    }
+
+    /// Fills `dest` with health-gated pool bytes, blocking as long as
+    /// it takes (or until every source is gone).
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::SourcesExhausted`] once every shard is retired.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), PoolError> {
+        self.fill(dest, None)
+    }
+
+    /// Fills `dest`, giving up at `timeout`. On error, the reported
+    /// number of bytes at the front of `dest` are valid healthy bytes.
+    ///
+    /// The deterministic replay backend never waits, so the timeout is
+    /// only meaningful for the threaded backend.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::Timeout`] on deadline,
+    /// [`PoolError::SourcesExhausted`] once every shard is retired.
+    pub fn try_fill_bytes(&mut self, dest: &mut [u8], timeout: Duration) -> Result<(), PoolError> {
+        let deadline = Instant::now() + timeout;
+        self.fill(dest, Some(deadline))
+    }
+
+    fn fill(&mut self, dest: &mut [u8], deadline: Option<Instant>) -> Result<(), PoolError> {
+        self.fill_calls += 1;
+        let result = match &mut self.backend {
+            Backend::Inline(inline) => Self::fill_inline(inline, &mut self.rr, dest),
+            Backend::Threaded(threaded) => Self::fill_threaded(
+                threaded,
+                &self.shared,
+                &mut self.rr,
+                &mut self.max_refill_wait,
+                dest,
+                deadline,
+            ),
+        };
+        match &result {
+            Ok(()) => self.bytes_delivered += dest.len() as u64,
+            Err(PoolError::Timeout { filled } | PoolError::SourcesExhausted { filled }) => {
+                self.bytes_delivered += *filled as u64;
+            }
+            Err(_) => {}
+        }
+        result
+    }
+
+    fn fill_threaded(
+        threaded: &mut Threaded,
+        shared: &[Arc<ShardShared>],
+        rr: &mut usize,
+        max_refill_wait: &mut Duration,
+        dest: &mut [u8],
+        deadline: Option<Instant>,
+    ) -> Result<(), PoolError> {
+        let n = threaded.consumers.len();
+        let mut filled = 0usize;
+        let mut waited = Duration::ZERO;
+        while filled < dest.len() {
+            // Read states *before* the drain sweep: workers that were
+            // already retired then cannot add bytes afterwards, so an
+            // empty sweep plus all-retired is conclusive.
+            let all_retired = shared.iter().all(|s| s.state() == ShardState::Retired);
+            let mut got = 0usize;
+            for k in 0..n {
+                let idx = (*rr + k) % n;
+                got += threaded.consumers[idx].pop(&mut dest[filled + got..]);
+                if filled + got == dest.len() {
+                    break;
+                }
+            }
+            *rr = (*rr + 1) % n;
+            filled += got;
+            if got == 0 {
+                if all_retired {
+                    *max_refill_wait = (*max_refill_wait).max(waited);
+                    return Err(PoolError::SourcesExhausted { filled });
+                }
+                if let Some(deadline) = deadline {
+                    if Instant::now() >= deadline {
+                        *max_refill_wait = (*max_refill_wait).max(waited);
+                        return Err(PoolError::Timeout { filled });
+                    }
+                }
+                std::thread::sleep(NAP);
+                waited += NAP;
+            }
+        }
+        *max_refill_wait = (*max_refill_wait).max(waited);
+        Ok(())
+    }
+
+    fn fill_inline(inline: &mut Inline, rr: &mut usize, dest: &mut [u8]) -> Result<(), PoolError> {
+        let n = inline.shards.len();
+        let mut filled = 0usize;
+        let mut block = Vec::with_capacity(inline.block_bytes);
+        while filled < dest.len() {
+            let mut progressed = false;
+            for k in 0..n {
+                let i = (*rr + k) % n;
+                if !inline.queues[i].is_empty() {
+                    while filled < dest.len() {
+                        match inline.queues[i].pop_front() {
+                            Some(b) => {
+                                dest[filled] = b;
+                                filled += 1;
+                            }
+                            None => break,
+                        }
+                    }
+                    *rr = (i + 1) % n;
+                    progressed = true;
+                    break;
+                }
+                match inline.shards[i].state() {
+                    ShardState::Online => {
+                        if inline.shards[i].produce_block(&mut block, inline.block_bytes) {
+                            inline.queues[i].extend(block.drain(..));
+                        }
+                        progressed = true;
+                        break;
+                    }
+                    ShardState::Starting | ShardState::Quarantined => {
+                        inline.shards[i].recover();
+                        progressed = true;
+                        break;
+                    }
+                    ShardState::Retired => {}
+                }
+            }
+            if !progressed {
+                return Err(PoolError::SourcesExhausted { filled });
+            }
+        }
+        Ok(())
+    }
+
+    /// Snapshots per-shard lifecycle state and pool-level counters.
+    pub fn stats(&self) -> PoolStats {
+        if let Backend::Threaded(threaded) = &self.backend {
+            for (shared, consumer) in self.shared.iter().zip(&threaded.consumers) {
+                shared.set_ring_high_water(consumer.high_water());
+            }
+        }
+        PoolStats {
+            shards: self
+                .shared
+                .iter()
+                .enumerate()
+                .map(|(i, s)| s.snapshot(i))
+                .collect(),
+            bytes_delivered: self.bytes_delivered,
+            fill_calls: self.fill_calls,
+            max_refill_wait: self.max_refill_wait,
+        }
+    }
+}
+
+impl Drop for EntropyPool {
+    fn drop(&mut self) {
+        if let Backend::Threaded(threaded) = &mut self.backend {
+            threaded.stop.store(true, Ordering::Release);
+            for handle in threaded.handles.drain(..) {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// Worker-thread body: drive one shard's lifecycle, pushing healthy
+/// blocks into its ring with backpressure.
+fn worker(mut shard: Shard, producer: ring::Producer, stop: Arc<AtomicBool>, block_bytes: usize) {
+    let mut pending: Vec<u8> = Vec::new();
+    let mut off = 0usize;
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        if off < pending.len() {
+            off += producer.push(&pending[off..]);
+            if off < pending.len() {
+                // Ring full: the consumer is behind. Park briefly.
+                std::thread::sleep(NAP);
+                continue;
+            }
+        }
+        match shard.state() {
+            ShardState::Online => {
+                if shard.produce_block(&mut pending, block_bytes) {
+                    off = 0;
+                } else {
+                    // Alarm: the block was discarded inside the shard.
+                    pending.clear();
+                    off = 0;
+                }
+            }
+            ShardState::Starting | ShardState::Quarantined => shard.recover(),
+            ShardState::Retired => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::ShardFault;
+    use trng_core::trng::TrngConfig;
+    use trng_model::params::{DesignParams, PlatformParams};
+
+    fn dead_config() -> TrngConfig {
+        let mut config = TrngConfig::ideal();
+        config.platform = PlatformParams::new(480.0, 17.0, 0.05).expect("valid");
+        config.design = DesignParams {
+            k: 4,
+            n_a: 1,
+            np: 1,
+            f_clk_hz: (1e12f64 / (21.0 * 480.0)).round() as u64,
+            ..DesignParams::paper_k4()
+        };
+        config
+    }
+
+    fn small_pool(shards: usize) -> PoolConfig {
+        PoolConfig::new(TrngConfig::paper_k1(), shards)
+            .deterministic(true)
+            .with_block_bytes(64)
+            .with_seed(2015)
+    }
+
+    #[test]
+    fn replay_mode_is_byte_identical() {
+        let mut a = EntropyPool::new(small_pool(2)).expect("pool");
+        let mut b = EntropyPool::new(small_pool(2)).expect("pool");
+        let mut x = [0u8; 1024];
+        let mut y = [0u8; 1024];
+        a.fill_bytes(&mut x).expect("fill");
+        b.fill_bytes(&mut y).expect("fill");
+        assert_eq!(x, y);
+        assert_eq!(a.stats(), b.stats());
+        // A different pool seed diverges.
+        let mut c = EntropyPool::new(small_pool(2).with_seed(2016)).expect("pool");
+        let mut z = [0u8; 1024];
+        c.fill_bytes(&mut z).expect("fill");
+        assert_ne!(x, z);
+    }
+
+    #[test]
+    fn replay_mode_interleaves_all_shards() {
+        let mut pool = EntropyPool::new(small_pool(3)).expect("pool");
+        let online = pool.wait_online(Duration::from_secs(30)).expect("online");
+        assert_eq!(online, 3);
+        let mut buf = [0u8; 512];
+        pool.fill_bytes(&mut buf).expect("fill");
+        let stats = pool.stats();
+        assert_eq!(stats.bytes_delivered, 512);
+        assert_eq!(stats.fill_calls, 1);
+        for s in &stats.shards {
+            assert!(s.bytes_produced > 0, "shard {} contributed nothing", s.id);
+            assert_eq!(s.state, ShardState::Online);
+            assert_eq!(s.alarms, 0);
+        }
+    }
+
+    #[test]
+    fn threaded_pool_serves_and_reports() {
+        let config = PoolConfig::new(TrngConfig::paper_k1(), 2)
+            .with_block_bytes(64)
+            .with_seed(77);
+        let mut pool = EntropyPool::new(config).expect("pool");
+        let online = pool.wait_online(Duration::from_secs(60)).expect("online");
+        assert_eq!(online, 2);
+        let mut buf = [0u8; 2048];
+        pool.fill_bytes(&mut buf).expect("fill");
+        // 2048 zero bytes would mean the pool is broken (p ~ 2^-16384).
+        assert!(buf.iter().any(|&b| b != 0));
+        let stats = pool.stats();
+        assert_eq!(stats.bytes_delivered, 2048);
+        assert_eq!(stats.total_alarms(), 0);
+        assert!(stats.shards.iter().any(|s| s.ring_high_water > 0));
+        assert!(stats.sim_throughput_bps() > 0.0);
+    }
+
+    #[test]
+    fn threaded_timeout_reports_partial_fill() {
+        let config = PoolConfig::new(TrngConfig::paper_k1(), 1).with_seed(3);
+        let mut pool = EntropyPool::new(config).expect("pool");
+        pool.wait_online(Duration::from_secs(60)).expect("online");
+        // The simulator produces a few KiB/s of np=7 bytes; 4 MiB in
+        // 50 ms is impossible, so the deadline must fire.
+        let mut huge = vec![0u8; 4 << 20];
+        match pool.try_fill_bytes(&mut huge, Duration::from_millis(50)) {
+            Err(PoolError::Timeout { filled }) => {
+                assert!(filled < huge.len());
+                assert_eq!(pool.stats().bytes_delivered, filled as u64);
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exhaustion_is_a_typed_error_not_biased_bytes() {
+        let fault = FaultInjection {
+            shard: 0,
+            after_bytes: 256,
+            fault: ShardFault::Config(Box::new(dead_config())),
+            transient: false, // persistent: re-admission fails, shard retires
+        };
+        let config = small_pool(1).with_fault(fault).with_max_readmissions(1);
+        let mut pool = EntropyPool::new(config).expect("pool");
+        let mut sink = vec![0u8; 1 << 20];
+        let err = pool.fill_bytes(&mut sink).expect_err("must run dry");
+        match err {
+            PoolError::SourcesExhausted { filled } => {
+                assert!(filled >= 256, "clean prefix {filled}");
+                assert!(filled < sink.len());
+            }
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.shards[0].state, ShardState::Retired);
+        assert_eq!(stats.shards[0].alarms, 1);
+        assert_eq!(stats.shards[0].readmissions, 0);
+    }
+
+    #[test]
+    fn zero_shards_is_rejected() {
+        match EntropyPool::new(PoolConfig::new(TrngConfig::paper_k1(), 0)) {
+            Err(PoolError::NoShards) => {}
+            other => panic!("expected NoShards, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn out_of_range_fault_is_rejected() {
+        let fault = FaultInjection {
+            shard: 5,
+            after_bytes: 0,
+            fault: ShardFault::Config(Box::new(dead_config())),
+            transient: true,
+        };
+        match EntropyPool::new(small_pool(2).with_fault(fault)) {
+            Err(PoolError::InvalidConfig(why)) => assert!(why.contains("shard 5")),
+            other => panic!("expected InvalidConfig, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn build_errors_carry_the_shard_index() {
+        let mut base = TrngConfig::paper_k1();
+        base.start_column = 5; // odd column: no carry chain anywhere
+        match EntropyPool::new(PoolConfig::new(base, 2)) {
+            Err(PoolError::Build { shard, .. }) => assert_eq!(shard, 0),
+            other => panic!("expected Build, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(PoolError::NoShards.to_string().contains("zero shards"));
+        assert!(PoolError::Timeout { filled: 3 }.to_string().contains('3'));
+        assert!(PoolError::SourcesExhausted { filled: 9 }
+            .to_string()
+            .contains("retired"));
+    }
+}

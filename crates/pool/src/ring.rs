@@ -1,0 +1,231 @@
+//! Bounded lock-free single-producer/single-consumer byte ring.
+//!
+//! Each pool shard owns the producer end of one ring; the pool handle
+//! owns all consumer ends. The SPSC discipline keeps the fast path
+//! wait-free on both sides without unsafe code: slots are `AtomicU8`
+//! and the head/tail counters are monotonically increasing `usize`
+//! positions (index = position masked by the power-of-two capacity),
+//! so "full" and "empty" are unambiguous without a sacrificial slot.
+//!
+//! Memory ordering: the producer publishes slot writes with a
+//! `Release` store of `head`; the consumer `Acquire`-loads `head`
+//! before reading slots, and symmetrically publishes consumed space
+//! with a `Release` store of `tail`.
+
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Smallest capacity a ring will be created with.
+pub const MIN_RING_CAPACITY: usize = 64;
+
+#[derive(Debug)]
+struct Shared {
+    slots: Box<[AtomicU8]>,
+    mask: usize,
+    /// Next write position (owned by the producer).
+    head: AtomicUsize,
+    /// Next read position (owned by the consumer).
+    tail: AtomicUsize,
+    /// Highest occupancy ever observed by the producer.
+    high_water: AtomicUsize,
+}
+
+/// Producer end: exactly one per ring, held by the shard.
+#[derive(Debug)]
+pub struct Producer {
+    shared: Arc<Shared>,
+}
+
+/// Consumer end: exactly one per ring, held by the pool handle.
+#[derive(Debug)]
+pub struct Consumer {
+    shared: Arc<Shared>,
+}
+
+/// Creates a ring with at least `capacity` bytes of buffer (rounded up
+/// to a power of two, floored at [`MIN_RING_CAPACITY`]).
+pub fn ring(capacity: usize) -> (Producer, Consumer) {
+    let cap = capacity.max(MIN_RING_CAPACITY).next_power_of_two();
+    let shared = Arc::new(Shared {
+        slots: (0..cap).map(|_| AtomicU8::new(0)).collect(),
+        mask: cap - 1,
+        head: AtomicUsize::new(0),
+        tail: AtomicUsize::new(0),
+        high_water: AtomicUsize::new(0),
+    });
+    (
+        Producer {
+            shared: Arc::clone(&shared),
+        },
+        Consumer { shared },
+    )
+}
+
+impl Producer {
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.shared.slots.len()
+    }
+
+    /// Bytes of free space (may race stale low, never high).
+    pub fn free(&self) -> usize {
+        let head = self.shared.head.load(Ordering::Relaxed);
+        let tail = self.shared.tail.load(Ordering::Acquire);
+        self.capacity() - head.wrapping_sub(tail)
+    }
+
+    /// Appends as much of `bytes` as fits; returns the count written.
+    pub fn push(&self, bytes: &[u8]) -> usize {
+        let head = self.shared.head.load(Ordering::Relaxed);
+        let tail = self.shared.tail.load(Ordering::Acquire);
+        let used = head.wrapping_sub(tail);
+        let n = bytes.len().min(self.capacity() - used);
+        for (i, &b) in bytes[..n].iter().enumerate() {
+            self.shared.slots[head.wrapping_add(i) & self.shared.mask].store(b, Ordering::Relaxed);
+        }
+        self.shared
+            .head
+            .store(head.wrapping_add(n), Ordering::Release);
+        let occupancy = used + n;
+        self.shared
+            .high_water
+            .fetch_max(occupancy, Ordering::Relaxed);
+        n
+    }
+}
+
+impl Consumer {
+    /// Bytes currently readable (may race stale low, never high).
+    pub fn len(&self) -> usize {
+        let head = self.shared.head.load(Ordering::Acquire);
+        let tail = self.shared.tail.load(Ordering::Relaxed);
+        head.wrapping_sub(tail)
+    }
+
+    /// `true` when no bytes are readable.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pops up to `out.len()` bytes into `out`; returns the count read.
+    pub fn pop(&self, out: &mut [u8]) -> usize {
+        let head = self.shared.head.load(Ordering::Acquire);
+        let tail = self.shared.tail.load(Ordering::Relaxed);
+        let n = out.len().min(head.wrapping_sub(tail));
+        for (i, slot) in out[..n].iter_mut().enumerate() {
+            *slot =
+                self.shared.slots[tail.wrapping_add(i) & self.shared.mask].load(Ordering::Relaxed);
+        }
+        self.shared
+            .tail
+            .store(tail.wrapping_add(n), Ordering::Release);
+        n
+    }
+
+    /// Highest occupancy the producer ever observed.
+    pub fn high_water(&self) -> usize {
+        self.shared.high_water.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_across_wraparound() {
+        let (p, c) = ring(64);
+        assert_eq!(p.capacity(), 64);
+        let mut out = [0u8; 48];
+        // Push/pop more than capacity in total to exercise wraparound.
+        for round in 0..10u32 {
+            let data: Vec<u8> = (0..48).map(|i| (round * 48 + i) as u8).collect();
+            assert_eq!(p.push(&data), 48);
+            assert_eq!(c.pop(&mut out), 48);
+            assert_eq!(out[..], data[..], "round {round}");
+        }
+    }
+
+    #[test]
+    fn rejects_overflow_and_underflow() {
+        let (p, c) = ring(64);
+        let data = [7u8; 100];
+        assert_eq!(p.push(&data), 64); // only capacity fits
+        assert_eq!(p.push(&data), 0); // full
+        assert_eq!(p.free(), 0);
+        let mut out = [0u8; 100];
+        assert_eq!(c.pop(&mut out), 64);
+        assert!(out[..64].iter().all(|&b| b == 7));
+        assert_eq!(c.pop(&mut out), 0); // empty
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn partial_push_preserves_order() {
+        let (p, c) = ring(64);
+        assert_eq!(p.push(&[1; 40]), 40);
+        assert_eq!(p.push(&[2; 40]), 24); // only 24 fit
+        let mut out = [0u8; 64];
+        assert_eq!(c.pop(&mut out), 64);
+        assert!(out[..40].iter().all(|&b| b == 1));
+        assert!(out[40..].iter().all(|&b| b == 2));
+    }
+
+    #[test]
+    fn high_water_tracks_peak_occupancy() {
+        let (p, c) = ring(64);
+        let _ = p.push(&[0; 10]);
+        let mut out = [0u8; 8];
+        let _ = c.pop(&mut out);
+        let _ = p.push(&[0; 30]);
+        assert_eq!(c.high_water(), 32); // 2 leftover + 30
+    }
+
+    #[test]
+    fn capacity_is_rounded_up() {
+        let (p, _c) = ring(100);
+        assert_eq!(p.capacity(), 128);
+        let (p, _c) = ring(0);
+        assert_eq!(p.capacity(), MIN_RING_CAPACITY);
+    }
+
+    #[test]
+    fn concurrent_stream_is_unchanged() {
+        // One producer thread streaming a known sequence, the consumer
+        // on the main thread: every byte must arrive exactly once and
+        // in order.
+        const TOTAL: usize = 1 << 18;
+        let (p, c) = ring(256);
+        let producer = std::thread::spawn(move || {
+            let mut sent = 0usize;
+            while sent < TOTAL {
+                let chunk: Vec<u8> = (sent..(sent + 64).min(TOTAL))
+                    .map(|i| (i % 251) as u8)
+                    .collect();
+                let mut off = 0;
+                while off < chunk.len() {
+                    let n = p.push(&chunk[off..]);
+                    off += n;
+                    if n == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+                sent += chunk.len();
+            }
+        });
+        let mut received = 0usize;
+        let mut buf = [0u8; 97]; // deliberately co-prime with the chunking
+        while received < TOTAL {
+            let n = c.pop(&mut buf);
+            for &b in &buf[..n] {
+                assert_eq!(b, (received % 251) as u8, "at byte {received}");
+                received += 1;
+            }
+            if n == 0 {
+                std::thread::yield_now();
+            }
+        }
+        producer.join().expect("producer");
+        assert_eq!(c.len(), 0);
+    }
+}

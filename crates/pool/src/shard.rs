@@ -1,0 +1,562 @@
+//! One pool shard: a [`CarryChainTrng`] instance wrapped in its own
+//! health gate and conditioning stage, driven through the lifecycle
+//! state machine of [`ShardState`].
+//!
+//! A shard only contributes bytes while `Online`. Admission (and
+//! *re*-admission after a quarantine) is gated by the same start-up
+//! self-test a [`SelfTestingTrng`](trng_core::selftest::SelfTestingTrng)
+//! runs; while online, every raw bit feeds the SP 800-90B continuous
+//! tests *before* it may enter the conditioning stage, and a block is
+//! only released to the pool once every bit in it passed. An alarm
+//! therefore discards the whole in-flight block — no byte derived from
+//! a suspect stretch of the raw stream can reach a consumer.
+
+use std::sync::Arc;
+
+use trng_core::health::{HealthStatus, OnlineHealth};
+use trng_core::postprocess::XorCompressor;
+use trng_core::selftest::{claimed_min_entropy, run_startup_test};
+use trng_core::trng::{BuildTrngError, CarryChainTrng, TrngConfig};
+use trng_core::von_neumann::VonNeumann;
+use trng_fpga_sim::noise::AttackInjection;
+
+use crate::stats::{ShardShared, ShardState};
+
+/// Conditioning applied between the raw source and the pool's byte
+/// stream, reusing the post-processors from `trng-core`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Conditioning {
+    /// XOR compression at the design's own rate `np` (the paper's
+    /// Section 4.5 choice — what the hardware ships).
+    DesignXor,
+    /// XOR compression at an explicit rate.
+    Xor(u32),
+    /// Von Neumann extraction (unbiased output, variable rate).
+    VonNeumann,
+    /// Raw bits, packed into bytes unconditioned.
+    Raw,
+}
+
+#[derive(Debug, Clone)]
+enum Conditioner {
+    Xor(XorCompressor),
+    VonNeumann(VonNeumann),
+    Raw,
+}
+
+impl Conditioner {
+    fn new(mode: Conditioning, design_np: u32) -> Self {
+        match mode {
+            Conditioning::DesignXor => Conditioner::Xor(XorCompressor::new(design_np)),
+            Conditioning::Xor(np) => Conditioner::Xor(XorCompressor::new(np)),
+            Conditioning::VonNeumann => Conditioner::VonNeumann(VonNeumann::new()),
+            Conditioning::Raw => Conditioner::Raw,
+        }
+    }
+
+    fn push(&mut self, bit: bool) -> Option<bool> {
+        match self {
+            Conditioner::Xor(c) => c.push(bit),
+            Conditioner::VonNeumann(v) => v.push(bit),
+            Conditioner::Raw => Some(bit),
+        }
+    }
+
+    fn reset(&mut self) {
+        match self {
+            Conditioner::Xor(c) => c.reset(),
+            Conditioner::VonNeumann(v) => *v = VonNeumann::new(),
+            Conditioner::Raw => {}
+        }
+    }
+
+    /// Expected raw bits per output bit (Von Neumann uses its fair-
+    /// source expectation of 4 raw bits per output bit).
+    fn raw_bits_per_output(&self) -> u64 {
+        match self {
+            Conditioner::Xor(c) => u64::from(c.rate()),
+            Conditioner::VonNeumann(_) => 4,
+            Conditioner::Raw => 1,
+        }
+    }
+}
+
+/// How an injected fault replaces a shard's entropy source.
+#[derive(Debug, Clone)]
+pub enum ShardFault {
+    /// Keep the shard's configuration but enable this attack on its
+    /// noise input (the simulator's manipulative-influence hook).
+    Attack(AttackInjection),
+    /// Replace the shard's configuration outright — e.g. an attacked
+    /// *and* drift-frozen design whose entropy collapse is guaranteed
+    /// to be visible to the continuous tests.
+    Config(Box<TrngConfig>),
+}
+
+/// Deterministic mid-stream fault injection for tests and drills: once
+/// shard `shard` has produced `after_bytes` healthy bytes, its source
+/// is swapped per `fault`.
+#[derive(Debug, Clone)]
+pub struct FaultInjection {
+    /// Index of the shard to sabotage.
+    pub shard: usize,
+    /// Healthy bytes the shard must produce before the fault fires.
+    pub after_bytes: u64,
+    /// The fault to apply.
+    pub fault: ShardFault,
+    /// `true` models a transient disturbance: when the quarantined
+    /// shard is rebuilt for its re-admission attempt the fault is
+    /// gone, so the startup test passes and the shard rejoins.
+    /// `false` models a persistent fault: the rebuilt shard still
+    /// carries it, fails re-admission and is retired.
+    pub transient: bool,
+}
+
+#[derive(Debug, Clone)]
+struct PendingFault {
+    after_bytes: u64,
+    fault: ShardFault,
+    transient: bool,
+    applied: bool,
+}
+
+/// Deterministically derives a per-shard / per-rebuild simulation seed.
+pub(crate) fn mix_seed(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.rotate_left(32) ^ 0x9E37_79B9_7F4A_7C15;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A single pooled TRNG instance with its health gate.
+#[derive(Debug)]
+pub(crate) struct Shard {
+    id: usize,
+    base_config: TrngConfig,
+    seed: u64,
+    rebuilds: u64,
+    trng: CarryChainTrng,
+    health: OnlineHealth,
+    conditioner: Conditioner,
+    state: ShardState,
+    alarms: u64,
+    max_readmissions: u32,
+    fault: Option<PendingFault>,
+    /// `true` while the live instance runs a fault-injected config.
+    faulted: bool,
+    bytes_produced: u64,
+    /// Simulated time and raw-bit counts accumulated by instances
+    /// retired by rebuilds (a rebuild restarts the simulation clock).
+    sim_base_ns: u64,
+    raw_base: u64,
+    shared: Arc<ShardShared>,
+}
+
+impl Shard {
+    pub fn new(
+        id: usize,
+        config: TrngConfig,
+        seed: u64,
+        conditioning: Conditioning,
+        fault: Option<FaultInjection>,
+        max_readmissions: u32,
+        shared: Arc<ShardShared>,
+    ) -> Result<Self, BuildTrngError> {
+        let claim = claimed_min_entropy(&config)?;
+        let trng = CarryChainTrng::new(config.clone(), seed)?;
+        let conditioner = Conditioner::new(conditioning, config.design.np);
+        shared.set_state(ShardState::Starting);
+        Ok(Shard {
+            id,
+            base_config: config,
+            seed,
+            rebuilds: 0,
+            trng,
+            health: OnlineHealth::new(claim),
+            conditioner,
+            state: ShardState::Starting,
+            alarms: 0,
+            max_readmissions,
+            fault: fault.map(|f| PendingFault {
+                after_bytes: f.after_bytes,
+                fault: f.fault,
+                transient: f.transient,
+                applied: false,
+            }),
+            faulted: false,
+            bytes_produced: 0,
+            sim_base_ns: 0,
+            raw_base: 0,
+            shared,
+        })
+    }
+
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    pub fn state(&self) -> ShardState {
+        self.state
+    }
+
+    fn set_state(&mut self, s: ShardState) {
+        self.state = s;
+        self.shared.set_state(s);
+    }
+
+    fn faulted_config(&self, fault: &ShardFault) -> TrngConfig {
+        match fault {
+            ShardFault::Attack(a) => {
+                let mut c = self.base_config.clone();
+                c.attack = Some(*a);
+                c
+            }
+            ShardFault::Config(c) => (**c).clone(),
+        }
+    }
+
+    /// Replaces the live TRNG instance, banking the retired instance's
+    /// simulated time so `ShardStats::sim_elapsed` stays monotonic.
+    fn rebuild(&mut self, config: TrngConfig) -> Result<(), BuildTrngError> {
+        self.sim_base_ns += self.trng.now().as_ns() as u64;
+        self.raw_base += self.trng.stats().samples;
+        self.rebuilds += 1;
+        self.trng = CarryChainTrng::new(config, mix_seed(self.seed, self.rebuilds))?;
+        Ok(())
+    }
+
+    fn publish_progress(&self) {
+        self.shared
+            .set_sim_ns(self.sim_base_ns + self.trng.now().as_ns() as u64);
+        self.shared
+            .set_raw_bits(self.raw_base + self.trng.stats().samples);
+    }
+
+    /// Drives one admission or re-admission attempt. Call while the
+    /// shard is `Starting` or `Quarantined`; transitions to `Online`
+    /// or `Retired`.
+    pub fn recover(&mut self) {
+        debug_assert!(matches!(
+            self.state,
+            ShardState::Starting | ShardState::Quarantined
+        ));
+        if self.state == ShardState::Quarantined {
+            // Rebuild the source for a from-scratch validation run. A
+            // transient fault is gone after the rebuild; a persistent
+            // one follows the shard into its re-admission test.
+            let config = match &self.fault {
+                Some(f) if self.faulted && f.transient => {
+                    self.faulted = false;
+                    self.base_config.clone()
+                }
+                Some(f) if self.faulted => self.faulted_config(&f.fault.clone()),
+                _ => self.base_config.clone(),
+            };
+            self.health.reset();
+            self.conditioner.reset();
+            if self.rebuild(config).is_err() {
+                self.set_state(ShardState::Retired);
+                return;
+            }
+        }
+        let was_quarantined = self.state == ShardState::Quarantined;
+        let mut compressor = XorCompressor::new(self.base_config.design.np);
+        self.shared.count_startup_run();
+        let report = run_startup_test(&mut self.trng, &mut self.health, &mut compressor);
+        self.publish_progress();
+        if report.passed() {
+            self.conditioner.reset();
+            if was_quarantined {
+                self.shared.count_readmission();
+            }
+            self.set_state(ShardState::Online);
+        } else {
+            self.set_state(ShardState::Retired);
+        }
+    }
+
+    fn raise_alarm(&mut self) {
+        self.alarms += 1;
+        self.shared.count_alarm();
+        self.conditioner.reset();
+        self.publish_progress();
+        if self.alarms > u64::from(self.max_readmissions) {
+            self.set_state(ShardState::Retired);
+        } else {
+            self.set_state(ShardState::Quarantined);
+        }
+    }
+
+    /// Produces one block of `block_bytes` conditioned bytes into
+    /// `out` (cleared first). Returns `true` on a clean block; on any
+    /// continuous-test alarm the whole block is discarded, the shard
+    /// transitions per the lifecycle rules and `false` is returned.
+    pub fn produce_block(&mut self, out: &mut Vec<u8>, block_bytes: usize) -> bool {
+        debug_assert_eq!(self.state, ShardState::Online);
+        out.clear();
+        if let Some(f) = &self.fault {
+            if !f.applied && self.bytes_produced >= f.after_bytes {
+                let config = self.faulted_config(&f.fault.clone());
+                // A mid-stream fault does not reset the health gate:
+                // the attack hits a running, trusted source and the
+                // continuous tests must catch it.
+                if self.rebuild(config).is_err() {
+                    self.raise_alarm();
+                    return false;
+                }
+                self.faulted = true;
+                if let Some(f) = &mut self.fault {
+                    f.applied = true;
+                }
+            }
+        }
+        // A health-passing source that still starves the conditioner
+        // (possible only for Von Neumann under adversarial patterns)
+        // is itself an entropy failure; bound the raw spend per block.
+        let max_raw = (block_bytes as u64 * 8)
+            .saturating_mul(self.conditioner.raw_bits_per_output())
+            .saturating_mul(64);
+        let mut raw_spent = 0u64;
+        let mut byte = 0u8;
+        let mut nbits = 0u32;
+        while out.len() < block_bytes {
+            let raw = self.trng.next_raw_bit();
+            raw_spent += 1;
+            if self.health.push(raw) == HealthStatus::Alarm || raw_spent > max_raw {
+                out.clear();
+                self.raise_alarm();
+                return false;
+            }
+            if let Some(bit) = self.conditioner.push(raw) {
+                byte = byte << 1 | u8::from(bit);
+                nbits += 1;
+                if nbits == 8 {
+                    out.push(byte);
+                    byte = 0;
+                    nbits = 0;
+                }
+            }
+        }
+        // End-of-block total-failure check on the raw capture quality.
+        let stats = *self.trng.stats();
+        if self
+            .health
+            .report_missed_edges(stats.missed_edges, stats.samples)
+            == HealthStatus::Alarm
+        {
+            out.clear();
+            self.raise_alarm();
+            return false;
+        }
+        self.bytes_produced += out.len() as u64;
+        self.shared.add_bytes(out.len() as u64);
+        self.publish_progress();
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trng_model::params::{DesignParams, PlatformParams};
+
+    fn shared() -> Arc<ShardShared> {
+        Arc::new(ShardShared::default())
+    }
+
+    /// A configuration whose raw stream is (near-)frozen: drift-free
+    /// sampling plus an overwhelming injection-locking attack. Startup
+    /// reliably fails on it, and a healthy shard swapped onto it
+    /// reliably alarms (same construction as the selftest tests).
+    fn dead_config() -> TrngConfig {
+        let mut config = TrngConfig::ideal();
+        config.platform = PlatformParams::new(480.0, 17.0, 0.05).expect("valid");
+        config.design = DesignParams {
+            k: 4,
+            n_a: 1,
+            np: 1,
+            f_clk_hz: (1e12f64 / (21.0 * 480.0)).round() as u64,
+            ..DesignParams::paper_k4()
+        };
+        config
+    }
+
+    #[test]
+    fn healthy_shard_comes_online_and_produces() {
+        let s = shared();
+        let mut shard = Shard::new(
+            0,
+            TrngConfig::paper_k1(),
+            42,
+            Conditioning::DesignXor,
+            None,
+            2,
+            Arc::clone(&s),
+        )
+        .expect("build");
+        assert_eq!(shard.state(), ShardState::Starting);
+        shard.recover();
+        assert_eq!(shard.state(), ShardState::Online);
+        let mut block = Vec::new();
+        assert!(shard.produce_block(&mut block, 64));
+        assert_eq!(block.len(), 64);
+        let snap = s.snapshot(0);
+        assert_eq!(snap.state, ShardState::Online);
+        assert_eq!(snap.bytes_produced, 64);
+        assert_eq!(snap.startup_runs, 1);
+        assert_eq!(snap.alarms, 0);
+        assert!(snap.sim_elapsed.as_nanos() > 0);
+    }
+
+    #[test]
+    fn dead_source_is_retired_at_admission() {
+        let s = shared();
+        let mut shard = Shard::new(
+            0,
+            dead_config(),
+            7,
+            Conditioning::Raw,
+            None,
+            2,
+            Arc::clone(&s),
+        )
+        .expect("build");
+        shard.recover();
+        assert_eq!(shard.state(), ShardState::Retired);
+        assert_eq!(s.snapshot(0).startup_runs, 1);
+    }
+
+    #[test]
+    fn transient_fault_quarantines_then_readmits() {
+        let s = shared();
+        let fault = FaultInjection {
+            shard: 0,
+            after_bytes: 128,
+            fault: ShardFault::Config(Box::new(dead_config())),
+            transient: true,
+        };
+        let mut shard = Shard::new(
+            0,
+            TrngConfig::paper_k1(),
+            42,
+            Conditioning::DesignXor,
+            Some(fault),
+            2,
+            Arc::clone(&s),
+        )
+        .expect("build");
+        shard.recover();
+        assert_eq!(shard.state(), ShardState::Online);
+        let mut block = Vec::new();
+        let mut clean_bytes = 0u64;
+        let mut alarmed = false;
+        for _ in 0..64 {
+            if shard.produce_block(&mut block, 64) {
+                clean_bytes += block.len() as u64;
+            } else {
+                assert!(block.is_empty(), "alarmed block must be discarded");
+                alarmed = true;
+                break;
+            }
+        }
+        assert!(alarmed, "fault never tripped the continuous tests");
+        assert_eq!(shard.state(), ShardState::Quarantined);
+        // The fault fired only after the promised clean run-up.
+        assert!(clean_bytes >= 128, "clean bytes {clean_bytes}");
+        // Re-admission: the transient fault is gone after the rebuild.
+        shard.recover();
+        assert_eq!(shard.state(), ShardState::Online);
+        assert!(shard.produce_block(&mut block, 64));
+        let snap = s.snapshot(0);
+        assert_eq!(snap.alarms, 1);
+        assert_eq!(snap.readmissions, 1);
+        assert_eq!(snap.startup_runs, 2);
+    }
+
+    #[test]
+    fn persistent_fault_retires_at_readmission() {
+        let s = shared();
+        let fault = FaultInjection {
+            shard: 0,
+            after_bytes: 0,
+            fault: ShardFault::Config(Box::new(dead_config())),
+            transient: false,
+        };
+        let mut shard = Shard::new(
+            0,
+            TrngConfig::paper_k1(),
+            42,
+            Conditioning::DesignXor,
+            Some(fault),
+            2,
+            Arc::clone(&s),
+        )
+        .expect("build");
+        shard.recover();
+        assert_eq!(shard.state(), ShardState::Online);
+        let mut block = Vec::new();
+        assert!(!shard.produce_block(&mut block, 64), "fault must alarm");
+        assert_eq!(shard.state(), ShardState::Quarantined);
+        shard.recover();
+        assert_eq!(shard.state(), ShardState::Retired);
+        let snap = s.snapshot(0);
+        assert_eq!(snap.alarms, 1);
+        assert_eq!(snap.readmissions, 0);
+        assert_eq!(snap.startup_runs, 2);
+    }
+
+    #[test]
+    fn alarm_budget_exhaustion_retires_without_retest() {
+        let s = shared();
+        let fault = FaultInjection {
+            shard: 0,
+            after_bytes: 0,
+            fault: ShardFault::Config(Box::new(dead_config())),
+            transient: false,
+        };
+        // Zero re-admissions allowed: first alarm retires outright.
+        let mut shard = Shard::new(
+            0,
+            TrngConfig::paper_k1(),
+            42,
+            Conditioning::DesignXor,
+            Some(fault),
+            0,
+            Arc::clone(&s),
+        )
+        .expect("build");
+        shard.recover();
+        let mut block = Vec::new();
+        assert!(!shard.produce_block(&mut block, 64));
+        assert_eq!(shard.state(), ShardState::Retired);
+    }
+
+    #[test]
+    fn conditioning_rates_differ() {
+        // Raw packs every raw bit; DesignXor consumes np per bit.
+        let mk = |mode| {
+            let s = shared();
+            let mut shard = Shard::new(0, TrngConfig::paper_k1(), 9, mode, None, 2, Arc::clone(&s))
+                .expect("build");
+            shard.recover();
+            assert_eq!(shard.state(), ShardState::Online);
+            let mut block = Vec::new();
+            assert!(shard.produce_block(&mut block, 32));
+            s.snapshot(0).raw_bits
+        };
+        let raw = mk(Conditioning::Raw);
+        let xor = mk(Conditioning::DesignXor);
+        // Both include the 14336-raw-bit startup; the xor run then
+        // needs 7x the raw bits of the raw run for its 32 bytes.
+        assert_eq!(xor - raw, 32 * 8 * 6);
+        let vn = mk(Conditioning::VonNeumann);
+        assert!(vn > raw, "Von Neumann discards pairs");
+    }
+
+    #[test]
+    fn mix_seed_separates_lanes() {
+        assert_ne!(mix_seed(0, 0), mix_seed(0, 1));
+        assert_ne!(mix_seed(0, 1), mix_seed(1, 0));
+        assert_eq!(mix_seed(5, 9), mix_seed(5, 9));
+    }
+}

@@ -1,0 +1,321 @@
+//! Pool observability: per-shard lifecycle state and counters,
+//! published lock-free so [`PoolStats`] snapshots
+//! never stall the producers.
+
+use core::fmt;
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Lifecycle state of one shard.
+///
+/// ```text
+///             startup passed
+///  Starting ------------------> Online
+///     |                        ^     |
+///     | startup failed         |     | continuous-test alarm
+///     v        re-admitted     |     v
+///  Retired <------------------ Quarantined
+///     ^     startup failed or        |
+///     |     alarm budget spent       |
+///     +------------------------------+
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShardState {
+    /// Built, start-up self-test not passed yet; contributes nothing.
+    Starting,
+    /// Healthy and feeding the pool.
+    Online,
+    /// A continuous test alarmed; the shard is isolated and must pass
+    /// a fresh start-up test before re-admission.
+    Quarantined,
+    /// Permanently out of service (start-up failure or alarm budget
+    /// exhausted).
+    Retired,
+}
+
+impl ShardState {
+    pub(crate) fn as_u8(self) -> u8 {
+        match self {
+            ShardState::Starting => 0,
+            ShardState::Online => 1,
+            ShardState::Quarantined => 2,
+            ShardState::Retired => 3,
+        }
+    }
+
+    pub(crate) fn from_u8(v: u8) -> Self {
+        match v {
+            0 => ShardState::Starting,
+            1 => ShardState::Online,
+            2 => ShardState::Quarantined,
+            _ => ShardState::Retired,
+        }
+    }
+}
+
+impl fmt::Display for ShardState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ShardState::Starting => "starting",
+            ShardState::Online => "online",
+            ShardState::Quarantined => "quarantined",
+            ShardState::Retired => "retired",
+        })
+    }
+}
+
+/// Lock-free shared counters one shard publishes into.
+#[derive(Debug, Default)]
+pub(crate) struct ShardShared {
+    state: AtomicU8,
+    alarms: AtomicU64,
+    readmissions: AtomicU64,
+    startup_runs: AtomicU64,
+    bytes_produced: AtomicU64,
+    raw_bits: AtomicU64,
+    sim_ns: AtomicU64,
+    ring_high_water: AtomicUsize,
+}
+
+impl ShardShared {
+    pub fn set_state(&self, s: ShardState) {
+        self.state.store(s.as_u8(), Ordering::Release);
+    }
+
+    pub fn state(&self) -> ShardState {
+        ShardState::from_u8(self.state.load(Ordering::Acquire))
+    }
+
+    pub fn count_alarm(&self) {
+        self.alarms.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count_readmission(&self) {
+        self.readmissions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count_startup_run(&self) {
+        self.startup_runs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_bytes(&self, n: u64) {
+        self.bytes_produced.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn set_raw_bits(&self, n: u64) {
+        self.raw_bits.store(n, Ordering::Relaxed);
+    }
+
+    pub fn set_sim_ns(&self, ns: u64) {
+        self.sim_ns.store(ns, Ordering::Relaxed);
+    }
+
+    pub fn set_ring_high_water(&self, n: usize) {
+        self.ring_high_water.fetch_max(n, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self, id: usize) -> ShardStats {
+        ShardStats {
+            id,
+            state: self.state(),
+            alarms: self.alarms.load(Ordering::Relaxed),
+            readmissions: self.readmissions.load(Ordering::Relaxed),
+            startup_runs: self.startup_runs.load(Ordering::Relaxed),
+            bytes_produced: self.bytes_produced.load(Ordering::Relaxed),
+            raw_bits: self.raw_bits.load(Ordering::Relaxed),
+            sim_elapsed: Duration::from_nanos(self.sim_ns.load(Ordering::Relaxed)),
+            ring_high_water: self.ring_high_water.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time view of one shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard index within the pool.
+    pub id: usize,
+    /// Lifecycle state at snapshot time.
+    pub state: ShardState,
+    /// Continuous-test alarms raised over the shard's lifetime.
+    pub alarms: u64,
+    /// Successful re-admissions after quarantine.
+    pub readmissions: u64,
+    /// Start-up test executions (initial admission + re-admissions).
+    pub startup_runs: u64,
+    /// Healthy conditioned bytes handed to the pool.
+    pub bytes_produced: u64,
+    /// Raw bits drawn from the underlying generator.
+    pub raw_bits: u64,
+    /// Elapsed *simulated* time of the shard's TRNG — the hardware
+    /// clock domain, in which throughput scales with shard count.
+    pub sim_elapsed: Duration,
+    /// Peak occupancy of the shard's ring buffer, in bytes.
+    pub ring_high_water: usize,
+}
+
+/// Point-in-time view of the whole pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolStats {
+    /// One entry per shard, in shard order.
+    pub shards: Vec<ShardStats>,
+    /// Bytes delivered to consumers over the pool's lifetime.
+    pub bytes_delivered: u64,
+    /// Completed `fill_bytes`/`try_fill_bytes` calls.
+    pub fill_calls: u64,
+    /// Longest time a single fill call spent waiting for bytes.
+    pub max_refill_wait: Duration,
+}
+
+impl PoolStats {
+    /// Number of shards currently online.
+    pub fn online_shards(&self) -> usize {
+        self.shards
+            .iter()
+            .filter(|s| s.state == ShardState::Online)
+            .count()
+    }
+
+    /// Total alarms across all shards.
+    pub fn total_alarms(&self) -> u64 {
+        self.shards.iter().map(|s| s.alarms).sum()
+    }
+
+    /// Aggregate throughput in the *simulated* clock domain, in bits
+    /// per simulated second: total healthy bits produced divided by
+    /// the longest per-shard simulated elapsed time. This is the
+    /// paper's Table-2 metric — parallel instances produce their bytes
+    /// in the *same* simulated window, so N healthy shards deliver
+    /// ~N× the single-instance rate.
+    ///
+    /// Returns 0.0 before any shard has produced bytes.
+    pub fn sim_throughput_bps(&self) -> f64 {
+        let bits: u64 = self.shards.iter().map(|s| s.bytes_produced * 8).sum();
+        let window = self
+            .shards
+            .iter()
+            .map(|s| s.sim_elapsed)
+            .max()
+            .unwrap_or_default();
+        if window.is_zero() {
+            0.0
+        } else {
+            bits as f64 / window.as_secs_f64()
+        }
+    }
+}
+
+impl fmt::Display for PoolStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "pool: {} delivered over {} calls, {}/{} shards online, {} alarms",
+            self.bytes_delivered,
+            self.fill_calls,
+            self.online_shards(),
+            self.shards.len(),
+            self.total_alarms(),
+        )?;
+        for s in &self.shards {
+            writeln!(
+                f,
+                "  shard {}: {:<11} {:>10} B, {} alarms, {} readmissions, \
+                 {} startups, ring high-water {} B",
+                s.id,
+                s.state.to_string(),
+                s.bytes_produced,
+                s.alarms,
+                s.readmissions,
+                s.startup_runs,
+                s.ring_high_water,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_round_trips_through_u8() {
+        for s in [
+            ShardState::Starting,
+            ShardState::Online,
+            ShardState::Quarantined,
+            ShardState::Retired,
+        ] {
+            assert_eq!(ShardState::from_u8(s.as_u8()), s);
+        }
+    }
+
+    #[test]
+    fn shared_counters_snapshot() {
+        let shared = ShardShared::default();
+        shared.set_state(ShardState::Online);
+        shared.count_alarm();
+        shared.count_startup_run();
+        shared.count_startup_run();
+        shared.count_readmission();
+        shared.add_bytes(100);
+        shared.add_bytes(28);
+        shared.set_raw_bits(1024);
+        shared.set_sim_ns(5_000);
+        shared.set_ring_high_water(64);
+        shared.set_ring_high_water(32); // max() keeps 64
+        let s = shared.snapshot(3);
+        assert_eq!(s.id, 3);
+        assert_eq!(s.state, ShardState::Online);
+        assert_eq!(s.alarms, 1);
+        assert_eq!(s.readmissions, 1);
+        assert_eq!(s.startup_runs, 2);
+        assert_eq!(s.bytes_produced, 128);
+        assert_eq!(s.raw_bits, 1024);
+        assert_eq!(s.sim_elapsed, Duration::from_nanos(5_000));
+        assert_eq!(s.ring_high_water, 64);
+    }
+
+    #[test]
+    fn sim_throughput_uses_slowest_shard_window() {
+        let mk = |bytes: u64, sim_ms: u64| ShardStats {
+            id: 0,
+            state: ShardState::Online,
+            alarms: 0,
+            readmissions: 0,
+            startup_runs: 1,
+            bytes_produced: bytes,
+            raw_bits: 0,
+            sim_elapsed: Duration::from_millis(sim_ms),
+            ring_high_water: 0,
+        };
+        let stats = PoolStats {
+            shards: vec![mk(1000, 10), mk(1000, 10), mk(1000, 10), mk(1000, 10)],
+            bytes_delivered: 4000,
+            fill_calls: 1,
+            max_refill_wait: Duration::ZERO,
+        };
+        // 4 shards x 8000 bits over the same 10 ms window: 3.2 Mb/s,
+        // 4x what a single shard would report.
+        assert!((stats.sim_throughput_bps() - 3.2e6).abs() < 1.0);
+        let single = PoolStats {
+            shards: vec![mk(1000, 10)],
+            bytes_delivered: 1000,
+            fill_calls: 1,
+            max_refill_wait: Duration::ZERO,
+        };
+        assert!((single.sim_throughput_bps() - 0.8e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn display_renders_every_shard() {
+        let stats = PoolStats {
+            shards: vec![ShardShared::default().snapshot(0)],
+            bytes_delivered: 0,
+            fill_calls: 0,
+            max_refill_wait: Duration::ZERO,
+        };
+        let text = stats.to_string();
+        assert!(text.contains("shard 0"));
+        assert!(text.contains("starting"));
+    }
+}

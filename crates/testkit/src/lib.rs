@@ -14,7 +14,7 @@
 //!   failing-seed reporting and single-seed replay via
 //!   `TRNG_PROP_SEED`. Replaces `proptest` (no shrinking by design —
 //!   a failing seed reproduces the exact case).
-//! * [`bench`] — a micro-benchmark timer harness (warmup, N samples,
+//! * [`bench`](mod@bench) — a micro-benchmark timer harness (warmup, N samples,
 //!   median/p95, JSON reports written to `BENCH_<group>.json`) with a
 //!   criterion-shaped API. Replaces `criterion`.
 //! * [`json`] — a tiny JSON writer used by the bench reports (the
@@ -24,7 +24,7 @@
 //! # Seeding policy
 //!
 //! All randomness in tests flows from explicit `u64` seeds through
-//! [`prng::StdRng::seed_from_u64`]. The property harness derives one
+//! [`prng::StdRng::seed_from_u64`](prng::SeedableRng::seed_from_u64). The property harness derives one
 //! seed per case from the property name and case index, so runs are
 //! reproducible across machines and parallel test threads.
 

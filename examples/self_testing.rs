@@ -1,57 +1,104 @@
-//! Self-testing TRNG + generic-RNG integration: the "product" face
-//! of the reproduction — a gated generator with embedded start-up
-//! and online tests (the paper's future work), consumed through the
-//! standard [`trng_testkit::prng::RngCore`] interface.
+//! Self-testing entropy service: the "product" face of the
+//! reproduction. A sharded [`EntropyPool`] runs several carry-chain
+//! TRNG instances, each gated by the embedded start-up and online
+//! tests; this demo sabotages one shard mid-stream and watches the
+//! pool walk it through alarm → quarantine → re-admission while the
+//! delivered byte stream stays health-clean throughout.
 //!
 //! ```text
-//! cargo run --release -p trng-core --example self_testing
+//! cargo run --release -p trng-pool --example self_testing
 //! ```
 
-use trng_core::rng_adapter::TrngRng;
-use trng_core::selftest::SelfTestingTrng;
-use trng_core::trng::{CarryChainTrng, TrngConfig};
+use std::time::Duration;
+
+use trng_core::trng::TrngConfig;
+use trng_model::params::{DesignParams, PlatformParams};
 use trng_model::report::evaluation_report;
-use trng_testkit::prng::Rng;
+use trng_pool::{Conditioning, EntropyPool, FaultInjection, PoolConfig, ShardFault, ShardState};
+
+/// A drift-frozen, injection-locked configuration: swapping a running
+/// shard onto it guarantees the continuous tests alarm.
+fn sabotaged_config() -> TrngConfig {
+    let mut config = TrngConfig::ideal();
+    config.platform = PlatformParams::new(480.0, 17.0, 0.05).expect("valid params");
+    config.design = DesignParams {
+        k: 4,
+        n_a: 1,
+        np: 1,
+        f_clk_hz: (1e12f64 / (21.0 * 480.0)).round() as u64,
+        ..DesignParams::paper_k4()
+    };
+    config
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let config = TrngConfig::paper_k1();
+    let base = TrngConfig::paper_k1();
 
     // The model-based evaluation report (what an AIS-31 evaluator
-    // would read) for the configuration we're about to run.
-    let report = evaluation_report(&config.platform, &config.design)?;
+    // would read) for the design every shard runs.
+    let report = evaluation_report(&base.platform, &base.design)?;
     println!("{}", report.text);
 
-    // Gated generation: the start-up test ran inside `new`; output
-    // only flows while the online tests hold.
-    let mut gated = SelfTestingTrng::new(config.clone(), 0xABCD)?;
-    gated.status()?;
-    let session_key: Vec<bool> = gated.generate(256)?;
-    print!("256-bit session key: ");
-    for chunk in session_key.chunks(8) {
-        let byte = chunk.iter().fold(0u8, |acc, &b| acc << 1 | u8::from(b));
-        print!("{byte:02x}");
+    // Three shards on disjoint fabric regions; shard 1 is scripted to
+    // fail transiently after contributing 1 KiB. Deterministic replay
+    // mode makes the whole incident reproducible.
+    let fault = FaultInjection {
+        shard: 1,
+        after_bytes: 1024,
+        fault: ShardFault::Config(Box::new(sabotaged_config())),
+        transient: true,
+    };
+    let config = PoolConfig::new(base, 3)
+        .with_conditioning(Conditioning::DesignXor)
+        .with_seed(0xDAC_2015)
+        .with_fault(fault)
+        .deterministic(true);
+    let mut pool = EntropyPool::new(config)?;
+    let online = pool.wait_online(Duration::from_secs(60))?;
+    println!("admission: {online}/3 shards passed the start-up self-test\n");
+
+    // Stream 8 KiB in chunks, reporting shard 1's lifecycle as the
+    // scripted fault fires and the pool heals itself.
+    let mut chunk = [0u8; 512];
+    let mut last = (ShardState::Online, 0u64, 0u64);
+    let mut first_bytes = None;
+    for drawn in (1..=16).map(|i| i * 512) {
+        pool.fill_bytes(&mut chunk)?;
+        if first_bytes.is_none() {
+            first_bytes = Some(chunk[..8].to_vec());
+        }
+        let stats = pool.stats();
+        let s1 = &stats.shards[1];
+        let now = (s1.state, s1.alarms, s1.readmissions);
+        if now != last {
+            println!(
+                "after {drawn:>5} B: shard 1 is {} (alarms {}, re-admissions {}, \
+                 start-up runs {})",
+                s1.state, s1.alarms, s1.readmissions, s1.startup_runs
+            );
+            last = now;
+        }
+    }
+
+    let stats = pool.stats();
+    println!("\n{stats}");
+    print!("first delivered bytes: ");
+    for b in first_bytes.expect("filled") {
+        print!("{b:02x}");
     }
     println!(
-        "\nembedded tests: ok ({} raw samples drawn)\n",
-        gated.stats().samples
+        "\nsimulated aggregate throughput: {:.2} Mb/s (one instance: ~{:.2} Mb/s)",
+        stats.sim_throughput_bps() / 1e6,
+        stats.sim_throughput_bps() / 1e6 / stats.online_shards() as f64,
     );
 
-    // Generic-RNG usage: dice rolls, shuffles, ranges — anything
-    // that takes an RngCore.
-    let trng = CarryChainTrng::new(config, 0xDEAD)?;
-    let mut rng = TrngRng::new(trng);
-    let roll: u8 = rng.gen_range(1..=6);
-    println!("true-random die roll: {roll}");
-    let mut deck: Vec<u8> = (1..=10).collect();
-    // Fisher-Yates with true random indices.
-    for i in (1..deck.len()).rev() {
-        let j = rng.gen_range(0..=i);
-        deck.swap(i, j);
-    }
-    println!("true-random shuffle of 1..=10: {deck:?}");
+    let s1 = &stats.shards[1];
+    assert_eq!(s1.alarms, 1, "the scripted fault must alarm exactly once");
+    assert_eq!(s1.readmissions, 1, "the transient fault must heal");
+    assert_eq!(s1.state, ShardState::Online);
     println!(
-        "(consumed {} raw TRNG samples through the RngCore adapter)",
-        rng.get_ref().stats().samples
+        "\nshard 1 was quarantined and re-admitted; every byte served was \
+         drawn from shards whose continuous tests were passing."
     );
     Ok(())
 }

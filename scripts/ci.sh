@@ -31,4 +31,16 @@ else
     echo "==> cargo clippy not installed; skipping lint"
 fi
 
+echo "==> cargo doc --no-deps (rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --quiet
+
+# Entropy-pool smoke: bring up a 2-shard pool, stream 1 MB of raw
+# bytes through the threaded service path, and fail on any health
+# alarm, retired shard, or degenerate output. Exercises the worker
+# threads, SPSC rings, and continuous-test gating end to end.
+echo "==> pool smoke (2 shards, 1 MB)"
+TRNG_POOL_SMOKE_BYTES=${TRNG_POOL_SMOKE_BYTES:-1000000} \
+TRNG_POOL_SMOKE_SHARDS=${TRNG_POOL_SMOKE_SHARDS:-2} \
+    cargo run -q --release --offline -p trng-pool --bin pool_smoke
+
 echo "==> tier-1 gate passed"

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_quality-9bdf92e5dbc48019.d: crates/bench/src/bin/ablation_quality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_quality-9bdf92e5dbc48019.rmeta: crates/bench/src/bin/ablation_quality.rs Cargo.toml
+
+crates/bench/src/bin/ablation_quality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

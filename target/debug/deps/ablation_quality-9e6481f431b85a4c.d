@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_quality-9e6481f431b85a4c.d: crates/bench/src/bin/ablation_quality.rs
+
+/root/repo/target/debug/deps/ablation_quality-9e6481f431b85a4c: crates/bench/src/bin/ablation_quality.rs
+
+crates/bench/src/bin/ablation_quality.rs:

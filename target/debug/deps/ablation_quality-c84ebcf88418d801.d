@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_quality-c84ebcf88418d801.d: crates/bench/src/bin/ablation_quality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_quality-c84ebcf88418d801.rmeta: crates/bench/src/bin/ablation_quality.rs Cargo.toml
+
+crates/bench/src/bin/ablation_quality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

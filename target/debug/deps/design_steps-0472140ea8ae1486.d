@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/design_steps-0472140ea8ae1486.d: crates/bench/src/bin/design_steps.rs
+
+/root/repo/target/debug/deps/design_steps-0472140ea8ae1486: crates/bench/src/bin/design_steps.rs
+
+crates/bench/src/bin/design_steps.rs:

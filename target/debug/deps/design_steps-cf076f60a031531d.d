@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/design_steps-cf076f60a031531d.d: crates/bench/src/bin/design_steps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdesign_steps-cf076f60a031531d.rmeta: crates/bench/src/bin/design_steps.rs Cargo.toml
+
+crates/bench/src/bin/design_steps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/design_steps-f76a3d94d9342b26.d: crates/bench/src/bin/design_steps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdesign_steps-f76a3d94d9342b26.rmeta: crates/bench/src/bin/design_steps.rs Cargo.toml
+
+crates/bench/src/bin/design_steps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

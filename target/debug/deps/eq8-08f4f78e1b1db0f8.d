@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/eq8-08f4f78e1b1db0f8.d: crates/bench/src/bin/eq8.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeq8-08f4f78e1b1db0f8.rmeta: crates/bench/src/bin/eq8.rs Cargo.toml
+
+crates/bench/src/bin/eq8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

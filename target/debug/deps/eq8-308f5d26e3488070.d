@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/eq8-308f5d26e3488070.d: crates/bench/src/bin/eq8.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeq8-308f5d26e3488070.rmeta: crates/bench/src/bin/eq8.rs Cargo.toml
+
+crates/bench/src/bin/eq8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/eq8-cd70e743968b771b.d: crates/bench/src/bin/eq8.rs
+
+/root/repo/target/debug/deps/eq8-cd70e743968b771b: crates/bench/src/bin/eq8.rs
+
+crates/bench/src/bin/eq8.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extractor-f07ac4f2c656af45.d: crates/bench/benches/extractor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextractor-f07ac4f2c656af45.rmeta: crates/bench/benches/extractor.rs Cargo.toml
+
+crates/bench/benches/extractor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

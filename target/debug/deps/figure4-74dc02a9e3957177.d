@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure4-74dc02a9e3957177.d: crates/bench/src/bin/figure4.rs
+
+/root/repo/target/debug/deps/figure4-74dc02a9e3957177: crates/bench/src/bin/figure4.rs
+
+crates/bench/src/bin/figure4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure7-17f01f4625362b0d.d: crates/bench/src/bin/figure7.rs
+
+/root/repo/target/debug/deps/figure7-17f01f4625362b0d: crates/bench/src/bin/figure7.rs
+
+crates/bench/src/bin/figure7.rs:

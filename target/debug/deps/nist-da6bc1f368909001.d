@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nist-da6bc1f368909001.d: crates/bench/benches/nist.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnist-da6bc1f368909001.rmeta: crates/bench/benches/nist.rs Cargo.toml
+
+crates/bench/benches/nist.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pool_smoke-2676ef89593ccf00.d: crates/pool/src/bin/pool_smoke.rs
+
+/root/repo/target/debug/deps/pool_smoke-2676ef89593ccf00: crates/pool/src/bin/pool_smoke.rs
+
+crates/pool/src/bin/pool_smoke.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pool_smoke-413f700075116cbf.d: crates/pool/src/bin/pool_smoke.rs
+
+/root/repo/target/debug/deps/pool_smoke-413f700075116cbf: crates/pool/src/bin/pool_smoke.rs
+
+crates/pool/src/bin/pool_smoke.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pool_smoke-7311cd694bf1375b.d: crates/pool/src/bin/pool_smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpool_smoke-7311cd694bf1375b.rmeta: crates/pool/src/bin/pool_smoke.rs Cargo.toml
+
+crates/pool/src/bin/pool_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pool_soak-a37d36deb3b79f75.d: crates/pool/../../tests/pool_soak.rs
+
+/root/repo/target/debug/deps/pool_soak-a37d36deb3b79f75: crates/pool/../../tests/pool_soak.rs
+
+crates/pool/../../tests/pool_soak.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pool_soak-e398027a07ddbe05.d: crates/pool/../../tests/pool_soak.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpool_soak-e398027a07ddbe05.rmeta: crates/pool/../../tests/pool_soak.rs Cargo.toml
+
+crates/pool/../../tests/pool_soak.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

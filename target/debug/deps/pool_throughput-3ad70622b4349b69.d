@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pool_throughput-3ad70622b4349b69.d: crates/bench/benches/pool_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpool_throughput-3ad70622b4349b69.rmeta: crates/bench/benches/pool_throughput.rs Cargo.toml
+
+crates/bench/benches/pool_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

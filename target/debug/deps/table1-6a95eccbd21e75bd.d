@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-6a95eccbd21e75bd.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-6a95eccbd21e75bd: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-376ba04c1aaf311d.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-376ba04c1aaf311d: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

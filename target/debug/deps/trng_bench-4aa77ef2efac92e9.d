@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/trng_bench-4aa77ef2efac92e9.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libtrng_bench-4aa77ef2efac92e9.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libtrng_bench-4aa77ef2efac92e9.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

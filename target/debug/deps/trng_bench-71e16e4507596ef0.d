@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trng_bench-71e16e4507596ef0.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/trng_bench-71e16e4507596ef0: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trng_bench-9ec906c762688879.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrng_bench-9ec906c762688879.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

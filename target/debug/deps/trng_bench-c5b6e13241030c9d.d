@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trng_bench-c5b6e13241030c9d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libtrng_bench-c5b6e13241030c9d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/trng_core-83fda23948f60368.d: crates/core/src/lib.rs crates/core/src/bubble.rs crates/core/src/downsample.rs crates/core/src/elementary.rs crates/core/src/extractor.rs crates/core/src/health.rs crates/core/src/postprocess.rs crates/core/src/resources.rs crates/core/src/restart.rs crates/core/src/rng_adapter.rs crates/core/src/rtl.rs crates/core/src/self_timed.rs crates/core/src/selftest.rs crates/core/src/snippet.rs crates/core/src/trng.rs crates/core/src/von_neumann.rs
+
+/root/repo/target/debug/deps/libtrng_core-83fda23948f60368.rmeta: crates/core/src/lib.rs crates/core/src/bubble.rs crates/core/src/downsample.rs crates/core/src/elementary.rs crates/core/src/extractor.rs crates/core/src/health.rs crates/core/src/postprocess.rs crates/core/src/resources.rs crates/core/src/restart.rs crates/core/src/rng_adapter.rs crates/core/src/rtl.rs crates/core/src/self_timed.rs crates/core/src/selftest.rs crates/core/src/snippet.rs crates/core/src/trng.rs crates/core/src/von_neumann.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bubble.rs:
+crates/core/src/downsample.rs:
+crates/core/src/elementary.rs:
+crates/core/src/extractor.rs:
+crates/core/src/health.rs:
+crates/core/src/postprocess.rs:
+crates/core/src/resources.rs:
+crates/core/src/restart.rs:
+crates/core/src/rng_adapter.rs:
+crates/core/src/rtl.rs:
+crates/core/src/self_timed.rs:
+crates/core/src/selftest.rs:
+crates/core/src/snippet.rs:
+crates/core/src/trng.rs:
+crates/core/src/von_neumann.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/trng_fpga_sim-5d3274226d4862ac.d: crates/fpga-sim/src/lib.rs crates/fpga-sim/src/delay_line.rs crates/fpga-sim/src/edge_train.rs crates/fpga-sim/src/fabric.rs crates/fpga-sim/src/noise/mod.rs crates/fpga-sim/src/noise/attack.rs crates/fpga-sim/src/noise/flicker.rs crates/fpga-sim/src/noise/global.rs crates/fpga-sim/src/noise/white.rs crates/fpga-sim/src/placement.rs crates/fpga-sim/src/primitives/mod.rs crates/fpga-sim/src/primitives/carry4.rs crates/fpga-sim/src/primitives/flipflop.rs crates/fpga-sim/src/primitives/lut.rs crates/fpga-sim/src/process.rs crates/fpga-sim/src/ring_oscillator.rs crates/fpga-sim/src/rng.rs crates/fpga-sim/src/time.rs crates/fpga-sim/src/trace.rs
+
+/root/repo/target/debug/deps/libtrng_fpga_sim-5d3274226d4862ac.rmeta: crates/fpga-sim/src/lib.rs crates/fpga-sim/src/delay_line.rs crates/fpga-sim/src/edge_train.rs crates/fpga-sim/src/fabric.rs crates/fpga-sim/src/noise/mod.rs crates/fpga-sim/src/noise/attack.rs crates/fpga-sim/src/noise/flicker.rs crates/fpga-sim/src/noise/global.rs crates/fpga-sim/src/noise/white.rs crates/fpga-sim/src/placement.rs crates/fpga-sim/src/primitives/mod.rs crates/fpga-sim/src/primitives/carry4.rs crates/fpga-sim/src/primitives/flipflop.rs crates/fpga-sim/src/primitives/lut.rs crates/fpga-sim/src/process.rs crates/fpga-sim/src/ring_oscillator.rs crates/fpga-sim/src/rng.rs crates/fpga-sim/src/time.rs crates/fpga-sim/src/trace.rs
+
+crates/fpga-sim/src/lib.rs:
+crates/fpga-sim/src/delay_line.rs:
+crates/fpga-sim/src/edge_train.rs:
+crates/fpga-sim/src/fabric.rs:
+crates/fpga-sim/src/noise/mod.rs:
+crates/fpga-sim/src/noise/attack.rs:
+crates/fpga-sim/src/noise/flicker.rs:
+crates/fpga-sim/src/noise/global.rs:
+crates/fpga-sim/src/noise/white.rs:
+crates/fpga-sim/src/placement.rs:
+crates/fpga-sim/src/primitives/mod.rs:
+crates/fpga-sim/src/primitives/carry4.rs:
+crates/fpga-sim/src/primitives/flipflop.rs:
+crates/fpga-sim/src/primitives/lut.rs:
+crates/fpga-sim/src/process.rs:
+crates/fpga-sim/src/ring_oscillator.rs:
+crates/fpga-sim/src/rng.rs:
+crates/fpga-sim/src/time.rs:
+crates/fpga-sim/src/trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trng_measure-703b87d1b15c263f.d: crates/measure/src/lib.rs crates/measure/src/calibration.rs crates/measure/src/jitter.rs crates/measure/src/lut_delay.rs crates/measure/src/tstep.rs
+
+/root/repo/target/debug/deps/libtrng_measure-703b87d1b15c263f.rmeta: crates/measure/src/lib.rs crates/measure/src/calibration.rs crates/measure/src/jitter.rs crates/measure/src/lut_delay.rs crates/measure/src/tstep.rs
+
+crates/measure/src/lib.rs:
+crates/measure/src/calibration.rs:
+crates/measure/src/jitter.rs:
+crates/measure/src/lut_delay.rs:
+crates/measure/src/tstep.rs:

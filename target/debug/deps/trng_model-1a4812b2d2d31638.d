@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/trng_model-1a4812b2d2d31638.d: crates/model/src/lib.rs crates/model/src/binary_prob.rs crates/model/src/design_space.rs crates/model/src/entropy.rs crates/model/src/gauss.rs crates/model/src/jitter.rs crates/model/src/params.rs crates/model/src/postprocess.rs crates/model/src/report.rs crates/model/src/sensitivity.rs
+
+/root/repo/target/debug/deps/libtrng_model-1a4812b2d2d31638.rmeta: crates/model/src/lib.rs crates/model/src/binary_prob.rs crates/model/src/design_space.rs crates/model/src/entropy.rs crates/model/src/gauss.rs crates/model/src/jitter.rs crates/model/src/params.rs crates/model/src/postprocess.rs crates/model/src/report.rs crates/model/src/sensitivity.rs
+
+crates/model/src/lib.rs:
+crates/model/src/binary_prob.rs:
+crates/model/src/design_space.rs:
+crates/model/src/entropy.rs:
+crates/model/src/gauss.rs:
+crates/model/src/jitter.rs:
+crates/model/src/params.rs:
+crates/model/src/postprocess.rs:
+crates/model/src/report.rs:
+crates/model/src/sensitivity.rs:

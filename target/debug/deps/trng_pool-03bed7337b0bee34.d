@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trng_pool-03bed7337b0bee34.d: crates/pool/src/lib.rs crates/pool/src/pool.rs crates/pool/src/ring.rs crates/pool/src/shard.rs crates/pool/src/stats.rs
+
+/root/repo/target/debug/deps/libtrng_pool-03bed7337b0bee34.rmeta: crates/pool/src/lib.rs crates/pool/src/pool.rs crates/pool/src/ring.rs crates/pool/src/shard.rs crates/pool/src/stats.rs
+
+crates/pool/src/lib.rs:
+crates/pool/src/pool.rs:
+crates/pool/src/ring.rs:
+crates/pool/src/shard.rs:
+crates/pool/src/stats.rs:

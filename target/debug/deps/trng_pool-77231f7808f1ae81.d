@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/trng_pool-77231f7808f1ae81.d: crates/pool/src/lib.rs crates/pool/src/pool.rs crates/pool/src/ring.rs crates/pool/src/shard.rs crates/pool/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrng_pool-77231f7808f1ae81.rmeta: crates/pool/src/lib.rs crates/pool/src/pool.rs crates/pool/src/ring.rs crates/pool/src/shard.rs crates/pool/src/stats.rs Cargo.toml
+
+crates/pool/src/lib.rs:
+crates/pool/src/pool.rs:
+crates/pool/src/ring.rs:
+crates/pool/src/shard.rs:
+crates/pool/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

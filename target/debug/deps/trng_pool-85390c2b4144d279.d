@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/trng_pool-85390c2b4144d279.d: crates/pool/src/lib.rs crates/pool/src/pool.rs crates/pool/src/ring.rs crates/pool/src/shard.rs crates/pool/src/stats.rs
+
+/root/repo/target/debug/deps/libtrng_pool-85390c2b4144d279.rlib: crates/pool/src/lib.rs crates/pool/src/pool.rs crates/pool/src/ring.rs crates/pool/src/shard.rs crates/pool/src/stats.rs
+
+/root/repo/target/debug/deps/libtrng_pool-85390c2b4144d279.rmeta: crates/pool/src/lib.rs crates/pool/src/pool.rs crates/pool/src/ring.rs crates/pool/src/shard.rs crates/pool/src/stats.rs
+
+crates/pool/src/lib.rs:
+crates/pool/src/pool.rs:
+crates/pool/src/ring.rs:
+crates/pool/src/shard.rs:
+crates/pool/src/stats.rs:

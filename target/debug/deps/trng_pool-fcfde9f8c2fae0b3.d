@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trng_pool-fcfde9f8c2fae0b3.d: crates/pool/src/lib.rs crates/pool/src/pool.rs crates/pool/src/ring.rs crates/pool/src/shard.rs crates/pool/src/stats.rs
+
+/root/repo/target/debug/deps/trng_pool-fcfde9f8c2fae0b3: crates/pool/src/lib.rs crates/pool/src/pool.rs crates/pool/src/ring.rs crates/pool/src/shard.rs crates/pool/src/stats.rs
+
+crates/pool/src/lib.rs:
+crates/pool/src/pool.rs:
+crates/pool/src/ring.rs:
+crates/pool/src/shard.rs:
+crates/pool/src/stats.rs:

@@ -1,0 +1,28 @@
+/root/repo/target/debug/deps/trng_stattests-a1a46e7c8ebcddb7.d: crates/stattests/src/lib.rs crates/stattests/src/ais31.rs crates/stattests/src/assessment.rs crates/stattests/src/bits.rs crates/stattests/src/diehard.rs crates/stattests/src/estimators.rs crates/stattests/src/fft.rs crates/stattests/src/fips140.rs crates/stattests/src/nist/mod.rs crates/stattests/src/nist/approx_entropy.rs crates/stattests/src/nist/battery.rs crates/stattests/src/nist/block_frequency.rs crates/stattests/src/nist/cusum.rs crates/stattests/src/nist/dft.rs crates/stattests/src/nist/excursions.rs crates/stattests/src/nist/frequency.rs crates/stattests/src/nist/linear_complexity.rs crates/stattests/src/nist/longest_run.rs crates/stattests/src/nist/rank.rs crates/stattests/src/nist/runs.rs crates/stattests/src/nist/serial.rs crates/stattests/src/nist/templates.rs crates/stattests/src/nist/universal.rs crates/stattests/src/special.rs
+
+/root/repo/target/debug/deps/libtrng_stattests-a1a46e7c8ebcddb7.rmeta: crates/stattests/src/lib.rs crates/stattests/src/ais31.rs crates/stattests/src/assessment.rs crates/stattests/src/bits.rs crates/stattests/src/diehard.rs crates/stattests/src/estimators.rs crates/stattests/src/fft.rs crates/stattests/src/fips140.rs crates/stattests/src/nist/mod.rs crates/stattests/src/nist/approx_entropy.rs crates/stattests/src/nist/battery.rs crates/stattests/src/nist/block_frequency.rs crates/stattests/src/nist/cusum.rs crates/stattests/src/nist/dft.rs crates/stattests/src/nist/excursions.rs crates/stattests/src/nist/frequency.rs crates/stattests/src/nist/linear_complexity.rs crates/stattests/src/nist/longest_run.rs crates/stattests/src/nist/rank.rs crates/stattests/src/nist/runs.rs crates/stattests/src/nist/serial.rs crates/stattests/src/nist/templates.rs crates/stattests/src/nist/universal.rs crates/stattests/src/special.rs
+
+crates/stattests/src/lib.rs:
+crates/stattests/src/ais31.rs:
+crates/stattests/src/assessment.rs:
+crates/stattests/src/bits.rs:
+crates/stattests/src/diehard.rs:
+crates/stattests/src/estimators.rs:
+crates/stattests/src/fft.rs:
+crates/stattests/src/fips140.rs:
+crates/stattests/src/nist/mod.rs:
+crates/stattests/src/nist/approx_entropy.rs:
+crates/stattests/src/nist/battery.rs:
+crates/stattests/src/nist/block_frequency.rs:
+crates/stattests/src/nist/cusum.rs:
+crates/stattests/src/nist/dft.rs:
+crates/stattests/src/nist/excursions.rs:
+crates/stattests/src/nist/frequency.rs:
+crates/stattests/src/nist/linear_complexity.rs:
+crates/stattests/src/nist/longest_run.rs:
+crates/stattests/src/nist/rank.rs:
+crates/stattests/src/nist/runs.rs:
+crates/stattests/src/nist/serial.rs:
+crates/stattests/src/nist/templates.rs:
+crates/stattests/src/nist/universal.rs:
+crates/stattests/src/special.rs:

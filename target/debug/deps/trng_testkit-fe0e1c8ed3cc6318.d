@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trng_testkit-fe0e1c8ed3cc6318.d: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/json.rs crates/testkit/src/prng.rs crates/testkit/src/prop.rs
+
+/root/repo/target/debug/deps/libtrng_testkit-fe0e1c8ed3cc6318.rmeta: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/json.rs crates/testkit/src/prng.rs crates/testkit/src/prop.rs
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/bench.rs:
+crates/testkit/src/json.rs:
+crates/testkit/src/prng.rs:
+crates/testkit/src/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/self_testing-d1bb87f1603d0f37.d: crates/pool/../../examples/self_testing.rs
+
+/root/repo/target/debug/examples/self_testing-d1bb87f1603d0f37: crates/pool/../../examples/self_testing.rs
+
+crates/pool/../../examples/self_testing.rs:

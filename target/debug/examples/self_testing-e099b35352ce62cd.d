@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/self_testing-e099b35352ce62cd.d: crates/pool/../../examples/self_testing.rs Cargo.toml
+
+/root/repo/target/debug/examples/libself_testing-e099b35352ce62cd.rmeta: crates/pool/../../examples/self_testing.rs Cargo.toml
+
+crates/pool/../../examples/self_testing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["trng_fpga_sim",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"struct\" href=\"trng_fpga_sim/fabric/struct.SliceCoord.html\" title=\"struct trng_fpga_sim::fabric::SliceCoord\">SliceCoord</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[297]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["trng_core",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/iter/traits/iterator/trait.Iterator.html\" title=\"trait core::iter::traits::iterator::Iterator\">Iterator</a> for <a class=\"struct\" href=\"trng_core/trng/struct.RawBits.html\" title=\"struct trng_core::trng::RawBits\">RawBits</a>&lt;'_&gt;",0]]],["trng_stattests",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/iter/traits/iterator/trait.Iterator.html\" title=\"trait core::iter::traits::iterator::Iterator\">Iterator</a> for <a class=\"struct\" href=\"trng_stattests/bits/struct.Iter.html\" title=\"struct trng_stattests::bits::Iter\">Iter</a>&lt;'_&gt;",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[333,340]}

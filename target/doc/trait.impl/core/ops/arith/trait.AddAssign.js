@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["trng_fpga_sim",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/arith/trait.AddAssign.html\" title=\"trait core::ops::arith::AddAssign\">AddAssign</a> for <a class=\"struct\" href=\"trng_fpga_sim/fabric/struct.ResourceUsage.html\" title=\"struct trng_fpga_sim::fabric::ResourceUsage\">ResourceUsage</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/arith/trait.AddAssign.html\" title=\"trait core::ops::arith::AddAssign\">AddAssign</a> for <a class=\"struct\" href=\"trng_fpga_sim/time/struct.Ps.html\" title=\"struct trng_fpga_sim::time::Ps\">Ps</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[618]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["trng_pool",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/drop/trait.Drop.html\" title=\"trait core::ops::drop::Drop\">Drop</a> for <a class=\"struct\" href=\"trng_pool/pool/struct.EntropyPool.html\" title=\"struct trng_pool::pool::EntropyPool\">EntropyPool</a>",0]]],["trng_testkit",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/drop/trait.Drop.html\" title=\"trait core::ops::drop::Drop\">Drop</a> for <a class=\"struct\" href=\"trng_testkit/bench/struct.BenchmarkGroup.html\" title=\"struct trng_testkit::bench::BenchmarkGroup\">BenchmarkGroup</a>&lt;'_&gt;",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[298,329]}

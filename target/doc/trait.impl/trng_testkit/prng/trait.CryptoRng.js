@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["trng_core",[["impl CryptoRng for <a class=\"struct\" href=\"trng_core/rng_adapter/struct.TrngRng.html\" title=\"struct trng_core::rng_adapter::TrngRng\">TrngRng</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[172]}

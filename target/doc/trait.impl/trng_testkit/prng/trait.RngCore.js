@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["trng_core",[["impl RngCore for <a class=\"struct\" href=\"trng_core/rng_adapter/struct.TrngRng.html\" title=\"struct trng_core::rng_adapter::TrngRng\">TrngRng</a>",0]]],["trng_fpga_sim",[["impl RngCore for <a class=\"struct\" href=\"trng_fpga_sim/rng/struct.SimRng.html\" title=\"struct trng_fpga_sim::rng::SimRng\">SimRng</a>",0]]],["trng_testkit",[]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[170,164,20]}

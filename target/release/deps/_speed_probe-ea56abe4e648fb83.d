@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/_speed_probe-ea56abe4e648fb83.d: crates/bench/src/bin/_speed_probe.rs
+
+/root/repo/target/release/deps/_speed_probe-ea56abe4e648fb83: crates/bench/src/bin/_speed_probe.rs
+
+crates/bench/src/bin/_speed_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_quality-b03dc8a50122a39c.d: crates/bench/src/bin/ablation_quality.rs
+
+/root/repo/target/release/deps/ablation_quality-b03dc8a50122a39c: crates/bench/src/bin/ablation_quality.rs
+
+crates/bench/src/bin/ablation_quality.rs:

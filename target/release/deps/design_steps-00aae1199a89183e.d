@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/design_steps-00aae1199a89183e.d: crates/bench/src/bin/design_steps.rs
+
+/root/repo/target/release/deps/design_steps-00aae1199a89183e: crates/bench/src/bin/design_steps.rs
+
+crates/bench/src/bin/design_steps.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/eq8-b9a881618468fd06.d: crates/bench/src/bin/eq8.rs
+
+/root/repo/target/release/deps/eq8-b9a881618468fd06: crates/bench/src/bin/eq8.rs
+
+crates/bench/src/bin/eq8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure4-9e1aaf338c694fff.d: crates/bench/src/bin/figure4.rs
+
+/root/repo/target/release/deps/figure4-9e1aaf338c694fff: crates/bench/src/bin/figure4.rs
+
+crates/bench/src/bin/figure4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure7-b2cb1f904a4b7616.d: crates/bench/src/bin/figure7.rs
+
+/root/repo/target/release/deps/figure7-b2cb1f904a4b7616: crates/bench/src/bin/figure7.rs
+
+crates/bench/src/bin/figure7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pool_smoke-9920ddb66e802b3b.d: crates/pool/src/bin/pool_smoke.rs
+
+/root/repo/target/release/deps/pool_smoke-9920ddb66e802b3b: crates/pool/src/bin/pool_smoke.rs
+
+crates/pool/src/bin/pool_smoke.rs:

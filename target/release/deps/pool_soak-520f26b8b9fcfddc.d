@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pool_soak-520f26b8b9fcfddc.d: crates/pool/../../tests/pool_soak.rs
+
+/root/repo/target/release/deps/pool_soak-520f26b8b9fcfddc: crates/pool/../../tests/pool_soak.rs
+
+crates/pool/../../tests/pool_soak.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pool_throughput-4ef899c154be7e99.d: crates/bench/benches/pool_throughput.rs
+
+/root/repo/target/release/deps/pool_throughput-4ef899c154be7e99: crates/bench/benches/pool_throughput.rs
+
+crates/bench/benches/pool_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-e5b3fb0d14f1c123.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-e5b3fb0d14f1c123: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

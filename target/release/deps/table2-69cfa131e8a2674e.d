@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-69cfa131e8a2674e.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-69cfa131e8a2674e: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

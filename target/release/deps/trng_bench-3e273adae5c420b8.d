@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/trng_bench-3e273adae5c420b8.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libtrng_bench-3e273adae5c420b8.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libtrng_bench-3e273adae5c420b8.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

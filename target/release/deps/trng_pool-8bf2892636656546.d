@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/trng_pool-8bf2892636656546.d: crates/pool/src/lib.rs crates/pool/src/pool.rs crates/pool/src/ring.rs crates/pool/src/shard.rs crates/pool/src/stats.rs
+
+/root/repo/target/release/deps/libtrng_pool-8bf2892636656546.rlib: crates/pool/src/lib.rs crates/pool/src/pool.rs crates/pool/src/ring.rs crates/pool/src/shard.rs crates/pool/src/stats.rs
+
+/root/repo/target/release/deps/libtrng_pool-8bf2892636656546.rmeta: crates/pool/src/lib.rs crates/pool/src/pool.rs crates/pool/src/ring.rs crates/pool/src/shard.rs crates/pool/src/stats.rs
+
+crates/pool/src/lib.rs:
+crates/pool/src/pool.rs:
+crates/pool/src/ring.rs:
+crates/pool/src/shard.rs:
+crates/pool/src/stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-1762331cc2397d66.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-1762331cc2397d66: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/self_testing-3834ed564b5d6396.d: crates/pool/../../examples/self_testing.rs
+
+/root/repo/target/release/examples/self_testing-3834ed564b5d6396: crates/pool/../../examples/self_testing.rs
+
+crates/pool/../../examples/self_testing.rs:
