@@ -38,6 +38,24 @@ impl BubbleFilter {
             BubbleFilter::Majority3 => majority3(code),
         }
     }
+
+    /// Packed-word counterpart of [`BubbleFilter::apply`] for codes of
+    /// at most 64 taps: bit `i` of the result equals element `i` of
+    /// `apply` on the unpacked code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not in `1..=64`.
+    pub fn apply_word(self, code: u64, width: u32) -> u64 {
+        assert!(
+            (1..=64).contains(&width),
+            "packed filtering supports at most 64 taps, got {width}"
+        );
+        match self {
+            BubbleFilter::Priority | BubbleFilter::None => code,
+            BubbleFilter::Majority3 => majority3_word(code, width),
+        }
+    }
 }
 
 /// 3-tap sliding majority vote; end taps count their single neighbour
@@ -59,12 +77,34 @@ fn majority3(code: &[bool]) -> Vec<bool> {
         .collect()
 }
 
+/// Bit-parallel [`majority3`]: builds the left- and right-neighbour
+/// words (with the end taps' single neighbour duplicated, exactly like
+/// the scalar version) and takes the per-bit majority of the three.
+fn majority3_word(code: u64, width: u32) -> u64 {
+    if width < 3 {
+        return code;
+    }
+    let mask = u64::MAX >> (64 - width);
+    let code = code & mask;
+    // prev[i] = code[i-1], except prev[0] = code[1].
+    let prev = (code << 1) | (code >> 1 & 1);
+    // next[i] = code[i+1], except next[width-1] = code[width-2].
+    let next = (code >> 1) | ((code >> (width - 2) & 1) << (width - 1));
+    ((code & prev) | (code & next) | (prev & next)) & mask
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn bits(s: &str) -> Vec<bool> {
         s.chars().map(|c| c == '1').collect()
+    }
+
+    fn pack(code: &[bool]) -> u64 {
+        code.iter()
+            .enumerate()
+            .fold(0u64, |w, (j, &b)| w | (u64::from(b) << j))
     }
 
     #[test]
@@ -125,5 +165,52 @@ mod tests {
     #[test]
     fn default_is_priority() {
         assert_eq!(BubbleFilter::default(), BubbleFilter::Priority);
+    }
+
+    #[test]
+    fn packed_majority_matches_scalar() {
+        let cases = [
+            "11011000", "11101000", "01100000", "11100001", "11110000", "00001111", "11111111",
+            "00000000", "11000011", "10", "1", "011", "010", "101",
+        ];
+        for s in cases {
+            let code = bits(s);
+            let expected = pack(&BubbleFilter::Majority3.apply(&code));
+            let got = BubbleFilter::Majority3.apply_word(pack(&code), code.len() as u32);
+            assert_eq!(got, expected, "{s}");
+        }
+        // Exhaustive at width 8 and boundary widths 63/64 on patterns.
+        for w in 0..256u64 {
+            let code: Vec<bool> = (0..8).map(|j| w >> j & 1 == 1).collect();
+            let expected = pack(&BubbleFilter::Majority3.apply(&code));
+            assert_eq!(
+                BubbleFilter::Majority3.apply_word(w, 8),
+                expected,
+                "width 8 pattern {w:08b}"
+            );
+        }
+        for width in [63u32, 64] {
+            for seed in 0..32u64 {
+                let word = seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .rotate_left((seed % 63) as u32);
+                let code: Vec<bool> = (0..width).map(|j| word >> j & 1 == 1).collect();
+                let expected = pack(&BubbleFilter::Majority3.apply(&code));
+                assert_eq!(
+                    BubbleFilter::Majority3.apply_word(word, width),
+                    expected,
+                    "width {width} seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn packed_priority_is_identity() {
+        assert_eq!(
+            BubbleFilter::Priority.apply_word(0b1101_1000, 8),
+            0b1101_1000
+        );
+        assert_eq!(BubbleFilter::None.apply_word(0b1101_1000, 8), 0b1101_1000);
     }
 }

@@ -43,12 +43,51 @@ pub fn downsample(code: &[bool], k: u32) -> Vec<bool> {
     code.iter().copied().skip(k - 1).step_by(k).collect()
 }
 
+/// Packed-word counterpart of [`downsample`] for codes of at most 64
+/// taps: keeps the same taps (`k−1, 2k−1, …`) compressed into the low
+/// bits, and returns the new code together with its width `m / k`.
+///
+/// Bit `l` of the result equals tap `(l+1)·k − 1` of the input, so the
+/// result is bit-identical to packing `downsample(&code, k)`.
+///
+/// # Panics
+///
+/// Panics if `k == 0`, `m` is not in `1..=64`, or `m` is not a
+/// multiple of `k`.
+pub fn downsample_word(code: u64, m: u32, k: u32) -> (u64, u32) {
+    assert!(k >= 1, "down-sampling factor must be at least 1");
+    assert!(
+        (1..=64).contains(&m),
+        "packed down-sampling supports at most 64 taps, got {m}"
+    );
+    assert!(
+        m.is_multiple_of(k),
+        "code length {m} is not a multiple of k = {k}"
+    );
+    if k == 1 {
+        return (code & (u64::MAX >> (64 - m)), m);
+    }
+    let width = m / k;
+    let mut out = 0u64;
+    for l in 0..width {
+        let tap = (l + 1) * k - 1;
+        out |= (code >> tap & 1) << l;
+    }
+    (out, width)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn bits(s: &str) -> Vec<bool> {
         s.chars().map(|c| c == '1').collect()
+    }
+
+    fn pack(code: &[bool]) -> u64 {
+        code.iter()
+            .enumerate()
+            .fold(0u64, |w, (j, &b)| w | (u64::from(b) << j))
     }
 
     #[test]
@@ -84,6 +123,37 @@ mod tests {
         c.extend(vec![false; 12]);
         let d = downsample(&c, 4);
         assert_eq!(d, bits("111000"));
+    }
+
+    #[test]
+    fn packed_matches_unpacked_across_m_and_k() {
+        for m in [4u32, 8, 12, 36, 60, 64] {
+            for k in [1u32, 2, 4] {
+                if !m.is_multiple_of(k) {
+                    continue;
+                }
+                // A pseudo-random but deterministic bit pattern.
+                let code: Vec<bool> = (0..m)
+                    .map(|j| j.wrapping_mul(2654435761u32) >> 28 & 1 == 1)
+                    .collect();
+                let (word, width) = downsample_word(pack(&code), m, k);
+                let expected = downsample(&code, k);
+                assert_eq!(width as usize, expected.len(), "m={m} k={k}");
+                assert_eq!(word, pack(&expected), "m={m} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_k1_masks_to_width() {
+        let (w, width) = downsample_word(u64::MAX, 5, 1);
+        assert_eq!((w, width), (0b11111, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn packed_rejects_ragged_length() {
+        let _ = downsample_word(0, 10, 4);
     }
 
     #[test]

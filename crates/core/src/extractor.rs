@@ -12,7 +12,7 @@
 //!    are encoded as '0' and even positions as '1'".
 
 use crate::bubble::BubbleFilter;
-use crate::downsample::downsample;
+use crate::downsample::{downsample, downsample_word};
 use crate::snippet::Snippet;
 
 /// Result of decoding one snippet.
@@ -80,12 +80,49 @@ impl EntropyExtractor {
     /// (a configuration error, rejected earlier by
     /// [`DesignParams::validate`](trng_model::params::DesignParams::validate)).
     pub fn extract(&self, snippet: &Snippet) -> Option<ExtractedBit> {
+        if let Some(word) = snippet.xor_word() {
+            return self.extract_word(word, snippet.taps_per_line() as u32);
+        }
+        self.extract_unpacked(snippet)
+    }
+
+    /// Reference scalar pipeline, kept for lines wider than 64 taps
+    /// and as the equivalence oracle for [`EntropyExtractor::extract_word`].
+    fn extract_unpacked(&self, snippet: &Snippet) -> Option<ExtractedBit> {
         let combined = snippet.xor_vector();
         let coarse = downsample(&combined, self.k);
         let code = self.filter.apply(&coarse);
         let first = code.windows(2).position(|w| w[0] != w[1])?;
         Some(ExtractedBit {
-            bit: first % 2 == 0,
+            bit: first.is_multiple_of(2),
+            edge_position: first,
+        })
+    }
+
+    /// Allocation-free decode of one XOR-combined code word of
+    /// `m ≤ 64` taps (tap 0 in the LSB) — the sampling hot path.
+    ///
+    /// Bit-identical to [`EntropyExtractor::extract`] on a snippet
+    /// whose XOR vector packs to `code`: same down-sampling, same
+    /// bubble filter, same first-edge priority encode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is not in `1..=64` or not a multiple of `k`.
+    pub fn extract_word(&self, code: u64, m: u32) -> Option<ExtractedBit> {
+        let (coarse, width) = downsample_word(code, m, self.k);
+        let code = self.filter.apply_word(coarse, width);
+        if width < 2 {
+            return None;
+        }
+        // Edge word: bit j set iff code[j] != code[j+1], j < width-1.
+        let edges = (code ^ (code >> 1)) & (u64::MAX >> (64 - (width - 1)));
+        if edges == 0 {
+            return None;
+        }
+        let first = edges.trailing_zeros() as usize;
+        Some(ExtractedBit {
+            bit: first.is_multiple_of(2),
             edge_position: first,
         })
     }
@@ -201,6 +238,44 @@ mod tests {
         let maj = EntropyExtractor::new(1, BubbleFilter::Majority3);
         let out = maj.extract(&snip(code)).unwrap();
         assert_eq!(out.edge_position, 4); // repaired to the true edge
+    }
+
+    #[test]
+    fn packed_word_path_matches_unpacked_reference() {
+        // Every filter × every k over pseudo-random 36-tap codes: the
+        // packed decode must agree with the scalar reference pipeline
+        // in both presence and value of the extracted bit.
+        let filters = [
+            BubbleFilter::Priority,
+            BubbleFilter::Majority3,
+            BubbleFilter::None,
+        ];
+        for &filter in &filters {
+            for k in [1u32, 2, 4] {
+                let ext = EntropyExtractor::new(k, filter);
+                for seed in 0..200u64 {
+                    let word = seed
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .rotate_left((seed % 61) as u32);
+                    let code: Vec<bool> = (0..36).map(|j| word >> j & 1 == 1).collect();
+                    let snippet = Snippet::new(vec![code]);
+                    let packed = ext.extract_word(snippet.xor_word().unwrap(), 36);
+                    let reference = ext.extract_unpacked(&snippet);
+                    assert_eq!(packed, reference, "filter {filter:?} k {k} seed {seed}");
+                    assert_eq!(ext.extract(&snippet), reference);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_snippets_use_the_scalar_fallback() {
+        let ext = EntropyExtractor::default();
+        let mut code = vec![true; 70];
+        code.extend(vec![false; 30]);
+        let out = ext.extract(&Snippet::new(vec![code])).unwrap();
+        assert_eq!(out.edge_position, 69);
+        assert!(!out.bit);
     }
 
     #[test]

@@ -45,6 +45,13 @@ impl XorCompressor {
         self.np
     }
 
+    /// Raw bits currently accumulated toward the next output bit
+    /// (always less than the rate). Lets batch producers compute the
+    /// exact raw-bit demand for a given number of output bits.
+    pub fn pending(&self) -> u32 {
+        self.count
+    }
+
     /// Feeds one raw bit; returns an output bit every `np` inputs.
     pub fn push(&mut self, bit: bool) -> Option<bool> {
         self.acc ^= bit;

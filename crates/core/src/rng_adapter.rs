@@ -74,13 +74,9 @@ impl RngCore for TrngRng {
     }
 
     fn fill_bytes(&mut self, dest: &mut [u8]) {
-        for byte in dest {
-            let mut b = 0u8;
-            for _ in 0..8 {
-                b = b << 1 | u8::from(self.next_bit());
-            }
-            *byte = b;
-        }
+        // Same bit-packing as the scalar loop (np-XOR per bit, MSB
+        // first), on the TRNG's allocation-free batch path.
+        self.inner.fill_postprocessed(dest);
     }
 }
 

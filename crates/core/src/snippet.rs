@@ -34,7 +34,19 @@ use core::fmt;
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Snippet {
-    lines: Vec<Vec<bool>>,
+    /// Packed tap bits: `chunks_per_line` words per line, LSB of a
+    /// line's first word = tap 0. Bits past `m` in the last word of a
+    /// line are always zero.
+    words: Vec<u64>,
+    /// Number of delay lines `n`.
+    n: usize,
+    /// Taps per line `m`.
+    m: usize,
+}
+
+/// Number of `u64` words needed for one `m`-tap line.
+fn chunks_for(m: usize) -> usize {
+    m.div_ceil(64)
 }
 
 /// Figure-4 taxonomy of a snippet.
@@ -77,46 +89,117 @@ impl Snippet {
             lines.iter().all(|l| l.len() == m),
             "all lines must have equal length"
         );
-        Snippet { lines }
+        let chunks = chunks_for(m);
+        let mut words = vec![0u64; lines.len() * chunks];
+        for (i, line) in lines.iter().enumerate() {
+            for (j, &b) in line.iter().enumerate() {
+                words[i * chunks + j / 64] |= u64::from(b) << (j % 64);
+            }
+        }
+        Snippet {
+            words,
+            n: lines.len(),
+            m,
+        }
+    }
+
+    /// Wraps already-packed line words (one `u64` per line, tap 0 in
+    /// the LSB) — the allocation-light entry used by the sampling hot
+    /// path for `m ≤ 64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` is empty or `m` is not in `1..=64`.
+    pub fn from_packed_words(lines: &[u64], m: usize) -> Self {
+        assert!(!lines.is_empty(), "snippet needs at least one line");
+        assert!(m >= 1, "lines must be non-empty");
+        assert!(
+            m <= 64,
+            "packed construction supports at most 64 taps, got {m}"
+        );
+        let mask = u64::MAX >> (64 - m);
+        Snippet {
+            words: lines.iter().map(|&w| w & mask).collect(),
+            n: lines.len(),
+            m,
+        }
     }
 
     /// Number of delay lines `n`.
     pub fn num_lines(&self) -> usize {
-        self.lines.len()
+        self.n
     }
 
     /// Taps per line `m`.
     pub fn taps_per_line(&self) -> usize {
-        self.lines[0].len()
+        self.m
     }
 
-    /// Borrowed view of the raw lines.
-    pub fn lines(&self) -> &[Vec<bool>] {
-        &self.lines
+    /// The bit captured by tap `j` of line `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range.
+    pub fn bit(&self, i: usize, j: usize) -> bool {
+        assert!(i < self.n && j < self.m, "tap ({i}, {j}) out of range");
+        let chunks = chunks_for(self.m);
+        self.words[i * chunks + j / 64] >> (j % 64) & 1 == 1
+    }
+
+    /// The raw lines, unpacked to bit vectors (for figures/stattests
+    /// that want to look at individual taps).
+    pub fn lines(&self) -> Vec<Vec<bool>> {
+        (0..self.n)
+            .map(|i| (0..self.m).map(|j| self.bit(i, j)).collect())
+            .collect()
+    }
+
+    /// The packed XOR of all lines, `chunks` words with tap 0 in the
+    /// LSB of word 0.
+    fn xor_words(&self) -> Vec<u64> {
+        let chunks = chunks_for(self.m);
+        let mut x = vec![0u64; chunks];
+        for i in 0..self.n {
+            for (xc, &w) in x.iter_mut().zip(&self.words[i * chunks..(i + 1) * chunks]) {
+                *xc ^= w;
+            }
+        }
+        x
+    }
+
+    /// The XOR of all lines as a single packed word (tap 0 in the
+    /// LSB), when the snippet fits one word (`m ≤ 64`) — the
+    /// allocation-free form the extractor hot path consumes.
+    pub fn xor_word(&self) -> Option<u64> {
+        if self.m > 64 {
+            return None;
+        }
+        Some(self.words.iter().fold(0u64, |x, &w| x ^ w))
     }
 
     /// The bit-wise XOR of all lines — the first stage of the entropy
     /// extractor (Figure 5). Every oscillator transition inside the
     /// observation window appears as one edge in this vector.
     pub fn xor_vector(&self) -> Vec<bool> {
-        let m = self.taps_per_line();
-        let mut x = vec![false; m];
-        for line in &self.lines {
-            for (xj, &b) in x.iter_mut().zip(line) {
-                *xj ^= b;
-            }
-        }
-        x
+        let x = self.xor_words();
+        (0..self.m)
+            .map(|j| x[j / 64] >> (j % 64) & 1 == 1)
+            .collect()
     }
 
     /// Positions `j` where `xor_vector[j] != xor_vector[j+1]`, i.e. the
     /// boundaries at which the combined code changes value.
     pub fn edge_positions(&self) -> Vec<usize> {
-        let x = self.xor_vector();
-        x.windows(2)
-            .enumerate()
-            .filter_map(|(j, w)| (w[0] != w[1]).then_some(j))
-            .collect()
+        let x = self.xor_words();
+        let mut out = Vec::new();
+        for j in 0..self.m.saturating_sub(1) {
+            let a = x[j / 64] >> (j % 64) & 1;
+            let b = x[(j + 1) / 64] >> ((j + 1) % 64) & 1;
+            if a != b {
+                out.push(j);
+            }
+        }
+        out
     }
 
     /// Classifies the snippet per Figure 4.
@@ -125,6 +208,9 @@ impl Snippet {
     /// event (an isolated flipped bit), not as genuine double edges;
     /// genuine double edges are ~`d0/tstep` ≈ 28 taps apart.
     pub fn classify(&self) -> SnippetKind {
+        if let Some(x) = self.xor_word() {
+            return Snippet::classify_word(x, self.m);
+        }
         let edges = self.edge_positions();
         match edges.len() {
             0 => SnippetKind::NoEdge,
@@ -141,16 +227,43 @@ impl Snippet {
             }
         }
     }
+
+    /// Classifies a packed XOR-combined code word (`m ≤ 64`, tap 0 in
+    /// the LSB) without materializing a snippet — the allocation-free
+    /// twin of [`Snippet::classify`] used by the sampling hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is not in `1..=64`.
+    pub fn classify_word(xor: u64, m: usize) -> SnippetKind {
+        assert!(
+            (1..=64).contains(&m),
+            "packed classification supports at most 64 taps, got {m}"
+        );
+        if m < 2 {
+            return SnippetKind::NoEdge;
+        }
+        // Bit j set iff taps j and j+1 differ — the edge positions.
+        let diff = (xor ^ (xor >> 1)) & (u64::MAX >> (64 - (m - 1) as u32));
+        match diff.count_ones() {
+            0 => SnippetKind::NoEdge,
+            1 => SnippetKind::Regular,
+            // Adjacent set bits in `diff` are edges one tap apart: an
+            // isolated flipped bit, i.e. a bubble.
+            _ if diff & (diff >> 1) != 0 => SnippetKind::Bubbled,
+            _ => SnippetKind::DoubleEdge,
+        }
+    }
 }
 
 impl fmt::Display for Snippet {
     /// Renders the snippet like Figure 4: one row per line, `1`/`0`
     /// per tap, tap 0 leftmost.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for (i, line) in self.lines.iter().enumerate() {
+        for i in 0..self.n {
             write!(f, "line {i}: ")?;
-            for &b in line {
-                f.write_str(if b { "1" } else { "0" })?;
+            for j in 0..self.m {
+                f.write_str(if self.bit(i, j) { "1" } else { "0" })?;
             }
             writeln!(f)?;
         }
@@ -231,6 +344,60 @@ mod tests {
         assert_eq!(format!("{}", SnippetKind::DoubleEdge), "double edge");
         assert_eq!(format!("{}", SnippetKind::Bubbled), "bubbled");
         assert_eq!(format!("{}", SnippetKind::NoEdge), "no edge");
+    }
+
+    #[test]
+    fn packed_constructor_matches_bool_constructor() {
+        let a = Snippet::new(vec![bits("11110000"), bits("00011000")]);
+        let b = Snippet::from_packed_words(&[0b0000_1111, 0b0001_1000], 8);
+        assert_eq!(a, b);
+        assert_eq!(b.lines(), vec![bits("11110000"), bits("00011000")]);
+        assert!(b.bit(0, 0));
+        assert!(!b.bit(1, 0));
+    }
+
+    #[test]
+    fn packed_constructor_masks_stray_high_bits() {
+        let a = Snippet::from_packed_words(&[0b0111], 3);
+        let b = Snippet::from_packed_words(&[!0u64 << 3 | 0b0111], 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wide_snippet_uses_multiple_words() {
+        // m = 100 spans two u64 chunks; edge sits across the boundary.
+        let mut line = vec![true; 70];
+        line.extend(vec![false; 30]);
+        let s = Snippet::new(vec![line.clone()]);
+        assert_eq!(s.taps_per_line(), 100);
+        assert_eq!(s.edge_positions(), vec![69]);
+        assert_eq!(s.classify(), SnippetKind::Regular);
+        assert_eq!(s.xor_vector(), line);
+        assert_eq!(s.lines(), vec![line]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 taps")]
+    fn packed_constructor_rejects_wide_lines() {
+        let _ = Snippet::from_packed_words(&[0, 0], 65);
+    }
+
+    #[test]
+    fn classify_word_matches_exhaustively_at_width_8() {
+        for w in 0..256u64 {
+            let line: Vec<bool> = (0..8).map(|j| w >> j & 1 == 1).collect();
+            let via_vec = Snippet::new(vec![line]);
+            // Reference taxonomy straight from edge positions.
+            let edges = via_vec.edge_positions();
+            let expected = match edges.len() {
+                0 => SnippetKind::NoEdge,
+                1 => SnippetKind::Regular,
+                _ if edges.windows(2).any(|p| p[1] - p[0] == 1) => SnippetKind::Bubbled,
+                _ => SnippetKind::DoubleEdge,
+            };
+            assert_eq!(Snippet::classify_word(w, 8), expected, "pattern {w:08b}");
+            assert_eq!(via_vec.classify(), expected, "pattern {w:08b}");
+        }
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! decodes one raw bit from the first edge position.
 
 use trng_fpga_sim::delay_line::TappedDelayLine;
+use trng_fpga_sim::edge_train::EdgeCursor;
 use trng_fpga_sim::fabric::Fabric;
 use trng_fpga_sim::noise::{AttackInjection, FlickerParams, GlobalModulation, NoiseConfig};
 use trng_fpga_sim::placement::{PlacementError, TrngPlacement};
@@ -267,6 +268,13 @@ pub struct CarryChainTrng {
     t: Ps,
     t_a: Ps,
     stats: TrngStats,
+    /// One reusable packed capture word per line — the hot path never
+    /// allocates per sample (`m ≤ 64`, which holds for every paper
+    /// configuration).
+    scratch_words: Vec<u64>,
+    /// Per-line edge-train cursors giving the sampler amortized O(1)
+    /// signal lookups instead of per-tap binary searches.
+    cursors: Vec<EdgeCursor>,
 }
 
 impl CarryChainTrng {
@@ -341,6 +349,8 @@ impl CarryChainTrng {
             t: Ps::ZERO,
             t_a,
             stats: TrngStats::default(),
+            scratch_words: vec![0; n],
+            cursors: vec![EdgeCursor::new(); n],
         })
     }
 
@@ -359,8 +369,48 @@ impl CarryChainTrng {
         self.t
     }
 
+    /// Advances one accumulation interval and captures every line into
+    /// the packed scratch words, returning their XOR and updating the
+    /// sample statistics.
+    ///
+    /// This is the allocation-free hot path for `m ≤ 64`. It is bit-
+    /// and RNG-draw-identical to the `Vec<bool>` pipeline: taps are
+    /// captured in the same order through the same metastability
+    /// model, only the storage (packed words) and the signal lookup
+    /// (resumable [`EdgeCursor`] per line) differ.
+    fn sample_words(&mut self) -> u64 {
+        self.t += self.t_a;
+        self.oscillator.advance_to(self.t);
+        let mut xor = 0u64;
+        for i in 0..self.lines.len() {
+            let node = self.oscillator.node(i);
+            let word =
+                self.lines[i].sample_into(&node, self.t, &mut self.cursors[i], &mut self.rng);
+            self.scratch_words[i] = word;
+            xor ^= word;
+        }
+        self.stats.samples += 1;
+        self.record_kind(Snippet::classify_word(xor, self.config.design.m));
+        xor
+    }
+
+    fn record_kind(&mut self, kind: SnippetKind) {
+        match kind {
+            SnippetKind::Regular => self.stats.regular += 1,
+            SnippetKind::DoubleEdge => self.stats.double_edge += 1,
+            SnippetKind::Bubbled => self.stats.bubbled += 1,
+            SnippetKind::NoEdge => {}
+        }
+    }
+
     /// Advances one accumulation interval and captures the raw snippet.
     pub fn sample_snippet(&mut self) -> Snippet {
+        let m = self.config.design.m;
+        if m <= 64 {
+            let _ = self.sample_words();
+            return Snippet::from_packed_words(&self.scratch_words, m);
+        }
+        // Wide-line fallback: the original unpacked pipeline.
         self.t += self.t_a;
         self.oscillator.advance_to(self.t);
         let words: Vec<Vec<bool>> = (0..self.config.design.n)
@@ -371,12 +421,8 @@ impl CarryChainTrng {
             .collect();
         let snippet = Snippet::new(words);
         self.stats.samples += 1;
-        match snippet.classify() {
-            SnippetKind::Regular => self.stats.regular += 1,
-            SnippetKind::DoubleEdge => self.stats.double_edge += 1,
-            SnippetKind::Bubbled => self.stats.bubbled += 1,
-            SnippetKind::NoEdge => {}
-        }
+        let kind = snippet.classify();
+        self.record_kind(kind);
         snippet
     }
 
@@ -387,8 +433,14 @@ impl CarryChainTrng {
     /// priority encoder's default in that case — see
     /// [`CarryChainTrng::next_raw_bit`].
     pub fn next_extracted(&mut self) -> Option<ExtractedBit> {
-        let snippet = self.sample_snippet();
-        let out = self.extractor.extract(&snippet);
+        let m = self.config.design.m;
+        let out = if m <= 64 {
+            let xor = self.sample_words();
+            self.extractor.extract_word(xor, m as u32)
+        } else {
+            let snippet = self.sample_snippet();
+            self.extractor.extract(&snippet)
+        };
         if out.is_none() {
             self.stats.missed_edges += 1;
         }
@@ -422,6 +474,44 @@ impl CarryChainTrng {
                 acc
             })
             .collect()
+    }
+
+    /// Fills `out` with raw (pre-compression) bits, 8 per byte, MSB
+    /// first — byte `b` packs bits `8b..8b+8` of the raw stream in
+    /// generation order.
+    ///
+    /// Equivalent to packing [`CarryChainTrng::generate_raw`] output,
+    /// but allocation-free in steady state: the whole
+    /// sample→extract→pack pipeline runs on reused scratch words.
+    pub fn fill_raw(&mut self, out: &mut [u8]) {
+        for byte in out {
+            let mut b = 0u8;
+            for _ in 0..8 {
+                b = b << 1 | u8::from(self.next_raw_bit());
+            }
+            *byte = b;
+        }
+    }
+
+    /// Fills `out` with post-processed bytes: every output bit is the
+    /// XOR of `np` raw bits (the design's compression), packed 8 per
+    /// byte, MSB first.
+    ///
+    /// Equivalent to packing [`CarryChainTrng::generate_postprocessed`]
+    /// output, but allocation-free in steady state.
+    pub fn fill_postprocessed(&mut self, out: &mut [u8]) {
+        let np = self.config.design.np;
+        for byte in out {
+            let mut b = 0u8;
+            for _ in 0..8 {
+                let mut acc = false;
+                for _ in 0..np {
+                    acc ^= self.next_raw_bit();
+                }
+                b = b << 1 | u8::from(acc);
+            }
+            *byte = b;
+        }
     }
 
     /// An iterator over raw bits (borrows the generator).

@@ -15,6 +15,32 @@ use std::collections::VecDeque;
 
 use crate::time::Ps;
 
+/// A resumable position inside an [`EdgeTrain`], enabling amortized
+/// O(1) point queries for workloads whose query instants move by small
+/// steps — exactly the tapped-delay-line sampler, whose `m` tap
+/// instants within one capture walk backwards by ~one bin width each.
+///
+/// The cursor caches the index of the first edge strictly after the
+/// last queried instant. [`EdgeTrain::level_at_with`] re-synchronizes
+/// it by walking from the cached index, so the cost per query is
+/// proportional to the number of edges crossed since the previous
+/// query rather than `log(len)`. A stale cursor (e.g. after
+/// [`EdgeTrain::prune_before`] shrank the history) is simply clamped
+/// and re-walked, so results are always identical to the cursor-free
+/// queries.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EdgeCursor {
+    /// Cached candidate for "index of first edge strictly after t".
+    idx: usize,
+}
+
+impl EdgeCursor {
+    /// A cursor positioned at the start of history.
+    pub fn new() -> Self {
+        EdgeCursor::default()
+    }
+}
+
 /// A logic signal described by its transition history.
 ///
 /// # Examples
@@ -151,9 +177,80 @@ impl EdgeTrain {
         self.valid_from = t;
     }
 
+    /// Cursor-accelerated [`EdgeTrain::level_at`]: identical result,
+    /// amortized O(1) when successive queries are close together.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes the start of recorded history, exactly
+    /// like [`EdgeTrain::level_at`].
+    pub fn level_at_with(&self, t: Ps, cursor: &mut EdgeCursor) -> bool {
+        assert!(
+            t >= self.valid_from,
+            "query at {t} precedes history start {}",
+            self.valid_from
+        );
+        let toggles = self.seek(t, cursor);
+        self.initial_level ^ (toggles % 2 == 1)
+    }
+
+    /// Cursor-accelerated [`EdgeTrain::nearest_edge_distance`]:
+    /// identical result, amortized O(1) for nearby queries.
+    pub fn nearest_edge_distance_with(&self, t: Ps, cursor: &mut EdgeCursor) -> Option<Ps> {
+        if self.edges.is_empty() {
+            return None;
+        }
+        let idx = self.seek(t, cursor);
+        let mut best: Option<Ps> = None;
+        if idx < self.edges.len() {
+            best = Some((self.edges[idx] - t).abs());
+        }
+        if idx > 0 {
+            let d = (t - self.edges[idx - 1]).abs();
+            best = Some(match best {
+                Some(b) => b.min(d),
+                None => d,
+            });
+        }
+        best
+    }
+
+    /// Moves `cursor` to the index of the first edge strictly after
+    /// `t` (the same value [`EdgeTrain::partition_point`] computes) by
+    /// walking from its cached position, and returns that index.
+    fn seek(&self, t: Ps, cursor: &mut EdgeCursor) -> usize {
+        let len = self.edges.len();
+        let mut i = cursor.idx.min(len);
+        while i < len && self.edges[i] <= t {
+            i += 1;
+        }
+        while i > 0 && self.edges[i - 1] > t {
+            i -= 1;
+        }
+        cursor.idx = i;
+        i
+    }
+
     /// Number of edges at or before `t`.
     fn count_edges_at_or_before(&self, t: Ps) -> usize {
         self.partition_point(t)
+    }
+
+    /// Number of edges at or before `t` — crate-internal name for the
+    /// run-length sampler in [`delay_line`](crate::delay_line).
+    pub(crate) fn edges_at_or_before(&self, t: Ps) -> usize {
+        self.partition_point(t)
+    }
+
+    /// Edge instant by index (crate-internal, for the run-length
+    /// sampler; `i` must be in range).
+    pub(crate) fn edge(&self, i: usize) -> Ps {
+        self.edges[i]
+    }
+
+    /// Level before the first recorded transition (crate-internal).
+    pub(crate) fn initial(&self) -> bool {
+        self.initial_level
     }
 
     /// Index of the first edge strictly after `t`.
@@ -204,6 +301,30 @@ pub trait SignalSource {
     /// Used by the flip-flop metastability model; returning `None`
     /// disables metastability for this source.
     fn nearest_edge_distance(&self, t: Ps) -> Option<Ps>;
+
+    /// [`SignalSource::level_at`] with a resumable cursor. Sources
+    /// without an incremental representation ignore the cursor; the
+    /// result must always equal `level_at(t)`.
+    fn level_at_with(&self, t: Ps, cursor: &mut EdgeCursor) -> bool {
+        let _ = cursor;
+        self.level_at(t)
+    }
+
+    /// [`SignalSource::nearest_edge_distance`] with a resumable
+    /// cursor. The result must always equal `nearest_edge_distance(t)`.
+    fn nearest_edge_distance_with(&self, t: Ps, cursor: &mut EdgeCursor) -> Option<Ps> {
+        let _ = cursor;
+        self.nearest_edge_distance(t)
+    }
+
+    /// The underlying [`EdgeTrain`], when this source is backed by
+    /// one. Lets batch consumers (the tapped-delay-line sampler) use
+    /// run-length algorithms over the edge list instead of per-instant
+    /// queries; sources without an edge-list representation return
+    /// `None` and are served by the per-instant path.
+    fn as_edge_train(&self) -> Option<&EdgeTrain> {
+        None
+    }
 }
 
 impl SignalSource for EdgeTrain {
@@ -213,6 +334,18 @@ impl SignalSource for EdgeTrain {
 
     fn nearest_edge_distance(&self, t: Ps) -> Option<Ps> {
         EdgeTrain::nearest_edge_distance(self, t)
+    }
+
+    fn level_at_with(&self, t: Ps, cursor: &mut EdgeCursor) -> bool {
+        EdgeTrain::level_at_with(self, t, cursor)
+    }
+
+    fn nearest_edge_distance_with(&self, t: Ps, cursor: &mut EdgeCursor) -> Option<Ps> {
+        EdgeTrain::nearest_edge_distance_with(self, t, cursor)
+    }
+
+    fn as_edge_train(&self) -> Option<&EdgeTrain> {
+        Some(self)
     }
 }
 
@@ -328,5 +461,65 @@ mod tests {
         assert!(t.is_empty());
         assert!(t.level_at(Ps::from_ps(1000.0)));
         assert_eq!(t.last_edge(), None);
+    }
+
+    #[test]
+    fn cursor_queries_match_cursorless_in_any_order() {
+        let t = train_01234();
+        let mut cursor = EdgeCursor::new();
+        // Forward, backward, repeated and far-jump query patterns.
+        for q in [
+            5.0, 15.0, 15.0, 45.0, 0.0, 10.0, 9.999, 39.0, 20.0, 41.0, 1.0, 30.0,
+        ] {
+            let at = Ps::from_ps(q);
+            assert_eq!(
+                t.level_at_with(at, &mut cursor),
+                t.level_at(at),
+                "level at {q}"
+            );
+            assert_eq!(
+                t.nearest_edge_distance_with(at, &mut cursor),
+                t.nearest_edge_distance(at),
+                "distance at {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn cursor_survives_pruning_and_growth() {
+        let mut t = train_01234();
+        let mut cursor = EdgeCursor::new();
+        assert!(!t.level_at_with(Ps::from_ps(45.0), &mut cursor)); // cursor at end
+        t.prune_before(Ps::from_ps(22.0)); // history shrinks under the cursor
+        assert!(!t.level_at_with(Ps::from_ps(25.0), &mut cursor));
+        assert_eq!(
+            t.nearest_edge_distance_with(Ps::from_ps(25.0), &mut cursor),
+            t.nearest_edge_distance(Ps::from_ps(25.0))
+        );
+        t.push(Ps::from_ps(50.0)); // history grows past the cursor
+        assert!(t.level_at_with(Ps::from_ps(55.0), &mut cursor));
+        assert_eq!(
+            t.nearest_edge_distance_with(Ps::from_ps(55.0), &mut cursor),
+            Some(Ps::from_ps(5.0))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes history start")]
+    fn cursor_query_before_history_panics() {
+        let mut t = train_01234();
+        t.prune_before(Ps::from_ps(22.0));
+        let _ = t.level_at_with(Ps::from_ps(5.0), &mut EdgeCursor::new());
+    }
+
+    #[test]
+    fn cursor_on_empty_train() {
+        let t = EdgeTrain::new(true, Ps::ZERO);
+        let mut cursor = EdgeCursor::new();
+        assert!(t.level_at_with(Ps::from_ps(7.0), &mut cursor));
+        assert_eq!(
+            t.nearest_edge_distance_with(Ps::from_ps(7.0), &mut cursor),
+            None
+        );
     }
 }

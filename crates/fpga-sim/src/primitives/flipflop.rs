@@ -13,7 +13,7 @@
 //! metastability resolution probability); outside the aperture the
 //! capture is deterministic.
 
-use crate::edge_train::SignalSource;
+use crate::edge_train::{EdgeCursor, SignalSource};
 use crate::rng::SimRng;
 use crate::time::Ps;
 
@@ -79,6 +79,35 @@ impl CaptureFf {
         match signal.nearest_edge_distance(t) {
             Some(d) if d < self.meta_window => {
                 // Distance 0 -> pure coin flip; distance w -> certain.
+                let p_correct = 0.5 + 0.5 * (d / self.meta_window);
+                if rng.bernoulli(p_correct) {
+                    level
+                } else {
+                    !level
+                }
+            }
+            _ => level,
+        }
+    }
+
+    /// [`CaptureFf::capture`] with a resumable [`EdgeCursor`]: bit- and
+    /// draw-identical (the metastability coin is flipped under exactly
+    /// the same condition, from the same RNG position), but level and
+    /// edge-distance lookups walk the cursor instead of binary
+    /// searching.
+    pub fn capture_with<S: SignalSource + ?Sized>(
+        &self,
+        signal: &S,
+        t: Ps,
+        cursor: &mut EdgeCursor,
+        rng: &mut SimRng,
+    ) -> bool {
+        let level = signal.level_at_with(t, cursor);
+        if self.meta_window == Ps::ZERO {
+            return level;
+        }
+        match signal.nearest_edge_distance_with(t, cursor) {
+            Some(d) if d < self.meta_window => {
                 let p_correct = 0.5 + 0.5 * (d / self.meta_window);
                 if rng.bernoulli(p_correct) {
                     level

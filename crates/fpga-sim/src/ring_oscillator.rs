@@ -20,7 +20,7 @@
 //! available for white-only noise; time-correlated sources require the
 //! exact event path.
 
-use crate::edge_train::{EdgeTrain, SignalSource};
+use crate::edge_train::{EdgeCursor, EdgeTrain, SignalSource};
 use crate::noise::{NoiseConfig, StageNoise};
 use crate::primitives::LutDelay;
 use crate::process::{DeviceSeed, ProcessVariation};
@@ -372,6 +372,18 @@ impl SignalSource for RingNode<'_> {
 
     fn nearest_edge_distance(&self, t: Ps) -> Option<Ps> {
         self.train.nearest_edge_distance(t)
+    }
+
+    fn level_at_with(&self, t: Ps, cursor: &mut EdgeCursor) -> bool {
+        self.train.level_at_with(t, cursor)
+    }
+
+    fn nearest_edge_distance_with(&self, t: Ps, cursor: &mut EdgeCursor) -> Option<Ps> {
+        self.train.nearest_edge_distance_with(t, cursor)
+    }
+
+    fn as_edge_train(&self) -> Option<&EdgeTrain> {
+        Some(self.train)
     }
 }
 

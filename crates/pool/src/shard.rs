@@ -79,6 +79,23 @@ impl Conditioner {
             Conditioner::Raw => 1,
         }
     }
+
+    /// `true` when the conditioner consumes a *fixed* number of raw
+    /// bits per output bit, making a block's raw demand exactly
+    /// computable up front (enables whole-byte batch fetching).
+    fn is_fixed_rate(&self) -> bool {
+        !matches!(self, Conditioner::VonNeumann(_))
+    }
+
+    /// Raw bits already absorbed toward the next output bit (always
+    /// less than the rate for fixed-rate conditioners; Von Neumann's
+    /// consumption is data-dependent and reported as 0).
+    fn pending_raw_bits(&self) -> u64 {
+        match self {
+            Conditioner::Xor(c) => u64::from(c.pending()),
+            _ => 0,
+        }
+    }
 }
 
 /// How an injected fault replaces a shard's entropy source.
@@ -275,6 +292,26 @@ impl Shard {
         }
     }
 
+    /// Feeds one raw bit through the health gate and, if it passes,
+    /// the conditioner (assembling output bytes MSB-first). Returns
+    /// `false` when the bit tripped a continuous-test alarm — the
+    /// caller must discard the block.
+    fn ingest(&mut self, raw: bool, out: &mut Vec<u8>, byte: &mut u8, nbits: &mut u32) -> bool {
+        if self.health.push(raw) == HealthStatus::Alarm {
+            return false;
+        }
+        if let Some(bit) = self.conditioner.push(raw) {
+            *byte = *byte << 1 | u8::from(bit);
+            *nbits += 1;
+            if *nbits == 8 {
+                out.push(*byte);
+                *byte = 0;
+                *nbits = 0;
+            }
+        }
+        true
+    }
+
     fn raise_alarm(&mut self) {
         self.alarms += 1;
         self.shared.count_alarm();
@@ -319,21 +356,60 @@ impl Shard {
         let mut raw_spent = 0u64;
         let mut byte = 0u8;
         let mut nbits = 0u32;
-        while out.len() < block_bytes {
-            let raw = self.trng.next_raw_bit();
-            raw_spent += 1;
-            if self.health.push(raw) == HealthStatus::Alarm || raw_spent > max_raw {
-                out.clear();
-                self.raise_alarm();
-                return false;
+        if self.conditioner.is_fixed_rate() {
+            // Fixed-rate conditioning (XOR / raw): the block consumes
+            // exactly `block_bytes · 8 · rate` raw bits, so they can be
+            // drawn from the TRNG in whole bytes through the batch API
+            // instead of one `next_raw_bit` call per bit. Every raw bit
+            // still passes the health gate individually, in stream
+            // order, before it may enter the conditioner — batching
+            // changes the fetch granularity, not the gating semantics.
+            // (`max_raw` cannot trip here: the exact demand is 64x
+            // below it, as it was for the per-bit loop.)
+            let need = (block_bytes as u64 * 8) * self.conditioner.raw_bits_per_output()
+                - self.conditioner.pending_raw_bits();
+            let mut chunk = [0u8; 64];
+            let mut remaining = need;
+            while remaining > 0 {
+                let nbytes = ((remaining / 8) as usize).min(chunk.len());
+                if nbytes > 0 {
+                    self.trng.fill_raw(&mut chunk[..nbytes]);
+                }
+                // `< 8` residual bits (possible only when `pending` was
+                // non-zero) are fetched singly to keep the raw stream
+                // position exact.
+                let bits = if nbytes > 0 {
+                    nbytes as u64 * 8
+                } else {
+                    remaining
+                };
+                for idx in 0..bits {
+                    let raw = if nbytes > 0 {
+                        chunk[(idx / 8) as usize] >> (7 - idx % 8) & 1 == 1
+                    } else {
+                        self.trng.next_raw_bit()
+                    };
+                    if !self.ingest(raw, out, &mut byte, &mut nbits) {
+                        out.clear();
+                        self.raise_alarm();
+                        return false;
+                    }
+                }
+                remaining -= bits;
             }
-            if let Some(bit) = self.conditioner.push(raw) {
-                byte = byte << 1 | u8::from(bit);
-                nbits += 1;
-                if nbits == 8 {
-                    out.push(byte);
-                    byte = 0;
-                    nbits = 0;
+            debug_assert_eq!(out.len(), block_bytes);
+            debug_assert_eq!(nbits, 0);
+        } else {
+            // Variable-rate conditioning (Von Neumann): consumption is
+            // data-dependent, so bits are drawn one at a time until the
+            // block fills or the raw-spend bound trips.
+            while out.len() < block_bytes {
+                let raw = self.trng.next_raw_bit();
+                raw_spent += 1;
+                if raw_spent > max_raw || !self.ingest(raw, out, &mut byte, &mut nbits) {
+                    out.clear();
+                    self.raise_alarm();
+                    return false;
                 }
             }
         }

@@ -1,0 +1,72 @@
+//! A counting global allocator for zero-allocation assertions.
+//!
+//! Hot paths in this workspace (the TRNG sampling pipeline) promise
+//! steady-state freedom from heap traffic. That promise is only
+//! enforceable if a test can observe allocations, so this module
+//! provides a [`GlobalAlloc`] wrapper around the system allocator that
+//! counts every `alloc` / `alloc_zeroed` / `realloc` call.
+//!
+//! Install it in a *dedicated* integration-test binary (the counter is
+//! process-global, so unrelated concurrent tests would pollute it):
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: CountingAllocator = CountingAllocator;
+//!
+//! let before = allocation_count();
+//! hot_path();
+//! assert_eq!(allocation_count() - before, 0);
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// A [`System`]-backed allocator that counts allocation events.
+///
+/// Deallocations are not counted: the interesting signal for a
+/// steady-state check is new heap traffic, and frees always pair with
+/// a counted allocation anyway.
+pub struct CountingAllocator;
+
+/// Total allocation events (`alloc`, `alloc_zeroed`, `realloc`) since
+/// process start. Only meaningful when [`CountingAllocator`] is
+/// installed as the `#[global_allocator]`.
+pub fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The allocator is not installed in this (library) test binary, so
+    // only the pass-through arithmetic is checked here; the end-to-end
+    // behaviour is exercised by the consumers' dedicated test binaries.
+    #[test]
+    fn counter_starts_at_zero_without_installation() {
+        assert_eq!(allocation_count(), 0);
+    }
+}

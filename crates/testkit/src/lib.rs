@@ -20,6 +20,8 @@
 //! * [`json`] — a tiny JSON writer used by the bench reports (the
 //!   workspace's serialization shim; replaces the optional `serde`
 //!   derives, which were removed).
+//! * [`alloc_counter`] — a counting global allocator so tests can
+//!   assert that hot paths are allocation-free in steady state.
 //!
 //! # Seeding policy
 //!
@@ -28,6 +30,7 @@
 //! seed per case from the property name and case index, so runs are
 //! reproducible across machines and parallel test threads.
 
+pub mod alloc_counter;
 pub mod bench;
 pub mod json;
 pub mod prng;

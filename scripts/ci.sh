@@ -43,4 +43,14 @@ TRNG_POOL_SMOKE_BYTES=${TRNG_POOL_SMOKE_BYTES:-1000000} \
 TRNG_POOL_SMOKE_SHARDS=${TRNG_POOL_SMOKE_SHARDS:-2} \
     cargo run -q --release --offline -p trng-pool --bin pool_smoke
 
+# Hot-path regression gate: quick run of the per-bit bench, failing
+# if the raw-bit cost regresses to more than 2x the checked-in
+# baseline (BENCH_hotpath.json: after_ns_per_bit ~ 1615 ns/bit on the
+# reference host; the 2x headroom absorbs slower CI machines).
+echo "==> hotpath bench (quick, gate at 2x baseline)"
+TRNG_HOTPATH_BENCH_BYTES=${TRNG_HOTPATH_BENCH_BYTES:-8192} \
+TRNG_HOTPATH_GATE_NS=${TRNG_HOTPATH_GATE_NS:-3230} \
+TRNG_BENCH_OUT_DIR=$(mktemp -d) \
+    cargo bench -q --offline -p trng-bench --bench hotpath
+
 echo "==> tier-1 gate passed"

@@ -1,0 +1,52 @@
+//! Zero-allocation assertion for the steady-state sampling hot path.
+//!
+//! This binary installs [`trng_testkit::alloc_counter::CountingAllocator`]
+//! as the global allocator, so it must stay a *dedicated* test target:
+//! any other test running in the same process would pollute the
+//! counter. After warm-up (edge-train buffers reach their pruned
+//! steady-state capacity), `fill_raw` must perform no heap allocation
+//! at all.
+
+use trng_core::trng::{CarryChainTrng, TrngConfig};
+use trng_testkit::alloc_counter::{allocation_count, CountingAllocator};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+#[test]
+fn steady_state_fill_raw_does_not_allocate() {
+    let mut trng = CarryChainTrng::new(TrngConfig::paper_k1(), 0xA110C).expect("build");
+    let mut buf = [0u8; 256];
+
+    // Warm up: let the ring-oscillator edge trains grow to their
+    // steady-state capacity and the pruning cadence settle.
+    for _ in 0..8 {
+        trng.fill_raw(&mut buf);
+    }
+
+    let before = allocation_count();
+    trng.fill_raw(&mut buf);
+    let after = allocation_count();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state fill_raw allocated {} times for {} bytes",
+        after - before,
+        buf.len()
+    );
+    // The buffer actually got entropy (all-zero is p ~ 2^-2048).
+    assert!(buf.iter().any(|&b| b != 0));
+}
+
+#[test]
+fn steady_state_fill_postprocessed_does_not_allocate() {
+    let mut trng = CarryChainTrng::new(TrngConfig::paper_k1(), 0xA110D).expect("build");
+    let mut buf = [0u8; 64];
+    for _ in 0..8 {
+        trng.fill_postprocessed(&mut buf);
+    }
+
+    let before = allocation_count();
+    trng.fill_postprocessed(&mut buf);
+    assert_eq!(allocation_count() - before, 0);
+}
