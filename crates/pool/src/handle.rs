@@ -1,0 +1,190 @@
+//! A cheaply clonable, thread-safe client handle over one
+//! [`EntropyPool`].
+//!
+//! `EntropyPool`'s byte interface takes `&mut self`, which is the
+//! right shape for a single consumer but not for a server dispatching
+//! many concurrent connections. [`PoolHandle`] wraps the pool in an
+//! `Arc<Mutex<_>>` so any number of request threads can share it:
+//! each `fill_bytes` call acquires the pool exclusively for exactly
+//! one fill, which makes every fill *atomic* with respect to other
+//! clients — a caller's bytes are always a contiguous run of the
+//! pool's delivery stream, never interleaved with another caller's.
+//! (In deterministic replay mode that contiguity is what makes a
+//! multi-client serving session byte-auditable against a single-
+//! consumer replay of the same configuration.)
+//!
+//! The mutex serializes only consumers; shard workers in the threaded
+//! backend keep producing into their rings regardless of who holds
+//! the handle.
+
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+use crate::pool::{EntropyPool, PoolError};
+use crate::stats::PoolStats;
+
+/// A clonable, `Send + Sync` handle sharing one [`EntropyPool`]
+/// between threads.
+///
+/// ```
+/// use trng_core::trng::TrngConfig;
+/// use trng_pool::{EntropyPool, PoolConfig, PoolHandle};
+///
+/// let config = PoolConfig::new(TrngConfig::paper_k1(), 2).deterministic(true);
+/// let handle = EntropyPool::new(config)?.into_shared();
+/// let worker = handle.clone();
+/// let join = std::thread::spawn(move || {
+///     let mut buf = [0u8; 32];
+///     worker.fill_bytes(&mut buf).map(|()| buf)
+/// });
+/// let mut buf = [0u8; 32];
+/// handle.fill_bytes(&mut buf)?;
+/// let other = join.join().unwrap()?;
+/// assert_ne!(buf, other); // two distinct runs of the stream
+/// # Ok::<(), trng_pool::PoolError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PoolHandle {
+    inner: Arc<Mutex<EntropyPool>>,
+}
+
+impl PoolHandle {
+    /// Wraps a pool in a shared handle.
+    pub fn new(pool: EntropyPool) -> Self {
+        PoolHandle {
+            inner: Arc::new(Mutex::new(pool)),
+        }
+    }
+
+    /// Locks the pool. A poisoned lock is recovered rather than
+    /// propagated: the pool's own state stays consistent across a
+    /// panicking *consumer* (fills either completed or reported a
+    /// typed error), so the next caller may keep serving.
+    fn lock(&self) -> MutexGuard<'_, EntropyPool> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Number of shards (in any state).
+    pub fn shard_count(&self) -> usize {
+        self.lock().shard_count()
+    }
+
+    /// Blocks until no shard is still starting; see
+    /// [`EntropyPool::wait_online`].
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::SourcesExhausted`] when every shard retired during
+    /// admission, [`PoolError::Timeout`] on deadline.
+    pub fn wait_online(&self, timeout: Duration) -> Result<usize, PoolError> {
+        self.lock().wait_online(timeout)
+    }
+
+    /// Atomically fills `dest` with health-gated pool bytes; see
+    /// [`EntropyPool::fill_bytes`]. Other handle clones block until
+    /// this fill completes.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::SourcesExhausted`] once every shard is retired.
+    pub fn fill_bytes(&self, dest: &mut [u8]) -> Result<(), PoolError> {
+        self.lock().fill_bytes(dest)
+    }
+
+    /// Atomically fills `dest`, giving up at `timeout`; see
+    /// [`EntropyPool::try_fill_bytes`]. The timeout bounds only this
+    /// caller's fill, not the wait for the lock.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::Timeout`] on deadline,
+    /// [`PoolError::SourcesExhausted`] once every shard is retired.
+    pub fn try_fill_bytes(&self, dest: &mut [u8], timeout: Duration) -> Result<(), PoolError> {
+        self.lock().try_fill_bytes(dest, timeout)
+    }
+
+    /// Snapshots per-shard lifecycle state and pool-level counters;
+    /// see [`EntropyPool::stats`].
+    pub fn stats(&self) -> PoolStats {
+        self.lock().stats()
+    }
+}
+
+impl EntropyPool {
+    /// Consumes the pool into a clonable, thread-safe [`PoolHandle`].
+    pub fn into_shared(self) -> PoolHandle {
+        PoolHandle::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::PoolConfig;
+    use trng_core::trng::TrngConfig;
+
+    fn deterministic_pool(shards: usize) -> PoolHandle {
+        let config = PoolConfig::new(TrngConfig::paper_k1(), shards)
+            .deterministic(true)
+            .with_block_bytes(64)
+            .with_seed(2015);
+        EntropyPool::new(config).expect("pool").into_shared()
+    }
+
+    #[test]
+    fn handle_is_send_sync_clone() {
+        fn assert_traits<T: Send + Sync + Clone>() {}
+        assert_traits::<PoolHandle>();
+    }
+
+    #[test]
+    fn concurrent_fills_partition_the_deterministic_stream() {
+        // 4 threads × 256 bytes through one shared handle: every
+        // fetched chunk must be a contiguous slice of the single-
+        // consumer replay stream, and together they must tile it.
+        const CHUNK: usize = 256;
+        const THREADS: usize = 4;
+        let handle = deterministic_pool(2);
+        let joins: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let h = handle.clone();
+                std::thread::spawn(move || {
+                    let mut buf = vec![0u8; CHUNK];
+                    h.fill_bytes(&mut buf).expect("fill");
+                    buf
+                })
+            })
+            .collect();
+        let chunks: Vec<Vec<u8>> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+
+        let mut replay = vec![0u8; CHUNK * THREADS];
+        let solo = deterministic_pool(2);
+        solo.fill_bytes(&mut replay).expect("replay fill");
+
+        let mut offsets: Vec<usize> = chunks
+            .iter()
+            .map(|chunk| {
+                replay
+                    .windows(CHUNK)
+                    .position(|w| w == &chunk[..])
+                    .expect("chunk must be a contiguous slice of the replay stream")
+            })
+            .collect();
+        offsets.sort_unstable();
+        assert_eq!(offsets, (0..THREADS).map(|i| i * CHUNK).collect::<Vec<_>>());
+        assert_eq!(handle.stats().bytes_delivered, (CHUNK * THREADS) as u64);
+    }
+
+    #[test]
+    fn stats_and_admission_pass_through() {
+        let handle = deterministic_pool(2);
+        assert_eq!(handle.shard_count(), 2);
+        let online = handle.wait_online(Duration::from_secs(30)).expect("online");
+        assert_eq!(online, 2);
+        let mut buf = [0u8; 32];
+        handle
+            .try_fill_bytes(&mut buf, Duration::from_secs(5))
+            .expect("fill");
+        assert_eq!(handle.stats().bytes_delivered, 32);
+    }
+}

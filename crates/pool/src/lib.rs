@@ -27,6 +27,12 @@
 //!   backend whose byte stream and [`PoolStats`] are a pure function of
 //!   the configuration and seed, including scripted shard failures via
 //!   [`FaultInjection`].
+//! * [`PoolHandle`] ([`EntropyPool::into_shared`]) is a cheaply
+//!   clonable, thread-safe handle serializing many consumers onto one
+//!   pool — the request interface a network serving layer (such as
+//!   `trng-serve`) dispatches its connections through. [`PoolStats`]
+//!   additionally renders as JSON ([`PoolStats::to_json`]) with a
+//!   coarse [`PoolHealth`] classification for metrics endpoints.
 //!
 //! ```
 //! use std::time::Duration;
@@ -48,11 +54,13 @@
 
 #![warn(missing_docs)]
 
+pub mod handle;
 pub mod pool;
 pub mod ring;
 pub mod shard;
 pub mod stats;
 
+pub use handle::PoolHandle;
 pub use pool::{EntropyPool, PoolConfig, PoolError};
 pub use shard::{Conditioning, FaultInjection, ShardFault};
-pub use stats::{PoolStats, ShardState, ShardStats};
+pub use stats::{PoolHealth, PoolStats, ShardState, ShardStats};

@@ -660,6 +660,44 @@ mod tests {
     }
 
     #[test]
+    fn timeout_partial_fill_touches_only_the_reported_prefix() {
+        // Raw conditioning so the shard produces bytes fast enough for
+        // several partial fills within the test budget.
+        let config = PoolConfig::new(TrngConfig::paper_k1(), 1)
+            .with_conditioning(Conditioning::Raw)
+            .with_seed(11);
+        let mut pool = EntropyPool::new(config).expect("pool");
+        pool.wait_online(Duration::from_secs(60)).expect("online");
+        // Repeated deadline-bounded fills into a sentinel-patterned
+        // buffer: each call may only write the prefix it reports, and
+        // `bytes_delivered` must account for exactly the sum.
+        let mut total = 0u64;
+        let mut timeouts = 0u32;
+        for _ in 0..4 {
+            let mut buf = vec![0xAAu8; 1 << 20];
+            match pool.try_fill_bytes(&mut buf, Duration::from_millis(80)) {
+                Ok(()) => total += buf.len() as u64,
+                Err(PoolError::Timeout { filled }) => {
+                    timeouts += 1;
+                    assert!(filled < buf.len());
+                    // Everything past the reported prefix is untouched.
+                    assert!(
+                        buf[filled..].iter().all(|&b| b == 0xAA),
+                        "bytes written past the reported fill of {filled}"
+                    );
+                    total += filled as u64;
+                }
+                Err(other) => panic!("unexpected error {other}"),
+            }
+        }
+        // The simulator cannot produce 1 MiB in 80 ms; every call must
+        // have timed out, and the accounting must balance.
+        assert_eq!(timeouts, 4);
+        assert_eq!(pool.stats().bytes_delivered, total);
+        assert!(total > 0, "no bytes at all in 4 x 80 ms of raw serving");
+    }
+
+    #[test]
     fn exhaustion_is_a_typed_error_not_biased_bytes() {
         let fault = FaultInjection {
             shard: 0,

@@ -6,6 +6,8 @@ use core::fmt;
 use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::time::Duration;
 
+use trng_testkit::json::Json;
+
 /// Lifecycle state of one shard.
 ///
 /// ```text
@@ -153,6 +155,51 @@ pub struct ShardStats {
     pub ring_high_water: usize,
 }
 
+impl ShardStats {
+    /// Renders the shard snapshot as a JSON object. Field names match
+    /// the struct fields; durations are serialized in nanoseconds.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("id", Json::u64(self.id as u64)),
+            ("state", Json::str(self.state.to_string())),
+            ("alarms", Json::u64(self.alarms)),
+            ("readmissions", Json::u64(self.readmissions)),
+            ("startup_runs", Json::u64(self.startup_runs)),
+            ("bytes_produced", Json::u64(self.bytes_produced)),
+            ("raw_bits", Json::u64(self.raw_bits)),
+            (
+                "sim_elapsed_ns",
+                Json::u64(self.sim_elapsed.as_nanos() as u64),
+            ),
+            ("ring_high_water", Json::u64(self.ring_high_water as u64)),
+        ])
+    }
+}
+
+/// Coarse service health derived from the shard lifecycle states —
+/// the classification a load balancer or health probe acts on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PoolHealth {
+    /// Every shard is online.
+    Healthy,
+    /// Not every shard is online (starting, quarantined, or retired):
+    /// the pool serves at reduced — possibly zero — capacity, but at
+    /// least one shard may still come (back) online.
+    Degraded,
+    /// Every shard is retired; the pool can never serve again.
+    Exhausted,
+}
+
+impl fmt::Display for PoolHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PoolHealth::Healthy => "healthy",
+            PoolHealth::Degraded => "degraded",
+            PoolHealth::Exhausted => "exhausted",
+        })
+    }
+}
+
 /// Point-in-time view of the whole pool.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PoolStats {
@@ -178,6 +225,43 @@ impl PoolStats {
     /// Total alarms across all shards.
     pub fn total_alarms(&self) -> u64 {
         self.shards.iter().map(|s| s.alarms).sum()
+    }
+
+    /// Coarse health classification: [`PoolHealth::Healthy`] when
+    /// every shard is online, [`PoolHealth::Exhausted`] when every
+    /// shard is retired, [`PoolHealth::Degraded`] in between.
+    pub fn health(&self) -> PoolHealth {
+        if self.shards.iter().all(|s| s.state == ShardState::Retired) {
+            PoolHealth::Exhausted
+        } else if self.online_shards() == self.shards.len() {
+            PoolHealth::Healthy
+        } else {
+            PoolHealth::Degraded
+        }
+    }
+
+    /// Renders the pool snapshot as a JSON object, one entry per
+    /// [`Display`](fmt::Display) field plus the per-shard array —
+    /// the payload the metrics endpoint of a serving layer exposes.
+    /// Field names match the struct fields; durations are serialized
+    /// in nanoseconds.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("bytes_delivered", Json::u64(self.bytes_delivered)),
+            ("fill_calls", Json::u64(self.fill_calls)),
+            (
+                "max_refill_wait_ns",
+                Json::u64(self.max_refill_wait.as_nanos() as u64),
+            ),
+            ("online_shards", Json::u64(self.online_shards() as u64)),
+            ("total_alarms", Json::u64(self.total_alarms())),
+            ("health", Json::str(self.health().to_string())),
+            ("sim_throughput_bps", Json::num(self.sim_throughput_bps())),
+            (
+                "shards",
+                Json::Arr(self.shards.iter().map(ShardStats::to_json).collect()),
+            ),
+        ])
     }
 
     /// Aggregate throughput in the *simulated* clock domain, in bits
@@ -304,6 +388,114 @@ mod tests {
             max_refill_wait: Duration::ZERO,
         };
         assert!((single.sim_throughput_bps() - 0.8e6).abs() < 1.0);
+    }
+
+    fn sample_stats() -> PoolStats {
+        let shard = |id: usize, state: ShardState| ShardStats {
+            id,
+            state,
+            alarms: id as u64,
+            readmissions: 1,
+            startup_runs: 2,
+            bytes_produced: 4096 + id as u64,
+            raw_bits: 32768,
+            sim_elapsed: Duration::from_nanos(123_456),
+            ring_high_water: 512,
+        };
+        PoolStats {
+            shards: vec![
+                shard(0, ShardState::Online),
+                shard(1, ShardState::Quarantined),
+            ],
+            bytes_delivered: 8190,
+            fill_calls: 17,
+            max_refill_wait: Duration::from_micros(250),
+        }
+    }
+
+    #[test]
+    fn json_form_matches_struct_field_for_field() {
+        let stats = sample_stats();
+        let json = stats.to_json();
+        let f = |k: &str| json.get(k).and_then(Json::as_f64).expect(k);
+        assert_eq!(f("bytes_delivered"), stats.bytes_delivered as f64);
+        assert_eq!(f("fill_calls"), stats.fill_calls as f64);
+        assert_eq!(
+            f("max_refill_wait_ns"),
+            stats.max_refill_wait.as_nanos() as f64
+        );
+        assert_eq!(f("online_shards"), stats.online_shards() as f64);
+        assert_eq!(f("total_alarms"), stats.total_alarms() as f64);
+        assert_eq!(f("sim_throughput_bps"), stats.sim_throughput_bps());
+        assert_eq!(
+            json.get("health").and_then(Json::as_str),
+            Some(stats.health().to_string().as_str())
+        );
+        let shards = json.get("shards").and_then(Json::as_arr).expect("shards");
+        assert_eq!(shards.len(), stats.shards.len());
+        for (j, s) in shards.iter().zip(&stats.shards) {
+            let f = |k: &str| j.get(k).and_then(Json::as_f64).expect(k);
+            assert_eq!(f("id"), s.id as f64);
+            assert_eq!(
+                j.get("state").and_then(Json::as_str),
+                Some(s.state.to_string().as_str())
+            );
+            assert_eq!(f("alarms"), s.alarms as f64);
+            assert_eq!(f("readmissions"), s.readmissions as f64);
+            assert_eq!(f("startup_runs"), s.startup_runs as f64);
+            assert_eq!(f("bytes_produced"), s.bytes_produced as f64);
+            assert_eq!(f("raw_bits"), s.raw_bits as f64);
+            assert_eq!(f("sim_elapsed_ns"), s.sim_elapsed.as_nanos() as f64);
+            assert_eq!(f("ring_high_water"), s.ring_high_water as f64);
+        }
+    }
+
+    #[test]
+    fn display_and_json_agree_on_shared_fields() {
+        // Every quantity the Display form prints must appear with the
+        // same value in the JSON form.
+        let stats = sample_stats();
+        let text = stats.to_string();
+        let json = stats.to_json();
+        let f = |k: &str| json.get(k).and_then(Json::as_f64).expect(k) as u64;
+        for n in [
+            f("bytes_delivered"),
+            f("fill_calls"),
+            f("online_shards"),
+            f("total_alarms"),
+        ] {
+            assert!(text.contains(&n.to_string()), "{n} missing from {text}");
+        }
+        let shards = json.get("shards").and_then(Json::as_arr).expect("shards");
+        for j in shards {
+            let state = j.get("state").and_then(Json::as_str).expect("state");
+            assert!(text.contains(state), "{state} missing from {text}");
+            for k in ["bytes_produced", "alarms", "readmissions", "startup_runs"] {
+                let n = j.get(k).and_then(Json::as_f64).expect(k) as u64;
+                assert!(text.contains(&n.to_string()), "{k}={n} missing from {text}");
+            }
+        }
+    }
+
+    #[test]
+    fn health_classifies_lifecycle_mixtures() {
+        let mut stats = sample_stats();
+        stats.shards[1].state = ShardState::Online;
+        assert_eq!(stats.health(), PoolHealth::Healthy);
+        for state in [
+            ShardState::Starting,
+            ShardState::Quarantined,
+            ShardState::Retired,
+        ] {
+            stats.shards[1].state = state;
+            assert_eq!(stats.health(), PoolHealth::Degraded, "{state}");
+        }
+        stats.shards[0].state = ShardState::Retired;
+        stats.shards[1].state = ShardState::Retired;
+        assert_eq!(stats.health(), PoolHealth::Exhausted);
+        assert_eq!(PoolHealth::Healthy.to_string(), "healthy");
+        assert_eq!(PoolHealth::Degraded.to_string(), "degraded");
+        assert_eq!(PoolHealth::Exhausted.to_string(), "exhausted");
     }
 
     #[test]

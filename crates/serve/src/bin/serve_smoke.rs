@@ -1,0 +1,244 @@
+//! CI smoke check for the entropy daemon: bring up a threaded pool
+//! behind a quota-enforcing server on an ephemeral loopback port,
+//! fetch ~1 MiB across four concurrent clients — one of them
+//! deliberately over quota — scrape the metrics endpoint, and drain.
+//!
+//! What must hold for an OK exit:
+//! * every in-quota client receives exactly the bytes it asked for;
+//! * the over-quota client is **throttled, not errored**: its single
+//!   over-burst request still delivers every byte, and the server's
+//!   throttle clock records at least the deterministic 1-second
+//!   deficit its first request owes;
+//! * the metrics endpoint reports `healthy` plus a JSON body naming
+//!   both pool and server counters;
+//! * shutdown drains within its deadline and joins every worker;
+//! * the concatenated output is not degenerate (≥ 200 distinct byte
+//!   values over ~1 MiB).
+//!
+//! Environment overrides:
+//! * `TRNG_SERVE_SMOKE_BYTES`  — bytes per in-quota client (default 320 KiB)
+//! * `TRNG_SERVE_SMOKE_SHARDS` — pool shard count (default 2)
+
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use trng_core::trng::TrngConfig;
+use trng_pool::{Conditioning, EntropyPool, PoolConfig};
+use trng_serve::{Client, QuotaConfig, ServeConfig, Server};
+
+/// Per-connection quota: 64 KiB/s sustained, 32 KiB burst. The
+/// over-quota client's first request (96 KiB) then owes exactly
+/// (96 KiB - 32 KiB) / 64 KiB/s = 1.0 s of throttle — a deterministic
+/// floor for the assertion below, independent of pool speed.
+const QUOTA_RATE: f64 = 65536.0;
+const QUOTA_BURST: u64 = 32768;
+const OVER_QUOTA_REQUEST: u32 = 96 * 1024;
+const CHUNK: u32 = 8 * 1024;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    match std::env::var(name) {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("{name} must be an integer, got {v:?}")),
+        Err(_) => default,
+    }
+}
+
+fn main() -> ExitCode {
+    let per_client = env_usize("TRNG_SERVE_SMOKE_BYTES", 320 * 1024);
+    let shards = env_usize("TRNG_SERVE_SMOKE_SHARDS", 2);
+    eprintln!(
+        "serve_smoke: {shards} shards, 3 in-quota clients x {per_client} bytes \
+         + 1 over-quota client x {OVER_QUOTA_REQUEST} bytes"
+    );
+
+    let config = PoolConfig::new(TrngConfig::paper_k1(), shards)
+        .with_conditioning(Conditioning::Raw)
+        .with_seed(0x5E7E);
+    let mut pool = match EntropyPool::new(config) {
+        Ok(pool) => pool,
+        Err(e) => {
+            eprintln!("serve_smoke: FAILED to build pool: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = pool.wait_online(Duration::from_secs(120)) {
+        eprintln!("serve_smoke: FAILED waiting for admission: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let server = match Server::start(
+        pool.into_shared(),
+        ServeConfig::default().with_quota(QuotaConfig::new(QUOTA_RATE, QUOTA_BURST)),
+    ) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("serve_smoke: FAILED to start server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = server.local_addr();
+    let metrics_addr = server.metrics_addr().expect("metrics enabled by default");
+    eprintln!("serve_smoke: serving on {addr}, metrics on {metrics_addr}");
+
+    let started = Instant::now();
+    // Three in-quota clients stream their allotment in small chunks;
+    // the fourth client front-loads one over-burst request.
+    let mut fetchers = Vec::new();
+    for id in 0..3 {
+        fetchers.push(std::thread::spawn(move || -> Result<Vec<u8>, String> {
+            let mut client =
+                Client::connect(addr).map_err(|e| format!("client {id} connect: {e}"))?;
+            let mut got = Vec::with_capacity(per_client);
+            while got.len() < per_client {
+                let want = CHUNK.min((per_client - got.len()) as u32);
+                let bytes = client
+                    .fetch(want)
+                    .map_err(|e| format!("client {id} after {} bytes: {e}", got.len()))?;
+                got.extend_from_slice(&bytes);
+            }
+            Ok(got)
+        }));
+    }
+    let over_quota = std::thread::spawn(move || -> Result<(Vec<u8>, Duration), String> {
+        let mut client = Client::connect(addr).map_err(|e| format!("over-quota connect: {e}"))?;
+        let t0 = Instant::now();
+        let bytes = client
+            .fetch(OVER_QUOTA_REQUEST)
+            .map_err(|e| format!("over-quota fetch must be throttled, not fail: {e}"))?;
+        Ok((bytes, t0.elapsed()))
+    });
+
+    let mut ok = true;
+    let mut histogram = [0u64; 256];
+    let mut total = 0usize;
+    for handle in fetchers {
+        match handle.join().expect("client thread panicked") {
+            Ok(bytes) => {
+                if bytes.len() != per_client {
+                    eprintln!(
+                        "serve_smoke: FAILED: client got {} of {per_client} bytes",
+                        bytes.len()
+                    );
+                    ok = false;
+                }
+                total += bytes.len();
+                for &b in &bytes {
+                    histogram[b as usize] += 1;
+                }
+            }
+            Err(msg) => {
+                eprintln!("serve_smoke: FAILED: {msg}");
+                ok = false;
+            }
+        }
+    }
+    match over_quota.join().expect("over-quota thread panicked") {
+        Ok((bytes, elapsed)) => {
+            if bytes.len() != OVER_QUOTA_REQUEST as usize {
+                eprintln!(
+                    "serve_smoke: FAILED: over-quota client got {} of {OVER_QUOTA_REQUEST} bytes",
+                    bytes.len()
+                );
+                ok = false;
+            }
+            if elapsed < Duration::from_millis(900) {
+                eprintln!(
+                    "serve_smoke: FAILED: over-quota fetch finished in {:.3} s — \
+                     the 1.0 s token deficit was not enforced",
+                    elapsed.as_secs_f64()
+                );
+                ok = false;
+            }
+            total += bytes.len();
+            for &b in &bytes {
+                histogram[b as usize] += 1;
+            }
+        }
+        Err(msg) => {
+            eprintln!("serve_smoke: FAILED: {msg}");
+            ok = false;
+        }
+    }
+    let wall = started.elapsed();
+    eprintln!(
+        "serve_smoke: {total} bytes over loopback in {:.2} s ({:.3} Mb/s)",
+        wall.as_secs_f64(),
+        total as f64 * 8.0 / wall.as_secs_f64() / 1e6
+    );
+
+    // The quota clock must have recorded at least the over-quota
+    // client's deterministic 1-second deficit.
+    let stats = server.stats();
+    if stats.throttle_events < 1 || stats.throttled < Duration::from_secs(1) {
+        eprintln!(
+            "serve_smoke: FAILED: expected >= 1 s of recorded throttle, got {} events / {:.3} s",
+            stats.throttle_events,
+            stats.throttled.as_secs_f64()
+        );
+        ok = false;
+    }
+    if stats.requests_timeout != 0 || stats.requests_exhausted != 0 || stats.requests_rejected != 0
+    {
+        eprintln!(
+            "serve_smoke: FAILED: unexpected error responses (timeout {}, exhausted {}, \
+             rejected {})",
+            stats.requests_timeout, stats.requests_exhausted, stats.requests_rejected
+        );
+        ok = false;
+    }
+
+    match trng_serve::client::scrape_metrics(metrics_addr) {
+        Ok(body) => {
+            let first = body.lines().next().unwrap_or("");
+            if first != "healthy" {
+                eprintln!("serve_smoke: FAILED: metrics status line {first:?}, want \"healthy\"");
+                ok = false;
+            }
+            for needle in ["\"bytes_delivered\"", "\"bytes_served\"", "\"shards\""] {
+                if !body.contains(needle) {
+                    eprintln!("serve_smoke: FAILED: metrics body lacks {needle}");
+                    ok = false;
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("serve_smoke: FAILED to scrape metrics: {e}");
+            ok = false;
+        }
+    }
+
+    let distinct = histogram.iter().filter(|&&n| n > 0).count();
+    if distinct < 200 {
+        eprintln!("serve_smoke: FAILED: only {distinct}/256 distinct byte values");
+        ok = false;
+    }
+
+    let report = server.shutdown();
+    eprintln!("serve_smoke: {report}");
+    if report.hit_deadline {
+        eprintln!("serve_smoke: FAILED: drain outran its deadline");
+        ok = false;
+    }
+    if report.workers_joined != 4 {
+        eprintln!(
+            "serve_smoke: FAILED: joined {} of 4 workers — thread leak",
+            report.workers_joined
+        );
+        ok = false;
+    }
+    if report.bytes_served != total as u64 {
+        eprintln!(
+            "serve_smoke: FAILED: server accounted {} bytes, clients received {total}",
+            report.bytes_served
+        );
+        ok = false;
+    }
+
+    if ok {
+        eprintln!("serve_smoke: OK");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

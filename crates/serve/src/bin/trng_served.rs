@@ -1,0 +1,224 @@
+//! `trng-served` — the entropy daemon as a command-line process.
+//!
+//! Brings up an [`EntropyPool`] over the paper's simulated carry-chain
+//! TRNG, serves it on a TCP socket with the `trng-serve` frame
+//! protocol, and exits with a drain report on shutdown (stdin EOF,
+//! or after `--serve-ms`).
+//!
+//! ```text
+//! trng-served [--addr 127.0.0.1:7878] [--metrics-addr 127.0.0.1:7879 | --no-metrics]
+//!             [--shards 2] [--workers 4] [--conditioning raw|design-xor|xor:N|von-neumann]
+//!             [--quota-rate BYTES_PER_SEC --quota-burst BYTES]
+//!             [--max-request BYTES] [--drain-deadline-ms MS]
+//!             [--serve-ms MS] [--deterministic] [--seed N]
+//! ```
+//!
+//! The flag parser is hand-rolled (the workspace is hermetic: no
+//! registry crates), so unknown flags fail fast with usage help.
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use trng_core::trng::TrngConfig;
+use trng_pool::{Conditioning, EntropyPool, PoolConfig};
+use trng_serve::{QuotaConfig, ServeConfig, Server};
+
+const USAGE: &str = "\
+trng-served: network entropy daemon over the simulated carry-chain TRNG pool
+
+USAGE:
+  trng-served [OPTIONS]
+
+OPTIONS:
+  --addr ADDR             entropy endpoint (default 127.0.0.1:7878; port 0 = ephemeral)
+  --metrics-addr ADDR     metrics/health endpoint (default 127.0.0.1:7879)
+  --no-metrics            disable the metrics endpoint
+  --shards N              TRNG shards in the pool (default 2)
+  --workers N             connection worker threads (default 4)
+  --conditioning MODE     raw | design-xor | xor:N | von-neumann (default raw)
+  --quota-rate BPS        per-connection sustained quota, bytes/second (default: none)
+  --quota-burst BYTES     per-connection burst allowance (default: 4x rate)
+  --max-request BYTES     largest single request (default 1048576)
+  --drain-deadline-ms MS  graceful-drain deadline on shutdown (default 5000)
+  --serve-ms MS           serve for MS milliseconds then drain (default: until stdin EOF)
+  --deterministic         inline deterministic pool backend (replayable byte stream)
+  --seed N                pool seed (default 2015)
+  -h, --help              this help
+";
+
+struct Args {
+    addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
+    shards: usize,
+    workers: usize,
+    conditioning: Conditioning,
+    quota_rate: Option<f64>,
+    quota_burst: Option<u64>,
+    max_request: u32,
+    drain_deadline: Duration,
+    serve_ms: Option<u64>,
+    deterministic: bool,
+    seed: u64,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            addr: "127.0.0.1:7878".parse().expect("static addr"),
+            metrics_addr: Some("127.0.0.1:7879".parse().expect("static addr")),
+            shards: 2,
+            workers: 4,
+            conditioning: Conditioning::Raw,
+            quota_rate: None,
+            quota_burst: None,
+            max_request: 1 << 20,
+            drain_deadline: Duration::from_millis(5000),
+            serve_ms: None,
+            deterministic: false,
+            seed: 2015,
+        }
+    }
+}
+
+fn parse_conditioning(s: &str) -> Result<Conditioning, String> {
+    match s {
+        "raw" => Ok(Conditioning::Raw),
+        "design-xor" => Ok(Conditioning::DesignXor),
+        "von-neumann" => Ok(Conditioning::VonNeumann),
+        _ => match s.strip_prefix("xor:") {
+            Some(n) => n
+                .parse::<u32>()
+                .map(Conditioning::Xor)
+                .map_err(|_| format!("bad xor rate in --conditioning {s:?}")),
+            None => Err(format!("unknown conditioning mode {s:?}")),
+        },
+    }
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "-h" | "--help" => return Err(String::new()),
+            "--addr" => args.addr = parse(value("--addr")?, "--addr")?,
+            "--metrics-addr" => {
+                args.metrics_addr = Some(parse(value("--metrics-addr")?, "--metrics-addr")?);
+            }
+            "--no-metrics" => args.metrics_addr = None,
+            "--shards" => args.shards = parse(value("--shards")?, "--shards")?,
+            "--workers" => args.workers = parse(value("--workers")?, "--workers")?,
+            "--conditioning" => args.conditioning = parse_conditioning(value("--conditioning")?)?,
+            "--quota-rate" => {
+                args.quota_rate = Some(parse(value("--quota-rate")?, "--quota-rate")?)
+            }
+            "--quota-burst" => {
+                args.quota_burst = Some(parse(value("--quota-burst")?, "--quota-burst")?);
+            }
+            "--max-request" => args.max_request = parse(value("--max-request")?, "--max-request")?,
+            "--drain-deadline-ms" => {
+                let ms: u64 = parse(value("--drain-deadline-ms")?, "--drain-deadline-ms")?;
+                args.drain_deadline = Duration::from_millis(ms);
+            }
+            "--serve-ms" => args.serve_ms = Some(parse(value("--serve-ms")?, "--serve-ms")?),
+            "--deterministic" => args.deterministic = true,
+            "--seed" => args.seed = parse(value("--seed")?, "--seed")?,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("bad value {s:?} for {flag}"))
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("trng-served: {msg}\n");
+            }
+            eprint!("{USAGE}");
+            return if msg.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            };
+        }
+    };
+
+    let pool_config = PoolConfig::new(TrngConfig::paper_k1(), args.shards)
+        .with_conditioning(args.conditioning)
+        .with_seed(args.seed)
+        .deterministic(args.deterministic);
+    let mut pool = match EntropyPool::new(pool_config) {
+        Ok(pool) => pool,
+        Err(e) => {
+            eprintln!("trng-served: failed to build pool: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "trng-served: bringing {} shard(s) online ({} backend)...",
+        args.shards,
+        if args.deterministic {
+            "deterministic"
+        } else {
+            "threaded"
+        }
+    );
+    if let Err(e) = pool.wait_online(Duration::from_secs(120)) {
+        eprintln!("trng-served: pool never came online: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let mut serve_config = ServeConfig::default()
+        .with_addr(args.addr)
+        .with_metrics_addr(args.metrics_addr)
+        .with_workers(args.workers)
+        .with_max_request(args.max_request)
+        .with_drain_deadline(args.drain_deadline);
+    if let Some(rate) = args.quota_rate {
+        let burst = args.quota_burst.unwrap_or((rate * 4.0) as u64);
+        serve_config = serve_config.with_quota(QuotaConfig::new(rate, burst));
+    }
+
+    let server = match Server::start(pool.into_shared(), serve_config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("trng-served: failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("trng-served: serving entropy on {}", server.local_addr());
+    if let Some(addr) = server.metrics_addr() {
+        eprintln!("trng-served: metrics on {addr}");
+    }
+
+    match args.serve_ms {
+        Some(ms) => std::thread::sleep(Duration::from_millis(ms)),
+        None => {
+            eprintln!("trng-served: close stdin (ctrl-d) to drain and exit");
+            // Block until the controlling process closes stdin.
+            let mut sink = String::new();
+            while let Ok(n) = std::io::stdin().read_line(&mut sink) {
+                if n == 0 {
+                    break;
+                }
+                sink.clear();
+            }
+        }
+    }
+
+    eprintln!("trng-served: draining...");
+    let report = server.shutdown();
+    eprintln!("trng-served: {report}");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,189 @@
+//! Client helper for the entropy daemon.
+//!
+//! [`Client`] wraps one TCP connection and speaks the frame protocol;
+//! [`fetch`] is the one-shot convenience (connect, request, close).
+//! Both map the server's typed error frames to [`FetchError`], so
+//! callers — including this workspace's own tests — never hand-roll
+//! socket code or frame parsing.
+
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::protocol::{read_frame, write_req, FrameType, MAX_FRAME_PAYLOAD};
+
+/// Default socket read/write timeout. Generous because a legitimate
+/// fetch may sit behind a quota throttle plus a slow physical source;
+/// the server, not the client, owns responsiveness.
+pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Why a fetch failed.
+#[derive(Debug)]
+pub enum FetchError {
+    /// Transport-level failure (connect, read, or write).
+    Io(io::Error),
+    /// The server answered with something outside the protocol, or
+    /// with a malformed/short frame.
+    Protocol(String),
+    /// The request exceeded the server's size cap (carried back in
+    /// the error frame).
+    TooLarge {
+        /// The server's request-size cap, in bytes.
+        cap: u32,
+    },
+    /// The server's fill deadline expired; `partial` holds the healthy
+    /// prefix that was delivered (possibly empty).
+    Timeout {
+        /// Healthy bytes delivered before the deadline.
+        partial: Vec<u8>,
+    },
+    /// Every entropy source is retired; `partial` holds the healthy
+    /// prefix delivered before the last source died.
+    Exhausted {
+        /// Healthy bytes delivered before exhaustion.
+        partial: Vec<u8>,
+    },
+}
+
+impl std::fmt::Display for FetchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FetchError::Io(e) => write!(f, "i/o failure: {e}"),
+            FetchError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            FetchError::TooLarge { cap } => {
+                write!(f, "request exceeds the server cap of {cap} bytes")
+            }
+            FetchError::Timeout { partial } => {
+                write!(f, "server deadline expired after {} bytes", partial.len())
+            }
+            FetchError::Exhausted { partial } => write!(
+                f,
+                "all entropy sources retired after {} bytes",
+                partial.len()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FetchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FetchError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for FetchError {
+    fn from(e: io::Error) -> Self {
+        FetchError::Io(e)
+    }
+}
+
+/// One connection to the entropy endpoint. Requests on a connection
+/// share its token bucket, so a client that spreads work across many
+/// connections gets a fresh burst allowance per connection — the
+/// server's quota is deliberately per-connection, not per-host.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects with the default I/O timeout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/configure failures.
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        Client::connect_with_timeout(addr, DEFAULT_IO_TIMEOUT)
+    }
+
+    /// Connects with an explicit socket read/write timeout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/configure failures.
+    pub fn connect_with_timeout(addr: SocketAddr, io_timeout: Duration) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(io_timeout))?;
+        stream.set_write_timeout(Some(io_timeout))?;
+        Ok(Client { stream })
+    }
+
+    /// Requests exactly `n` bytes of conditioned, health-gated
+    /// entropy.
+    ///
+    /// # Errors
+    ///
+    /// [`FetchError::Timeout`] / [`FetchError::Exhausted`] carry the
+    /// delivered healthy prefix; [`FetchError::TooLarge`] carries the
+    /// server's cap; a short or over-long `OK` payload is reported as
+    /// [`FetchError::Protocol`] (the server must deliver exactly what
+    /// it acknowledges).
+    pub fn fetch(&mut self, n: u32) -> Result<Vec<u8>, FetchError> {
+        write_req(&mut self.stream, n)?;
+        let frame = read_frame(&mut self.stream, MAX_FRAME_PAYLOAD)?
+            .ok_or_else(|| FetchError::Protocol("connection closed before response".into()))?;
+        match frame.kind {
+            FrameType::Ok => {
+                if frame.payload.len() != n as usize {
+                    return Err(FetchError::Protocol(format!(
+                        "short delivery: OK frame carried {} of {n} bytes",
+                        frame.payload.len()
+                    )));
+                }
+                Ok(frame.payload)
+            }
+            FrameType::ErrTimeout => Err(FetchError::Timeout {
+                partial: frame.payload,
+            }),
+            FrameType::ErrExhausted => Err(FetchError::Exhausted {
+                partial: frame.payload,
+            }),
+            FrameType::ErrTooLarge => {
+                let cap = frame
+                    .payload
+                    .as_slice()
+                    .try_into()
+                    .map(u32::from_be_bytes)
+                    .map_err(|_| FetchError::Protocol("malformed cap in ErrTooLarge".into()))?;
+                Err(FetchError::TooLarge { cap })
+            }
+            FrameType::ErrProtocol => Err(FetchError::Protocol(
+                String::from_utf8_lossy(&frame.payload).into_owned(),
+            )),
+            FrameType::Req => Err(FetchError::Protocol(
+                "server sent a REQ frame to a client".into(),
+            )),
+        }
+    }
+}
+
+/// One-shot fetch: connect, request `n` bytes, close.
+///
+/// # Errors
+///
+/// As [`Client::fetch`], plus connect failures as [`FetchError::Io`].
+pub fn fetch(addr: SocketAddr, n: u32) -> Result<Vec<u8>, FetchError> {
+    Client::connect(addr)?.fetch(n)
+}
+
+/// Reads one metrics report from the metrics endpoint: the
+/// `healthy` / `degraded` / `exhausted` status line followed by the
+/// JSON body.
+///
+/// # Errors
+///
+/// Propagates connect/read failures; non-UTF-8 output is reported as
+/// [`io::ErrorKind::InvalidData`].
+pub fn scrape_metrics(addr: SocketAddr) -> io::Result<String> {
+    use std::io::Read;
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let mut body = Vec::new();
+    stream.read_to_end(&mut body)?;
+    String::from_utf8(body)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "metrics body is not UTF-8"))
+}

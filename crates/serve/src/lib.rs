@@ -1,0 +1,54 @@
+//! `trng-serve` — a network entropy daemon over [`trng_pool`].
+//!
+//! The pool crate turns simulated carry-chain TRNG shards into a
+//! health-gated byte service *inside* one process; this crate puts
+//! that service on a socket. It is std-only (no registry
+//! dependencies, `std::net` TCP) to preserve the workspace's hermetic
+//! offline build.
+//!
+//! * [`protocol`] — the length-prefixed binary frame protocol. A
+//!   `REQ n` is answered with `OK` carrying exactly `n` bytes, or a
+//!   *typed* error frame (`ErrTimeout` / `ErrExhausted`) carrying the
+//!   delivered healthy prefix — a client never has to guess whether a
+//!   short read is congestion or a retired source.
+//! * [`quota`] — per-connection token-bucket quotas. Over-quota
+//!   requests are throttled (paced at the refill rate), never
+//!   rejected.
+//! * [`server`] — the daemon: acceptor, bounded worker set over a
+//!   shared [`trng_pool::PoolHandle`], plaintext metrics/health
+//!   endpoint, and graceful drain with a [`server::DrainReport`].
+//! * [`client`] — typed client helper ([`client::Client`],
+//!   [`client::fetch`], [`client::scrape_metrics`]).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use std::time::Duration;
+//! use trng_core::trng::TrngConfig;
+//! use trng_pool::{Conditioning, EntropyPool, PoolConfig};
+//! use trng_serve::{client, Server, ServeConfig};
+//!
+//! let pool = EntropyPool::new(
+//!     PoolConfig::new(TrngConfig::paper_k1(), 2).with_conditioning(Conditioning::Raw),
+//! )
+//! .unwrap();
+//! let handle = pool.into_shared();
+//! handle.wait_online(Duration::from_secs(60)).unwrap();
+//!
+//! let server = Server::start(handle, ServeConfig::default()).unwrap();
+//! let bytes = client::fetch(server.local_addr(), 4096).unwrap();
+//! assert_eq!(bytes.len(), 4096);
+//! println!("{}", server.shutdown());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod quota;
+pub mod server;
+
+pub use client::{fetch, Client, FetchError};
+pub use protocol::{Frame, FrameType};
+pub use quota::{QuotaConfig, TokenBucket};
+pub use server::{DrainReport, ServeConfig, ServeStats, Server};

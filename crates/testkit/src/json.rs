@@ -41,6 +41,46 @@ impl Json {
         Json::Num(x.into())
     }
 
+    /// Builds a number value from a `u64` counter. Counters above
+    /// 2^53 lose precision (JSON numbers are doubles); every counter
+    /// this workspace serializes is far below that.
+    pub fn u64(x: u64) -> Json {
+        Json::Num(x as f64)
+    }
+
+    /// Looks up a key in an object; `None` for missing keys and
+    /// non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
     /// Serializes with two-space indentation.
     pub fn to_string_pretty(&self) -> String {
         let mut out = String::new();
@@ -176,6 +216,26 @@ mod tests {
             v.to_string(),
             r#"{"name":"bench","n":3,"ratio":0.5,"ok":true,"none":null,"xs":[1,2]}"#
         );
+    }
+
+    #[test]
+    fn accessors_navigate_objects() {
+        let v = Json::obj(vec![
+            ("count", Json::u64(42)),
+            ("name", Json::str("pool")),
+            ("xs", Json::Arr(vec![Json::num(1)])),
+        ]);
+        assert_eq!(v.get("count").and_then(Json::as_f64), Some(42.0));
+        assert_eq!(v.get("name").and_then(Json::as_str), Some("pool"));
+        assert_eq!(
+            v.get("xs").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(1)
+        );
+        assert!(v.get("missing").is_none());
+        assert!(Json::Null.get("count").is_none());
+        assert!(Json::str("x").as_f64().is_none());
+        assert!(Json::num(1).as_str().is_none());
+        assert!(Json::num(1).as_arr().is_none());
     }
 
     #[test]

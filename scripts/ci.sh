@@ -43,6 +43,16 @@ TRNG_POOL_SMOKE_BYTES=${TRNG_POOL_SMOKE_BYTES:-1000000} \
 TRNG_POOL_SMOKE_SHARDS=${TRNG_POOL_SMOKE_SHARDS:-2} \
     cargo run -q --release --offline -p trng-pool --bin pool_smoke
 
+# Serving-layer smoke: daemon on an ephemeral loopback port, ~1 MB
+# fetched by four concurrent clients (one deliberately over quota and
+# throttled, not errored), metrics scrape, graceful drain with every
+# worker joined. Exercises the frame protocol, token buckets, and the
+# shared pool handle end to end.
+echo "==> serve smoke (4 clients, ~1 MB, quota + metrics + drain)"
+TRNG_SERVE_SMOKE_BYTES=${TRNG_SERVE_SMOKE_BYTES:-327680} \
+TRNG_SERVE_SMOKE_SHARDS=${TRNG_SERVE_SMOKE_SHARDS:-2} \
+    cargo run -q --release --offline -p trng-serve --bin serve_smoke
+
 # Hot-path regression gate: quick run of the per-bit bench, failing
 # if the raw-bit cost regresses to more than 2x the checked-in
 # baseline (BENCH_hotpath.json: after_ns_per_bit ~ 1615 ns/bit on the

@@ -1,0 +1,387 @@
+//! End-to-end tests for the entropy daemon, all on loopback with
+//! ephemeral ports (parallel-safe, no fixed resources).
+//!
+//! The centerpiece is the byte-identity test: concurrent clients of a
+//! server over a *deterministic* pool must between them receive
+//! exactly the pool's replayable byte stream, partitioned into
+//! contiguous per-request slices — the network layer may reorder whole
+//! requests but can never tear, duplicate, or drop bytes inside one.
+
+use std::time::{Duration, Instant};
+
+use trng_core::health::{HealthStatus, OnlineHealth};
+use trng_core::trng::TrngConfig;
+use trng_model::params::{DesignParams, PlatformParams};
+use trng_pool::{
+    Conditioning, EntropyPool, FaultInjection, PoolConfig, PoolHandle, ShardFault, ShardState,
+};
+use trng_serve::{client, Client, FetchError, QuotaConfig, ServeConfig, Server};
+
+/// Drift-frozen, injection-locked configuration; a running shard
+/// swapped onto it reliably trips the continuous tests.
+fn dead_config() -> TrngConfig {
+    let mut config = TrngConfig::ideal();
+    config.platform = PlatformParams::new(480.0, 17.0, 0.05).expect("valid");
+    config.design = DesignParams {
+        k: 4,
+        n_a: 1,
+        np: 1,
+        f_clk_hz: (1e12f64 / (21.0 * 480.0)).round() as u64,
+        ..DesignParams::paper_k4()
+    };
+    config
+}
+
+fn online_handle(config: PoolConfig) -> PoolHandle {
+    let handle = EntropyPool::new(config).expect("pool").into_shared();
+    handle
+        .wait_online(Duration::from_secs(120))
+        .expect("admission");
+    handle
+}
+
+/// In-process replay of a deterministic pool config: the reference
+/// byte stream the served bytes must match.
+fn replay(config: PoolConfig, n: usize) -> Vec<u8> {
+    let mut pool = EntropyPool::new(config).expect("replay pool");
+    let mut bytes = vec![0u8; n];
+    pool.fill_bytes(&mut bytes).expect("replay fill");
+    bytes
+}
+
+fn assert_stream_health_clean(bytes: &[u8]) {
+    let mut gate = OnlineHealth::new(0.5);
+    for &byte in bytes {
+        for bit in (0..8).rev().map(|i| byte >> i & 1 == 1) {
+            assert_eq!(
+                gate.push(bit),
+                HealthStatus::Ok,
+                "delivered stream alarmed the continuous tests"
+            );
+        }
+    }
+}
+
+/// Acceptance centerpiece: N concurrent clients each fetch 64 KiB
+/// from a deterministic pool; every client's bytes are a contiguous
+/// slice of the in-process replay, and the slices tile it exactly.
+#[test]
+fn concurrent_clients_tile_the_deterministic_replay_stream() {
+    const CLIENTS: usize = 3;
+    const FETCH: usize = 64 * 1024;
+    let config = || {
+        PoolConfig::new(TrngConfig::paper_k1(), 2)
+            .with_conditioning(Conditioning::Raw)
+            .with_seed(0x7E57)
+            .deterministic(true)
+    };
+    let server = Server::start(online_handle(config()), ServeConfig::default()).expect("server");
+    let addr = server.local_addr();
+
+    let fetchers: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            std::thread::spawn(move || client::fetch(addr, FETCH as u32).expect("client fetch"))
+        })
+        .collect();
+    let buffers: Vec<Vec<u8>> = fetchers
+        .into_iter()
+        .map(|h| h.join().expect("client thread"))
+        .collect();
+
+    let reference = replay(config(), CLIENTS * FETCH);
+    // Each fill holds the pool lock end to end, so each client's
+    // buffer is one contiguous replay slice; which slice depends only
+    // on scheduling order. Locate each and demand a perfect tiling.
+    let mut offsets: Vec<usize> = buffers
+        .iter()
+        .map(|buf| {
+            reference
+                .windows(FETCH)
+                .position(|w| w == buf.as_slice())
+                .expect("client bytes are not a contiguous slice of the replay stream")
+        })
+        .collect();
+    offsets.sort_unstable();
+    assert_eq!(
+        offsets,
+        (0..CLIENTS).map(|i| i * FETCH).collect::<Vec<_>>(),
+        "client fetches must tile the replay stream exactly"
+    );
+
+    let report = server.shutdown();
+    assert_eq!(report.bytes_served, (CLIENTS * FETCH) as u64);
+    assert_eq!(report.requests_ok, CLIENTS as u64);
+    assert!(
+        !report.hit_deadline,
+        "nothing in flight, drain must be instant"
+    );
+    assert_eq!(report.workers_joined, ServeConfig::default().workers);
+}
+
+/// Quota is per-connection: the second over-budget request on one
+/// connection is throttled (typed as a wait, not an error), while a
+/// fresh connection's burst is untouched.
+#[test]
+fn quota_throttles_within_a_connection_but_not_across_connections() {
+    let config = PoolConfig::new(TrngConfig::paper_k1(), 1)
+        .with_conditioning(Conditioning::Raw)
+        .with_seed(0x0A11)
+        .deterministic(true);
+    let server = Server::start(
+        online_handle(config),
+        ServeConfig::default().with_quota(QuotaConfig::new(8192.0, 2048)),
+    )
+    .expect("server");
+
+    // An over-burst *first* request makes the deficit exact — the
+    // bucket is still full at admission, so the wait is
+    // (6144 - 2048) / 8192 = 0.5 s regardless of pool or test pacing.
+    let mut first = Client::connect(server.local_addr()).expect("connect");
+    let t0 = Instant::now();
+    assert_eq!(first.fetch(6144).expect("throttled fetch").len(), 6144);
+    assert!(
+        t0.elapsed() >= Duration::from_millis(450),
+        "over-burst fetch returned in {:?} — quota deficit was not enforced",
+        t0.elapsed()
+    );
+
+    // A fresh connection gets a fresh bucket: within burst, no new
+    // throttle event.
+    assert_eq!(
+        client::fetch(server.local_addr(), 2048)
+            .expect("fresh burst")
+            .len(),
+        2048
+    );
+    let stats = server.stats();
+    assert_eq!(
+        stats.throttle_events, 1,
+        "only the over-burst request throttles"
+    );
+    assert_eq!(stats.throttled, Duration::from_millis(500));
+    assert_eq!(stats.requests_ok, 2);
+    drop(server);
+}
+
+/// Graceful drain: a request in flight when shutdown begins is served
+/// to completion, counted as drained, and the listener is gone
+/// afterwards.
+#[test]
+fn drain_completes_in_flight_requests_then_refuses_connections() {
+    const FETCH: u32 = 128 * 1024; // well past the rings' ~16 KiB prefill
+    let config = PoolConfig::new(TrngConfig::paper_k1(), 2)
+        .with_conditioning(Conditioning::Raw)
+        .with_seed(0xD12A);
+    let server = Server::start(
+        online_handle(config),
+        ServeConfig::default().with_drain_deadline(Duration::from_secs(30)),
+    )
+    .expect("server");
+    let addr = server.local_addr();
+
+    let fetcher =
+        std::thread::spawn(move || client::fetch(addr, FETCH).expect("in-flight fetch survives"));
+    // Let the request reach the pool, then drain under it.
+    std::thread::sleep(Duration::from_millis(150));
+    let report = server.shutdown();
+
+    let bytes = fetcher.join().expect("client thread");
+    assert_eq!(bytes.len(), FETCH as usize);
+    assert_eq!(
+        report.drained_requests, 1,
+        "the in-flight request must be accounted as drained"
+    );
+    assert!(!report.hit_deadline);
+    assert_eq!(report.workers_joined, ServeConfig::default().workers);
+
+    // The acceptor is gone; a new client cannot complete a fetch.
+    let refused = match Client::connect_with_timeout(addr, Duration::from_millis(500)) {
+        Err(_) => true,
+        Ok(mut late) => late.fetch(16).is_err(),
+    };
+    assert!(refused, "server still serving after shutdown");
+}
+
+/// Fault-injection soak over the wire: a scripted mid-stream transient
+/// fault quarantines one shard, the client still receives exactly the
+/// healthy replay bytes, and the stats record exactly the one alarm.
+#[test]
+fn transient_fault_soak_delivers_only_healthy_replay_bytes() {
+    const TOTAL: usize = 16 * 1024;
+    const CHUNK: u32 = 4 * 1024;
+    let config = || {
+        PoolConfig::new(TrngConfig::paper_k1(), 3)
+            .with_conditioning(Conditioning::DesignXor)
+            .with_seed(0x50AC)
+            .with_fault(FaultInjection {
+                shard: 1,
+                after_bytes: 2048,
+                fault: ShardFault::Config(Box::new(dead_config())),
+                transient: true,
+            })
+            .deterministic(true)
+    };
+    let server = Server::start(online_handle(config()), ServeConfig::default()).expect("server");
+
+    let mut conn = Client::connect(server.local_addr()).expect("connect");
+    let mut delivered = Vec::with_capacity(TOTAL);
+    while delivered.len() < TOTAL {
+        delivered.extend_from_slice(&conn.fetch(CHUNK).expect("fetch across the fault"));
+    }
+
+    // Byte-for-byte the healthy replay stream: the quarantined
+    // stretch never reaches the wire.
+    assert_eq!(delivered, replay(config(), TOTAL));
+    assert_stream_health_clean(&delivered);
+
+    // Exactly the injected incident, visible through the server.
+    let stats = server.pool_stats();
+    assert_eq!(stats.total_alarms(), 1);
+    assert_eq!(stats.shards[1].alarms, 1);
+    assert_eq!(stats.shards[1].readmissions, 1);
+    assert_eq!(stats.shards[1].state, ShardState::Online);
+    assert_eq!(stats.bytes_delivered, TOTAL as u64);
+
+    let report = server.shutdown();
+    assert_eq!(report.bytes_served, TOTAL as u64);
+}
+
+/// A persistent fault retires the only shard: the client receives a
+/// typed exhaustion frame carrying the healthy prefix (matching the
+/// in-process replay), and the server itself stays up and reports
+/// `exhausted` on its metrics endpoint.
+#[test]
+fn exhaustion_is_a_typed_frame_and_the_server_survives() {
+    let config = || {
+        PoolConfig::new(TrngConfig::paper_k1(), 1)
+            .with_conditioning(Conditioning::DesignXor)
+            .with_seed(0xD1E)
+            .with_fault(FaultInjection {
+                shard: 0,
+                after_bytes: 1024,
+                fault: ShardFault::Config(Box::new(dead_config())),
+                transient: false,
+            })
+            .deterministic(true)
+    };
+    let server = Server::start(online_handle(config()), ServeConfig::default()).expect("server");
+
+    let partial = match client::fetch(server.local_addr(), 1 << 20) {
+        Err(FetchError::Exhausted { partial }) => partial,
+        other => panic!("expected a typed exhaustion error, got {other:?}"),
+    };
+    assert!(
+        partial.len() >= 1024,
+        "healthy prefix was {}",
+        partial.len()
+    );
+    assert_stream_health_clean(&partial);
+
+    // The prefix matches what the same pool delivers in process.
+    let mut reference = EntropyPool::new(config()).expect("replay pool");
+    let mut sink = vec![0u8; 1 << 20];
+    let filled = match reference.fill_bytes(&mut sink) {
+        Err(trng_pool::PoolError::SourcesExhausted { filled }) => filled,
+        other => panic!("replay must exhaust too, got {other:?}"),
+    };
+    assert_eq!(partial, sink[..filled]);
+
+    // The daemon outlives its sources: further requests get an empty
+    // typed frame, and the metrics endpoint says so.
+    match client::fetch(server.local_addr(), 1024) {
+        Err(FetchError::Exhausted { partial }) => assert!(partial.is_empty()),
+        other => panic!("expected exhaustion on a dry pool, got {other:?}"),
+    }
+    let metrics =
+        client::scrape_metrics(server.metrics_addr().expect("metrics on")).expect("scrape");
+    assert_eq!(metrics.lines().next(), Some("exhausted"));
+    assert_eq!(server.stats().requests_exhausted, 2);
+    assert_eq!(server.pool_stats().shards[0].state, ShardState::Retired);
+    drop(server);
+}
+
+/// An oversize request is refused with a typed cap frame and the
+/// connection remains usable.
+#[test]
+fn oversize_request_returns_the_cap_and_keeps_the_connection() {
+    let config = PoolConfig::new(TrngConfig::paper_k1(), 1)
+        .with_conditioning(Conditioning::Raw)
+        .with_seed(0xB16)
+        .deterministic(true);
+    let server = Server::start(
+        online_handle(config),
+        ServeConfig::default().with_max_request(4096),
+    )
+    .expect("server");
+
+    let mut conn = Client::connect(server.local_addr()).expect("connect");
+    match conn.fetch(8192) {
+        Err(FetchError::TooLarge { cap }) => assert_eq!(cap, 4096),
+        other => panic!("expected a typed too-large error, got {other:?}"),
+    }
+    assert_eq!(conn.fetch(1024).expect("connection survives").len(), 1024);
+    assert_eq!(server.stats().requests_rejected, 1);
+    drop(server);
+}
+
+/// A pool deadline shorter than the request maps to a typed timeout
+/// frame carrying the partial healthy prefix.
+#[test]
+fn pool_deadline_maps_to_a_typed_timeout_frame() {
+    const FETCH: u32 = 1 << 20; // far beyond what 80 ms can deliver
+    let config = PoolConfig::new(TrngConfig::paper_k1(), 1)
+        .with_conditioning(Conditioning::Raw)
+        .with_seed(0x71E0);
+    let server = Server::start(
+        online_handle(config),
+        ServeConfig::default().with_request_timeout(Duration::from_millis(80)),
+    )
+    .expect("server");
+
+    match client::fetch(server.local_addr(), FETCH) {
+        Err(FetchError::Timeout { partial }) => {
+            assert!(
+                partial.len() < FETCH as usize,
+                "a timeout must mean a shortfall"
+            );
+        }
+        other => panic!("expected a typed timeout error, got {other:?}"),
+    }
+    let stats = server.stats();
+    assert_eq!(stats.requests_timeout, 1);
+    assert_eq!(stats.requests_ok, 0);
+    drop(server);
+}
+
+/// The metrics endpoint renders a status line plus JSON naming both
+/// pool and server counters, readable with the workspace JSON tools.
+#[test]
+fn metrics_endpoint_reports_status_and_counters() {
+    let config = PoolConfig::new(TrngConfig::paper_k1(), 2)
+        .with_conditioning(Conditioning::Raw)
+        .with_seed(0x3E7)
+        .deterministic(true);
+    let server = Server::start(online_handle(config), ServeConfig::default()).expect("server");
+    let n = 2048usize;
+    client::fetch(server.local_addr(), n as u32).expect("fetch");
+
+    let body = client::scrape_metrics(server.metrics_addr().expect("metrics on")).expect("scrape");
+    let mut lines = body.lines();
+    assert_eq!(lines.next(), Some("healthy"));
+    let json: String = lines.collect::<Vec<_>>().join("\n");
+    for needle in [
+        "\"status\": \"healthy\"",
+        "\"pool\"",
+        "\"serve\"",
+        &format!("\"bytes_delivered\": {n}"),
+        &format!("\"bytes_served\": {n}"),
+        "\"requests_ok\": 1",
+        "\"online_shards\": 2",
+    ] {
+        assert!(
+            json.contains(needle),
+            "metrics JSON lacks {needle}:\n{json}"
+        );
+    }
+    drop(server);
+}
