@@ -90,10 +90,84 @@ pub struct StartupReport {
     pub online_ok: bool,
 }
 
+/// Bit set in [`StartupReport::failure_mask`] when the monobit band
+/// check failed.
+pub const STARTUP_FAIL_MONOBIT: u8 = 1 << 0;
+/// Bit set in [`StartupReport::failure_mask`] when the longest-run
+/// check failed.
+pub const STARTUP_FAIL_LONG_RUN: u8 = 1 << 1;
+/// Bit set in [`StartupReport::failure_mask`] when the missed-edge
+/// rate check failed.
+pub const STARTUP_FAIL_MISSED_EDGE: u8 = 1 << 2;
+/// Bit set in [`StartupReport::failure_mask`] when a continuous
+/// online test alarmed during the startup run.
+pub const STARTUP_FAIL_ONLINE: u8 = 1 << 3;
+
 impl StartupReport {
     /// `true` when every sub-check passed and the source may go online.
     pub fn passed(&self) -> bool {
         self.monobit_ok && self.long_run_ok && self.missed_edge_ok && self.online_ok
+    }
+
+    /// Compact bitmask of the failed sub-checks (0 when the report
+    /// passed): [`STARTUP_FAIL_MONOBIT`] | [`STARTUP_FAIL_LONG_RUN`] |
+    /// [`STARTUP_FAIL_MISSED_EDGE`] | [`STARTUP_FAIL_ONLINE`].
+    ///
+    /// Multi-instance supervisors (e.g. the `trng-pool` respawn path)
+    /// persist this mask in their incident records so an evaluator can
+    /// see *which* startup check rejected a retired or respawned
+    /// instance, not just that one did.
+    pub fn failure_mask(&self) -> u8 {
+        let mut mask = 0;
+        if !self.monobit_ok {
+            mask |= STARTUP_FAIL_MONOBIT;
+        }
+        if !self.long_run_ok {
+            mask |= STARTUP_FAIL_LONG_RUN;
+        }
+        if !self.missed_edge_ok {
+            mask |= STARTUP_FAIL_MISSED_EDGE;
+        }
+        if !self.online_ok {
+            mask |= STARTUP_FAIL_ONLINE;
+        }
+        mask
+    }
+
+    /// Names of the failed sub-checks, in mask-bit order (empty when
+    /// the report passed).
+    pub fn failed_checks(&self) -> Vec<&'static str> {
+        let mask = self.failure_mask();
+        [
+            (STARTUP_FAIL_MONOBIT, "monobit"),
+            (STARTUP_FAIL_LONG_RUN, "long-run"),
+            (STARTUP_FAIL_MISSED_EDGE, "missed-edge"),
+            (STARTUP_FAIL_ONLINE, "online-alarm"),
+        ]
+        .into_iter()
+        .filter(|(bit, _)| mask & bit != 0)
+        .map(|(_, name)| name)
+        .collect()
+    }
+}
+
+impl fmt::Display for StartupReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.passed() {
+            write!(
+                f,
+                "startup passed ({} ones, longest run {})",
+                self.ones, self.longest_run
+            )
+        } else {
+            write!(
+                f,
+                "startup failed [{}] ({} ones, longest run {})",
+                self.failed_checks().join(", "),
+                self.ones,
+                self.longest_run
+            )
+        }
     }
 }
 
@@ -424,5 +498,41 @@ mod tests {
             SelfTestError::OnlineAlarm.to_string(),
             "continuous online test alarm"
         );
+    }
+
+    #[test]
+    fn failure_mask_names_every_failed_check() {
+        let passed = StartupReport {
+            ones: 1024,
+            longest_run: 9,
+            monobit_ok: true,
+            long_run_ok: true,
+            missed_edge_ok: true,
+            online_ok: true,
+        };
+        assert_eq!(passed.failure_mask(), 0);
+        assert!(passed.failed_checks().is_empty());
+        assert!(passed.to_string().contains("startup passed"));
+
+        let mut failed = passed;
+        failed.monobit_ok = false;
+        failed.online_ok = false;
+        assert_eq!(
+            failed.failure_mask(),
+            STARTUP_FAIL_MONOBIT | STARTUP_FAIL_ONLINE
+        );
+        assert_eq!(failed.failed_checks(), vec!["monobit", "online-alarm"]);
+        let text = failed.to_string();
+        assert!(text.contains("startup failed"), "{text}");
+        assert!(text.contains("monobit") && text.contains("online-alarm"));
+
+        let mut edge = passed;
+        edge.long_run_ok = false;
+        edge.missed_edge_ok = false;
+        assert_eq!(
+            edge.failure_mask(),
+            STARTUP_FAIL_LONG_RUN | STARTUP_FAIL_MISSED_EDGE
+        );
+        assert_eq!(edge.failed_checks(), vec!["long-run", "missed-edge"]);
     }
 }

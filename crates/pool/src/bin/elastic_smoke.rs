@@ -1,0 +1,147 @@
+//! CI smoke check for elastic shard management: a 3-shard
+//! deterministic pool with a scripted persistent fault on shard 1 and
+//! a respawn budget. Fails loudly unless exactly one respawn heals the
+//! pool, the delivered stream re-passes the continuous tests (zero
+//! unhealthy bytes), and the incident journal records exactly the
+//! scripted story.
+//!
+//! Environment overrides:
+//! * `TRNG_ELASTIC_SMOKE_BYTES` — bytes to draw (default 32 KiB)
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use trng_core::health::{HealthStatus, OnlineHealth};
+use trng_core::trng::TrngConfig;
+use trng_model::params::{DesignParams, PlatformParams};
+use trng_pool::{
+    Conditioning, EntropyPool, FaultInjection, IncidentKind, PoolConfig, PoolHealth, RespawnPolicy,
+    ShardFault, ShardState,
+};
+
+/// Drift-frozen, injection-locked configuration: a shard swapped onto
+/// it reliably trips the continuous tests and fails re-admission.
+fn dead_config() -> TrngConfig {
+    let mut config = TrngConfig::ideal();
+    config.platform = PlatformParams::new(480.0, 17.0, 0.05).expect("valid");
+    config.design = DesignParams {
+        k: 4,
+        n_a: 1,
+        np: 1,
+        f_clk_hz: (1e12f64 / (21.0 * 480.0)).round() as u64,
+        ..DesignParams::paper_k4()
+    };
+    config
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    match std::env::var(name) {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("{name} must be an integer, got {v:?}")),
+        Err(_) => default,
+    }
+}
+
+fn main() -> ExitCode {
+    let total_bytes = env_usize("TRNG_ELASTIC_SMOKE_BYTES", 32 << 10);
+    eprintln!("elastic_smoke: 3 shards, persistent fault on shard 1, {total_bytes} bytes");
+
+    let config = PoolConfig::new(TrngConfig::paper_k1(), 3)
+        .with_conditioning(Conditioning::DesignXor)
+        .with_seed(0xE1A57)
+        .with_block_bytes(64)
+        .with_fault(FaultInjection {
+            shard: 1,
+            after_bytes: 2048,
+            fault: ShardFault::Config(Box::new(dead_config())),
+            transient: false,
+        })
+        .with_respawn(RespawnPolicy::new(3, 1))
+        .deterministic(true);
+    let mut pool = match EntropyPool::new(config) {
+        Ok(pool) => pool,
+        Err(e) => {
+            eprintln!("elastic_smoke: FAILED to build pool: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = pool.wait_online(Duration::from_secs(60)) {
+        eprintln!("elastic_smoke: FAILED waiting for admission: {e}");
+        return ExitCode::FAILURE;
+    }
+    let mut delivered = vec![0u8; total_bytes];
+    if let Err(e) = pool.fill_bytes(&mut delivered) {
+        eprintln!("elastic_smoke: FAILED to fill: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let stats = pool.stats();
+    print!("{stats}");
+    let mut ok = true;
+
+    // Zero unhealthy bytes: the delivered stream re-passes the same
+    // continuous tests that guard the shards.
+    let mut gate = OnlineHealth::new(0.5);
+    let clean = delivered
+        .iter()
+        .flat_map(|&byte| (0..8).rev().map(move |i| byte >> i & 1 == 1))
+        .all(|bit| gate.push(bit) == HealthStatus::Ok);
+    if !clean {
+        eprintln!("elastic_smoke: FAILED: delivered stream alarmed a fresh health gate");
+        ok = false;
+    }
+
+    // Exactly one respawn, healing shard 1's death.
+    if stats.respawns != 1 {
+        eprintln!(
+            "elastic_smoke: FAILED: {} respawns, expected 1",
+            stats.respawns
+        );
+        ok = false;
+    }
+    if stats.shards.len() != 4
+        || stats.shards[1].state != ShardState::Retired
+        || !stats.shards[1].superseded
+        || stats.shards[3].state != ShardState::Online
+    {
+        eprintln!("elastic_smoke: FAILED: pool did not heal shard 1 via shard 3");
+        ok = false;
+    }
+    if stats.health() != PoolHealth::Healthy {
+        eprintln!("elastic_smoke: FAILED: final health {}", stats.health());
+        ok = false;
+    }
+
+    // Journal length matches the script: 3 spawns + alarm + quarantine
+    // + retire on shard 1 + one respawn = 7 events, none evicted.
+    let expected = [
+        (0usize, IncidentKind::Spawn),
+        (1, IncidentKind::Spawn),
+        (2, IncidentKind::Spawn),
+        (1, IncidentKind::Alarm),
+        (1, IncidentKind::Quarantine),
+        (1, IncidentKind::Retire),
+        (3, IncidentKind::Respawn),
+    ];
+    let got: Vec<(usize, IncidentKind)> = stats.journal.iter().map(|e| (e.shard, e.kind)).collect();
+    if got != expected {
+        eprintln!("elastic_smoke: FAILED: journal mismatch: {got:?}");
+        ok = false;
+    }
+    if stats.journal_recorded != expected.len() as u64 {
+        eprintln!(
+            "elastic_smoke: FAILED: journal recorded {} events, expected {}",
+            stats.journal_recorded,
+            expected.len()
+        );
+        ok = false;
+    }
+
+    if ok {
+        eprintln!("elastic_smoke: OK ({} journal events)", stats.journal.len());
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -27,6 +27,14 @@
 //!   backend whose byte stream and [`PoolStats`] are a pure function of
 //!   the configuration and seed, including scripted shard failures via
 //!   [`FaultInjection`].
+//! * With a [`RespawnPolicy`], the pool is *self-healing*: when
+//!   retirements drop the online count below the policy's floor, a
+//!   supervisor spawns a replacement shard on a fresh disjoint fabric
+//!   placement. Replacements pass the same start-up gate before
+//!   contributing, respawn storms are bounded by budget and backoff,
+//!   and every lifecycle transition lands in a bounded lock-free
+//!   incident [`journal`] that [`PoolStats`] snapshots for after-the-
+//!   fact audit.
 //! * [`PoolHandle`] ([`EntropyPool::into_shared`]) is a cheaply
 //!   clonable, thread-safe handle serializing many consumers onto one
 //!   pool — the request interface a network serving layer (such as
@@ -55,12 +63,14 @@
 #![warn(missing_docs)]
 
 pub mod handle;
+pub mod journal;
 pub mod pool;
 pub mod ring;
 pub mod shard;
 pub mod stats;
 
 pub use handle::PoolHandle;
-pub use pool::{EntropyPool, PoolConfig, PoolError};
+pub use journal::{IncidentEvent, IncidentKind, Journal};
+pub use pool::{EntropyPool, PoolConfig, PoolError, RespawnPolicy};
 pub use shard::{Conditioning, FaultInjection, ShardFault};
-pub use stats::{PoolHealth, PoolStats, ShardState, ShardStats};
+pub use stats::{PoolHealth, PoolStats, ShardOrigin, ShardState, ShardStats};

@@ -24,12 +24,69 @@ use std::time::{Duration, Instant};
 
 use trng_core::trng::{BuildTrngError, TrngConfig};
 
+use crate::journal::{IncidentKind, Journal, DEFAULT_JOURNAL_CAPACITY};
 use crate::ring;
 use crate::shard::{mix_seed, Conditioning, FaultInjection, Shard};
 use crate::stats::{PoolStats, ShardShared, ShardState};
 
 /// How long a parked worker or consumer naps before re-checking.
 const NAP: Duration = Duration::from_micros(200);
+
+/// Elastic shard management: when retirements drop the number of
+/// serviceable (non-retired) shards below `online_floor`, the pool's
+/// supervisor spawns a replacement shard on the next fresh disjoint
+/// fabric placement ([`TrngConfig::for_shard`] at the next unused
+/// index). Replacements pass the same AIS-31-style start-up gate as
+/// the initial complement before contributing a byte; respawn storms
+/// are bounded by `max_respawns` (a lifetime budget) and `backoff`
+/// (minimum wall-clock spacing between attempts, threaded backend
+/// only — the deterministic replay backend ignores it so replay stays
+/// a pure function of the configuration).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RespawnPolicy {
+    /// Minimum number of serviceable shards; a respawn triggers when
+    /// the non-retired count drops below this.
+    pub online_floor: usize,
+    /// Lifetime budget of replacement spawns (attempts count even if
+    /// the replacement fails its admission gate).
+    pub max_respawns: u32,
+    /// Minimum spacing between spawn attempts (threaded backend). The
+    /// timer arms when a deficit is first noticed, so the first
+    /// attempt also waits this long after the triggering retirement.
+    pub backoff: Duration,
+    /// Settle time a freshly spawned replacement waits before its
+    /// first admission attempt (threaded backend only, like
+    /// `backoff`). A re-placed ring-oscillator chain needs its
+    /// operating point to stabilise before the start-up test is
+    /// meaningful; the pool reads `recovering` for at least this long.
+    pub settle: Duration,
+}
+
+impl RespawnPolicy {
+    /// A policy holding `online_floor` shards serviceable with a
+    /// lifetime budget of `max_respawns` replacements, no backoff and
+    /// no settle time.
+    pub fn new(online_floor: usize, max_respawns: u32) -> Self {
+        RespawnPolicy {
+            online_floor,
+            max_respawns,
+            backoff: Duration::ZERO,
+            settle: Duration::ZERO,
+        }
+    }
+
+    /// Sets the minimum spacing between spawn attempts, builder-style.
+    pub fn with_backoff(mut self, backoff: Duration) -> Self {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Sets the replacement settle time, builder-style.
+    pub fn with_settle(mut self, settle: Duration) -> Self {
+        self.settle = settle;
+        self
+    }
+}
 
 /// Configuration of an [`EntropyPool`].
 #[derive(Debug, Clone)]
@@ -52,8 +109,16 @@ pub struct PoolConfig {
     /// `true` selects the single-threaded deterministic replay
     /// backend.
     pub deterministic: bool,
-    /// Optional scripted fault, for tests and failover drills.
-    pub fault: Option<FaultInjection>,
+    /// Scripted fault schedule, for tests and failover drills. Any
+    /// number of faults, each targeting one shard index; with a
+    /// [`RespawnPolicy`] the schedule may also target replacement
+    /// indices (`shards..shards + max_respawns`).
+    pub faults: Vec<FaultInjection>,
+    /// Elastic shard management; `None` disables respawning.
+    pub respawn: Option<RespawnPolicy>,
+    /// Capacity of the bounded incident journal, in events (rounded up
+    /// to a power of two; oldest events are evicted once exceeded).
+    pub journal_capacity: usize,
 }
 
 impl PoolConfig {
@@ -70,7 +135,9 @@ impl PoolConfig {
             block_bytes: 256,
             max_readmissions: 2,
             deterministic: false,
-            fault: None,
+            faults: Vec::new(),
+            respawn: None,
+            journal_capacity: DEFAULT_JOURNAL_CAPACITY,
         }
     }
 
@@ -110,9 +177,28 @@ impl PoolConfig {
         self
     }
 
-    /// Scripts a fault injection, builder-style.
+    /// Scripts one fault injection, builder-style (appends to the
+    /// schedule; call repeatedly for multi-fault campaigns).
     pub fn with_fault(mut self, fault: FaultInjection) -> Self {
-        self.fault = Some(fault);
+        self.faults.push(fault);
+        self
+    }
+
+    /// Replaces the whole fault schedule, builder-style.
+    pub fn with_faults(mut self, faults: Vec<FaultInjection>) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Enables elastic shard management, builder-style.
+    pub fn with_respawn(mut self, policy: RespawnPolicy) -> Self {
+        self.respawn = Some(policy);
+        self
+    }
+
+    /// Sets the incident-journal capacity, builder-style.
+    pub fn with_journal_capacity(mut self, events: usize) -> Self {
+        self.journal_capacity = events;
         self
     }
 }
@@ -138,9 +224,10 @@ pub enum PoolError {
         /// Bytes delivered before the deadline.
         filled: usize,
     },
-    /// Every shard is retired; `filled` healthy bytes were written
-    /// before the pool ran dry. The delivered prefix is health-clean —
-    /// total failure surfaces as this error, never as biased bytes.
+    /// Every shard is retired and no respawn budget remains; `filled`
+    /// healthy bytes were written before the pool ran dry. The
+    /// delivered prefix is health-clean — total failure surfaces as
+    /// this error, never as biased bytes.
     SourcesExhausted {
         /// Bytes delivered before exhaustion.
         filled: usize,
@@ -180,11 +267,17 @@ impl Error for PoolError {
 struct Threaded {
     consumers: Vec<ring::Consumer>,
     stop: Arc<AtomicBool>,
-    handles: Vec<JoinHandle<()>>,
+    /// One slot per shard; `None` once the supervisor has joined a
+    /// retired shard's worker.
+    handles: Vec<Option<JoinHandle<()>>>,
+    ring_capacity: usize,
 }
 
 struct Inline {
-    shards: Vec<Shard>,
+    /// One slot per shard; `None` marks a respawn attempt whose
+    /// placement failed to build (slot kept so indices stay aligned
+    /// with the pool's `shared` vector).
+    shards: Vec<Option<Shard>>,
     queues: Vec<VecDeque<u8>>,
     block_bytes: usize,
 }
@@ -192,6 +285,25 @@ struct Inline {
 enum Backend {
     Threaded(Threaded),
     Inline(Inline),
+}
+
+/// State of the elastic-management supervisor: everything needed to
+/// build a replacement shard, plus the budget/backoff bookkeeping.
+/// Supervision piggybacks on consumer calls (`fill_bytes`,
+/// `try_fill_bytes`, `wait_online`) — there is no supervisor thread.
+struct Supervisor {
+    policy: RespawnPolicy,
+    base: TrngConfig,
+    seed: u64,
+    conditioning: Conditioning,
+    block_bytes: usize,
+    max_readmissions: u32,
+    faults: Vec<FaultInjection>,
+    /// Next fresh fabric placement index.
+    next_index: u32,
+    /// Respawns already spent.
+    used: u32,
+    last_attempt: Option<Instant>,
 }
 
 /// A sharded, health-gated entropy service.
@@ -219,6 +331,9 @@ pub struct EntropyPool {
     bytes_delivered: u64,
     fill_calls: u64,
     max_refill_wait: Duration,
+    journal: Arc<Journal>,
+    supervisor: Option<Supervisor>,
+    workers_joined: u64,
 }
 
 impl fmt::Debug for EntropyPool {
@@ -252,14 +367,27 @@ impl EntropyPool {
         if config.shards == 0 {
             return Err(PoolError::NoShards);
         }
-        if let Some(f) = &config.fault {
-            if f.shard >= config.shards {
+        let budget = config
+            .respawn
+            .as_ref()
+            .map_or(0, |p| p.max_respawns as usize);
+        for f in &config.faults {
+            if f.shard >= config.shards + budget {
                 return Err(PoolError::InvalidConfig(format!(
-                    "fault targets shard {} but the pool has {}",
-                    f.shard, config.shards
+                    "fault targets shard {} but the pool has {} (+{} respawn budget)",
+                    f.shard, config.shards, budget
                 )));
             }
         }
+        if let Some(policy) = &config.respawn {
+            if policy.online_floor == 0 || policy.online_floor > config.shards {
+                return Err(PoolError::InvalidConfig(format!(
+                    "respawn floor {} outside 1..={} shards",
+                    policy.online_floor, config.shards
+                )));
+            }
+        }
+        let journal = Arc::new(Journal::new(config.journal_capacity));
         let shared: Vec<Arc<ShardShared>> = (0..config.shards)
             .map(|_| Arc::new(ShardShared::default()))
             .collect();
@@ -269,24 +397,31 @@ impl EntropyPool {
                 .base
                 .for_shard(i as u32)
                 .map_err(|error| PoolError::Build { shard: i, error })?;
-            let fault = config.fault.clone().filter(|f| f.shard == i);
+            let faults: Vec<FaultInjection> = config
+                .faults
+                .iter()
+                .filter(|f| f.shard == i)
+                .cloned()
+                .collect();
             let shard = Shard::new(
                 i,
                 shard_config,
                 mix_seed(config.seed, i as u64),
                 config.conditioning,
-                fault,
+                faults,
                 config.max_readmissions,
                 Arc::clone(shared_i),
+                Arc::clone(&journal),
             )
             .map_err(|error| PoolError::Build { shard: i, error })?;
+            journal.record(i, IncidentKind::Spawn, 0, 0, 0);
             shards.push(shard);
         }
 
         let backend = if config.deterministic {
             Backend::Inline(Inline {
                 queues: shards.iter().map(|_| VecDeque::new()).collect(),
-                shards,
+                shards: shards.into_iter().map(Some).collect(),
                 block_bytes: config.block_bytes,
             })
         } else {
@@ -303,14 +438,28 @@ impl EntropyPool {
                     .name(name)
                     .spawn(move || worker(shard, producer, stop, block_bytes))
                     .expect("spawn pool worker");
-                handles.push(handle);
+                handles.push(Some(handle));
             }
             Backend::Threaded(Threaded {
                 consumers,
                 stop,
                 handles,
+                ring_capacity: config.ring_capacity,
             })
         };
+
+        let supervisor = config.respawn.map(|policy| Supervisor {
+            policy,
+            base: config.base,
+            seed: config.seed,
+            conditioning: config.conditioning,
+            block_bytes: config.block_bytes,
+            max_readmissions: config.max_readmissions,
+            faults: config.faults,
+            next_index: config.shards as u32,
+            used: 0,
+            last_attempt: None,
+        });
 
         Ok(EntropyPool {
             shared,
@@ -319,12 +468,184 @@ impl EntropyPool {
             bytes_delivered: 0,
             fill_calls: 0,
             max_refill_wait: Duration::ZERO,
+            journal,
+            supervisor,
+            workers_joined: 0,
         })
     }
 
-    /// Number of shards (in any state).
+    /// Number of shards (in any state, replacements included).
     pub fn shard_count(&self) -> usize {
         self.shared.len()
+    }
+
+    /// `true` while a respawn is still possible: a policy is set and
+    /// its budget is unspent.
+    fn can_heal(&self) -> bool {
+        self.supervisor
+            .as_ref()
+            .is_some_and(|s| s.used < s.policy.max_respawns)
+    }
+
+    /// One supervision pass, piggybacked on every consumer call: joins
+    /// the worker threads of retired shards, then spawns replacement
+    /// shards while the serviceable (non-retired) count is below the
+    /// policy floor and budget/backoff allow. Returns `true` when at
+    /// least one replacement was spawned.
+    fn supervise(&mut self) -> bool {
+        if let Backend::Threaded(threaded) = &mut self.backend {
+            // A retired shard's worker body has returned (or is about
+            // to); join it so the thread is fully reclaimed.
+            for (i, shared) in self.shared.iter().enumerate() {
+                if shared.state() == ShardState::Retired {
+                    if let Some(handle) = threaded.handles[i].take() {
+                        let _ = handle.join();
+                        self.workers_joined += 1;
+                    }
+                }
+            }
+        }
+        let mut spawned = false;
+        loop {
+            let Some(sup) = &mut self.supervisor else {
+                return spawned;
+            };
+            let serviceable = self
+                .shared
+                .iter()
+                .filter(|s| s.state() != ShardState::Retired)
+                .count();
+            if serviceable >= sup.policy.online_floor || sup.used >= sup.policy.max_respawns {
+                return spawned;
+            }
+            // Backoff bounds respawn storms in the threaded backend.
+            // The deterministic replay backend ignores it: replay must
+            // stay a pure function of the configuration, never of
+            // wall-clock time. The timer arms when the deficit is
+            // first noticed, so even the first attempt waits out the
+            // configured spacing — the `degraded` window is observable
+            // before the pool flips to `recovering`.
+            if matches!(self.backend, Backend::Threaded(_)) {
+                match sup.last_attempt {
+                    Some(at) if at.elapsed() < sup.policy.backoff => return spawned,
+                    Some(_) => {}
+                    None => {
+                        sup.last_attempt = Some(Instant::now());
+                        if !sup.policy.backoff.is_zero() {
+                            return spawned;
+                        }
+                    }
+                }
+            }
+            sup.used += 1;
+            let index = sup.next_index;
+            sup.next_index += 1;
+            sup.last_attempt = Some(Instant::now());
+            let id = index as usize;
+            let shard_config = sup.base.for_shard(index);
+            let seed = mix_seed(sup.seed, u64::from(index));
+            let conditioning = sup.conditioning;
+            let block_bytes = sup.block_bytes;
+            let max_readmissions = sup.max_readmissions;
+            let settle = sup.policy.settle;
+            let faults: Vec<FaultInjection> = sup
+                .faults
+                .iter()
+                .filter(|f| f.shard == id)
+                .cloned()
+                .collect();
+            // The lowest-index retiree not yet superseded is the shard
+            // this replacement stands in for. (One always exists when
+            // the serviceable count is below the floor.)
+            let replaced = self
+                .shared
+                .iter()
+                .position(|s| s.state() == ShardState::Retired && !s.superseded())
+                .unwrap_or(id);
+            let replaced_snap = self.shared.get(replaced).map(|s| s.snapshot(replaced));
+            // The respawn incident is stamped against the *new* shard
+            // id, carrying the replaced id in `detail` and the
+            // retiree's final simulated time / healthy-byte offset.
+            self.journal.record(
+                id,
+                IncidentKind::Respawn,
+                replaced_snap
+                    .as_ref()
+                    .map_or(0, |s| s.sim_elapsed.as_nanos() as u64),
+                replaced_snap.as_ref().map_or(0, |s| s.bytes_produced),
+                replaced as u64,
+            );
+            let new_shared = Arc::new(ShardShared::default());
+            new_shared.mark_respawned(replaced);
+            let shard = shard_config.and_then(|config| {
+                Shard::new(
+                    id,
+                    config,
+                    seed,
+                    conditioning,
+                    faults,
+                    max_readmissions,
+                    Arc::clone(&new_shared),
+                    Arc::clone(&self.journal),
+                )
+            });
+            if let Some(s) = self.shared.get(replaced) {
+                s.set_superseded();
+            }
+            match shard {
+                Ok(shard) => {
+                    self.shared.push(Arc::clone(&new_shared));
+                    match &mut self.backend {
+                        Backend::Threaded(threaded) => {
+                            let (producer, consumer) = ring::ring(threaded.ring_capacity);
+                            threaded.consumers.push(consumer);
+                            let stop = Arc::clone(&threaded.stop);
+                            let name = format!("trng-pool-shard-{id}");
+                            let handle = std::thread::Builder::new()
+                                .name(name)
+                                .spawn(move || {
+                                    // Let the fresh placement settle
+                                    // before its admission gate runs.
+                                    if !settle.is_zero() {
+                                        std::thread::sleep(settle);
+                                    }
+                                    worker(shard, producer, stop, block_bytes)
+                                })
+                                .expect("spawn pool worker");
+                            threaded.handles.push(Some(handle));
+                        }
+                        Backend::Inline(inline) => {
+                            inline.shards.push(Some(shard));
+                            inline.queues.push(VecDeque::new());
+                        }
+                    }
+                    spawned = true;
+                }
+                Err(_) => {
+                    // The fresh placement could not even be built (the
+                    // fabric ran out of disjoint columns): the attempt
+                    // still costs budget and stays auditable as an
+                    // immediate retirement of the new id.
+                    new_shared.set_state(ShardState::Retired);
+                    self.shared.push(new_shared);
+                    match &mut self.backend {
+                        Backend::Threaded(threaded) => {
+                            // Keep the per-shard vectors index-aligned
+                            // with `shared`: a producer-less ring reads
+                            // permanently empty.
+                            let (_producer, consumer) = ring::ring(threaded.ring_capacity);
+                            threaded.consumers.push(consumer);
+                            threaded.handles.push(None);
+                        }
+                        Backend::Inline(inline) => {
+                            inline.shards.push(None);
+                            inline.queues.push(VecDeque::new());
+                        }
+                    }
+                    self.journal.record(id, IncidentKind::Retire, 0, 0, 0);
+                }
+            }
+        }
     }
 
     /// Blocks until no shard is still [`ShardState::Starting`], or the
@@ -336,20 +657,22 @@ impl EntropyPool {
     /// admission, [`PoolError::Timeout`] on deadline.
     pub fn wait_online(&mut self, timeout: Duration) -> Result<usize, PoolError> {
         let deadline = Instant::now() + timeout;
-        // The inline backend drives admission synchronously.
-        if let Backend::Inline(inline) = &mut self.backend {
-            for shard in &mut inline.shards {
-                while shard.state() == ShardState::Starting {
-                    shard.recover();
+        loop {
+            self.supervise();
+            // The inline backend drives admission synchronously.
+            if let Backend::Inline(inline) = &mut self.backend {
+                for shard in inline.shards.iter_mut().flatten() {
+                    while shard.state() == ShardState::Starting {
+                        shard.recover();
+                    }
                 }
             }
-        }
-        loop {
             let states: Vec<ShardState> = self.shared.iter().map(|s| s.state()).collect();
-            if states.iter().all(|&s| s == ShardState::Retired) {
+            let all_retired = states.iter().all(|&s| s == ShardState::Retired);
+            if all_retired && !self.can_heal() {
                 return Err(PoolError::SourcesExhausted { filled: 0 });
             }
-            if states.iter().all(|&s| s != ShardState::Starting) {
+            if !all_retired && states.iter().all(|&s| s != ShardState::Starting) {
                 return Ok(states.iter().filter(|&&s| s == ShardState::Online).count());
             }
             if Instant::now() >= deadline {
@@ -386,16 +709,10 @@ impl EntropyPool {
 
     fn fill(&mut self, dest: &mut [u8], deadline: Option<Instant>) -> Result<(), PoolError> {
         self.fill_calls += 1;
-        let result = match &mut self.backend {
-            Backend::Inline(inline) => Self::fill_inline(inline, &mut self.rr, dest),
-            Backend::Threaded(threaded) => Self::fill_threaded(
-                threaded,
-                &self.shared,
-                &mut self.rr,
-                &mut self.max_refill_wait,
-                dest,
-                deadline,
-            ),
+        let result = if matches!(self.backend, Backend::Inline(_)) {
+            self.fill_inline(dest)
+        } else {
+            self.fill_threaded(dest, deadline)
         };
         match &result {
             Ok(()) => self.bytes_delivered += dest.len() as u64,
@@ -408,39 +725,44 @@ impl EntropyPool {
     }
 
     fn fill_threaded(
-        threaded: &mut Threaded,
-        shared: &[Arc<ShardShared>],
-        rr: &mut usize,
-        max_refill_wait: &mut Duration,
+        &mut self,
         dest: &mut [u8],
         deadline: Option<Instant>,
     ) -> Result<(), PoolError> {
-        let n = threaded.consumers.len();
         let mut filled = 0usize;
         let mut waited = Duration::ZERO;
         while filled < dest.len() {
+            self.supervise();
             // Read states *before* the drain sweep: workers that were
             // already retired then cannot add bytes afterwards, so an
-            // empty sweep plus all-retired is conclusive.
-            let all_retired = shared.iter().all(|s| s.state() == ShardState::Retired);
+            // empty sweep plus all-retired is conclusive. (A pending
+            // respawn — budget left but backoff not yet elapsed — is
+            // not conclusive: keep waiting.)
+            let all_retired = self.shared.iter().all(|s| s.state() == ShardState::Retired);
+            let can_heal = self.can_heal();
+            let rr = self.rr;
+            let Backend::Threaded(threaded) = &mut self.backend else {
+                unreachable!("threaded fill dispatched on inline backend");
+            };
+            let n = threaded.consumers.len();
             let mut got = 0usize;
             for k in 0..n {
-                let idx = (*rr + k) % n;
+                let idx = (rr + k) % n;
                 got += threaded.consumers[idx].pop(&mut dest[filled + got..]);
                 if filled + got == dest.len() {
                     break;
                 }
             }
-            *rr = (*rr + 1) % n;
+            self.rr = (rr + 1) % n;
             filled += got;
             if got == 0 {
-                if all_retired {
-                    *max_refill_wait = (*max_refill_wait).max(waited);
+                if all_retired && !can_heal {
+                    self.max_refill_wait = self.max_refill_wait.max(waited);
                     return Err(PoolError::SourcesExhausted { filled });
                 }
                 if let Some(deadline) = deadline {
                     if Instant::now() >= deadline {
-                        *max_refill_wait = (*max_refill_wait).max(waited);
+                        self.max_refill_wait = self.max_refill_wait.max(waited);
                         return Err(PoolError::Timeout { filled });
                     }
                 }
@@ -448,18 +770,23 @@ impl EntropyPool {
                 waited += NAP;
             }
         }
-        *max_refill_wait = (*max_refill_wait).max(waited);
+        self.max_refill_wait = self.max_refill_wait.max(waited);
         Ok(())
     }
 
-    fn fill_inline(inline: &mut Inline, rr: &mut usize, dest: &mut [u8]) -> Result<(), PoolError> {
-        let n = inline.shards.len();
+    fn fill_inline(&mut self, dest: &mut [u8]) -> Result<(), PoolError> {
         let mut filled = 0usize;
-        let mut block = Vec::with_capacity(inline.block_bytes);
+        let mut block = Vec::new();
         while filled < dest.len() {
-            let mut progressed = false;
+            let spawned = self.supervise();
+            let rr = self.rr;
+            let Backend::Inline(inline) = &mut self.backend else {
+                unreachable!("inline fill dispatched on threaded backend");
+            };
+            let n = inline.shards.len();
+            let mut progressed = spawned;
             for k in 0..n {
-                let i = (*rr + k) % n;
+                let i = (rr + k) % n;
                 if !inline.queues[i].is_empty() {
                     while filled < dest.len() {
                         match inline.queues[i].pop_front() {
@@ -470,20 +797,23 @@ impl EntropyPool {
                             None => break,
                         }
                     }
-                    *rr = (i + 1) % n;
+                    self.rr = (i + 1) % n;
                     progressed = true;
                     break;
                 }
-                match inline.shards[i].state() {
+                let Some(shard) = inline.shards[i].as_mut() else {
+                    continue;
+                };
+                match shard.state() {
                     ShardState::Online => {
-                        if inline.shards[i].produce_block(&mut block, inline.block_bytes) {
+                        if shard.produce_block(&mut block, inline.block_bytes) {
                             inline.queues[i].extend(block.drain(..));
                         }
                         progressed = true;
                         break;
                     }
                     ShardState::Starting | ShardState::Quarantined => {
-                        inline.shards[i].recover();
+                        shard.recover();
                         progressed = true;
                         break;
                     }
@@ -504,6 +834,7 @@ impl EntropyPool {
                 shared.set_ring_high_water(consumer.high_water());
             }
         }
+        let (journal, _dropped) = self.journal.snapshot();
         PoolStats {
             shards: self
                 .shared
@@ -514,6 +845,14 @@ impl EntropyPool {
             bytes_delivered: self.bytes_delivered,
             fill_calls: self.fill_calls,
             max_refill_wait: self.max_refill_wait,
+            respawns: self.supervisor.as_ref().map_or(0, |s| s.used),
+            respawns_available: self
+                .supervisor
+                .as_ref()
+                .map_or(0, |s| s.policy.max_respawns.saturating_sub(s.used)),
+            workers_joined: self.workers_joined,
+            journal_recorded: self.journal.recorded(),
+            journal,
         }
     }
 }
@@ -522,7 +861,7 @@ impl Drop for EntropyPool {
     fn drop(&mut self) {
         if let Backend::Threaded(threaded) = &mut self.backend {
             threaded.stop.store(true, Ordering::Release);
-            for handle in threaded.handles.drain(..) {
+            for handle in threaded.handles.drain(..).flatten() {
                 let _ = handle.join();
             }
         }
@@ -761,5 +1100,144 @@ mod tests {
         assert!(PoolError::SourcesExhausted { filled: 9 }
             .to_string()
             .contains("retired"));
+    }
+
+    #[test]
+    fn respawn_heals_a_persistent_shard_death() {
+        // Shard 0 dies persistently; with one respawn in the budget the
+        // pool replaces it on a fresh placement and serves on.
+        let fault = FaultInjection {
+            shard: 0,
+            after_bytes: 128,
+            fault: ShardFault::Config(Box::new(dead_config())),
+            transient: false,
+        };
+        let config = small_pool(2)
+            .with_fault(fault)
+            .with_max_readmissions(1)
+            .with_respawn(RespawnPolicy::new(2, 1));
+        let mut pool = EntropyPool::new(config).expect("pool");
+        let mut sink = vec![0u8; 8192];
+        pool.fill_bytes(&mut sink).expect("respawn must heal");
+        let stats = pool.stats();
+        assert_eq!(stats.respawns, 1);
+        assert_eq!(stats.respawns_available, 0);
+        assert_eq!(stats.shards.len(), 3);
+        assert_eq!(stats.shards[0].state, ShardState::Retired);
+        assert!(stats.shards[0].superseded);
+        assert_eq!(
+            stats.shards[2].origin,
+            crate::stats::ShardOrigin::Respawn { replaces: 0 }
+        );
+        assert_eq!(stats.shards[2].state, ShardState::Online);
+        assert!(
+            stats.shards[2].startup_runs >= 1,
+            "replacement must pass the startup gate"
+        );
+        assert_eq!(stats.health(), crate::stats::PoolHealth::Healthy);
+        // The journal tells the story: spawns, the alarm cascade, the
+        // retirement and the respawn.
+        let kinds: Vec<_> = stats.journal.iter().map(|e| (e.shard, e.kind)).collect();
+        assert!(kinds.contains(&(0, IncidentKind::Retire)));
+        assert!(kinds.contains(&(2, IncidentKind::Respawn)));
+        let respawn = stats
+            .journal
+            .iter()
+            .find(|e| e.kind == IncidentKind::Respawn)
+            .expect("respawn event");
+        assert_eq!(respawn.detail, 0, "replaces shard 0");
+    }
+
+    #[test]
+    fn spent_budget_still_surfaces_typed_exhaustion() {
+        // Persistent faults kill the original shard *and* its
+        // replacement; once the budget is spent the pool must fail
+        // with the typed error, with both attempts in the journal.
+        let dead = || ShardFault::Config(Box::new(dead_config()));
+        let config = small_pool(1)
+            .with_max_readmissions(0)
+            .with_fault(FaultInjection {
+                shard: 0,
+                after_bytes: 0,
+                fault: dead(),
+                transient: false,
+            })
+            .with_fault(FaultInjection {
+                shard: 1, // the replacement's index
+                after_bytes: 0,
+                fault: dead(),
+                transient: false,
+            })
+            .with_respawn(RespawnPolicy::new(1, 1));
+        let mut pool = EntropyPool::new(config).expect("pool");
+        let mut sink = vec![0u8; 1 << 16];
+        match pool.fill_bytes(&mut sink) {
+            Err(PoolError::SourcesExhausted { .. }) => {}
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.respawns, 1);
+        assert_eq!(stats.respawns_available, 0);
+        assert_eq!(stats.health(), crate::stats::PoolHealth::Exhausted);
+        let respawns = stats
+            .journal
+            .iter()
+            .filter(|e| e.kind == IncidentKind::Respawn)
+            .count();
+        assert_eq!(respawns, 1);
+        // Both shard 0 and replacement 1 record a retirement.
+        for shard in [0usize, 1] {
+            assert!(
+                stats
+                    .journal
+                    .iter()
+                    .any(|e| e.shard == shard && e.kind == IncidentKind::Retire),
+                "no retire event for shard {shard}"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_may_target_replacement_indices_only_with_policy() {
+        let fault = || FaultInjection {
+            shard: 2,
+            after_bytes: 0,
+            fault: ShardFault::Config(Box::new(dead_config())),
+            transient: false,
+        };
+        assert!(matches!(
+            EntropyPool::new(small_pool(2).with_fault(fault())),
+            Err(PoolError::InvalidConfig(_))
+        ));
+        assert!(EntropyPool::new(
+            small_pool(2)
+                .with_fault(fault())
+                .with_respawn(RespawnPolicy::new(2, 1)),
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn respawn_floor_is_validated() {
+        for floor in [0usize, 3] {
+            match EntropyPool::new(small_pool(2).with_respawn(RespawnPolicy::new(floor, 1))) {
+                Err(PoolError::InvalidConfig(why)) => assert!(why.contains("floor")),
+                other => panic!("floor {floor} accepted: {:?}", other.map(|_| ())),
+            }
+        }
+    }
+
+    #[test]
+    fn initial_spawns_are_journaled() {
+        let pool = EntropyPool::new(small_pool(3)).expect("pool");
+        let stats = pool.stats();
+        let spawns: Vec<_> = stats
+            .journal
+            .iter()
+            .filter(|e| e.kind == IncidentKind::Spawn)
+            .map(|e| e.shard)
+            .collect();
+        assert_eq!(spawns, [0, 1, 2]);
+        assert_eq!(stats.journal_recorded, 3);
     }
 }

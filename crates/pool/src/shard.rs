@@ -20,6 +20,7 @@ use trng_core::trng::{BuildTrngError, CarryChainTrng, TrngConfig};
 use trng_core::von_neumann::VonNeumann;
 use trng_fpga_sim::noise::AttackInjection;
 
+use crate::journal::{IncidentKind, Journal};
 use crate::stats::{ShardShared, ShardState};
 
 /// Conditioning applied between the raw source and the pool's byte
@@ -158,26 +159,32 @@ pub(crate) struct Shard {
     state: ShardState,
     alarms: u64,
     max_readmissions: u32,
-    fault: Option<PendingFault>,
-    /// `true` while the live instance runs a fault-injected config.
-    faulted: bool,
+    /// Scheduled faults for this shard (pre-filtered by the pool),
+    /// in submission order.
+    faults: Vec<PendingFault>,
+    /// Index into `faults` of the fault currently corrupting the live
+    /// instance, if any.
+    active_fault: Option<usize>,
     bytes_produced: u64,
     /// Simulated time and raw-bit counts accumulated by instances
     /// retired by rebuilds (a rebuild restarts the simulation clock).
     sim_base_ns: u64,
     raw_base: u64,
     shared: Arc<ShardShared>,
+    journal: Arc<Journal>,
 }
 
 impl Shard {
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         id: usize,
         config: TrngConfig,
         seed: u64,
         conditioning: Conditioning,
-        fault: Option<FaultInjection>,
+        faults: Vec<FaultInjection>,
         max_readmissions: u32,
         shared: Arc<ShardShared>,
+        journal: Arc<Journal>,
     ) -> Result<Self, BuildTrngError> {
         let claim = claimed_min_entropy(&config)?;
         let trng = CarryChainTrng::new(config.clone(), seed)?;
@@ -194,17 +201,21 @@ impl Shard {
             state: ShardState::Starting,
             alarms: 0,
             max_readmissions,
-            fault: fault.map(|f| PendingFault {
-                after_bytes: f.after_bytes,
-                fault: f.fault,
-                transient: f.transient,
-                applied: false,
-            }),
-            faulted: false,
+            faults: faults
+                .into_iter()
+                .map(|f| PendingFault {
+                    after_bytes: f.after_bytes,
+                    fault: f.fault,
+                    transient: f.transient,
+                    applied: false,
+                })
+                .collect(),
+            active_fault: None,
             bytes_produced: 0,
             sim_base_ns: 0,
             raw_base: 0,
             shared,
+            journal,
         })
     }
 
@@ -249,6 +260,18 @@ impl Shard {
             .set_raw_bits(self.raw_base + self.trng.stats().samples);
     }
 
+    /// Records a lifecycle incident stamped with the shard's current
+    /// simulated time and healthy-byte offset.
+    fn journal_event(&self, kind: IncidentKind, detail: u64) {
+        self.journal.record(
+            self.id,
+            kind,
+            self.sim_base_ns + self.trng.now().as_ns() as u64,
+            self.bytes_produced,
+            detail,
+        );
+    }
+
     /// Drives one admission or re-admission attempt. Call while the
     /// shard is `Starting` or `Quarantined`; transitions to `Online`
     /// or `Retired`.
@@ -261,18 +284,19 @@ impl Shard {
             // Rebuild the source for a from-scratch validation run. A
             // transient fault is gone after the rebuild; a persistent
             // one follows the shard into its re-admission test.
-            let config = match &self.fault {
-                Some(f) if self.faulted && f.transient => {
-                    self.faulted = false;
+            let config = match self.active_fault {
+                Some(i) if self.faults[i].transient => {
+                    self.active_fault = None;
                     self.base_config.clone()
                 }
-                Some(f) if self.faulted => self.faulted_config(&f.fault.clone()),
-                _ => self.base_config.clone(),
+                Some(i) => self.faulted_config(&self.faults[i].fault.clone()),
+                None => self.base_config.clone(),
             };
             self.health.reset();
             self.conditioner.reset();
             if self.rebuild(config).is_err() {
                 self.set_state(ShardState::Retired);
+                self.journal_event(IncidentKind::Retire, 0);
                 return;
             }
         }
@@ -285,10 +309,12 @@ impl Shard {
             self.conditioner.reset();
             if was_quarantined {
                 self.shared.count_readmission();
+                self.journal_event(IncidentKind::Readmit, 0);
             }
             self.set_state(ShardState::Online);
         } else {
             self.set_state(ShardState::Retired);
+            self.journal_event(IncidentKind::Retire, u64::from(report.failure_mask()));
         }
     }
 
@@ -317,10 +343,13 @@ impl Shard {
         self.shared.count_alarm();
         self.conditioner.reset();
         self.publish_progress();
+        self.journal_event(IncidentKind::Alarm, self.alarms);
         if self.alarms > u64::from(self.max_readmissions) {
             self.set_state(ShardState::Retired);
+            self.journal_event(IncidentKind::Retire, 0);
         } else {
             self.set_state(ShardState::Quarantined);
+            self.journal_event(IncidentKind::Quarantine, 0);
         }
     }
 
@@ -331,9 +360,20 @@ impl Shard {
     pub fn produce_block(&mut self, out: &mut Vec<u8>, block_bytes: usize) -> bool {
         debug_assert_eq!(self.state, ShardState::Online);
         out.clear();
-        if let Some(f) = &self.fault {
-            if !f.applied && self.bytes_produced >= f.after_bytes {
-                let config = self.faulted_config(&f.fault.clone());
+        if self.active_fault.is_none() {
+            // Apply the earliest-scheduled ripe fault, if any. At most
+            // one fault corrupts the instance at a time; the next one
+            // (if scheduled) fires only after a transient predecessor
+            // clears at re-admission.
+            let ripe = self
+                .faults
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| !f.applied && self.bytes_produced >= f.after_bytes)
+                .min_by_key(|(_, f)| f.after_bytes)
+                .map(|(i, _)| i);
+            if let Some(i) = ripe {
+                let config = self.faulted_config(&self.faults[i].fault.clone());
                 // A mid-stream fault does not reset the health gate:
                 // the attack hits a running, trusted source and the
                 // continuous tests must catch it.
@@ -341,10 +381,8 @@ impl Shard {
                     self.raise_alarm();
                     return false;
                 }
-                self.faulted = true;
-                if let Some(f) = &mut self.fault {
-                    f.applied = true;
-                }
+                self.faults[i].applied = true;
+                self.active_fault = Some(i);
             }
         }
         // A health-passing source that still starves the conditioner
@@ -440,6 +478,10 @@ mod tests {
         Arc::new(ShardShared::default())
     }
 
+    fn journal() -> Arc<Journal> {
+        Arc::new(Journal::new(64))
+    }
+
     /// A configuration whose raw stream is (near-)frozen: drift-free
     /// sampling plus an overwhelming injection-locking attack. Startup
     /// reliably fails on it, and a healthy shard swapped onto it
@@ -465,9 +507,10 @@ mod tests {
             TrngConfig::paper_k1(),
             42,
             Conditioning::DesignXor,
-            None,
+            Vec::new(),
             2,
             Arc::clone(&s),
+            journal(),
         )
         .expect("build");
         assert_eq!(shard.state(), ShardState::Starting);
@@ -487,24 +530,33 @@ mod tests {
     #[test]
     fn dead_source_is_retired_at_admission() {
         let s = shared();
+        let j = journal();
         let mut shard = Shard::new(
             0,
             dead_config(),
             7,
             Conditioning::Raw,
-            None,
+            Vec::new(),
             2,
             Arc::clone(&s),
+            Arc::clone(&j),
         )
         .expect("build");
         shard.recover();
         assert_eq!(shard.state(), ShardState::Retired);
         assert_eq!(s.snapshot(0).startup_runs, 1);
+        // The failed admission lands in the journal with the failing
+        // startup checks encoded in `detail`.
+        let (events, _) = j.snapshot();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, IncidentKind::Retire);
+        assert_ne!(events[0].detail, 0, "failure mask must name a check");
     }
 
     #[test]
     fn transient_fault_quarantines_then_readmits() {
         let s = shared();
+        let j = journal();
         let fault = FaultInjection {
             shard: 0,
             after_bytes: 128,
@@ -516,9 +568,10 @@ mod tests {
             TrngConfig::paper_k1(),
             42,
             Conditioning::DesignXor,
-            Some(fault),
+            vec![fault],
             2,
             Arc::clone(&s),
+            Arc::clone(&j),
         )
         .expect("build");
         shard.recover();
@@ -547,6 +600,22 @@ mod tests {
         assert_eq!(snap.alarms, 1);
         assert_eq!(snap.readmissions, 1);
         assert_eq!(snap.startup_runs, 2);
+        // Journal tells the full story: alarm, quarantine, readmit.
+        let kinds: Vec<_> = j.snapshot().0.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            [
+                IncidentKind::Alarm,
+                IncidentKind::Quarantine,
+                IncidentKind::Readmit,
+            ]
+        );
+        let (events, _) = j.snapshot();
+        assert!(
+            events[0].at_bytes >= 128,
+            "alarm stamped before the promised clean run-up"
+        );
+        assert!(events[0].sim_ns > 0);
     }
 
     #[test]
@@ -558,14 +627,16 @@ mod tests {
             fault: ShardFault::Config(Box::new(dead_config())),
             transient: false,
         };
+        let j = journal();
         let mut shard = Shard::new(
             0,
             TrngConfig::paper_k1(),
             42,
             Conditioning::DesignXor,
-            Some(fault),
+            vec![fault],
             2,
             Arc::clone(&s),
+            Arc::clone(&j),
         )
         .expect("build");
         shard.recover();
@@ -579,6 +650,15 @@ mod tests {
         assert_eq!(snap.alarms, 1);
         assert_eq!(snap.readmissions, 0);
         assert_eq!(snap.startup_runs, 2);
+        let kinds: Vec<_> = j.snapshot().0.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            [
+                IncidentKind::Alarm,
+                IncidentKind::Quarantine,
+                IncidentKind::Retire,
+            ]
+        );
     }
 
     #[test]
@@ -596,9 +676,10 @@ mod tests {
             TrngConfig::paper_k1(),
             42,
             Conditioning::DesignXor,
-            Some(fault),
+            vec![fault],
             0,
             Arc::clone(&s),
+            journal(),
         )
         .expect("build");
         shard.recover();
@@ -608,12 +689,76 @@ mod tests {
     }
 
     #[test]
+    fn fault_schedule_fires_each_fault_in_byte_order() {
+        // Two transient faults on one shard: each trips the continuous
+        // tests, quarantines, clears at re-admission, and the next one
+        // fires at its own offset.
+        let s = shared();
+        let j = journal();
+        let mk_fault = |after_bytes| FaultInjection {
+            shard: 0,
+            after_bytes,
+            fault: ShardFault::Config(Box::new(dead_config())),
+            transient: true,
+        };
+        let mut shard = Shard::new(
+            0,
+            TrngConfig::paper_k1(),
+            42,
+            Conditioning::DesignXor,
+            vec![mk_fault(256), mk_fault(0)],
+            4,
+            Arc::clone(&s),
+            Arc::clone(&j),
+        )
+        .expect("build");
+        shard.recover();
+        let mut block = Vec::new();
+        let mut alarms_seen = 0;
+        while alarms_seen < 2 {
+            match shard.state() {
+                ShardState::Online => {
+                    if !shard.produce_block(&mut block, 64) {
+                        alarms_seen += 1;
+                    }
+                }
+                ShardState::Quarantined => shard.recover(),
+                other => panic!("unexpected state {other}"),
+            }
+        }
+        shard.recover();
+        assert_eq!(shard.state(), ShardState::Online);
+        let snap = s.snapshot(0);
+        assert_eq!(snap.alarms, 2);
+        assert_eq!(snap.readmissions, 2);
+        // The out-of-order schedule still fires lowest offset first:
+        // first alarm before 256 clean bytes, second after.
+        let (events, _) = j.snapshot();
+        let alarms: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == IncidentKind::Alarm)
+            .collect();
+        assert_eq!(alarms.len(), 2);
+        assert!(alarms[0].at_bytes < 256);
+        assert!(alarms[1].at_bytes >= 256);
+    }
+
+    #[test]
     fn conditioning_rates_differ() {
         // Raw packs every raw bit; DesignXor consumes np per bit.
         let mk = |mode| {
             let s = shared();
-            let mut shard = Shard::new(0, TrngConfig::paper_k1(), 9, mode, None, 2, Arc::clone(&s))
-                .expect("build");
+            let mut shard = Shard::new(
+                0,
+                TrngConfig::paper_k1(),
+                9,
+                mode,
+                Vec::new(),
+                2,
+                Arc::clone(&s),
+                journal(),
+            )
+            .expect("build");
             shard.recover();
             assert_eq!(shard.state(), ShardState::Online);
             let mut block = Vec::new();

@@ -3,10 +3,12 @@
 //! never stall the producers.
 
 use core::fmt;
-use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::time::Duration;
 
 use trng_testkit::json::Json;
+
+use crate::journal::IncidentEvent;
 
 /// Lifecycle state of one shard.
 ///
@@ -66,6 +68,27 @@ impl fmt::Display for ShardState {
     }
 }
 
+/// How a shard came to exist in the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShardOrigin {
+    /// Part of the pool's initial complement.
+    Initial,
+    /// Spawned by the respawn supervisor to supersede a retired shard.
+    Respawn {
+        /// Id of the retired shard this one replaces.
+        replaces: usize,
+    },
+}
+
+impl fmt::Display for ShardOrigin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardOrigin::Initial => f.write_str("initial"),
+            ShardOrigin::Respawn { replaces } => write!(f, "respawn of {replaces}"),
+        }
+    }
+}
+
 /// Lock-free shared counters one shard publishes into.
 #[derive(Debug, Default)]
 pub(crate) struct ShardShared {
@@ -77,6 +100,10 @@ pub(crate) struct ShardShared {
     raw_bits: AtomicU64,
     sim_ns: AtomicU64,
     ring_high_water: AtomicUsize,
+    /// 0 = initial shard; `replaced_id + 1` for a respawned one.
+    replaces_plus1: AtomicU64,
+    /// `true` once a replacement shard has taken over for this one.
+    superseded: AtomicBool,
 }
 
 impl ShardShared {
@@ -86,6 +113,21 @@ impl ShardShared {
 
     pub fn state(&self) -> ShardState {
         ShardState::from_u8(self.state.load(Ordering::Acquire))
+    }
+
+    /// Marks this shard as a supervisor-spawned replacement.
+    pub fn mark_respawned(&self, replaces: usize) {
+        self.replaces_plus1
+            .store(replaces as u64 + 1, Ordering::Release);
+    }
+
+    /// Marks this (retired) shard as superseded by a replacement.
+    pub fn set_superseded(&self) {
+        self.superseded.store(true, Ordering::Release);
+    }
+
+    pub fn superseded(&self) -> bool {
+        self.superseded.load(Ordering::Acquire)
     }
 
     pub fn count_alarm(&self) {
@@ -117,9 +159,17 @@ impl ShardShared {
     }
 
     pub fn snapshot(&self, id: usize) -> ShardStats {
+        let origin = match self.replaces_plus1.load(Ordering::Acquire) {
+            0 => ShardOrigin::Initial,
+            n => ShardOrigin::Respawn {
+                replaces: (n - 1) as usize,
+            },
+        };
         ShardStats {
             id,
             state: self.state(),
+            origin,
+            superseded: self.superseded(),
             alarms: self.alarms.load(Ordering::Relaxed),
             readmissions: self.readmissions.load(Ordering::Relaxed),
             startup_runs: self.startup_runs.load(Ordering::Relaxed),
@@ -138,6 +188,13 @@ pub struct ShardStats {
     pub id: usize,
     /// Lifecycle state at snapshot time.
     pub state: ShardState,
+    /// Whether the shard is initial complement or a respawned
+    /// replacement.
+    pub origin: ShardOrigin,
+    /// `true` once a replacement has taken over for this (retired)
+    /// shard; superseded shards are excluded from health
+    /// classification.
+    pub superseded: bool,
     /// Continuous-test alarms raised over the shard's lifetime.
     pub alarms: u64,
     /// Successful re-admissions after quarantine.
@@ -158,10 +215,23 @@ pub struct ShardStats {
 impl ShardStats {
     /// Renders the shard snapshot as a JSON object. Field names match
     /// the struct fields; durations are serialized in nanoseconds.
+    /// `origin` renders as `"initial"` or `"respawn"`, with the
+    /// superseded shard's id in `replaces` for respawned shards.
     pub fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let (origin, replaces) = match self.origin {
+            ShardOrigin::Initial => ("initial", None),
+            ShardOrigin::Respawn { replaces } => ("respawn", Some(replaces)),
+        };
+        let mut fields = vec![
             ("id", Json::u64(self.id as u64)),
             ("state", Json::str(self.state.to_string())),
+            ("origin", Json::str(origin)),
+        ];
+        if let Some(replaces) = replaces {
+            fields.push(("replaces", Json::u64(replaces as u64)));
+        }
+        fields.extend([
+            ("superseded", Json::Bool(self.superseded)),
             ("alarms", Json::u64(self.alarms)),
             ("readmissions", Json::u64(self.readmissions)),
             ("startup_runs", Json::u64(self.startup_runs)),
@@ -172,7 +242,8 @@ impl ShardStats {
                 Json::u64(self.sim_elapsed.as_nanos() as u64),
             ),
             ("ring_high_water", Json::u64(self.ring_high_water as u64)),
-        ])
+        ]);
+        Json::obj(fields)
     }
 }
 
@@ -180,13 +251,18 @@ impl ShardStats {
 /// the classification a load balancer or health probe acts on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PoolHealth {
-    /// Every shard is online.
+    /// Every live shard is online.
     Healthy,
-    /// Not every shard is online (starting, quarantined, or retired):
-    /// the pool serves at reduced — possibly zero — capacity, but at
-    /// least one shard may still come (back) online.
+    /// Not every live shard is online (starting, quarantined, or
+    /// retired): the pool serves at reduced — possibly zero —
+    /// capacity, but at least one shard may still come (back) online.
     Degraded,
-    /// Every shard is retired; the pool can never serve again.
+    /// A respawn is in flight: a supervisor-spawned replacement shard
+    /// is running its admission gate, or every live shard has retired
+    /// but respawn budget remains so a replacement is imminent.
+    Recovering,
+    /// Every live shard is retired and no respawn budget remains; the
+    /// pool can never serve again.
     Exhausted,
 }
 
@@ -195,6 +271,7 @@ impl fmt::Display for PoolHealth {
         f.write_str(match self {
             PoolHealth::Healthy => "healthy",
             PoolHealth::Degraded => "degraded",
+            PoolHealth::Recovering => "recovering",
             PoolHealth::Exhausted => "exhausted",
         })
     }
@@ -203,7 +280,8 @@ impl fmt::Display for PoolHealth {
 /// Point-in-time view of the whole pool.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PoolStats {
-    /// One entry per shard, in shard order.
+    /// One entry per shard, in shard order (respawned replacements
+    /// follow the initial complement).
     pub shards: Vec<ShardStats>,
     /// Bytes delivered to consumers over the pool's lifetime.
     pub bytes_delivered: u64,
@@ -211,6 +289,18 @@ pub struct PoolStats {
     pub fill_calls: u64,
     /// Longest time a single fill call spent waiting for bytes.
     pub max_refill_wait: Duration,
+    /// Replacement shards spawned by the respawn supervisor.
+    pub respawns: u32,
+    /// Respawn budget still available (0 when no policy is set).
+    pub respawns_available: u32,
+    /// Retired shard worker threads the supervisor has joined
+    /// (threaded backend only).
+    pub workers_joined: u64,
+    /// The retained incident-journal window, oldest first.
+    pub journal: Vec<IncidentEvent>,
+    /// Total incidents ever recorded; when it exceeds `journal.len()`
+    /// the bounded log has evicted its oldest events.
+    pub journal_recorded: u64,
 }
 
 impl PoolStats {
@@ -227,13 +317,40 @@ impl PoolStats {
         self.shards.iter().map(|s| s.alarms).sum()
     }
 
-    /// Coarse health classification: [`PoolHealth::Healthy`] when
-    /// every shard is online, [`PoolHealth::Exhausted`] when every
-    /// shard is retired, [`PoolHealth::Degraded`] in between.
+    /// The *live* shard set: every shard except retired ones that a
+    /// replacement has superseded. Health classification runs over
+    /// this set, so a healed pool (dead shard + online replacement)
+    /// reads healthy, not permanently degraded.
+    pub fn live_shards(&self) -> impl Iterator<Item = &ShardStats> {
+        self.shards
+            .iter()
+            .filter(|s| !(s.state == ShardState::Retired && s.superseded))
+    }
+
+    /// Coarse health classification over the live shard set:
+    ///
+    /// * [`PoolHealth::Exhausted`] — every live shard is retired and
+    ///   no respawn budget remains;
+    /// * [`PoolHealth::Recovering`] — a respawned replacement is still
+    ///   in its admission gate, or every live shard retired but budget
+    ///   remains (a respawn is imminent);
+    /// * [`PoolHealth::Healthy`] — every live shard is online;
+    /// * [`PoolHealth::Degraded`] — anything in between.
     pub fn health(&self) -> PoolHealth {
-        if self.shards.iter().all(|s| s.state == ShardState::Retired) {
-            PoolHealth::Exhausted
-        } else if self.online_shards() == self.shards.len() {
+        let all_retired = self.live_shards().all(|s| s.state == ShardState::Retired);
+        if all_retired {
+            return if self.respawns_available > 0 {
+                PoolHealth::Recovering
+            } else {
+                PoolHealth::Exhausted
+            };
+        }
+        let respawn_in_flight = self.live_shards().any(|s| {
+            s.state == ShardState::Starting && matches!(s.origin, ShardOrigin::Respawn { .. })
+        });
+        if respawn_in_flight {
+            PoolHealth::Recovering
+        } else if self.live_shards().all(|s| s.state == ShardState::Online) {
             PoolHealth::Healthy
         } else {
             PoolHealth::Degraded
@@ -255,11 +372,29 @@ impl PoolStats {
             ),
             ("online_shards", Json::u64(self.online_shards() as u64)),
             ("total_alarms", Json::u64(self.total_alarms())),
+            ("respawns", Json::u64(u64::from(self.respawns))),
+            (
+                "respawns_available",
+                Json::u64(u64::from(self.respawns_available)),
+            ),
+            ("workers_joined", Json::u64(self.workers_joined)),
             ("health", Json::str(self.health().to_string())),
             ("sim_throughput_bps", Json::num(self.sim_throughput_bps())),
             (
                 "shards",
                 Json::Arr(self.shards.iter().map(ShardStats::to_json).collect()),
+            ),
+            ("journal_recorded", Json::u64(self.journal_recorded)),
+            (
+                "journal_evicted",
+                Json::u64(
+                    self.journal_recorded
+                        .saturating_sub(self.journal.len() as u64),
+                ),
+            ),
+            (
+                "journal",
+                Json::Arr(self.journal.iter().map(IncidentEvent::to_json).collect()),
             ),
         ])
     }
@@ -292,15 +427,18 @@ impl fmt::Display for PoolStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "pool: {} delivered over {} calls, {}/{} shards online, {} alarms",
+            "pool: {} delivered over {} calls, {}/{} shards online, {} alarms, \
+             {} respawns ({} budget left)",
             self.bytes_delivered,
             self.fill_calls,
             self.online_shards(),
             self.shards.len(),
             self.total_alarms(),
+            self.respawns,
+            self.respawns_available,
         )?;
         for s in &self.shards {
-            writeln!(
+            write!(
                 f,
                 "  shard {}: {:<11} {:>10} B, {} alarms, {} readmissions, \
                  {} startups, ring high-water {} B",
@@ -312,7 +450,20 @@ impl fmt::Display for PoolStats {
                 s.startup_runs,
                 s.ring_high_water,
             )?;
+            if let ShardOrigin::Respawn { replaces } = s.origin {
+                write!(f, " (respawn of {replaces})")?;
+            }
+            if s.superseded {
+                write!(f, " (superseded)")?;
+            }
+            writeln!(f)?;
         }
+        writeln!(
+            f,
+            "  journal: {} events retained, {} recorded lifetime",
+            self.journal.len(),
+            self.journal_recorded,
+        )?;
         Ok(())
     }
 }
@@ -364,6 +515,8 @@ mod tests {
         let mk = |bytes: u64, sim_ms: u64| ShardStats {
             id: 0,
             state: ShardState::Online,
+            origin: ShardOrigin::Initial,
+            superseded: false,
             alarms: 0,
             readmissions: 0,
             startup_runs: 1,
@@ -377,6 +530,11 @@ mod tests {
             bytes_delivered: 4000,
             fill_calls: 1,
             max_refill_wait: Duration::ZERO,
+            respawns: 0,
+            respawns_available: 0,
+            workers_joined: 0,
+            journal: Vec::new(),
+            journal_recorded: 0,
         };
         // 4 shards x 8000 bits over the same 10 ms window: 3.2 Mb/s,
         // 4x what a single shard would report.
@@ -386,6 +544,11 @@ mod tests {
             bytes_delivered: 1000,
             fill_calls: 1,
             max_refill_wait: Duration::ZERO,
+            respawns: 0,
+            respawns_available: 0,
+            workers_joined: 0,
+            journal: Vec::new(),
+            journal_recorded: 0,
         };
         assert!((single.sim_throughput_bps() - 0.8e6).abs() < 1.0);
     }
@@ -394,6 +557,8 @@ mod tests {
         let shard = |id: usize, state: ShardState| ShardStats {
             id,
             state,
+            origin: ShardOrigin::Initial,
+            superseded: false,
             alarms: id as u64,
             readmissions: 1,
             startup_runs: 2,
@@ -410,6 +575,18 @@ mod tests {
             bytes_delivered: 8190,
             fill_calls: 17,
             max_refill_wait: Duration::from_micros(250),
+            respawns: 1,
+            respawns_available: 2,
+            workers_joined: 1,
+            journal: vec![IncidentEvent {
+                seq: 0,
+                shard: 1,
+                kind: crate::journal::IncidentKind::Alarm,
+                sim_ns: 123,
+                at_bytes: 456,
+                detail: 0,
+            }],
+            journal_recorded: 5,
         }
     }
 
@@ -426,6 +603,16 @@ mod tests {
         );
         assert_eq!(f("online_shards"), stats.online_shards() as f64);
         assert_eq!(f("total_alarms"), stats.total_alarms() as f64);
+        assert_eq!(f("respawns"), f64::from(stats.respawns));
+        assert_eq!(f("respawns_available"), f64::from(stats.respawns_available));
+        assert_eq!(f("workers_joined"), stats.workers_joined as f64);
+        assert_eq!(f("journal_recorded"), stats.journal_recorded as f64);
+        assert_eq!(
+            f("journal_evicted"),
+            (stats.journal_recorded - stats.journal.len() as u64) as f64
+        );
+        let journal = json.get("journal").and_then(Json::as_arr).expect("journal");
+        assert_eq!(journal.len(), stats.journal.len());
         assert_eq!(f("sim_throughput_bps"), stats.sim_throughput_bps());
         assert_eq!(
             json.get("health").and_then(Json::as_str),
@@ -440,6 +627,9 @@ mod tests {
                 j.get("state").and_then(Json::as_str),
                 Some(s.state.to_string().as_str())
             );
+            assert_eq!(j.get("origin").and_then(Json::as_str), Some("initial"));
+            assert!(j.get("replaces").is_none());
+            assert_eq!(j.get("superseded").and_then(Json::as_bool), Some(false));
             assert_eq!(f("alarms"), s.alarms as f64);
             assert_eq!(f("readmissions"), s.readmissions as f64);
             assert_eq!(f("startup_runs"), s.startup_runs as f64);
@@ -480,6 +670,7 @@ mod tests {
     #[test]
     fn health_classifies_lifecycle_mixtures() {
         let mut stats = sample_stats();
+        stats.respawns_available = 0;
         stats.shards[1].state = ShardState::Online;
         assert_eq!(stats.health(), PoolHealth::Healthy);
         for state in [
@@ -495,7 +686,57 @@ mod tests {
         assert_eq!(stats.health(), PoolHealth::Exhausted);
         assert_eq!(PoolHealth::Healthy.to_string(), "healthy");
         assert_eq!(PoolHealth::Degraded.to_string(), "degraded");
+        assert_eq!(PoolHealth::Recovering.to_string(), "recovering");
         assert_eq!(PoolHealth::Exhausted.to_string(), "exhausted");
+    }
+
+    #[test]
+    fn health_recovering_while_respawn_in_flight() {
+        // A replacement shard in its admission gate reads recovering,
+        // not degraded.
+        let mut stats = sample_stats();
+        stats.shards[0].state = ShardState::Online;
+        stats.shards[1].state = ShardState::Starting;
+        stats.shards[1].origin = ShardOrigin::Respawn { replaces: 0 };
+        assert_eq!(stats.health(), PoolHealth::Recovering);
+        // All live shards retired but budget remains: a respawn is
+        // imminent, still recovering.
+        stats.shards[0].state = ShardState::Retired;
+        stats.shards[1].state = ShardState::Retired;
+        stats.respawns_available = 1;
+        assert_eq!(stats.health(), PoolHealth::Recovering);
+        // Budget spent: exhausted.
+        stats.respawns_available = 0;
+        assert_eq!(stats.health(), PoolHealth::Exhausted);
+    }
+
+    #[test]
+    fn superseded_retirees_leave_the_live_set() {
+        // A healed pool — dead shard plus online replacement — reads
+        // healthy once the retiree is marked superseded.
+        let mut stats = sample_stats();
+        stats.shards[0].state = ShardState::Retired;
+        stats.shards[0].superseded = true;
+        stats.shards[1].state = ShardState::Online;
+        stats.shards[1].origin = ShardOrigin::Respawn { replaces: 0 };
+        assert_eq!(stats.live_shards().count(), 1);
+        assert_eq!(stats.health(), PoolHealth::Healthy);
+        // A respawned shard's JSON names its predecessor.
+        let json = stats.to_json();
+        let shards = json.get("shards").and_then(Json::as_arr).expect("shards");
+        assert_eq!(
+            shards[0].get("superseded").and_then(Json::as_bool),
+            Some(true)
+        );
+        assert_eq!(
+            shards[1].get("origin").and_then(Json::as_str),
+            Some("respawn")
+        );
+        assert_eq!(shards[1].get("replaces").and_then(Json::as_f64), Some(0.0));
+        // And the Display form marks both ends of the hand-off.
+        let text = stats.to_string();
+        assert!(text.contains("(superseded)"), "{text}");
+        assert!(text.contains("(respawn of 0)"), "{text}");
     }
 
     #[test]
@@ -505,9 +746,27 @@ mod tests {
             bytes_delivered: 0,
             fill_calls: 0,
             max_refill_wait: Duration::ZERO,
+            respawns: 0,
+            respawns_available: 0,
+            workers_joined: 0,
+            journal: Vec::new(),
+            journal_recorded: 0,
         };
         let text = stats.to_string();
         assert!(text.contains("shard 0"));
         assert!(text.contains("starting"));
+        assert!(text.contains("journal"));
+    }
+
+    #[test]
+    fn shard_shared_respawn_marks_round_trip() {
+        let shared = ShardShared::default();
+        assert_eq!(shared.snapshot(5).origin, ShardOrigin::Initial);
+        shared.mark_respawned(2);
+        shared.set_superseded();
+        let s = shared.snapshot(5);
+        assert_eq!(s.origin, ShardOrigin::Respawn { replaces: 2 });
+        assert!(s.superseded);
+        assert_eq!(s.origin.to_string(), "respawn of 2");
     }
 }

@@ -171,8 +171,9 @@ pub fn fetch(addr: SocketAddr, n: u32) -> Result<Vec<u8>, FetchError> {
 }
 
 /// Reads one metrics report from the metrics endpoint: the
-/// `healthy` / `degraded` / `exhausted` status line followed by the
-/// JSON body.
+/// `healthy` / `degraded` / `recovering` / `exhausted` status line
+/// (`recovering` while a replacement shard is in its admission gate)
+/// followed by the JSON body.
 ///
 /// # Errors
 ///

@@ -711,8 +711,9 @@ fn metrics_loop(shared: &Shared, listener: &TcpListener) {
     }
 }
 
-/// The metrics body: a bare `healthy` / `degraded` / `exhausted`
-/// status line, then the pool and server counters as pretty JSON.
+/// The metrics body: a bare `healthy` / `degraded` / `recovering` /
+/// `exhausted` status line, then the pool and server counters as
+/// pretty JSON.
 fn render_metrics(shared: &Shared) -> String {
     let pool_stats = shared.pool.stats();
     let report = Json::obj(vec![

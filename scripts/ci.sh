@@ -53,6 +53,15 @@ TRNG_SERVE_SMOKE_BYTES=${TRNG_SERVE_SMOKE_BYTES:-327680} \
 TRNG_SERVE_SMOKE_SHARDS=${TRNG_SERVE_SMOKE_SHARDS:-2} \
     cargo run -q --release --offline -p trng-serve --bin serve_smoke
 
+# Self-healing smoke: 3-shard deterministic pool with a scripted
+# persistent fault on shard 1 and a respawn budget of one. Fails
+# unless exactly one respawn heals the pool, the delivered stream
+# re-passes a fresh continuous-test gate (zero unhealthy bytes), and
+# the incident journal matches the scripted story event-for-event.
+echo "==> elastic smoke (3 shards, persistent fault on shard 1, 1 respawn)"
+TRNG_ELASTIC_SMOKE_BYTES=${TRNG_ELASTIC_SMOKE_BYTES:-32768} \
+    cargo run -q --release --offline -p trng-pool --bin elastic_smoke
+
 # Hot-path regression gate: quick run of the per-bit bench, failing
 # if the raw-bit cost regresses to more than 2x the checked-in
 # baseline (BENCH_hotpath.json: after_ns_per_bit ~ 1615 ns/bit on the

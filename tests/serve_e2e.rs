@@ -13,7 +13,8 @@ use trng_core::health::{HealthStatus, OnlineHealth};
 use trng_core::trng::TrngConfig;
 use trng_model::params::{DesignParams, PlatformParams};
 use trng_pool::{
-    Conditioning, EntropyPool, FaultInjection, PoolConfig, PoolHandle, ShardFault, ShardState,
+    Conditioning, EntropyPool, FaultInjection, PoolConfig, PoolHandle, RespawnPolicy, ShardFault,
+    ShardState,
 };
 use trng_serve::{client, Client, FetchError, QuotaConfig, ServeConfig, Server};
 
@@ -350,6 +351,88 @@ fn pool_deadline_maps_to_a_typed_timeout_frame() {
     let stats = server.stats();
     assert_eq!(stats.requests_timeout, 1);
     assert_eq!(stats.requests_ok, 0);
+    drop(server);
+}
+
+/// Self-healing over the wire: a persistent mid-stream fault retires
+/// one shard while a respawn budget stands by. The metrics endpoint
+/// must walk `healthy → degraded → recovering → healthy` — the
+/// respawn backoff keeps `degraded` scrapeable before the supervisor
+/// spawns, and the replacement's settle time keeps `recovering`
+/// scrapeable before its admission gate runs — and the incident
+/// journal must be visible in the metrics JSON afterwards.
+#[test]
+fn metrics_walk_degraded_recovering_healthy_across_a_respawn() {
+    let config = PoolConfig::new(TrngConfig::paper_k1(), 2)
+        .with_conditioning(Conditioning::DesignXor)
+        .with_seed(0x4EA1)
+        .with_max_readmissions(0)
+        .with_fault(FaultInjection {
+            shard: 0,
+            // Far past the ring prefill: the shard only dies once
+            // clients have drained real traffic through it.
+            after_bytes: 24 * 1024,
+            fault: ShardFault::Config(Box::new(dead_config())),
+            transient: false,
+        })
+        // Both windows must outlast one driver iteration (one small
+        // fetch plus one scrape), or a scrape can never land inside
+        // them.
+        .with_respawn(
+            RespawnPolicy::new(2, 1)
+                .with_backoff(Duration::from_millis(1500))
+                .with_settle(Duration::from_secs(3)),
+        );
+    let server = Server::start(online_handle(config), ServeConfig::default()).expect("server");
+    let metrics = server.metrics_addr().expect("metrics on");
+
+    // Drive the pool with small fetches (supervision piggybacks on
+    // consumer calls) and record every distinct status the metrics
+    // endpoint reports along the way.
+    let mut conn = Client::connect(server.local_addr()).expect("connect");
+    let mut seen: Vec<String> = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(180);
+    loop {
+        let body = client::scrape_metrics(metrics).expect("scrape");
+        let status = body.lines().next().expect("status line").to_string();
+        if seen.last() != Some(&status) {
+            seen.push(status.clone());
+        }
+        if status == "healthy" && seen.iter().any(|s| s == "recovering") {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "pool never healed; observed statuses {seen:?}"
+        );
+        conn.fetch(1024).expect("fetch while healing");
+    }
+    assert_eq!(
+        seen,
+        ["healthy", "degraded", "recovering", "healthy"],
+        "metrics status must walk the respawn state machine"
+    );
+
+    // The incident journal rides the same endpoint: the whole story,
+    // spawn through respawn, is scrapeable as JSON.
+    let body = client::scrape_metrics(metrics).expect("scrape");
+    for needle in [
+        "\"journal\"",
+        "\"kind\": \"respawn\"",
+        "\"kind\": \"retire\"",
+        "\"respawns\": 1",
+        "\"journal_recorded\"",
+    ] {
+        assert!(
+            body.contains(needle),
+            "metrics JSON lacks {needle}:\n{body}"
+        );
+    }
+    let stats = server.pool_stats();
+    assert_eq!(stats.respawns, 1);
+    assert_eq!(stats.shards[0].state, ShardState::Retired);
+    assert!(stats.shards[0].superseded);
+    assert_eq!(stats.shards[2].state, ShardState::Online);
     drop(server);
 }
 
