@@ -16,6 +16,7 @@ use trng_fpga_sim::primitives::CaptureFf;
 use trng_fpga_sim::process::{DeviceSeed, ProcessVariation};
 use trng_fpga_sim::ring_oscillator::{RingOscillator, RingOscillatorConfig};
 use trng_fpga_sim::rng::SimRng;
+use trng_fpga_sim::scenario::NoiseEnvironment;
 use trng_fpga_sim::time::Ps;
 use trng_model::params::{DesignParams, ParamError, PlatformParams};
 
@@ -157,6 +158,30 @@ impl TrngConfig {
             config.first_row,
         )?;
         Ok(config)
+    }
+
+    /// Applies a scenario [`NoiseEnvironment`] to this configuration.
+    ///
+    /// `Some` overrides replace the corresponding noise source, `None`
+    /// keeps the base one, and `white_sigma_scale` multiplies the
+    /// platform's thermal sigma (`sigma_LUT`). The default environment
+    /// returns a configuration equal to `self`.
+    pub fn with_environment(&self, env: &NoiseEnvironment) -> TrngConfig {
+        let mut config = self.clone();
+        if let Some(f) = env.flicker {
+            config.flicker = Some(f);
+        }
+        if let Some(g) = &env.global {
+            config.global = Some(g.clone());
+        }
+        if let Some(a) = env.attack {
+            config.attack = Some(a);
+        }
+        config.platform = PlatformParams {
+            sigma_lut_ps: self.platform.sigma_lut_ps * env.white_sigma_scale,
+            ..self.platform
+        };
+        config
     }
 
     fn noise(&self) -> NoiseConfig {
@@ -537,6 +562,28 @@ impl Iterator for RawBits<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn environment_overrides_replace_and_scale() {
+        use trng_fpga_sim::noise::AttackInjection;
+
+        let base = TrngConfig::paper_k1();
+        let identity = base.with_environment(&NoiseEnvironment::default());
+        assert_eq!(identity.platform, base.platform);
+        assert_eq!(identity.flicker, base.flicker);
+        assert_eq!(identity.attack, base.attack);
+
+        let env = NoiseEnvironment {
+            attack: Some(AttackInjection::locking(1e12 / 480.0, 0.5)),
+            white_sigma_scale: 0.5,
+            ..NoiseEnvironment::default()
+        };
+        let out = base.with_environment(&env);
+        assert_eq!(out.attack, env.attack);
+        assert_eq!(out.flicker, base.flicker, "None keeps base flicker");
+        assert!((out.platform.sigma_lut_ps - base.platform.sigma_lut_ps * 0.5).abs() < 1e-12);
+        assert_eq!(out.platform.d0_lut_ps, base.platform.d0_lut_ps);
+    }
 
     #[test]
     fn paper_k1_generates_balanced_bits() {

@@ -53,6 +53,7 @@ pub mod primitives;
 pub mod process;
 pub mod ring_oscillator;
 pub mod rng;
+pub mod scenario;
 pub mod time;
 pub mod trace;
 
@@ -64,4 +65,5 @@ pub use placement::{PlacementError, TrngPlacement};
 pub use process::{DeviceSeed, ProcessVariation};
 pub use ring_oscillator::{RingOscillator, RingOscillatorConfig};
 pub use rng::SimRng;
+pub use scenario::{NoiseEnvironment, Scenario, ScenarioPhase};
 pub use time::Ps;

@@ -6,6 +6,7 @@
 
 use trng_fpga_sim::delay_line::TappedDelayLine;
 use trng_fpga_sim::edge_train::{EdgeTrain, SignalSource};
+use trng_fpga_sim::noise::{AttackInjection, GlobalModulation, SupplyTone};
 use trng_fpga_sim::ring_oscillator::{RingOscillator, RingOscillatorConfig};
 use trng_fpga_sim::rng::SimRng;
 use trng_fpga_sim::time::Ps;
@@ -174,6 +175,103 @@ props! {
                 assert_eq!(bit, lookback <= edge_offset, "tap {}", j);
             }
         }
+    }
+
+    fn attack_injection_is_deterministic(rng) {
+        let t = Ps::from_ps(rng.gen_range(0.0..1e9f64));
+        let f = rng.gen_range(1e3..1e9f64);
+        let attack = match rng.gen_range(0u8..3) {
+            0 => AttackInjection::periodic(Ps::from_ps(rng.gen_range(0.0..50.0f64)), f),
+            1 => AttackInjection::pulse_train(
+                Ps::from_ps(rng.gen_range(0.0..50.0f64)),
+                f,
+                rng.gen_range(0.05..0.95f64),
+            ),
+            _ => AttackInjection::locking(f, rng.gen_range(0.05..1.0f64)),
+        };
+        assert_eq!(attack.injected_delay(t), attack.injected_delay(t));
+    }
+
+    fn periodic_injection_stays_within_amplitude(rng) {
+        let amplitude = rng.gen_range(0.0..100.0f64);
+        let a = AttackInjection::periodic(Ps::from_ps(amplitude), rng.gen_range(1e3..1e9f64));
+        let t = Ps::from_ps(rng.gen_range(0.0..1e9f64));
+        assert!(a.injected_delay(t).abs().as_ps() <= amplitude + 1e-9);
+    }
+
+    fn pulse_train_is_two_valued_and_honors_duty(rng) {
+        let amplitude = rng.gen_range(1.0..100.0f64);
+        let f = rng.gen_range(1e3..1e8f64);
+        let duty = rng.gen_range(0.05..0.95f64);
+        let a = AttackInjection::pulse_train(Ps::from_ps(amplitude), f, duty);
+        let t = Ps::from_ps(rng.gen_range(0.0..1e9f64));
+        let d = a.injected_delay(t).as_ps();
+        let phase = (t.as_s() * f).rem_euclid(1.0);
+        // Skip the exact on/off boundary, ambiguous in floating point.
+        if (phase - duty).abs() < 1e-9 {
+            return;
+        }
+        let expected = if phase < duty { amplitude } else { 0.0 };
+        assert_eq!(d, expected, "phase {phase}, duty {duty}");
+    }
+
+    fn locking_correction_is_bounded_by_half_period(rng) {
+        let f = rng.gen_range(1e6..1e10f64);
+        let strength = rng.gen_range(0.05..1.0f64);
+        let a = AttackInjection::locking(f, strength);
+        let t = Ps::from_ps(rng.gen_range(0.0..1e9f64));
+        // The phase error is at most half the attack period, so the
+        // correction is bounded by strength · period / 2.
+        let bound = strength * (1e12 / f) / 2.0;
+        assert!(a.injected_delay(t).abs().as_ps() <= bound + 1e-9);
+    }
+
+    fn zero_amplitude_attacks_are_identity(rng) {
+        let f = rng.gen_range(1e3..1e9f64);
+        let t = Ps::from_ps(rng.gen_range(0.0..1e9f64));
+        let periodic = AttackInjection::periodic(Ps::ZERO, f);
+        assert_eq!(periodic.injected_delay(t), Ps::ZERO);
+        let pulse = AttackInjection::pulse_train(Ps::ZERO, f, rng.gen_range(0.05..0.95f64));
+        assert_eq!(pulse.injected_delay(t), Ps::ZERO);
+    }
+
+    fn delay_factor_is_deterministic_and_clamped(rng) {
+        let mut m = GlobalModulation::new()
+            .with_thermal_drift(rng.gen_range(-100.0..100.0f64));
+        for _ in 0..rng.gen_range(0usize..4) {
+            m = m.with_tone(
+                SupplyTone::new(rng.gen_range(1e3..1e8f64), rng.gen_range(0.0..0.49f64))
+                    .with_phase(rng.gen_range(0.0..core::f64::consts::TAU)),
+            );
+        }
+        let t = Ps::from_ps(rng.gen_range(0.0..1e12f64));
+        let factor = m.delay_factor(t);
+        assert_eq!(factor, m.delay_factor(t));
+        assert!((0.5..=1.5).contains(&factor), "factor {factor}");
+    }
+
+    fn empty_modulation_is_identity(rng) {
+        let t = Ps::from_ps(rng.gen_range(0.0..1e12f64));
+        assert_eq!(GlobalModulation::new().delay_factor(t), 1.0);
+    }
+
+    fn tone_only_factor_is_bounded_by_summed_amplitudes(rng) {
+        let mut m = GlobalModulation::new();
+        let mut total = 0.0f64;
+        for _ in 0..rng.gen_range(1usize..4) {
+            let amplitude = rng.gen_range(0.0..0.15f64);
+            total += amplitude;
+            m = m.with_tone(
+                SupplyTone::new(rng.gen_range(1e3..1e8f64), amplitude)
+                    .with_phase(rng.gen_range(0.0..core::f64::consts::TAU)),
+            );
+        }
+        let t = Ps::from_ps(rng.gen_range(0.0..1e12f64));
+        let factor = m.delay_factor(t);
+        assert!(
+            (factor - 1.0).abs() <= total + 1e-9,
+            "factor {factor} exceeds 1 ± {total}"
+        );
     }
 
     fn signal_source_trait_is_consistent_for_ring_nodes(rng) {

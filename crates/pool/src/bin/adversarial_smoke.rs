@@ -1,0 +1,179 @@
+//! CI smoke check for the adversarial detection stack: a 2-shard
+//! deterministic pool with the jitter monitor on, hit by two scripted
+//! campaigns — injection locking on shard 0 and a severe thermal
+//! runaway on shard 1. Fails loudly unless:
+//!
+//! * the monitor's drift alarm fires on the locked shard (the SP
+//!   800-90B gate is provably blind to locking — the locked bits stay
+//!   statistically plausible, which is exactly why the monitor
+//!   exists);
+//! * the runaway shard raises both a drift event and a 90B health
+//!   alarm, monitor strictly first, and retires;
+//! * the delivered stream re-passes the continuous tests (zero
+//!   unhealthy bytes).
+//!
+//! Environment overrides:
+//! * `TRNG_ADVERSARIAL_SMOKE_BYTES` — bytes to draw (default 4 KiB)
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use trng_core::health::{HealthStatus, OnlineHealth};
+use trng_core::trng::TrngConfig;
+use trng_fpga_sim::scenario::Scenario;
+use trng_fpga_sim::time::Ps;
+use trng_pool::{
+    compile_campaign, onset_bytes, Conditioning, EntropyPool, IncidentKind, MonitorConfig,
+    PoolConfig, ShardState,
+};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    match std::env::var(name) {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("{name} must be an integer, got {v:?}")),
+        Err(_) => default,
+    }
+}
+
+fn main() -> ExitCode {
+    let total_bytes = env_usize("TRNG_ADVERSARIAL_SMOKE_BYTES", 4 << 10);
+    eprintln!(
+        "adversarial_smoke: locking on shard 0, thermal runaway on shard 1, {total_bytes} bytes"
+    );
+
+    let base = TrngConfig::paper_k1();
+    let onset_time = Ps::from_us(300.0);
+    let onset = onset_bytes(onset_time, Conditioning::DesignXor, &base.design);
+    let locking = Scenario::injection_locking(onset_time, 1e12 / 480.0, 0.85);
+    let runaway = Scenario::thermal_ramp(onset_time, 5000.0);
+    let mut faults = compile_campaign(&locking, Conditioning::DesignXor, &base.design, &[0], false);
+    faults.extend(compile_campaign(
+        &runaway,
+        Conditioning::DesignXor,
+        &base.design,
+        &[1],
+        false,
+    ));
+    let config = PoolConfig::new(base, 2)
+        .with_conditioning(Conditioning::DesignXor)
+        .with_seed(0xAD5A)
+        .with_block_bytes(64)
+        .with_faults(faults)
+        .with_monitor(MonitorConfig::default().with_interval_bytes(128))
+        .deterministic(true);
+    let mut pool = match EntropyPool::new(config) {
+        Ok(pool) => pool,
+        Err(e) => {
+            eprintln!("adversarial_smoke: FAILED to build pool: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = pool.wait_online(Duration::from_secs(60)) {
+        eprintln!("adversarial_smoke: FAILED waiting for admission: {e}");
+        return ExitCode::FAILURE;
+    }
+    let mut delivered = vec![0u8; total_bytes];
+    if let Err(e) = pool.fill_bytes(&mut delivered) {
+        eprintln!("adversarial_smoke: FAILED to fill: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let stats = pool.stats();
+    print!("{stats}");
+    let mut ok = true;
+
+    // Zero unhealthy bytes: the delivered stream re-passes the same
+    // continuous tests that guard the shards.
+    let mut gate = OnlineHealth::new(0.5);
+    let clean = delivered
+        .iter()
+        .flat_map(|&byte| (0..8).rev().map(move |i| byte >> i & 1 == 1))
+        .all(|bit| gate.push(bit) == HealthStatus::Ok);
+    if !clean {
+        eprintln!("adversarial_smoke: FAILED: delivered stream alarmed a fresh health gate");
+        ok = false;
+    }
+
+    let first = |shard: usize, kind: IncidentKind| {
+        stats
+            .journal
+            .iter()
+            .find(|e| e.shard == shard && e.kind == kind)
+            .cloned()
+    };
+
+    // The locked shard: monitor drift alarm at or after the onset.
+    match first(0, IncidentKind::JitterDrift) {
+        Some(drift) if drift.at_bytes >= onset => {
+            eprintln!(
+                "adversarial_smoke: locking drift alarm at byte {} (onset {onset}, latency {} bytes)",
+                drift.at_bytes,
+                drift.at_bytes - onset
+            );
+        }
+        Some(drift) => {
+            eprintln!(
+                "adversarial_smoke: FAILED: drift at {} precedes onset {onset}",
+                drift.at_bytes
+            );
+            ok = false;
+        }
+        None => {
+            eprintln!("adversarial_smoke: FAILED: locking campaign never tripped the monitor");
+            ok = false;
+        }
+    }
+
+    // The runaway shard: both gates fire, monitor strictly first, and
+    // the persistent environment forces retirement.
+    match (
+        first(1, IncidentKind::JitterDrift),
+        first(1, IncidentKind::Alarm),
+    ) {
+        (Some(drift), Some(alarm)) if drift.seq < alarm.seq => {
+            eprintln!(
+                "adversarial_smoke: runaway drift at byte {} then 90B alarm at byte {}",
+                drift.at_bytes, alarm.at_bytes
+            );
+        }
+        (Some(_), Some(_)) => {
+            eprintln!("adversarial_smoke: FAILED: the 90B alarm pre-empted the monitor");
+            ok = false;
+        }
+        (drift, alarm) => {
+            eprintln!(
+                "adversarial_smoke: FAILED: runaway detection incomplete (drift {drift:?}, alarm {alarm:?})"
+            );
+            ok = false;
+        }
+    }
+    if stats.shards[1].state != ShardState::Retired {
+        eprintln!(
+            "adversarial_smoke: FAILED: shard 1 is {:?}, expected Retired",
+            stats.shards[1].state
+        );
+        ok = false;
+    }
+
+    // The monitor ran on schedule on every shard.
+    for s in &stats.shards {
+        if s.monitor_measurements == 0 {
+            eprintln!(
+                "adversarial_smoke: FAILED: monitor never ran on shard {}",
+                s.id
+            );
+            ok = false;
+        }
+    }
+
+    if ok {
+        eprintln!(
+            "adversarial_smoke: OK ({} journal events)",
+            stats.journal.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

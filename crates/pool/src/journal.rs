@@ -54,6 +54,13 @@ pub enum IncidentKind {
     /// fabric placement; [`IncidentEvent::detail`] carries the id of
     /// the retired shard it supersedes.
     Respawn,
+    /// The online jitter monitor saw the shard's differential jitter
+    /// or oscillation period leave its baseline band — an entropy-
+    /// degradation early warning that does *not* by itself quarantine
+    /// the shard. [`IncidentEvent::detail`] encodes the offending
+    /// probe (`1` = jitter sigma, `2` = period, in the top byte) and
+    /// the observed/baseline ratio in permille (low bits).
+    JitterDrift,
 }
 
 impl IncidentKind {
@@ -65,6 +72,7 @@ impl IncidentKind {
             IncidentKind::Readmit => 3,
             IncidentKind::Retire => 4,
             IncidentKind::Respawn => 5,
+            IncidentKind::JitterDrift => 6,
         }
     }
 
@@ -75,6 +83,7 @@ impl IncidentKind {
             2 => IncidentKind::Quarantine,
             3 => IncidentKind::Readmit,
             4 => IncidentKind::Retire,
+            6 => IncidentKind::JitterDrift,
             _ => IncidentKind::Respawn,
         }
     }
@@ -89,6 +98,7 @@ impl core::fmt::Display for IncidentKind {
             IncidentKind::Readmit => "readmit",
             IncidentKind::Retire => "retire",
             IncidentKind::Respawn => "respawn",
+            IncidentKind::JitterDrift => "jitter_drift",
         })
     }
 }
@@ -266,6 +276,7 @@ mod tests {
             IncidentKind::Readmit,
             IncidentKind::Retire,
             IncidentKind::Respawn,
+            IncidentKind::JitterDrift,
         ] {
             assert_eq!(IncidentKind::from_u8(kind.as_u8()), kind);
             assert!(!kind.to_string().is_empty());
@@ -355,6 +366,77 @@ mod tests {
         let (events, dropped) = journal.snapshot();
         assert_eq!(events.len(), 64);
         assert_eq!(dropped, 2000 - 64);
+    }
+
+    #[test]
+    fn wraparound_preserves_payloads_and_eviction_order() {
+        // Fill well past capacity with distinguishable payloads and
+        // check the retained window carries exactly the newest events,
+        // oldest first, each with its own (untorn) payload.
+        let journal = Journal::new(16);
+        let cap = journal.capacity() as u64;
+        let total = 5 * cap + 3; // lands mid-ring, not on a boundary
+        for i in 0..total {
+            journal.record(
+                (i % 7) as usize,
+                IncidentKind::from_u8((i % 7) as u8),
+                i * 1000,
+                i * 64,
+                i ^ 0xABCD,
+            );
+        }
+        let (events, dropped) = journal.snapshot();
+        assert_eq!(journal.recorded(), total);
+        assert_eq!(dropped, total - cap, "eviction count must be exact");
+        assert_eq!(events.len(), cap as usize);
+        for (offset, e) in events.iter().enumerate() {
+            let i = dropped + offset as u64;
+            assert_eq!(e.seq, i, "retained window must be gap-free");
+            assert_eq!(e.shard, (i % 7) as usize);
+            assert_eq!(e.kind, IncidentKind::from_u8((i % 7) as u8));
+            assert_eq!(e.sim_ns, i * 1000);
+            assert_eq!(e.at_bytes, i * 64);
+            assert_eq!(e.detail, i ^ 0xABCD);
+        }
+    }
+
+    #[test]
+    fn snapshot_stays_consistent_under_a_lapping_writer() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        // A tiny ring and a writer that laps it continuously: every
+        // snapshot must return internally consistent events (payload
+        // fields derived from the sequence number must agree) in
+        // strictly increasing seq order within the retained window.
+        let journal = Arc::new(Journal::new(8));
+        let stop = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let j = Arc::clone(&journal);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    j.record(0, IncidentKind::Alarm, i, i * 2, i * 3);
+                    i += 1;
+                }
+            })
+        };
+        for _ in 0..2000 {
+            let (events, dropped) = journal.snapshot();
+            assert!(dropped <= journal.recorded());
+            let mut last_seq = None;
+            for e in &events {
+                assert_eq!(e.at_bytes, e.sim_ns * 2, "torn event {e}");
+                assert_eq!(e.detail, e.sim_ns * 3, "torn event {e}");
+                if let Some(prev) = last_seq {
+                    assert!(e.seq > prev, "snapshot out of order");
+                }
+                last_seq = Some(e.seq);
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
     }
 
     #[test]

@@ -62,15 +62,19 @@
 
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod handle;
 pub mod journal;
+pub mod monitor;
 pub mod pool;
 pub mod ring;
 pub mod shard;
 pub mod stats;
 
+pub use campaign::{compile_campaign, onset_bytes};
 pub use handle::PoolHandle;
 pub use journal::{IncidentEvent, IncidentKind, Journal};
+pub use monitor::{DriftProbe, MonitorConfig};
 pub use pool::{EntropyPool, PoolConfig, PoolError, RespawnPolicy};
 pub use shard::{Conditioning, FaultInjection, ShardFault};
 pub use stats::{PoolHealth, PoolStats, ShardOrigin, ShardState, ShardStats};

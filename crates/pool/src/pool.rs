@@ -25,6 +25,7 @@ use std::time::{Duration, Instant};
 use trng_core::trng::{BuildTrngError, TrngConfig};
 
 use crate::journal::{IncidentKind, Journal, DEFAULT_JOURNAL_CAPACITY};
+use crate::monitor::MonitorConfig;
 use crate::ring;
 use crate::shard::{mix_seed, Conditioning, FaultInjection, Shard};
 use crate::stats::{PoolStats, ShardShared, ShardState};
@@ -119,6 +120,9 @@ pub struct PoolConfig {
     /// Capacity of the bounded incident journal, in events (rounded up
     /// to a power of two; oldest events are evicted once exceeded).
     pub journal_capacity: usize,
+    /// Online jitter monitoring; `None` (the default) disables it so
+    /// existing replay streams and journals stay byte-identical.
+    pub monitor: Option<MonitorConfig>,
 }
 
 impl PoolConfig {
@@ -138,6 +142,7 @@ impl PoolConfig {
             faults: Vec::new(),
             respawn: None,
             journal_capacity: DEFAULT_JOURNAL_CAPACITY,
+            monitor: None,
         }
     }
 
@@ -199,6 +204,12 @@ impl PoolConfig {
     /// Sets the incident-journal capacity, builder-style.
     pub fn with_journal_capacity(mut self, events: usize) -> Self {
         self.journal_capacity = events;
+        self
+    }
+
+    /// Enables the online jitter monitor on every shard, builder-style.
+    pub fn with_monitor(mut self, monitor: MonitorConfig) -> Self {
+        self.monitor = Some(monitor);
         self
     }
 }
@@ -298,6 +309,7 @@ struct Supervisor {
     conditioning: Conditioning,
     block_bytes: usize,
     max_readmissions: u32,
+    monitor: Option<MonitorConfig>,
     faults: Vec<FaultInjection>,
     /// Next fresh fabric placement index.
     next_index: u32,
@@ -410,6 +422,7 @@ impl EntropyPool {
                 config.conditioning,
                 faults,
                 config.max_readmissions,
+                config.monitor.clone(),
                 Arc::clone(shared_i),
                 Arc::clone(&journal),
             )
@@ -455,6 +468,7 @@ impl EntropyPool {
             conditioning: config.conditioning,
             block_bytes: config.block_bytes,
             max_readmissions: config.max_readmissions,
+            monitor: config.monitor,
             faults: config.faults,
             next_index: config.shards as u32,
             used: 0,
@@ -547,6 +561,7 @@ impl EntropyPool {
             let conditioning = sup.conditioning;
             let block_bytes = sup.block_bytes;
             let max_readmissions = sup.max_readmissions;
+            let monitor = sup.monitor.clone();
             let settle = sup.policy.settle;
             let faults: Vec<FaultInjection> = sup
                 .faults
@@ -585,6 +600,7 @@ impl EntropyPool {
                     conditioning,
                     faults,
                     max_readmissions,
+                    monitor,
                     Arc::clone(&new_shared),
                     Arc::clone(&self.journal),
                 )

@@ -19,8 +19,11 @@ use trng_core::selftest::{claimed_min_entropy, run_startup_test};
 use trng_core::trng::{BuildTrngError, CarryChainTrng, TrngConfig};
 use trng_core::von_neumann::VonNeumann;
 use trng_fpga_sim::noise::AttackInjection;
+use trng_fpga_sim::rng::SimRng;
+use trng_fpga_sim::scenario::NoiseEnvironment;
 
 use crate::journal::{IncidentKind, Journal};
+use crate::monitor::{JitterMonitor, MonitorConfig};
 use crate::stats::{ShardShared, ShardState};
 
 /// Conditioning applied between the raw source and the pool's byte
@@ -109,6 +112,14 @@ pub enum ShardFault {
     /// *and* drift-frozen design whose entropy collapse is guaranteed
     /// to be visible to the continuous tests.
     Config(Box<TrngConfig>),
+    /// Apply a scenario [`NoiseEnvironment`] over the shard's base
+    /// configuration ([`TrngConfig::with_environment`]) — the campaign
+    /// compiler's fault shape. Unlike [`ShardFault::Attack`], an
+    /// environment can also modulate global conditions, flicker and
+    /// the white-sigma budget; later campaign phases (scheduled at
+    /// higher byte offsets) *escalate*: they supersede an
+    /// already-active environment without waiting for a quarantine.
+    Env(NoiseEnvironment),
 }
 
 /// Deterministic mid-stream fault injection for tests and drills: once
@@ -172,6 +183,10 @@ pub(crate) struct Shard {
     raw_base: u64,
     shared: Arc<ShardShared>,
     journal: Arc<Journal>,
+    /// Online jitter monitor, if enabled. Draws from its own rng lane
+    /// derived from the shard seed, so enabling it never changes the
+    /// shard's byte stream.
+    monitor: Option<JitterMonitor>,
 }
 
 impl Shard {
@@ -183,12 +198,15 @@ impl Shard {
         conditioning: Conditioning,
         faults: Vec<FaultInjection>,
         max_readmissions: u32,
+        monitor: Option<MonitorConfig>,
         shared: Arc<ShardShared>,
         journal: Arc<Journal>,
     ) -> Result<Self, BuildTrngError> {
         let claim = claimed_min_entropy(&config)?;
         let trng = CarryChainTrng::new(config.clone(), seed)?;
         let conditioner = Conditioner::new(conditioning, config.design.np);
+        let monitor =
+            monitor.map(|m| JitterMonitor::new(m, SimRng::seed_from(mix_seed(seed, 0x4_D017))));
         shared.set_state(ShardState::Starting);
         Ok(Shard {
             id,
@@ -216,6 +234,7 @@ impl Shard {
             raw_base: 0,
             shared,
             journal,
+            monitor,
         })
     }
 
@@ -240,6 +259,7 @@ impl Shard {
                 c
             }
             ShardFault::Config(c) => (**c).clone(),
+            ShardFault::Env(env) => self.base_config.with_environment(env),
         }
     }
 
@@ -360,30 +380,31 @@ impl Shard {
     pub fn produce_block(&mut self, out: &mut Vec<u8>, block_bytes: usize) -> bool {
         debug_assert_eq!(self.state, ShardState::Online);
         out.clear();
-        if self.active_fault.is_none() {
-            // Apply the earliest-scheduled ripe fault, if any. At most
-            // one fault corrupts the instance at a time; the next one
-            // (if scheduled) fires only after a transient predecessor
-            // clears at re-admission.
-            let ripe = self
-                .faults
-                .iter()
-                .enumerate()
-                .filter(|(_, f)| !f.applied && self.bytes_produced >= f.after_bytes)
-                .min_by_key(|(_, f)| f.after_bytes)
-                .map(|(i, _)| i);
-            if let Some(i) = ripe {
-                let config = self.faulted_config(&self.faults[i].fault.clone());
-                // A mid-stream fault does not reset the health gate:
-                // the attack hits a running, trusted source and the
-                // continuous tests must catch it.
-                if self.rebuild(config).is_err() {
-                    self.raise_alarm();
-                    return false;
-                }
-                self.faults[i].applied = true;
-                self.active_fault = Some(i);
+        // Apply the earliest-scheduled ripe fault, if any. A ripe fault
+        // supersedes an already-active one — campaign phases escalate
+        // without waiting for a quarantine to clear the predecessor —
+        // but a fault whose offset passed while a *noisier* fault was
+        // corrupting the instance fires only after a transient
+        // predecessor clears at re-admission (its offset is measured in
+        // healthy bytes, which the corrupted stretch did not add to).
+        let ripe = self
+            .faults
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| !f.applied && self.bytes_produced >= f.after_bytes)
+            .min_by_key(|(_, f)| f.after_bytes)
+            .map(|(i, _)| i);
+        if let Some(i) = ripe {
+            let config = self.faulted_config(&self.faults[i].fault.clone());
+            // A mid-stream fault does not reset the health gate:
+            // the attack hits a running, trusted source and the
+            // continuous tests must catch it.
+            if self.rebuild(config).is_err() {
+                self.raise_alarm();
+                return false;
             }
+            self.faults[i].applied = true;
+            self.active_fault = Some(i);
         }
         // A health-passing source that still starves the conditioner
         // (possible only for Von Neumann under adversarial patterns)
@@ -465,7 +486,32 @@ impl Shard {
         self.bytes_produced += out.len() as u64;
         self.shared.add_bytes(out.len() as u64);
         self.publish_progress();
+        self.run_monitor();
         true
+    }
+
+    /// Runs the online jitter monitor if one is configured and an
+    /// observation is due. A drift rising edge is journaled as
+    /// [`IncidentKind::JitterDrift`]; the shard's lifecycle state is
+    /// never touched — the monitor warns, the health gates act.
+    fn run_monitor(&mut self) {
+        let due = self
+            .monitor
+            .as_ref()
+            .is_some_and(|m| m.due(self.bytes_produced));
+        if !due {
+            return;
+        }
+        let observed = {
+            let monitor = self.monitor.as_mut().expect("due implies present");
+            monitor.observe(self.trng.config(), self.trng.now())
+        };
+        let Some(obs) = observed else { return };
+        self.shared.record_monitor(obs.jitter_fs, obs.baseline_fs);
+        if let Some(drift) = obs.drift {
+            self.shared.count_monitor_drift();
+            self.journal_event(IncidentKind::JitterDrift, drift.encode());
+        }
     }
 }
 
@@ -509,6 +555,7 @@ mod tests {
             Conditioning::DesignXor,
             Vec::new(),
             2,
+            None,
             Arc::clone(&s),
             journal(),
         )
@@ -538,6 +585,7 @@ mod tests {
             Conditioning::Raw,
             Vec::new(),
             2,
+            None,
             Arc::clone(&s),
             Arc::clone(&j),
         )
@@ -570,6 +618,7 @@ mod tests {
             Conditioning::DesignXor,
             vec![fault],
             2,
+            None,
             Arc::clone(&s),
             Arc::clone(&j),
         )
@@ -635,6 +684,7 @@ mod tests {
             Conditioning::DesignXor,
             vec![fault],
             2,
+            None,
             Arc::clone(&s),
             Arc::clone(&j),
         )
@@ -678,6 +728,7 @@ mod tests {
             Conditioning::DesignXor,
             vec![fault],
             0,
+            None,
             Arc::clone(&s),
             journal(),
         )
@@ -708,6 +759,7 @@ mod tests {
             Conditioning::DesignXor,
             vec![mk_fault(256), mk_fault(0)],
             4,
+            None,
             Arc::clone(&s),
             Arc::clone(&j),
         )
@@ -755,6 +807,7 @@ mod tests {
                 mode,
                 Vec::new(),
                 2,
+                None,
                 Arc::clone(&s),
                 journal(),
             )

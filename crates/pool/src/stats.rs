@@ -104,6 +104,10 @@ pub(crate) struct ShardShared {
     replaces_plus1: AtomicU64,
     /// `true` once a replacement shard has taken over for this one.
     superseded: AtomicBool,
+    monitor_measurements: AtomicU64,
+    jitter_fs: AtomicU64,
+    jitter_baseline_fs: AtomicU64,
+    monitor_drift_events: AtomicU64,
 }
 
 impl ShardShared {
@@ -158,6 +162,20 @@ impl ShardShared {
         self.ring_high_water.fetch_max(n, Ordering::Relaxed);
     }
 
+    /// Publishes one jitter-monitor observation: the latest estimated
+    /// per-LUT differential sigma and the baseline it is judged
+    /// against, both in femtoseconds.
+    pub fn record_monitor(&self, jitter_fs: u64, baseline_fs: u64) {
+        self.monitor_measurements.fetch_add(1, Ordering::Relaxed);
+        self.jitter_fs.store(jitter_fs, Ordering::Relaxed);
+        self.jitter_baseline_fs
+            .store(baseline_fs, Ordering::Relaxed);
+    }
+
+    pub fn count_monitor_drift(&self) {
+        self.monitor_drift_events.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub fn snapshot(&self, id: usize) -> ShardStats {
         let origin = match self.replaces_plus1.load(Ordering::Acquire) {
             0 => ShardOrigin::Initial,
@@ -177,6 +195,10 @@ impl ShardShared {
             raw_bits: self.raw_bits.load(Ordering::Relaxed),
             sim_elapsed: Duration::from_nanos(self.sim_ns.load(Ordering::Relaxed)),
             ring_high_water: self.ring_high_water.load(Ordering::Relaxed),
+            monitor_measurements: self.monitor_measurements.load(Ordering::Relaxed),
+            jitter_fs: self.jitter_fs.load(Ordering::Relaxed),
+            jitter_baseline_fs: self.jitter_baseline_fs.load(Ordering::Relaxed),
+            monitor_drift_events: self.monitor_drift_events.load(Ordering::Relaxed),
         }
     }
 }
@@ -210,6 +232,18 @@ pub struct ShardStats {
     pub sim_elapsed: Duration,
     /// Peak occupancy of the shard's ring buffer, in bytes.
     pub ring_high_water: usize,
+    /// Jitter-monitor observations completed (0 when the monitor is
+    /// disabled).
+    pub monitor_measurements: u64,
+    /// Latest per-LUT differential jitter sigma estimated by the
+    /// online monitor, in femtoseconds (0 before the first
+    /// observation).
+    pub jitter_fs: u64,
+    /// The monitor's frozen healthy baseline for `jitter_fs`, in
+    /// femtoseconds (0 until the baseline window completes).
+    pub jitter_baseline_fs: u64,
+    /// Drift events the monitor has journaled for this shard.
+    pub monitor_drift_events: u64,
 }
 
 impl ShardStats {
@@ -242,6 +276,10 @@ impl ShardStats {
                 Json::u64(self.sim_elapsed.as_nanos() as u64),
             ),
             ("ring_high_water", Json::u64(self.ring_high_water as u64)),
+            ("monitor_measurements", Json::u64(self.monitor_measurements)),
+            ("jitter_fs", Json::u64(self.jitter_fs)),
+            ("jitter_baseline_fs", Json::u64(self.jitter_baseline_fs)),
+            ("monitor_drift_events", Json::u64(self.monitor_drift_events)),
         ]);
         Json::obj(fields)
     }
@@ -456,6 +494,13 @@ impl fmt::Display for PoolStats {
             if s.superseded {
                 write!(f, " (superseded)")?;
             }
+            if s.monitor_measurements > 0 {
+                write!(
+                    f,
+                    ", jitter {} fs vs baseline {} fs ({} drift events)",
+                    s.jitter_fs, s.jitter_baseline_fs, s.monitor_drift_events,
+                )?;
+            }
             writeln!(f)?;
         }
         writeln!(
@@ -498,6 +543,9 @@ mod tests {
         shared.set_sim_ns(5_000);
         shared.set_ring_high_water(64);
         shared.set_ring_high_water(32); // max() keeps 64
+        shared.record_monitor(2650, 2600);
+        shared.record_monitor(2700, 2600);
+        shared.count_monitor_drift();
         let s = shared.snapshot(3);
         assert_eq!(s.id, 3);
         assert_eq!(s.state, ShardState::Online);
@@ -508,6 +556,10 @@ mod tests {
         assert_eq!(s.raw_bits, 1024);
         assert_eq!(s.sim_elapsed, Duration::from_nanos(5_000));
         assert_eq!(s.ring_high_water, 64);
+        assert_eq!(s.monitor_measurements, 2);
+        assert_eq!(s.jitter_fs, 2700, "latest observation wins");
+        assert_eq!(s.jitter_baseline_fs, 2600);
+        assert_eq!(s.monitor_drift_events, 1);
     }
 
     #[test]
@@ -524,6 +576,10 @@ mod tests {
             raw_bits: 0,
             sim_elapsed: Duration::from_millis(sim_ms),
             ring_high_water: 0,
+            monitor_measurements: 0,
+            jitter_fs: 0,
+            jitter_baseline_fs: 0,
+            monitor_drift_events: 0,
         };
         let stats = PoolStats {
             shards: vec![mk(1000, 10), mk(1000, 10), mk(1000, 10), mk(1000, 10)],
@@ -566,6 +622,10 @@ mod tests {
             raw_bits: 32768,
             sim_elapsed: Duration::from_nanos(123_456),
             ring_high_water: 512,
+            monitor_measurements: 9,
+            jitter_fs: 2600,
+            jitter_baseline_fs: 2500,
+            monitor_drift_events: id as u64,
         };
         PoolStats {
             shards: vec![
@@ -637,6 +697,10 @@ mod tests {
             assert_eq!(f("raw_bits"), s.raw_bits as f64);
             assert_eq!(f("sim_elapsed_ns"), s.sim_elapsed.as_nanos() as f64);
             assert_eq!(f("ring_high_water"), s.ring_high_water as f64);
+            assert_eq!(f("monitor_measurements"), s.monitor_measurements as f64);
+            assert_eq!(f("jitter_fs"), s.jitter_fs as f64);
+            assert_eq!(f("jitter_baseline_fs"), s.jitter_baseline_fs as f64);
+            assert_eq!(f("monitor_drift_events"), s.monitor_drift_events as f64);
         }
     }
 

@@ -62,6 +62,27 @@ echo "==> elastic smoke (3 shards, persistent fault on shard 1, 1 respawn)"
 TRNG_ELASTIC_SMOKE_BYTES=${TRNG_ELASTIC_SMOKE_BYTES:-32768} \
     cargo run -q --release --offline -p trng-pool --bin elastic_smoke
 
+# Adversarial-detection smoke: 2-shard monitored pool hit by two
+# scripted campaigns — injection locking on shard 0 (invisible to the
+# SP 800-90B gate; only the jitter monitor's differential sigma probe
+# catches it) and a severe thermal runaway on shard 1 (monitor drift
+# first, 90B alarm second, shard retired). Fails unless both detections
+# land in the incident journal in that order and the delivered stream
+# re-passes a fresh continuous-test gate.
+echo "==> adversarial smoke (locking + thermal runaway, monitor-first detection)"
+TRNG_ADVERSARIAL_SMOKE_BYTES=${TRNG_ADVERSARIAL_SMOKE_BYTES:-4096} \
+    cargo run -q --release --offline -p trng-pool --bin adversarial_smoke
+
+# Detection-latency table: quick run of the adversarial bench, which
+# asserts internally that no detection precedes its attack onset and
+# writes BENCH_adversarial.json (thermal ramp/runaway, locking,
+# flicker; the sub-threshold shared supply tone is the documented
+# undetected gap).
+echo "==> adversarial bench (quick, detection-latency table)"
+TRNG_ADVERSARIAL_BENCH_BYTES=${TRNG_ADVERSARIAL_BENCH_BYTES:-6144} \
+TRNG_BENCH_OUT_DIR=$(mktemp -d) \
+    cargo bench -q --offline -p trng-bench --bench pool_adversarial
+
 # Hot-path regression gate: quick run of the per-bit bench, failing
 # if the raw-bit cost regresses to more than 2x the checked-in
 # baseline (BENCH_hotpath.json: after_ns_per_bit ~ 1615 ns/bit on the

@@ -1,0 +1,386 @@
+//! Adversarial chaos matrix: scripted noise-environment campaigns
+//! (compiled from [`Scenario`]s) against pools running the online
+//! jitter monitor, across conditioning modes.
+//!
+//! Each cell of the matrix asserts three things:
+//!
+//! 1. **which gate fires first** — the jitter monitor (a `JitterDrift`
+//!    incident) or the SP 800-90B health gate (an `Alarm` incident) —
+//!    matching the physics of the scenario. Empirically the monitor is
+//!    *always* first: subtle degradations (injection locking, mild
+//!    thermal ramps, flicker-dominated regimes) keep the bit stream
+//!    statistically plausible, so the 90B gates stay silent while the
+//!    physics probes move. Only a severe thermal runaway eventually
+//!    breaks the bit statistics too, and even then the monitor's
+//!    journal entry precedes the alarm;
+//! 2. **zero unhealthy bytes**: the delivered stream replays clean
+//!    through a fresh continuous-test gate regardless of what the
+//!    attacker did;
+//! 3. **determinism**: the whole campaign is a pure function of the
+//!    configuration and seed.
+//!
+//! One scenario — the sub-threshold cross-shard supply tone — is
+//! *provably missed* by both gates; the matrix pins that down as a
+//! documented gap (see DESIGN.md §12) rather than letting it hide.
+
+use std::time::Duration;
+
+use trng_core::health::{HealthStatus, OnlineHealth};
+use trng_core::trng::TrngConfig;
+use trng_fpga_sim::scenario::Scenario;
+use trng_fpga_sim::time::Ps;
+use trng_pool::{
+    compile_campaign, onset_bytes, Conditioning, EntropyPool, IncidentEvent, IncidentKind,
+    MonitorConfig, PoolConfig, ShardState,
+};
+
+/// What a scenario is expected to provoke. Probe codes from the drift
+/// detail word: 1 = differential sigma, 2 = period.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Expected {
+    /// The monitor journals a drift; the 90B gate stays silent for the
+    /// whole run (the bit statistics remain plausible).
+    MonitorOnly {
+        /// Expected probe code in the drift detail word.
+        probe: u64,
+    },
+    /// Both layers fire, the monitor strictly first.
+    MonitorThenAlarm {
+        /// Expected probe code in the drift detail word.
+        probe: u64,
+    },
+    /// Nothing fires — a documented detection gap.
+    Undetected,
+}
+
+struct Cell {
+    scenario: Scenario,
+    conditioning: Conditioning,
+    expected: Expected,
+    /// Shards the campaign targets.
+    targets: Vec<usize>,
+    /// Bytes to pull from the pool (total, both shards).
+    fill: usize,
+    /// Upper bound on detection latency in target-shard bytes.
+    max_latency: u64,
+}
+
+const ONSET: Ps = Ps::from_us(300.0);
+
+/// Severe thermal runaway: the drift is so fast the delay factor rails
+/// at its +50 % clamp within ~100 us, which eventually breaks the bit
+/// statistics too — the one scripted scenario both gates catch.
+fn thermal_runaway(onset: Ps) -> Scenario {
+    let mut scenario = Scenario::thermal_ramp(onset, 5000.0);
+    scenario.name = "thermal_runaway".into();
+    scenario
+}
+
+fn cells() -> Vec<Cell> {
+    let lock = |conditioning, fill| Cell {
+        scenario: Scenario::injection_locking(ONSET, 1e12 / 480.0, 0.85),
+        conditioning,
+        expected: Expected::MonitorOnly { probe: 1 },
+        targets: vec![0],
+        fill,
+        max_latency: 2048,
+    };
+    let ramp = |conditioning, fill, max_latency| Cell {
+        scenario: Scenario::thermal_ramp(ONSET, 200.0),
+        conditioning,
+        expected: Expected::MonitorOnly { probe: 2 },
+        targets: vec![0],
+        fill,
+        max_latency,
+    };
+    let flicker = |conditioning, fill, max_latency| Cell {
+        scenario: Scenario::flicker_dominated(ONSET, Ps::from_ps(8.0), Ps::from_us(0.2)),
+        conditioning,
+        expected: Expected::MonitorOnly { probe: 1 },
+        targets: vec![0],
+        fill,
+        max_latency,
+    };
+    let tone = |conditioning, fill| Cell {
+        scenario: Scenario::shared_supply_tone(ONSET, 5e6, 0.004),
+        conditioning,
+        expected: Expected::Undetected,
+        targets: vec![0, 1],
+        fill,
+        max_latency: 0,
+    };
+    vec![
+        // DesignXor rows: onset = 535 bytes on the target shard.
+        lock(Conditioning::DesignXor, 4096),
+        ramp(Conditioning::DesignXor, 6144, 1024),
+        flicker(Conditioning::DesignXor, 4096, 512),
+        tone(Conditioning::DesignXor, 4096),
+        Cell {
+            scenario: thermal_runaway(ONSET),
+            conditioning: Conditioning::DesignXor,
+            expected: Expected::MonitorThenAlarm { probe: 2 },
+            targets: vec![0],
+            fill: 4096,
+            max_latency: 1024,
+        },
+        // Raw rows: onset = 3750 bytes on the target shard.
+        lock(Conditioning::Raw, 16 * 1024),
+        ramp(Conditioning::Raw, 24 * 1024, 6144),
+        flicker(Conditioning::Raw, 16 * 1024, 3072),
+        tone(Conditioning::Raw, 16 * 1024),
+    ]
+}
+
+/// The monitor's sampling budget per conditioning mode: Raw bytes span
+/// 7x less simulated time, so observations are spaced further apart to
+/// keep the probe overhead comparable.
+fn monitor_for(conditioning: Conditioning) -> MonitorConfig {
+    let interval = match conditioning {
+        Conditioning::Raw => 1024,
+        _ => 128,
+    };
+    MonitorConfig::default().with_interval_bytes(interval)
+}
+
+fn pool_for(cell: &Cell, seed: u64) -> EntropyPool {
+    let base = TrngConfig::paper_k1();
+    let faults = compile_campaign(
+        &cell.scenario,
+        cell.conditioning,
+        &base.design,
+        &cell.targets,
+        false,
+    );
+    let config = PoolConfig::new(base, 2)
+        .with_conditioning(cell.conditioning)
+        .with_seed(seed)
+        .with_block_bytes(64)
+        .with_faults(faults)
+        .with_monitor(monitor_for(cell.conditioning))
+        .deterministic(true);
+    EntropyPool::new(config).expect("pool")
+}
+
+/// Replays the delivered bytes through a fresh continuous-test gate.
+/// The ones-fraction check only applies to unbiased (XOR-conditioned)
+/// streams — raw packing keeps the source's inherent bias.
+fn assert_stream_health_clean(bytes: &[u8], check_bias: bool) {
+    let mut gate = OnlineHealth::new(0.5);
+    let mut ones = 0u64;
+    for &byte in bytes {
+        for bit in (0..8).rev().map(|i| byte >> i & 1 == 1) {
+            ones += u64::from(bit);
+            assert_eq!(
+                gate.push(bit),
+                HealthStatus::Ok,
+                "delivered stream alarmed the continuous tests"
+            );
+        }
+    }
+    if check_bias {
+        let frac = ones as f64 / (bytes.len() as f64 * 8.0);
+        assert!(
+            (frac - 0.5).abs() < 0.015,
+            "delivered stream is biased: ones fraction {frac}"
+        );
+    }
+}
+
+/// First journal event of `kind` on the given shard.
+fn first_event(
+    events: &[IncidentEvent],
+    shard: usize,
+    kind: IncidentKind,
+) -> Option<IncidentEvent> {
+    events
+        .iter()
+        .find(|e| e.shard == shard && e.kind == kind)
+        .cloned()
+}
+
+fn assert_drift(name: &str, drift: &IncidentEvent, probe: u64, onset: u64, max_latency: u64) {
+    assert_eq!(
+        drift.detail >> 56,
+        probe,
+        "{name}: wrong probe tripped (detail {:#x})",
+        drift.detail
+    );
+    assert!(
+        drift.at_bytes >= onset,
+        "{name}: drift at {} before onset {onset}",
+        drift.at_bytes
+    );
+    assert!(
+        drift.at_bytes - onset <= max_latency,
+        "{name}: detection latency {} bytes exceeds {max_latency}",
+        drift.at_bytes - onset
+    );
+}
+
+#[test]
+fn chaos_matrix_fires_the_right_gate_first_and_never_taints_the_stream() {
+    for cell in cells() {
+        let name = format!("{}/{:?}", cell.scenario.name, cell.conditioning);
+        let onset = onset_bytes(
+            cell.scenario.phases[0].onset,
+            cell.conditioning,
+            &TrngConfig::paper_k1().design,
+        );
+
+        let mut pool = pool_for(&cell, 0xAD5A);
+        pool.wait_online(Duration::from_secs(60))
+            .unwrap_or_else(|e| panic!("{name}: admission failed: {e}"));
+        let mut delivered = vec![0u8; cell.fill];
+        pool.fill_bytes(&mut delivered)
+            .unwrap_or_else(|e| panic!("{name}: fill failed: {e}"));
+        assert_stream_health_clean(
+            &delivered,
+            matches!(cell.conditioning, Conditioning::DesignXor)
+                && cell.expected == Expected::Undetected,
+        );
+
+        let stats = pool.stats();
+        let target = cell.targets[0];
+        let alarm = first_event(&stats.journal, target, IncidentKind::Alarm);
+        let drift = first_event(&stats.journal, target, IncidentKind::JitterDrift);
+
+        match cell.expected {
+            Expected::MonitorOnly { probe } => {
+                let drift = drift.unwrap_or_else(|| panic!("{name}: no monitor drift event"));
+                assert_drift(&name, &drift, probe, onset, cell.max_latency);
+                // The whole point: the bit-statistics gate stays silent
+                // while the physics probe fires — for these scenarios
+                // the 90B tests are provably blind (see DESIGN.md §12).
+                assert!(
+                    alarm.is_none(),
+                    "{name}: health gate unexpectedly alarmed: {alarm:?}"
+                );
+                assert!(
+                    stats.shards[target].monitor_drift_events >= 1,
+                    "{name}: drift missing from stats"
+                );
+            }
+            Expected::MonitorThenAlarm { probe } => {
+                let drift = drift.unwrap_or_else(|| panic!("{name}: no monitor drift event"));
+                let alarm = alarm.unwrap_or_else(|| panic!("{name}: no health alarm"));
+                assert_drift(&name, &drift, probe, onset, cell.max_latency);
+                assert!(
+                    drift.seq < alarm.seq,
+                    "{name}: the monitor must journal drift before the 90B alarm"
+                );
+                assert!(alarm.at_bytes >= onset);
+                // Persistent environment: re-admission fails, retire.
+                assert_eq!(stats.shards[target].state, ShardState::Retired);
+            }
+            Expected::Undetected => {
+                assert!(alarm.is_none(), "{name}: unexpected health alarm {alarm:?}");
+                assert!(
+                    drift.is_none(),
+                    "{name}: unexpected monitor drift {drift:?}"
+                );
+                // Documented gap: the tone rides through undetected and
+                // the stream still replays clean (the conditioning and
+                // entropy margin absorb it — see DESIGN.md §12).
+                assert_eq!(stats.bytes_delivered, cell.fill as u64);
+            }
+        }
+
+        // The monitor ran on schedule and published its estimates; the
+        // untouched shard's estimate is live and non-degenerate.
+        for s in &stats.shards {
+            assert!(
+                s.monitor_measurements > 0,
+                "{name}: monitor never ran on shard {}",
+                s.id
+            );
+        }
+        let witness = &stats.shards[1 - target.min(1)];
+        if !cell.targets.contains(&witness.id) {
+            assert!(
+                witness.jitter_fs > 0,
+                "{name}: no jitter estimate on the healthy shard"
+            );
+        }
+    }
+}
+
+#[test]
+fn chaos_cells_replay_byte_identically() {
+    // One representative detected cell and the undetected one: same
+    // seed, same campaign => same bytes, same stats, same journal.
+    for cell in [
+        Cell {
+            scenario: Scenario::injection_locking(ONSET, 1e12 / 480.0, 0.85),
+            conditioning: Conditioning::DesignXor,
+            expected: Expected::MonitorOnly { probe: 1 },
+            targets: vec![0],
+            fill: 4096,
+            max_latency: 2048,
+        },
+        Cell {
+            scenario: Scenario::shared_supply_tone(ONSET, 5e6, 0.004),
+            conditioning: Conditioning::DesignXor,
+            expected: Expected::Undetected,
+            targets: vec![0, 1],
+            fill: 4096,
+            max_latency: 0,
+        },
+    ] {
+        let mut a = pool_for(&cell, 0xD0_0D);
+        let mut b = pool_for(&cell, 0xD0_0D);
+        let mut x = vec![0u8; cell.fill];
+        let mut y = vec![0u8; cell.fill];
+        a.fill_bytes(&mut x).expect("fill");
+        b.fill_bytes(&mut y).expect("fill");
+        assert_eq!(x, y, "{}: replay diverged", cell.scenario.name);
+        assert_eq!(
+            a.stats(),
+            b.stats(),
+            "{}: stats diverged",
+            cell.scenario.name
+        );
+    }
+}
+
+#[test]
+fn multi_phase_supply_ramp_escalates_until_detected() {
+    // The escalating supply ramp exercises fault *escalation*: each
+    // phase supersedes the previous environment without a quarantine
+    // in between. The early sub-threshold phases must ride through;
+    // once the tone amplitude crosses the period band the monitor
+    // fires.
+    let base = TrngConfig::paper_k1();
+    let scenario = Scenario::supply_ramp(Ps::from_us(200.0), 5e6, 0.2, 4, Ps::from_us(150.0));
+    let faults = compile_campaign(
+        &scenario,
+        Conditioning::DesignXor,
+        &base.design,
+        &[0],
+        false,
+    );
+    let config = PoolConfig::new(base, 2)
+        .with_conditioning(Conditioning::DesignXor)
+        .with_seed(0x5A3B)
+        .with_block_bytes(64)
+        .with_faults(faults)
+        .with_monitor(MonitorConfig::default().with_interval_bytes(128))
+        .deterministic(true);
+    let mut pool = EntropyPool::new(config).expect("pool");
+    let mut delivered = vec![0u8; 8192];
+    pool.fill_bytes(&mut delivered).expect("fill");
+    assert_stream_health_clean(&delivered, false);
+
+    let stats = pool.stats();
+    let drift = stats
+        .journal
+        .iter()
+        .find(|e| e.shard == 0 && e.kind == IncidentKind::JitterDrift)
+        .expect("the ramp must eventually trip the monitor");
+    // Not before the first phase onset — the early phases are quiet.
+    let first_onset = onset_bytes(
+        scenario.phases[0].onset,
+        Conditioning::DesignXor,
+        &TrngConfig::paper_k1().design,
+    );
+    assert!(drift.at_bytes >= first_onset);
+}

@@ -183,6 +183,48 @@ fn pool_runs_dry_with_typed_error_when_last_shard_dies() {
 }
 
 #[test]
+fn trimmed_battery_passes_in_tier1() {
+    use trng_stattests::ais31::run_ais31;
+    use trng_stattests::bits::BitVec;
+    use trng_stattests::nist::run_battery;
+
+    // Tier-1 sized variant of the full soak below: 24 KiB over two
+    // shards with one transient mid-stream fault. Tests that need more
+    // data (universal, linear complexity, ...) skip as not applicable
+    // and do not count as failures.
+    let config = PoolConfig::new(TrngConfig::paper_k1(), 2)
+        .with_conditioning(Conditioning::DesignXor)
+        .with_seed(0xFEED)
+        .with_fault(transient_fault(1, 4096))
+        .deterministic(true);
+    let mut pool = EntropyPool::new(config).expect("pool");
+    let mut delivered = vec![0u8; 24 * 1024];
+    pool.fill_bytes(&mut delivered).expect("fill");
+
+    let stats = pool.stats();
+    assert_eq!(stats.total_alarms(), 1);
+    assert_eq!(stats.shards[1].readmissions, 1);
+    assert_stream_health_clean(&delivered);
+
+    let bits: BitVec = delivered
+        .iter()
+        .flat_map(|&byte| (0..8).rev().map(move |i| byte >> i & 1 == 1))
+        .collect();
+    let ais = run_ais31(&bits);
+    assert!(ais.all_passed(), "{ais}");
+    let battery = run_battery(&bits);
+    assert!(
+        battery.applicable() >= 8,
+        "too few applicable tests\n{battery}"
+    );
+    assert!(
+        battery.failures().len() <= 1,
+        "NIST failures: {:?}\n{battery}",
+        battery.failures()
+    );
+}
+
+#[test]
 #[ignore = "multi-minute soak run; execute with --ignored"]
 fn pooled_output_passes_the_statistical_batteries() {
     use trng_stattests::ais31::run_ais31;
