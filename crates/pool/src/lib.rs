@@ -6,10 +6,15 @@
 //! hard guarantee that a failing source degrades *availability*, never
 //! output *quality*. This crate provides that layer:
 //!
-//! * An [`EntropyPool`] runs N [`CarryChainTrng`] shards — placed on
-//!   disjoint fabric regions via
-//!   [`TrngConfig::for_shard`](trng_core::trng::TrngConfig::for_shard) —
-//!   each wrapped in its own SP 800-90B continuous-health gate.
+//! * An [`EntropyPool`] runs N shards, each an
+//!   [`EntropySource`](trng_sources::EntropySource) backend wrapped in
+//!   its own SP 800-90B continuous-health gate parameterised by the
+//!   backend's declared min-entropy claim. The default backend is the
+//!   paper's [`CarryChainTrng`] placed on disjoint fabric regions via
+//!   [`TrngConfig::for_shard`](trng_core::trng::TrngConfig::for_shard);
+//!   [`PoolConfig::with_sources`] mixes in dual-oscillator samplers,
+//!   recorded-trace replay, and the OS entropy pool per shard
+//!   ([`SourceSpec`]).
 //! * A shard must pass the AIS-31-style start-up self-test before it
 //!   contributes a single byte; a continuous-test alarm quarantines it,
 //!   discards its in-flight block, and forces a fresh start-up test
@@ -75,6 +80,9 @@ pub use campaign::{compile_campaign, onset_bytes};
 pub use handle::PoolHandle;
 pub use journal::{IncidentEvent, IncidentKind, Journal};
 pub use monitor::{DriftProbe, MonitorConfig};
-pub use pool::{EntropyPool, PoolConfig, PoolError, RespawnPolicy};
+pub use pool::{EntropyPool, PoolConfig, PoolError, RespawnPolicy, SourceSpec};
 pub use shard::{Conditioning, FaultInjection, ShardFault};
 pub use stats::{PoolHealth, PoolStats, ShardOrigin, ShardState, ShardStats};
+// Source-building vocabulary re-exported so pool consumers configure
+// heterogeneous mixes without naming `trng-sources` themselves.
+pub use trng_sources::{DualOscConfig, RecordedTrace, SourceError, SourceKind};

@@ -22,7 +22,11 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use trng_core::trng::{BuildTrngError, TrngConfig};
+use trng_core::trng::TrngConfig;
+use trng_sources::{
+    CarryChainSource, DualOscConfig, DualOscillatorSource, EntropySource, OsEntropySource,
+    RecordedTrace, SourceError, TraceReplaySource,
+};
 
 use crate::journal::{IncidentKind, Journal, DEFAULT_JOURNAL_CAPACITY};
 use crate::monitor::MonitorConfig;
@@ -89,6 +93,28 @@ impl RespawnPolicy {
     }
 }
 
+/// Which entropy backend one shard runs — the heterogeneous
+/// source-mix unit of [`PoolConfig::with_sources`].
+#[derive(Debug, Clone)]
+pub enum SourceSpec {
+    /// The paper's carry-chain TDC simulator, placed on its own
+    /// disjoint fabric columns via [`TrngConfig::for_shard`] at the
+    /// shard's index. The default for every shard when no source mix
+    /// is configured.
+    CarryChain,
+    /// A dual-oscillator sampler built from the simulator's
+    /// ring-oscillator primitives. Boxed: the oscillator config is an
+    /// order of magnitude larger than every other variant.
+    DualOscillator(Box<DualOscConfig>),
+    /// Replay of a recorded raw capture through the live
+    /// health/conditioning stack.
+    TraceReplay(Arc<RecordedTrace>),
+    /// The operating system's entropy pool. Deterministic pools get
+    /// the seeded stand-in so replay stays a pure function of the
+    /// configuration.
+    OsEntropy,
+}
+
 /// Configuration of an [`EntropyPool`].
 #[derive(Debug, Clone)]
 pub struct PoolConfig {
@@ -123,6 +149,11 @@ pub struct PoolConfig {
     /// Online jitter monitoring; `None` (the default) disables it so
     /// existing replay streams and journals stay byte-identical.
     pub monitor: Option<MonitorConfig>,
+    /// Heterogeneous source mix: entry `i` picks shard `i`'s backend.
+    /// Empty (the default) runs every shard on [`SourceSpec::CarryChain`]
+    /// — byte-identical to pools built before source mixing existed.
+    /// Non-empty lists must name exactly one spec per shard.
+    pub sources: Vec<SourceSpec>,
 }
 
 impl PoolConfig {
@@ -143,6 +174,7 @@ impl PoolConfig {
             respawn: None,
             journal_capacity: DEFAULT_JOURNAL_CAPACITY,
             monitor: None,
+            sources: Vec::new(),
         }
     }
 
@@ -212,6 +244,13 @@ impl PoolConfig {
         self.monitor = Some(monitor);
         self
     }
+
+    /// Sets the per-shard source mix, builder-style; `sources[i]`
+    /// picks shard `i`'s backend and the list must cover every shard.
+    pub fn with_sources(mut self, sources: Vec<SourceSpec>) -> Self {
+        self.sources = sources;
+        self
+    }
 }
 
 /// Why the pool cannot serve bytes.
@@ -222,12 +261,12 @@ pub enum PoolError {
     /// The configuration is inconsistent (e.g. a fault scripted for a
     /// shard index the pool does not have).
     InvalidConfig(String),
-    /// A shard's TRNG could not be built.
+    /// A shard's entropy source could not be built.
     Build {
         /// Index of the failing shard.
         shard: usize,
         /// The underlying construction error.
-        error: BuildTrngError,
+        error: SourceError,
     },
     /// `try_fill_bytes` hit its deadline; `filled` healthy bytes were
     /// written to the front of the buffer before it expired.
@@ -298,6 +337,29 @@ enum Backend {
     Inline(Inline),
 }
 
+/// Builds one shard's entropy backend from its spec. Carry-chain
+/// shards take their own disjoint fabric placement
+/// ([`TrngConfig::for_shard`] at `index`); the other backends ignore
+/// the base config. `deterministic` pools get the seeded OS stand-in
+/// so replay stays a pure function of the configuration.
+fn build_source(
+    spec: &SourceSpec,
+    base: &TrngConfig,
+    index: u32,
+    seed: u64,
+    deterministic: bool,
+) -> Result<Box<dyn EntropySource>, SourceError> {
+    Ok(match spec {
+        SourceSpec::CarryChain => Box::new(CarryChainSource::new(base.for_shard(index)?, seed)?),
+        SourceSpec::DualOscillator(config) => {
+            Box::new(DualOscillatorSource::new((**config).clone(), seed)?)
+        }
+        SourceSpec::TraceReplay(trace) => Box::new(TraceReplaySource::new(Arc::clone(trace))?),
+        SourceSpec::OsEntropy if deterministic => Box::new(OsEntropySource::seeded(seed)),
+        SourceSpec::OsEntropy => Box::new(OsEntropySource::from_os(seed)),
+    })
+}
+
 /// State of the elastic-management supervisor: everything needed to
 /// build a replacement shard, plus the budget/backoff bookkeeping.
 /// Supervision piggybacks on consumer calls (`fill_bytes`,
@@ -311,6 +373,11 @@ struct Supervisor {
     max_readmissions: u32,
     monitor: Option<MonitorConfig>,
     faults: Vec<FaultInjection>,
+    /// Source spec per shard id, replacements included: a respawn
+    /// inherits the spec of the shard it supersedes, so a dead
+    /// dual-oscillator shard is replaced by a dual-oscillator shard.
+    specs: Vec<SourceSpec>,
+    deterministic: bool,
     /// Next fresh fabric placement index.
     next_index: u32,
     /// Respawns already spent.
@@ -399,15 +466,26 @@ impl EntropyPool {
                 )));
             }
         }
+        if !config.sources.is_empty() && config.sources.len() != config.shards {
+            return Err(PoolError::InvalidConfig(format!(
+                "sources list has {} entries for {} shards",
+                config.sources.len(),
+                config.shards
+            )));
+        }
         let journal = Arc::new(Journal::new(config.journal_capacity));
         let shared: Vec<Arc<ShardShared>> = (0..config.shards)
             .map(|_| Arc::new(ShardShared::default()))
             .collect();
         let mut shards = Vec::with_capacity(config.shards);
         for (i, shared_i) in shared.iter().enumerate() {
-            let shard_config = config
-                .base
-                .for_shard(i as u32)
+            let spec = config
+                .sources
+                .get(i)
+                .cloned()
+                .unwrap_or(SourceSpec::CarryChain);
+            let seed = mix_seed(config.seed, i as u64);
+            let source = build_source(&spec, &config.base, i as u32, seed, config.deterministic)
                 .map_err(|error| PoolError::Build { shard: i, error })?;
             let faults: Vec<FaultInjection> = config
                 .faults
@@ -417,16 +495,15 @@ impl EntropyPool {
                 .collect();
             let shard = Shard::new(
                 i,
-                shard_config,
-                mix_seed(config.seed, i as u64),
+                source,
+                seed,
                 config.conditioning,
                 faults,
                 config.max_readmissions,
                 config.monitor.clone(),
                 Arc::clone(shared_i),
                 Arc::clone(&journal),
-            )
-            .map_err(|error| PoolError::Build { shard: i, error })?;
+            );
             journal.record(i, IncidentKind::Spawn, 0, 0, 0);
             shards.push(shard);
         }
@@ -461,6 +538,11 @@ impl EntropyPool {
             })
         };
 
+        let specs = if config.sources.is_empty() {
+            vec![SourceSpec::CarryChain; config.shards]
+        } else {
+            config.sources
+        };
         let supervisor = config.respawn.map(|policy| Supervisor {
             policy,
             base: config.base,
@@ -470,6 +552,8 @@ impl EntropyPool {
             max_readmissions: config.max_readmissions,
             monitor: config.monitor,
             faults: config.faults,
+            specs,
+            deterministic: config.deterministic,
             next_index: config.shards as u32,
             used: 0,
             last_attempt: None,
@@ -556,7 +640,6 @@ impl EntropyPool {
             sup.next_index += 1;
             sup.last_attempt = Some(Instant::now());
             let id = index as usize;
-            let shard_config = sup.base.for_shard(index);
             let seed = mix_seed(sup.seed, u64::from(index));
             let conditioning = sup.conditioning;
             let block_bytes = sup.block_bytes;
@@ -578,6 +661,17 @@ impl EntropyPool {
                 .position(|s| s.state() == ShardState::Retired && !s.superseded())
                 .unwrap_or(id);
             let replaced_snap = self.shared.get(replaced).map(|s| s.snapshot(replaced));
+            // The replacement runs the same *kind* of source as its
+            // retiree (carry-chain replacements still get a fresh
+            // fabric placement at the new index); record the new
+            // shard's spec so replacements-of-replacements inherit too.
+            let spec = sup
+                .specs
+                .get(replaced)
+                .cloned()
+                .unwrap_or(SourceSpec::CarryChain);
+            sup.specs.push(spec.clone());
+            let source = build_source(&spec, &sup.base, index, seed, sup.deterministic);
             // The respawn incident is stamped against the *new* shard
             // id, carrying the replaced id in `detail` and the
             // retiree's final simulated time / healthy-byte offset.
@@ -592,10 +686,10 @@ impl EntropyPool {
             );
             let new_shared = Arc::new(ShardShared::default());
             new_shared.mark_respawned(replaced);
-            let shard = shard_config.and_then(|config| {
+            let shard = source.map(|source| {
                 Shard::new(
                     id,
-                    config,
+                    source,
                     seed,
                     conditioning,
                     faults,
@@ -1241,6 +1335,97 @@ mod tests {
                 other => panic!("floor {floor} accepted: {:?}", other.map(|_| ())),
             }
         }
+    }
+
+    #[test]
+    fn source_mix_must_cover_every_shard() {
+        let config = small_pool(2).with_sources(vec![SourceSpec::OsEntropy]);
+        match EntropyPool::new(config) {
+            Err(PoolError::InvalidConfig(why)) => assert!(why.contains("sources")),
+            other => panic!("expected InvalidConfig, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn mixed_sources_serve_and_label_their_shards() {
+        let trace =
+            Arc::new(RecordedTrace::record(&TrngConfig::paper_k1(), 99, 4096).expect("capture"));
+        let config = small_pool(4).with_sources(vec![
+            SourceSpec::CarryChain,
+            SourceSpec::DualOscillator(Box::new(DualOscConfig::betrusted_default())),
+            SourceSpec::TraceReplay(trace),
+            SourceSpec::OsEntropy,
+        ]);
+        let mut pool = EntropyPool::new(config).expect("pool");
+        let online = pool.wait_online(Duration::from_secs(60)).expect("online");
+        assert_eq!(online, 4, "all four backends must pass admission");
+        let mut buf = [0u8; 1024];
+        pool.fill_bytes(&mut buf).expect("fill");
+        let stats = pool.stats();
+        use trng_sources::SourceKind;
+        let kinds: Vec<SourceKind> = stats.shards.iter().map(|s| s.source).collect();
+        assert_eq!(
+            kinds,
+            [
+                SourceKind::CarryChain,
+                SourceKind::DualOscillator,
+                SourceKind::TraceReplay,
+                SourceKind::OsEntropy,
+            ]
+        );
+        for s in &stats.shards {
+            assert!(s.bytes_produced > 0, "shard {} contributed nothing", s.id);
+            assert!(
+                s.claimed_min_entropy > 0.0 && s.claimed_min_entropy <= 1.0,
+                "shard {} claim {}",
+                s.id,
+                s.claimed_min_entropy
+            );
+        }
+        // Seeded OS stand-in + simulated sources: the whole mix replays.
+        let trace2 =
+            Arc::new(RecordedTrace::record(&TrngConfig::paper_k1(), 99, 4096).expect("capture"));
+        let config2 = small_pool(4).with_sources(vec![
+            SourceSpec::CarryChain,
+            SourceSpec::DualOscillator(Box::new(DualOscConfig::betrusted_default())),
+            SourceSpec::TraceReplay(trace2),
+            SourceSpec::OsEntropy,
+        ]);
+        let mut again = EntropyPool::new(config2).expect("pool");
+        let mut buf2 = [0u8; 1024];
+        again.fill_bytes(&mut buf2).expect("fill");
+        assert_eq!(buf, buf2, "mixed-source replay must be byte-identical");
+    }
+
+    #[test]
+    fn respawn_inherits_the_retirees_source_kind() {
+        // Shard 1 (OS-backed) dies to a Stuck fault with no readmission
+        // budget; its replacement must be OS-backed too, not the
+        // carry-chain default.
+        let fault = FaultInjection {
+            shard: 1,
+            after_bytes: 64,
+            fault: ShardFault::Stuck,
+            transient: false,
+        };
+        let config = small_pool(2)
+            .with_sources(vec![SourceSpec::CarryChain, SourceSpec::OsEntropy])
+            .with_fault(fault)
+            .with_max_readmissions(0)
+            .with_respawn(RespawnPolicy::new(2, 1));
+        let mut pool = EntropyPool::new(config).expect("pool");
+        let mut sink = vec![0u8; 8192];
+        pool.fill_bytes(&mut sink).expect("respawn must heal");
+        let stats = pool.stats();
+        assert_eq!(stats.respawns, 1);
+        assert_eq!(stats.shards.len(), 3);
+        assert_eq!(stats.shards[1].state, ShardState::Retired);
+        assert_eq!(
+            stats.shards[2].source,
+            trng_sources::SourceKind::OsEntropy,
+            "replacement must run the retiree's backend"
+        );
+        assert_eq!(stats.shards[2].state, ShardState::Online);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! One pool shard: a [`CarryChainTrng`] instance wrapped in its own
+//! One pool shard: an [`EntropySource`] backend wrapped in its own
 //! health gate and conditioning stage, driven through the lifecycle
 //! state machine of [`ShardState`].
 //!
@@ -10,28 +10,44 @@
 //! only released to the pool once every bit in it passed. An alarm
 //! therefore discards the whole in-flight block — no byte derived from
 //! a suspect stretch of the raw stream can reach a consumer.
+//!
+//! The shard is backend-agnostic: it owns a `Box<dyn EntropySource>`
+//! and parameterises its health tests with the backend's
+//! `claimed_min_entropy()`, so a carry-chain TDC, a dual-oscillator
+//! sampler, a recorded trace or the OS pool all run through identical
+//! gating.
 
 use std::sync::Arc;
 
 use trng_core::health::{HealthStatus, OnlineHealth};
 use trng_core::postprocess::XorCompressor;
-use trng_core::selftest::{claimed_min_entropy, run_startup_test};
-use trng_core::trng::{BuildTrngError, CarryChainTrng, TrngConfig};
 use trng_core::von_neumann::VonNeumann;
-use trng_fpga_sim::noise::AttackInjection;
 use trng_fpga_sim::rng::SimRng;
-use trng_fpga_sim::scenario::NoiseEnvironment;
+use trng_sources::{run_source_startup, EntropySource};
 
 use crate::journal::{IncidentKind, Journal};
 use crate::monitor::{JitterMonitor, MonitorConfig};
 use crate::stats::{ShardShared, ShardState};
 
+/// How an injected fault replaces a shard's entropy source — the
+/// [`SourceFault`](trng_sources::SourceFault) contract, re-exported
+/// under the pool's historical name. Backends that cannot express a
+/// requested fault reject it with a typed error, which the shard
+/// converts into an alarm during block production.
+pub use trng_sources::SourceFault as ShardFault;
+
+/// Deterministically derives a per-shard / per-rebuild simulation seed
+/// (re-exported from `trng-sources`, where every backend draws its
+/// lanes from the same function).
+pub(crate) use trng_sources::mix_seed;
+
 /// Conditioning applied between the raw source and the pool's byte
 /// stream, reusing the post-processors from `trng-core`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Conditioning {
-    /// XOR compression at the design's own rate `np` (the paper's
-    /// Section 4.5 choice — what the hardware ships).
+    /// XOR compression at the source's own natural rate (`np` for the
+    /// carry-chain design — the paper's Section 4.5 choice — or the
+    /// backend's [`native_xor_rate`](EntropySource::native_xor_rate)).
     DesignXor,
     /// XOR compression at an explicit rate.
     Xor(u32),
@@ -49,9 +65,9 @@ enum Conditioner {
 }
 
 impl Conditioner {
-    fn new(mode: Conditioning, design_np: u32) -> Self {
+    fn new(mode: Conditioning, native_rate: u32) -> Self {
         match mode {
-            Conditioning::DesignXor => Conditioner::Xor(XorCompressor::new(design_np)),
+            Conditioning::DesignXor => Conditioner::Xor(XorCompressor::new(native_rate)),
             Conditioning::Xor(np) => Conditioner::Xor(XorCompressor::new(np)),
             Conditioning::VonNeumann => Conditioner::VonNeumann(VonNeumann::new()),
             Conditioning::Raw => Conditioner::Raw,
@@ -102,26 +118,6 @@ impl Conditioner {
     }
 }
 
-/// How an injected fault replaces a shard's entropy source.
-#[derive(Debug, Clone)]
-pub enum ShardFault {
-    /// Keep the shard's configuration but enable this attack on its
-    /// noise input (the simulator's manipulative-influence hook).
-    Attack(AttackInjection),
-    /// Replace the shard's configuration outright — e.g. an attacked
-    /// *and* drift-frozen design whose entropy collapse is guaranteed
-    /// to be visible to the continuous tests.
-    Config(Box<TrngConfig>),
-    /// Apply a scenario [`NoiseEnvironment`] over the shard's base
-    /// configuration ([`TrngConfig::with_environment`]) — the campaign
-    /// compiler's fault shape. Unlike [`ShardFault::Attack`], an
-    /// environment can also modulate global conditions, flicker and
-    /// the white-sigma budget; later campaign phases (scheduled at
-    /// higher byte offsets) *escalate*: they supersede an
-    /// already-active environment without waiting for a quarantine.
-    Env(NoiseEnvironment),
-}
-
 /// Deterministic mid-stream fault injection for tests and drills: once
 /// shard `shard` has produced `after_bytes` healthy bytes, its source
 /// is swapped per `fault`.
@@ -149,22 +145,14 @@ struct PendingFault {
     applied: bool,
 }
 
-/// Deterministically derives a per-shard / per-rebuild simulation seed.
-pub(crate) fn mix_seed(a: u64, b: u64) -> u64 {
-    let mut z = a ^ b.rotate_left(32) ^ 0x9E37_79B9_7F4A_7C15;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-/// A single pooled TRNG instance with its health gate.
+/// A single pooled entropy source with its health gate.
 #[derive(Debug)]
 pub(crate) struct Shard {
     id: usize,
-    base_config: TrngConfig,
-    seed: u64,
-    rebuilds: u64,
-    trng: CarryChainTrng,
+    source: Box<dyn EntropySource>,
+    /// The backend's natural XOR rate, frozen at construction so the
+    /// startup compressor and `DesignXor` conditioning agree.
+    native_rate: u32,
     health: OnlineHealth,
     conditioner: Conditioner,
     state: ShardState,
@@ -177,23 +165,23 @@ pub(crate) struct Shard {
     /// instance, if any.
     active_fault: Option<usize>,
     bytes_produced: u64,
-    /// Simulated time and raw-bit counts accumulated by instances
-    /// retired by rebuilds (a rebuild restarts the simulation clock).
-    sim_base_ns: u64,
-    raw_base: u64,
     shared: Arc<ShardShared>,
     journal: Arc<Journal>,
     /// Online jitter monitor, if enabled. Draws from its own rng lane
     /// derived from the shard seed, so enabling it never changes the
-    /// shard's byte stream.
+    /// shard's byte stream. Only observes backends that expose a
+    /// carry-chain [`monitor_view`](EntropySource::monitor_view).
     monitor: Option<JitterMonitor>,
 }
 
 impl Shard {
+    /// Wraps a built entropy source in the lifecycle machine. `seed`
+    /// only derives the jitter monitor's rng lane — the source itself
+    /// was seeded by whoever built it.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         id: usize,
-        config: TrngConfig,
+        source: Box<dyn EntropySource>,
         seed: u64,
         conditioning: Conditioning,
         faults: Vec<FaultInjection>,
@@ -201,19 +189,18 @@ impl Shard {
         monitor: Option<MonitorConfig>,
         shared: Arc<ShardShared>,
         journal: Arc<Journal>,
-    ) -> Result<Self, BuildTrngError> {
-        let claim = claimed_min_entropy(&config)?;
-        let trng = CarryChainTrng::new(config.clone(), seed)?;
-        let conditioner = Conditioner::new(conditioning, config.design.np);
+    ) -> Self {
+        let native_rate = source.native_xor_rate();
+        let claim = source.claimed_min_entropy();
+        let conditioner = Conditioner::new(conditioning, native_rate);
         let monitor =
             monitor.map(|m| JitterMonitor::new(m, SimRng::seed_from(mix_seed(seed, 0x4_D017))));
         shared.set_state(ShardState::Starting);
-        Ok(Shard {
+        shared.set_source(source.kind(), claim);
+        Shard {
             id,
-            base_config: config,
-            seed,
-            rebuilds: 0,
-            trng,
+            source,
+            native_rate,
             health: OnlineHealth::new(claim),
             conditioner,
             state: ShardState::Starting,
@@ -230,12 +217,10 @@ impl Shard {
                 .collect(),
             active_fault: None,
             bytes_produced: 0,
-            sim_base_ns: 0,
-            raw_base: 0,
             shared,
             journal,
             monitor,
-        })
+        }
     }
 
     pub fn id(&self) -> usize {
@@ -251,33 +236,9 @@ impl Shard {
         self.shared.set_state(s);
     }
 
-    fn faulted_config(&self, fault: &ShardFault) -> TrngConfig {
-        match fault {
-            ShardFault::Attack(a) => {
-                let mut c = self.base_config.clone();
-                c.attack = Some(*a);
-                c
-            }
-            ShardFault::Config(c) => (**c).clone(),
-            ShardFault::Env(env) => self.base_config.with_environment(env),
-        }
-    }
-
-    /// Replaces the live TRNG instance, banking the retired instance's
-    /// simulated time so `ShardStats::sim_elapsed` stays monotonic.
-    fn rebuild(&mut self, config: TrngConfig) -> Result<(), BuildTrngError> {
-        self.sim_base_ns += self.trng.now().as_ns() as u64;
-        self.raw_base += self.trng.stats().samples;
-        self.rebuilds += 1;
-        self.trng = CarryChainTrng::new(config, mix_seed(self.seed, self.rebuilds))?;
-        Ok(())
-    }
-
     fn publish_progress(&self) {
-        self.shared
-            .set_sim_ns(self.sim_base_ns + self.trng.now().as_ns() as u64);
-        self.shared
-            .set_raw_bits(self.raw_base + self.trng.stats().samples);
+        self.shared.set_sim_ns(self.source.sim_now_ns());
+        self.shared.set_raw_bits(self.source.raw_bits());
     }
 
     /// Records a lifecycle incident stamped with the shard's current
@@ -286,7 +247,7 @@ impl Shard {
         self.journal.record(
             self.id,
             kind,
-            self.sim_base_ns + self.trng.now().as_ns() as u64,
+            self.source.sim_now_ns(),
             self.bytes_produced,
             detail,
         );
@@ -304,26 +265,26 @@ impl Shard {
             // Rebuild the source for a from-scratch validation run. A
             // transient fault is gone after the rebuild; a persistent
             // one follows the shard into its re-admission test.
-            let config = match self.active_fault {
+            let fault = match self.active_fault {
                 Some(i) if self.faults[i].transient => {
                     self.active_fault = None;
-                    self.base_config.clone()
+                    None
                 }
-                Some(i) => self.faulted_config(&self.faults[i].fault.clone()),
-                None => self.base_config.clone(),
+                Some(i) => Some(self.faults[i].fault.clone()),
+                None => None,
             };
             self.health.reset();
             self.conditioner.reset();
-            if self.rebuild(config).is_err() {
+            if self.source.rebuild(fault.as_ref()).is_err() {
                 self.set_state(ShardState::Retired);
                 self.journal_event(IncidentKind::Retire, 0);
                 return;
             }
         }
         let was_quarantined = self.state == ShardState::Quarantined;
-        let mut compressor = XorCompressor::new(self.base_config.design.np);
+        let mut compressor = XorCompressor::new(self.native_rate);
         self.shared.count_startup_run();
-        let report = run_startup_test(&mut self.trng, &mut self.health, &mut compressor);
+        let report = run_source_startup(self.source.as_mut(), &mut self.health, &mut compressor);
         self.publish_progress();
         if report.passed() {
             self.conditioner.reset();
@@ -395,11 +356,14 @@ impl Shard {
             .min_by_key(|(_, f)| f.after_bytes)
             .map(|(i, _)| i);
         if let Some(i) = ripe {
-            let config = self.faulted_config(&self.faults[i].fault.clone());
+            let fault = self.faults[i].fault.clone();
             // A mid-stream fault does not reset the health gate:
             // the attack hits a running, trusted source and the
-            // continuous tests must catch it.
-            if self.rebuild(config).is_err() {
+            // continuous tests must catch it. A backend that cannot
+            // express the requested fault rejects it, which burns an
+            // alarm here — a drill targeting the wrong source kind is
+            // itself an operational incident, not a silent no-op.
+            if self.source.rebuild(Some(&fault)).is_err() {
                 self.raise_alarm();
                 return false;
             }
@@ -418,9 +382,9 @@ impl Shard {
         if self.conditioner.is_fixed_rate() {
             // Fixed-rate conditioning (XOR / raw): the block consumes
             // exactly `block_bytes · 8 · rate` raw bits, so they can be
-            // drawn from the TRNG in whole bytes through the batch API
-            // instead of one `next_raw_bit` call per bit. Every raw bit
-            // still passes the health gate individually, in stream
+            // drawn from the source in whole bytes through the batch
+            // API instead of one `next_raw_bit` call per bit. Every raw
+            // bit still passes the health gate individually, in stream
             // order, before it may enter the conditioner — batching
             // changes the fetch granularity, not the gating semantics.
             // (`max_raw` cannot trip here: the exact demand is 64x
@@ -432,7 +396,7 @@ impl Shard {
             while remaining > 0 {
                 let nbytes = ((remaining / 8) as usize).min(chunk.len());
                 if nbytes > 0 {
-                    self.trng.fill_raw(&mut chunk[..nbytes]);
+                    self.source.fill_raw(&mut chunk[..nbytes]);
                 }
                 // `< 8` residual bits (possible only when `pending` was
                 // non-zero) are fetched singly to keep the raw stream
@@ -446,7 +410,7 @@ impl Shard {
                     let raw = if nbytes > 0 {
                         chunk[(idx / 8) as usize] >> (7 - idx % 8) & 1 == 1
                     } else {
-                        self.trng.next_raw_bit()
+                        self.source.next_raw_bit()
                     };
                     if !self.ingest(raw, out, &mut byte, &mut nbits) {
                         out.clear();
@@ -463,7 +427,7 @@ impl Shard {
             // data-dependent, so bits are drawn one at a time until the
             // block fills or the raw-spend bound trips.
             while out.len() < block_bytes {
-                let raw = self.trng.next_raw_bit();
+                let raw = self.source.next_raw_bit();
                 raw_spent += 1;
                 if raw_spent > max_raw || !self.ingest(raw, out, &mut byte, &mut nbits) {
                     out.clear();
@@ -473,7 +437,7 @@ impl Shard {
             }
         }
         // End-of-block total-failure check on the raw capture quality.
-        let stats = *self.trng.stats();
+        let stats = self.source.capture_stats();
         if self
             .health
             .report_missed_edges(stats.missed_edges, stats.samples)
@@ -490,8 +454,9 @@ impl Shard {
         true
     }
 
-    /// Runs the online jitter monitor if one is configured and an
-    /// observation is due. A drift rising edge is journaled as
+    /// Runs the online jitter monitor if one is configured, an
+    /// observation is due and the backend exposes a carry-chain view
+    /// to measure. A drift rising edge is journaled as
     /// [`IncidentKind::JitterDrift`]; the shard's lifecycle state is
     /// never touched — the monitor warns, the health gates act.
     fn run_monitor(&mut self) {
@@ -503,8 +468,11 @@ impl Shard {
             return;
         }
         let observed = {
+            let Some((config, now)) = self.source.monitor_view() else {
+                return;
+            };
             let monitor = self.monitor.as_mut().expect("due implies present");
-            monitor.observe(self.trng.config(), self.trng.now())
+            monitor.observe(config, now)
         };
         let Some(obs) = observed else { return };
         self.shared.record_monitor(obs.jitter_fs, obs.baseline_fs);
@@ -518,7 +486,9 @@ impl Shard {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use trng_core::trng::TrngConfig;
     use trng_model::params::{DesignParams, PlatformParams};
+    use trng_sources::CarryChainSource;
 
     fn shared() -> Arc<ShardShared> {
         Arc::new(ShardShared::default())
@@ -526,6 +496,10 @@ mod tests {
 
     fn journal() -> Arc<Journal> {
         Arc::new(Journal::new(64))
+    }
+
+    fn src(config: TrngConfig, seed: u64) -> Box<dyn EntropySource> {
+        Box::new(CarryChainSource::new(config, seed).expect("build"))
     }
 
     /// A configuration whose raw stream is (near-)frozen: drift-free
@@ -550,7 +524,7 @@ mod tests {
         let s = shared();
         let mut shard = Shard::new(
             0,
-            TrngConfig::paper_k1(),
+            src(TrngConfig::paper_k1(), 42),
             42,
             Conditioning::DesignXor,
             Vec::new(),
@@ -558,8 +532,7 @@ mod tests {
             None,
             Arc::clone(&s),
             journal(),
-        )
-        .expect("build");
+        );
         assert_eq!(shard.state(), ShardState::Starting);
         shard.recover();
         assert_eq!(shard.state(), ShardState::Online);
@@ -572,6 +545,8 @@ mod tests {
         assert_eq!(snap.startup_runs, 1);
         assert_eq!(snap.alarms, 0);
         assert!(snap.sim_elapsed.as_nanos() > 0);
+        assert_eq!(snap.source, trng_sources::SourceKind::CarryChain);
+        assert!(snap.claimed_min_entropy > 0.0);
     }
 
     #[test]
@@ -580,7 +555,7 @@ mod tests {
         let j = journal();
         let mut shard = Shard::new(
             0,
-            dead_config(),
+            src(dead_config(), 7),
             7,
             Conditioning::Raw,
             Vec::new(),
@@ -588,8 +563,7 @@ mod tests {
             None,
             Arc::clone(&s),
             Arc::clone(&j),
-        )
-        .expect("build");
+        );
         shard.recover();
         assert_eq!(shard.state(), ShardState::Retired);
         assert_eq!(s.snapshot(0).startup_runs, 1);
@@ -613,7 +587,7 @@ mod tests {
         };
         let mut shard = Shard::new(
             0,
-            TrngConfig::paper_k1(),
+            src(TrngConfig::paper_k1(), 42),
             42,
             Conditioning::DesignXor,
             vec![fault],
@@ -621,8 +595,7 @@ mod tests {
             None,
             Arc::clone(&s),
             Arc::clone(&j),
-        )
-        .expect("build");
+        );
         shard.recover();
         assert_eq!(shard.state(), ShardState::Online);
         let mut block = Vec::new();
@@ -679,7 +652,7 @@ mod tests {
         let j = journal();
         let mut shard = Shard::new(
             0,
-            TrngConfig::paper_k1(),
+            src(TrngConfig::paper_k1(), 42),
             42,
             Conditioning::DesignXor,
             vec![fault],
@@ -687,8 +660,7 @@ mod tests {
             None,
             Arc::clone(&s),
             Arc::clone(&j),
-        )
-        .expect("build");
+        );
         shard.recover();
         assert_eq!(shard.state(), ShardState::Online);
         let mut block = Vec::new();
@@ -723,7 +695,7 @@ mod tests {
         // Zero re-admissions allowed: first alarm retires outright.
         let mut shard = Shard::new(
             0,
-            TrngConfig::paper_k1(),
+            src(TrngConfig::paper_k1(), 42),
             42,
             Conditioning::DesignXor,
             vec![fault],
@@ -731,8 +703,7 @@ mod tests {
             None,
             Arc::clone(&s),
             journal(),
-        )
-        .expect("build");
+        );
         shard.recover();
         let mut block = Vec::new();
         assert!(!shard.produce_block(&mut block, 64));
@@ -754,7 +725,7 @@ mod tests {
         };
         let mut shard = Shard::new(
             0,
-            TrngConfig::paper_k1(),
+            src(TrngConfig::paper_k1(), 42),
             42,
             Conditioning::DesignXor,
             vec![mk_fault(256), mk_fault(0)],
@@ -762,8 +733,7 @@ mod tests {
             None,
             Arc::clone(&s),
             Arc::clone(&j),
-        )
-        .expect("build");
+        );
         shard.recover();
         let mut block = Vec::new();
         let mut alarms_seen = 0;
@@ -802,7 +772,7 @@ mod tests {
             let s = shared();
             let mut shard = Shard::new(
                 0,
-                TrngConfig::paper_k1(),
+                src(TrngConfig::paper_k1(), 9),
                 9,
                 mode,
                 Vec::new(),
@@ -810,8 +780,7 @@ mod tests {
                 None,
                 Arc::clone(&s),
                 journal(),
-            )
-            .expect("build");
+            );
             shard.recover();
             assert_eq!(shard.state(), ShardState::Online);
             let mut block = Vec::new();
@@ -825,6 +794,40 @@ mod tests {
         assert_eq!(xor - raw, 32 * 8 * 6);
         let vn = mk(Conditioning::VonNeumann);
         assert!(vn > raw, "Von Neumann discards pairs");
+    }
+
+    #[test]
+    fn unsupported_fault_burns_an_alarm_not_a_silent_pass() {
+        // A trace-replay backend cannot express a Config fault; the
+        // drill degrades to an alarm so the schedule is never silently
+        // dropped.
+        let trace = std::sync::Arc::new(
+            trng_sources::RecordedTrace::record(&TrngConfig::paper_k1(), 3, 2048).expect("capture"),
+        );
+        let s = shared();
+        let fault = FaultInjection {
+            shard: 0,
+            after_bytes: 0,
+            fault: ShardFault::Config(Box::new(dead_config())),
+            transient: true,
+        };
+        let mut shard = Shard::new(
+            0,
+            Box::new(trng_sources::TraceReplaySource::new(trace).expect("valid")),
+            3,
+            Conditioning::Raw,
+            vec![fault],
+            2,
+            None,
+            Arc::clone(&s),
+            journal(),
+        );
+        shard.recover();
+        assert_eq!(shard.state(), ShardState::Online);
+        let mut block = Vec::new();
+        assert!(!shard.produce_block(&mut block, 32));
+        assert_eq!(shard.state(), ShardState::Quarantined);
+        assert_eq!(s.snapshot(0).alarms, 1);
     }
 
     #[test]

@@ -6,6 +6,7 @@ use core::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::time::Duration;
 
+use trng_sources::SourceKind;
 use trng_testkit::json::Json;
 
 use crate::journal::IncidentEvent;
@@ -108,6 +109,10 @@ pub(crate) struct ShardShared {
     jitter_fs: AtomicU64,
     jitter_baseline_fs: AtomicU64,
     monitor_drift_events: AtomicU64,
+    /// `SourceKind::as_u8` of the backend feeding this shard.
+    source_kind: AtomicU8,
+    /// `f64::to_bits` of the backend's per-raw-bit min-entropy claim.
+    claim_bits: AtomicU64,
 }
 
 impl ShardShared {
@@ -176,6 +181,13 @@ impl ShardShared {
         self.monitor_drift_events.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Labels this shard with its entropy backend and the min-entropy
+    /// claim that parameterises its health tests.
+    pub fn set_source(&self, kind: SourceKind, claim: f64) {
+        self.source_kind.store(kind.as_u8(), Ordering::Release);
+        self.claim_bits.store(claim.to_bits(), Ordering::Release);
+    }
+
     pub fn snapshot(&self, id: usize) -> ShardStats {
         let origin = match self.replaces_plus1.load(Ordering::Acquire) {
             0 => ShardOrigin::Initial,
@@ -199,12 +211,14 @@ impl ShardShared {
             jitter_fs: self.jitter_fs.load(Ordering::Relaxed),
             jitter_baseline_fs: self.jitter_baseline_fs.load(Ordering::Relaxed),
             monitor_drift_events: self.monitor_drift_events.load(Ordering::Relaxed),
+            source: SourceKind::from_u8(self.source_kind.load(Ordering::Acquire)),
+            claimed_min_entropy: f64::from_bits(self.claim_bits.load(Ordering::Acquire)),
         }
     }
 }
 
 /// Point-in-time view of one shard.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ShardStats {
     /// Shard index within the pool.
     pub id: usize,
@@ -244,6 +258,11 @@ pub struct ShardStats {
     pub jitter_baseline_fs: u64,
     /// Drift events the monitor has journaled for this shard.
     pub monitor_drift_events: u64,
+    /// Which entropy backend feeds this shard.
+    pub source: SourceKind,
+    /// The backend's per-raw-bit min-entropy claim — the figure the
+    /// shard's SP 800-90B continuous tests are parameterised with.
+    pub claimed_min_entropy: f64,
 }
 
 impl ShardStats {
@@ -280,6 +299,8 @@ impl ShardStats {
             ("jitter_fs", Json::u64(self.jitter_fs)),
             ("jitter_baseline_fs", Json::u64(self.jitter_baseline_fs)),
             ("monitor_drift_events", Json::u64(self.monitor_drift_events)),
+            ("source", Json::str(self.source.as_str())),
+            ("claimed_min_entropy", Json::num(self.claimed_min_entropy)),
         ]);
         Json::obj(fields)
     }
@@ -316,7 +337,7 @@ impl fmt::Display for PoolHealth {
 }
 
 /// Point-in-time view of the whole pool.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PoolStats {
     /// One entry per shard, in shard order (respawned replacements
     /// follow the initial complement).
@@ -422,6 +443,7 @@ impl PoolStats {
                 "shards",
                 Json::Arr(self.shards.iter().map(ShardStats::to_json).collect()),
             ),
+            ("sources", self.source_mix()),
             ("journal_recorded", Json::u64(self.journal_recorded)),
             (
                 "journal_evicted",
@@ -435,6 +457,52 @@ impl PoolStats {
                 Json::Arr(self.journal.iter().map(IncidentEvent::to_json).collect()),
             ),
         ])
+    }
+
+    /// Per-backend aggregate rendered into the JSON `sources` object:
+    /// one entry per [`SourceKind`] present in the pool, keyed by its
+    /// metrics label, with shard/online counts, produced bytes, alarm
+    /// totals and the *worst* (lowest) min-entropy claim across the
+    /// kind's shards. All keys are additive over the per-shard array —
+    /// the endpoint grows no information, only convenient grouping.
+    pub fn source_mix(&self) -> Json {
+        Json::obj(
+            SourceKind::all()
+                .iter()
+                .filter_map(|&kind| {
+                    let members: Vec<&ShardStats> =
+                        self.shards.iter().filter(|s| s.source == kind).collect();
+                    if members.is_empty() {
+                        return None;
+                    }
+                    let online = members
+                        .iter()
+                        .filter(|s| s.state == ShardState::Online)
+                        .count();
+                    Some((
+                        kind.as_str(),
+                        Json::obj(vec![
+                            ("shards", Json::u64(members.len() as u64)),
+                            ("online", Json::u64(online as u64)),
+                            (
+                                "bytes_produced",
+                                Json::u64(members.iter().map(|s| s.bytes_produced).sum()),
+                            ),
+                            ("alarms", Json::u64(members.iter().map(|s| s.alarms).sum())),
+                            (
+                                "claimed_min_entropy",
+                                Json::num(
+                                    members
+                                        .iter()
+                                        .map(|s| s.claimed_min_entropy)
+                                        .fold(f64::INFINITY, f64::min),
+                                ),
+                            ),
+                        ]),
+                    ))
+                })
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Aggregate throughput in the *simulated* clock domain, in bits
@@ -478,10 +546,11 @@ impl fmt::Display for PoolStats {
         for s in &self.shards {
             write!(
                 f,
-                "  shard {}: {:<11} {:>10} B, {} alarms, {} readmissions, \
+                "  shard {}: {:<11} [{}] {:>10} B, {} alarms, {} readmissions, \
                  {} startups, ring high-water {} B",
                 s.id,
                 s.state.to_string(),
+                s.source,
                 s.bytes_produced,
                 s.alarms,
                 s.readmissions,
@@ -580,6 +649,8 @@ mod tests {
             jitter_fs: 0,
             jitter_baseline_fs: 0,
             monitor_drift_events: 0,
+            source: SourceKind::CarryChain,
+            claimed_min_entropy: 0.05,
         };
         let stats = PoolStats {
             shards: vec![mk(1000, 10), mk(1000, 10), mk(1000, 10), mk(1000, 10)],
@@ -626,6 +697,12 @@ mod tests {
             jitter_fs: 2600,
             jitter_baseline_fs: 2500,
             monitor_drift_events: id as u64,
+            source: if id == 0 {
+                SourceKind::CarryChain
+            } else {
+                SourceKind::DualOscillator
+            },
+            claimed_min_entropy: 0.05 + id as f64 * 0.4,
         };
         PoolStats {
             shards: vec![
@@ -701,7 +778,44 @@ mod tests {
             assert_eq!(f("jitter_fs"), s.jitter_fs as f64);
             assert_eq!(f("jitter_baseline_fs"), s.jitter_baseline_fs as f64);
             assert_eq!(f("monitor_drift_events"), s.monitor_drift_events as f64);
+            assert_eq!(
+                j.get("source").and_then(Json::as_str),
+                Some(s.source.as_str())
+            );
+            assert_eq!(f("claimed_min_entropy"), s.claimed_min_entropy);
         }
+    }
+
+    #[test]
+    fn source_mix_groups_shards_by_backend() {
+        // sample_stats mixes one carry-chain and one dual-oscillator
+        // shard; the aggregate must key on each kind's metrics label
+        // and report the *lowest* claim per kind.
+        let mut stats = sample_stats();
+        stats.shards.push(ShardStats {
+            source: SourceKind::CarryChain,
+            claimed_min_entropy: 0.02,
+            ..stats.shards[0].clone()
+        });
+        let mix = stats.to_json();
+        let mix = mix.get("sources").expect("sources object");
+        let cc = mix.get("carry_chain").expect("carry_chain entry");
+        assert_eq!(cc.get("shards").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(cc.get("online").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(
+            cc.get("claimed_min_entropy").and_then(Json::as_f64),
+            Some(0.02)
+        );
+        let dual = mix.get("dual_osc").expect("dual_osc entry");
+        assert_eq!(dual.get("shards").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(dual.get("online").and_then(Json::as_f64), Some(0.0));
+        assert!(mix.get("trace_replay").is_none(), "absent kinds omitted");
+        assert!(mix.get("os_entropy").is_none());
+        // Additivity: per-kind bytes sum to the per-shard total.
+        let total: u64 = stats.shards.iter().map(|s| s.bytes_produced).sum();
+        let grouped = cc.get("bytes_produced").and_then(Json::as_f64).unwrap()
+            + dual.get("bytes_produced").and_then(Json::as_f64).unwrap();
+        assert_eq!(grouped as u64, total);
     }
 
     #[test]
@@ -820,6 +934,15 @@ mod tests {
         assert!(text.contains("shard 0"));
         assert!(text.contains("starting"));
         assert!(text.contains("journal"));
+    }
+
+    #[test]
+    fn shared_source_label_round_trips() {
+        let shared = ShardShared::default();
+        shared.set_source(SourceKind::TraceReplay, 0.93);
+        let s = shared.snapshot(0);
+        assert_eq!(s.source, SourceKind::TraceReplay);
+        assert_eq!(s.claimed_min_entropy, 0.93);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! ```text
 //! trng-served [--addr 127.0.0.1:7878] [--metrics-addr 127.0.0.1:7879 | --no-metrics]
 //!             [--shards 2] [--workers 4] [--conditioning raw|design-xor|xor:N|von-neumann]
+//!             [--sources carry_chain,dual_osc,trace_replay,os_entropy]
 //!             [--quota-rate BYTES_PER_SEC --quota-burst BYTES]
 //!             [--max-request BYTES] [--drain-deadline-ms MS]
 //!             [--serve-ms MS] [--deterministic] [--seed N]
@@ -20,9 +21,15 @@ use std::net::SocketAddr;
 use std::process::ExitCode;
 use std::time::Duration;
 
+use std::sync::Arc;
+
 use trng_core::trng::TrngConfig;
-use trng_pool::{Conditioning, EntropyPool, PoolConfig};
+use trng_pool::{Conditioning, DualOscConfig, EntropyPool, PoolConfig, RecordedTrace, SourceSpec};
 use trng_serve::{QuotaConfig, ServeConfig, Server};
+
+/// Raw bytes self-captured at startup for a `trace_replay` source
+/// (the replay wraps, so the capture only needs to be representative).
+const TRACE_CAPTURE_BYTES: usize = 64 * 1024;
 
 const USAGE: &str = "\
 trng-served: network entropy daemon over the simulated carry-chain TRNG pool
@@ -37,6 +44,9 @@ OPTIONS:
   --shards N              TRNG shards in the pool (default 2)
   --workers N             connection worker threads (default 4)
   --conditioning MODE     raw | design-xor | xor:N | von-neumann (default raw)
+  --sources LIST          comma-separated backend per shard, overriding --shards:
+                          carry_chain | dual_osc | trace_replay | os_entropy
+                          (trace_replay self-captures a carry-chain trace at startup)
   --quota-rate BPS        per-connection sustained quota, bytes/second (default: none)
   --quota-burst BYTES     per-connection burst allowance (default: 4x rate)
   --max-request BYTES     largest single request (default 1048576)
@@ -53,6 +63,7 @@ struct Args {
     shards: usize,
     workers: usize,
     conditioning: Conditioning,
+    sources: Option<Vec<String>>,
     quota_rate: Option<f64>,
     quota_burst: Option<u64>,
     max_request: u32,
@@ -70,6 +81,7 @@ impl Default for Args {
             shards: 2,
             workers: 4,
             conditioning: Conditioning::Raw,
+            sources: None,
             quota_rate: None,
             quota_burst: None,
             max_request: 1 << 20,
@@ -96,6 +108,56 @@ fn parse_conditioning(s: &str) -> Result<Conditioning, String> {
     }
 }
 
+fn parse_sources(list: &str) -> Result<Vec<String>, String> {
+    let names: Vec<String> = list.split(',').map(|s| s.trim().to_string()).collect();
+    if names.is_empty() || names.iter().any(String::is_empty) {
+        return Err(format!("--sources got an empty entry in {list:?}"));
+    }
+    for name in &names {
+        if !matches!(
+            name.as_str(),
+            "carry_chain" | "dual_osc" | "trace_replay" | "os_entropy"
+        ) {
+            return Err(format!(
+                "unknown source {name:?} in --sources (expected carry_chain, dual_osc, \
+                 trace_replay, or os_entropy)"
+            ));
+        }
+    }
+    Ok(names)
+}
+
+/// Materialises `--sources` names into pool specs; a `trace_replay`
+/// entry self-captures a fresh carry-chain trace here, at startup.
+fn build_specs(names: &[String], seed: u64) -> Result<Vec<SourceSpec>, String> {
+    let mut trace: Option<Arc<RecordedTrace>> = None;
+    names
+        .iter()
+        .map(|name| {
+            Ok(match name.as_str() {
+                "carry_chain" => SourceSpec::CarryChain,
+                "dual_osc" => {
+                    SourceSpec::DualOscillator(Box::new(DualOscConfig::betrusted_default()))
+                }
+                "trace_replay" => {
+                    if trace.is_none() {
+                        let captured = RecordedTrace::record(
+                            &TrngConfig::paper_k1(),
+                            seed,
+                            TRACE_CAPTURE_BYTES,
+                        )
+                        .map_err(|e| format!("trace capture failed: {e}"))?;
+                        trace = Some(Arc::new(captured));
+                    }
+                    SourceSpec::TraceReplay(Arc::clone(trace.as_ref().expect("just captured")))
+                }
+                "os_entropy" => SourceSpec::OsEntropy,
+                other => unreachable!("parse_sources admitted {other:?}"),
+            })
+        })
+        .collect()
+}
+
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args::default();
     let mut it = argv.iter();
@@ -113,6 +175,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--shards" => args.shards = parse(value("--shards")?, "--shards")?,
             "--workers" => args.workers = parse(value("--workers")?, "--workers")?,
             "--conditioning" => args.conditioning = parse_conditioning(value("--conditioning")?)?,
+            "--sources" => args.sources = Some(parse_sources(value("--sources")?)?),
             "--quota-rate" => {
                 args.quota_rate = Some(parse(value("--quota-rate")?, "--quota-rate")?)
             }
@@ -154,10 +217,23 @@ fn main() -> ExitCode {
         }
     };
 
-    let pool_config = PoolConfig::new(TrngConfig::paper_k1(), args.shards)
+    // --sources overrides --shards: one shard per listed backend.
+    let shards = args.sources.as_ref().map_or(args.shards, Vec::len);
+    let mut pool_config = PoolConfig::new(TrngConfig::paper_k1(), shards)
         .with_conditioning(args.conditioning)
         .with_seed(args.seed)
         .deterministic(args.deterministic);
+    if let Some(names) = &args.sources {
+        let specs = match build_specs(names, args.seed) {
+            Ok(specs) => specs,
+            Err(msg) => {
+                eprintln!("trng-served: {msg}");
+                return ExitCode::FAILURE;
+            }
+        };
+        eprintln!("trng-served: source mix [{}]", names.join(", "));
+        pool_config = pool_config.with_sources(specs);
+    }
     let mut pool = match EntropyPool::new(pool_config) {
         Ok(pool) => pool,
         Err(e) => {
@@ -167,7 +243,7 @@ fn main() -> ExitCode {
     };
     eprintln!(
         "trng-served: bringing {} shard(s) online ({} backend)...",
-        args.shards,
+        shards,
         if args.deterministic {
             "deterministic"
         } else {

@@ -1,0 +1,44 @@
+//! # trng-sources — pluggable entropy-source backends
+//!
+//! The pool layer (`trng-pool`) gates, conditions, supervises and
+//! serves raw bits; none of that machinery is specific to the paper's
+//! carry-chain TDC. This crate lifts the shard backend behind one
+//! object-safe trait, [`EntropySource`], so a single pool can mix
+//! heterogeneous sources:
+//!
+//! * [`CarryChainSource`] — the DAC'15 carry-chain TDC simulator,
+//!   byte-identical to driving [`CarryChainTrng`] directly (the
+//!   replay contract every existing fixture depends on);
+//! * [`DualOscillatorSource`] — a betrusted-style sampler: slow
+//!   die-circumscribing ring oscillators sampled on a divided fast-RO
+//!   clock, with a Saarinen-style accumulated-jitter entropy claim;
+//! * [`TraceReplaySource`] — a [`RecordedTrace`] of captured TDC
+//!   output fed back through the full health/conditioning stack;
+//! * [`OsEntropySource`] — the operating system's entropy pool as a
+//!   production fallback tier.
+//!
+//! Every backend states its own worst-case
+//! [`claimed_min_entropy`](EntropySource::claimed_min_entropy) per raw
+//! bit, which parameterizes the SP 800-90B continuous tests and the
+//! AIS-31 admission gate ([`run_source_startup`]), and honours the
+//! same deterministic replay/seed contract: identical construction
+//! inputs yield identical raw streams ([`OsEntropySource`] only in its
+//! seeded replay mode, by nature).
+//!
+//! [`CarryChainTrng`]: trng_core::trng::CarryChainTrng
+
+#![warn(missing_docs)]
+
+pub mod carry_chain;
+pub mod dual_osc;
+pub mod os_entropy;
+pub mod source;
+pub mod trace;
+
+pub use carry_chain::CarryChainSource;
+pub use dual_osc::{DualOscConfig, DualOscillatorSource};
+pub use os_entropy::OsEntropySource;
+pub use source::{
+    mix_seed, run_source_startup, CaptureStats, EntropySource, SourceError, SourceFault, SourceKind,
+};
+pub use trace::{RecordedTrace, TraceReplaySource};

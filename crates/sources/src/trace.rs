@@ -1,0 +1,339 @@
+//! Recorded-trace replay: captured raw TDC output fed back through
+//! the live health/conditioning stack.
+//!
+//! A [`RecordedTrace`] stores the raw byte stream of a real capture
+//! *plus* per-byte cumulative checkpoints of the capture's simulated
+//! clock and sample/missed-edge counters. Replaying the trace through
+//! a [`TraceReplaySource`] therefore reproduces not just the bits but
+//! the progress accounting the original run published — the pool's
+//! startup test, missed-edge check, statistics and incident journal
+//! all see exactly what they saw live. This holds at every point the
+//! pool actually reads the counters (startup completion and block
+//! boundaries) because fixed-rate consumption is whole-raw-byte
+//! aligned; mid-byte reads floor to the previous byte checkpoint.
+//! Von Neumann conditioning consumes a data-dependent number of raw
+//! bits and is therefore outside the byte-exactness guarantee.
+//!
+//! When the trace is exhausted it wraps, and the checkpoint totals
+//! keep accumulating across passes so lifetime counters stay
+//! monotonic.
+
+use std::sync::Arc;
+
+use trng_core::trng::{CarryChainTrng, TrngConfig};
+
+use crate::source::{CaptureStats, EntropySource, SourceError, SourceFault, SourceKind};
+
+/// A captured raw stream with per-byte progress checkpoints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordedTrace {
+    /// The recorded source's worst-case min-entropy claim per raw bit.
+    pub claimed_min_entropy: f64,
+    /// The recorded source's natural XOR-compression rate.
+    pub xor_rate: u32,
+    /// The raw bytes, MSB-first within each byte.
+    pub bytes: Vec<u8>,
+    /// Cumulative simulated nanoseconds after each byte was drawn.
+    pub sim_ns_at: Vec<u64>,
+    /// Cumulative sample count after each byte was drawn.
+    pub samples_at: Vec<u64>,
+    /// Cumulative missed-edge count after each byte was drawn.
+    pub missed_at: Vec<u64>,
+}
+
+impl RecordedTrace {
+    /// Captures `nbytes` of raw output from a fresh carry-chain TDC
+    /// run, checkpointing the simulator's counters after every byte.
+    ///
+    /// # Errors
+    ///
+    /// [`SourceError::Build`] when the configuration is rejected.
+    pub fn record(config: &TrngConfig, seed: u64, nbytes: usize) -> Result<Self, SourceError> {
+        let claim = trng_core::selftest::claimed_min_entropy(config)?;
+        let mut trng = CarryChainTrng::new(config.clone(), seed)?;
+        let mut bytes = Vec::with_capacity(nbytes);
+        let mut sim_ns_at = Vec::with_capacity(nbytes);
+        let mut samples_at = Vec::with_capacity(nbytes);
+        let mut missed_at = Vec::with_capacity(nbytes);
+        let mut byte = [0u8; 1];
+        for _ in 0..nbytes {
+            trng.fill_raw(&mut byte);
+            bytes.push(byte[0]);
+            sim_ns_at.push(trng.now().as_ns() as u64);
+            let stats = trng.stats();
+            samples_at.push(stats.samples);
+            missed_at.push(stats.missed_edges);
+        }
+        Ok(RecordedTrace {
+            claimed_min_entropy: claim,
+            xor_rate: config.design.np,
+            bytes,
+            sim_ns_at,
+            samples_at,
+            missed_at,
+        })
+    }
+
+    fn validate(&self) -> Result<(), SourceError> {
+        if self.bytes.is_empty() {
+            return Err(SourceError::Build("trace has no bytes".into()));
+        }
+        if self.sim_ns_at.len() != self.bytes.len()
+            || self.samples_at.len() != self.bytes.len()
+            || self.missed_at.len() != self.bytes.len()
+        {
+            return Err(SourceError::Build(format!(
+                "trace checkpoints out of step: {} bytes vs {}/{}/{} checkpoints",
+                self.bytes.len(),
+                self.sim_ns_at.len(),
+                self.samples_at.len(),
+                self.missed_at.len()
+            )));
+        }
+        if !(0.0 < self.claimed_min_entropy && self.claimed_min_entropy <= 1.0) {
+            return Err(SourceError::Build(format!(
+                "trace entropy claim {} outside (0, 1]",
+                self.claimed_min_entropy
+            )));
+        }
+        if self.xor_rate == 0 {
+            return Err(SourceError::Build(
+                "trace xor rate must be at least 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Replays a [`RecordedTrace`] behind the [`EntropySource`] contract.
+#[derive(Debug)]
+pub struct TraceReplaySource {
+    trace: Arc<RecordedTrace>,
+    /// Bit position within the current pass.
+    pos: u64,
+    /// Completed passes since the last rebuild.
+    wraps: u64,
+    sim_base_ns: u64,
+    raw_base: u64,
+    stuck: bool,
+}
+
+impl TraceReplaySource {
+    /// Wraps a trace for replay.
+    ///
+    /// # Errors
+    ///
+    /// [`SourceError::Build`] when the trace is empty or its
+    /// checkpoint vectors are inconsistent.
+    pub fn new(trace: Arc<RecordedTrace>) -> Result<Self, SourceError> {
+        trace.validate()?;
+        Ok(TraceReplaySource {
+            trace,
+            pos: 0,
+            wraps: 0,
+            sim_base_ns: 0,
+            raw_base: 0,
+            stuck: false,
+        })
+    }
+
+    /// Checkpoint totals at the current pass position, floored to the
+    /// previous whole byte.
+    fn pass_totals(&self) -> (u64, u64, u64) {
+        let byte = (self.pos / 8) as usize;
+        if byte == 0 {
+            (0, 0, 0)
+        } else {
+            let i = byte - 1;
+            (
+                self.trace.sim_ns_at[i],
+                self.trace.samples_at[i],
+                self.trace.missed_at[i],
+            )
+        }
+    }
+
+    /// Totals accumulated since the last rebuild (all passes).
+    fn live_totals(&self) -> (u64, u64, u64) {
+        let last = self.trace.bytes.len() - 1;
+        let full = (
+            self.trace.sim_ns_at[last],
+            self.trace.samples_at[last],
+            self.trace.missed_at[last],
+        );
+        let (ns, samples, missed) = self.pass_totals();
+        (
+            self.wraps * full.0 + ns,
+            self.wraps * full.1 + samples,
+            self.wraps * full.2 + missed,
+        )
+    }
+}
+
+impl EntropySource for TraceReplaySource {
+    fn kind(&self) -> SourceKind {
+        SourceKind::TraceReplay
+    }
+
+    fn claimed_min_entropy(&self) -> f64 {
+        self.trace.claimed_min_entropy
+    }
+
+    fn native_xor_rate(&self) -> u32 {
+        self.trace.xor_rate
+    }
+
+    fn next_raw_bit(&mut self) -> bool {
+        if self.stuck {
+            return false;
+        }
+        let byte = self.trace.bytes[(self.pos / 8) as usize];
+        let bit = byte >> (7 - self.pos % 8) & 1 == 1;
+        self.pos += 1;
+        if self.pos == self.trace.bytes.len() as u64 * 8 {
+            self.pos = 0;
+            self.wraps += 1;
+        }
+        bit
+    }
+
+    fn fill_raw(&mut self, out: &mut [u8]) {
+        if self.stuck {
+            out.fill(0);
+            return;
+        }
+        for slot in out.iter_mut() {
+            if self.pos.is_multiple_of(8) {
+                *slot = self.trace.bytes[(self.pos / 8) as usize];
+                self.pos += 8;
+                if self.pos == self.trace.bytes.len() as u64 * 8 {
+                    self.pos = 0;
+                    self.wraps += 1;
+                }
+            } else {
+                let mut b = 0u8;
+                for _ in 0..8 {
+                    b = b << 1 | u8::from(self.next_raw_bit());
+                }
+                *slot = b;
+            }
+        }
+    }
+
+    fn raw_bits(&self) -> u64 {
+        self.raw_base + self.live_totals().1
+    }
+
+    fn sim_now_ns(&self) -> u64 {
+        self.sim_base_ns + self.live_totals().0
+    }
+
+    fn capture_stats(&self) -> CaptureStats {
+        let (_, samples, missed) = self.live_totals();
+        CaptureStats {
+            samples,
+            missed_edges: missed,
+        }
+    }
+
+    fn rebuild(&mut self, fault: Option<&SourceFault>) -> Result<(), SourceError> {
+        match fault {
+            Some(SourceFault::Stuck) => {
+                self.stuck = true;
+                Ok(())
+            }
+            Some(f) => Err(SourceError::UnsupportedFault {
+                kind: SourceKind::TraceReplay,
+                fault: match f {
+                    SourceFault::Attack(_) => "attack",
+                    SourceFault::Config(_) => "carry-chain config",
+                    SourceFault::Env(_) => "environment",
+                    SourceFault::Stuck => unreachable!("handled above"),
+                },
+            }),
+            None => {
+                // Replay restart: bank what this pass produced and
+                // rewind to the head of the trace.
+                let (ns, samples, _) = self.live_totals();
+                self.sim_base_ns += ns;
+                self.raw_base += samples;
+                self.pos = 0;
+                self.wraps = 0;
+                self.stuck = false;
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> Arc<RecordedTrace> {
+        Arc::new(RecordedTrace::record(&TrngConfig::paper_k1(), 11, 64).expect("capture succeeds"))
+    }
+
+    #[test]
+    fn replay_reproduces_the_recorded_bytes_and_counters() {
+        let trace = trace();
+        let mut src = TraceReplaySource::new(trace.clone()).expect("valid trace");
+        let mut out = [0u8; 64];
+        src.fill_raw(&mut out);
+        assert_eq!(&out[..], &trace.bytes[..]);
+        // After a full pass the counters equal the recording's finals.
+        assert_eq!(src.raw_bits(), *trace.samples_at.last().unwrap());
+        assert_eq!(src.sim_now_ns(), *trace.sim_ns_at.last().unwrap());
+        // Second pass wraps and keeps accumulating.
+        src.fill_raw(&mut out);
+        assert_eq!(&out[..], &trace.bytes[..]);
+        assert_eq!(src.raw_bits(), 2 * trace.samples_at.last().unwrap());
+    }
+
+    #[test]
+    fn per_bit_and_per_byte_reads_agree() {
+        let trace = trace();
+        let mut a = TraceReplaySource::new(trace.clone()).expect("valid trace");
+        let mut b = TraceReplaySource::new(trace).expect("valid trace");
+        let mut bytes = [0u8; 16];
+        a.fill_raw(&mut bytes);
+        for byte in bytes {
+            for k in 0..8 {
+                assert_eq!(byte >> (7 - k) & 1 == 1, b.next_raw_bit());
+            }
+        }
+    }
+
+    #[test]
+    fn rebuild_banks_and_rewinds() {
+        let trace = trace();
+        let mut src = TraceReplaySource::new(trace.clone()).expect("valid trace");
+        let mut out = [0u8; 32];
+        src.fill_raw(&mut out);
+        let bits = src.raw_bits();
+        src.rebuild(None).expect("replay restart");
+        assert_eq!(src.raw_bits(), bits, "banked totals survive the rewind");
+        let mut again = [0u8; 32];
+        src.fill_raw(&mut again);
+        assert_eq!(&again[..], &trace.bytes[..32], "rewound to the head");
+    }
+
+    #[test]
+    fn foreign_faults_are_typed_rejections() {
+        let mut src = TraceReplaySource::new(trace()).expect("valid trace");
+        let fault = SourceFault::Env(Default::default());
+        match src.rebuild(Some(&fault)) {
+            Err(SourceError::UnsupportedFault { kind, .. }) => {
+                assert_eq!(kind, SourceKind::TraceReplay);
+            }
+            other => panic!("expected UnsupportedFault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inconsistent_checkpoints_are_rejected() {
+        let mut t = (*trace()).clone();
+        t.samples_at.pop();
+        assert!(TraceReplaySource::new(Arc::new(t)).is_err());
+    }
+}

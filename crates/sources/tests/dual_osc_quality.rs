@@ -1,0 +1,133 @@
+//! Tier-1 statistical quality gates for the dual-oscillator sampler:
+//! AIS-31 admission, seed-level properties, locking detectability and
+//! a trimmed NIST battery on conditioned output.
+
+use std::collections::HashSet;
+
+use trng_core::health::OnlineHealth;
+use trng_core::postprocess::XorCompressor;
+use trng_fpga_sim::noise::AttackInjection;
+use trng_fpga_sim::time::Ps;
+use trng_sources::{
+    run_source_startup, DualOscConfig, DualOscillatorSource, EntropySource, SourceFault,
+};
+use trng_stattests::assessment::assess;
+use trng_stattests::bits::BitVec;
+use trng_testkit::prng::Rng;
+
+fn source(seed: u64) -> DualOscillatorSource {
+    DualOscillatorSource::new(DualOscConfig::betrusted_default(), seed).expect("default builds")
+}
+
+fn raw_bits(src: &mut DualOscillatorSource, n: usize) -> Vec<bool> {
+    (0..n).map(|_| src.next_raw_bit()).collect()
+}
+
+/// Distinct 16-bit windows in a stream — a cheap predictability probe.
+/// A healthy sampler fills most of the window space; a phase-locked
+/// one repeats a short periodic pattern.
+fn pattern_diversity(bits: &[bool]) -> usize {
+    let mut seen = HashSet::new();
+    for w in bits.chunks_exact(16) {
+        let mut v = 0u16;
+        for &b in w {
+            v = v << 1 | u16::from(b);
+        }
+        seen.insert(v);
+    }
+    seen.len()
+}
+
+#[test]
+fn startup_admits_the_default_geometry() {
+    for seed in [1u64, 2, 3, 4, 5] {
+        let mut src = source(seed);
+        let mut health = OnlineHealth::new(src.claimed_min_entropy());
+        let mut compressor = XorCompressor::new(src.native_xor_rate());
+        let report = run_source_startup(&mut src, &mut health, &mut compressor);
+        assert!(
+            report.passed(),
+            "seed {seed}: startup failed, mask {:#x} (ones {}, longest run {})",
+            report.failure_mask(),
+            report.ones,
+            report.longest_run
+        );
+    }
+}
+
+trng_testkit::props! {
+    /// Identical `(config, seed)` pairs replay identically regardless
+    /// of read granularity — the trait's batching contract.
+    fn dual_osc_seed_determinism(rng) {
+        let seed = rng.gen::<u64>();
+        let mut by_bit = source(seed);
+        let mut by_byte = source(seed);
+        let bits = raw_bits(&mut by_bit, 128);
+        let mut bytes = [0u8; 16];
+        by_byte.fill_raw(&mut bytes);
+        for (i, &bit) in bits.iter().enumerate() {
+            assert_eq!(bit, bytes[i / 8] >> (7 - i % 8) & 1 == 1, "bit {i}");
+        }
+        assert_eq!(by_bit.raw_bits(), by_byte.raw_bits());
+    }
+
+    /// Whenever `validate` accepts a geometry, the sampler-ratio
+    /// bounds actually hold: the fast ring out-runs the slow one and
+    /// the per-sample sweep fraction stays away from integer ratios.
+    fn accepted_geometries_respect_sampler_ratio_bounds(rng) {
+        let mut config = DualOscConfig::betrusted_default();
+        config.divider = rng.gen_range(1..48);
+        config.fast.stage_delay = Ps::from_ps(rng.gen_range(200.0..6_000.0));
+        config.slow.stage_delay = Ps::from_ps(rng.gen_range(1_000.0..8_000.0));
+        if config.validate().is_err() {
+            return; // rejected geometries are the other tests' job
+        }
+        let fast_period = 2.0 * config.fast.stages as f64 * config.fast.stage_delay.as_ps();
+        assert!(fast_period < config.slow_period().as_ps());
+        let frac = (config.sample_interval().as_ps() / config.slow_period().as_ps()).fract();
+        assert!((0.05..=0.95).contains(&frac), "sweep fraction {frac}");
+        assert!(config.claimed_min_entropy() >= 0.05);
+    }
+}
+
+#[test]
+fn locking_attack_collapses_pattern_diversity() {
+    // Lock the slow rings to their own stage-transit grid: the phase
+    // random walk becomes a bounded OU process, so the sampled stream
+    // degenerates into a short periodic pattern. Plain monobit bias
+    // stays near zero (the frozen phases scatter around the die), so
+    // the discriminator is predictability, not ones-density — exactly
+    // why the paper argues for model-based bounds over black-box
+    // tests.
+    let cfg = DualOscConfig::betrusted_default();
+    let stage_hz = 1e12 / cfg.slow.stage_delay.as_ps();
+    for seed in [1u64, 2, 3] {
+        let mut healthy = source(seed);
+        let h = pattern_diversity(&raw_bits(&mut healthy, 4_096));
+        let mut locked = source(seed);
+        locked
+            .rebuild(Some(&SourceFault::Attack(AttackInjection::locking(
+                stage_hz, 0.5,
+            ))))
+            .expect("attack applies");
+        let l = pattern_diversity(&raw_bits(&mut locked, 4_096));
+        assert!(h > 150, "seed {seed}: healthy diversity only {h}/256");
+        assert!(
+            l < h / 3,
+            "seed {seed}: locking not visible (healthy {h}, locked {l})"
+        );
+    }
+}
+
+#[test]
+fn trimmed_nist_battery_passes_on_conditioned_output() {
+    let seqs: Vec<BitVec> = (0..2)
+        .map(|s| {
+            let mut src = source(500 + s);
+            let raw = raw_bits(&mut src, 7 * 20_000);
+            XorCompressor::compress(7, &raw).into_iter().collect()
+        })
+        .collect();
+    let a = assess(&seqs);
+    assert!(a.all_passed(), "failures: {:?}", a.failures());
+}

@@ -73,6 +73,24 @@ echo "==> adversarial smoke (locking + thermal runaway, monitor-first detection)
 TRNG_ADVERSARIAL_SMOKE_BYTES=${TRNG_ADVERSARIAL_SMOKE_BYTES:-4096} \
     cargo run -q --release --offline -p trng-pool --bin adversarial_smoke
 
+# Per-backend smoke: each of the four entropy backends (carry-chain,
+# dual-oscillator, trace replay, OS entropy) runs alone behind a
+# deterministic pool — admitted by the AIS-31 startup test, serving
+# bytes, and surviving an injected Stuck fault's quarantine/readmit
+# round trip — then all four run mixed behind one 4-shard pool.
+echo "==> sources smoke (4 backends + mixed pool, Stuck drill on every shard)"
+TRNG_SOURCES_SMOKE_BYTES=${TRNG_SOURCES_SMOKE_BYTES:-8192} \
+    cargo run -q --release --offline -p trng-pool --bin sources_smoke
+
+# Heterogeneous-backend throughput: quick run of the sources bench,
+# writing BENCH_sources.json (ns/bit and Mb/s per backend plus the
+# mixed 4-source pool) and asserting the OS-backed pool outpaces the
+# event-driven carry-chain simulator on the host.
+echo "==> sources bench (quick, per-backend + mixed throughput)"
+TRNG_SOURCES_BENCH_BYTES=${TRNG_SOURCES_BENCH_BYTES:-4096} \
+TRNG_BENCH_OUT_DIR=$(mktemp -d) \
+    cargo bench -q --offline -p trng-bench --bench pool_sources
+
 # Detection-latency table: quick run of the adversarial bench, which
 # asserts internally that no detection precedes its attack onset and
 # writes BENCH_adversarial.json (thermal ramp/runaway, locking,

@@ -468,3 +468,74 @@ fn metrics_endpoint_reports_status_and_counters() {
     }
     drop(server);
 }
+
+/// Per-source metrics are additive: a mixed-backend pool's scrape
+/// keeps the exact plaintext format (bare status line, then JSON) and
+/// every pre-existing counter key, and gains the per-source labels —
+/// a `sources` aggregate keyed by backend plus `source` /
+/// `claimed_min_entropy` on each shard entry.
+#[test]
+fn mixed_source_metrics_add_per_source_keys_without_breaking_the_format() {
+    use std::sync::Arc;
+    use trng_pool::{DualOscConfig, RecordedTrace, SourceSpec};
+
+    let trace =
+        Arc::new(RecordedTrace::record(&TrngConfig::paper_k1(), 5, 32 * 1024).expect("capture"));
+    let config = PoolConfig::new(TrngConfig::paper_k1(), 4)
+        .with_conditioning(Conditioning::DesignXor)
+        .with_seed(0x313)
+        .deterministic(true)
+        .with_sources(vec![
+            SourceSpec::CarryChain,
+            SourceSpec::DualOscillator(Box::new(DualOscConfig::betrusted_default())),
+            SourceSpec::TraceReplay(trace),
+            SourceSpec::OsEntropy,
+        ]);
+    let server = Server::start(online_handle(config), ServeConfig::default()).expect("server");
+    let n = 4096usize;
+    client::fetch(server.local_addr(), n as u32).expect("fetch");
+
+    let body = client::scrape_metrics(server.metrics_addr().expect("metrics on")).expect("scrape");
+    // Scrape format unchanged: a bare status line, then pretty JSON.
+    let mut lines = body.lines();
+    assert_eq!(lines.next(), Some("healthy"));
+    let json: String = lines.collect::<Vec<_>>().join("\n");
+    // Every key the old scrape carried is still present...
+    for needle in [
+        "\"status\": \"healthy\"",
+        "\"pool\"",
+        "\"serve\"",
+        &format!("\"bytes_delivered\": {n}"),
+        &format!("\"bytes_served\": {n}"),
+        "\"requests_ok\": 1",
+        "\"online_shards\": 4",
+        "\"shards\"",
+        "\"journal\"",
+        "\"journal_recorded\"",
+    ] {
+        assert!(
+            json.contains(needle),
+            "metrics JSON lacks {needle}:\n{json}"
+        );
+    }
+    // ...and the additive per-source keys are new alongside them.
+    assert!(
+        json.contains("\"sources\""),
+        "no sources aggregate:\n{json}"
+    );
+    for backend in ["carry_chain", "dual_osc", "trace_replay", "os_entropy"] {
+        assert!(
+            json.contains(&format!("\"{backend}\"")),
+            "sources aggregate lacks {backend}:\n{json}"
+        );
+        assert!(
+            json.contains(&format!("\"source\": \"{backend}\"")),
+            "no shard labelled {backend}:\n{json}"
+        );
+    }
+    assert!(
+        json.contains("\"claimed_min_entropy\""),
+        "no per-source entropy claim:\n{json}"
+    );
+    drop(server);
+}
