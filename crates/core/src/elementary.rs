@@ -91,6 +91,7 @@ impl ElementaryTrng {
             device: config.device,
             base_site: (0, 0),
             history_window: Ps::from_ns(2.0),
+            backend: Default::default(),
         };
         let oscillator = RingOscillator::new(ro_config, SimRng::seed_from(seed))?;
         Ok(ElementaryTrng {

@@ -7,10 +7,13 @@
 //! `tA`), all lines capture simultaneously and the entropy extractor
 //! decodes one raw bit from the first edge position.
 
+use trng_fpga_sim::batch::BatchedRingEngine;
 use trng_fpga_sim::delay_line::TappedDelayLine;
 use trng_fpga_sim::edge_train::EdgeCursor;
 use trng_fpga_sim::fabric::Fabric;
-use trng_fpga_sim::noise::{AttackInjection, FlickerParams, GlobalModulation, NoiseConfig};
+use trng_fpga_sim::noise::{
+    AttackInjection, FlickerParams, GlobalModulation, NoiseBackend, NoiseConfig,
+};
 use trng_fpga_sim::placement::{PlacementError, TrngPlacement};
 use trng_fpga_sim::primitives::CaptureFf;
 use trng_fpga_sim::process::{DeviceSeed, ProcessVariation};
@@ -60,6 +63,12 @@ pub struct TrngConfig {
     /// Flip-flop metastability half-aperture (ignored when
     /// `ideal_tdc`).
     pub meta_window: Ps,
+    /// How run-time noise is synthesised. [`NoiseBackend::Scalar`]
+    /// (default) keeps the replay-exact draw sequence;
+    /// [`NoiseBackend::Batched`] synthesises whole windows at once —
+    /// statistically equivalent, roughly an order of magnitude faster
+    /// per raw bit, but not byte-identical to scalar streams.
+    pub noise_backend: NoiseBackend,
 }
 
 impl TrngConfig {
@@ -82,6 +91,7 @@ impl TrngConfig {
             // CARRY4 bins, reproducing Figure 4 (c) bubbles; see
             // `CaptureFf::default`.
             meta_window: Ps::from_ps(9.0),
+            noise_backend: NoiseBackend::Scalar,
         }
     }
 
@@ -120,6 +130,12 @@ impl TrngConfig {
     /// Sets the bubble filter, builder-style.
     pub fn with_bubble_filter(mut self, filter: BubbleFilter) -> Self {
         self.bubble_filter = filter;
+        self
+    }
+
+    /// Sets the noise-synthesis backend, builder-style.
+    pub fn with_noise_backend(mut self, backend: NoiseBackend) -> Self {
+        self.noise_backend = backend;
         self
     }
 
@@ -287,6 +303,11 @@ impl TrngStats {
 pub struct CarryChainTrng {
     config: TrngConfig,
     oscillator: RingOscillator,
+    /// Block-synthesis engine, present only on the
+    /// [`NoiseBackend::Batched`] hot path (and only when the placed
+    /// lines support the run-length sampler). When set it replaces the
+    /// oscillator + per-line sampler entirely.
+    engine: Option<BatchedRingEngine>,
     lines: Vec<TappedDelayLine>,
     extractor: EntropyExtractor,
     rng: SimRng,
@@ -338,7 +359,9 @@ impl CarryChainTrng {
                 u64::from(placement.oscillator_site(0).y),
             ),
             history_window: history,
+            backend: config.noise_backend,
         };
+        let ro_config_for_engine = ro_config.clone();
         let oscillator =
             RingOscillator::new(ro_config, rng.fork()).map_err(BuildTrngError::Oscillator)?;
 
@@ -365,9 +388,20 @@ impl CarryChainTrng {
         let extractor = EntropyExtractor::new(config.design.k, config.bubble_filter);
         let t_a = Ps::from_ps(config.design.t_a_ps());
 
+        // Batched backend: build the whole-window engine from the same
+        // ring configuration and placed lines. Unsupported layouts
+        // (wide lines, non-monotone taps) silently fall back to the
+        // scalar oscillator, which still uses block-ziggurat normals.
+        let engine = if config.noise_backend == NoiseBackend::Batched && m <= 64 {
+            BatchedRingEngine::new(&ro_config_for_engine, &lines, rng.fork()).ok()
+        } else {
+            None
+        };
+
         Ok(CarryChainTrng {
             config,
             oscillator,
+            engine,
             lines,
             extractor,
             rng,
@@ -405,18 +439,37 @@ impl CarryChainTrng {
     /// (resumable [`EdgeCursor`] per line) differ.
     fn sample_words(&mut self) -> u64 {
         self.t += self.t_a;
-        self.oscillator.advance_to(self.t);
-        let mut xor = 0u64;
-        for i in 0..self.lines.len() {
-            let node = self.oscillator.node(i);
-            let word =
-                self.lines[i].sample_into(&node, self.t, &mut self.cursors[i], &mut self.rng);
-            self.scratch_words[i] = word;
-            xor ^= word;
-        }
+        let xor = if let Some(engine) = &mut self.engine {
+            // Batched backend: whole-window synthesis + run-length
+            // sampling in one pass; metastability coins still come
+            // from the TRNG's own RNG in ascending-tap order.
+            engine.sample_words(self.t, &mut self.rng, &mut self.scratch_words)
+        } else {
+            self.oscillator.advance_to(self.t);
+            let mut xor = 0u64;
+            for i in 0..self.lines.len() {
+                let node = self.oscillator.node(i);
+                let word =
+                    self.lines[i].sample_into(&node, self.t, &mut self.cursors[i], &mut self.rng);
+                self.scratch_words[i] = word;
+                xor ^= word;
+            }
+            xor
+        };
         self.stats.samples += 1;
         self.record_kind(Snippet::classify_word(xor, self.config.design.m));
         xor
+    }
+
+    /// The noise backend actually in effect: [`NoiseBackend::Batched`]
+    /// only when the whole-window engine was built (requested *and*
+    /// the layout supports it); otherwise [`NoiseBackend::Scalar`].
+    pub fn active_noise_backend(&self) -> NoiseBackend {
+        if self.engine.is_some() {
+            NoiseBackend::Batched
+        } else {
+            NoiseBackend::Scalar
+        }
     }
 
     fn record_kind(&mut self, kind: SnippetKind) {

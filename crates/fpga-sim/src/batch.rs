@@ -1,0 +1,872 @@
+//! Batched whole-window synthesis of ring-oscillator edge trains —
+//! the [`NoiseBackend::Batched`] hot path.
+//!
+//! The scalar pipeline ([`RingOscillator`](crate::ring_oscillator::RingOscillator) +
+//! [`TappedDelayLine::sample_into`]) advances the ring one transition
+//! event at a time, drawing every Gaussian variate individually so that
+//! traces, journals and golden vectors replay byte-identically. PR 3
+//! measured that contract's cost: ~75 % of the remaining per-bit time is
+//! frozen in per-edge noise synthesis that cannot be amortised without
+//! changing the draw sequence.
+//!
+//! [`BatchedRingEngine`] deliberately gives up draw-identity (never the
+//! *distribution*) to amortise everything:
+//!
+//! * Gaussian variates come from the block ziggurat
+//!   ([`SimRng::fill_standard_normals`]) in slabs of [`EVENT_BLOCK`],
+//!   filled from bulk xoshiro word output;
+//! * the Ornstein–Uhlenbeck flicker increments are precomputed per
+//!   window of [`FLICKER_WINDOW`] events with the exact recurrence
+//!   `x ← x·a + N(0, σ·√(1−a²))`, `a = exp(−Δ/τ_c)` at the window
+//!   spacing `Δ` (~60 ns for the paper ring — four orders of magnitude
+//!   below `τ_c = 1 µs`, so the piecewise-constant hold is far inside
+//!   the flicker correlation time and the marginal distribution and
+//!   window-scale autocorrelation are exact);
+//! * global modulation and attack injection are evaluated with the
+//!   *same formulas* as the scalar path at the actual event times —
+//!   they are deterministic functions of time, so no approximation;
+//! * whole edge trains are synthesised at once into flat, cache-friendly
+//!   `f64` buffers, and the packed-`u64` tap sampler runs over them
+//!   with the identical run-length + metastability-aperture algorithm
+//!   as [`TappedDelayLine::sample_into`], using monotone forward-scan
+//!   cursors instead of per-query binary searches.
+//!
+//! Metastability coin flips still come from the *caller's* RNG, in the
+//! same ascending-tap order as the scalar sampler, so the aperture
+//! statistics (and the coin budget per sample) are unchanged.
+//!
+//! The engine refuses (`Err`) configurations it cannot serve exactly —
+//! more than 64 taps per line, tap instants that are not monotone
+//! non-increasing, or a line/stage count mismatch — and callers fall
+//! back to the scalar oscillator (which still benefits from the
+//! block-ziggurat tier when the backend knob is on).
+
+use crate::delay_line::{range_mask, TappedDelayLine};
+use crate::noise::{NoiseBackend, NoiseConfig};
+use crate::primitives::LutDelay;
+use crate::ring_oscillator::RingOscillatorConfig;
+use crate::rng::SimRng;
+use crate::time::Ps;
+
+/// Number of ring transition events synthesised per block.
+///
+/// At ~21 events per sampled bit this amortises one bulk normal fill
+/// over ~190 samples.
+pub const EVENT_BLOCK: usize = 4096;
+
+/// Events per flicker window: the OU state of every stage is advanced
+/// once per window (exact decay for the window's wall-clock span) and
+/// held constant within it. Must divide [`EVENT_BLOCK`].
+pub const FLICKER_WINDOW: usize = 128;
+
+/// Per-stage Ornstein–Uhlenbeck flicker state for the batched engine.
+#[derive(Debug, Clone)]
+struct FlickerBlock {
+    /// Decay per flicker window: `exp(−Δ/τ_c)` at the window span
+    /// `Δ = FLICKER_WINDOW · half_period / n`.
+    a: f64,
+    /// Innovation standard deviation per window: `σ·√(1−a²)`.
+    innov_sd: f64,
+    /// Current per-stage process value, ps.
+    state: Vec<f64>,
+}
+
+/// Edge buffer of one ring node: absolute toggle instants in ps,
+/// ascending, with a logically-pruned prefix and a monotone query
+/// cursor.
+///
+/// Parities are computed from the *total* edge count since `t = 0`,
+/// which is equivalent to the scalar
+/// [`EdgeTrain`](crate::edge_train::EdgeTrain) flipping its initial
+/// level once per pruned edge.
+#[derive(Debug, Clone, Default)]
+struct NodeEdges {
+    times: Vec<f64>,
+    /// Physical index of the first retained (un-pruned) edge.
+    start: usize,
+    /// Monotone query frontier: physical index of the first edge past
+    /// the previous sample's earliest query instant. Sampling times
+    /// only move forward, so every per-sample search is a short
+    /// forward scan from here instead of a binary search over the
+    /// whole synthesis buffer.
+    hint: usize,
+    /// Edges physically drained from the front of `times`.
+    removed: u64,
+}
+
+impl NodeEdges {
+    /// Advances the query frontier past every edge at or before `x`
+    /// and returns it. `x` must be non-decreasing across calls, so
+    /// each scan resumes where the previous one stopped and walks only
+    /// the handful of edges the sampler period admitted since then.
+    fn seek(&mut self, x: f64) -> usize {
+        while self.hint < self.times.len() && self.times[self.hint] <= x {
+            self.hint += 1;
+        }
+        self.hint
+    }
+
+    /// Total number of edges (since `t = 0`) at or before `x`,
+    /// scanning forward from `base` (which must already be past every
+    /// edge at or before some instant `<= x`), so only the few edges
+    /// between the two instants are visited.
+    fn count_from(&self, base: usize, x: f64) -> u64 {
+        let mut i = base;
+        while i < self.times.len() && self.times[i] <= x {
+            i += 1;
+        }
+        self.removed + i as u64
+    }
+
+    /// Edge instant by total index.
+    fn edge(&self, index: u64) -> f64 {
+        self.times[(index - self.removed) as usize]
+    }
+
+    /// Distance from `u` to the nearest buffered edge, scanning
+    /// forward from `base` (same contract as [`NodeEdges::count_from`]).
+    fn nearest_from(&self, base: usize, u: f64) -> Option<f64> {
+        let mut i = base;
+        while i < self.times.len() && self.times[i] <= u {
+            i += 1;
+        }
+        let after = self.times.get(i).map(|&e| e - u);
+        let before = if i > 0 {
+            Some(u - self.times[i - 1])
+        } else {
+            None
+        };
+        match (before, after) {
+            (Some(b), Some(a)) => Some(b.min(a)),
+            (Some(b), None) => Some(b),
+            (None, Some(a)) => Some(a),
+            (None, None) => None,
+        }
+    }
+
+    /// Logically discards edges strictly before `horizon` (monotone
+    /// across calls), compacting the backing storage once the dead
+    /// prefix grows large.
+    fn prune_before(&mut self, horizon: f64) {
+        while self.start < self.times.len() && self.times[self.start] < horizon {
+            self.start += 1;
+        }
+        if self.start > 8 * 1024 {
+            self.times.drain(..self.start);
+            self.removed += self.start as u64;
+            self.hint -= self.start;
+            self.start = 0;
+        }
+    }
+}
+
+/// Block-synthesis engine replacing the event-at-a-time oscillator and
+/// per-tap sampler on the [`NoiseBackend::Batched`] hot path.
+///
+/// Statistically equivalent to the scalar pair (same delay formula,
+/// same OU flicker marginals, same run-length/metastability sampler),
+/// but the Gaussian draw sequence differs, so streams are not
+/// byte-identical to scalar runs. See the module docs for the exact
+/// contract.
+#[derive(Debug, Clone)]
+pub struct BatchedRingEngine {
+    n: usize,
+    /// Process-adjusted stage delays, ps (identical to the scalar
+    /// oscillator's `LutDelay::placed(..).delay()` values).
+    nominal: Vec<f64>,
+    /// Causality clamp per stage: 5 % of nominal, as the scalar path.
+    clamp: Vec<f64>,
+    half_period: f64,
+    noise: NoiseConfig,
+    white_sigma: f64,
+    flicker: Option<FlickerBlock>,
+    rng: SimRng,
+    /// Per-line capture-clock skews, ps.
+    skew: Vec<Vec<f64>>,
+    /// Per-line cumulative tap delays, ps.
+    cum: Vec<Vec<f64>>,
+    /// Per-line metastability window, ps.
+    meta_w: Vec<f64>,
+    /// Stage whose output toggles at the next synthesised event.
+    next_stage: usize,
+    /// Instant of the newest synthesised event, ps.
+    last_time: f64,
+    nodes: Vec<NodeEdges>,
+    /// How far past the sample instant synthesis must reach.
+    forward_ps: f64,
+    /// How far back edges must be retained before pruning.
+    retain_ps: f64,
+    /// Samples since the last prune pass (pruning is amortised —
+    /// delaying it only retains a little extra memory, never changes
+    /// results, since queries run from the hint cursor).
+    prune_tick: u32,
+    /// Per-stage effective base delay within the current flicker
+    /// window (nominal + flicker state), reused across blocks.
+    base: Vec<f64>,
+    white_block: Vec<f64>,
+    innov_block: Vec<f64>,
+    /// Event-time staging buffer, scattered per node after synthesis.
+    tbuf: Vec<f64>,
+}
+
+impl BatchedRingEngine {
+    /// Builds an engine for the given ring configuration and delay
+    /// lines (line `i` samples ring node `i`).
+    ///
+    /// The `rng` fork is switched to batched-normal mode and used for
+    /// all noise synthesis; metastability coins are drawn from the
+    /// caller's RNG at sample time instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the configuration cannot be served
+    /// with the run-length sampler (line/stage count mismatch, more
+    /// than 64 taps, or non-monotone tap observation instants). The
+    /// caller should fall back to the scalar oscillator.
+    pub fn new(
+        config: &RingOscillatorConfig,
+        lines: &[TappedDelayLine],
+        mut rng: SimRng,
+    ) -> Result<Self, String> {
+        config.validate()?;
+        let n = config.stages;
+        if lines.len() != n {
+            return Err(format!(
+                "batched engine needs one line per ring node: {} lines for {} stages",
+                lines.len(),
+                n
+            ));
+        }
+        rng.enable_batched_normals();
+        let (bx, by) = config.base_site;
+        let nominal: Vec<f64> = (0..n)
+            .map(|i| {
+                LutDelay::placed(
+                    config.stage_delay,
+                    config.device,
+                    &config.process,
+                    bx + 2 * i as u64,
+                    by,
+                )
+                .delay()
+                .as_ps()
+            })
+            .collect();
+        let clamp: Vec<f64> = nominal.iter().map(|d| d * 0.05).collect();
+        let half_period: f64 = nominal.iter().sum();
+
+        let mut skew = Vec::with_capacity(n);
+        let mut cum = Vec::with_capacity(n);
+        let mut meta_w = Vec::with_capacity(n);
+        let mut forward_ps = 0.0f64;
+        let mut lookback_ps = 0.0f64;
+        for (idx, line) in lines.iter().enumerate() {
+            let m = line.len();
+            if m > 64 {
+                return Err(format!(
+                    "batched engine supports at most 64 taps, line {idx} has {m}"
+                ));
+            }
+            let s: Vec<f64> = line.capture_skews().iter().map(|p| p.as_ps()).collect();
+            let c: Vec<f64> = line.cum_delays().iter().map(|p| p.as_ps()).collect();
+            let mut prev = f64::INFINITY;
+            for j in 0..m {
+                let off = s[j] - c[j];
+                if off > prev {
+                    return Err(format!(
+                        "batched engine needs monotone tap instants, line {idx} tap {j} \
+                         observes later than tap {}",
+                        j - 1
+                    ));
+                }
+                prev = off;
+            }
+            let w = line.capture_ff().meta_window().as_ps();
+            forward_ps = forward_ps.max(s[0] - c[0] + w);
+            lookback_ps = lookback_ps.max(c[m - 1] - s[m - 1] + w);
+            skew.push(s);
+            cum.push(c);
+            meta_w.push(w);
+        }
+
+        let white_sigma = config.noise.white.sigma().as_ps();
+        // The wall-clock span of one flicker window: FLICKER_WINDOW
+        // events of one mean stage delay each.
+        let window_span = FLICKER_WINDOW as f64 * half_period / n as f64;
+        let flicker = config.noise.flicker.and_then(|p| {
+            let sigma = p.sigma.as_ps();
+            if sigma <= 0.0 {
+                return None;
+            }
+            let a = (-(window_span / p.tau_c.as_ps())).exp();
+            Some(FlickerBlock {
+                a,
+                innov_sd: sigma * (1.0 - a * a).sqrt(),
+                // Stationary initial condition, as the scalar
+                // `FlickerNoise::new` draws per stage.
+                state: (0..n).map(|_| rng.gaussian(0.0, sigma)).collect(),
+            })
+        });
+
+        Ok(BatchedRingEngine {
+            n,
+            base: nominal.clone(),
+            nominal,
+            clamp,
+            half_period,
+            white_sigma,
+            noise: config.noise.clone(),
+            flicker,
+            rng,
+            skew,
+            cum,
+            meta_w,
+            next_stage: 0,
+            last_time: 0.0,
+            nodes: vec![NodeEdges::default(); n],
+            forward_ps: forward_ps.max(0.0),
+            // Slack so pruned edges can never re-enter any aperture or
+            // parity window of a later sample.
+            retain_ps: lookback_ps + 4.0 * half_period + 64.0,
+            prune_tick: 0,
+            white_block: Vec::new(),
+            innov_block: Vec::new(),
+            tbuf: Vec::new(),
+        })
+    }
+
+    /// The backend this engine implements.
+    pub fn backend(&self) -> NoiseBackend {
+        NoiseBackend::Batched
+    }
+
+    /// Nominal ring half-period (sum of process-adjusted stage delays).
+    pub fn half_period(&self) -> Ps {
+        Ps::from_ps(self.half_period)
+    }
+
+    /// Synthesises one block of [`EVENT_BLOCK`] ring transitions into
+    /// the per-node edge buffers.
+    fn synthesize_block(&mut self) {
+        let k_total = EVENT_BLOCK;
+        let windows = k_total / FLICKER_WINDOW;
+        self.white_block.resize(k_total, 0.0);
+        if self.white_sigma > 0.0 {
+            self.rng.fill_standard_normals(&mut self.white_block);
+        }
+        if self.flicker.is_some() {
+            self.innov_block.resize(windows * self.n, 0.0);
+            self.rng.fill_standard_normals(&mut self.innov_block);
+        }
+        let n = self.n;
+        let wsig = self.white_sigma;
+        let simple = self.noise.global.is_none() && self.noise.attack.is_none();
+        if simple && n == 3 {
+            // The paper ring: a fully fused loop that pushes each
+            // event time straight onto its node, no staging pass.
+            self.synthesize_simple3(windows);
+            return;
+        }
+        self.tbuf.resize(k_total, 0.0);
+
+        let mut t = self.last_time;
+        let mut s = self.next_stage;
+        for w in 0..windows {
+            // Advance every stage's OU state once per window (exact
+            // decay for the window span), then hold it constant: the
+            // effective per-stage base delay for this window.
+            if let Some(f) = &mut self.flicker {
+                for st in 0..n {
+                    f.state[st] = f.state[st] * f.a + f.innov_sd * self.innov_block[w * n + st];
+                    self.base[st] = self.nominal[st] + f.state[st];
+                }
+            }
+            let k0 = w * FLICKER_WINDOW;
+            if simple {
+                // Fast path (no global modulation, no attack): one
+                // fused multiply-add + clamp per event.
+                for k in k0..k0 + FLICKER_WINDOW {
+                    let mut d = self.base[s] + wsig * self.white_block[k];
+                    if d < self.clamp[s] {
+                        d = self.clamp[s];
+                    }
+                    t += d;
+                    self.tbuf[k] = t;
+                    s += 1;
+                    if s == n {
+                        s = 0;
+                    }
+                }
+            } else {
+                // General path: same composition as the scalar
+                // `StageNoise::stage_delay`, at the same event times —
+                // multiplicative global factor, additive white +
+                // flicker, attack at the prospective edge instant.
+                for k in k0..k0 + FLICKER_WINDOW {
+                    let mut d = self.nominal[s];
+                    if let Some(g) = &self.noise.global {
+                        d *= g.delay_factor(Ps::from_ps(t));
+                    }
+                    if wsig > 0.0 {
+                        d += wsig * self.white_block[k];
+                    }
+                    d += self.base[s] - self.nominal[s];
+                    if let Some(a) = &self.noise.attack {
+                        d += a.injected_delay(Ps::from_ps(t + d)).as_ps();
+                    }
+                    if d < self.clamp[s] {
+                        d = self.clamp[s];
+                    }
+                    t += d;
+                    self.tbuf[k] = t;
+                    s += 1;
+                    if s == n {
+                        s = 0;
+                    }
+                }
+            }
+        }
+
+        // Scatter the staged event times to their nodes: event k
+        // toggles stage (next_stage + k) mod n.
+        let s0 = self.next_stage;
+        if n == 3 {
+            // Single pass: element j of every 3-chunk lands on stage
+            // (s0 + j) % 3, so the three targets are fixed per lane —
+            // one sweep over the staging buffer instead of three
+            // strided walks.
+            let (h0, rest) = self.nodes.split_at_mut(1);
+            let (h1, h2) = rest.split_at_mut(1);
+            let mut vecs = [&mut h0[0].times, &mut h1[0].times, &mut h2[0].times];
+            for v in &mut vecs {
+                v.reserve(k_total / 3 + 1);
+            }
+            let d = [s0 % 3, (s0 + 1) % 3, (s0 + 2) % 3];
+            let mut chunks = self.tbuf.chunks_exact(3);
+            for ch in &mut chunks {
+                vecs[d[0]].push(ch[0]);
+                vecs[d[1]].push(ch[1]);
+                vecs[d[2]].push(ch[2]);
+            }
+            for (j, &tv) in chunks.remainder().iter().enumerate() {
+                vecs[d[j]].push(tv);
+            }
+        } else {
+            for off in 0..n {
+                let stage = (s0 + off) % n;
+                self.nodes[stage]
+                    .times
+                    .extend(self.tbuf[off..].iter().step_by(n));
+            }
+        }
+        self.next_stage = s;
+        self.last_time = t;
+    }
+
+    /// Fused synthesis for the 3-stage ring without global modulation
+    /// or attack injection: one multiply-add + clamp per event, event
+    /// times pushed straight onto their node buffers.
+    fn synthesize_simple3(&mut self, windows: usize) {
+        let wsig = self.white_sigma;
+        let mut t = self.last_time;
+        let mut s = self.next_stage;
+        let (h0, rest) = self.nodes.split_at_mut(1);
+        let (h1, h2) = rest.split_at_mut(1);
+        let mut vecs = [&mut h0[0].times, &mut h1[0].times, &mut h2[0].times];
+        for v in &mut vecs {
+            v.reserve(EVENT_BLOCK / 3 + 1);
+        }
+        for w in 0..windows {
+            if let Some(f) = &mut self.flicker {
+                for st in 0..3 {
+                    f.state[st] = f.state[st] * f.a + f.innov_sd * self.innov_block[w * 3 + st];
+                    self.base[st] = self.nominal[st] + f.state[st];
+                }
+            }
+            let base = [self.base[0], self.base[1], self.base[2]];
+            let clamp = [self.clamp[0], self.clamp[1], self.clamp[2]];
+            let k0 = w * FLICKER_WINDOW;
+            for &z in &self.white_block[k0..k0 + FLICKER_WINDOW] {
+                let mut d = base[s] + wsig * z;
+                if d < clamp[s] {
+                    d = clamp[s];
+                }
+                t += d;
+                vecs[s].push(t);
+                s += 1;
+                if s == 3 {
+                    s = 0;
+                }
+            }
+        }
+        self.next_stage = s;
+        self.last_time = t;
+    }
+
+    /// Extends synthesis until the newest event is at or past `t_ps`.
+    fn ensure_until(&mut self, t_ps: f64) {
+        while self.last_time < t_ps {
+            self.synthesize_block();
+        }
+    }
+
+    /// Samples every line at clock edge `t`, writing the packed word of
+    /// line `i` into `words[i]` and returning the XOR of all words —
+    /// the batched equivalent of one `advance_to` + per-line
+    /// [`TappedDelayLine::sample_into`] pass.
+    ///
+    /// `coins` supplies the metastability Bernoulli draws, in the same
+    /// ascending-tap order per line as the scalar sampler. Sample
+    /// times must be monotone non-decreasing, as with the scalar
+    /// oscillator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len()` differs from the line count.
+    pub fn sample_words(&mut self, t: Ps, coins: &mut SimRng, words: &mut [u64]) -> u64 {
+        assert_eq!(
+            words.len(),
+            self.n,
+            "need one word slot per line, got {} for {}",
+            words.len(),
+            self.n
+        );
+        let t_ps = t.as_ps();
+        // Cover every tap instant plus its aperture so edges outside
+        // the buffer are provably farther than any metastability
+        // window; the extra half-periods guarantee buffered edges past
+        // every query the run-length and aperture scans can reach.
+        self.ensure_until(t_ps + self.forward_ps + 2.0 * self.half_period + 16.0);
+        let mut xor = 0u64;
+        for (i, slot) in words.iter_mut().enumerate() {
+            // Earliest instant this sample can query on node i:
+            // the last tap's observation instant minus the aperture.
+            let m = self.cum[i].len();
+            let min_q = (t_ps + self.skew[i][m - 1]) - self.cum[i][m - 1] - self.meta_w[i];
+            let base = self.nodes[i].seek(min_q);
+            let word = self.sample_line(i, t_ps, base, coins);
+            *slot = word;
+            xor ^= word;
+        }
+        self.prune_tick += 1;
+        if self.prune_tick >= 32 {
+            self.prune_tick = 0;
+            let horizon = t_ps - self.retain_ps;
+            if horizon > 0.0 {
+                for node in &mut self.nodes {
+                    node.prune_before(horizon);
+                }
+            }
+        }
+        xor
+    }
+
+    /// Packed capture of one line: a faithful port of the scalar
+    /// run-length sampler over the flat edge buffer. `base` is the
+    /// node's query frontier, already past every edge at or before
+    /// this sample's earliest query instant.
+    fn sample_line(&self, line: usize, t_ps: f64, base: usize, coins: &mut SimRng) -> u64 {
+        let skew = &self.skew[line][..];
+        let cum = &self.cum[line][..];
+        let m = skew.len();
+        // Same association as the scalar `tap_instant`: (t + skew) −
+        // cum, so instants match bit for bit. Evaluated on demand —
+        // the searches below only ever probe a handful of the m taps,
+        // so materialising the whole array would dominate the sample.
+        let u = |j: usize| (t_ps + skew[j]) - cum[j];
+        let node = &self.nodes[line];
+
+        // Levels: tap j sees initial XOR parity(#edges <= u_j), with
+        // the alternating ring initial level of node `line`.
+        let init = line % 2 == 1;
+        let u_last = u(m - 1);
+        let u_first = u(0);
+        let p_min = node.count_from(base, u_last);
+        let p_max = node.count_from(base, u_first);
+        let mut word = 0u64;
+        let mut j_start = 0usize;
+        let mut c = p_max;
+        while c > p_min {
+            let e = node.edge(c - 1);
+            let split = partition_taps(j_start, m, |j| u(j) >= e);
+            if init ^ (c % 2 == 1) {
+                word |= range_mask(j_start, split);
+            }
+            j_start = split;
+            c -= 1;
+        }
+        if init ^ (p_min % 2 == 1) {
+            word |= range_mask(j_start, m);
+        }
+
+        // Metastability apertures, walked from the latest candidate
+        // edge to the earliest so coins land in ascending-tap order.
+        let w = self.meta_w[line];
+        if w > 0.0 {
+            // `base` was seeked to u[m-1] - w, so it *is* e_lo.
+            let e_lo = node.removed + base as u64;
+            let e_hi = node.count_from(base, u_first + w);
+            let mut next_j = 0usize;
+            let mut i = e_hi;
+            while i > e_lo {
+                i -= 1;
+                let e = node.edge(i);
+                // First tap past the aperture's early side, then first
+                // tap at or past its late side: the candidate range.
+                let jlo = partition_taps(next_j, m, |j| u(j) >= e + w);
+                let jhi = partition_taps(jlo, m, |j| u(j) > e - w);
+                for j in jlo..jhi {
+                    if let Some(d) = node.nearest_from(base, u(j)) {
+                        if d < w {
+                            let p_correct = 0.5 + 0.5 * (d / w);
+                            if !coins.bernoulli(p_correct) {
+                                word ^= 1u64 << j;
+                            }
+                        }
+                    }
+                }
+                next_j = jhi.max(next_j);
+            }
+        }
+        word
+    }
+}
+
+/// First tap index `j` in `[lo, m)` where `above(j)` turns false.
+///
+/// Tap observation instants are non-increasing in `j` (validated at
+/// construction), so any `u(j) >= threshold`-style predicate is
+/// monotone and this is the usual binary partition point, with the
+/// instants computed on demand.
+fn partition_taps(lo: usize, m: usize, mut above: impl FnMut(usize) -> bool) -> usize {
+    let (mut lo, mut hi) = (lo, m);
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if above(mid) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge_train::EdgeCursor;
+    use crate::primitives::CaptureFf;
+    use crate::ring_oscillator::RingOscillator;
+
+    fn ideal_lines(n: usize, m: usize, tstep: Ps) -> Vec<TappedDelayLine> {
+        (0..n).map(|_| TappedDelayLine::ideal(m, tstep)).collect()
+    }
+
+    fn scalar_words(
+        config: &RingOscillatorConfig,
+        lines: &[TappedDelayLine],
+        osc_seed: u64,
+        coin_seed: u64,
+        t_a: Ps,
+        count: usize,
+    ) -> Vec<Vec<u64>> {
+        let mut ro =
+            RingOscillator::new(config.clone(), SimRng::seed_from(osc_seed)).expect("valid");
+        let mut coins = SimRng::seed_from(coin_seed);
+        let mut cursors = vec![EdgeCursor::default(); lines.len()];
+        let mut t = Ps::ZERO;
+        (0..count)
+            .map(|_| {
+                t += t_a;
+                ro.run_until(t);
+                lines
+                    .iter()
+                    .enumerate()
+                    .map(|(i, line)| line.sample_into(&ro.node(i), t, &mut cursors[i], &mut coins))
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn batched_words(
+        config: &RingOscillatorConfig,
+        lines: &[TappedDelayLine],
+        osc_seed: u64,
+        coin_seed: u64,
+        t_a: Ps,
+        count: usize,
+    ) -> Vec<Vec<u64>> {
+        let mut engine =
+            BatchedRingEngine::new(config, lines, SimRng::seed_from(osc_seed)).expect("supported");
+        let mut coins = SimRng::seed_from(coin_seed);
+        let mut words = vec![0u64; lines.len()];
+        let mut t = Ps::ZERO;
+        (0..count)
+            .map(|_| {
+                t += t_a;
+                engine.sample_words(t, &mut coins, &mut words);
+                words.clone()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn noiseless_engine_matches_scalar_sampler_exactly() {
+        // With zero noise there is no randomness in the edge times, so
+        // the engine must reproduce the scalar words bit for bit.
+        let config = RingOscillatorConfig::ideal(3, Ps::from_ps(480.0), Ps::ZERO);
+        let lines = ideal_lines(3, 36, Ps::from_ps(17.0));
+        let t_a = Ps::from_ps(9973.0);
+        let scalar = scalar_words(&config, &lines, 1, 2, t_a, 400);
+        let batched = batched_words(&config, &lines, 1, 2, t_a, 400);
+        assert_eq!(scalar, batched);
+    }
+
+    #[test]
+    fn noiseless_engine_matches_scalar_with_metastability() {
+        // Zero jitter but a real aperture: edge times stay
+        // deterministic, so aperture hits and the coin sequence must
+        // match the scalar path exactly (same coin seed).
+        let config = RingOscillatorConfig::ideal(3, Ps::from_ps(480.0), Ps::ZERO);
+        let ff = CaptureFf::new(Ps::from_ps(8.0));
+        let lines: Vec<TappedDelayLine> = (0..3)
+            .map(|_| {
+                TappedDelayLine::from_bins(vec![Ps::from_ps(17.0); 36], vec![Ps::ZERO; 36], ff)
+            })
+            .collect();
+        let t_a = Ps::from_ps(9973.0);
+        let scalar = scalar_words(&config, &lines, 5, 6, t_a, 400);
+        let batched = batched_words(&config, &lines, 5, 6, t_a, 400);
+        assert_eq!(scalar, batched);
+    }
+
+    #[test]
+    fn rejects_mismatched_line_count() {
+        let config = RingOscillatorConfig::ideal(3, Ps::from_ps(480.0), Ps::ZERO);
+        let lines = ideal_lines(2, 8, Ps::from_ps(17.0));
+        assert!(BatchedRingEngine::new(&config, &lines, SimRng::seed_from(0)).is_err());
+    }
+
+    #[test]
+    fn rejects_wide_lines() {
+        let config = RingOscillatorConfig::ideal(3, Ps::from_ps(480.0), Ps::ZERO);
+        let lines = ideal_lines(3, 65, Ps::from_ps(17.0));
+        assert!(BatchedRingEngine::new(&config, &lines, SimRng::seed_from(0)).is_err());
+    }
+
+    #[test]
+    fn edge_intervals_match_scalar_statistics() {
+        // White sigma 2.6 ps per stage: node-0 toggle intervals are
+        // the half-period with variance 3 sigma^2.
+        let config = RingOscillatorConfig::ideal(3, Ps::from_ps(480.0), Ps::from_ps(2.6));
+        let lines = ideal_lines(3, 8, Ps::from_ps(17.0));
+        let mut engine =
+            BatchedRingEngine::new(&config, &lines, SimRng::seed_from(7)).expect("supported");
+        engine.ensure_until(4.0 * EVENT_BLOCK as f64 * 480.0);
+        let v = &engine.nodes[0].times;
+        let n = v.len() - 1;
+        assert!(n > 4000, "expected thousands of edges, got {n}");
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        for k in 1..=n {
+            let dt = v[k] - v[k - 1];
+            sum += dt;
+            sum2 += dt * dt;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!((mean - 1440.0).abs() < 1.0, "mean interval {mean}");
+        let expect = 3.0 * 2.6 * 2.6;
+        assert!(
+            (var - expect).abs() < 0.15 * expect,
+            "interval variance {var}, expected ~{expect}"
+        );
+    }
+
+    #[test]
+    fn flicker_state_stays_stationary() {
+        use crate::noise::FlickerParams;
+        let config = RingOscillatorConfig {
+            noise: NoiseConfig::white_only(Ps::from_ps(2.6)).with_flicker(FlickerParams::default()),
+            ..RingOscillatorConfig::ideal(3, Ps::from_ps(480.0), Ps::from_ps(2.6))
+        };
+        let lines = ideal_lines(3, 8, Ps::from_ps(17.0));
+        let mut engine =
+            BatchedRingEngine::new(&config, &lines, SimRng::seed_from(11)).expect("supported");
+        let mut sum2 = 0.0;
+        let rounds = 400;
+        for _ in 0..rounds {
+            engine.synthesize_block();
+            for &s in &engine.flicker.as_ref().expect("flicker on").state {
+                sum2 += s * s;
+            }
+        }
+        // Stationary variance sigma^2 = 0.25 ps^2 (sigma = 0.5 ps).
+        let var = sum2 / (rounds * 3) as f64;
+        assert!(
+            (var - 0.25).abs() < 0.05,
+            "flicker stationary variance {var}"
+        );
+    }
+
+    #[test]
+    fn flicker_window_autocorrelation_is_exponential() {
+        use crate::noise::FlickerParams;
+        // The per-window OU update must keep the exact exponential
+        // autocorrelation exp(-lag/tau_c) at window granularity.
+        let config = RingOscillatorConfig {
+            noise: NoiseConfig::white_only(Ps::ZERO).with_flicker(FlickerParams::default()),
+            ..RingOscillatorConfig::ideal(3, Ps::from_ps(480.0), Ps::ZERO)
+        };
+        let lines = ideal_lines(3, 8, Ps::from_ps(17.0));
+        let mut engine =
+            BatchedRingEngine::new(&config, &lines, SimRng::seed_from(3)).expect("supported");
+        // Record stage-0 state once per block (EVENT_BLOCK events =
+        // 32 windows), long enough for several correlation times.
+        let mut series = Vec::new();
+        for _ in 0..6000 {
+            engine.synthesize_block();
+            series.push(engine.flicker.as_ref().expect("flicker on").state[0]);
+        }
+        let block_span = EVENT_BLOCK as f64 * 480.0; // ps per block
+        let lag_blocks = (1e6 / block_span).round() as usize; // ~tau_c
+        let mean = series.iter().sum::<f64>() / series.len() as f64;
+        let var = series.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / series.len() as f64;
+        let mut cov = 0.0;
+        let pairs = series.len() - lag_blocks;
+        for i in 0..pairs {
+            cov += (series[i] - mean) * (series[i + lag_blocks] - mean);
+        }
+        cov /= pairs as f64;
+        let rho = cov / var;
+        let expect = (-(lag_blocks as f64 * block_span) / 1e6).exp();
+        assert!(
+            (rho - expect).abs() < 0.08,
+            "autocorrelation at ~tau_c: {rho}, expected ~{expect}"
+        );
+    }
+
+    #[test]
+    fn word_bias_matches_scalar_path() {
+        // Same physics, different draw sequences: the per-tap one-bit
+        // frequency of batched words must agree with scalar within a
+        // few sigma over 1500 samples of 36 taps.
+        let config = RingOscillatorConfig::ideal(3, Ps::from_ps(480.0), Ps::from_ps(2.6));
+        let lines = ideal_lines(3, 36, Ps::from_ps(17.0));
+        let t_a = Ps::from_ps(9973.0);
+        let count = 1500;
+        let ones = |words: &[Vec<u64>]| -> f64 {
+            words
+                .iter()
+                .map(|per_line| per_line.iter().map(|w| w.count_ones()).sum::<u32>())
+                .sum::<u32>() as f64
+                / (words.len() * 3 * 36) as f64
+        };
+        let s = ones(&scalar_words(&config, &lines, 21, 22, t_a, count));
+        let b = ones(&batched_words(&config, &lines, 21, 22, t_a, count));
+        assert!(
+            (s - b).abs() < 0.02,
+            "one-bit frequency scalar {s} vs batched {b}"
+        );
+    }
+}

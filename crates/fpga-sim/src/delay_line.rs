@@ -179,6 +179,24 @@ impl TappedDelayLine {
         self.bin_widths[j] / self.mean_bin_width() - 1.0
     }
 
+    /// Cumulative tap delays `D_j` (crate-internal, for the batched
+    /// engine's offset precomputation).
+    pub(crate) fn cum_delays(&self) -> &[Ps] {
+        &self.cum_delay
+    }
+
+    /// Per-tap capture-clock skews (crate-internal, for the batched
+    /// engine).
+    pub(crate) fn capture_skews(&self) -> &[Ps] {
+        &self.capture_skew
+    }
+
+    /// The capture flip-flop model (crate-internal, for the batched
+    /// engine's metastability port).
+    pub(crate) fn capture_ff(&self) -> &CaptureFf {
+        &self.ff
+    }
+
     /// The effective observation instant of tap `j` for a sample taken
     /// at `t_sample`: `t_sample + skew_j − D_j`.
     ///
@@ -378,7 +396,7 @@ impl TappedDelayLine {
 }
 
 /// Mask with bits `lo..hi` set (`lo <= hi <= 64`).
-fn range_mask(lo: usize, hi: usize) -> u64 {
+pub(crate) fn range_mask(lo: usize, hi: usize) -> u64 {
     if hi == lo {
         return 0;
     }

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod batch;
 pub mod delay_line;
 pub mod edge_train;
 pub mod fabric;
@@ -57,10 +58,11 @@ pub mod scenario;
 pub mod time;
 pub mod trace;
 
+pub use batch::BatchedRingEngine;
 pub use delay_line::TappedDelayLine;
 pub use edge_train::{EdgeTrain, SignalSource};
 pub use fabric::{Fabric, ResourceUsage, SliceCoord};
-pub use noise::NoiseConfig;
+pub use noise::{NoiseBackend, NoiseConfig};
 pub use placement::{PlacementError, TrngPlacement};
 pub use process::{DeviceSeed, ProcessVariation};
 pub use ring_oscillator::{RingOscillator, RingOscillatorConfig};

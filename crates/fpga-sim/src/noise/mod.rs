@@ -29,6 +29,76 @@ pub use white::WhiteNoise;
 use crate::rng::SimRng;
 use crate::time::Ps;
 
+/// How run-time noise variates are synthesised.
+///
+/// * [`NoiseBackend::Scalar`] — the replay/golden oracle: one
+///   Box–Muller draw per transition event, in the exact sequence every
+///   byte-identical stream, trace, and journal in this repository is
+///   pinned to. The default.
+/// * [`NoiseBackend::Batched`] — block synthesis: ziggurat Gaussians
+///   filled from bulk word output and whole edge trains generated per
+///   window. *Statistically* identical to `Scalar` (same distributions,
+///   same OU recurrence, same modulation formulas evaluated at the
+///   actual event times) but not draw-identical, so replay contracts
+///   do not hold. Roughly an order of magnitude faster per raw bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NoiseBackend {
+    /// Scalar per-event Box–Muller synthesis (replay-exact).
+    #[default]
+    Scalar,
+    /// Block ziggurat + whole-window edge-train synthesis
+    /// (statistically equivalent, not draw-identical).
+    Batched,
+}
+
+impl NoiseBackend {
+    /// Stable lower-case name, used in CLI flags and metrics JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            NoiseBackend::Scalar => "scalar",
+            NoiseBackend::Batched => "batched",
+        }
+    }
+
+    /// Compact encoding for lock-free publication.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            NoiseBackend::Scalar => 0,
+            NoiseBackend::Batched => 1,
+        }
+    }
+
+    /// Inverse of [`NoiseBackend::as_u8`] (unknown values decode as the
+    /// scalar default).
+    pub fn from_u8(v: u8) -> Self {
+        match v {
+            1 => NoiseBackend::Batched,
+            _ => NoiseBackend::Scalar,
+        }
+    }
+}
+
+impl std::fmt::Display for NoiseBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for NoiseBackend {
+    type Err = String;
+
+    /// Parses the CLI spelling ([`NoiseBackend::as_str`]).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "scalar" => Ok(NoiseBackend::Scalar),
+            "batched" => Ok(NoiseBackend::Batched),
+            other => Err(format!(
+                "unknown noise backend {other:?} (expected \"scalar\" or \"batched\")"
+            )),
+        }
+    }
+}
+
 /// Full description of the noise environment of a simulation.
 ///
 /// # Examples

@@ -21,7 +21,7 @@
 //! exact event path.
 
 use crate::edge_train::{EdgeCursor, EdgeTrain, SignalSource};
-use crate::noise::{NoiseConfig, StageNoise};
+use crate::noise::{NoiseBackend, NoiseConfig, StageNoise};
 use crate::primitives::LutDelay;
 use crate::process::{DeviceSeed, ProcessVariation};
 use crate::rng::SimRng;
@@ -46,6 +46,10 @@ pub struct RingOscillatorConfig {
     pub base_site: (u64, u64),
     /// How much transition history each node retains.
     pub history_window: Ps,
+    /// How noise variates are synthesised ([`NoiseBackend::Scalar`]
+    /// is the replay-exact default; [`NoiseBackend::Batched`] swaps
+    /// Gaussian draws to the block ziggurat).
+    pub backend: NoiseBackend,
 }
 
 impl RingOscillatorConfig {
@@ -60,6 +64,7 @@ impl RingOscillatorConfig {
             device: DeviceSeed::new(0),
             base_site: (4, 0),
             history_window: Ps::from_ns(2.0),
+            backend: NoiseBackend::Scalar,
         }
     }
 
@@ -75,6 +80,7 @@ impl RingOscillatorConfig {
             device: DeviceSeed::new(0),
             base_site: (0, 0),
             history_window: Ps::from_ns(2.0),
+            backend: NoiseBackend::Scalar,
         }
     }
 
@@ -166,6 +172,12 @@ impl RingOscillator {
     /// Returns the validation message for an invalid configuration.
     pub fn new(config: RingOscillatorConfig, mut rng: SimRng) -> Result<Self, String> {
         config.validate()?;
+        if config.backend == NoiseBackend::Batched {
+            // Gaussian draws (white jitter, flicker innovations) switch
+            // to the block ziggurat; the draw sequence changes but the
+            // distributions do not.
+            rng.enable_batched_normals();
+        }
         let n = config.stages;
         let (bx, by) = config.base_site;
         let stages: Vec<LutDelay> = (0..n)

@@ -251,6 +251,19 @@ impl PoolConfig {
         self.sources = sources;
         self
     }
+
+    /// Selects the noise-synthesis backend for every carry-chain shard
+    /// (including supervisor-spawned replacements), builder-style.
+    /// The scalar default keeps pool streams byte-identical to replay
+    /// fixtures; the batched engine is statistically equivalent but an
+    /// order of magnitude faster per raw bit. Dual-oscillator shards
+    /// opt in separately through
+    /// [`DualOscConfig::with_backend`]; trace replay and the OS pool
+    /// have no simulated noise to synthesise.
+    pub fn with_noise_backend(mut self, backend: trng_fpga_sim::noise::NoiseBackend) -> Self {
+        self.base = self.base.with_noise_backend(backend);
+        self
+    }
 }
 
 /// Why the pool cannot serve bytes.
@@ -1426,6 +1439,37 @@ mod tests {
             "replacement must run the retiree's backend"
         );
         assert_eq!(stats.shards[2].state, ShardState::Online);
+    }
+
+    #[test]
+    fn noise_backend_knob_labels_carry_chain_shards() {
+        use trng_fpga_sim::noise::NoiseBackend;
+        let config = small_pool(2).with_noise_backend(NoiseBackend::Batched);
+        let mut pool = EntropyPool::new(config).expect("pool");
+        let mut buf = [0u8; 512];
+        pool.fill_bytes(&mut buf).expect("fill");
+        let stats = pool.stats();
+        for s in &stats.shards {
+            assert_eq!(
+                s.noise_backend,
+                NoiseBackend::Batched,
+                "shard {} must run the batched engine",
+                s.id
+            );
+            assert!(s.bytes_produced > 0);
+        }
+        // The default stays scalar-labelled and produces the pinned
+        // replay stream, which the batched engine must diverge from
+        // (statistically equivalent, not draw-identical).
+        let mut scalar = EntropyPool::new(small_pool(2)).expect("pool");
+        let mut pinned = [0u8; 512];
+        scalar.fill_bytes(&mut pinned).expect("fill");
+        assert!(scalar
+            .stats()
+            .shards
+            .iter()
+            .all(|s| s.noise_backend == NoiseBackend::Scalar));
+        assert_ne!(buf, pinned);
     }
 
     #[test]

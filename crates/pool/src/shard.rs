@@ -196,7 +196,7 @@ impl Shard {
         let monitor =
             monitor.map(|m| JitterMonitor::new(m, SimRng::seed_from(mix_seed(seed, 0x4_D017))));
         shared.set_state(ShardState::Starting);
-        shared.set_source(source.kind(), claim);
+        shared.set_source(source.kind(), claim, source.noise_backend());
         Shard {
             id,
             source,
@@ -241,6 +241,18 @@ impl Shard {
         self.shared.set_raw_bits(self.source.raw_bits());
     }
 
+    /// Re-publishes the source label after a rebuild swapped the live
+    /// instance: the kind and claim are stable across rebuilds, but the
+    /// active noise backend can change (e.g. a faulted configuration
+    /// whose layout the batched engine refuses falls back to scalar).
+    fn publish_source_label(&self) {
+        self.shared.set_source(
+            self.source.kind(),
+            self.source.claimed_min_entropy(),
+            self.source.noise_backend(),
+        );
+    }
+
     /// Records a lifecycle incident stamped with the shard's current
     /// simulated time and healthy-byte offset.
     fn journal_event(&self, kind: IncidentKind, detail: u64) {
@@ -280,6 +292,7 @@ impl Shard {
                 self.journal_event(IncidentKind::Retire, 0);
                 return;
             }
+            self.publish_source_label();
         }
         let was_quarantined = self.state == ShardState::Quarantined;
         let mut compressor = XorCompressor::new(self.native_rate);
@@ -369,6 +382,7 @@ impl Shard {
             }
             self.faults[i].applied = true;
             self.active_fault = Some(i);
+            self.publish_source_label();
         }
         // A health-passing source that still starves the conditioner
         // (possible only for Von Neumann under adversarial patterns)

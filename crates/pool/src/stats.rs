@@ -6,6 +6,7 @@ use core::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::time::Duration;
 
+use trng_fpga_sim::noise::NoiseBackend;
 use trng_sources::SourceKind;
 use trng_testkit::json::Json;
 
@@ -113,6 +114,8 @@ pub(crate) struct ShardShared {
     source_kind: AtomicU8,
     /// `f64::to_bits` of the backend's per-raw-bit min-entropy claim.
     claim_bits: AtomicU64,
+    /// `NoiseBackend::as_u8` of the live instance's noise synthesis.
+    noise_backend: AtomicU8,
 }
 
 impl ShardShared {
@@ -181,11 +184,13 @@ impl ShardShared {
         self.monitor_drift_events.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Labels this shard with its entropy backend and the min-entropy
-    /// claim that parameterises its health tests.
-    pub fn set_source(&self, kind: SourceKind, claim: f64) {
+    /// Labels this shard with its entropy backend, the min-entropy
+    /// claim that parameterises its health tests, and the noise
+    /// backend the live instance actually synthesises with.
+    pub fn set_source(&self, kind: SourceKind, claim: f64, backend: NoiseBackend) {
         self.source_kind.store(kind.as_u8(), Ordering::Release);
         self.claim_bits.store(claim.to_bits(), Ordering::Release);
+        self.noise_backend.store(backend.as_u8(), Ordering::Release);
     }
 
     pub fn snapshot(&self, id: usize) -> ShardStats {
@@ -213,6 +218,7 @@ impl ShardShared {
             monitor_drift_events: self.monitor_drift_events.load(Ordering::Relaxed),
             source: SourceKind::from_u8(self.source_kind.load(Ordering::Acquire)),
             claimed_min_entropy: f64::from_bits(self.claim_bits.load(Ordering::Acquire)),
+            noise_backend: NoiseBackend::from_u8(self.noise_backend.load(Ordering::Acquire)),
         }
     }
 }
@@ -263,6 +269,11 @@ pub struct ShardStats {
     /// The backend's per-raw-bit min-entropy claim — the figure the
     /// shard's SP 800-90B continuous tests are parameterised with.
     pub claimed_min_entropy: f64,
+    /// How the shard's live instance synthesises noise variates —
+    /// [`NoiseBackend::Scalar`] for replay-exact streams, or the
+    /// statistically-equivalent batched engine. Always `Scalar` for
+    /// backends without simulated noise (trace replay, the OS pool).
+    pub noise_backend: NoiseBackend,
 }
 
 impl ShardStats {
@@ -301,6 +312,7 @@ impl ShardStats {
             ("monitor_drift_events", Json::u64(self.monitor_drift_events)),
             ("source", Json::str(self.source.as_str())),
             ("claimed_min_entropy", Json::num(self.claimed_min_entropy)),
+            ("noise_backend", Json::str(self.noise_backend.as_str())),
         ]);
         Json::obj(fields)
     }
@@ -651,6 +663,7 @@ mod tests {
             monitor_drift_events: 0,
             source: SourceKind::CarryChain,
             claimed_min_entropy: 0.05,
+            noise_backend: NoiseBackend::Scalar,
         };
         let stats = PoolStats {
             shards: vec![mk(1000, 10), mk(1000, 10), mk(1000, 10), mk(1000, 10)],
@@ -703,6 +716,11 @@ mod tests {
                 SourceKind::DualOscillator
             },
             claimed_min_entropy: 0.05 + id as f64 * 0.4,
+            noise_backend: if id == 0 {
+                NoiseBackend::Batched
+            } else {
+                NoiseBackend::Scalar
+            },
         };
         PoolStats {
             shards: vec![
@@ -783,6 +801,10 @@ mod tests {
                 Some(s.source.as_str())
             );
             assert_eq!(f("claimed_min_entropy"), s.claimed_min_entropy);
+            assert_eq!(
+                j.get("noise_backend").and_then(Json::as_str),
+                Some(s.noise_backend.as_str())
+            );
         }
     }
 
@@ -939,10 +961,11 @@ mod tests {
     #[test]
     fn shared_source_label_round_trips() {
         let shared = ShardShared::default();
-        shared.set_source(SourceKind::TraceReplay, 0.93);
+        shared.set_source(SourceKind::TraceReplay, 0.93, NoiseBackend::Batched);
         let s = shared.snapshot(0);
         assert_eq!(s.source, SourceKind::TraceReplay);
         assert_eq!(s.claimed_min_entropy, 0.93);
+        assert_eq!(s.noise_backend, NoiseBackend::Batched);
     }
 
     #[test]

@@ -135,6 +135,12 @@ impl EntropySource for CarryChainSource {
     fn monitor_view(&self) -> Option<(&TrngConfig, Ps)> {
         Some((self.trng.config(), self.trng.now()))
     }
+
+    fn noise_backend(&self) -> trng_fpga_sim::noise::NoiseBackend {
+        // Report what the live instance actually runs: a requested
+        // batched engine that fell back to scalar reads as scalar.
+        self.trng.active_noise_backend()
+    }
 }
 
 #[cfg(test)]

@@ -34,7 +34,7 @@ use trng_core::health::OnlineHealth;
 use trng_core::postprocess::XorCompressor;
 use trng_core::selftest::{StartupReport, STARTUP_BITS};
 use trng_core::trng::{BuildTrngError, TrngConfig};
-use trng_fpga_sim::noise::AttackInjection;
+use trng_fpga_sim::noise::{AttackInjection, NoiseBackend};
 use trng_fpga_sim::scenario::NoiseEnvironment;
 use trng_fpga_sim::time::Ps;
 use trng_model::params::ParamError;
@@ -253,6 +253,14 @@ pub trait EntropySource: fmt::Debug + Send {
     /// model; the pool then skips monitoring for that shard.
     fn monitor_view(&self) -> Option<(&TrngConfig, Ps)> {
         None
+    }
+
+    /// The noise-synthesis backend the live instance actually runs —
+    /// published per shard so operators can tell replay-exact scalar
+    /// streams from batched ones. Backends without simulated noise
+    /// (trace replay, the OS pool) report the scalar default.
+    fn noise_backend(&self) -> NoiseBackend {
+        NoiseBackend::Scalar
     }
 }
 

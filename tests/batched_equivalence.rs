@@ -1,0 +1,251 @@
+//! Statistical-equivalence suite for `NoiseBackend::Batched`.
+//!
+//! The batched noise engine is *not* draw-identical to the scalar
+//! oracle — it consumes randomness in a different order — so these
+//! tests pin the contract it does make: every observable distribution
+//! matches the scalar backend within sampling error. Four angles:
+//!
+//! * raw Gaussian variates: mean/variance/excess kurtosis inside 5σ
+//!   estimator bands, per backend and between backends;
+//! * the OU flicker process, driven through either normals backend:
+//!   autocorrelation at τ_c and 2·τ_c sits on the exact
+//!   `exp(−lag/τ_c)` theory curve and agrees between backends;
+//! * the paper's eq. (7): both backends measure the same raw bias, and
+//!   both post-processed streams respect the XOR-compression bound the
+//!   equation predicts from that bias;
+//! * black-box quality: a batched 64 KiB post-processed stream clears
+//!   the full NIST SP 800-22 battery and the AIS-31 procedure suite.
+
+use trng_core::postprocess::XorCompressor;
+use trng_core::trng::{CarryChainTrng, TrngConfig};
+use trng_fpga_sim::noise::{FlickerNoise, FlickerParams, NoiseBackend};
+use trng_fpga_sim::rng::SimRng;
+use trng_fpga_sim::time::Ps;
+use trng_model::postprocess::{bias, xor_bias};
+use trng_stattests::ais31::run_ais31;
+use trng_stattests::bits::BitVec;
+use trng_stattests::nist::run_battery;
+
+/// Builds the paper configuration on the requested noise backend.
+fn config(backend: NoiseBackend) -> TrngConfig {
+    TrngConfig::paper_k1().with_noise_backend(backend)
+}
+
+fn raw_bits(config: TrngConfig, seed: u64, n: usize) -> Vec<bool> {
+    let mut trng = CarryChainTrng::new(config, seed).expect("build");
+    let bits = trng.generate_raw(n);
+    assert_eq!(trng.stats().missed_edges, 0);
+    bits
+}
+
+fn ones_fraction(bits: &[bool]) -> f64 {
+    bits.iter().filter(|&&b| b).count() as f64 / bits.len() as f64
+}
+
+/// Lag-`lag` autocorrelation of a real-valued series.
+fn autocorr(x: &[f64], lag: usize) -> f64 {
+    let n = x.len() - lag;
+    let mean = x.iter().sum::<f64>() / x.len() as f64;
+    let var = x.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / x.len() as f64;
+    let cov = (0..n)
+        .map(|i| (x[i] - mean) * (x[i + lag] - mean))
+        .sum::<f64>()
+        / n as f64;
+    cov / var
+}
+
+/// Sample mean, variance, and excess kurtosis of a draw set.
+fn moments(draws: &[f64]) -> (f64, f64, f64) {
+    let n = draws.len() as f64;
+    let mean = draws.iter().sum::<f64>() / n;
+    let m2 = draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+    let m4 = draws.iter().map(|x| (x - mean).powi(4)).sum::<f64>() / n;
+    (mean, m2, m4 / (m2 * m2) - 3.0)
+}
+
+/// Gaussian moments: for each seed, both backends' draws must sit
+/// inside the 5σ estimator bands around the N(0, 1) theory values,
+/// and the two backends must agree with each other inside the joint
+/// (√2-wider) bands.
+#[test]
+fn gaussian_moments_match_within_five_sigma() {
+    const N: usize = 1 << 21;
+    let n = N as f64;
+    // Standard errors of the three estimators under N(0, 1).
+    let se_mean = (1.0 / n).sqrt();
+    let se_var = (2.0 / n).sqrt();
+    let se_kurt = (24.0 / n).sqrt();
+
+    for seed in [11u64, 12, 13] {
+        let mut scalar_rng = SimRng::seed_from(seed);
+        let mut scalar = vec![0.0f64; N];
+        for slot in &mut scalar {
+            *slot = scalar_rng.standard_normal();
+        }
+
+        let mut batched_rng = SimRng::seed_from(seed);
+        batched_rng.enable_batched_normals();
+        assert!(batched_rng.batched_normals());
+        let mut batched = vec![0.0f64; N];
+        batched_rng.fill_standard_normals(&mut batched);
+
+        let (ms, vs, ks) = moments(&scalar);
+        let (mb, vb, kb) = moments(&batched);
+        for (label, mean, var, kurt) in [("scalar", ms, vs, ks), ("batched", mb, vb, kb)] {
+            assert!(
+                mean.abs() < 5.0 * se_mean,
+                "{label} seed {seed}: mean {mean}"
+            );
+            assert!(
+                (var - 1.0).abs() < 5.0 * se_var,
+                "{label} seed {seed}: variance {var}"
+            );
+            assert!(
+                kurt.abs() < 5.0 * se_kurt,
+                "{label} seed {seed}: excess kurtosis {kurt}"
+            );
+        }
+        // Cross-backend: both estimates target the same value, so
+        // their difference is at most √2 of one estimator's sigma.
+        let joint = 2f64.sqrt();
+        assert!(
+            (ms - mb).abs() < 5.0 * joint * se_mean,
+            "seed {seed} mean gap"
+        );
+        assert!(
+            (vs - vb).abs() < 5.0 * joint * se_var,
+            "seed {seed} variance gap"
+        );
+        assert!(
+            (ks - kb).abs() < 5.0 * joint * se_kurt,
+            "seed {seed} kurtosis gap"
+        );
+    }
+}
+
+/// OU flicker autocorrelation at the correlation time.
+///
+/// [`FlickerNoise`] draws its innovations through [`SimRng`], so the
+/// same exact-recurrence OU process runs on either backend by flipping
+/// the generator into batched-normals mode. Sampled on a regular grid,
+/// both versions must show the closed-form `exp(−lag/τ_c)`
+/// autocorrelation at τ_c and 2·τ_c, and agree with each other within
+/// the ensemble standard error over independent seeds.
+#[test]
+fn ou_autocorrelation_at_tau_c_matches_between_backends() {
+    let params = FlickerParams::new(Ps::from_ps(2.0), Ps::from_ns(100.0));
+    const STEPS: usize = 100_000;
+    const LAG: usize = 10; // grid step = tau_c / LAG
+    const RUNS: usize = 6;
+    let dt = Ps::from_ns(100.0 / LAG as f64);
+
+    let ensemble = |backend: NoiseBackend, lag: usize| -> Vec<f64> {
+        (0..RUNS)
+            .map(|run| {
+                let mut rng = SimRng::seed_from(41 + run as u64);
+                if backend == NoiseBackend::Batched {
+                    rng.enable_batched_normals();
+                }
+                let mut ou = FlickerNoise::new(params, &mut rng);
+                let series: Vec<f64> = (0..STEPS)
+                    .map(|i| {
+                        ou.sample(Ps::from_ps(dt.as_ps() * i as f64), &mut rng)
+                            .as_ps()
+                    })
+                    .collect();
+                autocorr(&series, lag)
+            })
+            .collect()
+    };
+    let stats = |xs: &[f64]| -> (f64, f64) {
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        (mean, (var / xs.len() as f64).sqrt())
+    };
+
+    for (lag, theory) in [(LAG, (-1.0f64).exp()), (2 * LAG, (-2.0f64).exp())] {
+        let (rho_s, se_s) = stats(&ensemble(NoiseBackend::Scalar, lag));
+        let (rho_b, se_b) = stats(&ensemble(NoiseBackend::Batched, lag));
+        // Each backend against the closed form...
+        assert!(
+            (rho_s - theory).abs() < 0.03,
+            "scalar OU autocorrelation at lag {lag}: {rho_s} vs {theory}"
+        );
+        assert!(
+            (rho_b - theory).abs() < 0.03,
+            "batched OU autocorrelation at lag {lag}: {rho_b} vs {theory}"
+        );
+        // ...and against each other, inside the joint ensemble error.
+        let se = (se_s * se_s + se_b * se_b).sqrt();
+        assert!(
+            (rho_s - rho_b).abs() < 5.0 * se.max(0.002),
+            "lag {lag}: scalar rho {rho_s} (se {se_s}) vs batched rho {rho_b} (se {se_b})"
+        );
+    }
+}
+
+/// Eq. (7) agreement: both backends measure the same raw bias, and
+/// each post-processed stream lands within sampling error of the bias
+/// the equation predicts from that backend's own raw measurement.
+#[test]
+fn eq7_bound_holds_for_both_backends() {
+    const NP: u32 = 7;
+    const RAW_BITS: usize = 700_000;
+    let seed = 0x0E97;
+
+    let raw_s = raw_bits(config(NoiseBackend::Scalar), seed, RAW_BITS);
+    let raw_b = raw_bits(config(NoiseBackend::Batched), seed, RAW_BITS);
+    let b_s = bias(ones_fraction(&raw_s));
+    let b_b = bias(ones_fraction(&raw_b));
+
+    // Same device, same seed: the structural bias (CARRY4 DNL parity
+    // imbalance, ~0.1) is deterministic; only the noise realization
+    // differs. A generous 0.01 band is ~10x the i.i.d. standard error
+    // to absorb flicker-induced variance inflation.
+    assert!(
+        (b_s - b_b).abs() < 0.01,
+        "raw bias disagrees: scalar {b_s} vs batched {b_b}"
+    );
+
+    for (label, raw, b_raw) in [("scalar", &raw_s, b_s), ("batched", &raw_b, b_b)] {
+        let pp = XorCompressor::compress(NP, raw);
+        let predicted = xor_bias(b_raw, NP);
+        let measured = bias(ones_fraction(&pp));
+        // Eq. (7) predicts a ~6e-6 residual bias at b ~ 0.1, np = 7 —
+        // far below the sampling floor, so the measurement must sit
+        // inside prediction + 5 sigma of the binomial estimator.
+        let se = (0.25 / pp.len() as f64).sqrt();
+        assert!(
+            measured <= predicted + 5.0 * se,
+            "{label}: post-processed bias {measured} exceeds eq. (7) bound \
+             {predicted} + 5se ({se})"
+        );
+    }
+}
+
+/// Black-box acceptance: a 64 KiB post-processed stream produced
+/// entirely on the batched backend clears the full NIST SP 800-22
+/// battery (at most one marginal failure, matching the soak-test
+/// criterion) and every applicable AIS-31 test.
+#[test]
+fn batched_64kib_stream_clears_nist_and_ais31() {
+    const NP: u32 = 7;
+    const PP_BITS: usize = 64 * 1024 * 8;
+    let raw = raw_bits(config(NoiseBackend::Batched), 0x64AB, PP_BITS * NP as usize);
+    let pp: BitVec = XorCompressor::compress(NP, &raw).into_iter().collect();
+    assert_eq!(pp.len(), PP_BITS);
+
+    let battery = run_battery(&pp);
+    assert!(
+        battery.applicable() >= 8,
+        "too few applicable tests\n{battery}"
+    );
+    assert!(
+        battery.failures().len() <= 1,
+        "NIST failures: {:?}\n{battery}",
+        battery.failures()
+    );
+
+    let ais = run_ais31(&pp);
+    assert!(ais.all_passed(), "{ais}");
+}

@@ -539,3 +539,58 @@ fn mixed_source_metrics_add_per_source_keys_without_breaking_the_format() {
     );
     drop(server);
 }
+
+/// The noise-backend knob is observable end to end: a pool brought up
+/// with [`PoolConfig::with_noise_backend`] labels every simulated-noise
+/// shard `"batched"` on the metrics scrape, a default pool labels them
+/// `"scalar"`, and the key is purely additive — every counter the old
+/// scrape carried is still present either way.
+#[test]
+fn metrics_report_the_active_noise_backend_per_shard() {
+    use trng_pool::NoiseBackend;
+
+    let scrape = |backend: Option<NoiseBackend>| {
+        let mut config = PoolConfig::new(TrngConfig::paper_k1(), 2)
+            .with_conditioning(Conditioning::Raw)
+            .with_seed(0xBA7C)
+            .deterministic(true);
+        if let Some(backend) = backend {
+            config = config.with_noise_backend(backend);
+        }
+        let server = Server::start(online_handle(config), ServeConfig::default()).expect("server");
+        client::fetch(server.local_addr(), 2048).expect("fetch");
+        let body =
+            client::scrape_metrics(server.metrics_addr().expect("metrics on")).expect("scrape");
+        drop(server);
+        body
+    };
+
+    for (requested, label) in [(None, "scalar"), (Some(NoiseBackend::Batched), "batched")] {
+        let body = scrape(requested);
+        let mut lines = body.lines();
+        assert_eq!(lines.next(), Some("healthy"));
+        let json: String = lines.collect::<Vec<_>>().join("\n");
+        // The backend label rides every shard entry...
+        assert_eq!(
+            json.matches(&format!("\"noise_backend\": \"{label}\""))
+                .count(),
+            2,
+            "both shards must report the {label} backend:\n{json}"
+        );
+        // ...and is additive: the pre-existing scrape keys survive.
+        for needle in [
+            "\"status\": \"healthy\"",
+            "\"pool\"",
+            "\"serve\"",
+            "\"shards\"",
+            "\"online_shards\": 2",
+            "\"claimed_min_entropy\"",
+            "\"journal_recorded\"",
+        ] {
+            assert!(
+                json.contains(needle),
+                "metrics JSON lacks {needle}:\n{json}"
+            );
+        }
+    }
+}
