@@ -1,0 +1,60 @@
+//! # trng-extract — seeded Toeplitz strong extractor
+//!
+//! The paper's XOR post-processing (Section 4.5, eq. (7)) compresses
+//! the carry-chain's structural bias but makes no information-theoretic
+//! statement about its output: it is a deterministic function of one
+//! source, so an adversary who knows the raw distribution knows the
+//! output distribution too. This crate supplies the production-grade
+//! alternative — a *seeded* Toeplitz hash, the classic two-universal
+//! family whose output the leftover hash lemma proves ε-close to
+//! uniform whenever the input carries enough min-entropy:
+//!
+//! * [`ToeplitzMatrix`] — an `m×n` binary Toeplitz matrix stored in its
+//!   *diagonal-reuse* layout: because every diagonal is constant, the
+//!   whole matrix is `m+n−1` seed bits packed into `u64` words, and the
+//!   GF(2) matrix–vector product reduces to a shifted-window AND plus a
+//!   popcount parity per output bit — no per-entry work, no
+//!   multiplications.
+//! * [`ToeplitzExtractor`] — the streaming block form: push raw bits,
+//!   and every `n`-th bit completes an input block and emits `m` output
+//!   bits at once. State between blocks is just the input accumulator;
+//!   the matrix (the seed) is reused for every block, which is exactly
+//!   what makes the construction a *strong* extractor — the output
+//!   stays ε-close to uniform even given the seed.
+//! * [`leftover_hash_output_bits`] / [`leftover_hash_ratio`] — the
+//!   parameter calculators: given a per-bit min-entropy claim (the
+//!   per-source eq. (7)-derived figure a pool shard advertises) and a
+//!   statistical distance target ε = 2^−`epsilon_log2`, size the output
+//!   so the leftover hash lemma `m ≤ n·H∞ − 2·log2(1/ε)` holds.
+//! * [`extracted_min_entropy_per_bit`] — the claim the sized output
+//!   then carries: ε-closeness to uniform bounds any outcome's
+//!   probability by `2^−m + ε`, hence a per-bit min-entropy of
+//!   `−log2(2^−m + ε)/m`.
+//!
+//! The crate is deliberately free of TRNG-specific types — it consumes
+//! and produces plain bits/words — so `trng-pool` can thread it through
+//! per-shard conditioning and the pool-level composed stage, and tests
+//! can drive it against naive references.
+//!
+//! ```
+//! use trng_extract::{leftover_hash_ratio, ToeplitzExtractor};
+//!
+//! // Per-source claim H∞ = 0.42 bits/bit, ε = 2^-32, 64-bit blocks:
+//! let ratio = leftover_hash_ratio(0.42, 32, 64);
+//! let mut ex = ToeplitzExtractor::from_seed(64, 64 * ratio as usize, 0x5EED);
+//! let mut out = Vec::new();
+//! for i in 0..(64 * ratio as usize) {
+//!     if let Some(word) = ex.push(i % 3 == 0) {
+//!         out.push(word);
+//!     }
+//! }
+//! assert_eq!(out.len(), 1); // n input bits -> one m-bit block
+//! ```
+
+#![warn(missing_docs)]
+
+mod params;
+mod toeplitz;
+
+pub use params::{extracted_min_entropy_per_bit, leftover_hash_output_bits, leftover_hash_ratio};
+pub use toeplitz::{ToeplitzExtractor, ToeplitzMatrix};

@@ -32,6 +32,9 @@ fn raw_bits_per_output(conditioning: Conditioning, design: &DesignParams) -> f64
         // output bit in expectation.
         Conditioning::VonNeumann => 4.0,
         Conditioning::Raw => 1.0,
+        // The streaming Toeplitz block consumes ratio * 64 raw bits
+        // per 64-bit output word.
+        Conditioning::Toeplitz { ratio, .. } => f64::from(ratio),
     }
 }
 

@@ -80,9 +80,15 @@ pub use campaign::{compile_campaign, onset_bytes};
 pub use handle::PoolHandle;
 pub use journal::{IncidentEvent, IncidentKind, Journal};
 pub use monitor::{DriftProbe, MonitorConfig};
-pub use pool::{EntropyPool, PoolConfig, PoolError, RespawnPolicy, SourceSpec};
+pub use pool::{ComposedExtract, EntropyPool, PoolConfig, PoolError, RespawnPolicy, SourceSpec};
 pub use shard::{Conditioning, FaultInjection, ShardFault};
-pub use stats::{PoolHealth, PoolStats, ShardOrigin, ShardState, ShardStats};
+pub use stats::{ComposedStats, PoolHealth, PoolStats, ShardOrigin, ShardState, ShardStats};
+// The extractor-sizing calculators, re-exported so pool consumers
+// size `Conditioning::Toeplitz` / [`ComposedExtract`] ratios without
+// naming `trng-extract` themselves.
+pub use trng_extract::{
+    extracted_min_entropy_per_bit, leftover_hash_output_bits, leftover_hash_ratio,
+};
 // Source-building vocabulary re-exported so pool consumers configure
 // heterogeneous mixes without naming `trng-sources` themselves.
 pub use trng_sources::{DualOscConfig, RecordedTrace, SourceError, SourceKind};

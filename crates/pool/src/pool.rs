@@ -23,6 +23,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use trng_core::trng::TrngConfig;
+use trng_extract::{extracted_min_entropy_per_bit, leftover_hash_ratio, ToeplitzExtractor};
 use trng_sources::{
     CarryChainSource, DualOscConfig, DualOscillatorSource, EntropySource, OsEntropySource,
     RecordedTrace, SourceError, TraceReplaySource,
@@ -32,7 +33,7 @@ use crate::journal::{IncidentKind, Journal, DEFAULT_JOURNAL_CAPACITY};
 use crate::monitor::MonitorConfig;
 use crate::ring;
 use crate::shard::{mix_seed, Conditioning, FaultInjection, Shard};
-use crate::stats::{PoolStats, ShardShared, ShardState};
+use crate::stats::{ComposedStats, PoolStats, ShardShared, ShardState};
 
 /// How long a parked worker or consumer naps before re-checking.
 const NAP: Duration = Duration::from_micros(200);
@@ -90,6 +91,179 @@ impl RespawnPolicy {
     pub fn with_settle(mut self, settle: Duration) -> Self {
         self.settle = settle;
         self
+    }
+}
+
+/// Pool-level composed conditioning: interleave the (per-shard
+/// conditioned, health-gated) delivery stream across all shards, then
+/// run it through one seeded Toeplitz strong extractor — the first
+/// output stage that *combines* entropy across independent shards
+/// instead of conditioning each in isolation.
+///
+/// The composed claim ties the per-source eq. (7) bounds to the
+/// extractor's output: every interleaved input bit carries at least
+/// the *minimum* per-raw-bit min-entropy claim across the pool's
+/// shards (per-shard conditioning only concentrates entropy, never
+/// dilutes it below the raw claim), so hashing `ratio · 64` input
+/// bits to 64 output bits at the leftover-hash-sized ratio yields
+/// blocks within `ε = 2^−epsilon_log2` of uniform — a per-bit output
+/// claim of [`extracted_min_entropy_per_bit`]`(64, epsilon_log2)`,
+/// published as `claimed_min_entropy` in [`ComposedStats`] next to a
+/// measured estimate the replay tests pin `claimed ≤ measured`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ComposedExtract {
+    /// Statistical-distance target `ε = 2^−epsilon_log2` for the
+    /// leftover-hash sizing and the published output claim.
+    pub epsilon_log2: u32,
+    /// Matrix seed lane, mixed with the pool seed
+    /// ([`mix_seed`]) so the composed stream
+    /// stays a pure function of the configuration.
+    pub seed: u64,
+    /// Interleaved input bits per output bit. `None` (the default)
+    /// sizes the ratio from the minimum per-source claim across the
+    /// pool's shards via
+    /// [`leftover_hash_ratio`].
+    pub ratio: Option<u32>,
+}
+
+impl ComposedExtract {
+    /// A composed stage at `ε = 2^−epsilon_log2` whose ratio is sized
+    /// from the pool's per-source claims at build time.
+    pub fn new(epsilon_log2: u32, seed: u64) -> Self {
+        ComposedExtract {
+            epsilon_log2,
+            seed,
+            ratio: None,
+        }
+    }
+
+    /// Overrides the leftover-hash ratio sizing, builder-style. Must
+    /// be at least 1 (validated at pool construction).
+    pub fn with_ratio(mut self, ratio: u32) -> Self {
+        self.ratio = Some(ratio);
+        self
+    }
+}
+
+/// Live state of the composed cross-shard extract stage: the seeded
+/// extractor, buffered output bytes, and the claimed-vs-measured
+/// min-entropy bookkeeping surfaced through [`ComposedStats`].
+struct ComposedStage {
+    extractor: ToeplitzExtractor,
+    ratio: u32,
+    epsilon_log2: u32,
+    input_claim: f64,
+    claimed: f64,
+    /// Composed output bytes emitted but not yet handed to a consumer.
+    out: VecDeque<u8>,
+    /// Byte-value histogram of every composed output byte, feeding the
+    /// most-common-value measured min-entropy estimate.
+    counts: Box<[u64; 256]>,
+    bytes_extracted: u64,
+    /// Reused interleaved-input fetch buffer.
+    scratch: Vec<u8>,
+}
+
+/// Composed output bytes the estimator needs before it reports a
+/// non-zero measured min-entropy (the MCV estimate on fewer bytes is
+/// all confidence penalty).
+const COMPOSED_MEASURE_FLOOR: u64 = 4096;
+
+/// Largest interleaved-input chunk fetched per inner fill, bounding
+/// the scratch buffer while amortizing the per-call overhead.
+const COMPOSED_CHUNK: usize = 64 * 1024;
+
+impl ComposedStage {
+    fn new(config: ComposedExtract, pool_seed: u64, input_claim: f64) -> Self {
+        let ratio = config
+            .ratio
+            .unwrap_or_else(|| leftover_hash_ratio(input_claim, config.epsilon_log2, 64));
+        let seed = mix_seed(pool_seed, mix_seed(config.seed, 0xC0_3ED));
+        ComposedStage {
+            extractor: ToeplitzExtractor::from_seed(64, ratio as usize * 64, seed),
+            ratio,
+            epsilon_log2: config.epsilon_log2,
+            input_claim,
+            claimed: extracted_min_entropy_per_bit(64, config.epsilon_log2),
+            out: VecDeque::new(),
+            counts: Box::new([0u64; 256]),
+            bytes_extracted: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Interleaved input bytes needed to emit `out_bytes` more composed
+    /// bytes, given the extractor's partial block. Exact: the input
+    /// block is `ratio · 64` bits and input arrives in whole bytes, so
+    /// the demand is always byte-aligned.
+    fn input_bytes_for(&self, out_bytes: usize) -> usize {
+        let blocks = (out_bytes * 8).div_ceil(64);
+        let need_bits =
+            blocks * self.extractor.input_block_bits() - self.extractor.pending_input_bits();
+        need_bits.div_ceil(8)
+    }
+
+    /// Absorbs interleaved delivery-stream bytes (MSB-first bit order,
+    /// matching shard byte assembly); completed 64-bit blocks land in
+    /// the output buffer as 8 bytes each.
+    fn absorb(&mut self, input: &[u8]) {
+        for &byte in input {
+            for j in 0..8 {
+                let bit = byte >> (7 - j) & 1 == 1;
+                if let Some(word) = self.extractor.push(bit) {
+                    // Output bit `y_i` is stream bit `i`: byte `k`'s
+                    // MSB is `y_(8k)`, i.e. each little-endian byte of
+                    // the word bit-reversed.
+                    for k in 0..8 {
+                        let out = ((word >> (8 * k)) as u8).reverse_bits();
+                        self.counts[out as usize] += 1;
+                        self.out.push_back(out);
+                    }
+                    self.bytes_extracted += 8;
+                }
+            }
+        }
+    }
+
+    /// Moves buffered composed bytes into `dest[filled..]`, returning
+    /// the new fill level.
+    fn drain(&mut self, dest: &mut [u8], mut filled: usize) -> usize {
+        while filled < dest.len() {
+            match self.out.pop_front() {
+                Some(b) => {
+                    dest[filled] = b;
+                    filled += 1;
+                }
+                None => break,
+            }
+        }
+        filled
+    }
+
+    /// Measured per-bit min-entropy of the composed output: a byte
+    /// most-common-value estimate with a 99% confidence penalty (the
+    /// SP 800-90B 6.3.1 construction), 0.0 until
+    /// [`COMPOSED_MEASURE_FLOOR`] bytes have accumulated.
+    fn measured_min_entropy(&self) -> f64 {
+        let n = self.bytes_extracted;
+        if n < COMPOSED_MEASURE_FLOOR {
+            return 0.0;
+        }
+        let nf = n as f64;
+        let p_hat = self.counts.iter().copied().max().unwrap_or(0) as f64 / nf;
+        let p_upper = (p_hat + 2.576 * (p_hat * (1.0 - p_hat) / (nf - 1.0)).sqrt()).min(1.0);
+        -p_upper.log2() / 8.0
+    }
+
+    fn stats(&self) -> ComposedStats {
+        ComposedStats {
+            ratio: self.ratio,
+            epsilon_log2: self.epsilon_log2,
+            input_claim_min_entropy: self.input_claim,
+            claimed_min_entropy: self.claimed,
+            measured_min_entropy: self.measured_min_entropy(),
+            bytes_extracted: self.bytes_extracted,
+        }
     }
 }
 
@@ -154,6 +328,10 @@ pub struct PoolConfig {
     /// — byte-identical to pools built before source mixing existed.
     /// Non-empty lists must name exactly one spec per shard.
     pub sources: Vec<SourceSpec>,
+    /// Pool-level composed conditioning (interleave-then-extract
+    /// across shards); `None` (the default) keeps the delivery stream
+    /// byte-identical to pools built before the stage existed.
+    pub composed: Option<ComposedExtract>,
 }
 
 impl PoolConfig {
@@ -175,6 +353,7 @@ impl PoolConfig {
             journal_capacity: DEFAULT_JOURNAL_CAPACITY,
             monitor: None,
             sources: Vec::new(),
+            composed: None,
         }
     }
 
@@ -249,6 +428,17 @@ impl PoolConfig {
     /// picks shard `i`'s backend and the list must cover every shard.
     pub fn with_sources(mut self, sources: Vec<SourceSpec>) -> Self {
         self.sources = sources;
+        self
+    }
+
+    /// Enables the pool-level composed extract stage, builder-style:
+    /// the interleaved cross-shard delivery stream is hashed through
+    /// one seeded Toeplitz extractor before any byte reaches a
+    /// consumer, and [`PoolStats`] gains a
+    /// [`composed`](PoolStats::composed) snapshot reporting the
+    /// stage's claimed (leftover-hash) vs measured min-entropy.
+    pub fn with_composed_extract(mut self, composed: ComposedExtract) -> Self {
+        self.composed = Some(composed);
         self
     }
 
@@ -426,6 +616,8 @@ pub struct EntropyPool {
     journal: Arc<Journal>,
     supervisor: Option<Supervisor>,
     workers_joined: u64,
+    /// Pool-level composed extract stage, when configured.
+    composed: Option<ComposedStage>,
 }
 
 impl fmt::Debug for EntropyPool {
@@ -486,6 +678,29 @@ impl EntropyPool {
                 config.shards
             )));
         }
+        if let Conditioning::Toeplitz { ratio, .. } = config.conditioning {
+            if ratio == 0 {
+                return Err(PoolError::InvalidConfig(
+                    "Toeplitz conditioning ratio must be at least 1".to_string(),
+                ));
+            }
+            // The fixed-rate batch fetch computes a block's raw demand
+            // as `block_bytes · 8 · ratio`, exact only when the 64-bit
+            // emissions divide the block.
+            if !config.block_bytes.is_multiple_of(8) {
+                return Err(PoolError::InvalidConfig(format!(
+                    "Toeplitz conditioning needs block_bytes divisible by 8, got {}",
+                    config.block_bytes
+                )));
+            }
+        }
+        if let Some(composed) = &config.composed {
+            if composed.ratio == Some(0) {
+                return Err(PoolError::InvalidConfig(
+                    "composed extract ratio must be at least 1".to_string(),
+                ));
+            }
+        }
         let journal = Arc::new(Journal::new(config.journal_capacity));
         let shared: Vec<Arc<ShardShared>> = (0..config.shards)
             .map(|_| Arc::new(ShardShared::default()))
@@ -520,6 +735,18 @@ impl EntropyPool {
             journal.record(i, IncidentKind::Spawn, 0, 0, 0);
             shards.push(shard);
         }
+
+        // The composed claim is anchored to the weakest input: every
+        // interleaved bit carries at least the minimum per-source
+        // claim, which the leftover-hash sizing then consumes.
+        let composed = config.composed.map(|c| {
+            let input_claim = shared
+                .iter()
+                .enumerate()
+                .map(|(i, s)| s.snapshot(i).claimed_min_entropy)
+                .fold(f64::INFINITY, f64::min);
+            ComposedStage::new(c, config.seed, input_claim)
+        });
 
         let backend = if config.deterministic {
             Backend::Inline(Inline {
@@ -582,6 +809,7 @@ impl EntropyPool {
             journal,
             supervisor,
             workers_joined: 0,
+            composed,
         })
     }
 
@@ -832,10 +1060,10 @@ impl EntropyPool {
 
     fn fill(&mut self, dest: &mut [u8], deadline: Option<Instant>) -> Result<(), PoolError> {
         self.fill_calls += 1;
-        let result = if matches!(self.backend, Backend::Inline(_)) {
-            self.fill_inline(dest)
+        let result = if self.composed.is_some() {
+            self.fill_composed(dest, deadline)
         } else {
-            self.fill_threaded(dest, deadline)
+            self.fill_interleaved(dest, deadline)
         };
         match &result {
             Ok(()) => self.bytes_delivered += dest.len() as u64,
@@ -845,6 +1073,80 @@ impl EntropyPool {
             Err(_) => {}
         }
         result
+    }
+
+    /// The per-shard interleaved delivery stream (round-robin drain of
+    /// the shards' conditioned, health-gated bytes) — the pool's
+    /// output when no composed stage is configured, and the composed
+    /// stage's input when one is.
+    fn fill_interleaved(
+        &mut self,
+        dest: &mut [u8],
+        deadline: Option<Instant>,
+    ) -> Result<(), PoolError> {
+        if matches!(self.backend, Backend::Inline(_)) {
+            self.fill_inline(dest)
+        } else {
+            self.fill_threaded(dest, deadline)
+        }
+    }
+
+    /// Composed fill: fetch interleaved bytes in bounded chunks, push
+    /// them through the cross-shard Toeplitz extractor, and serve
+    /// `dest` from the extracted output. On timeout or exhaustion the
+    /// healthy interleaved prefix is still absorbed, whatever composed
+    /// output it completed is delivered, and the error's `filled`
+    /// counts *composed* bytes — the same partial-prefix contract the
+    /// plain fill keeps.
+    fn fill_composed(
+        &mut self,
+        dest: &mut [u8],
+        deadline: Option<Instant>,
+    ) -> Result<(), PoolError> {
+        let mut stage = self.composed.take().expect("composed fill without stage");
+        let result = self.fill_composed_inner(&mut stage, dest, deadline);
+        self.composed = Some(stage);
+        result
+    }
+
+    fn fill_composed_inner(
+        &mut self,
+        stage: &mut ComposedStage,
+        dest: &mut [u8],
+        deadline: Option<Instant>,
+    ) -> Result<(), PoolError> {
+        let mut filled = stage.drain(dest, 0);
+        while filled < dest.len() {
+            let need = stage
+                .input_bytes_for(dest.len() - filled)
+                .min(COMPOSED_CHUNK);
+            let mut scratch = std::mem::take(&mut stage.scratch);
+            scratch.clear();
+            scratch.resize(need, 0);
+            let inner = self.fill_interleaved(&mut scratch, deadline);
+            match inner {
+                Ok(()) => stage.absorb(&scratch),
+                Err(PoolError::Timeout { filled: got }) => {
+                    stage.absorb(&scratch[..got]);
+                    stage.scratch = scratch;
+                    let filled = stage.drain(dest, filled);
+                    return Err(PoolError::Timeout { filled });
+                }
+                Err(PoolError::SourcesExhausted { filled: got }) => {
+                    stage.absorb(&scratch[..got]);
+                    stage.scratch = scratch;
+                    let filled = stage.drain(dest, filled);
+                    return Err(PoolError::SourcesExhausted { filled });
+                }
+                Err(e) => {
+                    stage.scratch = scratch;
+                    return Err(e);
+                }
+            }
+            stage.scratch = scratch;
+            filled = stage.drain(dest, filled);
+        }
+        Ok(())
     }
 
     fn fill_threaded(
@@ -976,6 +1278,7 @@ impl EntropyPool {
             workers_joined: self.workers_joined,
             journal_recorded: self.journal.recorded(),
             journal,
+            composed: self.composed.as_ref().map(ComposedStage::stats),
         }
     }
 }
@@ -1470,6 +1773,161 @@ mod tests {
             .iter()
             .all(|s| s.noise_backend == NoiseBackend::Scalar));
         assert_ne!(buf, pinned);
+    }
+
+    #[test]
+    fn toeplitz_conditioning_replays_and_diverges_on_seed() {
+        let toeplitz =
+            |seed| small_pool(2).with_conditioning(Conditioning::Toeplitz { ratio: 5, seed });
+        let mut a = EntropyPool::new(toeplitz(1)).expect("pool");
+        let mut b = EntropyPool::new(toeplitz(1)).expect("pool");
+        let mut x = [0u8; 1024];
+        let mut y = [0u8; 1024];
+        a.fill_bytes(&mut x).expect("fill");
+        b.fill_bytes(&mut y).expect("fill");
+        assert_eq!(x, y, "Toeplitz streams must be seed-replayable");
+        // A different matrix seed over the same raw stream diverges.
+        let mut c = EntropyPool::new(toeplitz(2)).expect("pool");
+        let mut z = [0u8; 1024];
+        c.fill_bytes(&mut z).expect("fill");
+        assert_ne!(x, z);
+        let stats = a.stats();
+        for s in &stats.shards {
+            assert_eq!(s.conditioning, "toeplitz:5");
+            assert_eq!(s.alarms, 0);
+        }
+    }
+
+    #[test]
+    fn toeplitz_misconfigurations_are_rejected() {
+        let zero = small_pool(1).with_conditioning(Conditioning::Toeplitz { ratio: 0, seed: 1 });
+        match EntropyPool::new(zero) {
+            Err(PoolError::InvalidConfig(why)) => assert!(why.contains("ratio")),
+            other => panic!("ratio 0 accepted: {:?}", other.map(|_| ())),
+        }
+        // 64-bit emission blocks require block_bytes % 8 == 0.
+        let ragged = small_pool(1)
+            .with_conditioning(Conditioning::Toeplitz { ratio: 5, seed: 1 })
+            .with_block_bytes(60);
+        match EntropyPool::new(ragged) {
+            Err(PoolError::InvalidConfig(why)) => assert!(why.contains("block_bytes")),
+            other => panic!("ragged block accepted: {:?}", other.map(|_| ())),
+        }
+        let composed_zero =
+            small_pool(1).with_composed_extract(ComposedExtract::new(32, 9).with_ratio(0));
+        match EntropyPool::new(composed_zero) {
+            Err(PoolError::InvalidConfig(why)) => assert!(why.contains("ratio")),
+            other => panic!("composed ratio 0 accepted: {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn composed_extract_replays_and_claims_conservatively() {
+        let composed = || {
+            small_pool(2)
+                .with_conditioning(Conditioning::Raw)
+                .with_composed_extract(ComposedExtract::new(32, 7))
+        };
+        let mut pool = EntropyPool::new(composed()).expect("pool");
+        let mut stream = vec![0u8; 8192];
+        pool.fill_bytes(&mut stream).expect("fill");
+        let stats = pool.stats();
+        assert_eq!(stats.bytes_delivered, 8192);
+        assert_eq!(stats.total_alarms(), 0);
+        let c = stats.composed.as_ref().expect("composed stats");
+        // Raw carry-chain shards claim the paper's per-bit min-entropy;
+        // the leftover-hash lemma at eps 2^-32 sizes that to ratio 5.
+        assert_eq!(c.ratio, 5);
+        assert_eq!(c.epsilon_log2, 32);
+        assert!(c.input_claim_min_entropy > 0.0 && c.input_claim_min_entropy < 1.0);
+        assert!(
+            (c.claimed_min_entropy - 0.5).abs() < 0.01,
+            "64-bit blocks at eps 2^-32 claim ~0.5/bit, got {}",
+            c.claimed_min_entropy
+        );
+        assert!(c.bytes_extracted >= 8192);
+        // 8192 bytes clear the measurement floor; the MCV estimate of
+        // the extracted stream must dominate the claim.
+        assert!(
+            c.claimed_min_entropy <= c.measured_min_entropy,
+            "claimed {} > measured {}",
+            c.claimed_min_entropy,
+            c.measured_min_entropy
+        );
+        // The composed stream is a pure function of the configuration.
+        let mut again = EntropyPool::new(composed()).expect("pool");
+        let mut replay = vec![0u8; 8192];
+        again.fill_bytes(&mut replay).expect("fill");
+        assert_eq!(stream, replay, "composed stream must replay");
+        // A different pool-level extractor seed diverges over the same
+        // underlying shards.
+        let mut other = EntropyPool::new(
+            small_pool(2)
+                .with_conditioning(Conditioning::Raw)
+                .with_composed_extract(ComposedExtract::new(32, 8)),
+        )
+        .expect("pool");
+        let mut diverged = vec![0u8; 8192];
+        other.fill_bytes(&mut diverged).expect("fill");
+        assert_ne!(stream, diverged);
+    }
+
+    #[test]
+    fn conditioning_label_republishes_after_fault_rebuild() {
+        // A transient stuck fault quarantines shard 0, forces a
+        // rebuild and a fresh start-up gate; the readmitted shard must
+        // still advertise its conditioning label.
+        let fault = FaultInjection {
+            shard: 0,
+            after_bytes: 256,
+            fault: ShardFault::Stuck,
+            transient: true,
+        };
+        let config = small_pool(2)
+            .with_conditioning(Conditioning::Toeplitz { ratio: 5, seed: 9 })
+            .with_fault(fault);
+        let mut pool = EntropyPool::new(config).expect("pool");
+        let mut sink = vec![0u8; 8192];
+        pool.fill_bytes(&mut sink).expect("fill");
+        let stats = pool.stats();
+        assert!(
+            stats.shards[0].readmissions >= 1,
+            "stuck fault must force a rebuild: {stats}"
+        );
+        for s in &stats.shards {
+            assert_eq!(s.conditioning, "toeplitz:5", "shard {} label lost", s.id);
+        }
+    }
+
+    #[test]
+    fn composed_exhaustion_keeps_the_partial_prefix_contract() {
+        let fault = FaultInjection {
+            shard: 0,
+            after_bytes: 4096,
+            fault: ShardFault::Config(Box::new(dead_config())),
+            transient: false,
+        };
+        let config = small_pool(1)
+            .with_conditioning(Conditioning::Raw)
+            .with_composed_extract(ComposedExtract::new(32, 3))
+            .with_fault(fault)
+            .with_max_readmissions(0);
+        let mut pool = EntropyPool::new(config).expect("pool");
+        let mut sink = vec![0xAAu8; 1 << 20];
+        match pool.fill_bytes(&mut sink) {
+            Err(PoolError::SourcesExhausted { filled }) => {
+                assert!(filled > 0, "healthy prefix must still be extracted");
+                assert!(filled < sink.len());
+                // `filled` counts *composed* bytes and only that prefix
+                // may have been written.
+                assert!(
+                    sink[filled..].iter().all(|&b| b == 0xAA),
+                    "bytes written past the reported composed fill of {filled}"
+                );
+                assert_eq!(pool.stats().bytes_delivered, filled as u64);
+            }
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
     }
 
     #[test]

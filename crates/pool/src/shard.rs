@@ -17,11 +17,13 @@
 //! sampler, a recorded trace or the OS pool all run through identical
 //! gating.
 
+use core::fmt;
 use std::sync::Arc;
 
 use trng_core::health::{HealthStatus, OnlineHealth};
 use trng_core::postprocess::XorCompressor;
 use trng_core::von_neumann::VonNeumann;
+use trng_extract::{leftover_hash_ratio, ToeplitzExtractor};
 use trng_fpga_sim::rng::SimRng;
 use trng_sources::{run_source_startup, EntropySource};
 
@@ -55,6 +57,75 @@ pub enum Conditioning {
     VonNeumann,
     /// Raw bits, packed into bytes unconditioned.
     Raw,
+    /// Seeded Toeplitz strong extraction
+    /// ([`ToeplitzExtractor`]):
+    /// every `ratio · 64` raw bits hash to one 64-bit output block,
+    /// carrying the leftover-hash-lemma uniformity guarantee the XOR
+    /// modes lack. Each shard derives its own matrix via
+    /// [`mix_seed`] from `seed` and the
+    /// shard's lane, so deterministic replay stays a pure function of
+    /// the configuration.
+    Toeplitz {
+        /// Raw input bits consumed per output bit (the input block is
+        /// `ratio · 64` bits wide); size it with
+        /// [`leftover_hash_ratio`]
+        /// or [`Conditioning::toeplitz_sized`]. Must be at least 1.
+        ratio: u32,
+        /// Matrix seed lane, mixed with the shard seed.
+        seed: u64,
+    },
+}
+
+impl Conditioning {
+    /// A [`Conditioning::Toeplitz`] whose ratio is sized by the
+    /// leftover hash lemma from a per-raw-bit min-entropy claim at
+    /// statistical distance `ε = 2^−epsilon_log2` — the same
+    /// calculation the composed pool stage applies across shards.
+    ///
+    /// # Panics
+    ///
+    /// When `claimed_min_entropy` is not a positive claim (see
+    /// [`leftover_hash_ratio`]).
+    pub fn toeplitz_sized(claimed_min_entropy: f64, epsilon_log2: u32, seed: u64) -> Self {
+        Conditioning::Toeplitz {
+            ratio: leftover_hash_ratio(claimed_min_entropy, epsilon_log2, 64),
+            seed,
+        }
+    }
+
+    /// Compact metrics label: `design_xor`, `xor:<rate>`,
+    /// `von_neumann`, `raw`, or `toeplitz:<ratio>` (the matrix seed is
+    /// configuration, not telemetry).
+    pub(crate) fn encode_label(self) -> u64 {
+        let (tag, param) = match self {
+            Conditioning::DesignXor => (0u64, 0u32),
+            Conditioning::Xor(rate) => (1, rate),
+            Conditioning::VonNeumann => (2, 0),
+            Conditioning::Raw => (3, 0),
+            Conditioning::Toeplitz { ratio, .. } => (4, ratio),
+        };
+        tag << 32 | u64::from(param)
+    }
+
+    /// Decodes [`encode_label`](Conditioning::encode_label) back to
+    /// the label string; unknown tags (never stored) read as the
+    /// default `design_xor`.
+    pub(crate) fn decode_label(encoded: u64) -> String {
+        let param = encoded as u32;
+        match encoded >> 32 {
+            1 => format!("xor:{param}"),
+            2 => "von_neumann".to_string(),
+            3 => "raw".to_string(),
+            4 => format!("toeplitz:{param}"),
+            _ => "design_xor".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Conditioning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&Conditioning::decode_label(self.encode_label()))
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -62,23 +133,41 @@ enum Conditioner {
     Xor(XorCompressor),
     VonNeumann(VonNeumann),
     Raw,
+    Toeplitz(ToeplitzExtractor),
+}
+
+/// What one raw bit produced out of the conditioning stage: XOR and
+/// Von Neumann emit at most one bit per raw bit, the Toeplitz
+/// extractor emits a whole 64-bit block when a raw bit completes its
+/// input window.
+enum Emit {
+    Nothing,
+    Bit(bool),
+    /// Output bit `y_i` at word bit `i`; `y_0` is the stream-first bit.
+    Word(u64),
 }
 
 impl Conditioner {
-    fn new(mode: Conditioning, native_rate: u32) -> Self {
+    /// `shard_seed` derives the per-shard Toeplitz matrix lane; the
+    /// other modes ignore it.
+    fn new(mode: Conditioning, native_rate: u32, shard_seed: u64) -> Self {
         match mode {
             Conditioning::DesignXor => Conditioner::Xor(XorCompressor::new(native_rate)),
             Conditioning::Xor(np) => Conditioner::Xor(XorCompressor::new(np)),
             Conditioning::VonNeumann => Conditioner::VonNeumann(VonNeumann::new()),
             Conditioning::Raw => Conditioner::Raw,
+            Conditioning::Toeplitz { ratio, seed } => Conditioner::Toeplitz(
+                ToeplitzExtractor::from_seed(64, ratio as usize * 64, mix_seed(seed, shard_seed)),
+            ),
         }
     }
 
-    fn push(&mut self, bit: bool) -> Option<bool> {
+    fn push(&mut self, bit: bool) -> Emit {
         match self {
-            Conditioner::Xor(c) => c.push(bit),
-            Conditioner::VonNeumann(v) => v.push(bit),
-            Conditioner::Raw => Some(bit),
+            Conditioner::Xor(c) => c.push(bit).map_or(Emit::Nothing, Emit::Bit),
+            Conditioner::VonNeumann(v) => v.push(bit).map_or(Emit::Nothing, Emit::Bit),
+            Conditioner::Raw => Emit::Bit(bit),
+            Conditioner::Toeplitz(t) => t.push(bit).map_or(Emit::Nothing, Emit::Word),
         }
     }
 
@@ -87,6 +176,9 @@ impl Conditioner {
             Conditioner::Xor(c) => c.reset(),
             Conditioner::VonNeumann(v) => *v = VonNeumann::new(),
             Conditioner::Raw => {}
+            // Drops the partial input window; the seeded matrix is
+            // configuration and survives so replay stays pure.
+            Conditioner::Toeplitz(t) => t.reset(),
         }
     }
 
@@ -97,22 +189,28 @@ impl Conditioner {
             Conditioner::Xor(c) => u64::from(c.rate()),
             Conditioner::VonNeumann(_) => 4,
             Conditioner::Raw => 1,
+            Conditioner::Toeplitz(t) => (t.input_block_bits() / t.output_block_bits()) as u64,
         }
     }
 
     /// `true` when the conditioner consumes a *fixed* number of raw
     /// bits per output bit, making a block's raw demand exactly
-    /// computable up front (enables whole-byte batch fetching).
+    /// computable up front (enables whole-byte batch fetching). The
+    /// Toeplitz extractor is fixed-rate at block granularity: its
+    /// 64-bit emissions divide the block exactly because block sizes
+    /// are validated to a multiple of 8 bytes.
     fn is_fixed_rate(&self) -> bool {
         !matches!(self, Conditioner::VonNeumann(_))
     }
 
-    /// Raw bits already absorbed toward the next output bit (always
-    /// less than the rate for fixed-rate conditioners; Von Neumann's
-    /// consumption is data-dependent and reported as 0).
+    /// Raw bits already absorbed toward the next output (always less
+    /// than the rate — or, for Toeplitz, the input block — for
+    /// fixed-rate conditioners; Von Neumann's consumption is
+    /// data-dependent and reported as 0).
     fn pending_raw_bits(&self) -> u64 {
         match self {
             Conditioner::Xor(c) => u64::from(c.pending()),
+            Conditioner::Toeplitz(t) => t.pending_input_bits() as u64,
             _ => 0,
         }
     }
@@ -153,6 +251,9 @@ pub(crate) struct Shard {
     /// The backend's natural XOR rate, frozen at construction so the
     /// startup compressor and `DesignXor` conditioning agree.
     native_rate: u32,
+    /// The configured conditioning mode, kept for label re-publication
+    /// after fault rebuilds.
+    conditioning: Conditioning,
     health: OnlineHealth,
     conditioner: Conditioner,
     state: ShardState,
@@ -192,14 +293,16 @@ impl Shard {
     ) -> Self {
         let native_rate = source.native_xor_rate();
         let claim = source.claimed_min_entropy();
-        let conditioner = Conditioner::new(conditioning, native_rate);
+        let conditioner = Conditioner::new(conditioning, native_rate, seed);
         let monitor =
             monitor.map(|m| JitterMonitor::new(m, SimRng::seed_from(mix_seed(seed, 0x4_D017))));
         shared.set_state(ShardState::Starting);
         shared.set_source(source.kind(), claim, source.noise_backend());
+        shared.set_conditioning(conditioning.encode_label());
         Shard {
             id,
             source,
+            conditioning,
             native_rate,
             health: OnlineHealth::new(claim),
             conditioner,
@@ -241,16 +344,19 @@ impl Shard {
         self.shared.set_raw_bits(self.source.raw_bits());
     }
 
-    /// Re-publishes the source label after a rebuild swapped the live
-    /// instance: the kind and claim are stable across rebuilds, but the
-    /// active noise backend can change (e.g. a faulted configuration
-    /// whose layout the batched engine refuses falls back to scalar).
+    /// Re-publishes the source and conditioning labels after a rebuild
+    /// swapped the live instance: the kind, claim and conditioning are
+    /// stable across rebuilds, but the active noise backend can change
+    /// (e.g. a faulted configuration whose layout the batched engine
+    /// refuses falls back to scalar).
     fn publish_source_label(&self) {
         self.shared.set_source(
             self.source.kind(),
             self.source.claimed_min_entropy(),
             self.source.noise_backend(),
         );
+        self.shared
+            .set_conditioning(self.conditioning.encode_label());
     }
 
     /// Records a lifecycle incident stamped with the shard's current
@@ -320,13 +426,25 @@ impl Shard {
         if self.health.push(raw) == HealthStatus::Alarm {
             return false;
         }
-        if let Some(bit) = self.conditioner.push(raw) {
+        let mut emit_bit = |bit: bool| {
             *byte = *byte << 1 | u8::from(bit);
             *nbits += 1;
             if *nbits == 8 {
                 out.push(*byte);
                 *byte = 0;
                 *nbits = 0;
+            }
+        };
+        match self.conditioner.push(raw) {
+            Emit::Nothing => {}
+            Emit::Bit(bit) => emit_bit(bit),
+            // A Toeplitz emission: the whole 64-bit block lands at
+            // once, stream-first output bit (`y_0`, word bit 0) first
+            // so it takes the MSB of the first assembled byte.
+            Emit::Word(word) => {
+                for i in 0..64 {
+                    emit_bit(word >> i & 1 == 1);
+                }
             }
         }
         true

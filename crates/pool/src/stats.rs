@@ -11,6 +11,7 @@ use trng_sources::SourceKind;
 use trng_testkit::json::Json;
 
 use crate::journal::IncidentEvent;
+use crate::shard::Conditioning;
 
 /// Lifecycle state of one shard.
 ///
@@ -116,6 +117,8 @@ pub(crate) struct ShardShared {
     claim_bits: AtomicU64,
     /// `NoiseBackend::as_u8` of the live instance's noise synthesis.
     noise_backend: AtomicU8,
+    /// `Conditioning::encode_label` of the shard's conditioning stage.
+    conditioning: AtomicU64,
 }
 
 impl ShardShared {
@@ -193,6 +196,13 @@ impl ShardShared {
         self.noise_backend.store(backend.as_u8(), Ordering::Release);
     }
 
+    /// Labels this shard's conditioning stage
+    /// ([`Conditioning::encode_label`]); re-published together with the
+    /// source label after fault rebuilds.
+    pub fn set_conditioning(&self, encoded: u64) {
+        self.conditioning.store(encoded, Ordering::Release);
+    }
+
     pub fn snapshot(&self, id: usize) -> ShardStats {
         let origin = match self.replaces_plus1.load(Ordering::Acquire) {
             0 => ShardOrigin::Initial,
@@ -219,6 +229,7 @@ impl ShardShared {
             source: SourceKind::from_u8(self.source_kind.load(Ordering::Acquire)),
             claimed_min_entropy: f64::from_bits(self.claim_bits.load(Ordering::Acquire)),
             noise_backend: NoiseBackend::from_u8(self.noise_backend.load(Ordering::Acquire)),
+            conditioning: Conditioning::decode_label(self.conditioning.load(Ordering::Acquire)),
         }
     }
 }
@@ -274,6 +285,9 @@ pub struct ShardStats {
     /// statistically-equivalent batched engine. Always `Scalar` for
     /// backends without simulated noise (trace replay, the OS pool).
     pub noise_backend: NoiseBackend,
+    /// Label of the shard's conditioning stage (`design_xor`,
+    /// `xor:<rate>`, `von_neumann`, `raw`, `toeplitz:<ratio>`).
+    pub conditioning: String,
 }
 
 impl ShardStats {
@@ -313,8 +327,56 @@ impl ShardStats {
             ("source", Json::str(self.source.as_str())),
             ("claimed_min_entropy", Json::num(self.claimed_min_entropy)),
             ("noise_backend", Json::str(self.noise_backend.as_str())),
+            ("conditioning", Json::str(self.conditioning.clone())),
         ]);
         Json::obj(fields)
+    }
+}
+
+/// Point-in-time view of the pool-level composed extract stage
+/// (interleave-then-Toeplitz across independent shards; see
+/// [`PoolConfig::with_composed_extract`](crate::pool::PoolConfig::with_composed_extract)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComposedStats {
+    /// Interleaved input bits consumed per output bit (input block =
+    /// `ratio · 64` bits).
+    pub ratio: u32,
+    /// The stage's statistical-distance target: `ε = 2^−epsilon_log2`.
+    pub epsilon_log2: u32,
+    /// The *minimum* per-raw-bit min-entropy claim across the pool's
+    /// input shards at construction — the eq. (7)-derived figure the
+    /// leftover-hash sizing consumed.
+    pub input_claim_min_entropy: f64,
+    /// Claimed per-bit min-entropy of the composed output under the
+    /// leftover hash lemma
+    /// ([`extracted_min_entropy_per_bit`](trng_extract::extracted_min_entropy_per_bit)):
+    /// ≈ 0.5 for 64-bit blocks at ε = 2^−32.
+    pub claimed_min_entropy: f64,
+    /// Measured per-bit min-entropy of the composed output — a byte
+    /// most-common-value estimate with a 99% confidence penalty, 0.0
+    /// until enough output has accumulated (4 KiB). The acceptance
+    /// invariant is `claimed ≤ measured`: the lemma's conservative
+    /// bound must under-promise what the stream empirically delivers.
+    pub measured_min_entropy: f64,
+    /// Composed output bytes extracted over the pool's lifetime.
+    pub bytes_extracted: u64,
+}
+
+impl ComposedStats {
+    /// Renders the composed-stage snapshot as a JSON object; field
+    /// names match the struct fields.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("ratio", Json::u64(u64::from(self.ratio))),
+            ("epsilon_log2", Json::u64(u64::from(self.epsilon_log2))),
+            (
+                "input_claim_min_entropy",
+                Json::num(self.input_claim_min_entropy),
+            ),
+            ("claimed_min_entropy", Json::num(self.claimed_min_entropy)),
+            ("measured_min_entropy", Json::num(self.measured_min_entropy)),
+            ("bytes_extracted", Json::u64(self.bytes_extracted)),
+        ])
     }
 }
 
@@ -372,6 +434,8 @@ pub struct PoolStats {
     /// Total incidents ever recorded; when it exceeds `journal.len()`
     /// the bounded log has evicted its oldest events.
     pub journal_recorded: u64,
+    /// The pool-level composed extract stage, when configured.
+    pub composed: Option<ComposedStats>,
 }
 
 impl PoolStats {
@@ -434,7 +498,7 @@ impl PoolStats {
     /// Field names match the struct fields; durations are serialized
     /// in nanoseconds.
     pub fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut fields = vec![
             ("bytes_delivered", Json::u64(self.bytes_delivered)),
             ("fill_calls", Json::u64(self.fill_calls)),
             (
@@ -468,7 +532,13 @@ impl PoolStats {
                 "journal",
                 Json::Arr(self.journal.iter().map(IncidentEvent::to_json).collect()),
             ),
-        ])
+        ];
+        // Additive: pools without the composed stage keep their exact
+        // pre-existing payload shape.
+        if let Some(composed) = &self.composed {
+            fields.push(("composed", composed.to_json()));
+        }
+        Json::obj(fields)
     }
 
     /// Per-backend aggregate rendered into the JSON `sources` object:
@@ -558,11 +628,12 @@ impl fmt::Display for PoolStats {
         for s in &self.shards {
             write!(
                 f,
-                "  shard {}: {:<11} [{}] {:>10} B, {} alarms, {} readmissions, \
+                "  shard {}: {:<11} [{}/{}] {:>10} B, {} alarms, {} readmissions, \
                  {} startups, ring high-water {} B",
                 s.id,
                 s.state.to_string(),
                 s.source,
+                s.conditioning,
                 s.bytes_produced,
                 s.alarms,
                 s.readmissions,
@@ -583,6 +654,18 @@ impl fmt::Display for PoolStats {
                 )?;
             }
             writeln!(f)?;
+        }
+        if let Some(c) = &self.composed {
+            writeln!(
+                f,
+                "  composed: toeplitz:{} at eps 2^-{}, claimed {:.4} vs measured {:.4} \
+                 min-entropy/bit, {} B extracted",
+                c.ratio,
+                c.epsilon_log2,
+                c.claimed_min_entropy,
+                c.measured_min_entropy,
+                c.bytes_extracted,
+            )?;
         }
         writeln!(
             f,
@@ -664,6 +747,7 @@ mod tests {
             source: SourceKind::CarryChain,
             claimed_min_entropy: 0.05,
             noise_backend: NoiseBackend::Scalar,
+            conditioning: "design_xor".to_string(),
         };
         let stats = PoolStats {
             shards: vec![mk(1000, 10), mk(1000, 10), mk(1000, 10), mk(1000, 10)],
@@ -675,6 +759,7 @@ mod tests {
             workers_joined: 0,
             journal: Vec::new(),
             journal_recorded: 0,
+            composed: None,
         };
         // 4 shards x 8000 bits over the same 10 ms window: 3.2 Mb/s,
         // 4x what a single shard would report.
@@ -689,6 +774,7 @@ mod tests {
             workers_joined: 0,
             journal: Vec::new(),
             journal_recorded: 0,
+            composed: None,
         };
         assert!((single.sim_throughput_bps() - 0.8e6).abs() < 1.0);
     }
@@ -721,6 +807,11 @@ mod tests {
             } else {
                 NoiseBackend::Scalar
             },
+            conditioning: if id == 0 {
+                "design_xor".to_string()
+            } else {
+                "toeplitz:5".to_string()
+            },
         };
         PoolStats {
             shards: vec![
@@ -742,6 +833,7 @@ mod tests {
                 detail: 0,
             }],
             journal_recorded: 5,
+            composed: None,
         }
     }
 
@@ -805,7 +897,41 @@ mod tests {
                 j.get("noise_backend").and_then(Json::as_str),
                 Some(s.noise_backend.as_str())
             );
+            assert_eq!(
+                j.get("conditioning").and_then(Json::as_str),
+                Some(s.conditioning.as_str())
+            );
         }
+    }
+
+    #[test]
+    fn composed_stage_renders_additively() {
+        // Without the stage the payload has no `composed` key at all —
+        // pre-existing consumers see the exact old shape.
+        let mut stats = sample_stats();
+        assert!(stats.to_json().get("composed").is_none());
+        stats.composed = Some(ComposedStats {
+            ratio: 5,
+            epsilon_log2: 32,
+            input_claim_min_entropy: 0.42,
+            claimed_min_entropy: 0.49999,
+            measured_min_entropy: 0.97,
+            bytes_extracted: 1 << 20,
+        });
+        let json = stats.to_json();
+        let c = json.get("composed").expect("composed object");
+        let expect = stats.composed.as_ref().unwrap();
+        let f = |k: &str| c.get(k).and_then(Json::as_f64).expect(k);
+        assert_eq!(f("ratio"), f64::from(expect.ratio));
+        assert_eq!(f("epsilon_log2"), f64::from(expect.epsilon_log2));
+        assert_eq!(f("input_claim_min_entropy"), expect.input_claim_min_entropy);
+        assert_eq!(f("claimed_min_entropy"), expect.claimed_min_entropy);
+        assert_eq!(f("measured_min_entropy"), expect.measured_min_entropy);
+        assert_eq!(f("bytes_extracted"), expect.bytes_extracted as f64);
+        // The Display form carries the same headline figures.
+        let text = stats.to_string();
+        assert!(text.contains("toeplitz:5"), "{text}");
+        assert!(text.contains("0.9700"), "{text}");
     }
 
     #[test]
@@ -951,6 +1077,7 @@ mod tests {
             workers_joined: 0,
             journal: Vec::new(),
             journal_recorded: 0,
+            composed: None,
         };
         let text = stats.to_string();
         assert!(text.contains("shard 0"));
@@ -966,6 +1093,26 @@ mod tests {
         assert_eq!(s.source, SourceKind::TraceReplay);
         assert_eq!(s.claimed_min_entropy, 0.93);
         assert_eq!(s.noise_backend, NoiseBackend::Batched);
+        // Unset conditioning decodes to the pool's default label.
+        assert_eq!(s.conditioning, "design_xor");
+    }
+
+    #[test]
+    fn shared_conditioning_label_round_trips() {
+        let shared = ShardShared::default();
+        for (mode, label) in [
+            (Conditioning::DesignXor, "design_xor"),
+            (Conditioning::Xor(3), "xor:3"),
+            (Conditioning::VonNeumann, "von_neumann"),
+            (Conditioning::Raw, "raw"),
+            (Conditioning::Toeplitz { ratio: 5, seed: 9 }, "toeplitz:5"),
+        ] {
+            shared.set_conditioning(mode.encode_label());
+            assert_eq!(shared.snapshot(0).conditioning, label);
+            // Display agrees with the published label; the Toeplitz
+            // seed is configuration, not telemetry.
+            assert_eq!(mode.to_string(), label);
+        }
     }
 
     #[test]

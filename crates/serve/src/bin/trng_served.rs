@@ -7,7 +7,9 @@
 //!
 //! ```text
 //! trng-served [--addr 127.0.0.1:7878] [--metrics-addr 127.0.0.1:7879 | --no-metrics]
-//!             [--shards 2] [--workers 4] [--conditioning raw|design-xor|xor:N|von-neumann]
+//!             [--shards 2] [--workers 4]
+//!             [--conditioning raw|design-xor|xor:N|von-neumann|toeplitz[:N]]
+//!             [--composed-extract auto|N]
 //!             [--sources carry_chain,dual_osc,trace_replay,os_entropy]
 //!             [--noise-backend scalar|batched]
 //!             [--quota-rate BYTES_PER_SEC --quota-burst BYTES]
@@ -26,7 +28,8 @@ use std::sync::Arc;
 
 use trng_core::trng::TrngConfig;
 use trng_pool::{
-    Conditioning, DualOscConfig, EntropyPool, NoiseBackend, PoolConfig, RecordedTrace, SourceSpec,
+    ComposedExtract, Conditioning, DualOscConfig, EntropyPool, NoiseBackend, PoolConfig,
+    RecordedTrace, SourceSpec,
 };
 use trng_serve::{QuotaConfig, ServeConfig, Server};
 
@@ -46,7 +49,12 @@ OPTIONS:
   --no-metrics            disable the metrics endpoint
   --shards N              TRNG shards in the pool (default 2)
   --workers N             connection worker threads (default 4)
-  --conditioning MODE     raw | design-xor | xor:N | von-neumann (default raw)
+  --conditioning MODE     raw | design-xor | xor:N | von-neumann | toeplitz[:N]
+                          (default raw; bare toeplitz sizes N from the carry-chain
+                          min-entropy claim via the leftover hash lemma at eps 2^-32)
+  --composed-extract R    pool-level cross-shard Toeplitz stage on the interleaved
+                          stream: auto (leftover-hash-sized ratio) or an explicit
+                          ratio N (default: off)
   --sources LIST          comma-separated backend per shard, overriding --shards:
                           carry_chain | dual_osc | trace_replay | os_entropy
                           (trace_replay self-captures a carry-chain trace at startup)
@@ -69,6 +77,7 @@ struct Args {
     shards: usize,
     workers: usize,
     conditioning: Conditioning,
+    composed: Option<ComposedExtract>,
     sources: Option<Vec<String>>,
     noise_backend: NoiseBackend,
     quota_rate: Option<f64>,
@@ -88,6 +97,7 @@ impl Default for Args {
             shards: 2,
             workers: 4,
             conditioning: Conditioning::Raw,
+            composed: None,
             sources: None,
             noise_backend: NoiseBackend::Scalar,
             quota_rate: None,
@@ -101,19 +111,63 @@ impl Default for Args {
     }
 }
 
+/// Fixed matrix-seed lane for CLI-configured Toeplitz stages; the
+/// per-shard conditioner folds this with the shard seed (itself
+/// derived from `--seed`), so the byte stream stays a pure function
+/// of the pool seed.
+const TOEPLITZ_SEED: u64 = 0x70E9;
+
+/// The extractor failure bound for CLI-sized Toeplitz stages
+/// (`eps = 2^-32`, the workspace-wide default).
+const TOEPLITZ_EPSILON_LOG2: u32 = 32;
+
 fn parse_conditioning(s: &str) -> Result<Conditioning, String> {
     match s {
         "raw" => Ok(Conditioning::Raw),
         "design-xor" => Ok(Conditioning::DesignXor),
         "von-neumann" => Ok(Conditioning::VonNeumann),
-        _ => match s.strip_prefix("xor:") {
-            Some(n) => n
-                .parse::<u32>()
-                .map(Conditioning::Xor)
-                .map_err(|_| format!("bad xor rate in --conditioning {s:?}")),
-            None => Err(format!("unknown conditioning mode {s:?}")),
-        },
+        // Bare `toeplitz` sizes the compression ratio from the
+        // carry-chain per-bit min-entropy claim (leftover hash lemma).
+        "toeplitz" => {
+            let claim = trng_core::selftest::claimed_min_entropy(&TrngConfig::paper_k1())
+                .map_err(|e| format!("cannot size --conditioning toeplitz ratio: {e}"))?;
+            Ok(Conditioning::toeplitz_sized(
+                claim,
+                TOEPLITZ_EPSILON_LOG2,
+                TOEPLITZ_SEED,
+            ))
+        }
+        _ => {
+            if let Some(n) = s.strip_prefix("toeplitz:") {
+                return n
+                    .parse::<u32>()
+                    .map(|ratio| Conditioning::Toeplitz {
+                        ratio,
+                        seed: TOEPLITZ_SEED,
+                    })
+                    .map_err(|_| format!("bad toeplitz ratio in --conditioning {s:?}"));
+            }
+            match s.strip_prefix("xor:") {
+                Some(n) => n
+                    .parse::<u32>()
+                    .map(Conditioning::Xor)
+                    .map_err(|_| format!("bad xor rate in --conditioning {s:?}")),
+                None => Err(format!("unknown conditioning mode {s:?}")),
+            }
+        }
     }
+}
+
+/// Parses `--composed-extract`: `auto` (leftover-hash-sized ratio) or
+/// an explicit ratio.
+fn parse_composed(s: &str) -> Result<ComposedExtract, String> {
+    let base = ComposedExtract::new(TOEPLITZ_EPSILON_LOG2, TOEPLITZ_SEED);
+    if s == "auto" {
+        return Ok(base);
+    }
+    s.parse::<u32>()
+        .map(|ratio| base.with_ratio(ratio))
+        .map_err(|_| format!("bad value {s:?} for --composed-extract (expected auto or a ratio)"))
 }
 
 fn parse_sources(list: &str) -> Result<Vec<String>, String> {
@@ -187,6 +241,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--shards" => args.shards = parse(value("--shards")?, "--shards")?,
             "--workers" => args.workers = parse(value("--workers")?, "--workers")?,
             "--conditioning" => args.conditioning = parse_conditioning(value("--conditioning")?)?,
+            "--composed-extract" => {
+                args.composed = Some(parse_composed(value("--composed-extract")?)?);
+            }
             "--sources" => args.sources = Some(parse_sources(value("--sources")?)?),
             "--noise-backend" => {
                 args.noise_backend = value("--noise-backend")?
@@ -241,6 +298,9 @@ fn main() -> ExitCode {
         .with_seed(args.seed)
         .with_noise_backend(args.noise_backend)
         .deterministic(args.deterministic);
+    if let Some(composed) = args.composed {
+        pool_config = pool_config.with_composed_extract(composed);
+    }
     if let Some(names) = &args.sources {
         let specs = match build_specs(names, args.seed, args.noise_backend) {
             Ok(specs) => specs,

@@ -82,6 +82,27 @@ echo "==> sources smoke (4 backends + mixed pool, Stuck drill on every shard)"
 TRNG_SOURCES_SMOKE_BYTES=${TRNG_SOURCES_SMOKE_BYTES:-8192} \
     cargo run -q --release --offline -p trng-pool --bin sources_smoke
 
+# Extraction smoke: 2-shard composed deterministic pool (raw shards
+# feeding the pool-level cross-shard Toeplitz stage at the leftover-
+# hash-sized ratio) streams ~1 MB. Fails on any health alarm, a shard
+# leaving the online state, a ratio wider than the design's np = 7,
+# claimed > measured min-entropy, or a replay divergence.
+echo "==> extract smoke (2-shard composed Toeplitz pool, claimed <= measured)"
+TRNG_EXTRACT_SMOKE_BYTES=${TRNG_EXTRACT_SMOKE_BYTES:-1000000} \
+TRNG_EXTRACT_SMOKE_SHARDS=${TRNG_EXTRACT_SMOKE_SHARDS:-2} \
+    cargo run -q --release --offline -p trng-pool --bin extract_smoke
+
+# Extraction regression gate: quick run of the extract bench, writing
+# BENCH_extract.json (design-XOR baseline vs per-shard Toeplitz vs the
+# composed stage) and failing if a Toeplitz row costs more than 2x the
+# design-XOR ns/bit (ratio 5 consumes fewer raw bits than np = 7, so
+# parity or better is expected; the 2x gate absorbs slow CI hosts).
+echo "==> extract bench (quick, Toeplitz vs design-XOR ns/bit gate at 2x)"
+TRNG_EXTRACT_BENCH_BYTES=${TRNG_EXTRACT_BENCH_BYTES:-8192} \
+TRNG_EXTRACT_GATE_RATIO=${TRNG_EXTRACT_GATE_RATIO:-2.0} \
+TRNG_BENCH_OUT_DIR=$(mktemp -d) \
+    cargo bench -q --offline -p trng-bench --bench pool_extract
+
 # Heterogeneous-backend throughput: quick run of the sources bench,
 # writing BENCH_sources.json (ns/bit and Mb/s per backend plus the
 # mixed 4-source pool) and asserting the OS-backed pool outpaces the

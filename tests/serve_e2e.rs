@@ -13,8 +13,8 @@ use trng_core::health::{HealthStatus, OnlineHealth};
 use trng_core::trng::TrngConfig;
 use trng_model::params::{DesignParams, PlatformParams};
 use trng_pool::{
-    Conditioning, EntropyPool, FaultInjection, PoolConfig, PoolHandle, RespawnPolicy, ShardFault,
-    ShardState,
+    ComposedExtract, Conditioning, EntropyPool, FaultInjection, PoolConfig, PoolHandle,
+    RespawnPolicy, ShardFault, ShardState,
 };
 use trng_serve::{client, Client, FetchError, QuotaConfig, ServeConfig, Server};
 
@@ -538,6 +538,95 @@ fn mixed_source_metrics_add_per_source_keys_without_breaking_the_format() {
         "no per-source entropy claim:\n{json}"
     );
     drop(server);
+}
+
+/// The conditioning mode and the composed cross-shard extract stage
+/// are observable end to end. A pool serving per-shard Toeplitz plus
+/// a composed stage labels every shard `"conditioning": "toeplitz:N"`
+/// and adds a `"composed"` object carrying the leftover-hash claim
+/// next to the measured min-entropy; a default raw pool labels its
+/// shards `"raw"` and has no composed object. Both keys are purely
+/// additive — every counter the old scrape carried is still present
+/// either way.
+#[test]
+fn metrics_report_conditioning_and_composed_extract() {
+    let scrape = |toeplitz: bool, n: u32| {
+        let mut config = PoolConfig::new(TrngConfig::paper_k1(), 2)
+            .with_seed(0x70E9)
+            .deterministic(true);
+        if toeplitz {
+            config = config
+                .with_conditioning(Conditioning::Toeplitz {
+                    ratio: 5,
+                    seed: 0xE47,
+                })
+                .with_composed_extract(ComposedExtract::new(32, 0xE47));
+        } else {
+            config = config.with_conditioning(Conditioning::Raw);
+        }
+        let server = Server::start(online_handle(config), ServeConfig::default()).expect("server");
+        client::fetch(server.local_addr(), n).expect("fetch");
+        let body =
+            client::scrape_metrics(server.metrics_addr().expect("metrics on")).expect("scrape");
+        drop(server);
+        body
+    };
+
+    for (toeplitz, label) in [(false, "raw"), (true, "toeplitz:5")] {
+        let body = scrape(toeplitz, 2048);
+        let mut lines = body.lines();
+        assert_eq!(lines.next(), Some("healthy"));
+        let json: String = lines.collect::<Vec<_>>().join("\n");
+        // The conditioning label rides every shard entry...
+        assert_eq!(
+            json.matches(&format!("\"conditioning\": \"{label}\""))
+                .count(),
+            2,
+            "both shards must report {label} conditioning:\n{json}"
+        );
+        // ...the composed object appears exactly when configured,
+        // carrying the claim/measurement pair...
+        if toeplitz {
+            for needle in [
+                "\"composed\"",
+                "\"ratio\"",
+                "\"epsilon_log2\": 32",
+                "\"input_claim_min_entropy\"",
+                "\"claimed_min_entropy\"",
+                "\"measured_min_entropy\"",
+                "\"bytes_extracted\"",
+            ] {
+                assert!(
+                    json.contains(needle),
+                    "composed metrics lack {needle}:\n{json}"
+                );
+            }
+        } else {
+            assert!(
+                !json.contains("\"composed\""),
+                "composed object on a plain pool:\n{json}"
+            );
+        }
+        // ...and both are additive: the pre-existing scrape keys
+        // survive untouched.
+        for needle in [
+            "\"status\": \"healthy\"",
+            "\"pool\"",
+            "\"serve\"",
+            "\"shards\"",
+            "\"online_shards\": 2",
+            "\"bytes_delivered\": 2048",
+            "\"bytes_served\": 2048",
+            "\"requests_ok\": 1",
+            "\"claimed_min_entropy\"",
+            "\"journal_recorded\"",
+        ] {
+            assert!(
+                json.contains(needle),
+                "metrics JSON lacks {needle}:\n{json}"
+            );
+        }
+    }
 }
 
 /// The noise-backend knob is observable end to end: a pool brought up
