@@ -1,10 +1,11 @@
 //! Adversarial detection-latency bench: scripted noise campaigns
 //! against a monitored pool, measuring how many bits the pool produces
 //! between attack onset and the first detection event (a monitor
-//! `JitterDrift` or an SP 800-90B `Alarm`, whichever journals first),
-//! written to `BENCH_adversarial.json`.
+//! `JitterDrift`, an SP 800-90B `Alarm`, or a pool-level
+//! `CommonModeCoherence` quorum, whichever journals first), written to
+//! `BENCH_adversarial.json`.
 //!
-//! Five scenarios over the same 2-shard deterministic pool (DesignXor
+//! Six rows over the same 2-shard deterministic pool (DesignXor
 //! conditioning, jitter monitor every 128 bytes):
 //!
 //! * `thermal_ramp` — 200/s common-mode delay drift; only the
@@ -17,7 +18,12 @@
 //! * `flicker_dominated` — Saarinen's AR(1) regime; sigma probe
 //!   inflates while bit statistics barely move.
 //! * `shared_supply_tone` — 0.4 % cross-shard tone, *below every
-//!   detection band*: the documented gap, reported as undetected.
+//!   per-shard detection band*: undetected when only the per-shard
+//!   gates run — the blind spot the coherence detector closes.
+//! * `shared_supply_tone+coherence` — the same tone with the
+//!   cross-shard coherence detector enabled: detected via the quorum
+//!   rule on the monitors' period-probe residual spectra
+//!   (`CommonModeCoherence`), with finite latency.
 //!
 //! Run with `cargo bench --bench pool_adversarial`; set
 //! `TRNG_ADVERSARIAL_BENCH_BYTES` to change the per-scenario volume
@@ -29,8 +35,8 @@ use trng_core::trng::TrngConfig;
 use trng_fpga_sim::scenario::Scenario;
 use trng_fpga_sim::time::Ps;
 use trng_pool::{
-    compile_campaign, onset_bytes, Conditioning, EntropyPool, IncidentEvent, IncidentKind,
-    MonitorConfig, PoolConfig,
+    compile_campaign, onset_bytes, CoherenceConfig, Conditioning, EntropyPool, IncidentEvent,
+    IncidentKind, MonitorConfig, PoolConfig, ProbeCode,
 };
 use trng_testkit::json::Json;
 
@@ -47,6 +53,10 @@ fn env_usize(name: &str, default: usize) -> usize {
 struct Row {
     scenario: Scenario,
     targets: Vec<usize>,
+    /// Run with the cross-shard coherence detector enabled, and a
+    /// distinct name in the report.
+    coherence: bool,
+    name: String,
 }
 
 fn rows() -> Vec<Row> {
@@ -55,37 +65,47 @@ fn rows() -> Vec<Row> {
         s.name = "thermal_runaway".into();
         s
     };
+    let plain = |scenario: Scenario, targets: Vec<usize>| Row {
+        name: scenario.name.clone(),
+        scenario,
+        targets,
+        coherence: false,
+    };
     vec![
+        plain(Scenario::thermal_ramp(ONSET, 200.0), vec![0]),
+        plain(runaway, vec![0]),
+        plain(
+            Scenario::injection_locking(ONSET, 1e12 / 480.0, 0.85),
+            vec![0],
+        ),
+        plain(
+            Scenario::flicker_dominated(ONSET, Ps::from_ps(8.0), Ps::from_us(0.2)),
+            vec![0],
+        ),
+        plain(Scenario::shared_supply_tone(ONSET, 5e6, 0.004), vec![0, 1]),
         Row {
-            scenario: Scenario::thermal_ramp(ONSET, 200.0),
-            targets: vec![0],
-        },
-        Row {
-            scenario: runaway,
-            targets: vec![0],
-        },
-        Row {
-            scenario: Scenario::injection_locking(ONSET, 1e12 / 480.0, 0.85),
-            targets: vec![0],
-        },
-        Row {
-            scenario: Scenario::flicker_dominated(ONSET, Ps::from_ps(8.0), Ps::from_us(0.2)),
-            targets: vec![0],
-        },
-        Row {
+            name: "shared_supply_tone+coherence".into(),
             scenario: Scenario::shared_supply_tone(ONSET, 5e6, 0.004),
             targets: vec![0, 1],
+            coherence: true,
         },
     ]
 }
 
-/// First detection event (monitor drift or health alarm) on the target
-/// shard, in journal order.
+/// First detection event on the target shard, in journal order: a
+/// monitor drift, a health alarm, or a pool-level coherence quorum
+/// (journaled against the lowest-indexed quorum shard).
 fn first_detection(journal: &[IncidentEvent], shard: usize) -> Option<IncidentEvent> {
     journal
         .iter()
         .find(|e| {
-            e.shard == shard && matches!(e.kind, IncidentKind::JitterDrift | IncidentKind::Alarm)
+            e.shard == shard
+                && matches!(
+                    e.kind,
+                    IncidentKind::JitterDrift
+                        | IncidentKind::Alarm
+                        | IncidentKind::CommonModeCoherence
+                )
         })
         .cloned()
 }
@@ -100,7 +120,7 @@ fn main() {
          onset at {onset} bytes\n"
     );
     println!(
-        "{:>20} {:>14} {:>14} {:>12}",
+        "{:>28} {:>14} {:>14} {:>12}",
         "scenario", "detector", "latency bits", "probe"
     );
 
@@ -113,13 +133,16 @@ fn main() {
             &row.targets,
             false,
         );
-        let config = PoolConfig::new(base.clone(), 2)
+        let mut config = PoolConfig::new(base.clone(), 2)
             .with_conditioning(Conditioning::DesignXor)
             .with_seed(0xAD5A)
             .with_block_bytes(64)
             .with_faults(faults)
             .with_monitor(MonitorConfig::default().with_interval_bytes(MONITOR_INTERVAL))
             .deterministic(true);
+        if row.coherence {
+            config = config.with_coherence(CoherenceConfig::new());
+        }
         let mut pool = EntropyPool::new(config).expect("pool build");
         pool.wait_online(Duration::from_secs(60))
             .expect("admission");
@@ -133,34 +156,29 @@ fn main() {
                 assert!(
                     e.at_bytes >= onset,
                     "{}: detection at {} precedes onset {onset}",
-                    row.scenario.name,
+                    row.name,
                     e.at_bytes
                 );
                 let latency_bits = (e.at_bytes - onset) * 8;
+                let probe = ProbeCode::from_detail(e.detail).map_or("-", ProbeCode::as_str);
                 match e.kind {
-                    IncidentKind::JitterDrift => {
-                        let probe = match e.detail >> 56 {
-                            1 => "sigma",
-                            2 => "period",
-                            _ => "unknown",
-                        };
-                        ("monitor_drift", Some(latency_bits), probe)
-                    }
+                    IncidentKind::JitterDrift => ("monitor_drift", Some(latency_bits), probe),
+                    IncidentKind::CommonModeCoherence => ("coherence", Some(latency_bits), probe),
                     _ => ("health_alarm", Some(latency_bits), "-"),
                 }
             }
             None => ("none", None, "-"),
         };
         println!(
-            "{:>20} {:>14} {:>14} {:>12}",
-            row.scenario.name,
+            "{:>28} {:>14} {:>14} {:>12}",
+            row.name,
             detector,
             latency_bits.map_or_else(|| "undetected".into(), |b| b.to_string()),
             probe
         );
 
         benchmarks.push(Json::obj(vec![
-            ("name", Json::str(&row.scenario.name)),
+            ("name", Json::str(&row.name)),
             ("bytes", Json::u64(total as u64)),
             ("onset_bytes", Json::u64(onset)),
             ("detected", Json::Bool(detection.is_some())),
@@ -189,9 +207,13 @@ fn main() {
             Json::str(
                 "deterministic replay pool under scripted noise campaigns; latency is \
                  bits produced on the target shard between attack onset and the first \
-                 journaled detection (monitor JitterDrift or SP 800-90B Alarm). \
-                 shared_supply_tone is the documented gap: 0.4% common-mode tone sits \
-                 below the period band and cancels out of the differential sigma probe",
+                 journaled detection (monitor JitterDrift, SP 800-90B Alarm, or \
+                 pool-level CommonModeCoherence). shared_supply_tone stays undetected \
+                 by the per-shard gates alone: the 0.4% common-mode tone sits below \
+                 the period band and cancels out of the differential sigma probe. The \
+                 +coherence row runs the same tone with the cross-shard coherence \
+                 detector enabled, which closes that gap via a Goertzel quorum over \
+                 the monitors' period-probe residuals",
             ),
         ),
         ("benchmarks", Json::Arr(benchmarks)),

@@ -1,0 +1,221 @@
+//! CI smoke check for the cross-shard coherence detector: a 3-shard
+//! deterministic pool with the jitter monitor and detector on, hit by
+//! a sub-threshold shared supply tone (0.4 % @ 5 MHz) on shards 0 and
+//! 1 — the common-mode attack every per-shard gate is provably blind
+//! to (DESIGN.md §12/§16). Fails loudly unless:
+//!
+//! * the 2-of-3 tone trips the quorum and journals exactly the
+//!   expected `CommonModeCoherence` event — coherence probe code,
+//!   aliased 5 MHz line, quorum mask 0b011, plausible magnitude —
+//!   while the per-shard monitor and 90B gates stay silent;
+//! * a control pool with the tone on *one* shard journals nothing (a
+//!   local line must not make quorum);
+//! * the detected run is byte-identically replayable, stats included;
+//! * the delivered stream re-passes the continuous tests.
+//!
+//! Environment overrides:
+//! * `TRNG_COHERENCE_SMOKE_BYTES` — bytes to draw (default 12 KiB)
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use trng_core::health::{HealthStatus, OnlineHealth};
+use trng_core::trng::TrngConfig;
+use trng_fpga_sim::scenario::Scenario;
+use trng_fpga_sim::time::Ps;
+use trng_pool::{
+    compile_campaign, decode_coherence_detail, onset_bytes, CoherenceConfig, Conditioning,
+    EntropyPool, IncidentKind, MonitorConfig, PoolConfig, ProbeCode,
+};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    match std::env::var(name) {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("{name} must be an integer, got {v:?}")),
+        Err(_) => default,
+    }
+}
+
+fn build_pool(targets: &[usize], total_bytes: usize) -> Result<(EntropyPool, Vec<u8>), String> {
+    let base = TrngConfig::paper_k1();
+    let scenario = Scenario::shared_supply_tone(Ps::from_us(300.0), 5e6, 0.004);
+    let faults = compile_campaign(
+        &scenario,
+        Conditioning::DesignXor,
+        &base.design,
+        targets,
+        false,
+    );
+    let config = PoolConfig::new(base, 3)
+        .with_conditioning(Conditioning::DesignXor)
+        .with_seed(0xC0_4E)
+        .with_block_bytes(64)
+        .with_faults(faults)
+        .with_monitor(MonitorConfig::default().with_interval_bytes(128))
+        .with_coherence(CoherenceConfig::new().with_quorum(2))
+        .deterministic(true);
+    let mut pool = EntropyPool::new(config).map_err(|e| format!("build: {e}"))?;
+    pool.wait_online(Duration::from_secs(60))
+        .map_err(|e| format!("admission: {e}"))?;
+    let mut delivered = vec![0u8; total_bytes];
+    pool.fill_bytes(&mut delivered)
+        .map_err(|e| format!("fill: {e}"))?;
+    Ok((pool, delivered))
+}
+
+fn main() -> ExitCode {
+    let total_bytes = env_usize("TRNG_COHERENCE_SMOKE_BYTES", 12 << 10);
+    eprintln!(
+        "coherence_smoke: shared 0.4% @ 5 MHz tone on shards 0+1 of 3, quorum 2, {total_bytes} bytes"
+    );
+    let onset = onset_bytes(
+        Ps::from_us(300.0),
+        Conditioning::DesignXor,
+        &TrngConfig::paper_k1().design,
+    );
+    let mut ok = true;
+
+    // --- The quorum run: tone on shards 0 and 1. ---
+    let (pool, delivered) = match build_pool(&[0, 1], total_bytes) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("coherence_smoke: FAILED: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stats = pool.stats();
+    print!("{stats}");
+
+    // Zero unhealthy bytes.
+    let mut gate = OnlineHealth::new(0.5);
+    let clean = delivered
+        .iter()
+        .flat_map(|&byte| (0..8).rev().map(move |i| byte >> i & 1 == 1))
+        .all(|bit| gate.push(bit) == HealthStatus::Ok);
+    if !clean {
+        eprintln!("coherence_smoke: FAILED: delivered stream alarmed a fresh health gate");
+        ok = false;
+    }
+
+    // The per-shard gates stay blind — that is the point of the drill.
+    for e in &stats.journal {
+        if matches!(e.kind, IncidentKind::JitterDrift | IncidentKind::Alarm) {
+            eprintln!("coherence_smoke: FAILED: per-shard gate fired unexpectedly: {e:?}");
+            ok = false;
+        }
+    }
+
+    // Exactly the expected coherence event.
+    match stats
+        .journal
+        .iter()
+        .find(|e| e.kind == IncidentKind::CommonModeCoherence)
+    {
+        Some(event) => {
+            if event.shard != 0 {
+                eprintln!(
+                    "coherence_smoke: FAILED: event on shard {}, expected the lowest quorum shard 0",
+                    event.shard
+                );
+                ok = false;
+            }
+            if event.at_bytes < onset || event.at_bytes - onset > 2560 {
+                eprintln!(
+                    "coherence_smoke: FAILED: detection at byte {} outside (onset {onset}, latency <= 2560]",
+                    event.at_bytes
+                );
+                ok = false;
+            }
+            if ProbeCode::from_detail(event.detail) != Some(ProbeCode::Coherence) {
+                eprintln!(
+                    "coherence_smoke: FAILED: wrong probe code in detail {:#018x}",
+                    event.detail
+                );
+                ok = false;
+            }
+            match decode_coherence_detail(event.detail) {
+                Some((bin, mask, permille)) => {
+                    if !(5..=7).contains(&bin) || mask != 0b011 || !(2..=6).contains(&permille) {
+                        eprintln!(
+                            "coherence_smoke: FAILED: detail bin {bin} mask {mask:#b} \
+                             permille {permille}, expected the aliased line on shards 0+1"
+                        );
+                        ok = false;
+                    } else {
+                        eprintln!(
+                            "coherence_smoke: quorum at byte {} (latency {} bytes): \
+                             bin {bin}, mask {mask:#05b}, ~{permille} permille",
+                            event.at_bytes,
+                            event.at_bytes - onset
+                        );
+                    }
+                }
+                None => {
+                    eprintln!("coherence_smoke: FAILED: detail does not decode as coherence");
+                    ok = false;
+                }
+            }
+        }
+        None => {
+            eprintln!("coherence_smoke: FAILED: the shared tone never tripped the quorum");
+            ok = false;
+        }
+    }
+    match &stats.coherence {
+        Some(c) if c.events >= 1 && c.passes > 0 => {}
+        other => {
+            eprintln!("coherence_smoke: FAILED: coherence stats missing or empty: {other:?}");
+            ok = false;
+        }
+    }
+
+    // Byte-identical replay, detector state included.
+    match build_pool(&[0, 1], total_bytes) {
+        Ok((replay_pool, replayed)) => {
+            if replayed != delivered {
+                eprintln!("coherence_smoke: FAILED: replay diverged from the first run");
+                ok = false;
+            }
+            if replay_pool.stats() != stats {
+                eprintln!("coherence_smoke: FAILED: replayed stats diverged");
+                ok = false;
+            }
+        }
+        Err(e) => {
+            eprintln!("coherence_smoke: FAILED: replay {e}");
+            ok = false;
+        }
+    }
+
+    // --- Control: the same tone on one shard only. ---
+    match build_pool(&[2], total_bytes) {
+        Ok((control, _)) => {
+            let control_stats = control.stats();
+            if control_stats
+                .journal
+                .iter()
+                .any(|e| e.kind == IncidentKind::CommonModeCoherence)
+            {
+                eprintln!("coherence_smoke: FAILED: a single-shard tone tripped the quorum");
+                ok = false;
+            } else {
+                eprintln!("coherence_smoke: single-shard control stayed below quorum");
+            }
+        }
+        Err(e) => {
+            eprintln!("coherence_smoke: FAILED: control {e}");
+            ok = false;
+        }
+    }
+
+    if ok {
+        eprintln!(
+            "coherence_smoke: OK ({} journal events)",
+            stats.journal.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -95,6 +95,25 @@ pub fn compile_campaign(
         .collect()
 }
 
+/// Compiles a common-mode scenario against *every* shard of a pool.
+///
+/// Shorthand for [`compile_campaign`] with `targets = 0..shards` — the
+/// shape a shared environmental disturbance (e.g.
+/// [`Scenario::shared_supply_tone`]) actually has: one supply rail, one
+/// tone, every oscillator on the die modulated in phase. This is the
+/// schedule the cross-shard [`CoherenceDetector`](crate::coherence)
+/// exists to catch.
+pub fn compile_common_mode(
+    scenario: &Scenario,
+    conditioning: Conditioning,
+    design: &DesignParams,
+    shards: usize,
+    transient: bool,
+) -> Vec<FaultInjection> {
+    let targets: Vec<usize> = (0..shards).collect();
+    compile_campaign(scenario, conditioning, design, &targets, transient)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,5 +164,30 @@ mod tests {
         };
         let shard0: Vec<_> = faults.iter().filter(|f| f.shard == 0).collect();
         assert!(amplitude(shard0[0]) < amplitude(shard0[2]));
+    }
+
+    #[test]
+    fn common_mode_targets_every_shard_identically() {
+        let design = DesignParams::paper_k1();
+        let scenario = Scenario::shared_supply_tone(Ps::from_us(300.0), 5e6, 0.004);
+        let faults = compile_common_mode(&scenario, Conditioning::DesignXor, &design, 3, false);
+        assert_eq!(faults.len(), 3, "one phase x 3 shards");
+        let shards: Vec<usize> = faults.iter().map(|f| f.shard).collect();
+        assert_eq!(shards, [0, 1, 2]);
+        // The common mode is exactly that: same onset, same fault, on
+        // every shard.
+        assert!(faults
+            .iter()
+            .all(|f| f.after_bytes == faults[0].after_bytes));
+        let fault_dbg = |f: &FaultInjection| format!("{:?}", f.fault);
+        assert!(faults.iter().all(|f| fault_dbg(f) == fault_dbg(&faults[0])));
+        let manual = compile_campaign(
+            &scenario,
+            Conditioning::DesignXor,
+            &design,
+            &[0, 1, 2],
+            false,
+        );
+        assert_eq!(format!("{faults:?}"), format!("{manual:?}"));
     }
 }

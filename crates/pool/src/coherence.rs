@@ -1,0 +1,723 @@
+//! Cross-shard common-mode coherence detection.
+//!
+//! The per-shard jitter monitor ([`crate::monitor`]) is *differential* by
+//! construction: its sigma probe subtracts two ring-oscillator paths that
+//! share the same supply and temperature, so a common-mode modulation (a
+//! shared supply tone, a global thermal ramp) cancels out of the statistic
+//! that gates entropy claims. The period probe does see absolute delay, but
+//! a sub-threshold tone (0.4 % against a ±2 % band) never trips it on any
+//! single shard. DESIGN.md §12 documents exactly this blind spot.
+//!
+//! The one place a coherent environmental attack *is* visible is across
+//! shards: independent oscillators have independent thermal noise, so the
+//! probability that the same narrow spectral line is simultaneously elevated
+//! on `quorum` shards by chance is the product of small per-shard
+//! probabilities. This module implements that comparison:
+//!
+//! 1. Every shard publishes its per-observation period-probe residual
+//!    (`period / baseline − 1`, in ppm) into a bounded lock-free
+//!    `ResidualSeries` ring embedded in its `ShardShared` block.
+//! 2. A `CoherenceDetector` pass — piggybacked on consumer calls to
+//!    `EntropyPool::supervise`, no thread of its own — runs a Goertzel
+//!    filter bank over the most recent `window` residuals of each online
+//!    shard (mean-removed, Hann-windowed), and flags a grid bin as
+//!    *elevated* on a shard when its amplitude exceeds `line_snr` times
+//!    that shard's own median-across-bins noise floor.
+//! 3. When the *same* bin is elevated on ≥ `quorum` shards the detector
+//!    raises `IncidentKind::CommonModeCoherence` through the seqlock
+//!    journal (rising-edge only), packing bin index, quorum mask and
+//!    permille magnitude into the detail word, and — under
+//!    [`CoherenceResponse::AlarmAll`] — requests an alarm on every quorum
+//!    shard so the existing quarantine/readmit state machine drives
+//!    recovery.
+//!
+//! Frequencies are expressed as *bins of the observation series*: with a
+//! monitor interval of `interval_bytes` and the design's fixed
+//! bit-extraction cadence, observations are exactly equally spaced in
+//! simulated time, so an analog tone at `f` Hz aliases to a stable
+//! normalized frequency identical on every shard — which is precisely the
+//! signature the quorum rule keys on.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use trng_testkit::json::Json;
+
+use crate::journal::ProbeCode;
+use crate::stats::ShardShared;
+use crate::ShardState;
+
+/// Capacity of each shard's residual ring, in observations. Power of two;
+/// large enough for the widest supported detector window (64) so a scan
+/// never needs more history than the ring retains.
+pub(crate) const RESIDUAL_CAPACITY: usize = 64;
+
+/// Bounded lock-free single-writer ring of period-probe residuals (ppm).
+///
+/// The owning shard pushes one `i64` residual per monitor observation; the
+/// detector (running on a consumer thread) reads the most recent `n`
+/// samples without locks. Writes store the slot with `Release` before
+/// publishing the head, and readers re-check the head after copying so a
+/// torn read that raced a lap is discarded rather than returned.
+#[derive(Debug)]
+pub(crate) struct ResidualSeries {
+    /// Residuals, ppm, stored as `i64 as u64` bit patterns.
+    slots: Box<[AtomicU64]>,
+    /// Total residuals ever pushed; `head % capacity` is the next slot.
+    head: AtomicU64,
+}
+
+impl Default for ResidualSeries {
+    fn default() -> Self {
+        let slots = (0..RESIDUAL_CAPACITY)
+            .map(|_| AtomicU64::new(0))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        ResidualSeries {
+            slots,
+            head: AtomicU64::new(0),
+        }
+    }
+}
+
+impl ResidualSeries {
+    /// Publish one residual (parts per million). Single writer: the shard
+    /// that owns the enclosing `ShardShared`.
+    pub(crate) fn push(&self, ppm: i64) {
+        let head = self.head.load(Ordering::Relaxed);
+        let idx = (head % RESIDUAL_CAPACITY as u64) as usize;
+        self.slots[idx].store(ppm as u64, Ordering::Release);
+        self.head.store(head + 1, Ordering::Release);
+    }
+
+    /// Total residuals ever pushed (monotonic).
+    pub(crate) fn head(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Snapshot the most recent `n` residuals, oldest first, as `f64` ppm.
+    /// Returns fewer than `n` if the series is still short. Entries that a
+    /// concurrent writer lapped mid-read are dropped from the front.
+    pub(crate) fn latest(&self, n: usize) -> Vec<f64> {
+        let n = n.min(RESIDUAL_CAPACITY);
+        let head = self.head.load(Ordering::Acquire);
+        let avail = head.min(n as u64);
+        let start = head - avail;
+        let mut out = Vec::with_capacity(avail as usize);
+        for seq in start..head {
+            let idx = (seq % RESIDUAL_CAPACITY as u64) as usize;
+            out.push(self.slots[idx].load(Ordering::Acquire) as i64 as f64);
+        }
+        // A writer may have lapped the tail while we copied; anything older
+        // than (head2 − capacity) may be torn. Drop it.
+        let head2 = self.head.load(Ordering::Acquire);
+        let oldest_valid = head2.saturating_sub(RESIDUAL_CAPACITY as u64);
+        if oldest_valid > start {
+            let drop = (oldest_valid - start).min(out.len() as u64) as usize;
+            out.drain(..drop);
+        }
+        out
+    }
+}
+
+/// Magnitude of the `bin`-th DFT coefficient of `samples`, computed by the
+/// Goertzel recurrence: `|X_k|` for `X_k = Σ x[n]·e^{−2πi·k·n/N}`.
+///
+/// Exact (up to floating-point error) single-bin DFT — the property tests
+/// below pin it against a naive DFT oracle. Callers that want calibrated
+/// tone amplitudes must window and normalize themselves; this returns the
+/// raw unnormalized coefficient magnitude.
+pub fn goertzel_magnitude(samples: &[f64], bin: usize) -> f64 {
+    let n = samples.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let w = 2.0 * std::f64::consts::PI * bin as f64 / n as f64;
+    let coeff = 2.0 * w.cos();
+    let (mut s1, mut s2) = (0.0_f64, 0.0_f64);
+    for &x in samples {
+        let s0 = x + coeff * s1 - s2;
+        s2 = s1;
+        s1 = s0;
+    }
+    // |X_k|² = s1² + s2² − coeff·s1·s2
+    let power = s1 * s1 + s2 * s2 - coeff * s1 * s2;
+    power.max(0.0).sqrt()
+}
+
+/// Escalation policy once a quorum coherence detection fires.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum CoherenceResponse {
+    /// Record the `CommonModeCoherence` journal event and surface it in
+    /// stats/metrics, but keep producing. Appropriate when the pool feeds a
+    /// downstream conditioner with its own safety margin.
+    #[default]
+    JournalOnly,
+    /// Additionally request an alarm on every shard in the quorum mask: each
+    /// one raises its normal alarm (journal `Alarm`, conditioner reset,
+    /// quarantine) on its next production call, and the existing
+    /// readmit/retire state machine governs recovery.
+    AlarmAll,
+}
+
+/// Configuration for the cross-shard coherence detector.
+///
+/// Requires the per-shard monitor (`PoolConfig::with_monitor`) — the
+/// detector consumes the monitor's period-probe residuals and has nothing
+/// to scan without it; `EntropyPool::new` rejects the combination.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoherenceConfig {
+    /// Number of most-recent residuals per shard the Goertzel bank scans.
+    /// 8..=64 (bounded by the residual ring). Larger windows sharpen the
+    /// frequency grid and lower the noise floor but lengthen detection
+    /// latency by `window × interval_bytes` produced bytes.
+    pub window: usize,
+    /// Frequency grid, as DFT bin indices of the `window`-point series
+    /// (`1 ≤ bin < window/2`; DC and Nyquist are excluded — DC is the
+    /// baseline itself and Nyquist is sign-ambiguous under Hann). Empty
+    /// means "all of `1..window/2`".
+    pub bins: Vec<u32>,
+    /// Minimum number of shards on which the same bin must be elevated
+    /// simultaneously. At least 2 — one shard is by definition local drift,
+    /// which the per-shard monitor already owns.
+    pub quorum: usize,
+    /// A bin is elevated on a shard when its Hann-windowed amplitude exceeds
+    /// `line_snr ×` that shard's median amplitude across the grid (its own
+    /// noise floor this pass).
+    pub line_snr: f64,
+    /// What to do beyond journaling when a detection fires.
+    pub response: CoherenceResponse,
+}
+
+impl Default for CoherenceConfig {
+    fn default() -> Self {
+        CoherenceConfig {
+            window: 16,
+            bins: Vec::new(),
+            quorum: 2,
+            line_snr: 4.0,
+            response: CoherenceResponse::JournalOnly,
+        }
+    }
+}
+
+impl CoherenceConfig {
+    /// Default detector: 16-observation window, full grid, quorum 2,
+    /// 4× median SNR, journal-only response.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the scan window length (observations per shard).
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Restrict the frequency grid to specific bins (empty = full grid).
+    pub fn with_bins(mut self, bins: Vec<u32>) -> Self {
+        self.bins = bins;
+        self
+    }
+
+    /// Set the shard quorum.
+    pub fn with_quorum(mut self, quorum: usize) -> Self {
+        self.quorum = quorum;
+        self
+    }
+
+    /// Set the per-shard elevation threshold (multiple of the median floor).
+    pub fn with_line_snr(mut self, line_snr: f64) -> Self {
+        self.line_snr = line_snr;
+        self
+    }
+
+    /// Set the escalation policy.
+    pub fn with_response(mut self, response: CoherenceResponse) -> Self {
+        self.response = response;
+        self
+    }
+
+    /// The effective bin grid: configured bins, or all of `1..window/2`.
+    pub(crate) fn grid(&self) -> Vec<u32> {
+        if self.bins.is_empty() {
+            (1..(self.window / 2) as u32).collect()
+        } else {
+            self.bins.clone()
+        }
+    }
+}
+
+/// Snapshot of detector state for `PoolStats` / serve metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoherenceStats {
+    /// Scan window (observations).
+    pub window: usize,
+    /// Shard quorum.
+    pub quorum: usize,
+    /// Elevation threshold (multiple of per-shard median floor).
+    pub line_snr: f64,
+    /// Completed detector passes.
+    pub passes: u64,
+    /// Quorum detections journaled (rising edges).
+    pub events: u64,
+    /// The scanned bin grid.
+    pub bins: Vec<u32>,
+    /// Per-bin amplitude from the most recent pass: the *maximum* across
+    /// shards of the Hann-calibrated tone amplitude, in ppm. Parallel to
+    /// `bins`; empty until the first full-window pass.
+    pub magnitudes_ppm: Vec<f64>,
+}
+
+impl CoherenceStats {
+    /// Renders the detector snapshot as a JSON object; field names
+    /// match the struct fields (`bins` and `magnitudes_ppm` are
+    /// parallel arrays).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("window", Json::u64(self.window as u64)),
+            ("quorum", Json::u64(self.quorum as u64)),
+            ("line_snr", Json::num(self.line_snr)),
+            ("passes", Json::u64(self.passes)),
+            ("coherence_events", Json::u64(self.events)),
+            (
+                "bins",
+                Json::Arr(self.bins.iter().map(|&b| Json::u64(u64::from(b))).collect()),
+            ),
+            (
+                "magnitudes_ppm",
+                Json::Arr(self.magnitudes_ppm.iter().map(|&m| Json::num(m)).collect()),
+            ),
+        ])
+    }
+}
+
+/// One quorum detection, as returned by a scan pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct Detection {
+    /// Grid bin that tripped the quorum.
+    pub bin: u32,
+    /// Bitmask of shard indices where the bin was elevated (bit i = shard i;
+    /// shards ≥ 64 cannot participate in the mask).
+    pub mask: u64,
+    /// Largest elevated amplitude across the quorum, ppm.
+    pub magnitude_ppm: f64,
+    /// Lowest-indexed shard in the mask — the event is journaled against it.
+    pub shard: usize,
+}
+
+/// Pack a coherence detection into a journal detail word:
+/// `ProbeCode::Coherence` in the top byte, bin in bits 48..56, the low 16
+/// bits of the quorum mask in bits 32..48, permille magnitude in the low 32.
+pub(crate) fn encode_coherence_detail(bin: u32, mask: u64, magnitude_ppm: f64) -> u64 {
+    let permille = (magnitude_ppm / 1000.0).round().abs().min(u32::MAX as f64) as u64;
+    (u64::from(ProbeCode::Coherence.as_u8()) << 56)
+        | (u64::from(bin as u8) << 48)
+        | ((mask & 0xFFFF) << 32)
+        | permille
+}
+
+/// Unpack a coherence detail word into `(bin, quorum mask, permille)`.
+/// Returns `None` if the probe code in the top byte is not `Coherence`.
+pub fn decode_coherence_detail(detail: u64) -> Option<(u32, u64, u32)> {
+    if ProbeCode::from_detail(detail) != Some(ProbeCode::Coherence) {
+        return None;
+    }
+    let bin = ((detail >> 48) & 0xFF) as u32;
+    let mask = (detail >> 32) & 0xFFFF;
+    let permille = (detail & 0xFFFF_FFFF) as u32;
+    Some((bin, mask, permille))
+}
+
+/// The pool-level detector. Owned by `EntropyPool`; `scan` is invoked from
+/// `supervise()` on whatever consumer thread happens to call it.
+#[derive(Debug)]
+pub(crate) struct CoherenceDetector {
+    config: CoherenceConfig,
+    /// Resolved bin grid.
+    bins: Vec<u32>,
+    /// Whether the most recent pass found a quorum (edge detector state).
+    active: bool,
+    /// Completed passes.
+    passes: u64,
+    /// Rising-edge detections returned to the caller.
+    events: u64,
+    /// Sum of residual-ring heads at the last pass; a scan only runs when
+    /// this advances, so inline (deterministic) pools scan at most once per
+    /// new observation.
+    last_heads: u64,
+    /// Max-across-shards amplitude per grid bin from the latest pass, ppm.
+    magnitudes: Vec<f64>,
+}
+
+impl CoherenceDetector {
+    pub(crate) fn new(config: CoherenceConfig) -> Self {
+        let bins = config.grid();
+        let magnitudes = Vec::new();
+        CoherenceDetector {
+            config,
+            bins,
+            active: false,
+            passes: 0,
+            events: 0,
+            last_heads: 0,
+            magnitudes,
+        }
+    }
+
+    pub(crate) fn response(&self) -> CoherenceResponse {
+        self.config.response
+    }
+
+    /// Run one detector pass over the shard residual rings. Returns a
+    /// rising-edge `Detection` when a bin trips the quorum that was not
+    /// already tripping on the previous pass. Cheap no-op when no shard has
+    /// published a new residual since the last pass.
+    pub(crate) fn scan(&mut self, shared: &[Arc<ShardShared>]) -> Option<Detection> {
+        let heads: u64 = shared.iter().map(|s| s.residuals().head()).sum();
+        if heads == self.last_heads {
+            return None;
+        }
+        self.last_heads = heads;
+
+        let window = self.config.window;
+        // Hann window and its coherent gain, for amplitude calibration:
+        // a pure tone of amplitude A in bin k yields |X_w| ≈ A·Σw/2.
+        let hann: Vec<f64> = (0..window)
+            .map(|i| {
+                let x = std::f64::consts::PI * i as f64 / window as f64;
+                x.sin() * x.sin()
+            })
+            .collect();
+        let hann_sum: f64 = hann.iter().sum();
+
+        let mut elevated_masks = vec![0_u64; self.bins.len()];
+        let mut elevated_amps = vec![0.0_f64; self.bins.len()];
+        let mut max_amps = vec![0.0_f64; self.bins.len()];
+        let mut scanned_any = false;
+
+        for (i, sh) in shared.iter().enumerate() {
+            if sh.state() != ShardState::Online {
+                continue;
+            }
+            let samples = sh.residuals().latest(window);
+            if samples.len() < window {
+                continue;
+            }
+            scanned_any = true;
+            let mean = samples.iter().sum::<f64>() / window as f64;
+            let windowed: Vec<f64> = samples
+                .iter()
+                .zip(&hann)
+                .map(|(&x, &w)| (x - mean) * w)
+                .collect();
+            // Amplitude per bin, ppm: 2·|X_w| / Σw recovers the tone
+            // amplitude a pure sinusoid at that bin would have had.
+            let amps: Vec<f64> = self
+                .bins
+                .iter()
+                .map(|&b| 2.0 * goertzel_magnitude(&windowed, b as usize) / hann_sum)
+                .collect();
+            let mut sorted = amps.clone();
+            sorted.sort_by(|a, b| a.total_cmp(b));
+            let floor = if sorted.is_empty() {
+                0.0
+            } else {
+                sorted[sorted.len() / 2]
+            };
+            for (j, &amp) in amps.iter().enumerate() {
+                if amp > max_amps[j] {
+                    max_amps[j] = amp;
+                }
+                let hot = if floor > 0.0 {
+                    amp > self.config.line_snr * floor
+                } else {
+                    amp > 0.0
+                };
+                if hot {
+                    if i < 64 {
+                        elevated_masks[j] |= 1 << i;
+                    }
+                    if amp > elevated_amps[j] {
+                        elevated_amps[j] = amp;
+                    }
+                }
+            }
+        }
+
+        if !scanned_any {
+            return None;
+        }
+        self.passes += 1;
+        self.magnitudes = max_amps;
+
+        // Pick the strongest bin that meets the quorum.
+        let mut best: Option<Detection> = None;
+        for (j, &mask) in elevated_masks.iter().enumerate() {
+            let count = mask.count_ones() as usize;
+            if count >= self.config.quorum
+                && best.is_none_or(|b| elevated_amps[j] > b.magnitude_ppm)
+            {
+                best = Some(Detection {
+                    bin: self.bins[j],
+                    mask,
+                    magnitude_ppm: elevated_amps[j],
+                    shard: mask.trailing_zeros() as usize,
+                });
+            }
+        }
+
+        match best {
+            Some(det) if !self.active => {
+                self.active = true;
+                self.events += 1;
+                Some(det)
+            }
+            Some(_) => None, // still in the same detection episode
+            None => {
+                self.active = false;
+                None
+            }
+        }
+    }
+
+    pub(crate) fn stats(&self) -> CoherenceStats {
+        CoherenceStats {
+            window: self.config.window,
+            quorum: self.config.quorum,
+            line_snr: self.config.line_snr,
+            passes: self.passes,
+            events: self.events,
+            bins: self.bins.clone(),
+            magnitudes_ppm: self.magnitudes.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Naive O(N²) DFT oracle: magnitude of bin k.
+    fn dft_magnitude(samples: &[f64], bin: usize) -> f64 {
+        let n = samples.len() as f64;
+        let (mut re, mut im) = (0.0_f64, 0.0_f64);
+        for (i, &x) in samples.iter().enumerate() {
+            let phi = -2.0 * std::f64::consts::PI * bin as f64 * i as f64 / n;
+            re += x * phi.cos();
+            im += x * phi.sin();
+        }
+        (re * re + im * im).sqrt()
+    }
+
+    /// Deterministic pseudo-random stream for test signals (SplitMix64).
+    fn splitmix(seed: &mut u64) -> f64 {
+        *seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1_u64 << 53) as f64 - 0.5
+    }
+
+    #[test]
+    fn goertzel_matches_naive_dft_on_noise() {
+        let mut seed = 0xC0FFEE;
+        for n in [8_usize, 16, 32, 64] {
+            let samples: Vec<f64> = (0..n).map(|_| splitmix(&mut seed) * 100.0).collect();
+            for bin in 0..n {
+                let g = goertzel_magnitude(&samples, bin);
+                let d = dft_magnitude(&samples, bin);
+                assert!(
+                    (g - d).abs() <= 1e-6 * d.max(1.0),
+                    "n={n} bin={bin}: goertzel {g} vs dft {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_its_bin() {
+        let n = 32;
+        for k in 1..n / 2 {
+            let samples: Vec<f64> = (0..n)
+                .map(|i| (2.0 * std::f64::consts::PI * k as f64 * i as f64 / n as f64).sin())
+                .collect();
+            // On-grid tone of amplitude 1: |X_k| = N/2 exactly, other
+            // bins ~0 up to the recurrence's accumulated rounding.
+            let mag = goertzel_magnitude(&samples, k);
+            assert!(
+                (mag - n as f64 / 2.0).abs() < 1e-9,
+                "bin {k}: |X_k| = {mag}"
+            );
+            for other in 0..n / 2 {
+                if other == k {
+                    continue;
+                }
+                let leak = goertzel_magnitude(&samples, other);
+                assert!(leak < 1e-6 * mag, "bin {k} leaked {leak} into bin {other}");
+            }
+        }
+    }
+
+    #[test]
+    fn off_grid_tone_leakage_is_bounded() {
+        // A tone half-way between bins 5 and 6 leaks everywhere, but the
+        // two straddling bins must still dominate every bin ≥ 2 away.
+        let n = 32;
+        let f = 5.5;
+        let samples: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * f * i as f64 / n as f64).sin())
+            .collect();
+        let near = goertzel_magnitude(&samples, 5).max(goertzel_magnitude(&samples, 6));
+        for bin in 1..n / 2 {
+            if (bin as f64 - f).abs() < 2.0 {
+                continue;
+            }
+            let far = goertzel_magnitude(&samples, bin);
+            assert!(
+                far < near / 2.0,
+                "far bin {bin} ({far}) not dominated by straddling bins ({near})"
+            );
+        }
+    }
+
+    #[test]
+    fn goertzel_is_linear() {
+        let mut seed = 0xDEAD_BEEF;
+        let n = 24;
+        let a: Vec<f64> = (0..n).map(|_| splitmix(&mut seed) * 10.0).collect();
+        let b: Vec<f64> = (0..n).map(|_| splitmix(&mut seed) * 10.0).collect();
+        let sum: Vec<f64> = a.iter().zip(&b).map(|(&x, &y)| x + 3.0 * y).collect();
+        for bin in 0..n {
+            // Magnitudes don't add, but the oracle's complex coefficients
+            // do — so check |X(a + 3b)| against the oracle of the same sum.
+            let g = goertzel_magnitude(&sum, bin);
+            let d = dft_magnitude(&sum, bin);
+            assert!((g - d).abs() <= 1e-6 * d.max(1.0));
+            // And scaling: |X(2a)| = 2|X(a)|.
+            let scaled: Vec<f64> = a.iter().map(|&x| 2.0 * x).collect();
+            let g2 = goertzel_magnitude(&scaled, bin);
+            let g1 = goertzel_magnitude(&a, bin);
+            assert!((g2 - 2.0 * g1).abs() <= 1e-6 * g2.max(1.0));
+        }
+    }
+
+    #[test]
+    fn zero_input_is_silent() {
+        let zeros = vec![0.0; 32];
+        for bin in 0..32 {
+            assert_eq!(goertzel_magnitude(&zeros, bin), 0.0);
+        }
+        assert_eq!(goertzel_magnitude(&[], 3), 0.0);
+    }
+
+    #[test]
+    fn residual_series_returns_latest_in_order() {
+        let ring = ResidualSeries::default();
+        assert!(ring.latest(8).is_empty());
+        for v in 0..10_i64 {
+            ring.push(v * 100 - 300);
+        }
+        assert_eq!(ring.head(), 10);
+        let got = ring.latest(4);
+        assert_eq!(got, vec![300.0, 400.0, 500.0, 600.0]);
+        // Wrap far past capacity; the newest CAPACITY entries survive.
+        for v in 10..200_i64 {
+            ring.push(v);
+        }
+        let got = ring.latest(3);
+        assert_eq!(got, vec![197.0, 198.0, 199.0]);
+        assert_eq!(ring.latest(RESIDUAL_CAPACITY).len(), RESIDUAL_CAPACITY);
+    }
+
+    #[test]
+    fn coherence_detail_round_trips() {
+        let detail = encode_coherence_detail(6, 0b1011, 4321.0);
+        let (bin, mask, permille) = decode_coherence_detail(detail).unwrap();
+        assert_eq!(bin, 6);
+        assert_eq!(mask, 0b1011);
+        assert_eq!(permille, 4); // 4321 ppm → 4 permille
+        assert_eq!(ProbeCode::from_detail(detail), Some(ProbeCode::Coherence));
+        // Non-coherence details decode to None.
+        assert_eq!(decode_coherence_detail(2 << 56), None);
+        assert_eq!(decode_coherence_detail(0), None);
+    }
+
+    #[test]
+    fn default_grid_excludes_dc_and_nyquist() {
+        let cfg = CoherenceConfig::new().with_window(16);
+        assert_eq!(cfg.grid(), vec![1, 2, 3, 4, 5, 6, 7]);
+        let cfg = cfg.with_bins(vec![3, 5]);
+        assert_eq!(cfg.grid(), vec![3, 5]);
+    }
+
+    fn shared_with_tone(
+        shards: usize,
+        tone_shards: &[usize],
+        bin: f64,
+        window: usize,
+    ) -> Vec<Arc<ShardShared>> {
+        let mut seed = 0x5EED;
+        (0..shards)
+            .map(|i| {
+                let sh = Arc::new(ShardShared::default());
+                sh.set_state(ShardState::Online);
+                for t in 0..window {
+                    let noise = splitmix(&mut seed) * 40.0;
+                    let tone = if tone_shards.contains(&i) {
+                        4000.0 * (2.0 * std::f64::consts::PI * bin * t as f64 / window as f64).sin()
+                    } else {
+                        0.0
+                    };
+                    sh.residuals().push((noise + tone).round() as i64);
+                }
+                sh
+            })
+            .collect()
+    }
+
+    #[test]
+    fn detector_trips_on_shared_tone_and_only_once() {
+        let window = 16;
+        let shared = shared_with_tone(3, &[0, 1], 5.0, window);
+        let mut det = CoherenceDetector::new(CoherenceConfig::new().with_window(window));
+        let hit = det.scan(&shared).expect("quorum tone must be detected");
+        assert_eq!(hit.bin, 5);
+        assert_eq!(hit.mask & 0b011, 0b011);
+        assert_eq!(hit.shard, 0);
+        assert!(hit.magnitude_ppm > 2000.0, "amp {}", hit.magnitude_ppm);
+        // Same data, no new residuals → pass skipped entirely.
+        assert!(det.scan(&shared).is_none());
+        assert_eq!(det.stats().passes, 1);
+        assert_eq!(det.stats().events, 1);
+        // New residual but same episode → no second rising edge.
+        shared[0].residuals().push(0);
+        assert!(det.scan(&shared).is_none());
+        assert_eq!(det.stats().passes, 2);
+        assert_eq!(det.stats().events, 1);
+    }
+
+    #[test]
+    fn single_shard_tone_does_not_trip_quorum() {
+        let window = 16;
+        let shared = shared_with_tone(3, &[2], 5.0, window);
+        let mut det = CoherenceDetector::new(CoherenceConfig::new().with_window(window));
+        assert!(det.scan(&shared).is_none());
+        assert_eq!(det.stats().passes, 1);
+        assert_eq!(det.stats().events, 0);
+        // The single-shard line still shows up in the magnitude snapshot.
+        let stats = det.stats();
+        let j = stats.bins.iter().position(|&b| b == 5).unwrap();
+        assert!(stats.magnitudes_ppm[j] > 2000.0);
+    }
+
+    #[test]
+    fn offline_shards_do_not_participate() {
+        let window = 16;
+        let shared = shared_with_tone(3, &[0, 1], 5.0, window);
+        shared[1].set_state(ShardState::Quarantined);
+        let mut det = CoherenceDetector::new(CoherenceConfig::new().with_window(window));
+        assert!(det.scan(&shared).is_none());
+    }
+}

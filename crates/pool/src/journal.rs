@@ -34,6 +34,68 @@ use trng_testkit::json::Json;
 /// Default number of events a pool journal retains.
 pub const DEFAULT_JOURNAL_CAPACITY: usize = 1024;
 
+/// Which physics probe a monitoring event's `detail` word describes —
+/// the exhaustive code set shared by every probe-carrying incident
+/// ([`IncidentKind::JitterDrift`] and
+/// [`IncidentKind::CommonModeCoherence`]). The code always sits in the
+/// top byte of [`IncidentEvent::detail`]; the layout of the low bits is
+/// probe-specific (see the incident-kind docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProbeCode {
+    /// The per-shard differential two-RO sigma probe.
+    Sigma,
+    /// The per-shard oscillation-period probe.
+    Period,
+    /// The pool-level cross-shard coherence detector (Goertzel bank
+    /// over period-probe residuals).
+    Coherence,
+}
+
+impl ProbeCode {
+    /// Every probe code, for exhaustive round-trip tests.
+    pub const ALL: [ProbeCode; 3] = [ProbeCode::Sigma, ProbeCode::Period, ProbeCode::Coherence];
+
+    /// The wire code stored in the detail word's top byte. Codes start
+    /// at 1 so a zero detail word never reads as a probe event.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            ProbeCode::Sigma => 1,
+            ProbeCode::Period => 2,
+            ProbeCode::Coherence => 3,
+        }
+    }
+
+    /// Decodes a wire code; `None` for values no probe has claimed.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            1 => Some(ProbeCode::Sigma),
+            2 => Some(ProbeCode::Period),
+            3 => Some(ProbeCode::Coherence),
+            _ => None,
+        }
+    }
+
+    /// Extracts the probe code from a journal detail word.
+    pub fn from_detail(detail: u64) -> Option<Self> {
+        ProbeCode::from_u8((detail >> 56) as u8)
+    }
+
+    /// Metrics label of the probe.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ProbeCode::Sigma => "sigma",
+            ProbeCode::Period => "period",
+            ProbeCode::Coherence => "coherence",
+        }
+    }
+}
+
+impl core::fmt::Display for ProbeCode {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// What happened to a shard.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum IncidentKind {
@@ -61,6 +123,18 @@ pub enum IncidentKind {
     /// probe (`1` = jitter sigma, `2` = period, in the top byte) and
     /// the observed/baseline ratio in permille (low bits).
     JitterDrift,
+    /// The pool-level coherence detector saw the *same* spectral line
+    /// elevated on a quorum of shards' period-probe residual series —
+    /// the signature of a common-mode environmental attack that every
+    /// per-shard differential probe cancels by construction.
+    /// [`IncidentEvent::detail`] packs
+    /// [`ProbeCode::Coherence`] in the top byte, the DFT bin index in
+    /// bits 48..56, the quorum shard bitmask in bits 32..48 and the
+    /// line magnitude in permille of the baseline period in the low 32
+    /// bits (see `trng_pool::coherence` for the encode/decode pair).
+    /// The event is recorded against the lowest-indexed shard in the
+    /// quorum and stamped with that shard's clock and byte offset.
+    CommonModeCoherence,
 }
 
 impl IncidentKind {
@@ -73,6 +147,7 @@ impl IncidentKind {
             IncidentKind::Retire => 4,
             IncidentKind::Respawn => 5,
             IncidentKind::JitterDrift => 6,
+            IncidentKind::CommonModeCoherence => 7,
         }
     }
 
@@ -84,6 +159,7 @@ impl IncidentKind {
             3 => IncidentKind::Readmit,
             4 => IncidentKind::Retire,
             6 => IncidentKind::JitterDrift,
+            7 => IncidentKind::CommonModeCoherence,
             _ => IncidentKind::Respawn,
         }
     }
@@ -99,6 +175,7 @@ impl core::fmt::Display for IncidentKind {
             IncidentKind::Retire => "retire",
             IncidentKind::Respawn => "respawn",
             IncidentKind::JitterDrift => "jitter_drift",
+            IncidentKind::CommonModeCoherence => "common_mode_coherence",
         })
     }
 }
@@ -267,20 +344,69 @@ impl Journal {
 mod tests {
     use super::*;
 
+    /// Every incident kind, in wire-code order. Adding a kind without
+    /// extending this list fails the round-trip test below.
+    const ALL_KINDS: [IncidentKind; 8] = [
+        IncidentKind::Spawn,
+        IncidentKind::Alarm,
+        IncidentKind::Quarantine,
+        IncidentKind::Readmit,
+        IncidentKind::Retire,
+        IncidentKind::Respawn,
+        IncidentKind::JitterDrift,
+        IncidentKind::CommonModeCoherence,
+    ];
+
     #[test]
     fn kinds_round_trip_and_render() {
-        for kind in [
-            IncidentKind::Spawn,
-            IncidentKind::Alarm,
-            IncidentKind::Quarantine,
-            IncidentKind::Readmit,
-            IncidentKind::Retire,
-            IncidentKind::Respawn,
-            IncidentKind::JitterDrift,
-        ] {
+        for (i, kind) in ALL_KINDS.into_iter().enumerate() {
+            assert_eq!(kind.as_u8() as usize, i, "wire codes must be dense");
             assert_eq!(IncidentKind::from_u8(kind.as_u8()), kind);
             assert!(!kind.to_string().is_empty());
         }
+        // Unclaimed codes decode to the historical wildcard.
+        assert_eq!(IncidentKind::from_u8(200), IncidentKind::Respawn);
+    }
+
+    #[test]
+    fn every_kind_journals_and_snapshots_round_trip() {
+        // One full record/snapshot cycle per kind — including the
+        // coherence event — so a kind whose `who` packing breaks can
+        // never reach a release.
+        let journal = Journal::new(ALL_KINDS.len());
+        for (i, kind) in ALL_KINDS.into_iter().enumerate() {
+            journal.record(i, kind, i as u64 * 10, i as u64 * 100, i as u64 ^ 0x5A);
+        }
+        let (events, dropped) = journal.snapshot();
+        assert_eq!(dropped, 0);
+        assert_eq!(events.len(), ALL_KINDS.len());
+        for (i, (e, kind)) in events.iter().zip(ALL_KINDS).enumerate() {
+            assert_eq!(e.kind, kind);
+            assert_eq!(e.shard, i);
+            assert_eq!(e.sim_ns, i as u64 * 10);
+            assert_eq!(e.at_bytes, i as u64 * 100);
+            assert_eq!(e.detail, i as u64 ^ 0x5A);
+            let json = e.to_json();
+            assert_eq!(
+                json.get("kind").and_then(Json::as_str),
+                Some(kind.to_string().as_str())
+            );
+        }
+    }
+
+    #[test]
+    fn probe_codes_are_exhaustive_and_round_trip() {
+        for code in ProbeCode::ALL {
+            assert_eq!(ProbeCode::from_u8(code.as_u8()), Some(code));
+            assert_eq!(
+                ProbeCode::from_detail(u64::from(code.as_u8()) << 56 | 0x1234),
+                Some(code)
+            );
+            assert_eq!(code.to_string(), code.as_str());
+        }
+        assert_eq!(ProbeCode::from_u8(0), None, "zero is never a probe");
+        assert_eq!(ProbeCode::from_detail(0), None);
+        assert_eq!(ProbeCode::from_u8(9), None);
     }
 
     #[test]

@@ -68,6 +68,7 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod coherence;
 pub mod handle;
 pub mod journal;
 pub mod monitor;
@@ -76,9 +77,12 @@ pub mod ring;
 pub mod shard;
 pub mod stats;
 
-pub use campaign::{compile_campaign, onset_bytes};
+pub use campaign::{compile_campaign, compile_common_mode, onset_bytes};
+pub use coherence::{
+    decode_coherence_detail, goertzel_magnitude, CoherenceConfig, CoherenceResponse, CoherenceStats,
+};
 pub use handle::PoolHandle;
-pub use journal::{IncidentEvent, IncidentKind, Journal};
+pub use journal::{IncidentEvent, IncidentKind, Journal, ProbeCode};
 pub use monitor::{DriftProbe, MonitorConfig};
 pub use pool::{ComposedExtract, EntropyPool, PoolConfig, PoolError, RespawnPolicy, SourceSpec};
 pub use shard::{Conditioning, FaultInjection, ShardFault};

@@ -48,6 +48,8 @@ use trng_fpga_sim::rng::SimRng;
 use trng_fpga_sim::time::Ps;
 use trng_measure::{measure_jitter, measure_lut_delay};
 
+use crate::journal::ProbeCode;
+
 /// Sampling budget and detection bands of the online jitter monitor.
 ///
 /// The defaults cost two 3-stage oscillators for `runs` accumulation
@@ -106,13 +108,23 @@ impl MonitorConfig {
     }
 }
 
-/// Which probe tripped, encoded into the journal event's detail word.
+/// Which probe tripped, encoded into the journal event's detail word
+/// via the shared [`ProbeCode`] scheme.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DriftProbe {
     /// The differential sigma probe left its band.
     Sigma,
     /// The period probe left its band.
     Period,
+}
+
+impl From<DriftProbe> for ProbeCode {
+    fn from(probe: DriftProbe) -> ProbeCode {
+        match probe {
+            DriftProbe::Sigma => ProbeCode::Sigma,
+            DriftProbe::Period => ProbeCode::Period,
+        }
+    }
 }
 
 /// One completed observation.
@@ -125,6 +137,15 @@ pub(crate) struct Observation {
     /// `Some` exactly when this observation *entered* the drift state
     /// (the rising edge that should be journaled).
     pub drift: Option<DriftDetail>,
+    /// The period probe's relative residual against the frozen
+    /// baseline, `(period / baseline − 1)` in parts per million;
+    /// `None` while the baseline is still accumulating. This is the
+    /// per-observation sample the pool-level coherence detector runs
+    /// its Goertzel bank over: a common-mode supply tone cancels out of
+    /// the differential sigma probe and sits below the period band on
+    /// any *single* shard, but leaves the same spectral line in every
+    /// shard's residual series.
+    pub period_residual_ppm: Option<i64>,
 }
 
 /// Journal payload of a drift event.
@@ -136,14 +157,11 @@ pub(crate) struct DriftDetail {
 }
 
 impl DriftDetail {
-    /// Packs the drift into the journal's `detail` word: probe code in
-    /// the top byte, ratio permille in the low bits.
+    /// Packs the drift into the journal's `detail` word: the shared
+    /// [`ProbeCode`] in the top byte, ratio permille in the low bits.
     pub fn encode(self) -> u64 {
-        let code: u64 = match self.probe {
-            DriftProbe::Sigma => 1,
-            DriftProbe::Period => 2,
-        };
-        code << 56 | self.ratio_permille & 0x00FF_FFFF_FFFF_FFFF
+        u64::from(ProbeCode::from(self.probe).as_u8()) << 56
+            | self.ratio_permille & 0x00FF_FFFF_FFFF_FFFF
     }
 }
 
@@ -242,6 +260,7 @@ impl JitterMonitor {
                     .baseline
                     .map_or(0, |(s, _)| (s * 1000.0).round() as u64),
                 drift: None,
+                period_residual_ppm: None,
             });
         };
 
@@ -267,6 +286,7 @@ impl JitterMonitor {
             jitter_fs,
             baseline_fs: (base_sigma * 1000.0).round() as u64,
             drift: rising_edge,
+            period_residual_ppm: Some(((period_ratio - 1.0) * 1e6).round() as i64),
         })
     }
 }

@@ -29,6 +29,9 @@ use trng_sources::{
     RecordedTrace, SourceError, TraceReplaySource,
 };
 
+use crate::coherence::{
+    encode_coherence_detail, CoherenceConfig, CoherenceDetector, CoherenceResponse,
+};
 use crate::journal::{IncidentKind, Journal, DEFAULT_JOURNAL_CAPACITY};
 use crate::monitor::MonitorConfig;
 use crate::ring;
@@ -332,6 +335,11 @@ pub struct PoolConfig {
     /// across shards); `None` (the default) keeps the delivery stream
     /// byte-identical to pools built before the stage existed.
     pub composed: Option<ComposedExtract>,
+    /// Cross-shard coherence detection over the monitors' period-probe
+    /// residuals; `None` (the default) disables it. Requires
+    /// [`monitor`](PoolConfig::monitor) — the detector has nothing to
+    /// scan without per-shard observations.
+    pub coherence: Option<CoherenceConfig>,
 }
 
 impl PoolConfig {
@@ -354,6 +362,7 @@ impl PoolConfig {
             monitor: None,
             sources: Vec::new(),
             composed: None,
+            coherence: None,
         }
     }
 
@@ -439,6 +448,18 @@ impl PoolConfig {
     /// stage's claimed (leftover-hash) vs measured min-entropy.
     pub fn with_composed_extract(mut self, composed: ComposedExtract) -> Self {
         self.composed = Some(composed);
+        self
+    }
+
+    /// Enables the cross-shard coherence detector, builder-style. A
+    /// common-mode supply tone cancels out of every per-shard
+    /// differential probe; the detector compares the monitors'
+    /// period-probe residual spectra *across* shards and journals
+    /// [`IncidentKind::CommonModeCoherence`] when the same line is
+    /// elevated on a quorum. Requires
+    /// [`with_monitor`](PoolConfig::with_monitor).
+    pub fn with_coherence(mut self, coherence: CoherenceConfig) -> Self {
+        self.coherence = Some(coherence);
         self
     }
 
@@ -618,6 +639,8 @@ pub struct EntropyPool {
     workers_joined: u64,
     /// Pool-level composed extract stage, when configured.
     composed: Option<ComposedStage>,
+    /// Cross-shard coherence detector, when configured.
+    coherence: Option<CoherenceDetector>,
 }
 
 impl fmt::Debug for EntropyPool {
@@ -699,6 +722,43 @@ impl EntropyPool {
                 return Err(PoolError::InvalidConfig(
                     "composed extract ratio must be at least 1".to_string(),
                 ));
+            }
+        }
+        if let Some(coherence) = &config.coherence {
+            if config.monitor.is_none() {
+                return Err(PoolError::InvalidConfig(
+                    "coherence detection requires the jitter monitor \
+                     (PoolConfig::with_monitor)"
+                        .to_string(),
+                ));
+            }
+            if coherence.quorum < 2 || coherence.quorum > config.shards {
+                return Err(PoolError::InvalidConfig(format!(
+                    "coherence quorum {} outside 2..={} shards",
+                    coherence.quorum, config.shards
+                )));
+            }
+            if !(8..=64).contains(&coherence.window) {
+                return Err(PoolError::InvalidConfig(format!(
+                    "coherence window {} outside 8..=64 observations",
+                    coherence.window
+                )));
+            }
+            for &bin in &coherence.bins {
+                if bin == 0 || bin as usize >= coherence.window / 2 {
+                    return Err(PoolError::InvalidConfig(format!(
+                        "coherence bin {} outside 1..{} for window {}",
+                        bin,
+                        coherence.window / 2,
+                        coherence.window
+                    )));
+                }
+            }
+            if !coherence.line_snr.is_finite() || coherence.line_snr <= 0.0 {
+                return Err(PoolError::InvalidConfig(format!(
+                    "coherence line_snr {} must be positive",
+                    coherence.line_snr
+                )));
             }
         }
         let journal = Arc::new(Journal::new(config.journal_capacity));
@@ -810,6 +870,7 @@ impl EntropyPool {
             supervisor,
             workers_joined: 0,
             composed,
+            coherence: config.coherence.map(CoherenceDetector::new),
         })
     }
 
@@ -832,6 +893,7 @@ impl EntropyPool {
     /// policy floor and budget/backoff allow. Returns `true` when at
     /// least one replacement was spawned.
     fn supervise(&mut self) -> bool {
+        self.coherence_pass();
         if let Backend::Threaded(threaded) = &mut self.backend {
             // A retired shard's worker body has returned (or is about
             // to); join it so the thread is fully reclaimed.
@@ -1252,6 +1314,37 @@ impl EntropyPool {
         Ok(())
     }
 
+    /// One coherence-detector pass, piggybacked (like respawn
+    /// supervision) on consumer calls. A quorum rising edge is
+    /// journaled as [`IncidentKind::CommonModeCoherence`] against the
+    /// lowest-indexed shard in the quorum, stamped with that shard's
+    /// progress; under [`CoherenceResponse::AlarmAll`] every quorum
+    /// shard is additionally asked to raise its normal alarm.
+    fn coherence_pass(&mut self) {
+        let Some(detector) = &mut self.coherence else {
+            return;
+        };
+        let Some(found) = detector.scan(&self.shared) else {
+            return;
+        };
+        let detail = encode_coherence_detail(found.bin, found.mask, found.magnitude_ppm);
+        let snap = self.shared[found.shard].snapshot(found.shard);
+        self.journal.record(
+            found.shard,
+            IncidentKind::CommonModeCoherence,
+            snap.sim_elapsed.as_nanos() as u64,
+            snap.bytes_produced,
+            detail,
+        );
+        if detector.response() == CoherenceResponse::AlarmAll {
+            for (i, shared) in self.shared.iter().enumerate() {
+                if i < 64 && found.mask >> i & 1 == 1 {
+                    shared.request_alarm();
+                }
+            }
+        }
+    }
+
     /// Snapshots per-shard lifecycle state and pool-level counters.
     pub fn stats(&self) -> PoolStats {
         if let Backend::Threaded(threaded) = &self.backend {
@@ -1279,6 +1372,7 @@ impl EntropyPool {
             journal_recorded: self.journal.recorded(),
             journal,
             composed: self.composed.as_ref().map(ComposedStage::stats),
+            coherence: self.coherence.as_ref().map(CoherenceDetector::stats),
         }
     }
 }

@@ -379,6 +379,10 @@ impl Shard {
             self.state,
             ShardState::Starting | ShardState::Quarantined
         ));
+        // A coherence alarm request that raced this shard into
+        // quarantine is stale by the time readmission starts: consume
+        // it so the readmitted shard is not immediately re-alarmed.
+        self.shared.take_alarm_request();
         if self.state == ShardState::Quarantined {
             // Rebuild the source for a from-scratch validation run. A
             // transient fault is gone after the rebuild; a persistent
@@ -472,6 +476,14 @@ impl Shard {
     pub fn produce_block(&mut self, out: &mut Vec<u8>, block_bytes: usize) -> bool {
         debug_assert_eq!(self.state, ShardState::Online);
         out.clear();
+        // An externally requested alarm (coherence-detector escalation
+        // under `AlarmAll`) pre-empts production: the shard takes its
+        // normal alarm path so quarantine and readmission work as for
+        // any continuous-test trip.
+        if self.shared.take_alarm_request() {
+            self.raise_alarm();
+            return false;
+        }
         // Apply the earliest-scheduled ripe fault, if any. A ripe fault
         // supersedes an already-active one — campaign phases escalate
         // without waiting for a quarantine to clear the predecessor —
@@ -608,6 +620,9 @@ impl Shard {
         };
         let Some(obs) = observed else { return };
         self.shared.record_monitor(obs.jitter_fs, obs.baseline_fs);
+        if let Some(ppm) = obs.period_residual_ppm {
+            self.shared.residuals().push(ppm);
+        }
         if let Some(drift) = obs.drift {
             self.shared.count_monitor_drift();
             self.journal_event(IncidentKind::JitterDrift, drift.encode());

@@ -10,6 +10,7 @@ use trng_fpga_sim::noise::NoiseBackend;
 use trng_sources::SourceKind;
 use trng_testkit::json::Json;
 
+use crate::coherence::{CoherenceStats, ResidualSeries};
 use crate::journal::IncidentEvent;
 use crate::shard::Conditioning;
 
@@ -119,6 +120,13 @@ pub(crate) struct ShardShared {
     noise_backend: AtomicU8,
     /// `Conditioning::encode_label` of the shard's conditioning stage.
     conditioning: AtomicU64,
+    /// Period-probe residual ring the coherence detector scans; fed by
+    /// the shard's monitor, read lock-free from consumer threads.
+    residuals: ResidualSeries,
+    /// Set by the coherence detector under `CoherenceResponse::AlarmAll`;
+    /// the shard consumes it at the top of its next production call and
+    /// raises its normal alarm.
+    alarm_requested: AtomicBool,
 }
 
 impl ShardShared {
@@ -185,6 +193,23 @@ impl ShardShared {
 
     pub fn count_monitor_drift(&self) {
         self.monitor_drift_events.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The shard's period-probe residual series (coherence detector input).
+    pub fn residuals(&self) -> &ResidualSeries {
+        &self.residuals
+    }
+
+    /// Ask the shard to raise an alarm on its next production call
+    /// (coherence-detector escalation under `AlarmAll`).
+    pub fn request_alarm(&self) {
+        self.alarm_requested.store(true, Ordering::Release);
+    }
+
+    /// Consume a pending externally-requested alarm, if any. Called by
+    /// the owning shard; returns `true` at most once per request.
+    pub fn take_alarm_request(&self) -> bool {
+        self.alarm_requested.swap(false, Ordering::AcqRel)
     }
 
     /// Labels this shard with its entropy backend, the min-entropy
@@ -436,6 +461,8 @@ pub struct PoolStats {
     pub journal_recorded: u64,
     /// The pool-level composed extract stage, when configured.
     pub composed: Option<ComposedStats>,
+    /// The cross-shard coherence detector, when configured.
+    pub coherence: Option<CoherenceStats>,
 }
 
 impl PoolStats {
@@ -533,10 +560,13 @@ impl PoolStats {
                 Json::Arr(self.journal.iter().map(IncidentEvent::to_json).collect()),
             ),
         ];
-        // Additive: pools without the composed stage keep their exact
-        // pre-existing payload shape.
+        // Additive: pools without the composed stage or coherence
+        // detector keep their exact pre-existing payload shape.
         if let Some(composed) = &self.composed {
             fields.push(("composed", composed.to_json()));
+        }
+        if let Some(coherence) = &self.coherence {
+            fields.push(("coherence", coherence.to_json()));
         }
         Json::obj(fields)
     }
@@ -667,6 +697,13 @@ impl fmt::Display for PoolStats {
                 c.bytes_extracted,
             )?;
         }
+        if let Some(c) = &self.coherence {
+            writeln!(
+                f,
+                "  coherence: window {} quorum {} snr {:.1}, {} passes, {} events",
+                c.window, c.quorum, c.line_snr, c.passes, c.events,
+            )?;
+        }
         writeln!(
             f,
             "  journal: {} events retained, {} recorded lifetime",
@@ -760,6 +797,7 @@ mod tests {
             journal: Vec::new(),
             journal_recorded: 0,
             composed: None,
+            coherence: None,
         };
         // 4 shards x 8000 bits over the same 10 ms window: 3.2 Mb/s,
         // 4x what a single shard would report.
@@ -775,6 +813,7 @@ mod tests {
             journal: Vec::new(),
             journal_recorded: 0,
             composed: None,
+            coherence: None,
         };
         assert!((single.sim_throughput_bps() - 0.8e6).abs() < 1.0);
     }
@@ -834,6 +873,7 @@ mod tests {
             }],
             journal_recorded: 5,
             composed: None,
+            coherence: None,
         }
     }
 
@@ -1078,6 +1118,7 @@ mod tests {
             journal: Vec::new(),
             journal_recorded: 0,
             composed: None,
+            coherence: None,
         };
         let text = stats.to_string();
         assert!(text.contains("shard 0"));

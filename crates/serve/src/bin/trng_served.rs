@@ -11,6 +11,8 @@
 //!             [--conditioning raw|design-xor|xor:N|von-neumann|toeplitz[:N]]
 //!             [--composed-extract auto|N]
 //!             [--sources carry_chain,dual_osc,trace_replay,os_entropy]
+//!             [--coherence QUORUM] [--coherence-window N] [--coherence-snr X]
+//!             [--coherence-response journal|alarm-all]
 //!             [--noise-backend scalar|batched]
 //!             [--quota-rate BYTES_PER_SEC --quota-burst BYTES]
 //!             [--max-request BYTES] [--drain-deadline-ms MS]
@@ -28,8 +30,8 @@ use std::sync::Arc;
 
 use trng_core::trng::TrngConfig;
 use trng_pool::{
-    ComposedExtract, Conditioning, DualOscConfig, EntropyPool, NoiseBackend, PoolConfig,
-    RecordedTrace, SourceSpec,
+    CoherenceConfig, CoherenceResponse, ComposedExtract, Conditioning, DualOscConfig, EntropyPool,
+    MonitorConfig, NoiseBackend, PoolConfig, RecordedTrace, SourceSpec,
 };
 use trng_serve::{QuotaConfig, ServeConfig, Server};
 
@@ -61,6 +63,16 @@ OPTIONS:
   --noise-backend MODE    scalar (replay-exact, default) | batched (statistically
                           equivalent whole-window synthesis, ~an order of magnitude
                           faster per raw bit; applies to simulated-noise shards)
+  --coherence QUORUM      enable the cross-shard coherence detector (and the
+                          per-shard jitter monitor it feeds on): alarm when the
+                          same spectral line is elevated on QUORUM shards at
+                          once (default: off; QUORUM in 2..=shards)
+  --coherence-window N    residuals per shard in the detector's Goertzel scan
+                          (default 16, range 8..=64)
+  --coherence-snr X       per-shard elevation threshold as a multiple of the
+                          median line amplitude (default 4.0)
+  --coherence-response R  journal (default) | alarm-all (quarantine the quorum
+                          through the normal readmit state machine)
   --quota-rate BPS        per-connection sustained quota, bytes/second (default: none)
   --quota-burst BYTES     per-connection burst allowance (default: 4x rate)
   --max-request BYTES     largest single request (default 1048576)
@@ -79,6 +91,11 @@ struct Args {
     conditioning: Conditioning,
     composed: Option<ComposedExtract>,
     sources: Option<Vec<String>>,
+    /// Quorum for the cross-shard coherence detector; `None` = off.
+    coherence: Option<usize>,
+    coherence_window: usize,
+    coherence_snr: f64,
+    coherence_response: CoherenceResponse,
     noise_backend: NoiseBackend,
     quota_rate: Option<f64>,
     quota_burst: Option<u64>,
@@ -99,6 +116,10 @@ impl Default for Args {
             conditioning: Conditioning::Raw,
             composed: None,
             sources: None,
+            coherence: None,
+            coherence_window: 16,
+            coherence_snr: 4.0,
+            coherence_response: CoherenceResponse::JournalOnly,
             noise_backend: NoiseBackend::Scalar,
             quota_rate: None,
             quota_burst: None,
@@ -245,6 +266,24 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.composed = Some(parse_composed(value("--composed-extract")?)?);
             }
             "--sources" => args.sources = Some(parse_sources(value("--sources")?)?),
+            "--coherence" => args.coherence = Some(parse(value("--coherence")?, "--coherence")?),
+            "--coherence-window" => {
+                args.coherence_window = parse(value("--coherence-window")?, "--coherence-window")?;
+            }
+            "--coherence-snr" => {
+                args.coherence_snr = parse(value("--coherence-snr")?, "--coherence-snr")?;
+            }
+            "--coherence-response" => {
+                args.coherence_response = match value("--coherence-response")?.as_str() {
+                    "journal" => CoherenceResponse::JournalOnly,
+                    "alarm-all" => CoherenceResponse::AlarmAll,
+                    other => {
+                        return Err(format!(
+                            "--coherence-response must be journal or alarm-all, got {other:?}"
+                        ))
+                    }
+                };
+            }
             "--noise-backend" => {
                 args.noise_backend = value("--noise-backend")?
                     .parse()
@@ -300,6 +339,28 @@ fn main() -> ExitCode {
         .deterministic(args.deterministic);
     if let Some(composed) = args.composed {
         pool_config = pool_config.with_composed_extract(composed);
+    }
+    if let Some(quorum) = args.coherence {
+        // The detector consumes the per-shard monitor's period-probe
+        // residuals, so --coherence switches the monitor on too.
+        pool_config = pool_config
+            .with_monitor(MonitorConfig::default())
+            .with_coherence(
+                CoherenceConfig::new()
+                    .with_quorum(quorum)
+                    .with_window(args.coherence_window)
+                    .with_line_snr(args.coherence_snr)
+                    .with_response(args.coherence_response),
+            );
+        eprintln!(
+            "trng-served: coherence detector on (quorum {quorum}, window {}, snr {}, {})",
+            args.coherence_window,
+            args.coherence_snr,
+            match args.coherence_response {
+                CoherenceResponse::JournalOnly => "journal",
+                CoherenceResponse::AlarmAll => "alarm-all",
+            }
+        );
     }
     if let Some(names) = &args.sources {
         let specs = match build_specs(names, args.seed, args.noise_backend) {

@@ -73,6 +73,17 @@ echo "==> adversarial smoke (locking + thermal runaway, monitor-first detection)
 TRNG_ADVERSARIAL_SMOKE_BYTES=${TRNG_ADVERSARIAL_SMOKE_BYTES:-4096} \
     cargo run -q --release --offline -p trng-pool --bin adversarial_smoke
 
+# Coherence smoke: 3-shard monitored pool hit by the sub-threshold
+# shared supply tone (0.4 % @ 5 MHz) on shards 0+1 — invisible to
+# every per-shard gate. Fails unless the cross-shard coherence
+# detector journals the expected CommonModeCoherence quorum event
+# (coherence probe code, aliased line, mask 0b011) while the per-shard
+# gates stay silent, the run replays byte-identically, and a
+# single-shard control tone does NOT trip the quorum.
+echo "==> coherence smoke (2-of-3 shared tone quorum, per-shard gates silent)"
+TRNG_COHERENCE_SMOKE_BYTES=${TRNG_COHERENCE_SMOKE_BYTES:-12288} \
+    cargo run -q --release --offline -p trng-pool --bin coherence_smoke
+
 # Per-backend smoke: each of the four entropy backends (carry-chain,
 # dual-oscillator, trace replay, OS entropy) runs alone behind a
 # deterministic pool — admitted by the AIS-31 startup test, serving
@@ -115,12 +126,24 @@ TRNG_BENCH_OUT_DIR=$(mktemp -d) \
 # Detection-latency table: quick run of the adversarial bench, which
 # asserts internally that no detection precedes its attack onset and
 # writes BENCH_adversarial.json (thermal ramp/runaway, locking,
-# flicker; the sub-threshold shared supply tone is the documented
-# undetected gap).
+# flicker; the sub-threshold shared supply tone stays undetected by
+# the per-shard gates alone, and the +coherence row shows the
+# cross-shard detector closing that gap).
 echo "==> adversarial bench (quick, detection-latency table)"
 TRNG_ADVERSARIAL_BENCH_BYTES=${TRNG_ADVERSARIAL_BENCH_BYTES:-6144} \
 TRNG_BENCH_OUT_DIR=$(mktemp -d) \
     cargo bench -q --offline -p trng-bench --bench pool_adversarial
+
+# Coherence detection-latency gate: quick run of the coherence bench,
+# writing BENCH_coherence.json (2-of-2 and 2-of-3 quorum rows plus a
+# 1-of-3 control) and failing if a quorum row misses the tone, takes
+# longer than the gate (measured ~15.2k bits; 24k absorbs host
+# scheduling skew in observation cadence), or the control row alarms.
+echo "==> coherence bench (quick, quorum latency gate + single-shard control)"
+TRNG_COHERENCE_BENCH_BYTES=${TRNG_COHERENCE_BENCH_BYTES:-8192} \
+TRNG_COHERENCE_GATE_BITS=${TRNG_COHERENCE_GATE_BITS:-24576} \
+TRNG_BENCH_OUT_DIR=$(mktemp -d) \
+    cargo bench -q --offline -p trng-bench --bench pool_coherence
 
 # Hot-path regression gate: quick run of the per-bit bench, failing
 # if the raw-bit cost regresses to more than 2x the checked-in
